@@ -1,0 +1,38 @@
+//! Micro-benchmarks of the from-scratch DEFLATE codec on the two blob
+//! kinds NPE handles: compressible preprocessed binaries and
+//! incompressible JPEG-like photos.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ndpipe_data::deflate::{compress, decompress};
+use ndpipe_data::photo::{preprocessed_binary, PhotoFactory};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_preprocessed(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let bin = preprocessed_binary(64 * 1024, &mut rng);
+    let packed = compress(&bin);
+    let mut group = c.benchmark_group("deflate_preprocessed_64k");
+    group.throughput(Throughput::Bytes(bin.len() as u64));
+    group.bench_function("compress", |b| {
+        b.iter(|| compress(std::hint::black_box(&bin)))
+    });
+    group.bench_function("decompress", |b| {
+        b.iter(|| decompress(std::hint::black_box(&packed)).expect("valid"))
+    });
+    group.finish();
+}
+
+fn bench_photo(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let photo = PhotoFactory::new(64 * 1024).make(0, 0, &mut rng);
+    let mut group = c.benchmark_group("deflate_jpeg_like_64k");
+    group.throughput(Throughput::Bytes(photo.blob.len() as u64));
+    group.bench_function("compress_incompressible", |b| {
+        b.iter(|| compress(std::hint::black_box(&photo.blob)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_preprocessed, bench_photo);
+criterion_main!(benches);

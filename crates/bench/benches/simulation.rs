@@ -1,0 +1,32 @@
+//! Micro-benchmarks of the cluster capacity models and APO search —
+//! these run inside deployment tooling, so they should stay cheap.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cluster::inference::{inference_report, InferenceSetup, InferenceVariant};
+use cluster::training::{training_report, TrainSetup};
+use dnn::ModelProfile;
+use ndpipe::apo::{best_organization, ApoInput};
+
+fn bench_inference_report(c: &mut Criterion) {
+    let setup = InferenceSetup::paper_default(ModelProfile::resnet50(), 8);
+    c.bench_function("inference_report", |b| {
+        b.iter(|| inference_report(InferenceVariant::NdPipe, std::hint::black_box(&setup)))
+    });
+}
+
+fn bench_training_report(c: &mut Criterion) {
+    let setup = TrainSetup::paper_default(ModelProfile::resnet50(), 8);
+    c.bench_function("training_report", |b| {
+        b.iter(|| training_report(std::hint::black_box(&setup)))
+    });
+}
+
+fn bench_apo(c: &mut Criterion) {
+    let input = ApoInput::paper_default(ModelProfile::resnet50());
+    c.bench_function("apo_best_organization", |b| {
+        b.iter(|| best_organization(std::hint::black_box(&input)))
+    });
+}
+
+criterion_group!(benches, bench_inference_report, bench_training_report, bench_apo);
+criterion_main!(benches);

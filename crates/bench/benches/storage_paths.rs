@@ -1,0 +1,55 @@
+//! Micro-benchmarks of the storage substrate: object-store needle I/O
+//! and the RPC wire codec.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ndpipe::rpc::wire::{read_reply, write_reply, Reply};
+use objstore::ObjectStore;
+use tensor::Tensor;
+
+fn bench_objstore(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("objstore-bench-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut store = ObjectStore::open(&dir, 64 << 20).expect("open");
+    let payload = vec![0xABu8; 64 * 1024];
+    let mut key = 0u64;
+    let mut group = c.benchmark_group("objstore_64k");
+    group.throughput(Throughput::Bytes(payload.len() as u64));
+    group.bench_function("put", |b| {
+        b.iter(|| {
+            key += 1;
+            store.put(key, &payload).expect("put")
+        })
+    });
+    store.put(1, &payload).expect("seed");
+    group.bench_function("get", |b| {
+        b.iter(|| store.get(1).expect("get").expect("present"))
+    });
+    group.finish();
+    drop(store);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let reply = Reply::Features {
+        features: Tensor::zeros(&[128, 64]),
+        labels: vec![0; 128],
+    };
+    let mut encoded = Vec::new();
+    write_reply(&mut encoded, &reply).expect("encode");
+    let mut group = c.benchmark_group("rpc_wire_features_128x64");
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("encode", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(encoded.len());
+            write_reply(&mut buf, &reply).expect("encode");
+            buf
+        })
+    });
+    group.bench_function("decode", |b| {
+        b.iter(|| read_reply(&mut encoded.as_slice()).expect("decode"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_objstore, bench_wire);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Micro-benchmarks of the tensor substrate's hot kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tensor::conv::{conv2d, max_pool2d, Conv2dSpec};
+use tensor::{activation, linalg, Tensor};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("matmul");
+    for n in [32usize, 128, 256] {
+        let a = Tensor::randn(&[n, n], &mut rng);
+        let b = Tensor::randn(&[n, n], &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| linalg::matmul(std::hint::black_box(&a), std::hint::black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_matmul_variants(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let a = Tensor::randn(&[128, 128], &mut rng);
+    let b = Tensor::randn(&[128, 128], &mut rng);
+    c.bench_function("matmul_tn_128", |bench| {
+        bench.iter(|| linalg::matmul_tn(std::hint::black_box(&a), std::hint::black_box(&b)))
+    });
+    c.bench_function("matmul_nt_128", |bench| {
+        bench.iter(|| linalg::matmul_nt(std::hint::black_box(&a), std::hint::black_box(&b)))
+    });
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let input = Tensor::randn(&[1, 16, 32, 32], &mut rng);
+    let weight = Tensor::randn(&[32, 16, 3, 3], &mut rng);
+    let spec = Conv2dSpec::new(3, 1, 1);
+    c.bench_function("conv2d_16x32x32_3x3", |bench| {
+        bench.iter(|| conv2d(std::hint::black_box(&input), &weight, None, spec))
+    });
+    c.bench_function("max_pool2d_16x32x32", |bench| {
+        bench.iter(|| max_pool2d(std::hint::black_box(&input), Conv2dSpec::new(2, 2, 0)))
+    });
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let logits = Tensor::randn(&[256, 1000], &mut rng);
+    c.bench_function("softmax_256x1000", |bench| {
+        bench.iter(|| activation::softmax_rows(std::hint::black_box(&logits)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_matmul_variants,
+    bench_conv,
+    bench_softmax
+);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Regenerates the DESIGN.md ablation studies. Pass `--fast` for a
+//! smaller configuration.
+
+fn main() {
+    println!("{}", bench::reports::ablations::run(bench::fast_flag()));
+}

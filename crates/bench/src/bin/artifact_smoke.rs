@@ -1,0 +1,6 @@
+//! Regenerates the paper's artifact result. Pass `--fast` for a
+//! smaller configuration.
+
+fn main() {
+    println!("{}", bench::reports::artifact::run(bench::fast_flag()));
+}

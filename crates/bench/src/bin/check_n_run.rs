@@ -1,0 +1,6 @@
+//! Regenerates the paper's check n run result. Pass `--fast` for a
+//! smaller configuration.
+
+fn main() {
+    println!("{}", bench::reports::check_n_run::run(bench::fast_flag()));
+}

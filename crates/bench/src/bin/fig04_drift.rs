@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig04 drift result. Pass `--fast` for a
+//! smaller configuration.
+
+fn main() {
+    println!("{}", bench::reports::fig04_drift::run(bench::fast_flag()));
+}

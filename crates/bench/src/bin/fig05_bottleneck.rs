@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig05 bottleneck result. Pass `--fast` for a
+//! smaller configuration.
+
+fn main() {
+    println!("{}", bench::reports::fig05_bottleneck::run(bench::fast_flag()));
+}

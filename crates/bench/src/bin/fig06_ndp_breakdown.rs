@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig06 ndp breakdown result. Pass `--fast` for a
+//! smaller configuration.
+
+fn main() {
+    println!("{}", bench::reports::fig06_ndp_breakdown::run(bench::fast_flag()));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig09 partition result. Pass `--fast` for a
+//! smaller configuration.
+
+fn main() {
+    println!("{}", bench::reports::fig09_partition::run(bench::fast_flag()));
+}

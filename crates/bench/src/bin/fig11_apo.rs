@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig11 apo result. Pass `--fast` for a
+//! smaller configuration.
+
+fn main() {
+    println!("{}", bench::reports::fig11_apo::run(bench::fast_flag()));
+}

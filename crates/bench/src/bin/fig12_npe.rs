@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig12 npe result. Pass `--fast` for a
+//! smaller configuration.
+
+fn main() {
+    println!("{}", bench::reports::fig12_npe::run(bench::fast_flag()));
+}

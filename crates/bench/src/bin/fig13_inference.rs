@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig13 inference result. Pass `--fast` for a
+//! smaller configuration.
+
+fn main() {
+    println!("{}", bench::reports::fig13_inference::run(bench::fast_flag()));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig14 power result. Pass `--fast` for a
+//! smaller configuration.
+
+fn main() {
+    println!("{}", bench::reports::fig14_power::run(bench::fast_flag()));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig15 training result. Pass `--fast` for a
+//! smaller configuration.
+
+fn main() {
+    println!("{}", bench::reports::fig15_training::run(bench::fast_flag()));
+}

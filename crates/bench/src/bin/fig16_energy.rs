@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig16 energy result. Pass `--fast` for a
+//! smaller configuration.
+
+fn main() {
+    println!("{}", bench::reports::fig16_energy::run(bench::fast_flag()));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig17 pipelined result. Pass `--fast` for a
+//! smaller configuration.
+
+fn main() {
+    println!("{}", bench::reports::fig17_pipelined::run(bench::fast_flag()));
+}

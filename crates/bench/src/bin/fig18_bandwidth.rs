@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig18 bandwidth result. Pass `--fast` for a
+//! smaller configuration.
+
+fn main() {
+    println!("{}", bench::reports::fig18_bandwidth::run(bench::fast_flag()));
+}

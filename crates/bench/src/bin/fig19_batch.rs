@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig19 batch result. Pass `--fast` for a
+//! smaller configuration.
+
+fn main() {
+    println!("{}", bench::reports::fig19_batch::run(bench::fast_flag()));
+}

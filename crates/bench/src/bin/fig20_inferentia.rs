@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig20 inferentia result. Pass `--fast` for a
+//! smaller configuration.
+
+fn main() {
+    println!("{}", bench::reports::fig20_inferentia::run(bench::fast_flag()));
+}

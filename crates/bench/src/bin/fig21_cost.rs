@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig21 cost result. Pass `--fast` for a
+//! smaller configuration.
+
+fn main() {
+    println!("{}", bench::reports::fig21_cost::run(bench::fast_flag()));
+}

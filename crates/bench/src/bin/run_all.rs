@@ -1,0 +1,16 @@
+//! Regenerates every table and figure, printing each report and writing
+//! them under `results/`. Pass `--fast` for smaller configurations.
+
+use std::fs;
+
+fn main() {
+    let fast = bench::fast_flag();
+    let out_dir = std::path::Path::new("results");
+    fs::create_dir_all(out_dir).expect("create results dir");
+    for (name, report) in bench::reports::run_all(fast) {
+        println!("{report}\n");
+        fs::write(out_dir.join(format!("{name}.txt")), &report)
+            .expect("write report");
+    }
+    eprintln!("reports written to {}", out_dir.display());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's table1 labels result. Pass `--fast` for a
+//! smaller configuration.
+
+fn main() {
+    println!("{}", bench::reports::table1_labels::run(bench::fast_flag()));
+}

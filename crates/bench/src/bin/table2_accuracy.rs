@@ -1,0 +1,6 @@
+//! Regenerates the paper's table2 accuracy result. Pass `--fast` for a
+//! smaller configuration.
+
+fn main() {
+    println!("{}", bench::reports::table2_accuracy::run(bench::fast_flag()));
+}

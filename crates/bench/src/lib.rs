@@ -1,0 +1,17 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation (§3–§7).
+//!
+//! Each `reports::*` module produces one figure/table as a plain-text TSV
+//! report with a paper-vs-measured note; the `src/bin/*` binaries are
+//! thin wrappers, and `src/bin/run_all.rs` regenerates everything in one
+//! go. Criterion micro-benchmarks of the hot code paths live under
+//! `benches/`.
+//!
+//! Accuracy experiments (Fig 4, Fig 17, Tables 1–2) run real SGD and take
+//! a minute or two in release mode; pass `--fast` to any binary for a
+//! smaller (noisier) configuration.
+
+pub mod reports;
+pub mod util;
+
+pub use util::{fast_flag, Report};

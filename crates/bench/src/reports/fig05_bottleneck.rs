@@ -1,0 +1,53 @@
+//! Fig 5: the §3.4 network-bottleneck motivation — Typical vs Ideal.
+
+use crate::util::{fmt, Report};
+use cluster::baseline::{baseline_fine_tune, baseline_inference, BaselineHost};
+use dnn::ModelProfile;
+use hw::LinkSpec;
+
+/// Regenerates Fig 5: fine-tuning time and offline-inference throughput
+/// on the unoptimized Typical / Ideal hosts.
+pub fn run(_fast: bool) -> String {
+    let model = ModelProfile::resnet50();
+    let link = LinkSpec::ethernet_gbps(10.0);
+    let images = 1_200_000f64;
+
+    let mut r = Report::new(
+        "Fig 5",
+        "impact of the network bottleneck (Typical vs Ideal, unoptimized hosts)",
+    );
+    r.header(&["setup", "fine-tune time (min)", "offline inference (IPS)"]);
+    let mut times = Vec::new();
+    for (name, host) in [
+        ("Typical", BaselineHost::Typical),
+        ("Ideal", BaselineHost::Ideal),
+    ] {
+        let ft = baseline_fine_tune(host, &model, 4, &link);
+        let inf = baseline_inference(host, &model, 4, &link);
+        let minutes = ft.total() * images / 60.0;
+        times.push(minutes);
+        r.row(&[
+            name.to_string(),
+            fmt(minutes, 1),
+            fmt(inf.ips(), 1),
+        ]);
+    }
+    r.blank();
+    r.note(&format!(
+        "fine-tune slowdown Typical/Ideal: measured {:.1}x, paper 3.7x",
+        times[0] / times[1]
+    ));
+    r.note("offline inference: paper reports Typical 94 IPS, Ideal 123 IPS");
+    r.render()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn report_contains_both_setups() {
+        let s = super::run(true);
+        assert!(s.contains("Typical"));
+        assert!(s.contains("Ideal"));
+        assert!(s.contains("slowdown"));
+    }
+}

@@ -1,0 +1,66 @@
+//! Fig 9: impact of the partition point on traffic and training time.
+
+use crate::util::{fmt, human_bytes, Report};
+use cluster::training::{training_report, TrainSetup};
+use dnn::ModelProfile;
+
+/// Regenerates Fig 9: ResNet50 on 4 PipeStores, sweeping the offload
+/// point from `None` (ship raw inputs) through `+Conv5` to `+FC`
+/// (everything on the stores, weight sync over the network).
+pub fn run(_fast: bool) -> String {
+    let model = ModelProfile::resnet50();
+    let labels = ["None", "+Conv1", "+Conv2", "+Conv3", "+Conv4", "+Conv5", "+FC"];
+
+    let mut r = Report::new(
+        "Fig 9",
+        "layer offloading vs data traffic and training time (ResNet50, 4 PipeStores)",
+    );
+    r.header(&[
+        "offload",
+        "data traffic",
+        "weight-sync traffic",
+        "training time (s)",
+        "store (s)",
+        "transfer (s)",
+        "tuner (s)",
+        "sync (s)",
+    ]);
+    let mut best = (0usize, f64::INFINITY);
+    for (k, label) in labels.iter().enumerate() {
+        let mut setup = TrainSetup::paper_default(model.clone(), 4);
+        setup.partition = k;
+        let rep = training_report(&setup);
+        if rep.total_secs < best.1 {
+            best = (k, rep.total_secs);
+        }
+        r.row(&[
+            label.to_string(),
+            human_bytes(rep.data_traffic_bytes),
+            human_bytes(rep.sync_traffic_bytes),
+            fmt(rep.total_secs, 1),
+            fmt(rep.store_stage_secs, 1),
+            fmt(rep.transfer_secs, 1),
+            fmt(rep.tuner_stage_secs, 1),
+            fmt(rep.weight_sync_secs, 1),
+        ]);
+    }
+    r.blank();
+    r.note(&format!(
+        "best partition: {} (paper: +Conv5; paper annotates +Conv5 traffic at 9.16GB)",
+        labels[best.0]
+    ));
+    r.note("traffic falls as the cut deepens, then explodes at +FC on weight sync");
+    r.render()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn sweep_covers_all_points_and_picks_conv5() {
+        let s = super::run(true);
+        for l in ["None", "+Conv1", "+Conv5", "+FC"] {
+            assert!(s.contains(l), "missing {l}");
+        }
+        assert!(s.contains("best partition: +Conv5"));
+    }
+}

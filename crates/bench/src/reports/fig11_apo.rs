@@ -1,0 +1,69 @@
+//! Fig 11: APO's choice of PipeStore count (training time, T_diff,
+//! energy efficiency vs fleet size).
+
+use crate::util::{fmt, Report};
+use cluster::energy::training_energy;
+use cluster::training::TrainSetup;
+use dnn::ModelProfile;
+use ndpipe::apo::{best_organization, ApoInput};
+
+/// Regenerates Fig 11: ResNet50 training time and IPS/kJ over 1..20
+/// PipeStores, plus the organization Algorithm 1 picks.
+pub fn run(_fast: bool) -> String {
+    let input = ApoInput::paper_default(ModelProfile::resnet50());
+    let result = best_organization(&input);
+
+    let mut r = Report::new(
+        "Fig 11",
+        "training time, T_diff and energy efficiency vs #PipeStores (ResNet50)",
+    );
+    r.header(&[
+        "#stores",
+        "partition",
+        "train time (s)",
+        "T_ps (s)",
+        "T_tuner (s)",
+        "T_diff (s)",
+        "IPS/kJ",
+    ]);
+    for c in &result.sweep {
+        let setup = TrainSetup {
+            partition: c.partition,
+            ..TrainSetup::paper_default(input.model.clone(), c.n_pipestores)
+        };
+        let energy = training_energy(&setup);
+        let cut_name = if c.partition == 0 {
+            "None".to_string()
+        } else {
+            input.model.stages()[c.partition - 1].name.clone()
+        };
+        r.row(&[
+            c.n_pipestores.to_string(),
+            cut_name,
+            fmt(c.total_secs, 1),
+            fmt(c.t_ps, 1),
+            fmt(c.t_tuner, 1),
+            fmt(c.t_diff, 1),
+            fmt(energy.ips_per_kilojoule(), 1),
+        ]);
+    }
+    r.blank();
+    r.note(&format!(
+        "APO picks {} PipeStores (paper: 8); T_diff approaches zero there,",
+        result.best.n_pipestores
+    ));
+    r.note("training time flattens beyond the pick and IPS/kJ decays as stores idle");
+    r.render()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn sweep_and_pick_present() {
+        let s = super::run(true);
+        assert!(s.contains("APO picks"));
+        assert!(s.contains("IPS/kJ"));
+        // 20 rows.
+        assert!(s.lines().filter(|l| l.ends_with(|c: char| c.is_ascii_digit())).count() >= 20);
+    }
+}

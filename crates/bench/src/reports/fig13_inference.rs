@@ -1,0 +1,70 @@
+//! Fig 13: offline-inference throughput scaling vs the SRV baselines.
+
+use crate::util::{fmt, Report};
+use cluster::inference::{inference_report, InferenceSetup, InferenceVariant};
+use dnn::ModelProfile;
+
+/// Regenerates Fig 13: KIPS for SRV-I/P/C and NDPipe over 1..20
+/// PipeStores, for the four plotted models, plus the P1/P2/P3 crossover
+/// points.
+pub fn run(_fast: bool) -> String {
+    let mut r = Report::new(
+        "Fig 13",
+        "offline-inference throughput (KIPS) vs #PipeStores",
+    );
+    for model in ModelProfile::figure_models() {
+        let srv = |v: InferenceVariant| {
+            inference_report(v, &InferenceSetup::paper_default(model.clone(), 4)).ips
+        };
+        let srv_i = srv(InferenceVariant::SrvIdeal);
+        let srv_p = srv(InferenceVariant::SrvPreproc);
+        let srv_c = srv(InferenceVariant::SrvCompressed);
+
+        r.header(&[model.name(), "NDPipe KIPS", "SRV-I", "SRV-P", "SRV-C"]);
+        let mut crossings = [None; 3];
+        for n in 1..=20 {
+            let ndp = inference_report(
+                InferenceVariant::NdPipe,
+                &InferenceSetup::paper_default(model.clone(), n),
+            )
+            .ips;
+            for (i, &target) in [srv_p, srv_c, srv_i].iter().enumerate() {
+                if crossings[i].is_none() && ndp >= target {
+                    crossings[i] = Some(n);
+                }
+            }
+            if n == 1 || n % 5 == 0 {
+                r.row(&[
+                    format!("n={n}"),
+                    fmt(ndp / 1e3, 2),
+                    fmt(srv_i / 1e3, 2),
+                    fmt(srv_p / 1e3, 2),
+                    fmt(srv_c / 1e3, 2),
+                ]);
+            }
+        }
+        r.note(&format!(
+            "{}: P1(≥SRV-P)={:?} P2(≥SRV-C)={:?} P3(≥SRV-I)={:?} (paper: P1 1–7, P2 4–7, P3 5–7)",
+            model.name(),
+            crossings[0],
+            crossings[1],
+            crossings[2]
+        ));
+        r.blank();
+    }
+    r.note("paper per-PipeStore anchors: ResNet50 2129, InceptionV3 2439,");
+    r.note("ResNeXt101 449, ViT 277 IPS; big models make the SRV variants converge");
+    r.render()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn four_models_with_crossovers() {
+        let s = super::run(true);
+        for m in ["ResNet50", "InceptionV3", "ResNeXt101", "ViT"] {
+            assert!(s.contains(m), "missing {m}");
+        }
+        assert!(s.contains("P1(≥SRV-P)"));
+    }
+}

@@ -1,0 +1,71 @@
+//! Fig 14: power breakdown at throughput-matched operating points.
+
+use crate::util::{fmt, Report};
+use cluster::energy::fleet_power;
+use cluster::inference::{inference_report, InferenceSetup, InferenceVariant};
+use dnn::ModelProfile;
+
+/// Regenerates Fig 14: GPU/CPU/Other power of each system at the points
+/// P1/P2/P3 where NDPipe matches SRV-P/SRV-C/SRV-I throughput.
+pub fn run(_fast: bool) -> String {
+    let mut r = Report::new(
+        "Fig 14",
+        "inference power (W) by component at matched-throughput points",
+    );
+    for model in ModelProfile::figure_models() {
+        let setup4 = |v| inference_report(v, &InferenceSetup::paper_default(model.clone(), 4));
+        let targets = [
+            ("P1", InferenceVariant::SrvPreproc),
+            ("P2", InferenceVariant::SrvCompressed),
+            ("P3", InferenceVariant::SrvIdeal),
+        ];
+        r.header(&[model.name(), "system", "GPU W", "CPU W", "Other W", "total W"]);
+        for (point, srv_variant) in targets {
+            let srv_ips = setup4(srv_variant).ips;
+            // Match NDPipe store count to the SRV throughput.
+            let n_match = (1..=60)
+                .find(|&n| {
+                    inference_report(
+                        InferenceVariant::NdPipe,
+                        &InferenceSetup::paper_default(model.clone(), n),
+                    )
+                    .ips
+                        >= srv_ips
+                })
+                .unwrap_or(60);
+            for (name, variant, n) in [
+                (srv_variant.label(), srv_variant, 4usize),
+                ("NDPipe", InferenceVariant::NdPipe, n_match),
+            ] {
+                let p = fleet_power(
+                    variant,
+                    &InferenceSetup::paper_default(model.clone(), n),
+                );
+                r.row(&[
+                    point.to_string(),
+                    format!("{name} (n={n})"),
+                    fmt(p.gpu, 0),
+                    fmt(p.cpu, 0),
+                    fmt(p.other, 0),
+                    fmt(p.total(), 0),
+                ]);
+            }
+        }
+        r.blank();
+    }
+    r.note("paper: NDPipe is 1.83x / 1.39x more power-efficient than SRV-P / SRV-C;");
+    r.note("SRV variants waste power idling on network stalls");
+    r.render()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn power_points_present() {
+        let s = super::run(true);
+        for p in ["P1", "P2", "P3"] {
+            assert!(s.contains(p));
+        }
+        assert!(s.contains("NDPipe (n="));
+    }
+}

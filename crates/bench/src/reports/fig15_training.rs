@@ -1,0 +1,60 @@
+//! Fig 15: fine-tuning time vs #PipeStores against SRV-C.
+
+use crate::util::{fmt, Report};
+use cluster::energy::training_energy;
+use cluster::training::{srv_training_report, training_report, TrainSetup};
+use dnn::ModelProfile;
+use hw::LinkSpec;
+
+/// Regenerates Fig 15: training time over 1..20 PipeStores for the four
+/// plotted models, with the SRV-C baseline, the P1 crossover and the
+/// BEST (max IPS/kJ) fleet size.
+pub fn run(_fast: bool) -> String {
+    let link = LinkSpec::ethernet_gbps(10.0);
+    let mut r = Report::new("Fig 15", "fine-tuning time (min) vs #PipeStores");
+    for model in ModelProfile::figure_models() {
+        let srv = srv_training_report(&model, 1_200_000, 20, 512, &link);
+        r.header(&[model.name(), "NDPipe (min)", "SRV-C (min)"]);
+        let mut p1 = None;
+        let mut best = (0usize, 0.0f64);
+        for n in 1..=20 {
+            let setup = TrainSetup::paper_default(model.clone(), n);
+            let rep = training_report(&setup);
+            if p1.is_none() && rep.total_secs <= srv.total_secs {
+                p1 = Some(n);
+            }
+            let eff = training_energy(&setup).ips_per_kilojoule();
+            if eff > best.1 {
+                best = (n, eff);
+            }
+            if n == 1 || n % 4 == 0 {
+                r.row(&[
+                    format!("n={n}"),
+                    fmt(rep.total_secs / 60.0, 2),
+                    fmt(srv.total_secs / 60.0, 2),
+                ]);
+            }
+        }
+        r.note(&format!(
+            "{}: P1 (≤ SRV-C) at {:?} stores, BEST (max IPS/kJ) at {} stores",
+            model.name(),
+            p1,
+            best.0
+        ));
+        r.blank();
+    }
+    r.note("paper: ResNet50/InceptionV3 cross at 3 stores, ResNeXt101 at 6;");
+    r.note("gains flatten once the Tuner stage dominates");
+    r.render()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn models_and_crossovers_present() {
+        let s = super::run(true);
+        assert!(s.contains("ResNeXt101"));
+        assert!(s.contains("P1 (≤ SRV-C)"));
+        assert!(s.contains("BEST (max IPS/kJ)"));
+    }
+}

@@ -1,0 +1,71 @@
+//! Fig 16: training energy efficiency at P1 and BEST.
+
+use crate::util::{fmt, Report};
+use cluster::energy::{srv_training_energy, training_energy};
+use cluster::training::{srv_training_report, training_report, TrainSetup};
+use dnn::ModelProfile;
+use hw::LinkSpec;
+
+/// Regenerates Fig 16: IPS/kJ of SRV-C vs NDPipe at the matched-time
+/// point (P1) and at the best-efficiency fleet size (BEST).
+pub fn run(_fast: bool) -> String {
+    let link = LinkSpec::ethernet_gbps(10.0);
+    let mut r = Report::new("Fig 16", "training energy efficiency (IPS/kJ) at P1 and BEST");
+    r.header(&["model", "point", "SRV-C", "NDPipe", "gain"]);
+    let mut gains_p1 = Vec::new();
+    let mut gains_best = Vec::new();
+    for model in ModelProfile::figure_models() {
+        let srv_time = srv_training_report(&model, 1_200_000, 20, 512, &link).total_secs;
+        let srv_energy =
+            srv_training_energy(&model, 1_200_000, 20, 512, &link, 4).ips_per_kilojoule();
+
+        let p1 = (1..=30)
+            .find(|&n| {
+                training_report(&TrainSetup::paper_default(model.clone(), n)).total_secs
+                    <= srv_time
+            })
+            .unwrap_or(30);
+        let best = (1..=20)
+            .max_by(|&a, &b| {
+                let ea = training_energy(&TrainSetup::paper_default(model.clone(), a))
+                    .ips_per_kilojoule();
+                let eb = training_energy(&TrainSetup::paper_default(model.clone(), b))
+                    .ips_per_kilojoule();
+                ea.partial_cmp(&eb).expect("finite")
+            })
+            .expect("non-empty range");
+
+        for (label, n, gains) in [("P1", p1, &mut gains_p1), ("BEST", best, &mut gains_best)] {
+            let ndp = training_energy(&TrainSetup::paper_default(model.clone(), n))
+                .ips_per_kilojoule();
+            let gain = ndp / srv_energy;
+            gains.push(gain);
+            r.row(&[
+                model.name().to_string(),
+                format!("{label} (n={n})"),
+                fmt(srv_energy, 1),
+                fmt(ndp, 1),
+                format!("{:.2}x", gain),
+            ]);
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    r.blank();
+    r.note(&format!(
+        "mean gain: P1 {:.2}x (paper 1.44x), BEST {:.2}x (paper 2.64x)",
+        mean(&gains_p1),
+        mean(&gains_best)
+    ));
+    r.render()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn gains_reported_for_both_points() {
+        let s = super::run(true);
+        assert!(s.contains("P1 (n="));
+        assert!(s.contains("BEST (n="));
+        assert!(s.contains("mean gain"));
+    }
+}

@@ -1,0 +1,100 @@
+//! Fig 20: NDPipe on AWS Inferentia (NeuronCoreV1) PipeStores.
+
+use crate::util::{fmt, Report};
+use cluster::energy::{inference_energy, srv_training_energy, training_energy};
+use cluster::inference::{inference_report, InferenceSetup, InferenceVariant};
+use cluster::training::{srv_training_report, training_report, TrainSetup};
+use dnn::ModelProfile;
+use hw::{InstanceSpec, LinkSpec};
+
+/// Regenerates Fig 20: offline-inference and fine-tuning scaling of
+/// NDPipe-Inf1 vs SRV-C, plus the power/energy-efficiency comparison.
+pub fn run(_fast: bool) -> String {
+    let link = LinkSpec::ethernet_gbps(10.0);
+    let mut r = Report::new("Fig 20", "NDPipe on Inferentia (NeuronCoreV1) vs SRV-C");
+
+    for model in [ModelProfile::resnet50(), ModelProfile::resnext101()] {
+        // (a) offline inference crossover.
+        let srv_ips = inference_report(
+            InferenceVariant::SrvCompressed,
+            &InferenceSetup::paper_default(model.clone(), 4),
+        )
+        .ips;
+        let inf_cross = (1..=40)
+            .find(|&n| {
+                inference_report(
+                    InferenceVariant::NdPipeInf1,
+                    &InferenceSetup::paper_default(model.clone(), n),
+                )
+                .ips
+                    >= srv_ips
+            })
+            .unwrap_or(40);
+
+        // (b) fine-tuning crossover with Inferentia stores.
+        let srv_time = srv_training_report(&model, 1_200_000, 20, 512, &link).total_secs;
+        let inf1_setup = |n: usize| TrainSetup {
+            store: InstanceSpec::pipestore_inf1(),
+            ..TrainSetup::paper_default(model.clone(), n)
+        };
+        let ft_cross = (1..=40)
+            .find(|&n| training_report(&inf1_setup(n)).total_secs <= srv_time)
+            .unwrap_or(40);
+
+        // Efficiency at the crossovers.
+        let e_srv_inf =
+            inference_energy(
+                InferenceVariant::SrvCompressed,
+                &InferenceSetup::paper_default(model.clone(), 4),
+                1_000_000,
+            );
+        let e_inf1 = inference_energy(
+            InferenceVariant::NdPipeInf1,
+            &InferenceSetup::paper_default(model.clone(), inf_cross),
+            1_000_000,
+        );
+        let e_srv_ft =
+            srv_training_energy(&model, 1_200_000, 20, 512, &link, 4).ips_per_kilojoule();
+        let e_inf1_ft = training_energy(&inf1_setup(ft_cross)).ips_per_kilojoule();
+
+        r.header(&[model.name(), "value"]);
+        r.row(&[
+            "inference crossover vs SRV-C".into(),
+            format!("{inf_cross} stores (paper: 11–16)"),
+        ]);
+        r.row(&[
+            "fine-tune crossover vs SRV-C".into(),
+            format!("{ft_cross} stores (paper: 8–13)"),
+        ]);
+        r.row(&[
+            "inference power efficiency".into(),
+            format!(
+                "{:.2}x SRV-C (paper ~1.17x)",
+                e_inf1.ips_per_watt() / e_srv_inf.ips_per_watt()
+            ),
+        ]);
+        r.row(&[
+            "fine-tune energy efficiency".into(),
+            format!("{:.2}x SRV-C (paper ~1.5x)", e_inf1_ft / e_srv_ft),
+        ]);
+        r.row(&[
+            "NeuronCore vs T4 throughput".into(),
+            fmt(hw::GpuSpec::neuron_core_v1().dnn_factor, 2),
+        ]);
+        r.blank();
+    }
+    r.note("NeuronCoreV1 is slower than a T4 but wins on perf/W; the fleet needs");
+    r.note("more stores to match SRV-C yet still draws less power");
+    r.render()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn crossovers_and_efficiency_reported() {
+        let s = super::run(true);
+        assert!(s.contains("inference crossover"));
+        assert!(s.contains("fine-tune crossover"));
+        assert!(s.contains("power efficiency"));
+    }
+}

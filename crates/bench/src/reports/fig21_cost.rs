@@ -1,0 +1,102 @@
+//! Fig 21: operational cost of fine-tuning on AWS.
+
+use crate::util::{fmt, Report};
+use cluster::training::{srv_training_report, training_report, TrainSetup};
+use dnn::ModelProfile;
+use hw::cost::fleet_run_cost_usd;
+use hw::{CostModel, InstanceSpec, LinkSpec};
+
+/// Regenerates Fig 21(a): fine-tuning cost vs #PipeStores for NDPipe,
+/// NDPipe-Inf1 and SRV-C, and 21(b)'s cost ordering note.
+pub fn run(_fast: bool) -> String {
+    let model = ModelProfile::resnet50();
+    let link = LinkSpec::ethernet_gbps(10.0);
+    let srv = srv_training_report(&model, 1_200_000, 20, 512, &link);
+    // SRV-C: the p3.8xlarge host plus four storage servers.
+    let srv_cost = fleet_run_cost_usd(
+        CostModel::g4dn_4xlarge(),
+        4,
+        CostModel::p3_8xlarge(),
+        srv.total_secs,
+    );
+
+    let mut r = Report::new("Fig 21a", "fine-tuning cost (USD) vs #PipeStores (ResNet50)");
+    r.header(&["#stores", "NDPipe $", "NDPipe-Inf1 $", "SRV-C $"]);
+    let mut ndp_best = f64::INFINITY;
+    let mut inf1_best = f64::INFINITY;
+    for n in (2..=20).step_by(2) {
+        let t4 = training_report(&TrainSetup::paper_default(model.clone(), n));
+        let ndp_cost = fleet_run_cost_usd(
+            CostModel::g4dn_4xlarge(),
+            n,
+            CostModel::p3_2xlarge(),
+            t4.total_secs,
+        );
+        let inf1 = training_report(&TrainSetup {
+            store: InstanceSpec::pipestore_inf1(),
+            ..TrainSetup::paper_default(model.clone(), n)
+        });
+        let inf1_cost = fleet_run_cost_usd(
+            CostModel::inf1_2xlarge(),
+            n,
+            CostModel::p3_2xlarge(),
+            inf1.total_secs,
+        );
+        ndp_best = ndp_best.min(ndp_cost);
+        inf1_best = inf1_best.min(inf1_cost);
+        r.row(&[
+            n.to_string(),
+            fmt(ndp_cost, 3),
+            fmt(inf1_cost, 3),
+            fmt(srv_cost, 3),
+        ]);
+    }
+    r.blank();
+    r.note(&format!(
+        "cheapest fine-tune: NDPipe {:.2}x cheaper than SRV-C (paper 1.5x), \
+         NDPipe-Inf1 {:.2}x (paper 2.5x)",
+        srv_cost / ndp_best,
+        srv_cost / inf1_best
+    ));
+
+    // Fig 21(b): cost-vs-accuracy ordering.
+    r.blank();
+    r.header(&["strategy", "relative cost", "relative accuracy"]);
+    // Full training: 90 epochs of full forward+backward ≈ 3x fine-tune FE
+    // work x (90/20) epochs; dominated by compute on the SRV host.
+    let full_train_secs = srv.total_secs * (90.0 / 20.0) * 3.0;
+    let full_cost = fleet_run_cost_usd(
+        CostModel::g4dn_4xlarge(),
+        4,
+        CostModel::p3_8xlarge(),
+        full_train_secs,
+    );
+    r.row(&["Full training (SRV)".into(), fmt(full_cost / ndp_best, 1), "highest".into()]);
+    r.row(&["SRV-C fine-tune".into(), fmt(srv_cost / ndp_best, 2), "high".into()]);
+    r.row(&["NDPipe fine-tune".into(), "1.00".into(), "high".into()]);
+    r.row(&["NDPipe-Inf1 fine-tune".into(), fmt(inf1_best / ndp_best, 2), "high".into()]);
+    r.note("paper Fig 21b: full training is the most accurate but costs orders of");
+    r.note("magnitude more; fine-tuning variants cluster at slightly lower accuracy");
+    r.render()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn costs_reported_and_ndpipe_cheaper() {
+        let s = super::run(true);
+        assert!(s.contains("cheapest fine-tune"));
+        // NDPipe at some fleet size is cheaper than SRV-C.
+        let line = s.lines().find(|l| l.contains("cheaper than SRV-C")).unwrap();
+        let x: f64 = line
+            .split("NDPipe ")
+            .nth(1)
+            .unwrap()
+            .split('x')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(x > 1.0, "NDPipe not cheaper: {line}");
+    }
+}

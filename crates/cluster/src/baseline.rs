@@ -1,0 +1,243 @@
+//! The §3.4 / §4 motivation experiments: unoptimized Typical/Ideal hosts
+//! (Fig 5) and the naive-NDP per-phase breakdown (Fig 6).
+//!
+//! These systems predate the NPE optimizations: stages run serially per
+//! batch (no 3-stage pipelining), images are raw 2.7 MB JPEGs, and the
+//! host engine is the unoptimized TensorFlow-style path
+//! ([`crate::UNOPTIMIZED_ENGINE_FACTOR`] slower than TensorRT).
+
+use crate::UNOPTIMIZED_ENGINE_FACTOR;
+use dnn::ModelProfile;
+use hw::{GpuSpec, InstanceSpec, LinkSpec, PREPROC_IMAGE_BYTES, RAW_IMAGE_BYTES};
+
+/// Which §3.4 host configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaselineHost {
+    /// Host networked to storage servers (reads every image remotely).
+    Typical,
+    /// Same host with data already in local memory (no network, no read).
+    Ideal,
+}
+
+/// Per-phase time breakdown of an *offline inference* batch on the
+/// unoptimized pipeline, seconds per image.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct InferencePhases {
+    /// Reading raw images from storage-server disks.
+    pub read: f64,
+    /// Shipping raw images over the network.
+    pub data_trans: f64,
+    /// JPEG decode / resize / normalize on CPUs.
+    pub preproc: f64,
+    /// Feature extraction + classification on the GPU(s).
+    pub fe_cl: f64,
+}
+
+impl InferencePhases {
+    /// Total serial time per image.
+    pub fn total(&self) -> f64 {
+        self.read + self.data_trans + self.preproc + self.fe_cl
+    }
+
+    /// Sustained throughput of the serial pipeline, images/sec.
+    pub fn ips(&self) -> f64 {
+        1.0 / self.total()
+    }
+}
+
+/// Per-phase time breakdown of *fine-tuning*, seconds per image
+/// (preprocessed inputs; no preprocessing phase).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FineTunePhases {
+    /// Reading preprocessed binaries from disk.
+    pub read: f64,
+    /// Network transfer of training data.
+    pub data_trans: f64,
+    /// Feature extraction and classifier training.
+    pub fe_ct: f64,
+    /// Weight synchronization across workers.
+    pub weight_sync: f64,
+}
+
+impl FineTunePhases {
+    /// Total serial time per image.
+    pub fn total(&self) -> f64 {
+        self.read + self.data_trans + self.fe_ct + self.weight_sync
+    }
+}
+
+/// Offline-inference phase breakdown for the unoptimized §3.4 hosts.
+///
+/// `n_storage` storage servers hold the photos; the host has two V100s
+/// and eight preprocessing cores.
+pub fn baseline_inference(
+    host: BaselineHost,
+    model: &ModelProfile,
+    n_storage: usize,
+    link: &LinkSpec,
+) -> InferencePhases {
+    let srv = InstanceSpec::srv_host();
+    let gpu_ips = model.t4_inference_ips() * srv.total_dnn_factor() / UNOPTIMIZED_ENGINE_FACTOR;
+    let preproc_ips = srv.cpu.preprocess_ips(8);
+    let remote = host == BaselineHost::Typical;
+    InferencePhases {
+        read: if remote {
+            RAW_IMAGE_BYTES / (n_storage as f64 * hw::DiskSpec::st1_raid5().read_bps)
+        } else {
+            0.0
+        },
+        data_trans: if remote {
+            RAW_IMAGE_BYTES / link.effective_bps()
+        } else {
+            0.0
+        },
+        preproc: 1.0 / preproc_ips,
+        fe_cl: 1.0 / gpu_ips,
+    }
+}
+
+/// Offline-inference breakdown for *naive NDP* (§4.2): everything local
+/// to the storage server, but only one CPU core for preprocessing and the
+/// low-end T4 for compute.
+pub fn naive_ndp_inference(model: &ModelProfile, n_stores: usize) -> InferencePhases {
+    let store = InstanceSpec::pipestore();
+    let n = n_stores as f64;
+    let gpu_ips = n * model.t4_inference_ips() / UNOPTIMIZED_ENGINE_FACTOR;
+    let preproc_ips = n * store.cpu.preprocess_ips(1);
+    InferencePhases {
+        read: RAW_IMAGE_BYTES / (n * store.disk.read_bps),
+        data_trans: 0.0,
+        preproc: 1.0 / preproc_ips,
+        fe_cl: 1.0 / gpu_ips,
+    }
+}
+
+/// Fine-tuning phase breakdown for the unoptimized §3.4 hosts, per image,
+/// over preprocessed ImageNet binaries.
+pub fn baseline_fine_tune(
+    host: BaselineHost,
+    model: &ModelProfile,
+    n_storage: usize,
+    link: &LinkSpec,
+) -> FineTunePhases {
+    let srv = InstanceSpec::srv_host();
+    let gpu_ips = model.t4_inference_ips() * srv.total_dnn_factor() / UNOPTIMIZED_ENGINE_FACTOR;
+    let remote = host == BaselineHost::Typical;
+    FineTunePhases {
+        read: if remote {
+            PREPROC_IMAGE_BYTES / (n_storage as f64 * hw::DiskSpec::st1_raid5().read_bps)
+        } else {
+            0.0
+        },
+        data_trans: if remote {
+            PREPROC_IMAGE_BYTES / link.effective_bps()
+        } else {
+            0.0
+        },
+        fe_ct: 1.0 / gpu_ips,
+        weight_sync: 0.0,
+    }
+}
+
+/// Fine-tuning breakdown for *naive NDP* (§4.1): full fine-tuning
+/// replicated on the storage-server GPUs with per-iteration weight
+/// synchronization over the network.
+pub fn naive_ndp_fine_tune(
+    model: &ModelProfile,
+    n_stores: usize,
+    link: &LinkSpec,
+    batch: usize,
+) -> FineTunePhases {
+    let store = InstanceSpec::pipestore();
+    let t4 = GpuSpec::tesla_t4();
+    let n = n_stores as f64;
+    let gpu_ips = n * model.t4_inference_ips() * t4.dnn_factor / UNOPTIMIZED_ENGINE_FACTOR;
+    // Full model replicated: all trainable, so *all* parameters sync
+    // every iteration, amortized per image.
+    let sync_bytes_per_image = model.trainable_param_bytes() * 2.0 * n / batch as f64;
+    FineTunePhases {
+        read: PREPROC_IMAGE_BYTES / (n * store.disk.read_bps),
+        data_trans: 0.0,
+        fe_ct: 1.0 / gpu_ips * 1.36, // §4.1: FE&CT 36 % longer on low-end GPUs
+        weight_sync: sync_bytes_per_image / link.effective_bps()
+            + crate::training::SYNC_ROUND_LATENCY_SECS / batch as f64 * n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link() -> LinkSpec {
+        LinkSpec::ethernet_gbps(10.0)
+    }
+
+    #[test]
+    fn fig5b_typical_vs_ideal_inference() {
+        let m = ModelProfile::resnet50();
+        let typ = baseline_inference(BaselineHost::Typical, &m, 4, &link());
+        let ideal = baseline_inference(BaselineHost::Ideal, &m, 4, &link());
+        // Paper: Typical 94 IPS, Ideal 123 IPS.
+        assert!((75.0..110.0).contains(&typ.ips()), "typical {}", typ.ips());
+        assert!(
+            (110.0..135.0).contains(&ideal.ips()),
+            "ideal {}",
+            ideal.ips()
+        );
+        assert!(ideal.ips() > typ.ips());
+    }
+
+    #[test]
+    fn fig5a_fine_tune_gap_is_severalfold() {
+        let m = ModelProfile::resnet50();
+        let typ = baseline_fine_tune(BaselineHost::Typical, &m, 4, &link());
+        let ideal = baseline_fine_tune(BaselineHost::Ideal, &m, 4, &link());
+        let ratio = typ.total() / ideal.total();
+        // Paper: 3.7× slower.
+        assert!((2.5..5.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn fig6a_ndp_kills_transfer_but_adds_sync() {
+        let m = ModelProfile::resnet50();
+        let typ = baseline_fine_tune(BaselineHost::Typical, &m, 4, &link());
+        let ndp = naive_ndp_fine_tune(&m, 4, &link(), 512);
+        assert_eq!(ndp.data_trans, 0.0);
+        assert!(typ.data_trans > 0.0);
+        // The new bottleneck: weight sync dominates naive NDP.
+        assert!(ndp.weight_sync > 0.0);
+        // §4.1: FE&CT only ~36 % slower on the aggregate of low-end GPUs.
+        let slowdown = ndp.fe_ct / typ.fe_ct;
+        assert!((1.5..2.8).contains(&slowdown), "slowdown {slowdown}");
+    }
+
+    #[test]
+    fn fig6b_ndp_preprocessing_bottleneck() {
+        let m = ModelProfile::resnet50();
+        let typ = baseline_inference(BaselineHost::Typical, &m, 4, &link());
+        let ndp = naive_ndp_inference(&m, 4);
+        assert_eq!(ndp.data_trans, 0.0);
+        // One core per store vs eight on the host: preprocessing balloons.
+        assert!(
+            ndp.preproc > typ.preproc * 1.5,
+            "ndp {} vs typ {}",
+            ndp.preproc,
+            typ.preproc
+        );
+        // §4.2: computation only ~1.33× longer than Typical's.
+        let comp_ratio = ndp.fe_cl / typ.fe_cl;
+        assert!((1.0..2.0).contains(&comp_ratio), "comp ratio {comp_ratio}");
+    }
+
+    #[test]
+    fn phases_total_is_sum() {
+        let p = InferencePhases {
+            read: 0.1,
+            data_trans: 0.2,
+            preproc: 0.3,
+            fe_cl: 0.4,
+        };
+        assert!((p.total() - 1.0).abs() < 1e-12);
+        assert!((p.ips() - 1.0).abs() < 1e-12);
+    }
+}

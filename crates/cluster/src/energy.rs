@@ -1,0 +1,244 @@
+//! Fleet power and energy integration (Figs 14, 16, 18, 20).
+
+use crate::inference::{inference_report, InferenceSetup, InferenceVariant};
+use crate::training::{training_report, TrainSetup};
+use hw::{ComponentPower, EnergyMeter, InstanceSpec};
+
+/// Energy outcome of a job on a fleet.
+#[derive(Debug, Clone)]
+pub struct EnergyReport {
+    /// Total energy, joules.
+    pub joules: f64,
+    /// Wall time, seconds.
+    pub secs: f64,
+    /// Items (images) processed.
+    pub items: f64,
+    /// Mean fleet power split by component.
+    pub mean_power: ComponentPower,
+}
+
+impl EnergyReport {
+    /// The paper's training-efficiency metric, images per kilojoule.
+    pub fn ips_per_kilojoule(&self) -> f64 {
+        self.items / (self.joules / 1e3)
+    }
+
+    /// The paper's inference-efficiency metric, images/sec per watt.
+    pub fn ips_per_watt(&self) -> f64 {
+        (self.items / self.secs) / self.mean_power.total()
+    }
+}
+
+/// Steady-state fleet power of an offline-inference deployment at its
+/// operating point (Fig 14's bars).
+pub fn fleet_power(variant: InferenceVariant, setup: &InferenceSetup) -> ComponentPower {
+    let report = inference_report(variant, setup);
+    match variant {
+        InferenceVariant::SrvIdeal | InferenceVariant::SrvPreproc | InferenceVariant::SrvCompressed => {
+            let host = InstanceSpec::srv_host();
+            let mut p = host.power_at(report.gpu_util, report.cpu_util);
+            if variant != InferenceVariant::SrvIdeal {
+                // Storage servers serve reads: disks busy, GPU absent.
+                let storage = InstanceSpec::storage_server();
+                p = p.plus(&storage.power_at(0.0, 0.15).scaled(setup.n_servers as f64));
+            }
+            p
+        }
+        InferenceVariant::NdPipe | InferenceVariant::NdPipeInf1 => {
+            let store = if variant == InferenceVariant::NdPipe {
+                InstanceSpec::pipestore()
+            } else {
+                InstanceSpec::pipestore_inf1()
+            };
+            store
+                .power_at(report.gpu_util, report.cpu_util.max(0.2))
+                .scaled(setup.n_servers as f64)
+        }
+    }
+}
+
+/// Energy of one offline-inference pass over `images` photos.
+pub fn inference_energy(
+    variant: InferenceVariant,
+    setup: &InferenceSetup,
+    images: u64,
+) -> EnergyReport {
+    let report = inference_report(variant, setup);
+    let secs = images as f64 / report.ips;
+    let power = fleet_power(variant, setup);
+    let mut meter = EnergyMeter::new();
+    meter.record(power, secs);
+    EnergyReport {
+        joules: meter.energy_joules(),
+        secs,
+        items: images as f64,
+        mean_power: meter.mean_power(),
+    }
+}
+
+/// Energy of one NDPipe fine-tuning job (PipeStore fleet + Tuner).
+///
+/// PipeStores are busy during the store stage and idle afterwards; the
+/// Tuner is the reverse; with `N_run > 1` the stages overlap, which is
+/// exactly why energy efficiency peaks near the APO balance point
+/// (Fig 11b / Fig 16).
+pub fn training_energy(setup: &TrainSetup) -> EnergyReport {
+    let r = training_report(setup);
+    let total = r.total_secs;
+    let store_busy = (r.store_stage_secs + r.transfer_secs).min(total);
+    let tuner_busy = (r.tuner_stage_secs + r.weight_sync_secs).min(total);
+
+    let store = &setup.store;
+    let tuner = InstanceSpec::tuner();
+    let mut meter = EnergyMeter::new();
+    // PipeStore fleet: busy at high GPU util, otherwise idling.
+    meter.record(
+        store.power_at(0.9, 0.3).scaled(setup.n_pipestores as f64),
+        store_busy,
+    );
+    meter.record(
+        store.power_at(0.0, 0.05).scaled(setup.n_pipestores as f64),
+        (total - store_busy).max(0.0),
+    );
+    // Tuner.
+    meter.record(tuner.power_at(0.9, 0.4), tuner_busy);
+    meter.record(tuner.power_at(0.0, 0.05), (total - tuner_busy).max(0.0));
+
+    EnergyReport {
+        joules: meter.energy_joules(),
+        secs: total,
+        items: setup.images as f64,
+        mean_power: meter.mean_power(),
+    }
+}
+
+/// Energy of the SRV-C fine-tuning baseline (host + storage servers).
+pub fn srv_training_energy(
+    model: &dnn::ModelProfile,
+    images: u64,
+    epochs: usize,
+    batch: usize,
+    link: &hw::LinkSpec,
+    n_storage: usize,
+) -> EnergyReport {
+    let r = crate::training::srv_training_report(model, images, epochs, batch, link);
+    let host = InstanceSpec::srv_host();
+    let storage = InstanceSpec::storage_server();
+    let mut meter = EnergyMeter::new();
+    meter.record(host.power_at(0.9, 0.5), r.total_secs);
+    meter.record(
+        storage.power_at(0.0, 0.15).scaled(n_storage as f64),
+        r.total_secs,
+    );
+    EnergyReport {
+        joules: meter.energy_joules(),
+        secs: r.total_secs,
+        items: images as f64,
+        mean_power: meter.mean_power(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn::ModelProfile;
+
+    fn setup(n: usize) -> InferenceSetup {
+        InferenceSetup::paper_default(ModelProfile::resnet50(), n)
+    }
+
+    #[test]
+    fn ndpipe_beats_srv_c_efficiency_at_matched_throughput() {
+        // Fig 14: at P2 (NDPipe ≈ SRV-C throughput), NDPipe draws less
+        // power per image.
+        let srv_c = inference_report(InferenceVariant::SrvCompressed, &setup(4));
+        let n_match = (1..=20)
+            .find(|&n| inference_report(InferenceVariant::NdPipe, &setup(n)).ips >= srv_c.ips)
+            .unwrap();
+        let e_srv = inference_energy(InferenceVariant::SrvCompressed, &setup(4), 1_000_000);
+        let e_ndp = inference_energy(InferenceVariant::NdPipe, &setup(n_match), 1_000_000);
+        let gain = e_ndp.ips_per_watt() / e_srv.ips_per_watt();
+        assert!(gain > 1.1, "efficiency gain {gain}");
+        assert!(gain < 3.0, "implausible gain {gain}");
+    }
+
+    #[test]
+    fn srv_power_magnitude_matches_fig14() {
+        // Fig 14 charts the host at ~600 W; the fleet number here also
+        // includes the four storage servers.
+        let p = fleet_power(InferenceVariant::SrvCompressed, &setup(4));
+        assert!((800.0..2200.0).contains(&p.total()), "{p}");
+        assert!(p.gpu > 0.0 && p.cpu > 0.0 && p.other > 0.0);
+        let host_only = InstanceSpec::srv_host().power_at(0.6, 0.5);
+        assert!((450.0..900.0).contains(&host_only.total()), "{host_only}");
+    }
+
+    #[test]
+    fn training_energy_efficiency_peaks_then_falls() {
+        // Fig 11(b): IPS/kJ rises to the balance point then decays as
+        // extra PipeStores idle.
+        let eff: Vec<f64> = (1..=20)
+            .map(|n| {
+                let s = crate::training::TrainSetup::paper_default(ModelProfile::resnet50(), n);
+                training_energy(&s).ips_per_kilojoule()
+            })
+            .collect();
+        let best = eff
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0
+            + 1;
+        assert!((3..=14).contains(&best), "peak at {best}");
+        assert!(eff[19] < eff[best - 1], "tail should decay: {eff:?}");
+    }
+
+    #[test]
+    fn ndpipe_training_more_efficient_than_srv_fig16() {
+        let link = hw::LinkSpec::ethernet_gbps(10.0);
+        let model = ModelProfile::resnet50();
+        let srv = srv_training_energy(&model, 1_200_000, 20, 512, &link, 4);
+        // BEST = the store count with max IPS/kJ.
+        let best = (1..=20)
+            .map(|n| {
+                let s = crate::training::TrainSetup::paper_default(model.clone(), n);
+                training_energy(&s)
+            })
+            .max_by(|a, b| {
+                a.ips_per_kilojoule()
+                    .partial_cmp(&b.ips_per_kilojoule())
+                    .unwrap()
+            })
+            .unwrap();
+        let gain = best.ips_per_kilojoule() / srv.ips_per_kilojoule();
+        assert!(gain > 1.3, "training efficiency gain {gain}");
+        assert!(gain < 5.0, "implausible gain {gain}");
+    }
+
+    #[test]
+    fn inf1_fleet_is_more_power_efficient_fig20() {
+        // Match SRV-C throughput with each accelerator type and compare
+        // IPS/W: Inferentia should win on efficiency despite needing
+        // more stores.
+        let srv_c = inference_report(InferenceVariant::SrvCompressed, &setup(4)).ips;
+        let match_n = |v: InferenceVariant| {
+            (1..=40)
+                .find(|&n| inference_report(v, &setup(n)).ips >= srv_c)
+                .unwrap()
+        };
+        let n_inf1 = match_n(InferenceVariant::NdPipeInf1);
+        let e_srv = inference_energy(InferenceVariant::SrvCompressed, &setup(4), 1_000_000);
+        let e_inf1 = inference_energy(InferenceVariant::NdPipeInf1, &setup(n_inf1), 1_000_000);
+        let gain = e_inf1.ips_per_watt() / e_srv.ips_per_watt();
+        assert!(gain > 1.0, "inf1 gain {gain}");
+    }
+
+    #[test]
+    fn energy_report_metrics_are_consistent() {
+        let e = inference_energy(InferenceVariant::NdPipe, &setup(4), 100_000);
+        let manual = (e.items / e.secs) / e.mean_power.total();
+        assert!((e.ips_per_watt() - manual).abs() < 1e-9);
+        assert!(e.joules > 0.0);
+    }
+}

@@ -1,0 +1,312 @@
+//! Offline-inference throughput models (Figs 13, 18, 19, 20).
+
+use crate::{min_cap, Bottleneck};
+use dnn::ModelProfile;
+use hw::{InstanceSpec, LinkSpec, COMPRESSED_IMAGE_BYTES, LABEL_BYTES, PREPROC_IMAGE_BYTES};
+
+/// Which offline-inference system is being modeled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InferenceVariant {
+    /// Ideal centralized host: preprocessed binaries in host-local NVMe,
+    /// no network involvement (not deployable; upper bound).
+    SrvIdeal,
+    /// Centralized host loading *uncompressed* preprocessed binaries from
+    /// storage servers over the network.
+    SrvPreproc,
+    /// Centralized host loading *compressed* binaries; eight host cores
+    /// decompress.
+    SrvCompressed,
+    /// NDPipe: inference inside T4 PipeStores, labels over the network.
+    NdPipe,
+    /// NDPipe on Inferentia (NeuronCoreV1) PipeStores.
+    NdPipeInf1,
+}
+
+impl InferenceVariant {
+    /// Short label as the paper prints it.
+    pub fn label(&self) -> &'static str {
+        match self {
+            InferenceVariant::SrvIdeal => "SRV-I",
+            InferenceVariant::SrvPreproc => "SRV-P",
+            InferenceVariant::SrvCompressed => "SRV-C",
+            InferenceVariant::NdPipe => "NDPipe",
+            InferenceVariant::NdPipeInf1 => "NDPipe-Inf1",
+        }
+    }
+}
+
+/// The outcome of an inference capacity analysis.
+#[derive(Debug, Clone)]
+pub struct InferenceReport {
+    /// Sustained throughput, images/sec.
+    pub ips: f64,
+    /// The limiting resource.
+    pub bottleneck: Bottleneck,
+    /// GPU utilization implied by the bottleneck, `[0, 1]`.
+    pub gpu_util: f64,
+    /// CPU utilization implied by the bottleneck, `[0, 1]`.
+    pub cpu_util: f64,
+    /// All capacity terms considered (for diagnostics).
+    pub caps: Vec<(Bottleneck, f64)>,
+}
+
+/// Offline-inference cluster configuration.
+#[derive(Debug, Clone)]
+pub struct InferenceSetup {
+    /// Model being served.
+    pub model: ModelProfile,
+    /// Number of storage servers (SRV-*) or PipeStores (NDPipe).
+    pub n_servers: usize,
+    /// Fabric between storage and host.
+    pub link: LinkSpec,
+    /// Inference batch size.
+    pub batch: usize,
+    /// Host cores dedicated to decompression (SRV-C).
+    pub decompress_cores: usize,
+}
+
+impl InferenceSetup {
+    /// The paper's default: 10 Gbps fabric, batch 128, 8 decompress cores.
+    pub fn paper_default(model: ModelProfile, n_servers: usize) -> Self {
+        InferenceSetup {
+            model,
+            n_servers,
+            link: LinkSpec::ethernet_gbps(10.0),
+            batch: 128,
+            decompress_cores: 8,
+        }
+    }
+}
+
+/// Computes sustained offline-inference throughput for a variant.
+///
+/// All variants assume the §5.4 NPE-style optimizations (3-stage
+/// pipelining, preprocessed binaries, batching), as §6.1 applies them to
+/// the baselines "for a fair comparison" — so throughput is the minimum
+/// of the independent stage capacities.
+///
+/// # Panics
+///
+/// Panics if `n_servers` is zero.
+pub fn inference_report(variant: InferenceVariant, setup: &InferenceSetup) -> InferenceReport {
+    assert!(setup.n_servers > 0, "need at least one server");
+    let model = &setup.model;
+    let batch_eff = ModelProfile::batch_efficiency(setup.batch);
+    let host = InstanceSpec::srv_host();
+    let host_cpu = &host.cpu;
+
+    let caps: Vec<(Bottleneck, f64)> = match variant {
+        InferenceVariant::SrvIdeal => {
+            let compute = model.t4_inference_ips() * host.total_dnn_factor() * batch_eff;
+            // Host-local NVMe: 8 GB/s of preprocessed binaries.
+            let disk = 8.0e9 / PREPROC_IMAGE_BYTES;
+            vec![(Bottleneck::Compute, compute), (Bottleneck::Disk, disk)]
+        }
+        InferenceVariant::SrvPreproc => {
+            let compute = model.t4_inference_ips() * host.total_dnn_factor() * batch_eff;
+            let net = setup.link.items_per_sec(PREPROC_IMAGE_BYTES);
+            let disk = storage_disk_cap(setup.n_servers, PREPROC_IMAGE_BYTES);
+            vec![
+                (Bottleneck::Compute, compute),
+                (Bottleneck::Network, net),
+                (Bottleneck::Disk, disk),
+            ]
+        }
+        InferenceVariant::SrvCompressed => {
+            let compute = model.t4_inference_ips() * host.total_dnn_factor() * batch_eff;
+            let net = setup.link.items_per_sec(COMPRESSED_IMAGE_BYTES);
+            let disk = storage_disk_cap(setup.n_servers, COMPRESSED_IMAGE_BYTES);
+            let decomp =
+                host_cpu.decompress_bps(setup.decompress_cores) / COMPRESSED_IMAGE_BYTES;
+            vec![
+                (Bottleneck::Compute, compute),
+                (Bottleneck::Network, net),
+                (Bottleneck::Disk, disk),
+                (Bottleneck::Decompress, decomp),
+            ]
+        }
+        InferenceVariant::NdPipe | InferenceVariant::NdPipeInf1 => {
+            let store = if variant == InferenceVariant::NdPipe {
+                InstanceSpec::pipestore()
+            } else {
+                InstanceSpec::pipestore_inf1()
+            };
+            let n = setup.n_servers as f64;
+            let compute = model.t4_inference_ips() * store.total_dnn_factor() * batch_eff * n;
+            // Each PipeStore reads its own compressed binaries locally and
+            // decompresses on two reserved cores (§5.4).
+            let disk = n * store.disk.read_bps / COMPRESSED_IMAGE_BYTES;
+            let decomp = n * store.cpu.decompress_bps(2) / COMPRESSED_IMAGE_BYTES;
+            // Only tiny labels cross the network.
+            let net = setup.link.items_per_sec(LABEL_BYTES);
+            vec![
+                (Bottleneck::Compute, compute),
+                (Bottleneck::Disk, disk),
+                (Bottleneck::Decompress, decomp),
+                (Bottleneck::Network, net),
+            ]
+        }
+    };
+
+    let (bottleneck, ips) = min_cap(&caps);
+    let compute_cap = caps
+        .iter()
+        .find(|(b, _)| *b == Bottleneck::Compute)
+        .map(|&(_, v)| v)
+        .unwrap_or(ips);
+    let cpu_cap = caps
+        .iter()
+        .find(|(b, _)| matches!(b, Bottleneck::Decompress | Bottleneck::Preprocess))
+        .map(|&(_, v)| v);
+    InferenceReport {
+        ips,
+        bottleneck,
+        gpu_util: (ips / compute_cap).min(1.0),
+        cpu_util: cpu_cap.map(|c| (ips / c).min(1.0)).unwrap_or(0.1),
+        caps,
+    }
+}
+
+/// Aggregate read capacity (items/sec) of `n` st1 storage servers for
+/// items of `bytes` each.
+fn storage_disk_cap(n: usize, bytes: f64) -> f64 {
+    n as f64 * hw::DiskSpec::st1_raid5().read_bps / bytes
+}
+
+/// Whether the model fits on the PipeStore accelerator at `batch`
+/// (the Fig 19 OOM guard).
+pub fn batch_fits(model: &ModelProfile, store: &InstanceSpec, batch: usize) -> bool {
+    store.gpus.iter().all(|g| {
+        g.fits_batch(
+            model.total_param_bytes(),
+            model.activation_bytes_per_image(),
+            batch,
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(n: usize) -> InferenceSetup {
+        InferenceSetup::paper_default(ModelProfile::resnet50(), n)
+    }
+
+    #[test]
+    fn srv_variants_are_ordered_i_c_p() {
+        // Fig 13: SRV-I ≥ SRV-C ≥ SRV-P for bandwidth-sensitive models.
+        let i = inference_report(InferenceVariant::SrvIdeal, &setup(4)).ips;
+        let c = inference_report(InferenceVariant::SrvCompressed, &setup(4)).ips;
+        let p = inference_report(InferenceVariant::SrvPreproc, &setup(4)).ips;
+        assert!(i >= c && c >= p, "I {i} C {c} P {p}");
+    }
+
+    #[test]
+    fn srv_p_is_network_bound_at_10g() {
+        let r = inference_report(InferenceVariant::SrvPreproc, &setup(4));
+        assert_eq!(r.bottleneck, Bottleneck::Network);
+        assert!((1800.0..2100.0).contains(&r.ips), "ips {}", r.ips);
+    }
+
+    #[test]
+    fn ndpipe_scales_linearly() {
+        let one = inference_report(InferenceVariant::NdPipe, &setup(1)).ips;
+        let ten = inference_report(InferenceVariant::NdPipe, &setup(10)).ips;
+        assert!((ten / one - 10.0).abs() < 1e-6);
+        // Per-store ResNet50 anchor at batch 128.
+        assert!((one - 2129.0).abs() < 1.0, "per-store ips {one}");
+    }
+
+    #[test]
+    fn crossovers_match_fig13_for_resnet50() {
+        // P1 (≥ SRV-P) at 1 store, P2 (≥ SRV-C) within 4–7, P3 (≥ SRV-I)
+        // within 5–7.
+        let at = |n: usize| inference_report(InferenceVariant::NdPipe, &setup(n)).ips;
+        let srv_p = inference_report(InferenceVariant::SrvPreproc, &setup(4)).ips;
+        let srv_c = inference_report(InferenceVariant::SrvCompressed, &setup(4)).ips;
+        let srv_i = inference_report(InferenceVariant::SrvIdeal, &setup(4)).ips;
+        let first_ge = |target: f64| (1..=20).find(|&n| at(n) >= target).unwrap_or(99);
+        assert_eq!(first_ge(srv_p), 1, "P1");
+        let p2 = first_ge(srv_c);
+        assert!((4..=7).contains(&p2), "P2 = {p2}");
+        let p3 = first_ge(srv_i);
+        assert!((5..=7).contains(&p3), "P3 = {p3}");
+    }
+
+    #[test]
+    fn big_models_make_srv_variants_converge() {
+        // Fig 13 ViT: compute-bound host ⇒ SRV-I ≈ SRV-C ≈ SRV-P.
+        let s = InferenceSetup::paper_default(ModelProfile::vit_b16(), 4);
+        let i = inference_report(InferenceVariant::SrvIdeal, &s).ips;
+        let p = inference_report(InferenceVariant::SrvPreproc, &s).ips;
+        assert!((i - p).abs() / i < 0.05, "I {i} vs P {p}");
+        assert_eq!(
+            inference_report(InferenceVariant::SrvPreproc, &s).bottleneck,
+            Bottleneck::Compute
+        );
+        // ResNeXt101's SRV gap is also small compared to ResNet50's.
+        let rx = InferenceSetup::paper_default(ModelProfile::resnext101(), 4);
+        let gap_rx = inference_report(InferenceVariant::SrvIdeal, &rx).ips
+            / inference_report(InferenceVariant::SrvPreproc, &rx).ips;
+        let r50 = InferenceSetup::paper_default(ModelProfile::resnet50(), 4);
+        let gap_r50 = inference_report(InferenceVariant::SrvIdeal, &r50).ips
+            / inference_report(InferenceVariant::SrvPreproc, &r50).ips;
+        assert!(gap_rx < gap_r50 / 2.0, "rx {gap_rx} vs r50 {gap_r50}");
+    }
+
+    #[test]
+    fn srv_c_plateaus_past_20g_on_decompression() {
+        // Fig 18: growing bandwidth past 20 Gbps stops helping SRV-C.
+        let mut s = setup(8);
+        s.link = LinkSpec::ethernet_gbps(40.0);
+        let r = inference_report(InferenceVariant::SrvCompressed, &s);
+        assert!(
+            matches!(r.bottleneck, Bottleneck::Decompress | Bottleneck::Compute),
+            "unexpected bottleneck {}",
+            r.bottleneck
+        );
+    }
+
+    #[test]
+    fn inferentia_needs_more_stores_fig20() {
+        // Fig 20(a): NDPipe-Inf1 matches SRV-C at 11–16 stores (T4: 4–7).
+        let srv_c = inference_report(InferenceVariant::SrvCompressed, &setup(4)).ips;
+        let first_ge = |v: InferenceVariant| {
+            (1..=30)
+                .find(|&n| inference_report(v, &setup(n)).ips >= srv_c)
+                .unwrap_or(99)
+        };
+        let t4 = first_ge(InferenceVariant::NdPipe);
+        let inf1 = first_ge(InferenceVariant::NdPipeInf1);
+        assert!((4..=7).contains(&t4), "t4 {t4}");
+        assert!((11..=16).contains(&inf1), "inf1 {inf1}");
+    }
+
+    #[test]
+    fn batch_one_is_far_below_batch_128() {
+        let mut s1 = setup(4);
+        s1.batch = 1;
+        let low = inference_report(InferenceVariant::NdPipe, &s1).ips;
+        let high = inference_report(InferenceVariant::NdPipe, &setup(4)).ips;
+        assert!(low < high * 0.1, "batch1 {low} vs batch128 {high}");
+    }
+
+    #[test]
+    fn vit_oom_guard() {
+        let vit = ModelProfile::vit_b16();
+        let store = InstanceSpec::pipestore();
+        assert!(batch_fits(&vit, &store, 128));
+        assert!(!batch_fits(&vit, &store, 512));
+        // CNNs fit even at 512.
+        assert!(batch_fits(&ModelProfile::resnet50(), &store, 512));
+    }
+
+    #[test]
+    fn labels_never_bottleneck_ndpipe() {
+        for n in [1, 5, 20] {
+            let r = inference_report(InferenceVariant::NdPipe, &setup(n));
+            assert_ne!(r.bottleneck, Bottleneck::Network, "n = {n}");
+        }
+    }
+}

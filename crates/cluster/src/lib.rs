@@ -1,0 +1,94 @@
+//! Fleet-level performance simulation of photo-storage clusters.
+//!
+//! Composes the `hw` device models and `dnn` architecture profiles into
+//! throughput / latency / energy / cost estimates for every system the
+//! paper measures:
+//!
+//! - the centralized baselines **SRV-I / SRV-P / SRV-C** (§6.2) and the
+//!   *unoptimized* Typical/Ideal hosts of the §3.4 bottleneck analysis,
+//! - **naive NDP** (§4) with its weight-synchronization and preprocessing
+//!   pathologies,
+//! - **NDPipe** itself: PipeStore fleets running the NPE-optimized
+//!   inference path and the FT-DMP training timeline with `N_run`
+//!   pipelining (the `ndpipe` crate drives these primitives from APO).
+//!
+//! Every estimate is *derived* from the calibrated device parameters —
+//! bandwidths, per-model throughput anchors, power curves — so parameter
+//! sweeps (Figs 13, 15, 18, 19, 20) move for the same reasons the paper's
+//! do. Timelines with cross-run overlap use the `simkit` event kernel.
+
+pub mod baseline;
+pub mod energy;
+pub mod inference;
+pub mod training;
+
+pub use energy::{fleet_power, EnergyReport};
+pub use inference::{InferenceReport, InferenceVariant};
+pub use training::{TrainSetup, TrainingReport};
+
+/// Slowdown of the §3 *unoptimized* host engine (TensorFlow eager path)
+/// relative to the optimized TensorRT-style engine used everywhere in §6.
+/// Calibrated so the Ideal host of Fig 5(b) lands at ≈123 IPS and the
+/// Typical/Ideal fine-tuning gap at ≈3.7×.
+pub const UNOPTIMIZED_ENGINE_FACTOR: f64 = 3.0;
+
+/// A throughput bottleneck identified by a capacity model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bottleneck {
+    /// GPU / accelerator compute.
+    Compute,
+    /// The network fabric between storage and host.
+    Network,
+    /// Disk read bandwidth.
+    Disk,
+    /// CPU preprocessing.
+    Preprocess,
+    /// CPU decompression.
+    Decompress,
+}
+
+impl std::fmt::Display for Bottleneck {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Bottleneck::Compute => "compute",
+            Bottleneck::Network => "network",
+            Bottleneck::Disk => "disk",
+            Bottleneck::Preprocess => "preprocess",
+            Bottleneck::Decompress => "decompress",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Picks the minimum capacity and names it.
+pub(crate) fn min_cap(caps: &[(Bottleneck, f64)]) -> (Bottleneck, f64) {
+    let mut best = caps[0];
+    for &c in &caps[1..] {
+        if c.1 < best.1 {
+            best = c;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_cap_picks_smallest() {
+        let caps = [
+            (Bottleneck::Compute, 100.0),
+            (Bottleneck::Network, 50.0),
+            (Bottleneck::Disk, 75.0),
+        ];
+        let (b, v) = min_cap(&caps);
+        assert_eq!(b, Bottleneck::Network);
+        assert_eq!(v, 50.0);
+    }
+
+    #[test]
+    fn bottleneck_display() {
+        assert_eq!(Bottleneck::Decompress.to_string(), "decompress");
+    }
+}

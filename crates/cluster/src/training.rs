@@ -1,0 +1,386 @@
+//! FT-DMP training timelines (Figs 9, 11, 15, 17).
+
+use dnn::ModelProfile;
+use hw::{GpuSpec, InstanceSpec, LinkSpec, COMPRESSED_IMAGE_BYTES};
+use simkit::{Resource, SimTime};
+
+/// Fixed per-batch overhead on the Tuner (optimizer step, kernel launch,
+/// host bookkeeping), seconds. Calibrated so the Store/Tuner stages of
+/// ResNet50 balance in the high single digits of PipeStores (Fig 11's
+/// APO pick of 8).
+pub const TUNER_BATCH_OVERHEAD_SECS: f64 = 1.5e-3;
+
+/// Tuner-local NVMe bandwidth for caching/replaying extracted features.
+pub const TUNER_NVME_BPS: f64 = 8.0e9;
+
+/// Per-synchronization-round network latency overhead (all-reduce style
+/// barrier across PipeStores), seconds.
+pub const SYNC_ROUND_LATENCY_SECS: f64 = 2.0e-3;
+
+/// A distributed fine-tuning configuration.
+#[derive(Debug, Clone)]
+pub struct TrainSetup {
+    /// The model being fine-tuned.
+    pub model: ModelProfile,
+    /// Training-set size, images.
+    pub images: u64,
+    /// Head-training epochs over the cached features.
+    pub epochs: usize,
+    /// Training batch size.
+    pub batch: usize,
+    /// Number of PipeStores extracting features.
+    pub n_pipestores: usize,
+    /// Partition point `k`: stages `0..k` run on PipeStores (see
+    /// [`ModelProfile::partition_points`]).
+    pub partition: usize,
+    /// Pipeline runs (`N_run` of §5.2); 1 = unpipelined.
+    pub n_run: usize,
+    /// Fabric between PipeStores and Tuner.
+    pub link: LinkSpec,
+    /// PipeStore hardware (T4 or Inferentia).
+    pub store: InstanceSpec,
+}
+
+impl TrainSetup {
+    /// The paper's default training setup: 1.2 M ImageNet-1K images,
+    /// batch 512, 20 head epochs, 10 Gbps, T4 PipeStores, the deepest
+    /// weight-freeze cut, `N_run = 3`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_pipestores` is zero.
+    pub fn paper_default(model: ModelProfile, n_pipestores: usize) -> Self {
+        assert!(n_pipestores > 0, "need at least one PipeStore");
+        let partition = model.first_trainable_stage();
+        TrainSetup {
+            model,
+            images: 1_200_000,
+            epochs: 20,
+            batch: 512,
+            n_pipestores,
+            partition,
+            n_run: 3,
+            link: LinkSpec::ethernet_gbps(10.0),
+            store: InstanceSpec::pipestore(),
+        }
+    }
+}
+
+/// Timing breakdown of one fine-tuning job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainingReport {
+    /// Feature extraction on PipeStores (aggregate across runs), seconds.
+    pub store_stage_secs: f64,
+    /// Feature shipping to the Tuner, seconds.
+    pub transfer_secs: f64,
+    /// Tuner-side work (residual forward + head training), seconds.
+    pub tuner_stage_secs: f64,
+    /// Inter-PipeStore weight synchronization, seconds (only when
+    /// trainable layers are replicated on PipeStores).
+    pub weight_sync_secs: f64,
+    /// End-to-end wall time including `N_run` overlap, seconds.
+    pub total_secs: f64,
+    /// Feature/data bytes moved over the fabric.
+    pub data_traffic_bytes: f64,
+    /// Weight-synchronization bytes moved over the fabric.
+    pub sync_traffic_bytes: f64,
+}
+
+impl TrainingReport {
+    /// `|T_ps − T_tuner|` — the pipeline imbalance APO minimizes
+    /// (Algorithm 1, line 4).
+    pub fn stage_imbalance(&self) -> f64 {
+        ((self.store_stage_secs + self.transfer_secs)
+            - (self.tuner_stage_secs + self.weight_sync_secs))
+            .abs()
+    }
+
+    /// Throughput in images/sec of the whole fine-tuning job.
+    pub fn ips(&self, images: u64) -> f64 {
+        images as f64 / self.total_secs
+    }
+}
+
+/// Estimates the FT-DMP fine-tuning timeline for `setup`.
+///
+/// Per pipeline run: PipeStores stream-extract features for their local
+/// shard (disk → decompress → forward through the weight-freeze prefix),
+/// ship them to the Tuner, and the Tuner runs the residual weight-freeze
+/// suffix once plus `epochs` of trainable-tail training over the cached
+/// features. Runs overlap Store-stage and Tuner-stage as in Fig 10(b).
+///
+/// If the partition places trainable stages on the PipeStores (the
+/// paper's `+FC` extreme), per-iteration weight synchronization across
+/// stores is charged instead of Tuner work — the §4.1 pathology.
+///
+/// # Panics
+///
+/// Panics if counts are zero or the partition point is out of range.
+pub fn training_report(setup: &TrainSetup) -> TrainingReport {
+    assert!(setup.images > 0, "no images to train on");
+    assert!(setup.epochs > 0, "need at least one epoch");
+    assert!(setup.batch > 0, "batch size must be positive");
+    assert!(setup.n_pipestores > 0, "need at least one PipeStore");
+    assert!(setup.n_run > 0, "need at least one run");
+    let model = &setup.model;
+    assert!(
+        setup.partition < model.partition_points(),
+        "partition point out of range"
+    );
+
+    let k = setup.partition;
+    let first_trainable = model.first_trainable_stage();
+    let images = setup.images as f64;
+    let n = setup.n_pipestores as f64;
+
+    let t4 = &setup.store.gpus[0];
+    let v100 = GpuSpec::tesla_v100();
+    let store_eff = model.effective_flops(t4.dnn_factor);
+    let tuner_eff = model.effective_flops(v100.dnn_factor);
+
+    // --- Store-stage rate per PipeStore (streamed 3-stage pipeline). ---
+    let prefix_flops = model.flops_before(k);
+    let gpu_rate = if prefix_flops > 0.0 {
+        store_eff / prefix_flops
+    } else {
+        f64::INFINITY
+    };
+    let disk_rate = setup.store.disk.read_bps / COMPRESSED_IMAGE_BYTES;
+    let decomp_rate = setup.store.cpu.decompress_bps(2) / COMPRESSED_IMAGE_BYTES;
+    let store_rate = gpu_rate.min(disk_rate).min(decomp_rate);
+    let store_secs = images / (n * store_rate);
+
+    // --- Feature transfer into the Tuner's shared ingress. ---
+    let effective_cut = k.min(first_trainable);
+    let cut_bytes = model.cut_bytes(effective_cut);
+    let data_traffic = if k > first_trainable {
+        0.0 // model fully local to stores; only labels/grads move (below)
+    } else {
+        images * cut_bytes
+    };
+    let transfer_secs = data_traffic / setup.link.effective_bps();
+
+    // --- Tuner-stage / distributed-head work. ---
+    let trainable_flops: f64 = model.stages()[first_trainable..]
+        .iter()
+        .map(|s| s.flops)
+        .sum();
+    let iterations = setup.epochs as f64 * (images / setup.batch as f64).ceil();
+
+    let (tuner_secs, sync_secs, sync_traffic) = if k > first_trainable {
+        // §4.1 naive-NDP pathology: the trainable tail is replicated on
+        // PipeStores; every iteration synchronizes its weights.
+        let head_train =
+            setup.epochs as f64 * images * 3.0 * trainable_flops / (n * store_eff);
+        let sync_bytes = iterations * model.trainable_param_bytes() * 2.0 * n;
+        let sync_secs = sync_bytes / setup.link.effective_bps()
+            + iterations * SYNC_ROUND_LATENCY_SECS;
+        (head_train, sync_secs, sync_bytes)
+    } else {
+        // Residual weight-freeze suffix runs once per image on the Tuner.
+        let suffix_freeze_flops = model.flops_after(k) - trainable_flops;
+        let suffix_secs = images * suffix_freeze_flops / tuner_eff;
+        // Head training over cached features, every epoch.
+        let head_secs = setup.epochs as f64 * images * 3.0 * trainable_flops / tuner_eff;
+        let overhead = iterations * TUNER_BATCH_OVERHEAD_SECS;
+        let replay = setup.epochs as f64 * images * cut_bytes / TUNER_NVME_BPS;
+        (suffix_secs + head_secs + overhead + replay, 0.0, 0.0)
+    };
+
+    // --- N_run pipelined timeline (Fig 10b) over simkit resources. ---
+    let runs = setup.n_run;
+    let mut store_res = Resource::new("store-stage");
+    let mut tuner_res = Resource::new("tuner-stage");
+    let per_run_store = SimTime::from_secs((store_secs + transfer_secs) / runs as f64);
+    let per_run_tuner = SimTime::from_secs((tuner_secs + sync_secs) / runs as f64);
+    let mut end = SimTime::ZERO;
+    for _ in 0..runs {
+        let s = store_res.serve(SimTime::ZERO, per_run_store);
+        let t = tuner_res.serve(s.end, per_run_tuner);
+        end = t.end;
+    }
+
+    TrainingReport {
+        store_stage_secs: store_secs,
+        transfer_secs,
+        tuner_stage_secs: tuner_secs,
+        weight_sync_secs: sync_secs,
+        total_secs: end.as_secs(),
+        data_traffic_bytes: data_traffic,
+        sync_traffic_bytes: sync_traffic,
+    }
+}
+
+/// Fine-tuning time on the centralized SRV-C baseline: the host streams
+/// compressed binaries from storage servers, runs the full weight-freeze
+/// forward on its two V100s, caches features, then trains the head.
+pub fn srv_training_report(model: &ModelProfile, images: u64, epochs: usize, batch: usize, link: &LinkSpec) -> TrainingReport {
+    let host = InstanceSpec::srv_host();
+    let images_f = images as f64;
+    let host_eff = model.effective_flops(host.total_dnn_factor());
+
+    let trainable_flops: f64 = model.stages()[model.first_trainable_stage()..]
+        .iter()
+        .map(|s| s.flops)
+        .sum();
+    let freeze_flops = model.total_flops() - trainable_flops;
+
+    // Streaming ingest: network, decompression (8 cores) and forward
+    // compute overlap; the slowest governs.
+    let net_rate = link.effective_bps() / COMPRESSED_IMAGE_BYTES;
+    let decomp_rate = host.cpu.decompress_bps(8) / COMPRESSED_IMAGE_BYTES;
+    let fwd_rate = host_eff / freeze_flops;
+    let ingest_secs = images_f / net_rate.min(decomp_rate).min(fwd_rate);
+
+    let iterations = epochs as f64 * (images_f / batch as f64).ceil();
+    let head_secs = epochs as f64 * images_f * 3.0 * trainable_flops / host_eff;
+    let feature_bytes = model.cut_bytes(model.first_trainable_stage());
+    let replay = epochs as f64 * images_f * feature_bytes / TUNER_NVME_BPS;
+    let tuner_secs = head_secs + iterations * TUNER_BATCH_OVERHEAD_SECS + replay;
+
+    TrainingReport {
+        store_stage_secs: ingest_secs,
+        transfer_secs: 0.0,
+        tuner_stage_secs: tuner_secs,
+        weight_sync_secs: 0.0,
+        total_secs: ingest_secs + tuner_secs,
+        data_traffic_bytes: images_f * COMPRESSED_IMAGE_BYTES,
+        sync_traffic_bytes: 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resnet_setup(n: usize) -> TrainSetup {
+        TrainSetup::paper_default(ModelProfile::resnet50(), n)
+    }
+
+    #[test]
+    fn more_pipestores_reduce_training_time_until_tuner_binds() {
+        let t1 = training_report(&resnet_setup(1)).total_secs;
+        let t8 = training_report(&resnet_setup(8)).total_secs;
+        let t20 = training_report(&resnet_setup(20)).total_secs;
+        assert!(t8 < t1 / 4.0, "1 store {t1}s vs 8 stores {t8}s");
+        // Beyond the balance point gains are marginal (Fig 11/15).
+        let gain_late = (t8 - t20) / t8;
+        assert!(gain_late < 0.35, "late gain {gain_late}");
+        assert!(t20 <= t8);
+    }
+
+    #[test]
+    fn deepest_freeze_cut_minimizes_time_for_resnet50() {
+        // Fig 9: +Conv5 (k = 5) is the best cut; +FC explodes on sync.
+        let times: Vec<f64> = (0..=6)
+            .map(|k| {
+                let mut s = resnet_setup(4);
+                s.partition = k;
+                training_report(&s).total_secs
+            })
+            .collect();
+        let best = times
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(best, 5, "times {times:?}");
+        assert!(times[6] > times[5] * 3.0, "+FC should blow up: {times:?}");
+    }
+
+    #[test]
+    fn fc_offload_pays_weight_sync_traffic() {
+        let mut s = resnet_setup(4);
+        s.partition = 6; // +FC
+        let r = training_report(&s);
+        assert!(r.sync_traffic_bytes > 1e12, "sync {}", r.sync_traffic_bytes);
+        assert_eq!(r.data_traffic_bytes, 0.0);
+        assert!(r.weight_sync_secs > 0.0);
+    }
+
+    #[test]
+    fn conv5_cut_traffic_matches_fig9_annotation() {
+        // Paper annotates +Conv5 data traffic at 9.16 GB for 1.2 M images.
+        let s = resnet_setup(4);
+        let r = training_report(&s);
+        let gb = r.data_traffic_bytes / 1e9;
+        assert!((8.0..11.0).contains(&gb), "traffic {gb} GB");
+    }
+
+    #[test]
+    fn traffic_decreases_with_deeper_cuts_until_fc() {
+        let traffic: Vec<f64> = (0..=5)
+            .map(|k| {
+                let mut s = resnet_setup(4);
+                s.partition = k;
+                training_report(&s).data_traffic_bytes
+            })
+            .collect();
+        // Conv2 inflates activations (3.2 MB > 0.59 MB input) — the paper's
+        // point that shallow cuts can be worse than shipping inputs.
+        assert!(traffic[2] > traffic[0]);
+        // The deep cut is orders of magnitude smaller.
+        assert!(traffic[5] < traffic[0] / 50.0);
+    }
+
+    #[test]
+    fn pipelining_reduces_wall_time_as_fig17() {
+        // With balanced stages, N_run = 2 saves ~25 %, N_run = 3 ~33 %.
+        let mut s = resnet_setup(8);
+        s.n_run = 1;
+        let t1 = training_report(&s).total_secs;
+        s.n_run = 2;
+        let t2 = training_report(&s).total_secs;
+        s.n_run = 3;
+        let t3 = training_report(&s).total_secs;
+        let save2 = 1.0 - t2 / t1;
+        let save3 = 1.0 - t3 / t1;
+        assert!(save2 > 0.10 && save2 < 0.35, "save2 {save2}");
+        assert!(save3 > save2, "save3 {save3} <= save2 {save2}");
+        assert!(save3 < 0.45, "save3 {save3}");
+    }
+
+    #[test]
+    fn ndpipe_crosses_srv_c_at_few_stores_fig15() {
+        let link = LinkSpec::ethernet_gbps(10.0);
+        let srv = srv_training_report(&ModelProfile::resnet50(), 1_200_000, 20, 512, &link);
+        let crossover = (1..=20)
+            .find(|&n| training_report(&resnet_setup(n)).total_secs <= srv.total_secs)
+            .unwrap_or(99);
+        assert!((2..=5).contains(&crossover), "crossover at {crossover}");
+    }
+
+    #[test]
+    fn resnext_needs_more_stores_than_resnet() {
+        let link = LinkSpec::ethernet_gbps(10.0);
+        let cross = |model: ModelProfile| {
+            let srv = srv_training_report(&model, 1_200_000, 20, 512, &link);
+            (1..=30)
+                .find(|&n| {
+                    training_report(&TrainSetup::paper_default(model.clone(), n)).total_secs
+                        <= srv.total_secs
+                })
+                .unwrap_or(99)
+        };
+        let r50 = cross(ModelProfile::resnet50());
+        let rx = cross(ModelProfile::resnext101());
+        assert!(rx >= r50, "resnext {rx} vs resnet {r50}");
+    }
+
+    #[test]
+    fn stage_imbalance_has_a_minimum_in_n() {
+        // Fig 11: T_diff falls toward a balance point then rises.
+        let imb: Vec<f64> = (1..=20)
+            .map(|n| training_report(&resnet_setup(n)).stage_imbalance())
+            .collect();
+        let best = imb
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0
+            + 1;
+        assert!((4..=14).contains(&best), "balance at {best}: {imb:?}");
+    }
+}

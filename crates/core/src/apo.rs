@@ -1,0 +1,222 @@
+//! APO: Automated model Partitioning and Organization (§5.3, Algorithm 1).
+//!
+//! APO answers the two deployment questions of NDPipe: *where to cut the
+//! model* (`FindBestPoint`) and *how many PipeStores to use*
+//! (Algorithm 1). The partition choice trades PipeStore compute against
+//! activation-transfer volume; the store count balances the Store- and
+//! Tuner-stages of the pipeline so neither idles (minimal `T_diff`).
+
+use cluster::training::{training_report, TrainSetup};
+use dnn::ModelProfile;
+use hw::{InstanceSpec, LinkSpec};
+
+/// Inputs of Algorithm 1.
+#[derive(Debug, Clone)]
+pub struct ApoInput {
+    /// DNN model architecture `M`.
+    pub model: ModelProfile,
+    /// PipeStore hardware (provides `F_P`).
+    pub store: InstanceSpec,
+    /// Network bandwidth `BW` between PipeStores and Tuner.
+    pub link: LinkSpec,
+    /// Maximum number of PipeStores to consider (`N_max_ps`).
+    pub max_pipestores: usize,
+    /// Training-set size, images.
+    pub images: u64,
+    /// Head-training epochs.
+    pub epochs: usize,
+    /// Training batch size.
+    pub batch: usize,
+    /// Pipeline depth `N_run`.
+    pub n_run: usize,
+}
+
+impl ApoInput {
+    /// The paper's deployment defaults for a given model.
+    pub fn paper_default(model: ModelProfile) -> Self {
+        ApoInput {
+            model,
+            store: InstanceSpec::pipestore(),
+            link: LinkSpec::ethernet_gbps(10.0),
+            max_pipestores: 20,
+            images: 1_200_000,
+            epochs: 20,
+            batch: 512,
+            n_run: 3,
+        }
+    }
+}
+
+/// One candidate organization evaluated by APO.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// Number of PipeStores.
+    pub n_pipestores: usize,
+    /// Best partition point for this store count.
+    pub partition: usize,
+    /// Store-stage time `T_ps`, seconds.
+    pub t_ps: f64,
+    /// Tuner-stage time `T_tuner`, seconds.
+    pub t_tuner: f64,
+    /// `|T_ps − T_tuner|`.
+    pub t_diff: f64,
+    /// End-to-end training time, seconds.
+    pub total_secs: f64,
+}
+
+/// Output of Algorithm 1: the chosen organization plus the full sweep.
+#[derive(Debug, Clone)]
+pub struct ApoResult {
+    /// The best number of PipeStores (`N_best_ps`).
+    pub best: Candidate,
+    /// Every candidate considered, indexed by store count − 1.
+    pub sweep: Vec<Candidate>,
+}
+
+/// `FindBestPoint` (§5.3): for a fixed store count, evaluates every
+/// partitionable point — stage boundaries only, never inside residual
+/// blocks, with the trainable tail pinned to the Tuner to avoid weight
+/// synchronization — and returns the point with the shortest estimated
+/// training time.
+///
+/// # Panics
+///
+/// Panics if `n_pipestores` is zero.
+pub fn find_best_point(input: &ApoInput, n_pipestores: usize) -> Candidate {
+    assert!(n_pipestores > 0, "need at least one PipeStore");
+    let first_trainable = input.model.first_trainable_stage();
+    let mut best: Option<Candidate> = None;
+    // Partition points 0..=first_trainable keep every trainable stage on
+    // the Tuner (the paper's no-sync constraint).
+    for k in 0..=first_trainable {
+        let setup = TrainSetup {
+            model: input.model.clone(),
+            images: input.images,
+            epochs: input.epochs,
+            batch: input.batch,
+            n_pipestores,
+            partition: k,
+            n_run: input.n_run,
+            link: input.link.clone(),
+            store: input.store.clone(),
+        };
+        let r = training_report(&setup);
+        let cand = Candidate {
+            n_pipestores,
+            partition: k,
+            t_ps: r.store_stage_secs + r.transfer_secs,
+            t_tuner: r.tuner_stage_secs + r.weight_sync_secs,
+            t_diff: r.stage_imbalance(),
+            total_secs: r.total_secs,
+        };
+        let better = match &best {
+            None => true,
+            Some(b) => cand.total_secs < b.total_secs,
+        };
+        if better {
+            best = Some(cand);
+        }
+    }
+    best.expect("at least one partition point exists")
+}
+
+/// Algorithm 1: sweeps `1..=N_max_ps` PipeStores, calling
+/// [`find_best_point`] for each, and returns the organization whose
+/// pipeline stages are most balanced (minimal `T_diff`).
+pub fn best_organization(input: &ApoInput) -> ApoResult {
+    assert!(input.max_pipestores > 0, "need at least one PipeStore");
+    let sweep: Vec<Candidate> = (1..=input.max_pipestores)
+        .map(|n| find_best_point(input, n))
+        .collect();
+    let best = sweep
+        .iter()
+        .min_by(|a, b| a.t_diff.partial_cmp(&b.t_diff).expect("finite times"))
+        .expect("non-empty sweep")
+        .clone();
+    ApoResult { best, sweep }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_point_for_resnet50_is_the_deep_cut() {
+        // Fig 9: +Conv5 wins for ResNet50 on 10 Gbps.
+        let input = ApoInput::paper_default(ModelProfile::resnet50());
+        let c = find_best_point(&input, 4);
+        assert_eq!(c.partition, 5, "{c:?}");
+    }
+
+    #[test]
+    fn best_point_never_offloads_trainable_stages() {
+        for model in ModelProfile::zoo() {
+            let first_trainable = model.first_trainable_stage();
+            let input = ApoInput::paper_default(model);
+            for n in [1, 8] {
+                let c = find_best_point(&input, n);
+                assert!(c.partition <= first_trainable);
+            }
+        }
+    }
+
+    #[test]
+    fn algorithm1_balances_the_pipeline() {
+        // Fig 11: ResNet50 balances around 8 PipeStores; T_diff at the
+        // chosen point is (near) the sweep minimum by construction, and
+        // the training-time curve flattens beyond it.
+        let input = ApoInput::paper_default(ModelProfile::resnet50());
+        let result = best_organization(&input);
+        let n = result.best.n_pipestores;
+        assert!((4..=14).contains(&n), "APO chose {n}");
+        // Beyond the balance point, adding stores barely helps (≤10 %).
+        let t_best = result.sweep[n - 1].total_secs;
+        let t_max = result.sweep.last().unwrap().total_secs;
+        assert!(
+            (t_best - t_max) / t_best < 0.35,
+            "best {t_best}s vs max {t_max}s"
+        );
+    }
+
+    #[test]
+    fn heavier_models_want_more_stores() {
+        let r50 = best_organization(&ApoInput::paper_default(ModelProfile::resnet50()));
+        let rx = best_organization(&ApoInput::paper_default(ModelProfile::resnext101()));
+        assert!(
+            rx.best.n_pipestores >= r50.best.n_pipestores,
+            "resnext {} vs resnet {}",
+            rx.best.n_pipestores,
+            r50.best.n_pipestores
+        );
+    }
+
+    #[test]
+    fn sweep_is_complete_and_ordered() {
+        let input = ApoInput {
+            max_pipestores: 6,
+            ..ApoInput::paper_default(ModelProfile::resnet50())
+        };
+        let result = best_organization(&input);
+        assert_eq!(result.sweep.len(), 6);
+        for (i, c) in result.sweep.iter().enumerate() {
+            assert_eq!(c.n_pipestores, i + 1);
+        }
+        // Store-stage time decreases monotonically with more stores.
+        for w in result.sweep.windows(2) {
+            assert!(w[1].t_ps <= w[0].t_ps + 1e-9);
+        }
+    }
+
+    #[test]
+    fn slow_links_push_the_cut_deeper_or_equal() {
+        // On a 1 Gbps link, transfer dominates; the best cut should be at
+        // least as deep as on 40 Gbps.
+        let mut slow = ApoInput::paper_default(ModelProfile::inception_v3());
+        slow.link = LinkSpec::ethernet_gbps(1.0);
+        let mut fast = slow.clone();
+        fast.link = LinkSpec::ethernet_gbps(40.0);
+        let c_slow = find_best_point(&slow, 4);
+        let c_fast = find_best_point(&fast, 4);
+        assert!(c_slow.partition >= c_fast.partition);
+    }
+}

@@ -1,0 +1,194 @@
+//! Multi-process NDPipe node, mirroring the paper's artifact workflow
+//! ("initiate Tuner ... then begin to run PipeStores by matching the port
+//! number on the Tuner side") — except our PipeStores listen and the
+//! Tuner connects, so no coordination service is needed.
+//!
+//! Every node derives its data deterministically from `--seed`, so shards
+//! started on different machines fit together.
+//!
+//! ```bash
+//! # terminal 1..3: storage nodes
+//! ndpipe_node pipestore --listen 127.0.0.1:7401 --shard 0/3 --seed 42
+//! ndpipe_node pipestore --listen 127.0.0.1:7402 --shard 1/3 --seed 42
+//! ndpipe_node pipestore --listen 127.0.0.1:7403 --shard 2/3 --seed 42
+//! # terminal 4: the Tuner
+//! ndpipe_node tuner --connect 127.0.0.1:7401,127.0.0.1:7402,127.0.0.1:7403 --seed 42
+//! ```
+
+use dnn::{Mlp, TrainConfig, Trainer};
+use ndpipe::ftdmp::FtdmpConfig;
+use ndpipe::rpc::server::serve_pipestore_once;
+use ndpipe::rpc::{ftdmp_fine_tune_remote, RemotePipeStore};
+use ndpipe::{PipeStore, Tuner};
+use ndpipe_data::{ClassUniverse, LabeledDataset};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::process::ExitCode;
+
+const CLASSES: usize = 8;
+const INPUT_DIM: usize = 16;
+const PER_CLASS: usize = 60;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  ndpipe_node pipestore --listen ADDR --shard I/N [--seed S]\n  \
+         ndpipe_node tuner --connect ADDR[,ADDR...] [--seed S] [--runs N] [--epochs E]"
+    );
+    ExitCode::FAILURE
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// The full training corpus every node can rebuild from the seed.
+fn corpus(seed: u64) -> (ClassUniverse, LabeledDataset) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let universe = ClassUniverse::new(INPUT_DIM, 8, CLASSES, 0.3, &mut rng);
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    for c in 0..CLASSES {
+        for _ in 0..PER_CLASS {
+            rows.push(universe.sample(c, &mut rng));
+            labels.push(c);
+        }
+    }
+    let data = LabeledDataset::new(rows, labels, CLASSES).shuffled(&mut rng);
+    (universe, data)
+}
+
+fn run_pipestore(args: &[String]) -> ExitCode {
+    let Some(listen) = arg_value(args, "--listen") else {
+        return usage();
+    };
+    let Some(shard_spec) = arg_value(args, "--shard") else {
+        return usage();
+    };
+    let seed: u64 = arg_value(args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    let Some((i, n)) = shard_spec
+        .split_once('/')
+        .and_then(|(a, b)| Some((a.parse::<usize>().ok()?, b.parse::<usize>().ok()?)))
+    else {
+        return usage();
+    };
+    if n == 0 || i >= n {
+        eprintln!("bad shard spec {shard_spec}");
+        return ExitCode::FAILURE;
+    }
+    let (_, data) = corpus(seed);
+    let shard = data.shards(n).swap_remove(i);
+    eprintln!(
+        "pipestore {i}/{n}: {} local examples, serving one Tuner session on {listen}",
+        shard.len()
+    );
+    match serve_pipestore_once(PipeStore::new(i, shard), &listen, |addr| {
+        eprintln!("pipestore {i}/{n}: listening on {addr}");
+    }) {
+        Ok(store) => {
+            eprintln!(
+                "pipestore {i}/{n}: session complete (model installed: {})",
+                store.model().is_some()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("pipestore {i}/{n}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_tuner(args: &[String]) -> ExitCode {
+    let Some(connect) = arg_value(args, "--connect") else {
+        return usage();
+    };
+    let seed: u64 = arg_value(args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    let n_run: usize = arg_value(args, "--runs")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
+    let epochs: usize = arg_value(args, "--epochs")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12);
+
+    let (universe, _) = corpus(seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7A_BE);
+    let model = Mlp::new(&[INPUT_DIM, 24, 16, CLASSES], 2, &mut rng);
+    let test_rows: Vec<tensor::Tensor> =
+        (0..400).map(|k| universe.sample(k % CLASSES, &mut rng)).collect();
+    let test_labels: Vec<usize> = (0..400).map(|k| k % CLASSES).collect();
+    let test = LabeledDataset::new(test_rows, test_labels, CLASSES);
+
+    let cfg = TrainConfig {
+        batch: 16,
+        ..TrainConfig::default()
+    };
+    let mut tuner = Tuner::new(model, cfg);
+    eprintln!(
+        "tuner: untrained accuracy {}",
+        Trainer::evaluate(tuner.model(), &test)
+    );
+
+    let mut remotes = Vec::new();
+    for addr in connect.split(',') {
+        match RemotePipeStore::connect(addr.trim()) {
+            Ok(r) => {
+                eprintln!("tuner: connected to {}", r.peer());
+                remotes.push(r);
+            }
+            Err(e) => {
+                eprintln!("tuner: cannot connect to {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let report = match ftdmp_fine_tune_remote(
+        &mut tuner,
+        &mut remotes,
+        &FtdmpConfig {
+            n_run,
+            epochs_per_run: epochs,
+            train: cfg,
+        },
+        &mut rng,
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("tuner: fine-tune failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for r in remotes {
+        if let Err(e) = r.shutdown() {
+            eprintln!("tuner: shutdown warning: {e}");
+        }
+    }
+
+    println!("examples trained      {}", report.examples);
+    println!("feature bytes moved   {}", report.feature_bytes);
+    println!(
+        "model delta vs full   {} B ({:.1}x smaller)",
+        report.distribution_bytes, report.distribution_reduction
+    );
+    println!(
+        "final accuracy        {}",
+        Trainer::evaluate(tuner.model(), &test)
+    );
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("pipestore") => run_pipestore(&args),
+        Some("tuner") => run_tuner(&args),
+        _ => usage(),
+    }
+}

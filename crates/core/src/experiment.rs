@@ -1,0 +1,534 @@
+//! Reusable drivers for the paper's accuracy experiments.
+//!
+//! These functions run the *functional* model path (real SGD on mini
+//! models over synthetic drifting data) and are shared by the bench
+//! binaries, the examples and the integration tests:
+//!
+//! - [`drift_experiment`] — Fig 4(a): accuracy over two weeks under
+//!   `Outdated` / `FullTraining` / `FineTuning` strategies,
+//! - [`dataset_size_sweep`] — Fig 4(b): fine-tuning accuracy vs dataset
+//!   size,
+//! - [`label_fix_experiment`] — Table 1: % of labels fixed by each model
+//!   generation,
+//! - [`table2_row`] — Table 2: Base / Outdated / NDPipe / Full accuracy
+//!   for one model capacity on one dataset,
+//! - [`pipelined_accuracy`] — Fig 17: accuracy and epochs vs `N_run`.
+
+use crate::ftdmp::{ftdmp_fine_tune, FtdmpConfig};
+use crate::pipestore::PipeStore;
+use crate::tuner::Tuner;
+use dnn::{EvalMetrics, Mlp, TrainConfig, Trainer};
+use ndpipe_data::{DatasetSpec, DriftScenario, LabeledDataset, PhotoId};
+use rand::Rng;
+
+/// How the deployment reacts to drift (Fig 4a's three lines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateStrategy {
+    /// Never update: the *outdated model*.
+    Outdated,
+    /// Retrain from scratch on the whole pool at every update point.
+    FullTraining,
+    /// Fine-tune the classifier on the whole pool at every update point.
+    FineTuning,
+}
+
+impl UpdateStrategy {
+    /// Label as the paper's legend prints it.
+    pub fn label(&self) -> &'static str {
+        match self {
+            UpdateStrategy::Outdated => "Outdated model",
+            UpdateStrategy::FullTraining => "Full training",
+            UpdateStrategy::FineTuning => "Fine-tuning",
+        }
+    }
+}
+
+/// Shared hyper-parameters of the accuracy experiments.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Feature-extractor widths of the mini model.
+    pub feature_widths: Vec<usize>,
+    /// SGD settings.
+    pub train: TrainConfig,
+    /// Initial pool size.
+    pub initial_pool: usize,
+    /// Scenario length in days.
+    pub days: usize,
+    /// Evaluate (and maybe update) every this many days.
+    pub eval_every: usize,
+    /// Epochs per update (full or fine-tune).
+    pub update_epochs: usize,
+}
+
+impl ExperimentConfig {
+    /// Small defaults that keep unit tests fast.
+    pub fn fast() -> Self {
+        ExperimentConfig {
+            feature_widths: vec![32, 24],
+            train: TrainConfig {
+                batch: 32,
+                max_epochs: 12,
+                ..TrainConfig::default()
+            },
+            initial_pool: 400,
+            days: 14,
+            eval_every: 2,
+            update_epochs: 8,
+        }
+    }
+
+    /// Paper-shaped defaults (slower, used by the bench binaries). The
+    /// learning rate is halved versus the test default: from-scratch runs
+    /// at this width diverge occasionally at `lr = 0.1`.
+    pub fn paper() -> Self {
+        ExperimentConfig {
+            feature_widths: vec![96, 64],
+            train: TrainConfig {
+                lr: 0.05,
+                batch: 64,
+                max_epochs: 25,
+                ..TrainConfig::default()
+            },
+            initial_pool: 3000,
+            days: 14,
+            eval_every: 2,
+            update_epochs: 15,
+        }
+    }
+}
+
+/// One sampled point of a drift experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct DriftPoint {
+    /// Day of the scenario.
+    pub day: usize,
+    /// Accuracy on a test set reflecting that day's distribution.
+    pub metrics: EvalMetrics,
+}
+
+fn build_model<R: Rng + ?Sized>(
+    cfg: &ExperimentConfig,
+    input_dim: usize,
+    classes: usize,
+    rng: &mut R,
+) -> Mlp {
+    let mut dims = vec![input_dim];
+    dims.extend_from_slice(&cfg.feature_widths);
+    dims.push(classes);
+    Mlp::new(&dims, cfg.feature_widths.len(), rng)
+}
+
+fn full_train<R: Rng + ?Sized>(
+    cfg: &ExperimentConfig,
+    epochs: usize,
+    data: &LabeledDataset,
+    rng: &mut R,
+) -> Mlp {
+    let mut model = build_model(cfg, data.input_dim(), data.num_classes(), rng);
+    let trainer = Trainer::new(TrainConfig {
+        max_epochs: epochs,
+        ..cfg.train
+    });
+    trainer.fit(&mut model, data, None, 0, rng);
+    model
+}
+
+fn fine_tune_in_place<R: Rng + ?Sized>(
+    cfg: &ExperimentConfig,
+    model: &mut Mlp,
+    data: &LabeledDataset,
+    rng: &mut R,
+) {
+    if data.num_classes() > model.num_classes() {
+        model.widen_classes(data.num_classes(), rng);
+    }
+    let trainer = Trainer::new(TrainConfig {
+        max_epochs: cfg.update_epochs,
+        ..cfg.train
+    });
+    let split = model.split();
+    trainer.fit(model, data, None, split, rng);
+}
+
+/// Fig 4(a): runs one strategy through the drift scenario, evaluating
+/// every `eval_every` days. Day 0 is the Base measurement.
+pub fn drift_experiment<R: Rng + ?Sized>(
+    spec: DatasetSpec,
+    cfg: &ExperimentConfig,
+    strategy: UpdateStrategy,
+    rng: &mut R,
+) -> Vec<DriftPoint> {
+    let mut scenario = DriftScenario::new(spec, cfg.initial_pool, rng);
+    let mut model = full_train(cfg, cfg.train.max_epochs, &scenario.train_set(), rng);
+    let mut points = vec![DriftPoint {
+        day: 0,
+        metrics: Trainer::evaluate(&model, &scenario.test_set(rng)),
+    }];
+    for day in 1..=cfg.days {
+        scenario.advance_day(rng);
+        if day % cfg.eval_every == 0 {
+            match strategy {
+                UpdateStrategy::Outdated => {}
+                UpdateStrategy::FullTraining => {
+                    // From scratch: needs at least the initial budget.
+                    let epochs = cfg.train.max_epochs.max(cfg.update_epochs);
+                    model = full_train(cfg, epochs, &scenario.train_set(), rng);
+                }
+                UpdateStrategy::FineTuning => {
+                    fine_tune_in_place(cfg, &mut model, &scenario.train_set(), rng);
+                }
+            }
+            let test = scenario.test_set(rng).widened_to(model.num_classes());
+            points.push(DriftPoint {
+                day,
+                metrics: Trainer::evaluate(&model, &test),
+            });
+        }
+    }
+    points
+}
+
+/// Fig 4(b): fine-tuning accuracy as a function of how much data feeds
+/// the update. Returns `(dataset size, top-1)` pairs.
+pub fn dataset_size_sweep<R: Rng + ?Sized>(
+    spec: DatasetSpec,
+    cfg: &ExperimentConfig,
+    sizes: &[usize],
+    rng: &mut R,
+) -> Vec<(usize, f64)> {
+    let mut scenario = DriftScenario::new(spec, cfg.initial_pool, rng);
+    let base = full_train(cfg, cfg.train.max_epochs, &scenario.train_set(), rng);
+    for _ in 0..cfg.days {
+        scenario.advance_day(rng);
+    }
+    let test = scenario.test_set(rng);
+    sizes
+        .iter()
+        .map(|&n| {
+            let mut model = base.clone();
+            let n = n.min(scenario.pool_size()).max(1);
+            let subset = scenario.recent_train_set(n);
+            fine_tune_in_place(cfg, &mut model, &subset, rng);
+            let t = test.widened_to(model.num_classes());
+            (n, Trainer::evaluate(&model, &t).top1)
+        })
+        .collect()
+}
+
+/// Table 1: trains generations `M0..=M_generations`, labels a fixed photo
+/// set with `M0`, and reports the cumulative fraction of initially wrong
+/// labels each later generation fixes.
+///
+/// Label fixes in the paper come from models *improving* (more data,
+/// regular retraining), not from the world moving away from the archived
+/// photos, so this experiment runs with gentle drift (a quarter of the
+/// spec's rate) and gives `M0` a smaller training budget than its
+/// successors — mirroring the paper's 937K-image `M0` versus the grown
+/// pools later models see.
+pub fn label_fix_experiment<R: Rng + ?Sized>(
+    spec: DatasetSpec,
+    cfg: &ExperimentConfig,
+    generations: usize,
+    rng: &mut R,
+) -> Vec<f64> {
+    let spec = DatasetSpec {
+        daily_drift: spec.daily_drift * 0.25,
+        ..spec
+    };
+    let mut scenario = DriftScenario::new(spec, cfg.initial_pool, rng);
+    let m0 = full_train(
+        cfg,
+        cfg.update_epochs.min(cfg.train.max_epochs),
+        &scenario.train_set(),
+        rng,
+    );
+
+    // The archive to (re)label: *held-out* photos, like the paper's 50K
+    // ImageNet evaluation set — models never train on them, so their
+    // labels are genuinely fallible.
+    let archive_size = cfg.initial_pool / 2;
+    let archive: Vec<(usize, tensor::Tensor)> = (0..archive_size)
+        .map(|i| {
+            let class = i % scenario.initial_classes();
+            (class, scenario.universe().sample(class, rng))
+        })
+        .collect();
+
+    // Label the archive with M0.
+    let db = crate::labeldb::LabelDb::new();
+    for (i, (_, x)) in archive.iter().enumerate() {
+        let logits = m0.forward(&x.reshape(&[1, x.len()]).expect("row"));
+        db.put(PhotoId(i as u64), logits.argmax(), 0);
+    }
+    let snapshot = db.snapshot();
+    let truth = |id: PhotoId| archive[id.0 as usize].0;
+
+    let mut fractions = vec![0.0]; // M0 fixes nothing by definition.
+    for gen in 1..=generations {
+        // Two weeks of growth per generation, then full retraining with
+        // the full epoch budget on the larger pool.
+        for _ in 0..cfg.days {
+            scenario.advance_day(rng);
+        }
+        let epochs = cfg.train.max_epochs.max(cfg.update_epochs);
+        let model = full_train(cfg, epochs, &scenario.train_set(), rng);
+        let relabels: Vec<(PhotoId, usize)> = archive
+            .iter()
+            .enumerate()
+            .map(|(i, (_, x))| {
+                let logits = model.forward(&x.reshape(&[1, x.len()]).expect("row"));
+                (PhotoId(i as u64), logits.argmax())
+            })
+            .collect();
+        db.apply_relabels(relabels, gen as u64);
+        fractions.push(db.fixed_fraction_since(&snapshot, truth));
+    }
+    fractions
+}
+
+/// One Table 2 row: Base / Outdated / NDPipe / Full top-1 & top-5 for a
+/// given model capacity (feature widths) on a given dataset.
+#[derive(Debug, Clone, Copy)]
+pub struct Table2Row {
+    /// Accuracy right after initial training.
+    pub base: EvalMetrics,
+    /// Accuracy after two weeks with no updates.
+    pub outdated: EvalMetrics,
+    /// Accuracy after two weeks with NDPipe's distributed fine-tuning.
+    pub ndpipe: EvalMetrics,
+    /// Accuracy after two weeks with full retraining.
+    pub full: EvalMetrics,
+}
+
+/// Runs the Table 2 protocol for one (dataset, model-capacity) cell.
+///
+/// NDPipe's entry fine-tunes with real FT-DMP across `n_stores`
+/// PipeStores (not a shortcut through single-node fine-tuning).
+pub fn table2_row<R: Rng + ?Sized>(
+    spec: DatasetSpec,
+    cfg: &ExperimentConfig,
+    n_stores: usize,
+    rng: &mut R,
+) -> Table2Row {
+    let mut scenario = DriftScenario::new(spec, cfg.initial_pool, rng);
+    let base_model = full_train(cfg, cfg.train.max_epochs, &scenario.train_set(), rng);
+    let base = Trainer::evaluate(&base_model, &scenario.test_set(rng));
+
+    for _ in 0..cfg.days {
+        scenario.advance_day(rng);
+    }
+    let test = scenario.test_set(rng);
+    let outdated = Trainer::evaluate(&base_model, &test.widened_to(base_model.num_classes()));
+
+    // NDPipe: FT-DMP across stores over the evolved pool.
+    let mut ndpipe_model = base_model.clone();
+    if scenario.current_classes() > ndpipe_model.num_classes() {
+        ndpipe_model.widen_classes(scenario.current_classes(), rng);
+    }
+    let mut tuner = Tuner::new(ndpipe_model, cfg.train);
+    // Shuffle before sharding: sub-datasets across stores and pipeline
+    // runs must have similar distributions (§5.2 condition iii) — the
+    // raw pool is in upload order, so its tail is all recent drift.
+    let mut stores: Vec<PipeStore> = scenario
+        .train_set()
+        .shuffled(rng)
+        .shards(n_stores)
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| PipeStore::new(i, s))
+        .collect();
+    ftdmp_fine_tune(
+        &mut tuner,
+        &mut stores,
+        &FtdmpConfig {
+            n_run: 3,
+            // Each pipeline run trains its sub-dataset to the full budget
+            // (§6.3 stops on convergence, not on an epoch quota).
+            epochs_per_run: cfg.update_epochs,
+            train: cfg.train,
+        },
+        rng,
+    );
+    let ndpipe = Trainer::evaluate(tuner.model(), &test);
+
+    let full_epochs = cfg.train.max_epochs.max(cfg.update_epochs * 2);
+    let full_model = full_train(cfg, full_epochs, &scenario.train_set(), rng);
+    let full = Trainer::evaluate(&full_model, &test);
+
+    Table2Row {
+        base,
+        outdated,
+        ndpipe,
+        full,
+    }
+}
+
+/// Fig 17: accuracy per `N_run`. Every run trains its sub-dataset with
+/// the full `epochs_per_run` budget (the paper stops each run on
+/// convergence; pipelining saves wall time through overlap, not through
+/// a smaller training budget), so the only accuracy effect left is
+/// inter-run forgetting.
+pub fn pipelined_accuracy<R: Rng + ?Sized>(
+    spec: DatasetSpec,
+    cfg: &ExperimentConfig,
+    n_stores: usize,
+    epochs_per_run: usize,
+    n_runs: &[usize],
+    rng: &mut R,
+) -> Vec<(usize, f64)> {
+    let mut scenario = DriftScenario::new(spec, cfg.initial_pool, rng);
+    let base = full_train(cfg, cfg.train.max_epochs, &scenario.train_set(), rng);
+    for _ in 0..cfg.days {
+        scenario.advance_day(rng);
+    }
+    let test = scenario.test_set(rng);
+    n_runs
+        .iter()
+        .map(|&n_run| {
+            let mut model = base.clone();
+            if scenario.current_classes() > model.num_classes() {
+                model.widen_classes(scenario.current_classes(), rng);
+            }
+            let mut tuner = Tuner::new(model, cfg.train);
+            // Similar-distribution sub-datasets (§5.2 condition iii).
+            let mut stores: Vec<PipeStore> = scenario
+                .train_set()
+                .shuffled(rng)
+                .shards(n_stores)
+                .into_iter()
+                .enumerate()
+                .map(|(i, s)| PipeStore::new(i, s))
+                .collect();
+            ftdmp_fine_tune(
+                &mut tuner,
+                &mut stores,
+                &FtdmpConfig {
+                    n_run,
+                    epochs_per_run: epochs_per_run.max(1),
+                    train: cfg.train,
+                },
+                rng,
+            );
+            (n_run, Trainer::evaluate(tuner.model(), &test).top1)
+        })
+        .collect()
+}
+
+/// Widens a dataset's label space to match a model that saw fewer or
+/// more classes (test sets may contain emerging classes the outdated
+/// model cannot name).
+trait WidenTo {
+    fn widened_to(&self, classes: usize) -> LabeledDataset;
+}
+
+impl WidenTo for LabeledDataset {
+    fn widened_to(&self, classes: usize) -> LabeledDataset {
+        if classes >= self.num_classes() {
+            self.widened(classes)
+        } else {
+            // The model is narrower than the test set: keep the test set
+            // as-is; out-of-range predictions simply never match.
+            self.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg() -> ExperimentConfig {
+        let mut c = ExperimentConfig::fast();
+        c.initial_pool = 300;
+        c.days = 8;
+        c.update_epochs = 6;
+        c.train.max_epochs = 10;
+        c
+    }
+
+    #[test]
+    fn outdated_model_decays_and_updates_help() {
+        let mut rng = StdRng::seed_from_u64(91);
+        let c = cfg();
+        let outdated = drift_experiment(DatasetSpec::tiny(), &c, UpdateStrategy::Outdated, &mut rng);
+        let tuned = drift_experiment(DatasetSpec::tiny(), &c, UpdateStrategy::FineTuning, &mut rng);
+        let base = outdated[0].metrics.top1;
+        let end_outdated = outdated.last().unwrap().metrics.top1;
+        let end_tuned = tuned.last().unwrap().metrics.top1;
+        assert!(
+            end_outdated < base,
+            "outdated should decay: {base:.3} -> {end_outdated:.3}"
+        );
+        assert!(
+            end_tuned > end_outdated,
+            "fine-tuning {end_tuned:.3} should beat outdated {end_outdated:.3}"
+        );
+    }
+
+    #[test]
+    fn full_training_at_least_matches_fine_tuning() {
+        let mut rng = StdRng::seed_from_u64(92);
+        let c = cfg();
+        let full = drift_experiment(DatasetSpec::tiny(), &c, UpdateStrategy::FullTraining, &mut rng);
+        let tuned = drift_experiment(DatasetSpec::tiny(), &c, UpdateStrategy::FineTuning, &mut rng);
+        let end_full = full.last().unwrap().metrics.top1;
+        let end_tuned = tuned.last().unwrap().metrics.top1;
+        assert!(
+            end_full > end_tuned - 0.1,
+            "full {end_full:.3} vs tuned {end_tuned:.3}"
+        );
+    }
+
+    #[test]
+    fn bigger_fine_tuning_sets_help_fig4b() {
+        let mut rng = StdRng::seed_from_u64(93);
+        let c = cfg();
+        let sweep = dataset_size_sweep(DatasetSpec::tiny(), &c, &[20, 80, 300], &mut rng);
+        assert_eq!(sweep.len(), 3);
+        let small = sweep[0].1;
+        let large = sweep[2].1;
+        assert!(
+            large >= small - 0.05,
+            "more data should not hurt: {small:.3} -> {large:.3}"
+        );
+    }
+
+    #[test]
+    fn label_fixes_grow_with_generations_table1() {
+        let mut rng = StdRng::seed_from_u64(94);
+        let mut c = cfg();
+        c.days = 4;
+        let fixes = label_fix_experiment(DatasetSpec::tiny(), &c, 3, &mut rng);
+        assert_eq!(fixes.len(), 4);
+        assert_eq!(fixes[0], 0.0);
+        // Non-trivial and (weakly) growing.
+        assert!(fixes[1] > 0.0, "{fixes:?}");
+        assert!(fixes[3] >= fixes[1] - 0.03, "{fixes:?}");
+    }
+
+    #[test]
+    fn table2_ordering_holds() {
+        let mut rng = StdRng::seed_from_u64(95);
+        let c = cfg();
+        let row = table2_row(DatasetSpec::tiny(), &c, 3, &mut rng);
+        // Base beats Outdated; NDPipe recovers most of the gap.
+        assert!(row.base.top1 > row.outdated.top1, "{row:?}");
+        assert!(row.ndpipe.top1 > row.outdated.top1, "{row:?}");
+        assert!(row.full.top1 >= row.ndpipe.top1 - 0.08, "{row:?}");
+        // Top-5 dominates top-1 everywhere.
+        assert!(row.base.top5 >= row.base.top1);
+    }
+
+    #[test]
+    fn pipelined_runs_cost_little_accuracy_fig17() {
+        let mut rng = StdRng::seed_from_u64(96);
+        let c = cfg();
+        let points = pipelined_accuracy(DatasetSpec::tiny(), &c, 4, 12, &[1, 2, 3], &mut rng);
+        assert_eq!(points.len(), 3);
+        let a1 = points[0].1;
+        let a3 = points[2].1;
+        assert!((a1 - a3).abs() < 0.1, "N_run 1 {a1:.3} vs 3 {a3:.3}");
+    }
+}

@@ -1,0 +1,17 @@
+//! §7.1 extensions: NDPipe beyond photos.
+//!
+//! The paper's discussion sketches how the same near-data architecture
+//! serves other media: extract a compact representation *near the data*
+//! (key frames, spectrograms, embeddings) and ship only that to the
+//! Tuner. These modules implement the three sketches:
+//!
+//! - [`video`] — key-frame extraction by inter-frame change, per-frame
+//!   CNN features, and a mean summary vector for the whole clip,
+//! - [`audio`] — a real short-time Fourier transform (Hann window, naive
+//!   DFT) turning waveforms into spectrogram "images",
+//! - [`document`] — hashed bag-of-n-grams embeddings turning text into
+//!   fixed-width vectors for Tuner-side classification.
+
+pub mod audio;
+pub mod document;
+pub mod video;

@@ -1,0 +1,172 @@
+//! Audio content: spectrogram transformation (§7.1).
+//!
+//! "NDPipe can be adapted for audio formats through audio spectrogram
+//! transformation (AST), converting audio frequency data into visual
+//! representations" — then the image pipeline takes over.
+
+use tensor::Tensor;
+
+/// Short-time Fourier transform parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StftSpec {
+    /// Window length in samples (also the DFT size).
+    pub window: usize,
+    /// Hop between windows in samples.
+    pub hop: usize,
+}
+
+impl StftSpec {
+    /// Creates a spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` or `hop` is zero.
+    pub fn new(window: usize, hop: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        assert!(hop > 0, "hop must be positive");
+        StftSpec { window, hop }
+    }
+
+    /// Number of frames produced for `n` samples (zero if too short).
+    pub fn frames(&self, n: usize) -> usize {
+        if n < self.window {
+            0
+        } else {
+            (n - self.window) / self.hop + 1
+        }
+    }
+
+    /// Number of frequency bins (one-sided spectrum).
+    pub fn bins(&self) -> usize {
+        self.window / 2 + 1
+    }
+}
+
+/// Computes a log-magnitude spectrogram of `samples`: Hann-windowed
+/// frames, naive DFT, one-sided power, `ln(1 + |X|²)`.
+///
+/// Returns a `[frames, bins]` tensor — the "image" the CNN pipeline
+/// consumes.
+///
+/// # Panics
+///
+/// Panics if `samples` is shorter than one window.
+pub fn spectrogram(samples: &[f32], spec: StftSpec) -> Tensor {
+    let frames = spec.frames(samples.len());
+    assert!(frames > 0, "signal shorter than one window");
+    let bins = spec.bins();
+    let n = spec.window;
+    // Precompute the Hann window.
+    let hann: Vec<f32> = (0..n)
+        .map(|i| {
+            let x = std::f32::consts::PI * i as f32 / (n as f32 - 1.0).max(1.0);
+            (x.sin()) * (x.sin())
+        })
+        .collect();
+    let mut out = vec![0.0f32; frames * bins];
+    for f in 0..frames {
+        let start = f * spec.hop;
+        for k in 0..bins {
+            let mut re = 0.0f32;
+            let mut im = 0.0f32;
+            for (i, &h) in hann.iter().enumerate() {
+                let x = samples[start + i] * h;
+                let phase = -2.0 * std::f32::consts::PI * (k * i) as f32 / n as f32;
+                re += x * phase.cos();
+                im += x * phase.sin();
+            }
+            out[f * bins + k] = (1.0 + re * re + im * im).ln();
+        }
+    }
+    Tensor::from_vec(out, &[frames, bins])
+}
+
+/// Synthesizes a test tone: `amplitude · sin(2π · freq · t / rate)`.
+pub fn sine_wave(freq: f32, rate: f32, amplitude: f32, samples: usize) -> Vec<f32> {
+    (0..samples)
+        .map(|i| amplitude * (2.0 * std::f32::consts::PI * freq * i as f32 / rate).sin())
+        .collect()
+}
+
+/// Flattens a spectrogram into the fixed-width vector the photo pipeline
+/// expects, mean-pooling time so clips of any length map to `bins` dims.
+pub fn spectrogram_embedding(spec_image: &Tensor) -> Tensor {
+    let frames = spec_image.dims()[0] as f32;
+    spec_image.sum_rows().scale(1.0 / frames)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_arithmetic() {
+        let s = StftSpec::new(64, 32);
+        assert_eq!(s.frames(64), 1);
+        assert_eq!(s.frames(128), 3);
+        assert_eq!(s.frames(10), 0);
+        assert_eq!(s.bins(), 33);
+    }
+
+    #[test]
+    fn pure_tone_peaks_at_its_bin() {
+        // 1 kHz tone at 8 kHz sampling with a 64-point DFT: bin = 8.
+        let wave = sine_wave(1000.0, 8000.0, 1.0, 512);
+        let spec = spectrogram(&wave, StftSpec::new(64, 32));
+        let bins = 33;
+        // Check the first frame's argmax (skip DC).
+        let frame = &spec.data()[..bins];
+        let peak = frame
+            .iter()
+            .enumerate()
+            .skip(1)
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        assert_eq!(peak, 8, "frame {frame:?}");
+    }
+
+    #[test]
+    fn louder_signals_have_more_energy() {
+        let quiet = sine_wave(500.0, 8000.0, 0.1, 256);
+        let loud = sine_wave(500.0, 8000.0, 1.0, 256);
+        let s = StftSpec::new(64, 64);
+        assert!(spectrogram(&loud, s).sum() > spectrogram(&quiet, s).sum());
+    }
+
+    #[test]
+    fn silence_is_near_zero() {
+        let silence = vec![0.0f32; 256];
+        let spec = spectrogram(&silence, StftSpec::new(64, 64));
+        assert!(spec.max() < 1e-6);
+    }
+
+    #[test]
+    fn embedding_is_fixed_width_regardless_of_length() {
+        let s = StftSpec::new(64, 32);
+        let short = spectrogram(&sine_wave(440.0, 8000.0, 1.0, 128), s);
+        let long = spectrogram(&sine_wave(440.0, 8000.0, 1.0, 2048), s);
+        let e1 = spectrogram_embedding(&short);
+        let e2 = spectrogram_embedding(&long);
+        assert_eq!(e1.dims(), e2.dims());
+        // Same tone → similar embeddings despite different lengths.
+        let cos = tensor::linalg::dot(&e1, &e2)
+            / (e1.frobenius_norm() * e2.frobenius_norm());
+        assert!(cos > 0.95, "cosine {cos}");
+    }
+
+    #[test]
+    fn different_tones_embed_differently() {
+        let s = StftSpec::new(64, 32);
+        let a = spectrogram_embedding(&spectrogram(&sine_wave(500.0, 8000.0, 1.0, 512), s));
+        let b = spectrogram_embedding(&spectrogram(&sine_wave(2000.0, 8000.0, 1.0, 512), s));
+        let cos = tensor::linalg::dot(&a, &b) / (a.frobenius_norm() * b.frobenius_norm());
+        assert!(cos < 0.9, "cosine {cos}");
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than one window")]
+    fn short_signals_rejected() {
+        let _ = spectrogram(&[0.0; 8], StftSpec::new(64, 32));
+    }
+}

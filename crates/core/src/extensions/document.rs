@@ -1,0 +1,167 @@
+//! Document content: embedding extraction near the data (§7.1).
+//!
+//! "NDPipe uses NLP techniques for enhanced document storage, converting
+//! text into analyzable embedding vectors ... These embeddings then serve
+//! as inputs for various downstream tasks, such as document classification
+//! and sentiment analysis, conducted by Tuner. This approach can reduce
+//! data transfer costs by converting large documents into small embedding
+//! vectors."
+//!
+//! The embedding here is a hashed bag-of-n-grams (feature hashing): a
+//! fixed-width, training-free representation a storage server can compute
+//! cheaply — the document analogue of a frozen feature extractor.
+
+use tensor::Tensor;
+
+/// A hashed bag-of-words/bigram document embedder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DocEmbedder {
+    dim: usize,
+}
+
+impl DocEmbedder {
+    /// An embedder producing `dim`-dimensional vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "embedding dimension must be positive");
+        DocEmbedder { dim }
+    }
+
+    /// Embedding width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Embeds a document: lowercase word unigrams and bigrams hashed into
+    /// `dim` signed buckets, then L2-normalized.
+    ///
+    /// Empty or punctuation-only text embeds to the zero vector.
+    pub fn embed(&self, text: &str) -> Tensor {
+        let mut v = vec![0.0f32; self.dim];
+        let words: Vec<String> = text
+            .split(|c: char| !c.is_alphanumeric())
+            .filter(|w| !w.is_empty())
+            .map(|w| w.to_lowercase())
+            .collect();
+        let mut bump = |token: &str| {
+            let h = fnv1a(token.as_bytes());
+            let bucket = (h % self.dim as u64) as usize;
+            // Second hash bit decides the sign (standard feature hashing,
+            // keeps bucket collisions from only accumulating).
+            let sign = if (h >> 32) & 1 == 0 { 1.0 } else { -1.0 };
+            v[bucket] += sign;
+        };
+        for w in &words {
+            bump(w);
+        }
+        for pair in words.windows(2) {
+            bump(&format!("{} {}", pair[0], pair[1]));
+        }
+        let mut t = Tensor::from_vec(v, &[self.dim]);
+        let norm = t.frobenius_norm();
+        if norm > 0.0 {
+            t = t.scale(1.0 / norm);
+        }
+        t
+    }
+
+    /// Embeds a batch of documents into `[n, dim]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `docs` is empty.
+    pub fn embed_batch(&self, docs: &[&str]) -> Tensor {
+        assert!(!docs.is_empty(), "need at least one document");
+        let rows: Vec<Tensor> = docs.iter().map(|d| self.embed(d)).collect();
+        Tensor::stack_rows(&rows)
+    }
+}
+
+/// FNV-1a, enough hash for feature bucketing.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Cosine similarity of two embeddings (0 when either is zero).
+pub fn cosine(a: &Tensor, b: &Tensor) -> f32 {
+    let na = a.frobenius_norm();
+    let nb = b.frobenius_norm();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        tensor::linalg::dot(a, b) / (na * nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn embeddings_are_unit_norm() {
+        let e = DocEmbedder::new(64);
+        let v = e.embed("near data processing for photo storage");
+        assert!((v.frobenius_norm() - 1.0).abs() < 1e-5);
+        assert_eq!(v.len(), 64);
+    }
+
+    #[test]
+    fn embedding_is_deterministic_and_case_insensitive() {
+        let e = DocEmbedder::new(64);
+        let a = e.embed("Deep Learning Storage");
+        let b = e.embed("deep learning storage");
+        assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn similar_documents_are_closer_than_unrelated_ones() {
+        let e = DocEmbedder::new(128);
+        let a = e.embed("the cat sat on the warm mat in the sun");
+        let b = e.embed("a cat sat on a mat enjoying warm sun");
+        let c = e.embed("kernel scheduler preemption latency quantum cgroups");
+        assert!(cosine(&a, &b) > cosine(&a, &c));
+    }
+
+    #[test]
+    fn empty_text_is_zero_vector() {
+        let e = DocEmbedder::new(32);
+        let v = e.embed("...!!!");
+        assert_eq!(v.frobenius_norm(), 0.0);
+        assert_eq!(cosine(&v, &v), 0.0);
+    }
+
+    #[test]
+    fn embedding_shrinks_large_documents() {
+        let e = DocEmbedder::new(128);
+        let long_doc = "storage ".repeat(10_000);
+        let v = e.embed(&long_doc);
+        let doc_bytes = long_doc.len();
+        let vec_bytes = v.len() * 4;
+        assert!(vec_bytes * 10 < doc_bytes, "no transfer saving");
+    }
+
+    #[test]
+    fn batch_embeds_each_row() {
+        let e = DocEmbedder::new(32);
+        let batch = e.embed_batch(&["alpha beta", "gamma delta"]);
+        assert_eq!(batch.dims(), &[2, 32]);
+        assert_eq!(batch.row(0).data(), e.embed("alpha beta").data());
+    }
+
+    #[test]
+    fn bigrams_matter() {
+        let e = DocEmbedder::new(256);
+        // Same unigrams, different order → different bigrams.
+        let a = e.embed("storage near data");
+        let b = e.embed("data near storage");
+        assert_ne!(a.data(), b.data());
+    }
+}

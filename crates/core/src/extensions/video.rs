@@ -1,0 +1,176 @@
+//! Video content: key-frame extraction and clip summarization (§7.1).
+//!
+//! "One of the solutions ... is frame extraction, which extracts key
+//! frames from videos for analysis. These key frames are analyzed using a
+//! CNN model to label content, creating a summary vector for further
+//! video analysis."
+
+use dnn::cnn::CnnFeatureExtractor;
+use tensor::Tensor;
+
+/// A video clip: a sequence of same-shaped `[c, h, w]` frames.
+#[derive(Debug, Clone)]
+pub struct VideoClip {
+    frames: Vec<Tensor>,
+}
+
+impl VideoClip {
+    /// Wraps frames into a clip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is empty or shapes differ.
+    pub fn new(frames: Vec<Tensor>) -> Self {
+        assert!(!frames.is_empty(), "a clip needs at least one frame");
+        let dims = frames[0].dims().to_vec();
+        assert_eq!(dims.len(), 3, "frames must be [c, h, w]");
+        assert!(
+            frames.iter().all(|f| f.dims() == dims.as_slice()),
+            "all frames must share a shape"
+        );
+        VideoClip { frames }
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the clip is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// The frames.
+    pub fn frames(&self) -> &[Tensor] {
+        &self.frames
+    }
+}
+
+/// Selects key frames: the first frame, plus every frame whose mean
+/// absolute difference from the previously *selected* frame exceeds
+/// `threshold` (smart frame selection, paper reference 39).
+///
+/// Returns indices into the clip, always non-empty.
+pub fn key_frame_indices(clip: &VideoClip, threshold: f32) -> Vec<usize> {
+    let mut selected = vec![0usize];
+    let mut last = &clip.frames[0];
+    for (i, frame) in clip.frames.iter().enumerate().skip(1) {
+        let diff = frame.sub(last).map(f32::abs).mean();
+        if diff > threshold {
+            selected.push(i);
+            last = frame;
+        }
+    }
+    selected
+}
+
+/// A clip summary: per-key-frame features and their mean vector.
+#[derive(Debug, Clone)]
+pub struct ClipSummary {
+    /// Indices of the selected key frames.
+    pub key_frames: Vec<usize>,
+    /// `[k, feature_dim]` features, one row per key frame.
+    pub frame_features: Tensor,
+    /// `[feature_dim]` mean summary vector for the clip.
+    pub summary: Tensor,
+}
+
+/// Summarizes a clip near the data: select key frames, run the frozen
+/// CNN over them, and average into one summary vector — the only thing
+/// that leaves the PipeStore.
+///
+/// # Panics
+///
+/// Panics if frame channels mismatch the extractor.
+pub fn summarize_clip(
+    clip: &VideoClip,
+    extractor: &CnnFeatureExtractor,
+    threshold: f32,
+) -> ClipSummary {
+    let key_frames = key_frame_indices(clip, threshold);
+    let dims = clip.frames[0].dims();
+    let (c, h, w) = (dims[0], dims[1], dims[2]);
+    let mut data = Vec::with_capacity(key_frames.len() * c * h * w);
+    for &i in &key_frames {
+        data.extend_from_slice(clip.frames[i].data());
+    }
+    let batch = Tensor::from_vec(data, &[key_frames.len(), c, h, w]);
+    let frame_features = extractor.features(&batch);
+    let k = key_frames.len() as f32;
+    let summary = frame_features.sum_rows().scale(1.0 / k);
+    ClipSummary {
+        key_frames,
+        frame_features,
+        summary,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn static_clip(n: usize) -> VideoClip {
+        VideoClip::new(vec![Tensor::full(&[1, 8, 8], 0.5); n])
+    }
+
+    #[test]
+    fn static_video_keeps_one_key_frame() {
+        let clip = static_clip(30);
+        assert_eq!(key_frame_indices(&clip, 0.05), vec![0]);
+    }
+
+    #[test]
+    fn scene_cuts_are_detected() {
+        // Three "scenes" of constant brightness.
+        let mut frames = Vec::new();
+        for scene in 0..3 {
+            for _ in 0..10 {
+                frames.push(Tensor::full(&[1, 8, 8], scene as f32));
+            }
+        }
+        let clip = VideoClip::new(frames);
+        let keys = key_frame_indices(&clip, 0.5);
+        assert_eq!(keys, vec![0, 10, 20]);
+    }
+
+    #[test]
+    fn summary_has_feature_dim_and_is_frame_mean() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let extractor = CnnFeatureExtractor::new(1, &[6, 12], &mut rng);
+        let mut frames = vec![Tensor::full(&[1, 8, 8], 0.0); 5];
+        frames.push(Tensor::full(&[1, 8, 8], 5.0));
+        let clip = VideoClip::new(frames);
+        let s = summarize_clip(&clip, &extractor, 0.5);
+        assert_eq!(s.key_frames.len(), 2);
+        assert_eq!(s.frame_features.dims(), &[2, 12]);
+        assert_eq!(s.summary.dims(), &[12]);
+        // Summary = mean of the two feature rows.
+        let manual = s.frame_features.row(0).add(&s.frame_features.row(1)).scale(0.5);
+        for (a, b) in s.summary.data().iter().zip(manual.data()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn summary_is_tiny_compared_to_the_clip() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let extractor = CnnFeatureExtractor::new(1, &[8], &mut rng);
+        let clip = static_clip(100);
+        let s = summarize_clip(&clip, &extractor, 0.1);
+        let clip_bytes = clip.len() * 64 * 4;
+        let summary_bytes = s.summary.len() * 4;
+        assert!(summary_bytes * 100 < clip_bytes);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a shape")]
+    fn mismatched_frames_rejected() {
+        let _ = VideoClip::new(vec![
+            Tensor::zeros(&[1, 8, 8]),
+            Tensor::zeros(&[1, 4, 4]),
+        ]);
+    }
+}

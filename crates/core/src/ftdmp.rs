@@ -1,0 +1,296 @@
+//! FT-DMP: fine-tuning-based data & model parallelism (§5.1–§5.2).
+//!
+//! The weight-freeze prefix of the model runs replicated on every
+//! PipeStore (data parallelism, no synchronization needed — frozen
+//! weights never change), and the trainable tail runs solely on the Tuner
+//! (model parallelism with all updates local). The pipelined variant
+//! splits the data into `N_run` sub-datasets: while the Tuner trains on
+//! run *r*, PipeStores already extract features for run *r + 1*
+//! (Fig 10b).
+//!
+//! This module is the *functional* implementation: real forward passes,
+//! real feature tensors, real SGD on the Tuner, PipeStores running in
+//! parallel OS threads via crossbeam. The wall-clock/energy behaviour of
+//! the same orchestration at data-center scale is modeled by
+//! `cluster::training` and driven from [`crate::apo`].
+
+use crate::pipestore::PipeStore;
+use crate::tuner::Tuner;
+use dnn::TrainConfig;
+use rand::Rng;
+use tensor::Tensor;
+
+/// Configuration of one distributed fine-tuning job.
+#[derive(Debug, Clone, Copy)]
+pub struct FtdmpConfig {
+    /// Number of pipeline runs (`N_run`); 1 = unpipelined.
+    pub n_run: usize,
+    /// Tuner epochs over each run's features.
+    pub epochs_per_run: usize,
+    /// Tuner-side SGD hyper-parameters.
+    pub train: TrainConfig,
+}
+
+impl Default for FtdmpConfig {
+    fn default() -> Self {
+        FtdmpConfig {
+            n_run: 3,
+            epochs_per_run: 10,
+            train: TrainConfig::default(),
+        }
+    }
+}
+
+/// Outcome of a distributed fine-tuning job.
+#[derive(Debug, Clone)]
+pub struct FtdmpReport {
+    /// Final-epoch training loss of each pipeline run.
+    pub run_losses: Vec<f32>,
+    /// Feature bytes shipped from PipeStores to the Tuner (f32 payload).
+    pub feature_bytes: usize,
+    /// Wire bytes of the Check-N-Run model redistribution.
+    pub distribution_bytes: usize,
+    /// Traffic reduction of delta distribution vs full models (per store).
+    pub distribution_reduction: f64,
+    /// Number of training examples consumed.
+    pub examples: usize,
+}
+
+/// Runs FT-DMP fine-tuning across `stores`, updating the Tuner's master
+/// model and redistributing it to every PipeStore as a compressed delta.
+///
+/// Every PipeStore extracts features for its slice of each run in its own
+/// thread (crossbeam scope); the Tuner then trains its trainable tail on
+/// the gathered features. Weight-freeze layers are never updated
+/// anywhere, so no inter-store synchronization exists — the property that
+/// makes NDPipe scale linearly in PipeStores.
+///
+/// # Panics
+///
+/// Panics if `stores` is empty, a shard is smaller than `n_run`, or the
+/// stores' label spaces exceed the Tuner model's class count.
+pub fn ftdmp_fine_tune<R: Rng + ?Sized>(
+    tuner: &mut Tuner,
+    stores: &mut [PipeStore],
+    config: &FtdmpConfig,
+    rng: &mut R,
+) -> FtdmpReport {
+    assert!(!stores.is_empty(), "need at least one PipeStore");
+    assert!(config.n_run > 0, "need at least one run");
+    for s in stores.iter() {
+        assert!(
+            s.shard_len() >= config.n_run,
+            "store {} shard smaller than N_run",
+            s.id()
+        );
+        assert!(
+            s.shard().num_classes() <= tuner.model().num_classes(),
+            "widen the Tuner model before fine-tuning on new classes"
+        );
+    }
+
+    // 1. Distribute the current master to every store.
+    for s in stores.iter_mut() {
+        s.install_model(tuner.model().clone());
+    }
+    let model_before = tuner.model().clone();
+
+    // 2. Pipeline runs: extract (parallel) then tune.
+    let mut run_losses = Vec::with_capacity(config.n_run);
+    let mut feature_bytes = 0usize;
+    let mut examples = 0usize;
+    for run in 0..config.n_run {
+        // Parallel Store-stage across PipeStores.
+        let extracted: Vec<(Tensor, Vec<usize>)> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = stores
+                .iter()
+                .map(|s| {
+                    scope.spawn(move |_| {
+                        let n = s.shard_len();
+                        let lo = run * n / config.n_run;
+                        let hi = (run + 1) * n / config.n_run;
+                        s.extract_features(lo..hi)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("pipestore thread panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope");
+
+        // Gather at the Tuner.
+        let mut labels = Vec::new();
+        let mut rows = Vec::new();
+        for (f, l) in &extracted {
+            feature_bytes += f.len() * 4;
+            for i in 0..l.len() {
+                rows.push(f.row(i));
+            }
+            labels.extend_from_slice(l);
+        }
+        examples += labels.len();
+        let features = Tensor::stack_rows(&rows);
+
+        // Tuner-stage.
+        let loss = tuner.train_on_features(&features, &labels, config.epochs_per_run, rng);
+        run_losses.push(loss);
+    }
+
+    // 3. Redistribute the fine-tuned model as Check-N-Run deltas.
+    let delta = tuner.delta_from(&model_before);
+    let mut distribution_bytes = 0usize;
+    for s in stores.iter_mut() {
+        let replica = s.model_mut().expect("model installed above");
+        delta.apply(replica).expect("same architecture");
+        distribution_bytes += delta.wire_bytes();
+    }
+
+    FtdmpReport {
+        run_losses,
+        feature_bytes,
+        distribution_bytes,
+        distribution_reduction: delta.traffic_reduction(),
+        examples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn::{Mlp, Trainer};
+    use ndpipe_data::{ClassUniverse, LabeledDataset};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn world(
+        rng: &mut StdRng,
+        n_stores: usize,
+        per_class: usize,
+    ) -> (Tuner, Vec<PipeStore>, LabeledDataset) {
+        let u = ClassUniverse::new(16, 8, 5, 0.25, rng);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..u.classes() {
+            for _ in 0..per_class {
+                rows.push(u.sample(c, rng));
+                labels.push(c);
+            }
+        }
+        let all = LabeledDataset::new(rows, labels, u.classes()).shuffled(rng);
+        let test_rows: Vec<Tensor> = (0..100).map(|i| u.sample(i % 5, rng)).collect();
+        let test_labels: Vec<usize> = (0..100).map(|i| i % 5).collect();
+        let test = LabeledDataset::new(test_rows, test_labels, 5);
+
+        let model = Mlp::new(&[16, 32, 24, 5], 2, rng);
+        let tuner = Tuner::new(
+            model,
+            TrainConfig {
+                batch: 16,
+                ..TrainConfig::default()
+            },
+        );
+        let stores = all
+            .shards(n_stores)
+            .into_iter()
+            .enumerate()
+            .map(|(i, shard)| PipeStore::new(i, shard))
+            .collect();
+        (tuner, stores, test)
+    }
+
+    #[test]
+    fn distributed_fine_tuning_learns() {
+        let mut rng = StdRng::seed_from_u64(71);
+        let (mut tuner, mut stores, test) = world(&mut rng, 4, 40);
+        let before = Trainer::evaluate(tuner.model(), &test);
+        let cfg = FtdmpConfig {
+            n_run: 1,
+            epochs_per_run: 20,
+            train: *tuner.config(),
+        };
+        let report = ftdmp_fine_tune(&mut tuner, &mut stores, &cfg, &mut rng);
+        let after = Trainer::evaluate(tuner.model(), &test);
+        assert!(
+            after.top1 > before.top1 + 0.2,
+            "{:.3} -> {:.3}",
+            before.top1,
+            after.top1
+        );
+        assert_eq!(report.examples, 200);
+        assert!(report.feature_bytes > 0);
+    }
+
+    #[test]
+    fn stores_end_up_with_the_master_model() {
+        let mut rng = StdRng::seed_from_u64(72);
+        let (mut tuner, mut stores, _) = world(&mut rng, 3, 20);
+        let cfg = FtdmpConfig {
+            n_run: 2,
+            epochs_per_run: 5,
+            train: *tuner.config(),
+        };
+        ftdmp_fine_tune(&mut tuner, &mut stores, &cfg, &mut rng);
+        let x = Tensor::randn(&[4, 16], &mut rng);
+        let master = tuner.model().forward(&x);
+        for s in &stores {
+            let replica = s.model().unwrap().forward(&x);
+            for (a, b) in master.data().iter().zip(replica.data()) {
+                assert!((a - b).abs() < 0.05, "replica diverged: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn delta_distribution_is_cheap() {
+        let mut rng = StdRng::seed_from_u64(73);
+        let (mut tuner, mut stores, _) = world(&mut rng, 2, 20);
+        let cfg = FtdmpConfig::default();
+        let report = ftdmp_fine_tune(&mut tuner, &mut stores, &cfg, &mut rng);
+        assert!(
+            report.distribution_reduction > 3.0,
+            "reduction {}",
+            report.distribution_reduction
+        );
+    }
+
+    #[test]
+    fn pipelined_accuracy_close_to_unpipelined_fig17() {
+        let mut rng = StdRng::seed_from_u64(74);
+        let (tuner0, stores0, test) = world(&mut rng, 4, 60);
+
+        let accuracy = |n_run: usize, rng: &mut StdRng| {
+            let mut tuner = tuner0.clone();
+            // Rebuild stores with the same shards.
+            let mut stores: Vec<PipeStore> = stores0
+                .iter()
+                .map(|s| PipeStore::new(s.id(), s.shard().clone()))
+                .collect();
+            let cfg = FtdmpConfig {
+                n_run,
+                epochs_per_run: 30 / n_run,
+                train: *tuner0.config(),
+            };
+            ftdmp_fine_tune(&mut tuner, &mut stores, &cfg, rng);
+            Trainer::evaluate(tuner.model(), &test).top1
+        };
+        let a1 = accuracy(1, &mut rng);
+        let a3 = accuracy(3, &mut rng);
+        assert!(
+            (a1 - a3).abs() < 0.08,
+            "N_run=1 {a1:.3} vs N_run=3 {a3:.3}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "widen the Tuner model")]
+    fn new_classes_require_widening_first() {
+        let mut rng = StdRng::seed_from_u64(75);
+        let (mut tuner, mut stores, _) = world(&mut rng, 2, 10);
+        // Pretend a shard saw classes beyond the model's space.
+        let wide = stores[0].shard().widened(9);
+        stores[0].set_shard(wide);
+        ftdmp_fine_tune(&mut tuner, &mut stores, &FtdmpConfig::default(), &mut rng);
+    }
+}

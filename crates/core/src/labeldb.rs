@@ -1,0 +1,253 @@
+//! The versioned label database (§3.1, §3.3, Table 1).
+//!
+//! Photo platforms index every image's label in a database to serve
+//! search queries. When the model improves, previously stored labels go
+//! stale — the *outdated label* problem. NDPipe refreshes them with
+//! near-data offline inference; this module is the database those labels
+//! live in, with the bookkeeping needed to quantify staleness.
+
+use ndpipe_data::PhotoId;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// One label record: the class plus the model version that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LabelRecord {
+    /// Predicted class.
+    pub label: usize,
+    /// Version of the model that assigned it.
+    pub model_version: u64,
+}
+
+/// A concurrent, versioned photo-label index.
+///
+/// Shared between the online-inference path (inserts on upload) and the
+/// offline-relabel path (bulk updates), hence the interior lock.
+///
+/// # Example
+///
+/// ```
+/// use ndpipe::LabelDb;
+/// use ndpipe_data::PhotoId;
+///
+/// let db = LabelDb::new();
+/// db.put(PhotoId(1), 42, 0);
+/// assert_eq!(db.get(PhotoId(1)).unwrap().label, 42);
+/// ```
+#[derive(Debug, Default)]
+pub struct LabelDb {
+    records: RwLock<HashMap<PhotoId, LabelRecord>>,
+}
+
+/// Outcome of one offline relabeling pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RelabelStats {
+    /// Photos examined.
+    pub examined: usize,
+    /// Labels that changed under the new model.
+    pub changed: usize,
+}
+
+impl RelabelStats {
+    /// Fraction of labels the new model changed (Table 1's metric, with
+    /// ground truth supplied by the caller when available).
+    pub fn changed_fraction(&self) -> f64 {
+        if self.examined == 0 {
+            0.0
+        } else {
+            self.changed as f64 / self.examined as f64
+        }
+    }
+}
+
+impl LabelDb {
+    /// An empty database.
+    pub fn new() -> Self {
+        LabelDb::default()
+    }
+
+    /// Number of indexed photos.
+    pub fn len(&self) -> usize {
+        self.records.read().len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.read().is_empty()
+    }
+
+    /// Inserts or overwrites a label.
+    pub fn put(&self, id: PhotoId, label: usize, model_version: u64) {
+        self.records.write().insert(
+            id,
+            LabelRecord {
+                label,
+                model_version,
+            },
+        );
+    }
+
+    /// Looks up a label.
+    pub fn get(&self, id: PhotoId) -> Option<LabelRecord> {
+        self.records.read().get(&id).copied()
+    }
+
+    /// Photos whose label was produced by a model older than `version`
+    /// (the offline-inference work list).
+    pub fn stale_photos(&self, version: u64) -> Vec<PhotoId> {
+        let mut ids: Vec<PhotoId> = self
+            .records
+            .read()
+            .iter()
+            .filter(|(_, r)| r.model_version < version)
+            .map(|(&id, _)| id)
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    /// Applies a batch of relabels from offline inference, returning how
+    /// many labels actually changed.
+    pub fn apply_relabels(
+        &self,
+        labels: impl IntoIterator<Item = (PhotoId, usize)>,
+        model_version: u64,
+    ) -> RelabelStats {
+        let mut map = self.records.write();
+        let mut stats = RelabelStats::default();
+        for (id, label) in labels {
+            stats.examined += 1;
+            let entry = map.entry(id).or_insert(LabelRecord {
+                label,
+                model_version,
+            });
+            if entry.label != label {
+                stats.changed += 1;
+            }
+            *entry = LabelRecord {
+                label,
+                model_version,
+            };
+        }
+        stats
+    }
+
+    /// Fraction of labels matching `truth` (photo → ground-truth class) —
+    /// the database-quality metric behind Table 1.
+    pub fn accuracy_against<F: Fn(PhotoId) -> usize>(&self, truth: F) -> f64 {
+        let map = self.records.read();
+        if map.is_empty() {
+            return 0.0;
+        }
+        let correct = map
+            .iter()
+            .filter(|(&id, r)| truth(id) == r.label)
+            .count();
+        correct as f64 / map.len() as f64
+    }
+
+    /// Fraction of photos whose label was wrong under `truth` *and* is
+    /// now fixed, relative to all photos — Table 1's "% of fixed labels"
+    /// when compared against a snapshot.
+    pub fn fixed_fraction_since<F: Fn(PhotoId) -> usize>(
+        &self,
+        snapshot: &HashMap<PhotoId, usize>,
+        truth: F,
+    ) -> f64 {
+        let map = self.records.read();
+        if snapshot.is_empty() {
+            return 0.0;
+        }
+        let fixed = snapshot
+            .iter()
+            .filter(|(id, &old_label)| {
+                let t = truth(**id);
+                old_label != t && map.get(id).is_some_and(|r| r.label == t)
+            })
+            .count();
+        fixed as f64 / snapshot.len() as f64
+    }
+
+    /// A snapshot of the current labels (photo → class).
+    pub fn snapshot(&self) -> HashMap<PhotoId, usize> {
+        self.records
+            .read()
+            .iter()
+            .map(|(&id, r)| (id, r.label))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_and_len() {
+        let db = LabelDb::new();
+        assert!(db.is_empty());
+        db.put(PhotoId(1), 3, 0);
+        db.put(PhotoId(2), 5, 0);
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.get(PhotoId(1)).unwrap().label, 3);
+        assert_eq!(db.get(PhotoId(9)), None);
+    }
+
+    #[test]
+    fn stale_photo_listing() {
+        let db = LabelDb::new();
+        db.put(PhotoId(1), 0, 0);
+        db.put(PhotoId(2), 0, 1);
+        db.put(PhotoId(3), 0, 0);
+        assert_eq!(db.stale_photos(1), vec![PhotoId(1), PhotoId(3)]);
+        assert!(db.stale_photos(0).is_empty());
+    }
+
+    #[test]
+    fn relabel_counts_changes() {
+        let db = LabelDb::new();
+        db.put(PhotoId(1), 0, 0);
+        db.put(PhotoId(2), 1, 0);
+        let stats = db.apply_relabels(vec![(PhotoId(1), 0), (PhotoId(2), 2)], 1);
+        assert_eq!(stats.examined, 2);
+        assert_eq!(stats.changed, 1);
+        assert_eq!(stats.changed_fraction(), 0.5);
+        assert_eq!(db.get(PhotoId(2)).unwrap().model_version, 1);
+    }
+
+    #[test]
+    fn accuracy_and_fixed_fraction() {
+        let db = LabelDb::new();
+        // Truth: photo id == class.
+        db.put(PhotoId(0), 0, 0); // correct
+        db.put(PhotoId(1), 9, 0); // wrong
+        db.put(PhotoId(2), 9, 0); // wrong
+        let truth = |id: PhotoId| id.0 as usize;
+        assert!((db.accuracy_against(truth) - 1.0 / 3.0).abs() < 1e-12);
+
+        let snap = db.snapshot();
+        // New model fixes photo 1 only.
+        db.apply_relabels(vec![(PhotoId(1), 1), (PhotoId(2), 9)], 1);
+        let fixed = db.fixed_fraction_since(&snap, truth);
+        assert!((fixed - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        use std::sync::Arc;
+        let db = Arc::new(LabelDb::new());
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let db = Arc::clone(&db);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100u64 {
+                    db.put(PhotoId(t * 100 + i), (i % 7) as usize, t);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(db.len(), 400);
+    }
+}

@@ -1,0 +1,307 @@
+//! NPE: the near-data processing engine (§5.4, Fig 12, Fig 19).
+//!
+//! NPE makes one PipeStore fast through four cumulative techniques:
+//!
+//! 1. **3-stage pipelining** — data loading (disk), preprocessing /
+//!    decompression (CPU) and FE&Cl (GPU) run concurrently on different
+//!    hardware; throughput becomes `1 / max(stage)` instead of
+//!    `1 / sum(stages)`.
+//! 2. **+Offload** — preprocessing moves to the inference server at
+//!    upload time; PipeStores read preprocessed binaries.
+//! 3. **+Comp** — binaries are stored DEFLATE-compressed, shrinking both
+//!    storage overhead and I/O time, at the cost of ≤2 CPU cores of
+//!    decompression.
+//! 4. **+Batch** — batch enlargement (e.g. 128 for ResNet50) keeps the
+//!    GPU efficient; bounded by device memory (Fig 19's OOM).
+//!
+//! The capacity model here produces Fig 12's per-task times and Fig 19's
+//! batch sweep; the *functional* compression path (real DEFLATE over real
+//! blobs) lives in [`crate::pipestore`].
+
+use dnn::ModelProfile;
+use hw::{GpuSpec, InstanceSpec, COMPRESSED_IMAGE_BYTES, PREPROC_IMAGE_BYTES, RAW_IMAGE_BYTES};
+
+/// Cumulative NPE optimization levels, in the order Fig 12 plots them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum NpeLevel {
+    /// No optimizations: raw reads, on-store preprocessing (1 core),
+    /// small batches.
+    Naive,
+    /// + preprocessing offloaded to the inference server.
+    Offload,
+    /// + compressed preprocessed binaries (2 decompression cores).
+    Comp,
+    /// + enlarged batch size (the reference 128).
+    Batch,
+}
+
+impl NpeLevel {
+    /// All levels in ablation order.
+    pub fn all() -> [NpeLevel; 4] {
+        [
+            NpeLevel::Naive,
+            NpeLevel::Offload,
+            NpeLevel::Comp,
+            NpeLevel::Batch,
+        ]
+    }
+
+    /// Label as Fig 12 prints it.
+    pub fn label(&self) -> &'static str {
+        match self {
+            NpeLevel::Naive => "Naive",
+            NpeLevel::Offload => "+Offload",
+            NpeLevel::Comp => "+Comp",
+            NpeLevel::Batch => "+Batch",
+        }
+    }
+}
+
+/// Which near-data task is being profiled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NpeTask {
+    /// Feature extraction for FT-DMP (preprocessed inputs, no
+    /// preprocessing stage).
+    FineTune,
+    /// Offline inference over stored photos (raw inputs at `Naive`).
+    OfflineInference,
+}
+
+/// Per-image stage times on one PipeStore, seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StageTimes {
+    /// Disk read.
+    pub read: f64,
+    /// CPU preprocessing (zero once offloaded).
+    pub preproc: f64,
+    /// CPU decompression (zero until `+Comp`).
+    pub decomp: f64,
+    /// GPU feature extraction (+ classification / classifier training).
+    pub fe: f64,
+}
+
+impl StageTimes {
+    /// Serial per-image time (no pipelining).
+    pub fn serial_total(&self) -> f64 {
+        self.read + self.preproc + self.decomp + self.fe
+    }
+
+    /// Throughput with 3-stage pipelining: the slowest stage governs.
+    /// Both CPU stages share the CPU, so they form one pipeline stage.
+    pub fn pipelined_ips(&self) -> f64 {
+        1.0 / self
+            .read
+            .max(self.preproc + self.decomp)
+            .max(self.fe)
+    }
+}
+
+/// Batch size used before the `+Batch` optimization.
+const SMALL_BATCH: usize = 8;
+
+/// Per-image stage breakdown for `task` at optimization `level`
+/// (Fig 12's bars).
+pub fn stage_times(model: &ModelProfile, task: NpeTask, level: NpeLevel) -> StageTimes {
+    let store = InstanceSpec::pipestore();
+    stage_times_on(model, task, level, &store, reference_batch(level))
+}
+
+fn reference_batch(level: NpeLevel) -> usize {
+    if level >= NpeLevel::Batch {
+        128
+    } else {
+        SMALL_BATCH
+    }
+}
+
+/// Stage breakdown with explicit hardware and batch size (Fig 19 sweeps
+/// the batch; Fig 20 swaps the accelerator).
+pub fn stage_times_on(
+    model: &ModelProfile,
+    task: NpeTask,
+    level: NpeLevel,
+    store: &InstanceSpec,
+    batch: usize,
+) -> StageTimes {
+    let gpu_ips = model.t4_inference_ips()
+        * store.total_dnn_factor()
+        * ModelProfile::batch_efficiency(batch);
+
+    let raw_input = task == NpeTask::OfflineInference && level < NpeLevel::Offload;
+    let (read_bytes, preproc, decomp) = match (raw_input, level >= NpeLevel::Comp) {
+        // Raw JPEGs: full preprocessing on one storage-server core.
+        (true, _) => (
+            RAW_IMAGE_BYTES,
+            1.0 / store.cpu.preprocess_ips(1),
+            0.0,
+        ),
+        // Preprocessed, uncompressed binaries.
+        (false, false) => (PREPROC_IMAGE_BYTES, 0.0, 0.0),
+        // Compressed binaries + 2 decompression cores.
+        (false, true) => (
+            COMPRESSED_IMAGE_BYTES,
+            0.0,
+            COMPRESSED_IMAGE_BYTES / store.cpu.decompress_bps(2),
+        ),
+    };
+
+    StageTimes {
+        read: read_bytes / store.disk.read_bps,
+        preproc,
+        decomp,
+        fe: 1.0 / gpu_ips,
+    }
+}
+
+/// Throughput of one PipeStore at a given batch size, with the Fig 19
+/// OOM guard: `None` when the batch no longer fits in device memory.
+pub fn throughput_at_batch(
+    model: &ModelProfile,
+    store: &InstanceSpec,
+    batch: usize,
+) -> Option<f64> {
+    let gpu = store.gpus.first()?;
+    if !gpu.fits_batch(
+        model.total_param_bytes(),
+        model.activation_bytes_per_image(),
+        batch,
+    ) {
+        return None;
+    }
+    let t = stage_times_on(model, NpeTask::OfflineInference, NpeLevel::Batch, store, batch);
+    Some(t.pipelined_ips())
+}
+
+/// Convenience: throughput on the standard T4 PipeStore.
+pub fn t4_throughput_at_batch(model: &ModelProfile, batch: usize) -> Option<f64> {
+    throughput_at_batch(model, &InstanceSpec::pipestore(), batch)
+}
+
+/// The accelerator spec a PipeStore would use, by name (used by the
+/// Fig 20 bench to swap in Inferentia).
+pub fn accelerator(name: &str) -> Option<GpuSpec> {
+    match name {
+        "t4" => Some(GpuSpec::tesla_t4()),
+        "v100" => Some(GpuSpec::tesla_v100()),
+        "inferentia" => Some(GpuSpec::neuron_core_v1()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig12b_naive_inference_is_preprocessing_bound() {
+        let m = ModelProfile::resnet50();
+        let t = stage_times(&m, NpeTask::OfflineInference, NpeLevel::Naive);
+        assert!(t.preproc > t.fe, "{t:?}");
+        assert!(t.preproc > t.read, "{t:?}");
+    }
+
+    #[test]
+    fn fig12_offload_removes_preprocessing() {
+        let m = ModelProfile::resnet50();
+        let naive = stage_times(&m, NpeTask::OfflineInference, NpeLevel::Naive);
+        let off = stage_times(&m, NpeTask::OfflineInference, NpeLevel::Offload);
+        assert_eq!(off.preproc, 0.0);
+        assert!(off.serial_total() < naive.serial_total());
+        // Reading 0.59 MB instead of 2.7 MB also shrinks I/O.
+        assert!(off.read < naive.read);
+    }
+
+    #[test]
+    fn fig12_comp_trades_io_for_cpu() {
+        let m = ModelProfile::resnet50();
+        let off = stage_times(&m, NpeTask::OfflineInference, NpeLevel::Offload);
+        let comp = stage_times(&m, NpeTask::OfflineInference, NpeLevel::Comp);
+        assert!(comp.read < off.read);
+        assert!(comp.decomp > 0.0);
+        // Decompression hides behind FE under pipelining (§5.4).
+        assert!(comp.decomp < comp.fe, "{comp:?}");
+    }
+
+    #[test]
+    fn fig12_batch_shrinks_fe() {
+        let m = ModelProfile::resnet50();
+        let comp = stage_times(&m, NpeTask::OfflineInference, NpeLevel::Comp);
+        let batch = stage_times(&m, NpeTask::OfflineInference, NpeLevel::Batch);
+        assert!(batch.fe < comp.fe);
+        // After all optimizations the per-store throughput reaches the
+        // Fig 13 anchor.
+        let ips = batch.pipelined_ips();
+        assert!((1900.0..2200.0).contains(&ips), "ips {ips}");
+    }
+
+    #[test]
+    fn fine_tune_path_never_preprocesses() {
+        let m = ModelProfile::resnet50();
+        for level in NpeLevel::all() {
+            let t = stage_times(&m, NpeTask::FineTune, level);
+            assert_eq!(t.preproc, 0.0, "{level:?}");
+        }
+    }
+
+    #[test]
+    fn pipelining_beats_serial_execution() {
+        let m = ModelProfile::resnet50();
+        let t = stage_times(&m, NpeTask::OfflineInference, NpeLevel::Batch);
+        assert!(t.pipelined_ips() > 1.0 / t.serial_total());
+    }
+
+    #[test]
+    fn fig19_throughput_saturates_with_batch() {
+        let m = ModelProfile::inception_v3();
+        let ips: Vec<f64> = [1usize, 8, 32, 128, 256]
+            .iter()
+            .map(|&b| t4_throughput_at_batch(&m, b).unwrap())
+            .collect();
+        // Monotone non-decreasing...
+        for w in ips.windows(2) {
+            assert!(w[1] >= w[0] - 1e-9, "{ips:?}");
+        }
+        // ...but with diminishing returns past 128 (decompression or
+        // saturation binds).
+        let gain_small = ips[2] / ips[0];
+        let gain_large = ips[4] / ips[3];
+        assert!(gain_small > 5.0, "{ips:?}");
+        assert!(gain_large < 1.2, "{ips:?}");
+    }
+
+    #[test]
+    fn fig19_vit_oom_at_large_batches() {
+        let vit = ModelProfile::vit_b16();
+        assert!(t4_throughput_at_batch(&vit, 128).is_some());
+        assert!(t4_throughput_at_batch(&vit, 512).is_none());
+    }
+
+    #[test]
+    fn levels_never_regress_and_strictly_improve_overall() {
+        let m = ModelProfile::resnet50();
+        let mut last = 0.0;
+        for level in NpeLevel::all() {
+            let ips = stage_times(&m, NpeTask::OfflineInference, level).pipelined_ips();
+            assert!(ips >= last, "{level:?} regressed: {ips} < {last}");
+            last = ips;
+        }
+        // Serial per-image cost strictly decreases at every level (+Comp
+        // pays decompression but saves more I/O), and the fully
+        // optimized engine is far faster than naive.
+        let mut serial = f64::INFINITY;
+        for level in NpeLevel::all() {
+            let t = stage_times(&m, NpeTask::OfflineInference, level).serial_total();
+            assert!(t < serial, "{level:?} serial regressed");
+            serial = t;
+        }
+        let naive = stage_times(&m, NpeTask::OfflineInference, NpeLevel::Naive).pipelined_ips();
+        assert!(last > naive * 10.0, "end-to-end gain too small");
+    }
+
+    #[test]
+    fn accelerator_lookup() {
+        assert!(accelerator("t4").is_some());
+        assert!(accelerator("inferentia").is_some());
+        assert!(accelerator("tpu").is_none());
+    }
+}

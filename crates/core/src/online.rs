@@ -1,0 +1,276 @@
+//! The online-inference server (Fig 7's inference path, §5.4's offload).
+//!
+//! New uploads hit this server first: it preprocesses each photo (once,
+//! for both inference and the PipeStore sidecar — the §5.4 offload), runs
+//! the model over *dynamically batched* requests for GPU efficiency, and
+//! emits `(label, preprocessed binary)` so the storage tier never
+//! preprocesses anything itself.
+
+use dnn::Mlp;
+use ndpipe_data::photo::preprocessed_binary;
+use ndpipe_data::Photo;
+use rand::Rng;
+use tensor::Tensor;
+
+/// One pending upload: the photo, its decoded feature vector, and where
+/// the result should go (the caller keeps the ticket index).
+#[derive(Debug)]
+struct Pending {
+    photo: Photo,
+    features: Tensor,
+}
+
+/// The result of online inference for one upload.
+#[derive(Debug, Clone)]
+pub struct OnlineResult {
+    /// The photo, unchanged.
+    pub photo: Photo,
+    /// Predicted label.
+    pub label: usize,
+    /// Preprocessed binary to ship to the photo's PipeStore (§5.4
+    /// offload), uncompressed — the store compresses on write.
+    pub preprocessed: Vec<u8>,
+}
+
+/// Throughput counters for the server.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OnlineStats {
+    /// Uploads processed.
+    pub processed: u64,
+    /// Batches executed.
+    pub batches: u64,
+}
+
+impl OnlineStats {
+    /// Mean batch size achieved by dynamic batching.
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.processed as f64 / self.batches as f64
+        }
+    }
+}
+
+/// An inference server with dynamic batching: requests queue until
+/// `batch_size` accumulate (or [`OnlineInferenceServer::flush`] forces a
+/// partial batch), then one forward pass serves them all.
+#[derive(Debug)]
+pub struct OnlineInferenceServer {
+    model: Mlp,
+    batch_size: usize,
+    preproc_bytes: usize,
+    queue: Vec<Pending>,
+    stats: OnlineStats,
+}
+
+impl OnlineInferenceServer {
+    /// Creates a server around a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` or `preproc_bytes` is zero.
+    pub fn new(model: Mlp, batch_size: usize, preproc_bytes: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        assert!(preproc_bytes > 0, "preprocessed size must be positive");
+        OnlineInferenceServer {
+            model,
+            batch_size,
+            preproc_bytes,
+            queue: Vec::new(),
+            stats: OnlineStats::default(),
+        }
+    }
+
+    /// Replaces the model (after a fine-tuning round).
+    pub fn update_model(&mut self, model: Mlp) {
+        assert_eq!(
+            model.input_dim(),
+            self.model.input_dim(),
+            "input dim changed"
+        );
+        self.model = model;
+    }
+
+    /// The live model.
+    pub fn model(&self) -> &Mlp {
+        &self.model
+    }
+
+    /// Requests waiting for a batch.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Throughput counters.
+    pub fn stats(&self) -> OnlineStats {
+        self.stats
+    }
+
+    /// Submits an upload. Returns completed results when this submission
+    /// filled a batch; otherwise the request waits in the queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` isn't a vector of the model's input width.
+    pub fn submit<R: Rng + ?Sized>(
+        &mut self,
+        photo: Photo,
+        features: Tensor,
+        rng: &mut R,
+    ) -> Vec<OnlineResult> {
+        assert_eq!(features.shape().rank(), 1, "features must be a vector");
+        assert_eq!(
+            features.len(),
+            self.model.input_dim(),
+            "feature width mismatch"
+        );
+        self.queue.push(Pending { photo, features });
+        if self.queue.len() >= self.batch_size {
+            self.run_batch(rng)
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Forces the pending partial batch through (e.g. on a latency
+    /// deadline). Returns completed results.
+    pub fn flush<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Vec<OnlineResult> {
+        if self.queue.is_empty() {
+            Vec::new()
+        } else {
+            self.run_batch(rng)
+        }
+    }
+
+    fn run_batch<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Vec<OnlineResult> {
+        let pending: Vec<Pending> = self.queue.drain(..).collect();
+        let rows: Vec<Tensor> = pending.iter().map(|p| p.features.clone()).collect();
+        let batch = Tensor::stack_rows(&rows);
+        let logits = self.model.forward(&batch);
+        let cols = logits.dims()[1];
+        self.stats.batches += 1;
+        self.stats.processed += pending.len() as u64;
+        pending
+            .into_iter()
+            .enumerate()
+            .map(|(r, p)| {
+                let row = &logits.data()[r * cols..(r + 1) * cols];
+                let mut label = 0;
+                for (c, &v) in row.iter().enumerate() {
+                    if v > row[label] {
+                        label = c;
+                    }
+                }
+                OnlineResult {
+                    photo: p.photo,
+                    label,
+                    // The §5.4 offload: preprocessing happens here, once.
+                    preprocessed: preprocessed_binary(self.preproc_bytes, rng),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndpipe_data::photo::PhotoFactory;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn server(rng: &mut StdRng, batch: usize) -> OnlineInferenceServer {
+        let model = Mlp::new(&[8, 12, 4], 1, rng);
+        OnlineInferenceServer::new(model, batch, 256)
+    }
+
+    #[test]
+    fn batches_fire_when_full() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut srv = server(&mut rng, 3);
+        let mut factory = PhotoFactory::new(128);
+        for i in 0..2 {
+            let out = srv.submit(
+                factory.make(i, 0, &mut rng),
+                Tensor::randn(&[8], &mut rng),
+                &mut rng,
+            );
+            assert!(out.is_empty(), "fired early");
+        }
+        assert_eq!(srv.queued(), 2);
+        let out = srv.submit(
+            factory.make(2, 0, &mut rng),
+            Tensor::randn(&[8], &mut rng),
+            &mut rng,
+        );
+        assert_eq!(out.len(), 3);
+        assert_eq!(srv.queued(), 0);
+        assert_eq!(srv.stats().batches, 1);
+        assert_eq!(srv.stats().processed, 3);
+    }
+
+    #[test]
+    fn flush_serves_partial_batches() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut srv = server(&mut rng, 100);
+        let mut factory = PhotoFactory::new(128);
+        srv.submit(
+            factory.make(0, 0, &mut rng),
+            Tensor::randn(&[8], &mut rng),
+            &mut rng,
+        );
+        let out = srv.flush(&mut rng);
+        assert_eq!(out.len(), 1);
+        assert!(srv.flush(&mut rng).is_empty());
+        assert!((srv.stats().mean_batch() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn results_match_direct_model_prediction() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut srv = server(&mut rng, 2);
+        let mut factory = PhotoFactory::new(128);
+        let f1 = Tensor::randn(&[8], &mut rng);
+        let f2 = Tensor::randn(&[8], &mut rng);
+        srv.submit(factory.make(0, 0, &mut rng), f1.clone(), &mut rng);
+        let out = srv.submit(factory.make(1, 0, &mut rng), f2.clone(), &mut rng);
+        let direct = |f: &Tensor| {
+            srv.model()
+                .forward(&f.reshape(&[1, 8]).expect("row"))
+                .argmax()
+        };
+        assert_eq!(out[0].label, direct(&f1));
+        assert_eq!(out[1].label, direct(&f2));
+        // Preprocessed binaries come back for the offload path.
+        assert_eq!(out[0].preprocessed.len(), 256);
+    }
+
+    #[test]
+    fn model_update_changes_future_predictions_only() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut srv = server(&mut rng, 1);
+        let new_model = Mlp::new(&[8, 12, 4], 1, &mut rng);
+        srv.update_model(new_model.clone());
+        let mut factory = PhotoFactory::new(128);
+        let f = Tensor::randn(&[8], &mut rng);
+        let out = srv.submit(factory.make(0, 0, &mut rng), f.clone(), &mut rng);
+        assert_eq!(
+            out[0].label,
+            new_model.forward(&f.reshape(&[1, 8]).expect("row")).argmax()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "feature width mismatch")]
+    fn wrong_feature_width_rejected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut srv = server(&mut rng, 1);
+        let mut factory = PhotoFactory::new(128);
+        srv.submit(
+            factory.make(0, 0, &mut rng),
+            Tensor::randn(&[5], &mut rng),
+            &mut rng,
+        );
+    }
+}

@@ -1,0 +1,377 @@
+//! The PipeStore: a storage server with a commodity accelerator.
+//!
+//! A PipeStore owns a shard of the photo pool. It stores, per photo, the
+//! raw blob and a DEFLATE-compressed preprocessed binary (§5.4's
+//! offload-and-compress design), and runs near-data work with its local
+//! model replica: feature extraction for FT-DMP and label extraction for
+//! offline inference.
+
+use dnn::Mlp;
+use ndpipe_data::deflate;
+use ndpipe_data::{LabeledDataset, Photo, PhotoId};
+use tensor::Tensor;
+
+/// One stored photo entry: raw blob plus the compressed preprocessed
+/// binary sidecar.
+#[derive(Debug, Clone)]
+pub struct StoredPhoto {
+    /// The photo and its metadata.
+    pub photo: Photo,
+    /// DEFLATE-compressed preprocessed binary.
+    pub compressed_binary: Vec<u8>,
+    /// Uncompressed preprocessed-binary size, bytes (for ratio stats).
+    pub preproc_bytes: usize,
+}
+
+/// A storage server holding a photo shard and a weight-freeze model
+/// replica for near-data processing.
+#[derive(Debug)]
+pub struct PipeStore {
+    id: usize,
+    shard: LabeledDataset,
+    photos: Vec<StoredPhoto>,
+    model: Option<Mlp>,
+}
+
+impl PipeStore {
+    /// Creates a PipeStore over a data shard (no photos attached yet).
+    pub fn new(id: usize, shard: LabeledDataset) -> Self {
+        PipeStore {
+            id,
+            shard,
+            photos: Vec::new(),
+            model: None,
+        }
+    }
+
+    /// The store's identifier.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Number of training examples in the local shard.
+    pub fn shard_len(&self) -> usize {
+        self.shard.len()
+    }
+
+    /// The local training shard.
+    pub fn shard(&self) -> &LabeledDataset {
+        &self.shard
+    }
+
+    /// Replaces the local shard (e.g. when new uploads land here).
+    pub fn set_shard(&mut self, shard: LabeledDataset) {
+        self.shard = shard;
+    }
+
+    /// Number of stored photos.
+    pub fn photo_count(&self) -> usize {
+        self.photos.len()
+    }
+
+    /// Stores a photo: compresses its preprocessed binary (shipped by the
+    /// inference server under the §5.4 offload design) and keeps both.
+    pub fn store_photo(&mut self, photo: Photo, preprocessed: Vec<u8>) {
+        let compressed = deflate::compress(&preprocessed);
+        self.photos.push(StoredPhoto {
+            photo,
+            compressed_binary: compressed,
+            preproc_bytes: preprocessed.len(),
+        });
+    }
+
+    /// Looks up a stored photo by id.
+    pub fn photo(&self, id: PhotoId) -> Option<&StoredPhoto> {
+        self.photos.iter().find(|p| p.photo.id == id)
+    }
+
+    /// Iterates over the stored photos.
+    pub fn photos(&self) -> impl Iterator<Item = &StoredPhoto> {
+        self.photos.iter()
+    }
+
+    /// Removes and returns all stored photos (used when resharding moves
+    /// a server's archive to its replacement).
+    pub fn take_photos(&mut self) -> Vec<StoredPhoto> {
+        std::mem::take(&mut self.photos)
+    }
+
+    /// Adopts already-compressed photos (the counterpart of
+    /// [`PipeStore::take_photos`]).
+    pub fn adopt_photos(&mut self, photos: Vec<StoredPhoto>) {
+        self.photos.extend(photos);
+    }
+
+    /// Average storage overhead of the compressed sidecars relative to
+    /// the raw blobs (the paper's 17.5 % figure before compression).
+    ///
+    /// Returns `None` when no photos are stored.
+    pub fn sidecar_overhead(&self) -> Option<f64> {
+        if self.photos.is_empty() {
+            return None;
+        }
+        let raw: usize = self.photos.iter().map(|p| p.photo.size()).sum();
+        let side: usize = self.photos.iter().map(|p| p.compressed_binary.len()).sum();
+        Some(side as f64 / raw as f64)
+    }
+
+    /// Installs (or replaces) the local model replica.
+    pub fn install_model(&mut self, model: Mlp) {
+        self.model = Some(model);
+    }
+
+    /// The local model replica, if one has been distributed.
+    pub fn model(&self) -> Option<&Mlp> {
+        self.model.as_ref()
+    }
+
+    /// Mutable model access (for applying Check-N-Run deltas).
+    pub fn model_mut(&mut self) -> Option<&mut Mlp> {
+        self.model.as_mut()
+    }
+
+    /// FT-DMP Store-stage: runs the weight-freeze prefix over (a slice
+    /// of) the local shard and returns `(features, labels)` to ship to
+    /// the Tuner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no model is installed or the range is out of bounds.
+    pub fn extract_features(&self, range: std::ops::Range<usize>) -> (Tensor, Vec<usize>) {
+        let model = self.model.as_ref().expect("no model installed");
+        assert!(range.end <= self.shard.len(), "range out of bounds");
+        let idx: Vec<usize> = range.collect();
+        let slice = self.shard.select(&idx);
+        let features = model.features(slice.features());
+        (features, slice.labels().to_vec())
+    }
+
+    /// Persists every stored photo (raw blob + compressed sidecar) into a
+    /// Haystack-style [`objstore::ObjectStore`]. Blobs go under key
+    /// `2·id`, sidecars under `2·id + 1` with the uncompressed length
+    /// prepended; [`PipeStore::restore_photos`] inverts this.
+    ///
+    /// # Errors
+    ///
+    /// Propagates object-store I/O errors.
+    pub fn persist_photos(
+        &self,
+        store: &mut objstore::ObjectStore,
+    ) -> Result<usize, objstore::StoreError> {
+        for p in &self.photos {
+            store.put(p.photo.id.0 * 2, &p.photo.blob)?;
+            let mut sidecar = Vec::with_capacity(4 + p.compressed_binary.len());
+            sidecar.extend_from_slice(&(p.preproc_bytes as u32).to_le_bytes());
+            sidecar.extend_from_slice(&p.compressed_binary);
+            store.put(p.photo.id.0 * 2 + 1, &sidecar)?;
+        }
+        store.sync()?;
+        Ok(self.photos.len())
+    }
+
+    /// Reloads photos previously written by [`PipeStore::persist_photos`],
+    /// replacing the in-memory photo list. Photo class/day metadata is
+    /// recovered from the synthetic blob header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates object-store errors; corrupt sidecars are an error.
+    pub fn restore_photos(
+        &mut self,
+        store: &mut objstore::ObjectStore,
+    ) -> Result<usize, objstore::StoreError> {
+        let mut blob_keys: Vec<u64> = store.keys().filter(|k| k % 2 == 0).collect();
+        blob_keys.sort_unstable();
+        let mut photos = Vec::with_capacity(blob_keys.len());
+        for key in blob_keys {
+            let Some(blob) = store.get(key)? else { continue };
+            let Some(sidecar) = store.get(key + 1)? else {
+                continue; // blob without sidecar: skip
+            };
+            if blob.len() < 16 || sidecar.len() < 4 {
+                return Err(objstore::StoreError::Corrupt {
+                    offset: 0,
+                    reason: "photo record too short",
+                });
+            }
+            let class = u32::from_le_bytes(blob[4..8].try_into().expect("fixed")) as usize;
+            let day = u32::from_le_bytes(blob[8..12].try_into().expect("fixed")) as usize;
+            let preproc_bytes =
+                u32::from_le_bytes(sidecar[..4].try_into().expect("fixed")) as usize;
+            photos.push(StoredPhoto {
+                photo: Photo {
+                    id: PhotoId(key / 2),
+                    class,
+                    day,
+                    blob: bytes::Bytes::from(blob),
+                },
+                compressed_binary: sidecar[4..].to_vec(),
+                preproc_bytes,
+            });
+        }
+        self.photos = photos;
+        Ok(self.photos.len())
+    }
+
+    /// Offline inference over every stored photo: decompresses each
+    /// preprocessed binary (integrity-checked), runs the full local
+    /// model, and returns `(photo id, label)` pairs — the only bytes that
+    /// leave the server.
+    ///
+    /// The classification input comes from the training-shard features
+    /// (our photos' blobs are synthetic); decompression still runs for
+    /// real to exercise the NPE data path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no model is installed or a sidecar fails to decompress.
+    pub fn offline_inference(&self) -> Vec<(PhotoId, usize)> {
+        let model = self.model.as_ref().expect("no model installed");
+        let mut out = Vec::with_capacity(self.photos.len());
+        for (i, stored) in self.photos.iter().enumerate() {
+            let bin = deflate::decompress(&stored.compressed_binary)
+                .expect("stored sidecar is valid deflate");
+            assert_eq!(bin.len(), stored.preproc_bytes, "sidecar corrupted");
+            // Classify the corresponding shard row (photos and shard rows
+            // are aligned by construction in `system`).
+            let row = i % self.shard.len().max(1);
+            let x = self.shard.features().row(row);
+            let logits = model.forward(
+                &x.reshape(&[1, x.len()]).expect("row reshape"),
+            );
+            out.push((stored.photo.id, logits.argmax()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndpipe_data::photo::{preprocessed_binary, PhotoFactory};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn shard(rng: &mut StdRng) -> LabeledDataset {
+        let u = ndpipe_data::ClassUniverse::new(8, 4, 3, 0.2, rng);
+        let rows: Vec<Tensor> = (0..9).map(|i| u.sample(i % 3, rng)).collect();
+        let labels: Vec<usize> = (0..9).map(|i| i % 3).collect();
+        LabeledDataset::new(rows, labels, 3)
+    }
+
+    fn model(rng: &mut StdRng) -> Mlp {
+        Mlp::new(&[8, 12, 6, 3], 2, rng)
+    }
+
+    #[test]
+    fn stores_photos_with_compressed_sidecars() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut ps = PipeStore::new(0, shard(&mut rng));
+        let mut factory = PhotoFactory::new(4096);
+        for i in 0..3 {
+            let p = factory.make(i, 0, &mut rng);
+            let bin = preprocessed_binary(2048, &mut rng);
+            ps.store_photo(p, bin);
+        }
+        assert_eq!(ps.photo_count(), 3);
+        // Sidecars compress: stored bytes < raw preprocessed bytes.
+        for p in ps.photos() {
+            assert!(p.compressed_binary.len() < p.preproc_bytes);
+        }
+        let overhead = ps.sidecar_overhead().unwrap();
+        assert!(overhead < 0.5, "overhead {overhead}");
+    }
+
+    #[test]
+    fn feature_extraction_matches_model() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let s = shard(&mut rng);
+        let m = model(&mut rng);
+        let mut ps = PipeStore::new(1, s.clone());
+        ps.install_model(m.clone());
+        let (feats, labels) = ps.extract_features(0..4);
+        assert_eq!(feats.dims(), &[4, 6]);
+        assert_eq!(labels, &s.labels()[0..4]);
+        // Same computation as calling the model directly.
+        let direct = m.features(&s.select(&[0, 1, 2, 3]).features().clone());
+        assert_eq!(feats.data(), direct.data());
+    }
+
+    #[test]
+    fn offline_inference_returns_label_per_photo() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let mut ps = PipeStore::new(2, shard(&mut rng));
+        ps.install_model(model(&mut rng));
+        let mut factory = PhotoFactory::new(1024);
+        for i in 0..5 {
+            let p = factory.make(i % 3, 0, &mut rng);
+            ps.store_photo(p, preprocessed_binary(512, &mut rng));
+        }
+        let labels = ps.offline_inference();
+        assert_eq!(labels.len(), 5);
+        assert!(labels.iter().all(|&(_, l)| l < 3));
+    }
+
+    #[test]
+    fn photo_lookup() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let mut ps = PipeStore::new(3, shard(&mut rng));
+        let mut factory = PhotoFactory::new(256);
+        let p = factory.make(0, 0, &mut rng);
+        let id = p.id;
+        ps.store_photo(p, preprocessed_binary(128, &mut rng));
+        assert!(ps.photo(id).is_some());
+        assert!(ps.photo(PhotoId(999)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "no model installed")]
+    fn extraction_requires_model() {
+        let mut rng = StdRng::seed_from_u64(45);
+        let ps = PipeStore::new(4, shard(&mut rng));
+        let _ = ps.extract_features(0..1);
+    }
+
+    #[test]
+    fn photos_persist_and_restore_through_the_object_store() {
+        let mut rng = StdRng::seed_from_u64(46);
+        let dir = std::env::temp_dir().join(format!(
+            "ndpipe-ps-objstore-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .expect("clock")
+                .as_nanos()
+        ));
+        struct Cleanup(std::path::PathBuf);
+        impl Drop for Cleanup {
+            fn drop(&mut self) {
+                std::fs::remove_dir_all(&self.0).ok();
+            }
+        }
+        let _c = Cleanup(dir.clone());
+
+        let mut ps = PipeStore::new(5, shard(&mut rng));
+        let mut factory = PhotoFactory::new(2048);
+        for i in 0..4 {
+            let p = factory.make(i % 3, 2, &mut rng);
+            ps.store_photo(p, preprocessed_binary(1024, &mut rng));
+        }
+        {
+            let mut os = objstore::ObjectStore::open(&dir, 1 << 20).expect("open");
+            assert_eq!(ps.persist_photos(&mut os).expect("persist"), 4);
+        }
+        // A fresh PipeStore (e.g. after a server restart) restores them.
+        let mut restored = PipeStore::new(5, shard(&mut rng));
+        let mut os = objstore::ObjectStore::open(&dir, 1 << 20).expect("reopen");
+        assert_eq!(restored.restore_photos(&mut os).expect("restore"), 4);
+        for (a, b) in ps.photos().zip(restored.photos()) {
+            assert_eq!(a.photo.id, b.photo.id);
+            assert_eq!(a.photo.class, b.photo.class);
+            assert_eq!(a.photo.day, b.photo.day);
+            assert_eq!(a.photo.blob, b.photo.blob);
+            assert_eq!(a.compressed_binary, b.compressed_binary);
+            assert_eq!(a.preproc_bytes, b.preproc_bytes);
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! The Tuner-side handle to a remote PipeStore.
+
+use crate::checknrun::ModelDelta;
+use crate::rpc::wire::{read_reply, write_request, Reply, Request};
+use crate::rpc::RpcError;
+use dnn::Mlp;
+use std::io::{BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+use tensor::Tensor;
+
+/// A connected remote PipeStore.
+#[derive(Debug)]
+pub struct RemotePipeStore {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    peer: std::net::SocketAddr,
+}
+
+impl RemotePipeStore {
+    /// Connects to a PipeStore server.
+    ///
+    /// # Errors
+    ///
+    /// Connection errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<RemotePipeStore, RpcError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let peer = stream.peer_addr()?;
+        Ok(RemotePipeStore {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+            peer,
+        })
+    }
+
+    /// The remote address.
+    pub fn peer(&self) -> std::net::SocketAddr {
+        self.peer
+    }
+
+    fn call(&mut self, req: &Request) -> Result<Reply, RpcError> {
+        write_request(&mut self.writer, req)?;
+        read_reply(&mut self.reader)
+    }
+
+    fn expect_ack(&mut self, req: &Request) -> Result<(), RpcError> {
+        match self.call(req)? {
+            Reply::Ack => Ok(()),
+            _ => Err(RpcError::Protocol("expected ack")),
+        }
+    }
+
+    /// Installs a model replica on the remote store.
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol/remote errors.
+    pub fn install_model(&mut self, model: &Mlp) -> Result<(), RpcError> {
+        self.expect_ack(&Request::InstallModel(model.to_bytes()))
+    }
+
+    /// Asks the store to extract features for pipeline run `run` of
+    /// `n_run`, returning `(features, labels)`.
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol/remote errors.
+    pub fn extract_features(
+        &mut self,
+        run: u32,
+        n_run: u32,
+    ) -> Result<(Tensor, Vec<usize>), RpcError> {
+        match self.call(&Request::ExtractFeatures { run, n_run })? {
+            Reply::Features { features, labels } => Ok((
+                features,
+                labels.into_iter().map(|l| l as usize).collect(),
+            )),
+            _ => Err(RpcError::Protocol("expected features")),
+        }
+    }
+
+    /// Runs near-data offline inference; only `(photo, label)` pairs come
+    /// back.
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol/remote errors.
+    pub fn offline_infer(&mut self) -> Result<Vec<(u64, u32)>, RpcError> {
+        match self.call(&Request::OfflineInfer)? {
+            Reply::Labels(pairs) => Ok(pairs),
+            _ => Err(RpcError::Protocol("expected labels")),
+        }
+    }
+
+    /// Ships a Check-N-Run delta to upgrade the remote replica.
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol/remote errors.
+    pub fn apply_delta(&mut self, delta: &ModelDelta) -> Result<(), RpcError> {
+        self.expect_ack(&Request::ApplyDelta(delta.to_bytes()))
+    }
+
+    /// Fetches `(examples, classes)` shard metadata.
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol/remote errors.
+    pub fn describe(&mut self) -> Result<(u64, u32), RpcError> {
+        match self.call(&Request::Describe)? {
+            Reply::ShardInfo { examples, classes } => Ok((examples, classes)),
+            _ => Err(RpcError::Protocol("expected shard info")),
+        }
+    }
+
+    /// Ends the session; the server returns after acknowledging.
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol errors.
+    pub fn shutdown(mut self) -> Result<(), RpcError> {
+        self.expect_ack(&Request::Shutdown)
+    }
+}

@@ -1,0 +1,92 @@
+//! FT-DMP over sockets: the Tuner drives remote PipeStores exactly as
+//! [`crate::ftdmp::ftdmp_fine_tune`] drives in-process ones.
+
+use crate::ftdmp::{FtdmpConfig, FtdmpReport};
+use crate::rpc::client::RemotePipeStore;
+use crate::rpc::RpcError;
+use crate::tuner::Tuner;
+use rand::Rng;
+use tensor::Tensor;
+
+/// Runs FT-DMP fine-tuning across remote PipeStores over TCP: installs
+/// the master model, pulls features per pipeline run, trains the
+/// classifier tail locally, and pushes the result back as Check-N-Run
+/// deltas.
+///
+/// # Errors
+///
+/// Socket/protocol/remote errors; the Tuner's model retains whatever
+/// training completed before the failure.
+///
+/// # Panics
+///
+/// Panics if `remotes` is empty or `n_run == 0`.
+pub fn ftdmp_fine_tune_remote<R: Rng + ?Sized>(
+    tuner: &mut Tuner,
+    remotes: &mut [RemotePipeStore],
+    config: &FtdmpConfig,
+    rng: &mut R,
+) -> Result<FtdmpReport, RpcError> {
+    assert!(!remotes.is_empty(), "need at least one remote PipeStore");
+    assert!(config.n_run > 0, "need at least one run");
+
+    // Sanity-check label spaces before shipping anything.
+    for remote in remotes.iter_mut() {
+        let (examples, classes) = remote.describe()?;
+        if examples < config.n_run as u64 {
+            return Err(RpcError::Remote(format!(
+                "{} shard smaller than N_run",
+                remote.peer()
+            )));
+        }
+        if classes as usize > tuner.model().num_classes() {
+            return Err(RpcError::Remote(format!(
+                "{} has wider label space than the model",
+                remote.peer()
+            )));
+        }
+    }
+
+    // 1. Distribute the current master model.
+    let model_before = tuner.model().clone();
+    for remote in remotes.iter_mut() {
+        remote.install_model(&model_before)?;
+    }
+
+    // 2. Pipeline runs: gather features, tune.
+    let mut run_losses = Vec::with_capacity(config.n_run);
+    let mut feature_bytes = 0usize;
+    let mut examples = 0usize;
+    for run in 0..config.n_run {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for remote in remotes.iter_mut() {
+            let (f, l) = remote.extract_features(run as u32, config.n_run as u32)?;
+            feature_bytes += f.len() * 4;
+            for i in 0..l.len() {
+                rows.push(f.row(i));
+            }
+            labels.extend(l);
+        }
+        examples += labels.len();
+        let features = Tensor::stack_rows(&rows);
+        let loss = tuner.train_on_features(&features, &labels, config.epochs_per_run, rng);
+        run_losses.push(loss);
+    }
+
+    // 3. Redistribute as deltas.
+    let delta = tuner.delta_from(&model_before);
+    let mut distribution_bytes = 0usize;
+    for remote in remotes.iter_mut() {
+        remote.apply_delta(&delta)?;
+        distribution_bytes += delta.wire_bytes();
+    }
+
+    Ok(FtdmpReport {
+        run_losses,
+        feature_bytes,
+        distribution_bytes,
+        distribution_reduction: delta.traffic_reduction(),
+        examples,
+    })
+}

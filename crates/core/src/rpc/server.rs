@@ -1,0 +1,195 @@
+//! The PipeStore-side request loop.
+
+use crate::checknrun::ModelDelta;
+use crate::pipestore::PipeStore;
+use crate::rpc::wire::{read_request, write_reply, Reply, Request};
+use crate::rpc::RpcError;
+use dnn::Mlp;
+use std::net::{TcpListener, TcpStream};
+
+/// Serves one Tuner session over `stream`, mutating `store` as requests
+/// arrive. Returns cleanly when the Tuner sends `Shutdown` or closes the
+/// connection.
+///
+/// # Errors
+///
+/// Socket/protocol errors. Application-level failures (e.g. applying a
+/// mismatched delta) are reported to the peer as `Error` replies and do
+/// not tear down the session.
+pub fn serve_session(store: &mut PipeStore, stream: TcpStream) -> Result<(), RpcError> {
+    let mut reader = std::io::BufReader::new(stream.try_clone()?);
+    let mut writer = std::io::BufWriter::new(stream);
+    loop {
+        let request = match read_request(&mut reader) {
+            Ok(r) => r,
+            Err(RpcError::Io(e)) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                return Ok(()); // peer hung up
+            }
+            Err(e) => return Err(e),
+        };
+        let reply = handle(store, request);
+        let done = reply.is_none();
+        write_reply(&mut writer, &reply.unwrap_or(Reply::Ack))?;
+        if done {
+            return Ok(());
+        }
+    }
+}
+
+/// Handles one request; `None` means the session should end (after the
+/// final Ack).
+fn handle(store: &mut PipeStore, request: Request) -> Option<Reply> {
+    Some(match request {
+        Request::InstallModel(bytes) => match Mlp::from_bytes(&bytes) {
+            Ok(model) => {
+                store.install_model(model);
+                Reply::Ack
+            }
+            Err(e) => Reply::Error(format!("bad model blob: {e}")),
+        },
+        Request::ExtractFeatures { run, n_run } => {
+            if n_run == 0 || run >= n_run {
+                return Some(Reply::Error("bad run index".to_string()));
+            }
+            if store.model().is_none() {
+                return Some(Reply::Error("no model installed".to_string()));
+            }
+            let n = store.shard_len();
+            let lo = run as usize * n / n_run as usize;
+            let hi = (run as usize + 1) * n / n_run as usize;
+            if lo >= hi {
+                return Some(Reply::Error("empty run slice".to_string()));
+            }
+            let (features, labels) = store.extract_features(lo..hi);
+            Reply::Features {
+                features,
+                labels: labels.into_iter().map(|l| l as u32).collect(),
+            }
+        }
+        Request::OfflineInfer => {
+            if store.model().is_none() {
+                return Some(Reply::Error("no model installed".to_string()));
+            }
+            let pairs = store
+                .offline_inference()
+                .into_iter()
+                .map(|(id, label)| (id.0, label as u32))
+                .collect();
+            Reply::Labels(pairs)
+        }
+        Request::ApplyDelta(bytes) => match ModelDelta::from_bytes(&bytes) {
+            Ok(delta) => match store.model_mut() {
+                Some(model) => match delta.apply(model) {
+                    Ok(()) => Reply::Ack,
+                    Err(e) => Reply::Error(format!("delta apply failed: {e}")),
+                },
+                None => Reply::Error("no model installed".to_string()),
+            },
+            Err(e) => Reply::Error(format!("bad delta blob: {e}")),
+        },
+        Request::Describe => Reply::ShardInfo {
+            examples: store.shard_len() as u64,
+            classes: store.shard().num_classes() as u32,
+        },
+        Request::Shutdown => return None,
+    })
+}
+
+/// Binds `addr`, accepts exactly one Tuner connection, and serves it to
+/// completion. Returns the bound address before blocking via the
+/// `on_ready` callback (useful for ephemeral ports in tests/examples).
+///
+/// # Errors
+///
+/// Bind/accept/socket errors.
+pub fn serve_pipestore_once(
+    mut store: PipeStore,
+    addr: &str,
+    on_ready: impl FnOnce(std::net::SocketAddr),
+) -> Result<PipeStore, RpcError> {
+    let listener = TcpListener::bind(addr)?;
+    on_ready(listener.local_addr()?);
+    let (stream, _) = listener.accept()?;
+    stream.set_nodelay(true).ok();
+    serve_session(&mut store, stream)?;
+    Ok(store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndpipe_data::{ClassUniverse, LabeledDataset};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn store(rng: &mut StdRng) -> PipeStore {
+        let u = ClassUniverse::new(8, 4, 3, 0.2, rng);
+        let rows: Vec<tensor::Tensor> = (0..9).map(|i| u.sample(i % 3, rng)).collect();
+        let labels: Vec<usize> = (0..9).map(|i| i % 3).collect();
+        PipeStore::new(0, LabeledDataset::new(rows, labels, 3))
+    }
+
+    #[test]
+    fn handle_rejects_work_without_model() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut s = store(&mut rng);
+        match handle(&mut s, Request::ExtractFeatures { run: 0, n_run: 1 }) {
+            Some(Reply::Error(msg)) => assert!(msg.contains("no model")),
+            other => panic!("unexpected {other:?}"),
+        }
+        match handle(&mut s, Request::OfflineInfer) {
+            Some(Reply::Error(msg)) => assert!(msg.contains("no model")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn handle_describe_and_install() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut s = store(&mut rng);
+        match handle(&mut s, Request::Describe) {
+            Some(Reply::ShardInfo { examples, classes }) => {
+                assert_eq!(examples, 9);
+                assert_eq!(classes, 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let model = Mlp::new(&[8, 6, 3], 1, &mut rng);
+        assert_eq!(
+            handle(&mut s, Request::InstallModel(model.to_bytes())),
+            Some(Reply::Ack)
+        );
+        match handle(&mut s, Request::ExtractFeatures { run: 0, n_run: 3 }) {
+            Some(Reply::Features { features, labels }) => {
+                assert_eq!(features.dims()[0], labels.len());
+                assert_eq!(features.dims()[1], 6);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn handle_rejects_garbage_blobs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut s = store(&mut rng);
+        assert!(matches!(
+            handle(&mut s, Request::InstallModel(vec![0, 1, 2])),
+            Some(Reply::Error(_))
+        ));
+        assert!(matches!(
+            handle(&mut s, Request::ApplyDelta(vec![1])),
+            Some(Reply::Error(_))
+        ));
+        assert!(matches!(
+            handle(&mut s, Request::ExtractFeatures { run: 5, n_run: 3 }),
+            Some(Reply::Error(_))
+        ));
+    }
+
+    #[test]
+    fn shutdown_ends_session() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut s = store(&mut rng);
+        assert_eq!(handle(&mut s, Request::Shutdown), None);
+    }
+}

@@ -1,0 +1,394 @@
+//! Frame format: `[u32 len][u8 tag][payload]`, all little-endian.
+
+use crate::rpc::RpcError;
+use std::io::{Read, Write};
+use tensor::Tensor;
+
+/// Hard cap on a single frame (guards against garbage length prefixes).
+pub const MAX_FRAME: usize = 256 * 1024 * 1024;
+
+/// Requests the Tuner sends to a PipeStore.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Install a full model replica (serialized `Mlp`).
+    InstallModel(Vec<u8>),
+    /// Extract features for pipeline run `run` of `n_run`.
+    ExtractFeatures {
+        /// Zero-based run index.
+        run: u32,
+        /// Total pipeline runs.
+        n_run: u32,
+    },
+    /// Run offline inference over the local shard.
+    OfflineInfer,
+    /// Apply a Check-N-Run delta to the local replica.
+    ApplyDelta(Vec<u8>),
+    /// Report shard metadata.
+    Describe,
+    /// Close the session.
+    Shutdown,
+}
+
+/// Replies a PipeStore sends back.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// Plain acknowledgment.
+    Ack,
+    /// Extracted features plus their labels.
+    Features {
+        /// `[rows, dim]` feature matrix.
+        features: Tensor,
+        /// One label per row.
+        labels: Vec<u32>,
+    },
+    /// Offline-inference output: `(photo index, label)` pairs.
+    Labels(Vec<(u64, u32)>),
+    /// Shard metadata: `(examples, classes)`.
+    ShardInfo {
+        /// Local examples.
+        examples: u64,
+        /// Label-space size.
+        classes: u32,
+    },
+    /// The store failed to handle the request.
+    Error(String),
+}
+
+const TAG_INSTALL: u8 = 1;
+const TAG_EXTRACT: u8 = 2;
+const TAG_INFER: u8 = 3;
+const TAG_DELTA: u8 = 4;
+const TAG_DESCRIBE: u8 = 5;
+const TAG_SHUTDOWN: u8 = 6;
+const TAG_ACK: u8 = 64;
+const TAG_FEATURES: u8 = 65;
+const TAG_LABELS: u8 = 66;
+const TAG_SHARD_INFO: u8 = 67;
+const TAG_ERROR: u8 = 127;
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], RpcError> {
+        if self.pos + n > self.buf.len() {
+            return Err(RpcError::Protocol("payload truncated"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u32(&mut self) -> Result<u32, RpcError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("fixed")))
+    }
+    fn u64(&mut self) -> Result<u64, RpcError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("fixed")))
+    }
+    fn finish(self) -> Result<(), RpcError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(RpcError::Protocol("trailing bytes in payload"))
+        }
+    }
+}
+
+impl Request {
+    fn encode_body(&self) -> (u8, Vec<u8>) {
+        match self {
+            Request::InstallModel(m) => (TAG_INSTALL, m.clone()),
+            Request::ExtractFeatures { run, n_run } => {
+                let mut p = Vec::with_capacity(8);
+                put_u32(&mut p, *run);
+                put_u32(&mut p, *n_run);
+                (TAG_EXTRACT, p)
+            }
+            Request::OfflineInfer => (TAG_INFER, Vec::new()),
+            Request::ApplyDelta(d) => (TAG_DELTA, d.clone()),
+            Request::Describe => (TAG_DESCRIBE, Vec::new()),
+            Request::Shutdown => (TAG_SHUTDOWN, Vec::new()),
+        }
+    }
+
+    fn decode_body(tag: u8, payload: &[u8]) -> Result<Request, RpcError> {
+        match tag {
+            TAG_INSTALL => Ok(Request::InstallModel(payload.to_vec())),
+            TAG_EXTRACT => {
+                let mut c = Cursor { buf: payload, pos: 0 };
+                let run = c.u32()?;
+                let n_run = c.u32()?;
+                c.finish()?;
+                Ok(Request::ExtractFeatures { run, n_run })
+            }
+            TAG_INFER => Ok(Request::OfflineInfer),
+            TAG_DELTA => Ok(Request::ApplyDelta(payload.to_vec())),
+            TAG_DESCRIBE => Ok(Request::Describe),
+            TAG_SHUTDOWN => Ok(Request::Shutdown),
+            _ => Err(RpcError::Protocol("unknown request tag")),
+        }
+    }
+}
+
+impl Reply {
+    fn encode_body(&self) -> (u8, Vec<u8>) {
+        match self {
+            Reply::Ack => (TAG_ACK, Vec::new()),
+            Reply::Features { features, labels } => {
+                let mut p = Vec::new();
+                put_u32(&mut p, features.dims()[0] as u32);
+                put_u32(&mut p, features.dims()[1] as u32);
+                for &x in features.data() {
+                    p.extend_from_slice(&x.to_le_bytes());
+                }
+                put_u32(&mut p, labels.len() as u32);
+                for &l in labels {
+                    put_u32(&mut p, l);
+                }
+                (TAG_FEATURES, p)
+            }
+            Reply::Labels(pairs) => {
+                let mut p = Vec::with_capacity(4 + pairs.len() * 12);
+                put_u32(&mut p, pairs.len() as u32);
+                for &(id, label) in pairs {
+                    put_u64(&mut p, id);
+                    put_u32(&mut p, label);
+                }
+                (TAG_LABELS, p)
+            }
+            Reply::ShardInfo { examples, classes } => {
+                let mut p = Vec::with_capacity(12);
+                put_u64(&mut p, *examples);
+                put_u32(&mut p, *classes);
+                (TAG_SHARD_INFO, p)
+            }
+            Reply::Error(msg) => (TAG_ERROR, msg.as_bytes().to_vec()),
+        }
+    }
+
+    fn decode_body(tag: u8, payload: &[u8]) -> Result<Reply, RpcError> {
+        match tag {
+            TAG_ACK => Ok(Reply::Ack),
+            TAG_FEATURES => {
+                let mut c = Cursor { buf: payload, pos: 0 };
+                let rows = c.u32()? as usize;
+                let dim = c.u32()? as usize;
+                if rows == 0 || dim == 0 {
+                    return Err(RpcError::Protocol("empty feature matrix"));
+                }
+                // Checked arithmetic: a crafted frame must not wrap the
+                // element count into a small number that parses.
+                let bytes = rows
+                    .checked_mul(dim)
+                    .and_then(|n| n.checked_mul(4))
+                    .ok_or(RpcError::Protocol("feature matrix too large"))?;
+                let raw = c.take(bytes)?;
+                let data: Vec<f32> = raw
+                    .chunks_exact(4)
+                    .map(|b| f32::from_le_bytes(b.try_into().expect("fixed")))
+                    .collect();
+                let n_labels = c.u32()? as usize;
+                if n_labels != rows {
+                    return Err(RpcError::Protocol("label count mismatch"));
+                }
+                let mut labels = Vec::with_capacity(n_labels);
+                for _ in 0..n_labels {
+                    labels.push(c.u32()?);
+                }
+                c.finish()?;
+                Ok(Reply::Features {
+                    features: Tensor::from_vec(data, &[rows, dim]),
+                    labels,
+                })
+            }
+            TAG_LABELS => {
+                let mut c = Cursor { buf: payload, pos: 0 };
+                let n = c.u32()? as usize;
+                let mut pairs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let id = c.u64()?;
+                    let label = c.u32()?;
+                    pairs.push((id, label));
+                }
+                c.finish()?;
+                Ok(Reply::Labels(pairs))
+            }
+            TAG_SHARD_INFO => {
+                let mut c = Cursor { buf: payload, pos: 0 };
+                let examples = c.u64()?;
+                let classes = c.u32()?;
+                c.finish()?;
+                Ok(Reply::ShardInfo { examples, classes })
+            }
+            TAG_ERROR => Ok(Reply::Error(
+                String::from_utf8_lossy(payload).into_owned(),
+            )),
+            _ => Err(RpcError::Protocol("unknown reply tag")),
+        }
+    }
+}
+
+fn write_frame<W: Write>(w: &mut W, tag: u8, payload: &[u8]) -> Result<(), RpcError> {
+    if payload.len() > MAX_FRAME {
+        return Err(RpcError::Protocol("frame too large"));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(&[tag])?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+fn read_frame<R: Read>(r: &mut R) -> Result<(u8, Vec<u8>), RpcError> {
+    let mut head = [0u8; 5];
+    r.read_exact(&mut head)?;
+    let len = u32::from_le_bytes(head[..4].try_into().expect("fixed")) as usize;
+    if len > MAX_FRAME {
+        return Err(RpcError::Protocol("frame too large"));
+    }
+    let tag = head[4];
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok((tag, payload))
+}
+
+/// Writes a request frame.
+///
+/// # Errors
+///
+/// Socket or framing errors.
+pub fn write_request<W: Write>(w: &mut W, req: &Request) -> Result<(), RpcError> {
+    let (tag, payload) = req.encode_body();
+    write_frame(w, tag, &payload)
+}
+
+/// Reads a request frame.
+///
+/// # Errors
+///
+/// Socket or framing errors.
+pub fn read_request<R: Read>(r: &mut R) -> Result<Request, RpcError> {
+    let (tag, payload) = read_frame(r)?;
+    Request::decode_body(tag, &payload)
+}
+
+/// Writes a reply frame.
+///
+/// # Errors
+///
+/// Socket or framing errors.
+pub fn write_reply<W: Write>(w: &mut W, reply: &Reply) -> Result<(), RpcError> {
+    let (tag, payload) = reply.encode_body();
+    write_frame(w, tag, &payload)
+}
+
+/// Reads a reply frame, converting remote `Error` replies into
+/// [`RpcError::Remote`].
+///
+/// # Errors
+///
+/// Socket, framing or remote errors.
+pub fn read_reply<R: Read>(r: &mut R) -> Result<Reply, RpcError> {
+    let (tag, payload) = read_frame(r)?;
+    match Reply::decode_body(tag, &payload)? {
+        Reply::Error(msg) => Err(RpcError::Remote(msg)),
+        reply => Ok(reply),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(req: Request) {
+        let mut buf = Vec::new();
+        write_request(&mut buf, &req).expect("write");
+        let back = read_request(&mut buf.as_slice()).expect("read");
+        assert_eq!(back, req);
+    }
+
+    fn roundtrip_reply(reply: Reply) {
+        let mut buf = Vec::new();
+        write_reply(&mut buf, &reply).expect("write");
+        let back = read_reply(&mut buf.as_slice()).expect("read");
+        assert_eq!(back, reply);
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip_req(Request::InstallModel(vec![1, 2, 3]));
+        roundtrip_req(Request::ExtractFeatures { run: 2, n_run: 3 });
+        roundtrip_req(Request::OfflineInfer);
+        roundtrip_req(Request::ApplyDelta(vec![9; 100]));
+        roundtrip_req(Request::Describe);
+        roundtrip_req(Request::Shutdown);
+    }
+
+    #[test]
+    fn reply_roundtrips() {
+        roundtrip_reply(Reply::Ack);
+        roundtrip_reply(Reply::Features {
+            features: Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]),
+            labels: vec![0, 1],
+        });
+        roundtrip_reply(Reply::Labels(vec![(7, 3), (9, 0)]));
+        roundtrip_reply(Reply::ShardInfo {
+            examples: 123,
+            classes: 10,
+        });
+    }
+
+    #[test]
+    fn remote_error_surfaces_as_rpc_error() {
+        let mut buf = Vec::new();
+        write_reply(&mut buf, &Reply::Error("shard missing".into())).expect("write");
+        match read_reply(&mut buf.as_slice()) {
+            Err(RpcError::Remote(msg)) => assert!(msg.contains("shard missing")),
+            other => panic!("expected remote error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_frames_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        buf.push(TAG_ACK);
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(RpcError::Protocol("frame too large"))
+        ));
+    }
+
+    #[test]
+    fn overflowing_feature_dims_rejected() {
+        // rows * dim * 4 would wrap; must be a protocol error, not a
+        // misparse.
+        let mut p = Vec::new();
+        put_u32(&mut p, u32::MAX);
+        put_u32(&mut p, u32::MAX);
+        let r = Reply::decode_body(TAG_FEATURES, &p);
+        assert!(r.is_err(), "wrapped dimensions accepted: {r:?}");
+    }
+
+    #[test]
+    fn label_count_mismatch_rejected() {
+        // Hand-craft a Features payload with inconsistent counts.
+        let mut p = Vec::new();
+        put_u32(&mut p, 2);
+        put_u32(&mut p, 1);
+        p.extend_from_slice(&1.0f32.to_le_bytes());
+        p.extend_from_slice(&2.0f32.to_le_bytes());
+        put_u32(&mut p, 1); // wrong: 2 rows but 1 label
+        put_u32(&mut p, 0);
+        assert!(Reply::decode_body(TAG_FEATURES, &p).is_err());
+    }
+}

@@ -1,0 +1,174 @@
+//! The Tuner: the fine-tuning server that manages PipeStores.
+//!
+//! The Tuner holds the master model, triggers fine-tuning and offline
+//! inference, trains the trainable tail on features shipped from
+//! PipeStores, and redistributes updated models as Check-N-Run deltas.
+
+use crate::checknrun::ModelDelta;
+use dnn::{Mlp, TrainConfig};
+use ndpipe_data::LabeledDataset;
+use rand::Rng;
+use tensor::Tensor;
+
+/// The training server of an NDPipe deployment.
+#[derive(Debug, Clone)]
+pub struct Tuner {
+    model: Mlp,
+    config: TrainConfig,
+    version: u64,
+}
+
+impl Tuner {
+    /// Creates a Tuner around an initial (pre-trained) model.
+    pub fn new(model: Mlp, config: TrainConfig) -> Self {
+        Tuner {
+            model,
+            config,
+            version: 0,
+        }
+    }
+
+    /// The current master model.
+    pub fn model(&self) -> &Mlp {
+        &self.model
+    }
+
+    /// Mutable access to the master model (full-training experiments).
+    pub fn model_mut(&mut self) -> &mut Mlp {
+        &mut self.model
+    }
+
+    /// Monotonic model version, bumped by every fine-tuning round.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The training configuration.
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// Tuner-stage of FT-DMP: trains the classifier tail on features
+    /// gathered from PipeStores for `epochs` epochs, reshuffling every
+    /// epoch. Returns the mean loss of the final epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features`/`labels` disagree or `epochs == 0`.
+    pub fn train_on_features<R: Rng + ?Sized>(
+        &mut self,
+        features: &Tensor,
+        labels: &[usize],
+        epochs: usize,
+        rng: &mut R,
+    ) -> f32 {
+        assert!(epochs > 0, "need at least one epoch");
+        assert_eq!(features.dims()[0], labels.len(), "one label per row");
+        let ds = LabeledDataset::from_matrix(
+            features.clone(),
+            labels.to_vec(),
+            self.model.num_classes(),
+        );
+        let mut last = 0.0f32;
+        for _ in 0..epochs {
+            let shuffled = ds.shuffled(rng);
+            let mut sum = 0.0f32;
+            let mut n = 0;
+            for (x, y) in shuffled.batches(self.config.batch) {
+                sum += self
+                    .model
+                    .tune_step_on_features(&x, y, self.config.lr, self.config.momentum);
+                n += 1;
+            }
+            last = sum / n.max(1) as f32;
+        }
+        self.version += 1;
+        last
+    }
+
+    /// Widens the classifier for emerging categories before fine-tuning.
+    pub fn widen_classes<R: Rng + ?Sized>(&mut self, new_classes: usize, rng: &mut R) {
+        self.model.widen_classes(new_classes, rng);
+    }
+
+    /// Produces the Check-N-Run delta that upgrades `old` to the current
+    /// master model.
+    pub fn delta_from(&self, old: &Mlp) -> ModelDelta {
+        ModelDelta::between(old, &self.model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(rng: &mut StdRng) -> (Tuner, Tensor, Vec<usize>) {
+        let model = Mlp::new(&[6, 10, 8, 4], 2, rng);
+        let feats = Tensor::randn(&[40, 8], rng);
+        let labels: Vec<usize> = (0..40).map(|i| i % 4).collect();
+        (
+            Tuner::new(
+                model,
+                TrainConfig {
+                    batch: 8,
+                    ..TrainConfig::default()
+                },
+            ),
+            feats,
+            labels,
+        )
+    }
+
+    #[test]
+    fn training_bumps_version_and_reduces_loss() {
+        let mut rng = StdRng::seed_from_u64(51);
+        let (mut tuner, feats, labels) = setup(&mut rng);
+        assert_eq!(tuner.version(), 0);
+        let first = tuner.train_on_features(&feats, &labels, 1, &mut rng);
+        let last = tuner.train_on_features(&feats, &labels, 20, &mut rng);
+        assert_eq!(tuner.version(), 2);
+        assert!(last < first, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn training_never_touches_feature_layers() {
+        let mut rng = StdRng::seed_from_u64(52);
+        let (mut tuner, feats, labels) = setup(&mut rng);
+        let x = Tensor::randn(&[3, 6], &mut rng);
+        let before = tuner.model().features(&x);
+        tuner.train_on_features(&feats, &labels, 3, &mut rng);
+        let after = tuner.model().features(&x);
+        assert_eq!(before.data(), after.data());
+    }
+
+    #[test]
+    fn widen_then_train_handles_new_classes() {
+        let mut rng = StdRng::seed_from_u64(53);
+        let (mut tuner, feats, _) = setup(&mut rng);
+        tuner.widen_classes(6, &mut rng);
+        let labels: Vec<usize> = (0..40).map(|i| i % 6).collect();
+        let loss = tuner.train_on_features(&feats, &labels, 5, &mut rng);
+        assert!(loss.is_finite());
+        assert_eq!(tuner.model().num_classes(), 6);
+    }
+
+    #[test]
+    fn delta_roundtrip_upgrades_old_replica() {
+        let mut rng = StdRng::seed_from_u64(54);
+        let (mut tuner, feats, labels) = setup(&mut rng);
+        let old = tuner.model().clone();
+        tuner.train_on_features(&feats, &labels, 10, &mut rng);
+        let delta = tuner.delta_from(&old);
+        let mut replica = old.clone();
+        delta.apply(&mut replica).expect("delta applies");
+        // The upgraded replica closely matches the master (quantized).
+        let x = Tensor::randn(&[4, 6], &mut rng);
+        let a = tuner.model().forward(&x);
+        let b = replica.forward(&x);
+        for (p, q) in a.data().iter().zip(b.data()) {
+            assert!((p - q).abs() < 0.05, "{p} vs {q}");
+        }
+    }
+}

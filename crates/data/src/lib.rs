@@ -1,0 +1,31 @@
+//! Synthetic photo-storage datasets and codecs for the NDPipe reproduction.
+//!
+//! The paper evaluates on ImageNet-1K/-21K and CIFAR-100 with real JPEG
+//! photos. Neither the datasets nor the images are available here, so this
+//! crate provides the closest synthetic equivalents that exercise the same
+//! code paths (see `DESIGN.md §Substitution policy`):
+//!
+//! - [`synth`] — drifting class-prototype feature generator: classes are
+//!   Gaussian prototypes, data distributions shift daily, and new
+//!   categories appear over time, reproducing the *outdated model* and
+//!   *outdated label* dynamics of §3,
+//! - [`dataset`] — labeled datasets, splits, and the day-by-day
+//!   [`dataset::DriftScenario`] (growth 1.78 %/day, 5.3 % new categories),
+//! - [`photo`] — photo blobs with realistic size distributions plus
+//!   preprocessed-binary sidecars,
+//! - [`deflate`] — a from-scratch RFC 1951 DEFLATE codec (LZ77 + fixed
+//!   Huffman + stored blocks) used by the NPE compression path and
+//!   Check-N-Run delta distribution,
+//! - [`spec`] — dataset presets shaped like CIFAR-100, ImageNet-1K and
+//!   ImageNet-21K (class counts scaled to laptop scale).
+
+pub mod dataset;
+pub mod deflate;
+pub mod photo;
+pub mod spec;
+pub mod synth;
+
+pub use dataset::{DriftScenario, LabeledDataset};
+pub use photo::{Photo, PhotoId};
+pub use spec::DatasetSpec;
+pub use synth::ClassUniverse;

@@ -1,0 +1,193 @@
+//! Photo blobs and preprocessed-binary sidecars.
+//!
+//! The paper's photos are ~2.7 MB JPEGs (already compressed, so nearly
+//! incompressible) and the NPE stores ~0.59 MB preprocessed binaries per
+//! photo, deflate-compressed (§5.4). This module synthesizes both kinds of
+//! blob with the right *compressibility*: JPEG-like payloads deflate at
+//! ≈1×, preprocessed tensors (smooth spatial data) deflate at several ×.
+//!
+//! Blob sizes are configurable via a scale factor so unit tests can run on
+//! kilobyte-scale photos while experiments use paper-scale sizes.
+
+use bytes::Bytes;
+use rand::Rng;
+
+/// Unique photo identifier within a storage deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PhotoId(pub u64);
+
+impl std::fmt::Display for PhotoId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "photo-{:08}", self.0)
+    }
+}
+
+/// A stored photo: the raw blob plus upload metadata.
+#[derive(Debug, Clone)]
+pub struct Photo {
+    /// Identifier.
+    pub id: PhotoId,
+    /// Ground-truth class in the synthetic universe (used to score labels).
+    pub class: usize,
+    /// Upload day (scenario time).
+    pub day: usize,
+    /// The raw "JPEG" payload.
+    pub blob: Bytes,
+}
+
+impl Photo {
+    /// Size of the raw blob in bytes.
+    pub fn size(&self) -> usize {
+        self.blob.len()
+    }
+}
+
+/// Generates photo blobs with a configurable size distribution.
+#[derive(Debug, Clone)]
+pub struct PhotoFactory {
+    mean_bytes: usize,
+    next_id: u64,
+}
+
+impl PhotoFactory {
+    /// A factory producing blobs around `mean_bytes` (±25 % uniform).
+    ///
+    /// Use `mean_bytes = 2_700_000` for paper-scale photos, small values
+    /// for tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_bytes < 16` (blobs carry a 16-byte header).
+    pub fn new(mean_bytes: usize) -> Self {
+        assert!(mean_bytes >= 16, "photos must be at least 16 bytes");
+        PhotoFactory {
+            mean_bytes,
+            next_id: 0,
+        }
+    }
+
+    /// Synthesizes one photo of class `class` uploaded on `day`.
+    ///
+    /// The payload mimics JPEG entropy-coded data: pseudo-random bytes
+    /// that DEFLATE cannot compress (ratio ≈ 1.0), behind a small
+    /// structured header.
+    pub fn make<R: Rng + ?Sized>(&mut self, class: usize, day: usize, rng: &mut R) -> Photo {
+        let id = PhotoId(self.next_id);
+        self.next_id += 1;
+        let jitter = self.mean_bytes / 4;
+        let size = self.mean_bytes - jitter + rng.gen_range(0..=2 * jitter);
+        let mut blob = Vec::with_capacity(size);
+        // JPEG-ish magic + class/day metadata.
+        blob.extend_from_slice(&[0xFF, 0xD8, 0xFF, 0xE0]);
+        blob.extend_from_slice(&(class as u32).to_le_bytes());
+        blob.extend_from_slice(&(day as u32).to_le_bytes());
+        blob.extend_from_slice(&(size as u32).to_le_bytes());
+        while blob.len() < size {
+            blob.push(rng.gen());
+        }
+        Photo {
+            id,
+            class,
+            day,
+            blob: Bytes::from(blob),
+        }
+    }
+
+    /// Number of photos created so far.
+    pub fn count(&self) -> u64 {
+        self.next_id
+    }
+}
+
+/// Builds the preprocessed binary for a photo: a quantized tensor with the
+/// smooth spatial structure of a decoded, resized, normalized image.
+///
+/// Smoothness is what makes real preprocessed images deflate well; the
+/// generator interpolates a coarse random grid so the DEFLATE codec finds
+/// long, repetitive byte runs.
+///
+/// # Panics
+///
+/// Panics if `bytes` is zero.
+pub fn preprocessed_binary<R: Rng + ?Sized>(bytes: usize, rng: &mut R) -> Vec<u8> {
+    assert!(bytes > 0, "preprocessed binary cannot be empty");
+    let mut out = Vec::with_capacity(bytes);
+    // Quantized natural-image planes are mostly flat regions (sky, walls,
+    // bokeh) with occasional gradients; mimic that segment structure.
+    let mut level: i32 = rng.gen_range(0..=255);
+    while out.len() < bytes {
+        let seg = rng.gen_range(32..=256usize).min(bytes - out.len());
+        if rng.gen_bool(0.6) {
+            // Flat region.
+            out.extend(std::iter::repeat_n(level as u8, seg));
+        } else {
+            // Linear gradient toward a new level.
+            let target: i32 = (level + rng.gen_range(-48..=48)).clamp(0, 255);
+            for k in 0..seg {
+                let v = level + (target - level) * k as i32 / seg as i32;
+                out.push(v as u8);
+            }
+            level = target;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deflate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn photos_have_unique_increasing_ids() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut f = PhotoFactory::new(1024);
+        let a = f.make(0, 0, &mut rng);
+        let b = f.make(1, 0, &mut rng);
+        assert!(a.id < b.id);
+        assert_eq!(f.count(), 2);
+    }
+
+    #[test]
+    fn photo_sizes_cluster_around_mean() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut f = PhotoFactory::new(10_000);
+        let sizes: Vec<usize> = (0..50).map(|i| f.make(i, 0, &mut rng).size()).collect();
+        let mean = sizes.iter().sum::<usize>() / sizes.len();
+        assert!((7_000..13_000).contains(&mean), "mean {mean}");
+        assert!(sizes.iter().all(|&s| (7_400..=12_600).contains(&s)));
+    }
+
+    #[test]
+    fn jpeg_like_blobs_are_incompressible() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut f = PhotoFactory::new(50_000);
+        let p = f.make(0, 0, &mut rng);
+        let r = deflate::ratio(&p.blob);
+        assert!(r < 1.1, "JPEG-like blob compressed {r}x");
+    }
+
+    #[test]
+    fn preprocessed_binaries_compress_severalfold() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let bin = preprocessed_binary(60_000, &mut rng);
+        assert_eq!(bin.len(), 60_000);
+        let r = deflate::ratio(&bin);
+        assert!(r > 2.0, "preprocessed binary only compressed {r}x");
+    }
+
+    #[test]
+    fn preprocessed_roundtrips_through_deflate() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let bin = preprocessed_binary(10_000, &mut rng);
+        let c = deflate::compress(&bin);
+        assert_eq!(deflate::decompress(&c).unwrap(), bin);
+    }
+
+    #[test]
+    fn display_id() {
+        assert_eq!(PhotoId(7).to_string(), "photo-00000007");
+    }
+}

@@ -1,0 +1,68 @@
+//! Property tests of the DEFLATE codec over adversarial input families.
+
+use ndpipe_data::deflate::{compress, compress_stored, decompress};
+use proptest::prelude::*;
+
+/// Input families that stress different codec paths.
+fn structured_inputs() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        // Arbitrary bytes.
+        prop::collection::vec(any::<u8>(), 0..2048),
+        // Long runs (RLE path / overlapping matches).
+        (any::<u8>(), 1usize..4096).prop_map(|(b, n)| vec![b; n]),
+        // Repeated short phrases (dictionary matches).
+        (prop::collection::vec(any::<u8>(), 1..16), 1usize..256)
+            .prop_map(|(phrase, reps)| phrase.repeat(reps)),
+        // Two-phase data: compressible prefix + random tail.
+        (1usize..512, prop::collection::vec(any::<u8>(), 0..512)).prop_map(|(n, tail)| {
+            let mut v = vec![0xAB; n];
+            v.extend(tail);
+            v
+        }),
+        // Ascending counters (few matches, many distinct literals).
+        (0usize..2048).prop_map(|n| (0..n).map(|i| (i % 251) as u8).collect()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every input family round-trips exactly.
+    #[test]
+    fn roundtrip_structured(data in structured_inputs()) {
+        let packed = compress(&data);
+        prop_assert_eq!(decompress(&packed).expect("valid"), data);
+    }
+
+    /// Stored-block encoding also round-trips (the fallback path).
+    #[test]
+    fn roundtrip_stored(data in prop::collection::vec(any::<u8>(), 0..70_000)) {
+        let packed = compress_stored(&data);
+        prop_assert_eq!(decompress(&packed).expect("valid"), data);
+    }
+
+    /// Decompressing arbitrary garbage never panics — it either errors
+    /// or produces some bytes, but must not crash.
+    #[test]
+    fn decompress_never_panics(garbage in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decompress(&garbage);
+    }
+
+    /// Compression is deterministic.
+    #[test]
+    fn deterministic(data in prop::collection::vec(any::<u8>(), 0..1024)) {
+        prop_assert_eq!(compress(&data), compress(&data));
+    }
+
+    /// Truncating a valid stream never yields the original data.
+    #[test]
+    fn truncation_detected(data in prop::collection::vec(any::<u8>(), 8..512), cut in 1usize..8) {
+        let packed = compress(&data);
+        prop_assume!(packed.len() > cut);
+        let truncated = &packed[..packed.len() - cut];
+        match decompress(truncated) {
+            Err(_) => {}
+            Ok(out) => prop_assert_ne!(out, data),
+        }
+    }
+}

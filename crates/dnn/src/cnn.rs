@@ -1,0 +1,162 @@
+//! Forward-only convolutional feature extractor.
+//!
+//! The paper's weight-freeze layers are CNN stacks; PipeStores only ever
+//! run them *forward* (fine-tuning freezes them, inference is forward by
+//! definition). This module provides a small conv→pool→conv→GAP extractor
+//! over NCHW image tensors, used by the §7.1 video extension and by
+//! image-shaped demos. Training still happens in the MLP head.
+
+use rand::Rng;
+use tensor::conv::{conv2d, global_avg_pool, max_pool2d, Conv2dSpec};
+use tensor::{activation, init, Tensor};
+
+/// A fixed (weight-freeze) convolutional feature extractor:
+/// `[conv3x3 → ReLU → maxpool2] × stages → global average pool`.
+///
+/// # Example
+///
+/// ```
+/// use dnn::cnn::CnnFeatureExtractor;
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use tensor::Tensor;
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let fe = CnnFeatureExtractor::new(3, &[8, 16], &mut rng);
+/// let images = Tensor::zeros(&[2, 3, 16, 16]);
+/// let feats = fe.features(&images);
+/// assert_eq!(feats.dims(), &[2, 16]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CnnFeatureExtractor {
+    /// One `(weight, bias)` per conv stage.
+    stages: Vec<(Tensor, Tensor)>,
+    in_channels: usize,
+}
+
+impl CnnFeatureExtractor {
+    /// Builds an extractor with the given per-stage output channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is empty or `in_channels == 0`.
+    pub fn new<R: Rng + ?Sized>(in_channels: usize, channels: &[usize], rng: &mut R) -> Self {
+        assert!(in_channels > 0, "need at least one input channel");
+        assert!(!channels.is_empty(), "need at least one conv stage");
+        let mut stages = Vec::with_capacity(channels.len());
+        let mut c_in = in_channels;
+        for &c_out in channels {
+            let fan_in = c_in * 9;
+            let w = init::kaiming_normal(&[c_out, c_in, 3, 3], fan_in, rng);
+            let b = Tensor::zeros(&[c_out]);
+            stages.push((w, b));
+            c_in = c_out;
+        }
+        CnnFeatureExtractor {
+            stages,
+            in_channels,
+        }
+    }
+
+    /// Number of conv stages.
+    pub fn n_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Output feature dimensionality (last stage's channels).
+    pub fn feature_dim(&self) -> usize {
+        self.stages.last().expect("non-empty").0.dims()[0]
+    }
+
+    /// Expected input channels.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Extracts `[n, feature_dim]` features from `[n, c, h, w]` images.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel count mismatches or the spatial size
+    /// collapses below the kernel before the last stage.
+    pub fn features(&self, images: &Tensor) -> Tensor {
+        assert_eq!(images.shape().rank(), 4, "input must be NCHW");
+        assert_eq!(
+            images.dims()[1],
+            self.in_channels,
+            "channel count mismatch"
+        );
+        let conv_spec = Conv2dSpec::new(3, 1, 1);
+        let pool_spec = Conv2dSpec::new(2, 2, 0);
+        let mut h = images.clone();
+        for (i, (w, b)) in self.stages.iter().enumerate() {
+            h = activation_relu4(&conv2d(&h, w, Some(b), conv_spec));
+            // Pool between stages while the plane is big enough.
+            if i + 1 < self.stages.len() && h.dims()[2] >= 2 && h.dims()[3] >= 2 {
+                h = max_pool2d(&h, pool_spec);
+            }
+        }
+        global_avg_pool(&h)
+    }
+
+    /// Parameter count (all frozen).
+    pub fn param_count(&self) -> usize {
+        self.stages.iter().map(|(w, b)| w.len() + b.len()).sum()
+    }
+}
+
+fn activation_relu4(t: &Tensor) -> Tensor {
+    activation::relu(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shapes_flow_through() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let fe = CnnFeatureExtractor::new(3, &[8, 12, 16], &mut rng);
+        assert_eq!(fe.n_stages(), 3);
+        assert_eq!(fe.feature_dim(), 16);
+        let x = Tensor::randn(&[4, 3, 16, 16], &mut rng);
+        let f = fe.features(&x);
+        assert_eq!(f.dims(), &[4, 16]);
+        assert!(f.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn features_are_deterministic_replicas() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let fe = CnnFeatureExtractor::new(1, &[4, 8], &mut rng);
+        let replica = fe.clone();
+        let x = Tensor::randn(&[2, 1, 8, 8], &mut rng);
+        assert_eq!(fe.features(&x).data(), replica.features(&x).data());
+    }
+
+    #[test]
+    fn distinct_images_get_distinct_features() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let fe = CnnFeatureExtractor::new(1, &[8], &mut rng);
+        let a = Tensor::randn(&[1, 1, 8, 8], &mut rng);
+        let b = Tensor::randn(&[1, 1, 8, 8], &mut rng);
+        assert_ne!(fe.features(&a).data(), fe.features(&b).data());
+    }
+
+    #[test]
+    fn param_count_matches_arithmetic() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let fe = CnnFeatureExtractor::new(3, &[8], &mut rng);
+        assert_eq!(fe.param_count(), 8 * 3 * 9 + 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel count mismatch")]
+    fn wrong_channels_rejected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let fe = CnnFeatureExtractor::new(3, &[8], &mut rng);
+        let x = Tensor::zeros(&[1, 1, 8, 8]);
+        let _ = fe.features(&x);
+    }
+}

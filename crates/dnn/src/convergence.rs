@@ -1,0 +1,248 @@
+//! Convergence analysis of pipelined FT-DMP (paper §5.2).
+//!
+//! The paper proves that splitting fine-tuning into `N_run` pipeline runs
+//! over sub-datasets still converges, provided the classifier starts
+//! δ-balanced (Arora et al.'s condition) and the sub-datasets are
+//! similarly distributed. Two quantities drive the result:
+//!
+//! - **Lemma 5.2** — the inter-run loss jump is bounded with confidence
+//!   `θ` by `Δ = sqrt(log(2P/θ) / (2m))` where `P` is the number of
+//!   weights and `m` the number of training samples per run,
+//! - **Theorem 5.1** — run `p+1` reaches loss `ε` within
+//!   `T ≥ log((l_p + Δ)/ε) / (η · c^{2(N−1)/N})` iterations, where `η` is
+//!   the learning rate, `c` the deficiency margin and `N` the number of
+//!   classifier layers.
+//!
+//! This module computes both bounds and checks δ-balancedness of an
+//! actual classifier stack, so experiments can verify the theory's
+//! preconditions on the live model (Fig 17's empirical counterpart).
+
+use crate::linear::Linear;
+use tensor::linalg;
+
+/// Lemma 5.2's inter-run loss bound `Δ = sqrt(log(2P/θ) / (2m))`.
+///
+/// - `num_weights` — total trainable weights `P`,
+/// - `num_samples` — training samples per run `m`,
+/// - `confidence` — union-bound confidence `θ` in `(0, 1)`.
+///
+/// # Panics
+///
+/// Panics if any count is zero or `confidence` is outside `(0, 1)`.
+///
+/// # Example
+///
+/// ```
+/// use dnn::convergence::inter_run_loss_bound;
+///
+/// // More data per run → smaller jump between runs.
+/// let few = inter_run_loss_bound(10_000, 1_000, 0.05);
+/// let many = inter_run_loss_bound(10_000, 100_000, 0.05);
+/// assert!(many < few);
+/// ```
+pub fn inter_run_loss_bound(num_weights: usize, num_samples: usize, confidence: f64) -> f64 {
+    assert!(num_weights > 0, "need at least one weight");
+    assert!(num_samples > 0, "need at least one sample");
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0,1)"
+    );
+    ((2.0 * num_weights as f64 / confidence).ln() / (2.0 * num_samples as f64)).sqrt()
+}
+
+/// Theorem 5.1's iteration bound: the number of iterations after which the
+/// next run's loss is guaranteed ≤ `target_loss`, starting from the
+/// previous run's converged loss `prev_loss`.
+///
+/// - `lr` — learning rate `η`,
+/// - `margin` — deficiency margin `c > 0`,
+/// - `layers` — classifier depth `N ≥ 1`,
+/// - `delta` — the Lemma 5.2 bound.
+///
+/// # Panics
+///
+/// Panics if `lr`, `margin` or `target_loss` is non-positive, `layers`
+/// is zero, or `delta`/`prev_loss` is negative.
+pub fn iteration_bound(
+    lr: f64,
+    margin: f64,
+    layers: usize,
+    prev_loss: f64,
+    delta: f64,
+    target_loss: f64,
+) -> f64 {
+    assert!(lr > 0.0, "learning rate must be positive");
+    assert!(margin > 0.0, "deficiency margin must be positive");
+    assert!(layers >= 1, "need at least one layer");
+    assert!(prev_loss >= 0.0 && delta >= 0.0, "losses are non-negative");
+    assert!(target_loss > 0.0, "target loss must be positive");
+    let n = layers as f64;
+    let rate = lr * margin.powf(2.0 * (n - 1.0) / n);
+    (((prev_loss + delta) / target_loss).ln() / rate).max(0.0)
+}
+
+/// Maximum Gram-matrix imbalance `max_i ‖W_{i+1}ᵀW_{i+1} − W_i W_iᵀ‖_F`
+/// across consecutive classifier layers — the δ of δ-balancedness.
+///
+/// Returns 0.0 for stacks of fewer than two layers (trivially balanced).
+pub fn delta_balance(layers: &[Linear]) -> f64 {
+    let mut worst = 0.0f64;
+    for pair in layers.windows(2) {
+        let wi = pair[0].weights();
+        let wj = pair[1].weights();
+        // W_{i+1}: [d2, d1], W_i: [d1, d0]; both Grams are [d1, d1].
+        let gram_next = linalg::matmul_tn(wj, wj);
+        let gram_this = linalg::matmul_nt(wi, wi);
+        let diff = gram_next.sub(&gram_this).frobenius_norm() as f64;
+        worst = worst.max(diff);
+    }
+    worst
+}
+
+/// Whether a classifier stack is δ-balanced for the given δ.
+pub fn is_delta_balanced(layers: &[Linear], delta: f64) -> bool {
+    delta_balance(layers) <= delta
+}
+
+/// Simulates the loss trajectory implied by the theory: each run decays
+/// the loss exponentially at rate `η·c^{2(N−1)/N}` and run boundaries add
+/// at most `Δ`. Returns the final loss after `runs` runs of
+/// `iters_per_run` iterations starting from `initial_loss`.
+///
+/// Used by tests and the Fig 17 analysis to show that for reasonable
+/// `N_run` the end loss stays near the unpipelined one.
+///
+/// # Panics
+///
+/// Panics if `runs` or `iters_per_run` is zero, or parameters violate the
+/// bounds' preconditions.
+pub fn pipelined_loss_trajectory(
+    lr: f64,
+    margin: f64,
+    layers: usize,
+    initial_loss: f64,
+    delta: f64,
+    runs: usize,
+    iters_per_run: usize,
+) -> Vec<f64> {
+    assert!(runs > 0 && iters_per_run > 0, "need work to simulate");
+    assert!(lr > 0.0 && margin > 0.0 && layers >= 1, "bad parameters");
+    let n = layers as f64;
+    let rate = lr * margin.powf(2.0 * (n - 1.0) / n);
+    let mut loss = initial_loss;
+    let mut trace = Vec::with_capacity(runs);
+    for run in 0..runs {
+        if run > 0 {
+            loss += delta;
+        }
+        loss *= (-rate * iters_per_run as f64).exp();
+        trace.push(loss);
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn delta_shrinks_with_more_samples() {
+        let d1 = inter_run_loss_bound(1_000_000, 10_000, 0.05);
+        let d2 = inter_run_loss_bound(1_000_000, 1_000_000, 0.05);
+        assert!(d2 < d1);
+        // Paper-scale: FC of ResNet50 (~2M weights), 400K images/run.
+        let d = inter_run_loss_bound(2_049_000, 400_000, 0.05);
+        assert!(d < 0.01, "Δ = {d} should be tiny at paper scale");
+    }
+
+    #[test]
+    fn delta_grows_with_more_weights() {
+        let small = inter_run_loss_bound(1_000, 10_000, 0.05);
+        let big = inter_run_loss_bound(100_000_000, 10_000, 0.05);
+        assert!(big > small);
+    }
+
+    #[test]
+    fn iteration_bound_monotonicity() {
+        // Lower target loss needs more iterations.
+        let t1 = iteration_bound(0.1, 0.5, 2, 1.0, 0.01, 0.1);
+        let t2 = iteration_bound(0.1, 0.5, 2, 1.0, 0.01, 0.01);
+        assert!(t2 > t1);
+        // Bigger learning rate converges faster.
+        let t3 = iteration_bound(0.2, 0.5, 2, 1.0, 0.01, 0.1);
+        assert!(t3 < t1);
+        // Already-converged start needs zero iterations.
+        let t4 = iteration_bound(0.1, 0.5, 2, 0.05, 0.0, 0.1);
+        assert_eq!(t4, 0.0);
+    }
+
+    #[test]
+    fn balanced_init_is_nearly_balanced() {
+        let mut rng = StdRng::seed_from_u64(31);
+        // Wide balanced-Gaussian layers have approximately equal Grams.
+        let stack = vec![
+            Linear::new(256, 256, &mut rng),
+            Linear::new(256, 256, &mut rng),
+        ];
+        let d = delta_balance(&stack);
+        // For balanced-Gaussian 256×256 layers the Gram difference
+        // concentrates around sqrt(2·d) ≈ 22.6; anything far above that
+        // would indicate a broken initializer.
+        assert!(d < 30.0, "imbalance {d}");
+        assert!(is_delta_balanced(&stack, 30.0));
+    }
+
+    #[test]
+    fn grossly_unbalanced_stack_detected() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let mut a = Linear::new(8, 8, &mut rng);
+        let b = Linear::new(8, 8, &mut rng);
+        // Blow up the first layer's weights.
+        a.set_weights(a.weights().scale(100.0), a.bias().clone());
+        let d = delta_balance(&[a, b]);
+        assert!(d > 100.0, "imbalance {d}");
+    }
+
+    #[test]
+    fn single_layer_is_trivially_balanced() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let stack = vec![Linear::new(16, 4, &mut rng)];
+        assert_eq!(delta_balance(&stack), 0.0);
+    }
+
+    #[test]
+    fn trajectory_matches_fig17_shape() {
+        // With paper-scale Δ, splitting the same iteration budget into
+        // 1, 2 or 3 runs lands at nearly the same loss; aggressive
+        // splitting (tiny runs) hurts — the catastrophic-forgetting cliff
+        // the paper sees at N_run = 4 with small sub-datasets.
+        let total_iters = 3000;
+        let delta_small = 0.004;
+        let end =
+            |runs: usize| {
+                *pipelined_loss_trajectory(
+                    0.001,
+                    0.8,
+                    2,
+                    1.0,
+                    delta_small,
+                    runs,
+                    total_iters / runs,
+                )
+                .last()
+                .unwrap()
+            };
+        let l1 = end(1);
+        let l3 = end(3);
+        assert!((l3 - l1).abs() < 0.05, "l1 {l1} vs l3 {l3}");
+        // With a large Δ (dissimilar/small sub-datasets), many runs hurt.
+        let end_big = |runs: usize| {
+            *pipelined_loss_trajectory(0.001, 0.8, 2, 1.0, 0.5, runs, total_iters / runs)
+                .last()
+                .unwrap()
+        };
+        assert!(end_big(6) > end_big(1));
+    }
+}

@@ -1,0 +1,341 @@
+//! Fully-connected layer with hand-written backward pass.
+
+use rand::Rng;
+use tensor::{init, linalg, Tensor};
+
+/// A dense layer `y = x Wᵀ + b` with SGD-with-momentum state.
+///
+/// Weights are stored `[out, in]`; inputs and outputs are row-major
+/// batches `[n, in]` / `[n, out]`.
+///
+/// # Example
+///
+/// ```
+/// use dnn::Linear;
+/// use tensor::Tensor;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let layer = Linear::new(4, 2, &mut rng);
+/// let x = Tensor::zeros(&[3, 4]);
+/// let y = layer.forward(&x);
+/// assert_eq!(y.dims(), &[3, 2]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Linear {
+    w: Tensor,
+    b: Tensor,
+    vw: Tensor,
+    vb: Tensor,
+    /// Adam state, allocated on first Adam step: (m_w, v_w, m_b, v_b, t).
+    adam: Option<AdamState>,
+}
+
+#[derive(Debug, Clone)]
+struct AdamState {
+    mw: Tensor,
+    vw: Tensor,
+    mb: Tensor,
+    vb: Tensor,
+    t: u32,
+}
+
+/// Gradients of a [`Linear`] layer for one batch.
+#[derive(Debug, Clone)]
+pub struct LinearGrads {
+    /// `∂L/∂W`, shape `[out, in]`.
+    pub dw: Tensor,
+    /// `∂L/∂b`, shape `[out]`.
+    pub db: Tensor,
+    /// `∂L/∂x`, shape `[n, in]` — propagate to the previous layer.
+    pub dx: Tensor,
+}
+
+impl Linear {
+    /// A new layer with δ-balanced Gaussian weights and zero bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new<R: Rng + ?Sized>(d_in: usize, d_out: usize, rng: &mut R) -> Self {
+        assert!(d_in > 0 && d_out > 0, "layer dimensions must be positive");
+        Linear {
+            w: init::balanced_linear(d_out, d_in, 1.0, rng),
+            b: Tensor::zeros(&[d_out]),
+            vw: Tensor::zeros(&[d_out, d_in]),
+            vb: Tensor::zeros(&[d_out]),
+            adam: None,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn d_in(&self) -> usize {
+        self.w.dims()[1]
+    }
+
+    /// Output dimensionality.
+    pub fn d_out(&self) -> usize {
+        self.w.dims()[0]
+    }
+
+    /// The weight matrix `[out, in]`.
+    pub fn weights(&self) -> &Tensor {
+        &self.w
+    }
+
+    /// The bias vector `[out]`.
+    pub fn bias(&self) -> &Tensor {
+        &self.b
+    }
+
+    /// Overwrites the weights (used by model distribution / deltas).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape differs.
+    pub fn set_weights(&mut self, w: Tensor, b: Tensor) {
+        assert_eq!(w.dims(), self.w.dims(), "weight shape mismatch");
+        assert_eq!(b.dims(), self.b.dims(), "bias shape mismatch");
+        self.w = w;
+        self.b = b;
+    }
+
+    /// Number of parameters.
+    pub fn param_count(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+
+    /// Forward pass over a batch `[n, in]` → `[n, out]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input width differs from `d_in`.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.dims()[1], self.d_in(), "input width mismatch");
+        linalg::matmul_nt(x, &self.w).add_row_bias(&self.b)
+    }
+
+    /// Backward pass: given the upstream gradient `dy` `[n, out]` and the
+    /// cached input `x` `[n, in]`, computes all three gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn backward(&self, x: &Tensor, dy: &Tensor) -> LinearGrads {
+        assert_eq!(x.dims()[0], dy.dims()[0], "batch size mismatch");
+        assert_eq!(dy.dims()[1], self.d_out(), "grad width mismatch");
+        LinearGrads {
+            dw: linalg::matmul_tn(dy, x),
+            db: dy.sum_rows(),
+            dx: linalg::matmul(dy, &self.w),
+        }
+    }
+
+    /// SGD-with-momentum update: `v ← μv − lr·g; θ ← θ + v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive or the gradient shapes differ.
+    pub fn apply(&mut self, grads: &LinearGrads, lr: f32, momentum: f32) {
+        assert!(lr > 0.0, "learning rate must be positive");
+        self.vw = self.vw.scale(momentum);
+        self.vw.axpy(-lr, &grads.dw);
+        self.w = self.w.add(&self.vw);
+        self.vb = self.vb.scale(momentum);
+        self.vb.axpy(-lr, &grads.db);
+        self.b = self.b.add(&self.vb);
+    }
+
+    /// One update step under any [`crate::optim::Optimizer`]. For SGD this is exactly
+    /// [`Linear::apply`]; Adam allocates its moment state lazily.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive or gradient shapes differ.
+    pub fn step(&mut self, grads: &LinearGrads, lr: f32, opt: crate::optim::Optimizer) {
+        use crate::optim::Optimizer;
+        match opt {
+            Optimizer::Sgd { momentum } => self.apply(grads, lr, momentum),
+            Optimizer::Adam { beta1, beta2, eps } => {
+                assert!(lr > 0.0, "learning rate must be positive");
+                let state = self.adam.get_or_insert_with(|| AdamState {
+                    mw: Tensor::zeros(self.w.dims()),
+                    vw: Tensor::zeros(self.w.dims()),
+                    mb: Tensor::zeros(self.b.dims()),
+                    vb: Tensor::zeros(self.b.dims()),
+                    t: 0,
+                });
+                state.t += 1;
+                let t = state.t as f32;
+                let bc1 = 1.0 - beta1.powf(t);
+                let bc2 = 1.0 - beta2.powf(t);
+                let adam_update =
+                    |theta: &mut Tensor, m: &mut Tensor, v: &mut Tensor, g: &Tensor| {
+                        for i in 0..g.len() {
+                            let gi = g.data()[i];
+                            let mi = beta1 * m.data()[i] + (1.0 - beta1) * gi;
+                            let vi = beta2 * v.data()[i] + (1.0 - beta2) * gi * gi;
+                            m.data_mut()[i] = mi;
+                            v.data_mut()[i] = vi;
+                            let m_hat = mi / bc1;
+                            let v_hat = vi / bc2;
+                            theta.data_mut()[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+                        }
+                    };
+                adam_update(&mut self.w, &mut state.mw, &mut state.vw, &grads.dw);
+                adam_update(&mut self.b, &mut state.mb, &mut state.vb, &grads.db);
+            }
+        }
+    }
+
+    /// Resets momentum buffers and Adam state (used between pipeline
+    /// runs).
+    pub fn reset_momentum(&mut self) {
+        self.vw = Tensor::zeros(self.vw.dims());
+        self.vb = Tensor::zeros(self.vb.dims());
+        self.adam = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tensor::activation;
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let l = Linear::new(5, 3, &mut rng);
+        let x = Tensor::randn(&[7, 5], &mut rng);
+        assert_eq!(l.forward(&x).dims(), &[7, 3]);
+        assert_eq!(l.param_count(), 18);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut l = Linear::new(4, 3, &mut rng);
+        let x = Tensor::randn(&[5, 4], &mut rng);
+        let labels = [0usize, 1, 2, 0, 1];
+
+        let loss = |l: &Linear| activation::cross_entropy(&l.forward(&x), &labels);
+        let logits = l.forward(&x);
+        let dy = activation::cross_entropy_grad(&logits, &labels);
+        let grads = l.backward(&x, &dy);
+
+        let eps = 1e-2;
+        // Check a sample of weight entries.
+        for &(i, j) in &[(0usize, 0usize), (1, 2), (2, 3)] {
+            let orig = l.weights().at(&[i, j]);
+            let mut wp = l.weights().clone();
+            wp.set(&[i, j], orig + eps);
+            let mut lp = l.clone();
+            lp.set_weights(wp, l.bias().clone());
+            let mut wm = l.weights().clone();
+            wm.set(&[i, j], orig - eps);
+            let mut lm = l.clone();
+            lm.set_weights(wm, l.bias().clone());
+            let num = (loss(&lp) - loss(&lm)) / (2.0 * eps);
+            let ana = grads.dw.at(&[i, j]);
+            assert!((num - ana).abs() < 1e-2, "dW[{i},{j}]: {num} vs {ana}");
+        }
+        // Check bias gradient.
+        let orig_b = l.bias().clone();
+        let mut bp = orig_b.clone();
+        bp.set(&[1], orig_b.at(&[1]) + eps);
+        let mut lp = l.clone();
+        lp.set_weights(l.weights().clone(), bp);
+        let mut bm = orig_b.clone();
+        bm.set(&[1], orig_b.at(&[1]) - eps);
+        let mut lm = l.clone();
+        lm.set_weights(l.weights().clone(), bm);
+        let num = (loss(&lp) - loss(&lm)) / (2.0 * eps);
+        assert!((num - grads.db.at(&[1])).abs() < 1e-2);
+        // dx has the input's shape.
+        assert_eq!(grads.dx.dims(), x.dims());
+        let _ = &mut l;
+    }
+
+    #[test]
+    fn sgd_descends_on_a_toy_problem() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut l = Linear::new(2, 2, &mut rng);
+        // Learn to classify x by sign of first coordinate.
+        let x = Tensor::from_vec(
+            vec![1.0, 0.3, -1.0, 0.1, 2.0, -0.5, -2.0, 0.8],
+            &[4, 2],
+        );
+        let labels = [0usize, 1, 0, 1];
+        let mut first_loss = 0.0;
+        let mut last_loss = 0.0;
+        for step in 0..200 {
+            let logits = l.forward(&x);
+            let loss = activation::cross_entropy(&logits, &labels);
+            if step == 0 {
+                first_loss = loss;
+            }
+            last_loss = loss;
+            let dy = activation::cross_entropy_grad(&logits, &labels);
+            let g = l.backward(&x, &dy);
+            l.apply(&g, 0.5, 0.9);
+        }
+        assert!(
+            last_loss < first_loss * 0.1,
+            "loss {first_loss} -> {last_loss}"
+        );
+    }
+
+    #[test]
+    fn adam_descends_on_a_toy_problem() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut l = Linear::new(2, 2, &mut rng);
+        let x = Tensor::from_vec(
+            vec![1.0, 0.3, -1.0, 0.1, 2.0, -0.5, -2.0, 0.8],
+            &[4, 2],
+        );
+        let labels = [0usize, 1, 0, 1];
+        let opt = crate::optim::Optimizer::adam();
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for step in 0..200 {
+            let logits = l.forward(&x);
+            let loss = activation::cross_entropy(&logits, &labels);
+            if step == 0 {
+                first = loss;
+            }
+            last = loss;
+            let dy = activation::cross_entropy_grad(&logits, &labels);
+            let g = l.backward(&x, &dy);
+            l.step(&g, 0.05, opt);
+        }
+        assert!(last < first * 0.1, "adam loss {first} -> {last}");
+    }
+
+    #[test]
+    fn adam_state_resets_with_momentum() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut l = Linear::new(2, 2, &mut rng);
+        let x = Tensor::randn(&[2, 2], &mut rng);
+        let dy = Tensor::randn(&[2, 2], &mut rng);
+        let g = l.backward(&x, &dy);
+        l.step(&g, 0.01, crate::optim::Optimizer::adam());
+        assert!(l.adam.is_some());
+        l.reset_momentum();
+        assert!(l.adam.is_none());
+    }
+
+    #[test]
+    fn momentum_reset() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut l = Linear::new(2, 2, &mut rng);
+        let x = Tensor::randn(&[2, 2], &mut rng);
+        let dy = Tensor::randn(&[2, 2], &mut rng);
+        let g = l.backward(&x, &dy);
+        l.apply(&g, 0.1, 0.9);
+        assert!(l.vw.frobenius_norm() > 0.0);
+        l.reset_momentum();
+        assert_eq!(l.vw.frobenius_norm(), 0.0);
+    }
+}

@@ -1,0 +1,581 @@
+//! Executable multi-layer perceptron with a feature/classifier split.
+//!
+//! The paper's fine-tuning setup (§2.1) freezes the feature-extraction
+//! layers and trains the classifier tail. `Mlp` makes that split a
+//! first-class concept: layers `0..split` are the *weight-freeze* feature
+//! extractor, layers `split..` the *trainable* classifier. FT-DMP runs
+//! [`Mlp::features`] on PipeStores and the classifier update on the Tuner.
+
+use crate::linear::Linear;
+use rand::Rng;
+use tensor::{activation, Tensor};
+
+/// An MLP with ReLU between layers and a feature/classifier boundary.
+///
+/// # Example
+///
+/// ```
+/// use dnn::Mlp;
+/// use tensor::Tensor;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// // 8-dim input → [16, 12] features → 4 classes; classifier = last layer.
+/// let m = Mlp::new(&[8, 16, 12, 4], 2, &mut rng);
+/// let x = Tensor::zeros(&[3, 8]);
+/// assert_eq!(m.forward(&x).dims(), &[3, 4]);
+/// assert_eq!(m.features(&x).dims(), &[3, 12]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    split: usize,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer widths.
+    ///
+    /// `dims = [in, h1, ..., out]` produces `dims.len() - 1` layers.
+    /// `split` is the index of the first *trainable* (classifier) layer;
+    /// `split == 0` means everything is trainable, `split == n_layers`
+    /// would freeze everything and is rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two dims are given or `split` is out of range.
+    pub fn new<R: Rng + ?Sized>(dims: &[usize], split: usize, rng: &mut R) -> Self {
+        assert!(dims.len() >= 2, "need at least one layer");
+        let n_layers = dims.len() - 1;
+        assert!(
+            split < n_layers,
+            "split {split} leaves no trainable layer (of {n_layers})"
+        );
+        let layers = dims
+            .windows(2)
+            .map(|w| Linear::new(w[0], w[1], rng))
+            .collect();
+        Mlp { layers, split }
+    }
+
+    /// Number of layers.
+    pub fn n_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Index of the first trainable (classifier) layer.
+    pub fn split(&self) -> usize {
+        self.split
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].d_in()
+    }
+
+    /// Number of output classes.
+    pub fn num_classes(&self) -> usize {
+        self.layers.last().expect("non-empty").d_out()
+    }
+
+    /// Feature dimensionality at the freeze boundary.
+    pub fn feature_dim(&self) -> usize {
+        if self.split == 0 {
+            self.input_dim()
+        } else {
+            self.layers[self.split - 1].d_out()
+        }
+    }
+
+    /// Total parameter count.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Linear::param_count).sum()
+    }
+
+    /// Parameter count of the trainable classifier tail.
+    pub fn classifier_param_count(&self) -> usize {
+        self.layers[self.split..]
+            .iter()
+            .map(Linear::param_count)
+            .sum()
+    }
+
+    /// The trainable classifier layers (for convergence checks and
+    /// Check-N-Run deltas).
+    pub fn classifier_layers(&self) -> &[Linear] {
+        &self.layers[self.split..]
+    }
+
+    /// Mutable access to the classifier layers (for applying distributed
+    /// weight deltas).
+    pub fn classifier_layers_mut(&mut self) -> &mut [Linear] {
+        &mut self.layers[self.split..]
+    }
+
+    /// Full forward pass: `[n, in]` → logits `[n, classes]`.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let mut h = x.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(&h);
+            if i + 1 < self.layers.len() {
+                h = activation::relu(&h);
+            }
+        }
+        h
+    }
+
+    /// Feature extraction: the weight-freeze prefix only (what a PipeStore
+    /// computes and ships to the Tuner). For `split == 0` this is the
+    /// identity.
+    pub fn features(&self, x: &Tensor) -> Tensor {
+        let mut h = x.clone();
+        for layer in &self.layers[..self.split] {
+            h = activation::relu(&layer.forward(&h));
+        }
+        h
+    }
+
+    /// Classifier-only forward from precomputed features (what the Tuner
+    /// computes).
+    pub fn classify_features(&self, features: &Tensor) -> Tensor {
+        let mut h = features.clone();
+        for (i, layer) in self.layers[self.split..].iter().enumerate() {
+            h = layer.forward(&h);
+            if self.split + i + 1 < self.layers.len() {
+                h = activation::relu(&h);
+            }
+        }
+        h
+    }
+
+    /// One SGD step training layers `freeze_below..`, back-propagating the
+    /// cross-entropy loss. Returns the pre-update batch loss.
+    ///
+    /// - `freeze_below = 0` → full training,
+    /// - `freeze_below = self.split()` → fine-tuning (FT-DMP's Tuner-side
+    ///   update),
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freeze_below >= n_layers` (nothing to train) or shapes
+    /// mismatch.
+    pub fn train_step(
+        &mut self,
+        x: &Tensor,
+        labels: &[usize],
+        lr: f32,
+        momentum: f32,
+        freeze_below: usize,
+    ) -> f32 {
+        self.train_step_with(
+            x,
+            labels,
+            lr,
+            crate::optim::Optimizer::sgd(momentum),
+            freeze_below,
+        )
+    }
+
+    /// Like [`Mlp::train_step`] but under any [`crate::optim::Optimizer`]
+    /// (e.g. Adam for the classifier tail).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freeze_below >= n_layers` or shapes mismatch.
+    pub fn train_step_with(
+        &mut self,
+        x: &Tensor,
+        labels: &[usize],
+        lr: f32,
+        opt: crate::optim::Optimizer,
+        freeze_below: usize,
+    ) -> f32 {
+        assert!(
+            freeze_below < self.layers.len(),
+            "freeze_below leaves no trainable layer"
+        );
+        // Forward with caches: inputs[i] is the input to layer i,
+        // pre[i] its pre-activation output.
+        let mut inputs = Vec::with_capacity(self.layers.len());
+        let mut pre = Vec::with_capacity(self.layers.len());
+        let mut h = x.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            inputs.push(h.clone());
+            let z = layer.forward(&h);
+            pre.push(z.clone());
+            h = if i + 1 < self.layers.len() {
+                activation::relu(&z)
+            } else {
+                z
+            };
+        }
+        let logits = h;
+        let loss = activation::cross_entropy(&logits, labels);
+        let mut dy = activation::cross_entropy_grad(&logits, labels);
+
+        for i in (freeze_below..self.layers.len()).rev() {
+            let grads = self.layers[i].backward(&inputs[i], &dy);
+            self.layers[i].step(&grads, lr, opt);
+            if i > freeze_below {
+                // Gradient through the ReLU that preceded layer i.
+                let mask = activation::relu_grad_mask(&pre[i - 1]);
+                dy = grads.dx.mul(&mask);
+            }
+        }
+        loss
+    }
+
+    /// One fine-tuning step from *precomputed features* (the Tuner-side
+    /// path of FT-DMP: features arrive from PipeStores, only the
+    /// classifier is updated). Returns the pre-update batch loss.
+    pub fn tune_step_on_features(
+        &mut self,
+        features: &Tensor,
+        labels: &[usize],
+        lr: f32,
+        momentum: f32,
+    ) -> f32 {
+        let split = self.split;
+        let tail = self.layers.len() - split;
+        let mut inputs = Vec::with_capacity(tail);
+        let mut pre = Vec::with_capacity(tail);
+        let mut h = features.clone();
+        for (k, layer) in self.layers[split..].iter().enumerate() {
+            inputs.push(h.clone());
+            let z = layer.forward(&h);
+            pre.push(z.clone());
+            h = if split + k + 1 < self.layers.len() {
+                activation::relu(&z)
+            } else {
+                z
+            };
+        }
+        let loss = activation::cross_entropy(&h, labels);
+        let mut dy = activation::cross_entropy_grad(&h, labels);
+        for k in (0..tail).rev() {
+            let grads = self.layers[split + k].backward(&inputs[k], &dy);
+            self.layers[split + k].apply(&grads, lr, momentum);
+            if k > 0 {
+                let mask = activation::relu_grad_mask(&pre[k - 1]);
+                dy = grads.dx.mul(&mask);
+            }
+        }
+        loss
+    }
+
+    /// Widens the output layer to `new_classes`, preserving existing class
+    /// weights and initializing the new rows near zero. This is how the
+    /// model learns *emerging categories* without forgetting old ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_classes` is smaller than the current class count.
+    pub fn widen_classes<R: Rng + ?Sized>(&mut self, new_classes: usize, rng: &mut R) {
+        let old = self.num_classes();
+        assert!(new_classes >= old, "cannot drop classes");
+        if new_classes == old {
+            return;
+        }
+        let last = self.layers.last().expect("non-empty");
+        let d_in = last.d_in();
+        let mut fresh = Linear::new(d_in, new_classes, rng);
+        // Copy old rows; scale fresh rows down so they start unconfident.
+        let mut w = fresh.weights().scale(0.1);
+        let mut b = Tensor::zeros(&[new_classes]);
+        for r in 0..old {
+            for c in 0..d_in {
+                w.set(&[r, c], last.weights().at(&[r, c]));
+            }
+            b.set(&[r], last.bias().at(&[r]));
+        }
+        fresh.set_weights(w, b);
+        *self.layers.last_mut().expect("non-empty") = fresh;
+    }
+
+    /// Resets momentum in all trainable layers (between pipeline runs).
+    pub fn reset_momentum(&mut self) {
+        for l in &mut self.layers {
+            l.reset_momentum();
+        }
+    }
+
+    /// Serializes the model (architecture + weights, not optimizer state)
+    /// to a portable little-endian byte format, used for model
+    /// distribution over the wire and for checkpoints.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(b"NDPM");
+        out.extend_from_slice(&(self.layers.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.split as u32).to_le_bytes());
+        for l in &self.layers {
+            out.extend_from_slice(&(l.d_in() as u32).to_le_bytes());
+            out.extend_from_slice(&(l.d_out() as u32).to_le_bytes());
+            for &x in l.weights().data() {
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+            for &x in l.bias().data() {
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Reconstructs a model from [`Mlp::to_bytes`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first framing problem found.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Mlp, String> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], String> {
+            if *pos + n > bytes.len() {
+                return Err(format!("model blob truncated at byte {pos}", pos = *pos));
+            }
+            let s = &bytes[*pos..*pos + n];
+            *pos += n;
+            Ok(s)
+        };
+        if take(&mut pos, 4)? != b"NDPM" {
+            return Err("bad model magic".to_string());
+        }
+        let u32_at = |pos: &mut usize| -> Result<u32, String> {
+            Ok(u32::from_le_bytes(
+                take(pos, 4)?.try_into().expect("fixed slice"),
+            ))
+        };
+        let n_layers = u32_at(&mut pos)? as usize;
+        let split = u32_at(&mut pos)? as usize;
+        if n_layers == 0 || split >= n_layers {
+            return Err("invalid layer count or split".to_string());
+        }
+        let mut layers: Vec<Linear> = Vec::with_capacity(n_layers);
+        let mut rng = SerdeRng;
+        for _ in 0..n_layers {
+            let d_in = u32_at(&mut pos)? as usize;
+            let d_out = u32_at(&mut pos)? as usize;
+            if d_in == 0 || d_out == 0 {
+                return Err("zero layer dimension".to_string());
+            }
+            // Layers must chain, or forward() would panic later.
+            if let Some(prev) = layers.last() {
+                if prev.d_out() != d_in {
+                    return Err(format!(
+                        "layer dimension mismatch: {} feeds {}",
+                        prev.d_out(),
+                        d_in
+                    ));
+                }
+            }
+            let read_f32s = |pos: &mut usize, n: usize| -> Result<Vec<f32>, String> {
+                let raw = take(pos, n * 4)?;
+                Ok(raw
+                    .chunks_exact(4)
+                    .map(|c| f32::from_le_bytes(c.try_into().expect("fixed slice")))
+                    .collect())
+            };
+            let w = Tensor::from_vec(read_f32s(&mut pos, d_out * d_in)?, &[d_out, d_in]);
+            let b = Tensor::from_vec(read_f32s(&mut pos, d_out)?, &[d_out]);
+            let mut layer = Linear::new(d_in, d_out, &mut rng);
+            layer.set_weights(w, b);
+            layers.push(layer);
+        }
+        if pos != bytes.len() {
+            return Err("trailing bytes after model".to_string());
+        }
+        Ok(Mlp { layers, split })
+    }
+}
+
+/// A trivial RNG for constructing layers that are immediately
+/// overwritten during deserialization.
+struct SerdeRng;
+
+impl rand::RngCore for SerdeRng {
+    fn next_u32(&mut self) -> u32 {
+        0x9E3779B9
+    }
+    fn next_u64(&mut self) -> u64 {
+        0x9E3779B97F4A7C15
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        dest.fill(0x5A);
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_model(rng: &mut StdRng) -> Mlp {
+        Mlp::new(&[4, 12, 8, 3], 2, rng)
+    }
+
+    #[test]
+    fn shapes_and_counts() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = toy_model(&mut rng);
+        assert_eq!(m.n_layers(), 3);
+        assert_eq!(m.split(), 2);
+        assert_eq!(m.feature_dim(), 8);
+        assert_eq!(m.num_classes(), 3);
+        assert_eq!(m.param_count(), (4 * 12 + 12) + (12 * 8 + 8) + (8 * 3 + 3));
+        assert_eq!(m.classifier_param_count(), 8 * 3 + 3);
+    }
+
+    #[test]
+    fn features_then_classify_equals_forward() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = toy_model(&mut rng);
+        let x = Tensor::randn(&[5, 4], &mut rng);
+        let direct = m.forward(&x);
+        let via = m.classify_features(&m.features(&x));
+        for (a, b) in direct.data().iter().zip(via.data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn fine_tuning_leaves_features_frozen() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut m = toy_model(&mut rng);
+        let x = Tensor::randn(&[8, 4], &mut rng);
+        let labels: Vec<usize> = (0..8).map(|i| i % 3).collect();
+        let feats_before = m.features(&x);
+        for _ in 0..5 {
+            m.train_step(&x, &labels, 0.1, 0.9, m.split());
+        }
+        let feats_after = m.features(&x);
+        assert_eq!(feats_before.data(), feats_after.data());
+    }
+
+    #[test]
+    fn full_training_moves_features() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut m = toy_model(&mut rng);
+        let x = Tensor::randn(&[8, 4], &mut rng);
+        let labels: Vec<usize> = (0..8).map(|i| i % 3).collect();
+        let feats_before = m.features(&x);
+        for _ in 0..5 {
+            m.train_step(&x, &labels, 0.1, 0.9, 0);
+        }
+        let feats_after = m.features(&x);
+        assert_ne!(feats_before.data(), feats_after.data());
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut m = toy_model(&mut rng);
+        let x = Tensor::randn(&[30, 4], &mut rng);
+        let labels: Vec<usize> = (0..30).map(|i| i % 3).collect();
+        let first = m.train_step(&x, &labels, 0.2, 0.9, 0);
+        let mut last = first;
+        for _ in 0..100 {
+            last = m.train_step(&x, &labels, 0.2, 0.9, 0);
+        }
+        assert!(last < first * 0.5, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn tune_on_features_matches_train_step_semantics() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut a = toy_model(&mut rng);
+        let mut b = a.clone();
+        let x = Tensor::randn(&[10, 4], &mut rng);
+        let labels: Vec<usize> = (0..10).map(|i| i % 3).collect();
+        let la = a.train_step(&x, &labels, 0.1, 0.0, a.split());
+        let feats = b.features(&x);
+        let lb = b.tune_step_on_features(&feats, &labels, 0.1, 0.0);
+        assert!((la - lb).abs() < 1e-6, "{la} vs {lb}");
+        // Resulting classifier weights agree.
+        for (wa, wb) in a.classifier_layers().iter().zip(b.classifier_layers()) {
+            for (x1, x2) in wa.weights().data().iter().zip(wb.weights().data()) {
+                assert!((x1 - x2).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn widen_preserves_old_logits() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut m = toy_model(&mut rng);
+        let x = Tensor::randn(&[4, 4], &mut rng);
+        let before = m.forward(&x);
+        m.widen_classes(5, &mut rng);
+        assert_eq!(m.num_classes(), 5);
+        let after = m.forward(&x);
+        for r in 0..4 {
+            for c in 0..3 {
+                assert!((before.at(&[r, c]) - after.at(&[r, c])).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no trainable layer")]
+    fn split_must_leave_trainable_layers() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let _ = Mlp::new(&[4, 4, 2], 2, &mut rng);
+    }
+
+    #[test]
+    fn adam_trains_the_whole_stack() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut m = toy_model(&mut rng);
+        let x = Tensor::randn(&[30, 4], &mut rng);
+        let labels: Vec<usize> = (0..30).map(|i| i % 3).collect();
+        let opt = crate::optim::Optimizer::adam();
+        let first = m.train_step_with(&x, &labels, 0.01, opt, 0);
+        let mut last = first;
+        for _ in 0..150 {
+            last = m.train_step_with(&x, &labels, 0.01, opt, 0);
+        }
+        assert!(last < first * 0.5, "adam loss {first} -> {last}");
+    }
+
+    #[test]
+    fn serialization_roundtrips_exactly() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let m = toy_model(&mut rng);
+        let bytes = m.to_bytes();
+        let back = Mlp::from_bytes(&bytes).expect("valid blob");
+        assert_eq!(back.n_layers(), m.n_layers());
+        assert_eq!(back.split(), m.split());
+        let x = Tensor::randn(&[5, 4], &mut rng);
+        assert_eq!(m.forward(&x).data(), back.forward(&x).data());
+    }
+
+    #[test]
+    fn mismatched_layer_chain_rejected() {
+        let mut rng = StdRng::seed_from_u64(12);
+        // Serialize two models and splice layer records so dims don't chain.
+        let a = Mlp::new(&[4, 6, 3], 1, &mut rng);
+        let mut bytes = a.to_bytes();
+        // Patch the second layer's d_in (offset: magic 4 + counts 8 +
+        // layer0 header 8 + layer0 weights/bias (6*4+6)*4 bytes).
+        let layer1_d_in = 4 + 8 + 8 + (6 * 4 + 6) * 4;
+        bytes[layer1_d_in..layer1_d_in + 4].copy_from_slice(&9u32.to_le_bytes());
+        let err = Mlp::from_bytes(&bytes).unwrap_err();
+        assert!(err.contains("mismatch") || err.contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn corrupted_blobs_are_rejected() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let m = toy_model(&mut rng);
+        let bytes = m.to_bytes();
+        assert!(Mlp::from_bytes(&bytes[..bytes.len() - 3]).is_err());
+        assert!(Mlp::from_bytes(b"XXXX").is_err());
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(Mlp::from_bytes(&extra).is_err());
+        let mut bad_magic = bytes;
+        bad_magic[0] = b'Z';
+        assert!(Mlp::from_bytes(&bad_magic).is_err());
+    }
+}

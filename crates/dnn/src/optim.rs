@@ -1,0 +1,70 @@
+//! Optimizers for the trainable classifier tail.
+//!
+//! Fine-tuning in the paper's artifact runs on standard framework
+//! optimizers; this module provides the two that matter — SGD with
+//! momentum (the default everywhere in this reproduction) and Adam — as a
+//! value type the training paths thread through.
+
+/// A first-order optimizer configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Optimizer {
+    /// SGD with heavy-ball momentum: `v ← μv − lr·g; θ ← θ + v`.
+    Sgd {
+        /// Momentum coefficient `μ` in `[0, 1)`.
+        momentum: f32,
+    },
+    /// Adam (Kingma & Ba): bias-corrected first/second moment estimates.
+    Adam {
+        /// First-moment decay `β₁`.
+        beta1: f32,
+        /// Second-moment decay `β₂`.
+        beta2: f32,
+        /// Numerical floor `ε`.
+        eps: f32,
+    },
+}
+
+impl Optimizer {
+    /// SGD with the given momentum.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `momentum ∈ [0, 1)`.
+    pub fn sgd(momentum: f32) -> Self {
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0,1)");
+        Optimizer::Sgd { momentum }
+    }
+
+    /// Adam with the standard defaults (0.9, 0.999, 1e-8).
+    pub fn adam() -> Self {
+        Optimizer::Adam {
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
+    }
+}
+
+impl Default for Optimizer {
+    /// The reproduction's default: SGD with momentum 0.9.
+    fn default() -> Self {
+        Optimizer::sgd(0.9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Optimizer::default(), Optimizer::Sgd { momentum: 0.9 });
+        assert!(matches!(Optimizer::adam(), Optimizer::Adam { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum must be in")]
+    fn bad_momentum_rejected() {
+        let _ = Optimizer::sgd(1.0);
+    }
+}

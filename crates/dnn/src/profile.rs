@@ -1,0 +1,446 @@
+//! Stage-level architecture profiles of the paper's evaluation models.
+//!
+//! APO (§5.3) partitions a model at "partitionable points … which do not
+//! include areas with residual blocks and skip connections", estimating
+//! per-segment execution time from FLOPs and transfer time from activation
+//! output sizes. This module encodes those stage graphs with published
+//! FLOPs/parameter/activation figures for ResNet50, InceptionV3,
+//! ResNeXt101, ShuffleNetV2 and ViT-B/16, plus the per-PipeStore
+//! throughput anchors the paper reports (Fig 13: 2129 / 2439 / 449 / 277
+//! images per second on one T4 for ResNet50 / InceptionV3 / ResNeXt101 /
+//! ViT).
+
+use serde::{Deserialize, Serialize};
+
+/// One partition-able stage of a model (e.g. ResNet50's `Conv3` group).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageProfile {
+    /// Stage name as the paper labels it (`"Conv1"`, `"Mixed6"`, …).
+    pub name: String,
+    /// Forward-pass FLOPs per image through this stage.
+    pub flops: f64,
+    /// Activation output size per image, bytes (f32). This is what a
+    /// PipeStore ships to the Tuner if the model is cut after this stage.
+    pub output_bytes: f64,
+    /// Parameter bytes held by this stage.
+    pub param_bytes: f64,
+}
+
+/// A whole-model profile: ordered stages plus calibration anchors.
+///
+/// # Example
+///
+/// ```
+/// use dnn::ModelProfile;
+///
+/// let r50 = ModelProfile::resnet50();
+/// assert_eq!(r50.stages().len(), 6); // Conv1..Conv5 + FC
+/// let total = r50.total_flops();
+/// assert!(total > 3.5e9 && total < 4.5e9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelProfile {
+    name: String,
+    stages: Vec<StageProfile>,
+    /// Images/sec one T4 PipeStore sustains at the reference batch size
+    /// (128), running the full model.
+    t4_inference_ips: f64,
+    /// Preprocessed input bytes per image.
+    input_bytes: f64,
+    /// Number of trailing stages that are trainable under fine-tuning
+    /// (the classifier / task module).
+    trainable_tail: usize,
+    /// Activation working-set bytes per image at the reference batch size
+    /// (drives the Fig 19 OOM guard).
+    activation_bytes_per_image: f64,
+}
+
+impl ModelProfile {
+    /// Builds a custom profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is empty, `trainable_tail` is zero or exceeds
+    /// the stage count, or any anchor is non-positive.
+    pub fn new(
+        name: impl Into<String>,
+        stages: Vec<StageProfile>,
+        t4_inference_ips: f64,
+        input_bytes: f64,
+        trainable_tail: usize,
+        activation_bytes_per_image: f64,
+    ) -> Self {
+        assert!(!stages.is_empty(), "a model needs stages");
+        assert!(
+            trainable_tail >= 1 && trainable_tail <= stages.len(),
+            "trainable tail out of range"
+        );
+        assert!(t4_inference_ips > 0.0, "throughput anchor must be positive");
+        assert!(input_bytes > 0.0, "input size must be positive");
+        assert!(
+            activation_bytes_per_image > 0.0,
+            "activation size must be positive"
+        );
+        ModelProfile {
+            name: name.into(),
+            stages,
+            t4_inference_ips,
+            input_bytes,
+            trainable_tail,
+            activation_bytes_per_image,
+        }
+    }
+
+    /// Model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The ordered stages.
+    pub fn stages(&self) -> &[StageProfile] {
+        &self.stages
+    }
+
+    /// The T4 throughput anchor (images/sec at batch 128).
+    pub fn t4_inference_ips(&self) -> f64 {
+        self.t4_inference_ips
+    }
+
+    /// Preprocessed input bytes per image.
+    pub fn input_bytes(&self) -> f64 {
+        self.input_bytes
+    }
+
+    /// Activation working set per image, bytes.
+    pub fn activation_bytes_per_image(&self) -> f64 {
+        self.activation_bytes_per_image
+    }
+
+    /// Number of trailing trainable stages.
+    pub fn trainable_tail(&self) -> usize {
+        self.trainable_tail
+    }
+
+    /// Index of the first trainable stage.
+    pub fn first_trainable_stage(&self) -> usize {
+        self.stages.len() - self.trainable_tail
+    }
+
+    /// Total forward FLOPs per image.
+    pub fn total_flops(&self) -> f64 {
+        self.stages.iter().map(|s| s.flops).sum()
+    }
+
+    /// Total parameter bytes.
+    pub fn total_param_bytes(&self) -> f64 {
+        self.stages.iter().map(|s| s.param_bytes).sum()
+    }
+
+    /// Parameter bytes of the trainable tail (what Check-N-Run deltas and
+    /// weight synchronization move).
+    pub fn trainable_param_bytes(&self) -> f64 {
+        self.stages[self.first_trainable_stage()..]
+            .iter()
+            .map(|s| s.param_bytes)
+            .sum()
+    }
+
+    /// Partition points: `0` = nothing offloaded (raw inputs shipped),
+    /// `k` = stages `0..k` run on the PipeStore. `stages.len()` = the
+    /// whole model (the paper's `+FC` extreme).
+    pub fn partition_points(&self) -> usize {
+        self.stages.len() + 1
+    }
+
+    /// Forward FLOPs of the PipeStore side at partition point `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` exceeds [`ModelProfile::partition_points`].
+    pub fn flops_before(&self, k: usize) -> f64 {
+        assert!(k < self.partition_points(), "partition point out of range");
+        self.stages[..k].iter().map(|s| s.flops).sum()
+    }
+
+    /// Forward FLOPs of the Tuner side at partition point `k`.
+    pub fn flops_after(&self, k: usize) -> f64 {
+        assert!(k < self.partition_points(), "partition point out of range");
+        self.stages[k..].iter().map(|s| s.flops).sum()
+    }
+
+    /// Bytes per image crossing the network at partition point `k`
+    /// (raw preprocessed input for `k == 0`, otherwise the activation
+    /// output of stage `k-1`).
+    pub fn cut_bytes(&self, k: usize) -> f64 {
+        assert!(k < self.partition_points(), "partition point out of range");
+        if k == 0 {
+            self.input_bytes
+        } else {
+            self.stages[k - 1].output_bytes
+        }
+    }
+
+    /// Effective device FLOPS for this model on a device with relative
+    /// throughput `dnn_factor` (T4 = 1.0): `total_flops × t4_ips × factor`.
+    ///
+    /// Dividing stage FLOPs by this value yields stage execution time on
+    /// that device, consistent with the whole-model anchor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dnn_factor` is non-positive.
+    pub fn effective_flops(&self, dnn_factor: f64) -> f64 {
+        assert!(dnn_factor > 0.0, "dnn_factor must be positive");
+        self.total_flops() * self.t4_inference_ips * dnn_factor
+    }
+
+    /// Batch-size efficiency relative to the reference batch (128):
+    /// a saturating `b / (b + 16)` curve normalized to 1.0 at 128.
+    /// Mirrors Fig 19's throughput-vs-batch shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0`.
+    pub fn batch_efficiency(batch: usize) -> f64 {
+        assert!(batch > 0, "batch size must be positive");
+        let eff = |b: f64| b / (b + 16.0);
+        eff(batch as f64) / eff(128.0)
+    }
+
+    /// All five evaluation models, in the order Table 2 lists them.
+    pub fn zoo() -> Vec<ModelProfile> {
+        vec![
+            ModelProfile::shufflenet_v2(),
+            ModelProfile::resnet50(),
+            ModelProfile::inception_v3(),
+            ModelProfile::resnext101(),
+            ModelProfile::vit_b16(),
+        ]
+    }
+
+    /// The four models Figs 13–16 plot.
+    pub fn figure_models() -> Vec<ModelProfile> {
+        vec![
+            ModelProfile::resnet50(),
+            ModelProfile::inception_v3(),
+            ModelProfile::resnext101(),
+            ModelProfile::vit_b16(),
+        ]
+    }
+
+    /// ResNet50 (224×224): five conv groups + FC, ≈4.1 GFLOPs, 25.6 M
+    /// params. Per-PipeStore anchor 2129 IPS (Fig 13).
+    pub fn resnet50() -> Self {
+        let mb = 1e6;
+        ModelProfile::new(
+            "ResNet50",
+            vec![
+                stage("Conv1", 0.24e9, 0.80 * mb, 0.04e6 * 4.0),
+                stage("Conv2", 0.86e9, 3.21 * mb, 0.86e6 * 4.0),
+                stage("Conv3", 1.04e9, 1.61 * mb, 4.86e6 * 4.0),
+                stage("Conv4", 1.18e9, 0.80 * mb, 28.4e6 * 4.0),
+                // Conv5 ends in global average pooling: 2048 floats out.
+                stage("Conv5", 0.81e9, 2048.0 * 4.0, 60.0e6 * 4.0 / 4.0),
+                stage("FC", 0.004e9, 1000.0 * 4.0, (2048.0 * 1000.0 + 1000.0) * 4.0),
+            ],
+            2129.0,
+            0.59e6,
+            1,
+            3.0e6,
+        )
+    }
+
+    /// InceptionV3 (299×299): stem + three inception groups + FC,
+    /// ≈5.7 GFLOPs, 23.8 M params. Anchor 2439 IPS.
+    pub fn inception_v3() -> Self {
+        let mb = 1e6;
+        ModelProfile::new(
+            "InceptionV3",
+            vec![
+                stage("Stem", 1.00e9, 1.41 * mb, 1.0e6 * 4.0),
+                stage("Mixed5", 1.30e9, 1.41 * mb, 2.6e6 * 4.0),
+                stage("Mixed6", 2.40e9, 0.89 * mb, 10.8e6 * 4.0),
+                stage("Mixed7", 1.00e9, 2048.0 * 4.0, 7.3e6 * 4.0),
+                stage("FC", 0.004e9, 1000.0 * 4.0, (2048.0 * 1000.0 + 1000.0) * 4.0),
+            ],
+            2439.0,
+            0.59e6,
+            1,
+            3.4e6,
+        )
+    }
+
+    /// ResNeXt101-32x8d (224×224): ≈16.5 GFLOPs, 88.8 M params.
+    /// Anchor 449 IPS.
+    pub fn resnext101() -> Self {
+        let mb = 1e6;
+        ModelProfile::new(
+            "ResNeXt101",
+            vec![
+                stage("Conv1", 0.24e9, 0.80 * mb, 0.04e6 * 4.0),
+                stage("Conv2", 2.40e9, 3.21 * mb, 1.5e6 * 4.0),
+                stage("Conv3", 4.20e9, 1.61 * mb, 9.0e6 * 4.0),
+                stage("Conv4", 7.00e9, 0.80 * mb, 55.0e6 * 4.0),
+                stage("Conv5", 2.60e9, 2048.0 * 4.0, 21.0e6 * 4.0),
+                stage("FC", 0.004e9, 1000.0 * 4.0, (2048.0 * 1000.0 + 1000.0) * 4.0),
+            ],
+            449.0,
+            0.59e6,
+            1,
+            5.5e6,
+        )
+    }
+
+    /// ShuffleNetV2-1.0x (224×224): ≈0.30 GFLOPs, 2.3 M params.
+    /// No per-PipeStore anchor is printed in the paper; 5200 IPS keeps it
+    /// proportionally faster than ResNet50 as its FLOPs suggest, damped by
+    /// memory-bound inefficiency.
+    pub fn shufflenet_v2() -> Self {
+        let mb = 1e6;
+        ModelProfile::new(
+            "ShuffleNetV2",
+            vec![
+                stage("Conv1", 0.012e9, 0.40 * mb, 0.001e6 * 4.0),
+                stage("Stage2", 0.044e9, 0.46 * mb, 0.2e6 * 4.0),
+                stage("Stage3", 0.096e9, 0.23 * mb, 0.6e6 * 4.0),
+                stage("Stage4", 0.088e9, 0.11 * mb, 1.2e6 * 4.0),
+                stage("Conv5", 0.056e9, 1024.0 * 4.0, 0.2e6 * 4.0),
+                stage("FC", 0.002e9, 1000.0 * 4.0, (1024.0 * 1000.0 + 1000.0) * 4.0),
+            ],
+            5200.0,
+            0.59e6,
+            1,
+            1.2e6,
+        )
+    }
+
+    /// ViT-B/16 (224×224): patch embed + 12 encoder blocks (grouped in
+    /// four) + task head, ≈17.6 GFLOPs, 86 M params. Anchor 277 IPS.
+    /// Activations are an order of magnitude heavier than the CNNs',
+    /// which is what OOMs large batches in Fig 19.
+    pub fn vit_b16() -> Self {
+        // 197 tokens × 768 dims of f32 = 605 KB between any two blocks.
+        let tok_bytes = 197.0 * 768.0 * 4.0;
+        let block3 = 4.25e9; // three encoder blocks
+        ModelProfile::new(
+            "ViT",
+            vec![
+                stage("PatchEmbed", 0.35e9, tok_bytes, 0.6e6 * 4.0),
+                stage("Enc1-3", block3, tok_bytes, 21.3e6 * 4.0),
+                stage("Enc4-6", block3, tok_bytes, 21.3e6 * 4.0),
+                stage("Enc7-9", block3, tok_bytes, 21.3e6 * 4.0),
+                // The last group ends at the CLS token: 768 floats.
+                stage("Enc10-12", block3, 768.0 * 4.0, 21.3e6 * 4.0),
+                stage("Head", 0.003e9, 1000.0 * 4.0, (768.0 * 1000.0 + 1000.0) * 4.0),
+            ],
+            277.0,
+            0.59e6,
+            1,
+            12.0e6,
+        )
+    }
+}
+
+fn stage(name: &str, flops: f64, output_bytes: f64, param_bytes: f64) -> StageProfile {
+    StageProfile {
+        name: name.to_string(),
+        flops,
+        output_bytes,
+        param_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zoo_has_five_models_with_distinct_names() {
+        let zoo = ModelProfile::zoo();
+        assert_eq!(zoo.len(), 5);
+        let mut names: Vec<&str> = zoo.iter().map(|m| m.name()).collect();
+        names.dedup();
+        assert_eq!(names.len(), 5);
+    }
+
+    #[test]
+    fn published_flops_are_in_range() {
+        let checks = [
+            ("ShuffleNetV2", 0.25e9, 0.35e9),
+            ("ResNet50", 3.8e9, 4.4e9),
+            ("InceptionV3", 5.0e9, 6.4e9),
+            ("ResNeXt101", 15.0e9, 18.0e9),
+            ("ViT", 16.5e9, 18.5e9),
+        ];
+        for m in ModelProfile::zoo() {
+            let (_, lo, hi) = checks
+                .iter()
+                .find(|(n, _, _)| *n == m.name())
+                .expect("model in checks");
+            let f = m.total_flops();
+            assert!(f >= *lo && f <= *hi, "{}: {f}", m.name());
+        }
+    }
+
+    #[test]
+    fn anchors_match_fig13() {
+        assert_eq!(ModelProfile::resnet50().t4_inference_ips(), 2129.0);
+        assert_eq!(ModelProfile::inception_v3().t4_inference_ips(), 2439.0);
+        assert_eq!(ModelProfile::resnext101().t4_inference_ips(), 449.0);
+        assert_eq!(ModelProfile::vit_b16().t4_inference_ips(), 277.0);
+    }
+
+    #[test]
+    fn partition_arithmetic_is_consistent() {
+        let m = ModelProfile::resnet50();
+        for k in 0..m.partition_points() {
+            let total = m.flops_before(k) + m.flops_after(k);
+            assert!((total - m.total_flops()).abs() < 1.0, "point {k}");
+        }
+        assert_eq!(m.flops_before(0), 0.0);
+        assert_eq!(m.flops_after(m.stages().len()), 0.0);
+    }
+
+    #[test]
+    fn cut_bytes_shrink_deep_in_the_network() {
+        // The §5.1 claim: deeper cuts ship less data — in particular the
+        // post-GAP cut (+Conv5) is tiny compared to raw inputs.
+        let m = ModelProfile::resnet50();
+        assert!(m.cut_bytes(5) < m.cut_bytes(0) / 50.0);
+        // But shallow conv cuts can be *bigger* than the input (Conv2).
+        assert!(m.cut_bytes(2) > m.cut_bytes(0));
+    }
+
+    #[test]
+    fn trainable_tail_is_the_fc() {
+        let m = ModelProfile::resnet50();
+        assert_eq!(m.first_trainable_stage(), 5);
+        // FC of ResNet50: 2048×1000 + 1000 params ≈ 8.2 MB.
+        let fc_bytes = m.trainable_param_bytes();
+        assert!((fc_bytes - 8.2e6).abs() < 0.2e6, "{fc_bytes}");
+    }
+
+    #[test]
+    fn batch_efficiency_saturates() {
+        assert!(ModelProfile::batch_efficiency(1) < 0.1);
+        assert!((ModelProfile::batch_efficiency(128) - 1.0).abs() < 1e-9);
+        assert!(ModelProfile::batch_efficiency(512) > 1.0);
+        assert!(ModelProfile::batch_efficiency(512) < 1.1);
+    }
+
+    #[test]
+    fn effective_flops_reproduce_anchor() {
+        let m = ModelProfile::resnet50();
+        let eff = m.effective_flops(1.0);
+        // One image of total_flops work at effective speed = 1/anchor sec.
+        let ips = eff / m.total_flops();
+        assert!((ips - 2129.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn vit_activations_dwarf_cnn_activations() {
+        let vit = ModelProfile::vit_b16();
+        let r50 = ModelProfile::resnet50();
+        assert!(vit.activation_bytes_per_image() > 3.0 * r50.activation_bytes_per_image());
+    }
+}

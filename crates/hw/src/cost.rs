@@ -1,0 +1,111 @@
+//! AWS on-demand cost arithmetic (Fig 21).
+
+use serde::{Deserialize, Serialize};
+
+/// On-demand hourly price of one server, plus storage rental.
+///
+/// Prices are the us-east-1 on-demand rates contemporaneous with the
+/// paper's evaluation (AWS Pricing Calculator, 2023).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Instance-hour price, USD.
+    pub usd_per_hour: f64,
+    /// Attached st1 storage price, USD per GiB-month.
+    pub storage_usd_per_gib_month: f64,
+}
+
+impl CostModel {
+    /// `g4dn.4xlarge` — PipeStore / storage server (T4 GPU).
+    pub fn g4dn_4xlarge() -> Self {
+        CostModel {
+            usd_per_hour: 1.204,
+            storage_usd_per_gib_month: 0.045,
+        }
+    }
+
+    /// `p3.2xlarge` — Tuner (one V100).
+    pub fn p3_2xlarge() -> Self {
+        CostModel {
+            usd_per_hour: 3.06,
+            storage_usd_per_gib_month: 0.0,
+        }
+    }
+
+    /// `p3.8xlarge` — centralized baseline host (four V100s, two used).
+    pub fn p3_8xlarge() -> Self {
+        CostModel {
+            usd_per_hour: 12.24,
+            storage_usd_per_gib_month: 0.0,
+        }
+    }
+
+    /// `inf1.2xlarge` — Inferentia PipeStore.
+    pub fn inf1_2xlarge() -> Self {
+        CostModel {
+            usd_per_hour: 0.362,
+            storage_usd_per_gib_month: 0.045,
+        }
+    }
+
+    /// Cost of running this instance for `secs` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative.
+    pub fn run_cost_usd(&self, secs: f64) -> f64 {
+        assert!(secs >= 0.0, "duration must be non-negative");
+        self.usd_per_hour * secs / 3600.0
+    }
+
+    /// Monthly storage rental for `gib` of attached st1 volume.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gib` is negative.
+    pub fn storage_cost_usd_per_month(&self, gib: f64) -> f64 {
+        assert!(gib >= 0.0, "capacity must be non-negative");
+        self.storage_usd_per_gib_month * gib
+    }
+}
+
+/// Total cost of a fleet run: `n` identical workers plus one coordinator
+/// running for `secs` seconds.
+pub fn fleet_run_cost_usd(worker: CostModel, n: usize, coordinator: CostModel, secs: f64) -> f64 {
+    worker.run_cost_usd(secs) * n as f64 + coordinator.run_cost_usd(secs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hourly_rates_ordered() {
+        assert!(CostModel::inf1_2xlarge().usd_per_hour < CostModel::g4dn_4xlarge().usd_per_hour);
+        assert!(CostModel::g4dn_4xlarge().usd_per_hour < CostModel::p3_2xlarge().usd_per_hour);
+        assert!(CostModel::p3_2xlarge().usd_per_hour < CostModel::p3_8xlarge().usd_per_hour);
+    }
+
+    #[test]
+    fn run_cost_is_prorated() {
+        let c = CostModel::p3_2xlarge();
+        assert!((c.run_cost_usd(1800.0) - 1.53).abs() < 1e-9);
+        assert_eq!(c.run_cost_usd(0.0), 0.0);
+    }
+
+    #[test]
+    fn fleet_cost_adds_up() {
+        let total = fleet_run_cost_usd(
+            CostModel::g4dn_4xlarge(),
+            10,
+            CostModel::p3_2xlarge(),
+            3600.0,
+        );
+        assert!((total - (10.0 * 1.204 + 3.06)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn storage_cost() {
+        let c = CostModel::g4dn_4xlarge();
+        assert!((c.storage_cost_usd_per_month(1000.0) - 45.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,144 @@
+//! CPU models: preprocessing and decompression rates.
+
+use serde::{Deserialize, Serialize};
+
+/// An analytic CPU model for the two CPU-bound stages of the photo
+/// pipeline: JPEG decode + resize + normalize ("preprocessing") and
+/// DEFLATE decompression of preprocessed binaries.
+///
+/// Calibration anchors (see `DESIGN.md`):
+/// - Fig 5(b): the Ideal host (8 preprocessing cores, 2 V100s) sustains
+///   only 123 IPS on raw 2.7 MB JPEGs ⇒ ~15.4 images/s per core.
+/// - Fig 18: SRV-C's eight decompression cores saturate around the
+///   20 Gbps ingest point ⇒ ~312 MB/s of compressed data per core.
+///
+/// # Example
+///
+/// ```
+/// use hw::CpuSpec;
+///
+/// let host = CpuSpec::host_xeon(32);
+/// assert!(host.preprocess_ips(8) > 120.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuSpec {
+    /// Marketing-ish name.
+    pub name: String,
+    /// Total vCPU count of the server.
+    pub vcpus: usize,
+    /// Base clock, GHz (documentation only; rates below are calibrated).
+    pub ghz: f64,
+    /// Raw-image preprocessing throughput per core, images/sec.
+    pub preprocess_ips_per_core: f64,
+    /// DEFLATE decompression throughput per core, bytes/sec of
+    /// *compressed* input.
+    pub decompress_bps_per_core: f64,
+    /// Package power at full utilization, watts.
+    pub tdp_watts: f64,
+    /// Package power when idle, watts.
+    pub idle_watts: f64,
+}
+
+impl CpuSpec {
+    /// The host-server CPU (p3.* instances, 2.7 GHz Xeon).
+    pub fn host_xeon(vcpus: usize) -> Self {
+        CpuSpec {
+            name: "Xeon (host)".to_string(),
+            vcpus,
+            ghz: 2.7,
+            preprocess_ips_per_core: 15.4,
+            decompress_bps_per_core: 312.5e6,
+            tdp_watts: 165.0,
+            idle_watts: 45.0,
+        }
+    }
+
+    /// The storage-server CPU (g4dn.4xlarge, 2.5 GHz Xeon, 16 vCPUs).
+    pub fn storage_xeon() -> Self {
+        CpuSpec {
+            name: "Xeon (storage)".to_string(),
+            vcpus: 16,
+            ghz: 2.5,
+            preprocess_ips_per_core: 14.3,
+            decompress_bps_per_core: 290.0e6,
+            tdp_watts: 105.0,
+            idle_watts: 30.0,
+        }
+    }
+
+    /// The small Inferentia-instance CPU (inf1.2xlarge, 8 vCPUs).
+    pub fn inf1_xeon() -> Self {
+        CpuSpec {
+            name: "Xeon (inf1)".to_string(),
+            vcpus: 8,
+            ghz: 2.5,
+            preprocess_ips_per_core: 14.3,
+            decompress_bps_per_core: 290.0e6,
+            tdp_watts: 55.0,
+            idle_watts: 15.0,
+        }
+    }
+
+    /// Aggregate preprocessing throughput with `cores` dedicated cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero or exceeds the vCPU count.
+    pub fn preprocess_ips(&self, cores: usize) -> f64 {
+        assert!(cores > 0, "need at least one preprocessing core");
+        assert!(cores <= self.vcpus, "more cores than vCPUs");
+        self.preprocess_ips_per_core * cores as f64
+    }
+
+    /// Aggregate decompression throughput (compressed bytes/sec) with
+    /// `cores` dedicated cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero or exceeds the vCPU count.
+    pub fn decompress_bps(&self, cores: usize) -> f64 {
+        assert!(cores > 0, "need at least one decompression core");
+        assert!(cores <= self.vcpus, "more cores than vCPUs");
+        self.decompress_bps_per_core * cores as f64
+    }
+
+    /// Power drawn at a utilization in `[0, 1]`.
+    pub fn power_at(&self, utilization: f64) -> f64 {
+        let u = utilization.clamp(0.0, 1.0);
+        self.idle_watts + (self.tdp_watts - self.idle_watts) * u
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_host_preprocessing_matches_fig5() {
+        // Fig 5(b): Ideal ≈ 123 IPS, preprocessing-bound on 8 cores.
+        let host = CpuSpec::host_xeon(32);
+        let ips = host.preprocess_ips(8);
+        assert!((ips - 123.2).abs() < 1.0, "ips {ips}");
+    }
+
+    #[test]
+    fn decompress_saturates_at_20gbps_with_8_cores() {
+        // Fig 18: 8 cores ≈ 2.5 GB/s of compressed ingest (20 Gbps).
+        let host = CpuSpec::host_xeon(32);
+        let bps = host.decompress_bps(8);
+        assert!((bps - 2.5e9).abs() < 0.1e9, "bps {bps}");
+    }
+
+    #[test]
+    #[should_panic(expected = "more cores than vCPUs")]
+    fn cannot_use_more_cores_than_vcpus() {
+        CpuSpec::storage_xeon().preprocess_ips(17);
+    }
+
+    #[test]
+    fn power_range() {
+        let c = CpuSpec::storage_xeon();
+        assert_eq!(c.power_at(0.0), c.idle_watts);
+        assert_eq!(c.power_at(1.0), c.tdp_watts);
+    }
+}

@@ -1,0 +1,183 @@
+//! GPU and inference-accelerator models.
+
+use serde::{Deserialize, Serialize};
+
+/// An analytic GPU (or inference accelerator) model.
+///
+/// Throughput for DNN work is expressed relative to a Tesla T4 running an
+/// optimized inference engine (`dnn_factor = 1.0`); per-model images/sec
+/// anchors live with the model descriptions in the `dnn` crate, and a
+/// device's throughput for model `m` is `anchor_ips(m) × dnn_factor`.
+/// This preserves both the paper's absolute anchors and the relative
+/// device ordering (V100 ≈ 3× T4, NeuronCoreV1 ≈ 0.4× T4).
+///
+/// # Example
+///
+/// ```
+/// use hw::GpuSpec;
+///
+/// let t4 = GpuSpec::tesla_t4();
+/// let v100 = GpuSpec::tesla_v100();
+/// assert!(v100.dnn_factor > t4.dnn_factor);
+/// assert!(v100.tdp_watts > t4.tdp_watts);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Marketing name, e.g. `"Tesla T4"`.
+    pub name: String,
+    /// Peak fp32 throughput in TFLOPS (for documentation/FLOP sanity only).
+    pub fp32_tflops: f64,
+    /// Device memory in GiB; bounds the usable batch size (Fig 19 OOM).
+    pub memory_gib: f64,
+    /// Board power at full utilization, watts.
+    pub tdp_watts: f64,
+    /// Board power when idle, watts.
+    pub idle_watts: f64,
+    /// DNN throughput relative to a T4 (see type docs).
+    pub dnn_factor: f64,
+}
+
+impl GpuSpec {
+    /// NVIDIA Tesla T4 — the PipeStore accelerator (`g4dn.4xlarge`).
+    pub fn tesla_t4() -> Self {
+        GpuSpec {
+            name: "Tesla T4".to_string(),
+            fp32_tflops: 8.1,
+            memory_gib: 16.0,
+            tdp_watts: 70.0,
+            idle_watts: 10.0,
+            dnn_factor: 1.0,
+        }
+    }
+
+    /// NVIDIA Tesla V100 — the Tuner / baseline-host GPU (`p3.*`).
+    ///
+    /// `dnn_factor = 3.0` calibrates to Fig 13: two V100s (SRV-I) match the
+    /// aggregate of 5–7 T4 PipeStores.
+    pub fn tesla_v100() -> Self {
+        GpuSpec {
+            name: "Tesla V100".to_string(),
+            fp32_tflops: 15.7,
+            memory_gib: 16.0,
+            tdp_watts: 300.0,
+            idle_watts: 25.0,
+            dnn_factor: 3.0,
+        }
+    }
+
+    /// AWS Inferentia NeuronCoreV1 (`inf1.2xlarge`).
+    ///
+    /// `dnn_factor = 0.31` calibrates to Fig 20: NDPipe-Inf1 needs 11–16
+    /// PipeStores for offline inference where T4 PipeStores needed 4–7.
+    /// Power estimated per the paper's reference 52.
+    pub fn neuron_core_v1() -> Self {
+        GpuSpec {
+            name: "NeuronCoreV1".to_string(),
+            fp32_tflops: 4.0,
+            memory_gib: 8.0,
+            tdp_watts: 12.0,
+            idle_watts: 3.0,
+            dnn_factor: 0.31,
+        }
+    }
+
+    /// Images/sec this device sustains for a model whose T4 anchor is
+    /// `t4_ips`, at a batch-size efficiency `batch_eff` in `(0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t4_ips` or `batch_eff` is non-positive.
+    pub fn inference_ips(&self, t4_ips: f64, batch_eff: f64) -> f64 {
+        assert!(t4_ips > 0.0, "t4_ips must be positive");
+        assert!(batch_eff > 0.0, "batch_eff must be positive");
+        t4_ips * self.dnn_factor * batch_eff.min(1.0)
+    }
+
+    /// Seconds to run `flops` of DNN work, given the device's *effective*
+    /// FLOPS for the model (`model_flops_per_image × t4_ips × dnn_factor`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `effective_flops` is non-positive.
+    pub fn time_for_flops(&self, flops: f64, effective_flops: f64) -> f64 {
+        assert!(effective_flops > 0.0, "effective_flops must be positive");
+        flops / effective_flops
+    }
+
+    /// Power drawn at a given utilization in `[0, 1]` (linear interpolation
+    /// between idle and TDP, the standard first-order model).
+    pub fn power_at(&self, utilization: f64) -> f64 {
+        let u = utilization.clamp(0.0, 1.0);
+        self.idle_watts + (self.tdp_watts - self.idle_watts) * u
+    }
+
+    /// Whether `batch_size` images of `bytes_per_image` activations plus
+    /// `model_bytes` of weights/workspace fit in device memory.
+    ///
+    /// This implements the Fig 19 OOM guard: ViT with large batches
+    /// exhausts a T4's 16 GiB.
+    pub fn fits_batch(&self, model_bytes: f64, bytes_per_image: f64, batch_size: usize) -> bool {
+        // Factor 3 ≈ activations kept for the forward pass, framework
+        // workspace and double-buffering.
+        let need = model_bytes + 3.0 * bytes_per_image * batch_size as f64;
+        need <= self.memory_gib * 1024.0 * 1024.0 * 1024.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered_sensibly() {
+        let t4 = GpuSpec::tesla_t4();
+        let v100 = GpuSpec::tesla_v100();
+        let inf1 = GpuSpec::neuron_core_v1();
+        assert!(inf1.dnn_factor < t4.dnn_factor);
+        assert!(t4.dnn_factor < v100.dnn_factor);
+        assert!(inf1.tdp_watts < t4.tdp_watts);
+        assert!(t4.tdp_watts < v100.tdp_watts);
+    }
+
+    #[test]
+    fn inference_ips_scales_with_factor() {
+        let v100 = GpuSpec::tesla_v100();
+        // ResNet50 anchor from the paper: 2129 IPS on one T4 PipeStore.
+        let ips = v100.inference_ips(2129.0, 1.0);
+        assert!((ips - 6387.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn batch_efficiency_caps_at_one() {
+        let t4 = GpuSpec::tesla_t4();
+        assert_eq!(
+            t4.inference_ips(1000.0, 2.0),
+            t4.inference_ips(1000.0, 1.0)
+        );
+    }
+
+    #[test]
+    fn power_interpolates() {
+        let t4 = GpuSpec::tesla_t4();
+        assert_eq!(t4.power_at(0.0), 10.0);
+        assert_eq!(t4.power_at(1.0), 70.0);
+        assert_eq!(t4.power_at(0.5), 40.0);
+        assert_eq!(t4.power_at(2.0), 70.0); // clamped
+    }
+
+    #[test]
+    fn oom_guard_matches_memory() {
+        let t4 = GpuSpec::tesla_t4();
+        // Small CNN batches fit.
+        assert!(t4.fits_batch(100e6, 0.6e6, 512));
+        // A huge model with big activations at batch 512 does not.
+        assert!(!t4.fits_batch(2e9, 50e6, 512));
+    }
+
+    #[test]
+    fn time_for_flops_is_linear() {
+        let t4 = GpuSpec::tesla_t4();
+        let t = t4.time_for_flops(8.0e12, 8.0e12);
+        assert!((t - 1.0).abs() < 1e-12);
+    }
+}

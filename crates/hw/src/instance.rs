@@ -1,0 +1,169 @@
+//! Whole-server presets matching the paper's EC2 fleet.
+
+use crate::{CostModel, CpuSpec, DiskSpec, GpuSpec, LinkSpec};
+use serde::{Deserialize, Serialize};
+
+/// A complete server: CPU, zero or more accelerators, storage and NIC.
+///
+/// # Example
+///
+/// ```
+/// use hw::InstanceSpec;
+///
+/// let ps = InstanceSpec::pipestore();
+/// assert_eq!(ps.gpus.len(), 1);
+/// assert_eq!(ps.gpus[0].name, "Tesla T4");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstanceSpec {
+    /// Preset name (EC2 instance type plus role).
+    pub name: String,
+    /// CPU package.
+    pub cpu: CpuSpec,
+    /// Installed accelerators.
+    pub gpus: Vec<GpuSpec>,
+    /// Attached storage volume.
+    pub disk: DiskSpec,
+    /// Network interface.
+    pub nic: LinkSpec,
+    /// On-demand pricing.
+    pub cost: CostModel,
+    /// Baseline power of "other" components (PSU loss, SoC, DRAM, fans),
+    /// watts; roughly constant regardless of load.
+    pub other_watts: f64,
+}
+
+impl InstanceSpec {
+    /// A PipeStore: `g4dn.4xlarge` with one T4 and an st1 HDD array.
+    pub fn pipestore() -> Self {
+        InstanceSpec {
+            name: "PipeStore (g4dn.4xlarge + T4)".to_string(),
+            cpu: CpuSpec::storage_xeon(),
+            gpus: vec![GpuSpec::tesla_t4()],
+            disk: DiskSpec::st1_raid5(),
+            nic: LinkSpec::ethernet_gbps(10.0),
+            cost: CostModel::g4dn_4xlarge(),
+            other_watts: 80.0,
+        }
+    }
+
+    /// An Inferentia PipeStore: `inf1.2xlarge` with one NeuronCoreV1.
+    pub fn pipestore_inf1() -> Self {
+        InstanceSpec {
+            name: "PipeStore-Inf1 (inf1.2xlarge)".to_string(),
+            cpu: CpuSpec::inf1_xeon(),
+            gpus: vec![GpuSpec::neuron_core_v1()],
+            disk: DiskSpec::st1_raid5(),
+            nic: LinkSpec::ethernet_gbps(10.0),
+            cost: CostModel::inf1_2xlarge(),
+            other_watts: 35.0,
+        }
+    }
+
+    /// A plain storage server: `g4dn.4xlarge` with the GPU disabled
+    /// (the SRV baselines' data tier).
+    pub fn storage_server() -> Self {
+        InstanceSpec {
+            name: "StorageServer (g4dn.4xlarge, GPU off)".to_string(),
+            cpu: CpuSpec::storage_xeon(),
+            gpus: Vec::new(),
+            disk: DiskSpec::st1_raid5(),
+            nic: LinkSpec::ethernet_gbps(10.0),
+            cost: CostModel::g4dn_4xlarge(),
+            other_watts: 80.0,
+        }
+    }
+
+    /// The Tuner: `p3.2xlarge` with one V100.
+    pub fn tuner() -> Self {
+        InstanceSpec {
+            name: "Tuner (p3.2xlarge + V100)".to_string(),
+            cpu: CpuSpec::host_xeon(8),
+            gpus: vec![GpuSpec::tesla_v100()],
+            disk: DiskSpec::ssd(),
+            nic: LinkSpec::ethernet_gbps(10.0),
+            cost: CostModel::p3_2xlarge(),
+            other_watts: 90.0,
+        }
+    }
+
+    /// The centralized baseline host: `p3.8xlarge` with two of its four
+    /// V100s enabled, as in the paper's SRV configurations.
+    pub fn srv_host() -> Self {
+        InstanceSpec {
+            name: "SRV host (p3.8xlarge, 2x V100)".to_string(),
+            cpu: CpuSpec::host_xeon(32),
+            gpus: vec![GpuSpec::tesla_v100(), GpuSpec::tesla_v100()],
+            disk: DiskSpec::ssd(),
+            nic: LinkSpec::ethernet_gbps(10.0),
+            cost: CostModel::p3_8xlarge(),
+            // Big chassis: PSU losses, 244 GiB DRAM, SoC, fans, plus the
+            // two disabled V100s idling at ~25 W each.
+            other_watts: 300.0,
+        }
+    }
+
+    /// Aggregate relative DNN throughput of the installed accelerators
+    /// (sum of `dnn_factor`s).
+    pub fn total_dnn_factor(&self) -> f64 {
+        self.gpus.iter().map(|g| g.dnn_factor).sum()
+    }
+
+    /// Server power at the given component utilizations, split by
+    /// component as in Fig 14.
+    pub fn power_at(&self, gpu_util: f64, cpu_util: f64) -> crate::ComponentPower {
+        crate::ComponentPower {
+            gpu: self.gpus.iter().map(|g| g.power_at(gpu_util)).sum(),
+            cpu: self.cpu.power_at(cpu_util),
+            other: self.other_watts + self.disk.power_at(0.3),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn srv_host_has_two_v100s() {
+        let srv = InstanceSpec::srv_host();
+        assert_eq!(srv.gpus.len(), 2);
+        assert_eq!(srv.total_dnn_factor(), 6.0);
+    }
+
+    #[test]
+    fn two_v100_equal_six_t4_pipestores() {
+        // This is exactly why Fig 13 puts P3 (SRV-I crossover) at 5–7
+        // PipeStores: 2 V100 = 6.0 T4-equivalents.
+        let srv = InstanceSpec::srv_host();
+        let ps = InstanceSpec::pipestore();
+        let equal_stores = srv.total_dnn_factor() / ps.total_dnn_factor();
+        assert!((5.0..=7.0).contains(&equal_stores));
+    }
+
+    #[test]
+    fn power_breakdown_is_componentwise() {
+        let ps = InstanceSpec::pipestore();
+        let idle = ps.power_at(0.0, 0.0);
+        let busy = ps.power_at(1.0, 1.0);
+        assert!(busy.total() > idle.total());
+        assert!(busy.gpu > idle.gpu);
+        // Full PipeStore under load is a few hundred watts.
+        assert!((200.0..500.0).contains(&busy.total()), "{}", busy);
+    }
+
+    #[test]
+    fn srv_host_power_magnitude_matches_fig14() {
+        // Fig 14 shows roughly 500-600W of GPU+CPU for the SRV host under
+        // load; the whole chassis lands around a kilowatt.
+        let srv = InstanceSpec::srv_host();
+        let busy = srv.power_at(1.0, 0.8);
+        assert!((500.0..900.0).contains(&(busy.gpu + busy.cpu)), "{}", busy);
+        assert!((700.0..1300.0).contains(&busy.total()), "{}", busy);
+    }
+
+    #[test]
+    fn storage_server_has_no_gpu() {
+        assert_eq!(InstanceSpec::storage_server().total_dnn_factor(), 0.0);
+    }
+}

@@ -1,0 +1,72 @@
+//! Calibrated hardware models for the NDPipe reproduction.
+//!
+//! The paper evaluates NDPipe on AWS EC2: `g4dn.4xlarge` storage servers
+//! (Tesla T4, st1 HDD arrays), a `p3.2xlarge` Tuner (one V100), a
+//! `p3.8xlarge` centralized baseline (two V100s used), `inf1.2xlarge`
+//! (NeuronCoreV1), and 1–40 Gbps networks. None of that hardware exists
+//! here, so this crate provides *analytic device models* calibrated to the
+//! throughput, power and price anchors the paper reports (see
+//! `DESIGN.md §Calibration constants`). The cluster simulator composes
+//! these models; every experiment number is then *derived* from the same
+//! parameters, so sweeps (bandwidth, batch size, #PipeStores) move for the
+//! same reasons they move in the paper.
+//!
+//! Modules:
+//!
+//! - [`gpu`] — GPU / inference-accelerator specs (T4, V100, NeuronCoreV1),
+//! - [`cpu`] — CPU pools with preprocessing and decompression rates,
+//! - [`disk`] — HDD/SSD/RAID-5 sequential-read models (st1 volumes),
+//! - [`net`] — network links with bandwidth/latency transfer times,
+//! - [`power`] — component power draw and energy integration,
+//! - [`cost`] — AWS on-demand price table and run-cost arithmetic,
+//! - [`instance`] — whole-server presets matching the paper's EC2 fleet.
+
+pub mod cost;
+pub mod cpu;
+pub mod disk;
+pub mod gpu;
+pub mod instance;
+pub mod net;
+pub mod power;
+
+pub use cost::CostModel;
+pub use cpu::CpuSpec;
+pub use disk::DiskSpec;
+pub use gpu::GpuSpec;
+pub use instance::InstanceSpec;
+pub use net::LinkSpec;
+pub use power::{ComponentPower, EnergyMeter};
+
+/// Bytes in one mebibyte; size constants below are expressed in MiB.
+pub const MIB: f64 = 1024.0 * 1024.0;
+
+/// Average raw photo size used throughout the paper's evaluation (a
+/// "typical 2.7 MB JPEG").
+pub const RAW_IMAGE_BYTES: f64 = 2.7 * 1e6;
+
+/// Average preprocessed binary size (ImageNet-1K preprocessed to model
+/// input, ~0.59 MB per image).
+pub const PREPROC_IMAGE_BYTES: f64 = 0.59 * 1e6;
+
+/// Compressed preprocessed binary size. Calibrated so SRV-C's network cap
+/// at 10 Gbps lands where Fig 13 puts it (~4 PipeStore-equivalents for
+/// ResNet50): deflate ratio ≈ 4× on preprocessed tensors.
+pub const COMPRESSED_IMAGE_BYTES: f64 = PREPROC_IMAGE_BYTES / 4.0;
+
+/// Label/metadata record size returned by offline inference (bytes).
+pub const LABEL_BYTES: f64 = 64.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_constants_match_paper_ratios() {
+        // Preprocessed binaries are 17.5% of storage for 2.7MB images
+        // (paper §5.4): 0.59 / (2.7 + 0.59) ≈ 0.179.
+        let frac = PREPROC_IMAGE_BYTES / (RAW_IMAGE_BYTES + PREPROC_IMAGE_BYTES);
+        assert!((frac - 0.175).abs() < 0.01, "frac {frac}");
+        let ratio = PREPROC_IMAGE_BYTES / COMPRESSED_IMAGE_BYTES;
+        assert!(ratio > 1.0, "compression must shrink binaries: {ratio}");
+    }
+}

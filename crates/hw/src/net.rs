@@ -1,0 +1,107 @@
+//! Network-link models.
+
+use serde::{Deserialize, Serialize};
+
+/// A point-to-point (or shared uplink) network model characterized by
+/// bandwidth and one-way latency. The paper's default fabric is 10 Gbps
+/// Ethernet; Fig 18 sweeps 1–40 Gbps.
+///
+/// # Example
+///
+/// ```
+/// use hw::LinkSpec;
+///
+/// let link = LinkSpec::ethernet_gbps(10.0);
+/// // A 2.7MB photo takes ~2.2ms on the wire.
+/// let t = link.transfer_time_secs(2.7e6);
+/// assert!(t > 0.002 && t < 0.003);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Nominal bandwidth in gigabits/sec.
+    pub gbps: f64,
+    /// One-way latency, seconds.
+    pub latency_secs: f64,
+    /// Fraction of nominal bandwidth achievable by a bulk flow
+    /// (protocol + TCP overheads).
+    pub efficiency: f64,
+}
+
+impl LinkSpec {
+    /// A data-center Ethernet link of the given nominal rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gbps` is non-positive.
+    pub fn ethernet_gbps(gbps: f64) -> Self {
+        assert!(gbps > 0.0, "bandwidth must be positive");
+        LinkSpec {
+            gbps,
+            latency_secs: 100.0e-6,
+            efficiency: 0.94,
+        }
+    }
+
+    /// Effective payload bandwidth in bytes/sec.
+    pub fn effective_bps(&self) -> f64 {
+        self.gbps * 1e9 / 8.0 * self.efficiency
+    }
+
+    /// Seconds to move `bytes` across the link (latency + serialization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is negative.
+    pub fn transfer_time_secs(&self, bytes: f64) -> f64 {
+        assert!(bytes >= 0.0, "bytes must be non-negative");
+        self.latency_secs + bytes / self.effective_bps()
+    }
+
+    /// Streaming throughput cap in items/sec for items of `bytes` each,
+    /// ignoring per-item latency (pipelined bulk transfer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is non-positive.
+    pub fn items_per_sec(&self, bytes: f64) -> f64 {
+        assert!(bytes > 0.0, "item size must be positive");
+        self.effective_bps() / bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_bandwidth_below_nominal() {
+        let l = LinkSpec::ethernet_gbps(10.0);
+        assert!(l.effective_bps() < 1.25e9);
+        assert!(l.effective_bps() > 1.1e9);
+    }
+
+    #[test]
+    fn transfer_time_scales_linearly() {
+        let l = LinkSpec::ethernet_gbps(10.0);
+        let t1 = l.transfer_time_secs(1e6) - l.latency_secs;
+        let t2 = l.transfer_time_secs(2e6) - l.latency_secs;
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn srv_p_network_cap_matches_fig13() {
+        // SRV-P ships 0.59MB preprocessed binaries over 10Gbps:
+        // ~1990 IPS ≈ one ResNet50 PipeStore (2129 IPS), which is why
+        // NDPipe passes SRV-P at P1 = 1 store.
+        let l = LinkSpec::ethernet_gbps(10.0);
+        let ips = l.items_per_sec(0.59e6);
+        assert!((1800.0..2200.0).contains(&ips), "ips {ips}");
+    }
+
+    #[test]
+    fn one_gbps_is_ten_times_slower() {
+        let a = LinkSpec::ethernet_gbps(1.0).items_per_sec(1e6);
+        let b = LinkSpec::ethernet_gbps(10.0).items_per_sec(1e6);
+        assert!((b / a - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,179 @@
+//! Component power accounting and energy integration.
+
+use serde::{Deserialize, Serialize};
+
+/// Average power draw of one server split by component, in watts.
+///
+/// Mirrors Fig 14's decomposition into GPU, CPU and "Others" (power
+/// supply losses, SoC, DRAM, NICs, fans).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ComponentPower {
+    /// GPU / accelerator watts.
+    pub gpu: f64,
+    /// CPU package watts.
+    pub cpu: f64,
+    /// Everything else: PSU loss, SoC, I/O, DRAM, fans, disks.
+    pub other: f64,
+}
+
+impl ComponentPower {
+    /// Creates a breakdown from the three components.
+    pub fn new(gpu: f64, cpu: f64, other: f64) -> Self {
+        ComponentPower { gpu, cpu, other }
+    }
+
+    /// Total watts.
+    pub fn total(&self) -> f64 {
+        self.gpu + self.cpu + self.other
+    }
+
+    /// Component-wise sum.
+    pub fn plus(&self, other: &ComponentPower) -> ComponentPower {
+        ComponentPower {
+            gpu: self.gpu + other.gpu,
+            cpu: self.cpu + other.cpu,
+            other: self.other + other.other,
+        }
+    }
+
+    /// Component-wise scaling (e.g. power of `n` identical servers).
+    pub fn scaled(&self, k: f64) -> ComponentPower {
+        ComponentPower {
+            gpu: self.gpu * k,
+            cpu: self.cpu * k,
+            other: self.other * k,
+        }
+    }
+}
+
+impl std::fmt::Display for ComponentPower {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.0}W (gpu {:.0} / cpu {:.0} / other {:.0})",
+            self.total(),
+            self.gpu,
+            self.cpu,
+            self.other
+        )
+    }
+}
+
+/// Integrates energy from per-phase power and duration samples.
+///
+/// # Example
+///
+/// ```
+/// use hw::{ComponentPower, EnergyMeter};
+///
+/// let mut m = EnergyMeter::new();
+/// m.record(ComponentPower::new(200.0, 100.0, 100.0), 10.0);
+/// assert_eq!(m.energy_joules(), 4000.0);
+/// assert_eq!(m.elapsed_secs(), 10.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EnergyMeter {
+    joules: f64,
+    secs: f64,
+    breakdown: ComponentPower,
+}
+
+impl EnergyMeter {
+    /// An empty meter.
+    pub fn new() -> Self {
+        EnergyMeter::default()
+    }
+
+    /// Accumulates `power` drawn for `secs` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative.
+    pub fn record(&mut self, power: ComponentPower, secs: f64) {
+        assert!(secs >= 0.0, "duration must be non-negative");
+        self.joules += power.total() * secs;
+        self.breakdown = self.breakdown.plus(&power.scaled(secs));
+        self.secs += secs;
+    }
+
+    /// Total energy, joules.
+    pub fn energy_joules(&self) -> f64 {
+        self.joules
+    }
+
+    /// Total wall time recorded, seconds.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.secs
+    }
+
+    /// Time-weighted average power, watts (0 if nothing recorded).
+    pub fn mean_power(&self) -> ComponentPower {
+        if self.secs == 0.0 {
+            ComponentPower::default()
+        } else {
+            self.breakdown.scaled(1.0 / self.secs)
+        }
+    }
+
+    /// Work efficiency: `items / kJ` for `items` completed during the
+    /// recorded interval (the paper's IPS/kJ metric).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no energy has been recorded.
+    pub fn items_per_kilojoule(&self, items: f64) -> f64 {
+        assert!(self.joules > 0.0, "no energy recorded");
+        items / (self.joules / 1e3)
+    }
+
+    /// Throughput efficiency: `items_per_sec / watts` (the paper's IPS/W).
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing has been recorded.
+    pub fn ips_per_watt(&self, items: f64) -> f64 {
+        assert!(self.secs > 0.0 && self.joules > 0.0, "nothing recorded");
+        (items / self.secs) / (self.joules / self.secs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_arithmetic() {
+        let p = ComponentPower::new(300.0, 150.0, 150.0);
+        assert_eq!(p.total(), 600.0);
+        assert_eq!(p.scaled(2.0).total(), 1200.0);
+        assert_eq!(p.plus(&p).gpu, 600.0);
+    }
+
+    #[test]
+    fn meter_integrates_phases() {
+        let mut m = EnergyMeter::new();
+        m.record(ComponentPower::new(100.0, 0.0, 0.0), 5.0);
+        m.record(ComponentPower::new(0.0, 50.0, 50.0), 10.0);
+        assert_eq!(m.energy_joules(), 1500.0);
+        assert_eq!(m.elapsed_secs(), 15.0);
+        let mean = m.mean_power();
+        assert!((mean.total() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn efficiency_metrics() {
+        let mut m = EnergyMeter::new();
+        m.record(ComponentPower::new(500.0, 250.0, 250.0), 2.0);
+        // 2000 J, 2 s; 4000 items -> 2000 items/kJ, 2000 ips / 1000 W = 2.
+        assert!((m.items_per_kilojoule(4000.0) - 2000.0).abs() < 1e-9);
+        assert!((m.ips_per_watt(4000.0) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_formats_breakdown() {
+        let p = ComponentPower::new(70.0, 30.0, 50.0);
+        let s = p.to_string();
+        assert!(s.contains("150W"));
+        assert!(s.contains("gpu 70"));
+    }
+}

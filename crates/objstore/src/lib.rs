@@ -1,0 +1,126 @@
+//! Haystack-style append-only object store for photo blobs.
+//!
+//! The paper's storage servers are production photo stores in the mold of
+//! Facebook Haystack / f4 (§3.1 models the system after Google/Amazon
+//! Photos). This crate implements that substrate for real:
+//!
+//! - [`needle`] — the on-disk record format: header, key, flags, payload,
+//!   CRC-32 trailer,
+//! - [`volume`] — an append-only log file with an in-memory index,
+//!   crash recovery by scanning, tombstone deletes and compaction,
+//! - [`store`] — a multi-volume store with write-volume rotation and a
+//!   photo directory.
+//!
+//! PipeStores can keep their photo shards and compressed preprocessed
+//! sidecars in an `ObjectStore`, which is what the near-data read path
+//! (`Read` in Figs 6/12) actually reads from.
+//!
+//! # Example
+//!
+//! ```
+//! use objstore::ObjectStore;
+//!
+//! # fn main() -> Result<(), objstore::StoreError> {
+//! let dir = std::env::temp_dir().join(format!("objstore-doc-{}", std::process::id()));
+//! let mut store = ObjectStore::open(&dir, 1 << 20)?;
+//! store.put(42, b"jpeg bytes")?;
+//! assert_eq!(store.get(42)?.as_deref(), Some(&b"jpeg bytes"[..]));
+//! # std::fs::remove_dir_all(dir).ok();
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod needle;
+pub mod store;
+pub mod volume;
+
+pub use needle::Needle;
+pub use store::ObjectStore;
+pub use volume::Volume;
+
+/// Errors from the object store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// A needle failed its checksum or framing validation.
+    Corrupt {
+        /// Byte offset of the bad record.
+        offset: u64,
+        /// What was wrong.
+        reason: &'static str,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "object store i/o error: {e}"),
+            StoreError::Corrupt { offset, reason } => {
+                write!(f, "corrupt needle at offset {offset}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Corrupt { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected), computed with a lazily built table.
+pub fn crc32(data: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB88320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *e = c;
+        }
+        t
+    });
+    let mut crc = 0xFFFFFFFFu32;
+    for &b in data {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF43926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"a"), crc32(b"b"));
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        use std::error::Error;
+        let e = StoreError::Corrupt {
+            offset: 7,
+            reason: "bad magic",
+        };
+        assert!(e.to_string().contains("offset 7"));
+        assert!(e.source().is_none());
+        let io = StoreError::from(std::io::Error::other("x"));
+        assert!(io.source().is_some());
+    }
+}

@@ -1,0 +1,209 @@
+//! The on-disk needle record (Haystack's unit of storage).
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic   u32  = 0x4E_44_50_4E ("NDPN")
+//! key     u64
+//! flags   u8   (bit 0 = tombstone)
+//! size    u32  payload bytes
+//! payload [u8; size]
+//! crc32   u32  over key‖flags‖size‖payload
+//! ```
+
+use crate::{crc32, StoreError};
+use std::io::{Read, Write};
+
+/// Record magic ("NDPN").
+pub const MAGIC: u32 = 0x4E44_504E;
+/// Fixed header bytes before the payload.
+pub const HEADER_BYTES: usize = 4 + 8 + 1 + 4;
+/// Trailer bytes after the payload.
+pub const TRAILER_BYTES: usize = 4;
+
+/// Flag bit marking a deletion tombstone.
+pub const FLAG_TOMBSTONE: u8 = 0b0000_0001;
+
+/// One stored record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Needle {
+    /// Object key (photo id).
+    pub key: u64,
+    /// Flag bits.
+    pub flags: u8,
+    /// Payload (empty for tombstones).
+    pub data: Vec<u8>,
+}
+
+impl Needle {
+    /// A live record.
+    pub fn new(key: u64, data: Vec<u8>) -> Self {
+        Needle {
+            key,
+            flags: 0,
+            data,
+        }
+    }
+
+    /// A deletion tombstone for `key`.
+    pub fn tombstone(key: u64) -> Self {
+        Needle {
+            key,
+            flags: FLAG_TOMBSTONE,
+            data: Vec::new(),
+        }
+    }
+
+    /// Whether this record deletes its key.
+    pub fn is_tombstone(&self) -> bool {
+        self.flags & FLAG_TOMBSTONE != 0
+    }
+
+    /// Total encoded size on disk.
+    pub fn encoded_len(&self) -> usize {
+        HEADER_BYTES + self.data.len() + TRAILER_BYTES
+    }
+
+    /// Serializes the needle to a writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> Result<(), StoreError> {
+        let mut buf = Vec::with_capacity(self.encoded_len());
+        buf.extend_from_slice(&MAGIC.to_le_bytes());
+        buf.extend_from_slice(&self.key.to_le_bytes());
+        buf.push(self.flags);
+        buf.extend_from_slice(&(self.data.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&self.data);
+        let crc = crc32(&buf[4..]);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        w.write_all(&buf)?;
+        Ok(())
+    }
+
+    /// Reads one needle from a reader positioned at `offset` (used only
+    /// for error reporting).
+    ///
+    /// Returns `Ok(None)` at a clean end-of-file boundary.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] on bad magic, truncated records or
+    /// checksum mismatch.
+    pub fn read_from<R: Read>(r: &mut R, offset: u64) -> Result<Option<Needle>, StoreError> {
+        let mut magic = [0u8; 4];
+        match r.read(&mut magic)? {
+            0 => return Ok(None),
+            4 => {}
+            n => {
+                // Partial magic: try to finish it; a torn tail is corrupt.
+                if r.read(&mut magic[n..])? != 4 - n {
+                    return Err(StoreError::Corrupt {
+                        offset,
+                        reason: "torn record header",
+                    });
+                }
+            }
+        }
+        if u32::from_le_bytes(magic) != MAGIC {
+            return Err(StoreError::Corrupt {
+                offset,
+                reason: "bad magic",
+            });
+        }
+        let mut rest = [0u8; 8 + 1 + 4];
+        r.read_exact(&mut rest).map_err(|_| StoreError::Corrupt {
+            offset,
+            reason: "truncated header",
+        })?;
+        let key = u64::from_le_bytes(rest[0..8].try_into().expect("fixed slice"));
+        let flags = rest[8];
+        let size = u32::from_le_bytes(rest[9..13].try_into().expect("fixed slice")) as usize;
+        let mut data = vec![0u8; size];
+        r.read_exact(&mut data).map_err(|_| StoreError::Corrupt {
+            offset,
+            reason: "truncated payload",
+        })?;
+        let mut crc_buf = [0u8; 4];
+        r.read_exact(&mut crc_buf).map_err(|_| StoreError::Corrupt {
+            offset,
+            reason: "truncated checksum",
+        })?;
+        let mut check = Vec::with_capacity(13 + size);
+        check.extend_from_slice(&rest);
+        check.extend_from_slice(&data);
+        if crc32(&check) != u32::from_le_bytes(crc_buf) {
+            return Err(StoreError::Corrupt {
+                offset,
+                reason: "checksum mismatch",
+            });
+        }
+        Ok(Some(Needle { key, flags, data }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(n: &Needle) -> Needle {
+        let mut buf = Vec::new();
+        n.write_to(&mut buf).expect("write");
+        assert_eq!(buf.len(), n.encoded_len());
+        Needle::read_from(&mut buf.as_slice(), 0)
+            .expect("read")
+            .expect("some")
+    }
+
+    #[test]
+    fn roundtrips() {
+        let n = Needle::new(12345, b"photo payload".to_vec());
+        assert_eq!(roundtrip(&n), n);
+        let t = Needle::tombstone(99);
+        assert!(t.is_tombstone());
+        assert_eq!(roundtrip(&t), t);
+    }
+
+    #[test]
+    fn empty_payload_ok() {
+        let n = Needle::new(0, Vec::new());
+        assert_eq!(roundtrip(&n), n);
+    }
+
+    #[test]
+    fn eof_is_none() {
+        let empty: &[u8] = &[];
+        assert!(Needle::read_from(&mut &*empty, 0).expect("clean eof").is_none());
+    }
+
+    #[test]
+    fn flipped_payload_bit_detected() {
+        let n = Needle::new(7, vec![1, 2, 3, 4]);
+        let mut buf = Vec::new();
+        n.write_to(&mut buf).expect("write");
+        buf[HEADER_BYTES + 1] ^= 0x40;
+        let err = Needle::read_from(&mut buf.as_slice(), 0).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt { reason: "checksum mismatch", .. }));
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let n = Needle::new(7, vec![1]);
+        let mut buf = Vec::new();
+        n.write_to(&mut buf).expect("write");
+        buf[0] = 0;
+        let err = Needle::read_from(&mut buf.as_slice(), 0).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt { reason: "bad magic", .. }));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let n = Needle::new(7, vec![9; 100]);
+        let mut buf = Vec::new();
+        n.write_to(&mut buf).expect("write");
+        buf.truncate(buf.len() - 10);
+        let err = Needle::read_from(&mut buf.as_slice(), 0).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt { .. }));
+    }
+}

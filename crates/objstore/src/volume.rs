@@ -1,0 +1,399 @@
+//! An append-only volume file with an in-memory needle index.
+
+use crate::needle::{Needle, HEADER_BYTES, TRAILER_BYTES};
+use crate::StoreError;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufReader, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Location of a live needle's payload within a volume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Slot {
+    /// Offset of the record start.
+    offset: u64,
+    /// Payload length.
+    len: u32,
+}
+
+/// One append-only log file plus its in-memory key index.
+///
+/// Writes append needles; deletes append tombstones; reads seek straight
+/// to the payload via the index. Opening an existing file *recovers* the
+/// index by scanning, truncating any torn tail from a crash.
+#[derive(Debug)]
+pub struct Volume {
+    path: PathBuf,
+    file: File,
+    index: HashMap<u64, Slot>,
+    /// Bytes in the file (append position).
+    size: u64,
+    /// Bytes occupied by dead records (overwritten/tombstoned).
+    garbage: u64,
+}
+
+impl Volume {
+    /// Opens (or creates) a volume at `path`, recovering its index.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors; a corrupt record mid-file is an error, but a torn tail
+    /// (partial final record from a crash) is truncated away.
+    pub fn open(path: impl AsRef<Path>) -> Result<Volume, StoreError> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(&path)?;
+        let mut index: HashMap<u64, Slot> = HashMap::new();
+        let mut garbage = 0u64;
+        let mut offset = 0u64;
+        {
+            let mut reader = BufReader::new(&mut file);
+            reader.seek(SeekFrom::Start(0))?;
+            loop {
+                match Needle::read_from(&mut reader, offset) {
+                    Ok(None) => break,
+                    Ok(Some(n)) => {
+                        let rec_len =
+                            (HEADER_BYTES + n.data.len() + TRAILER_BYTES) as u64;
+                        if n.is_tombstone() {
+                            if let Some(old) = index.remove(&n.key) {
+                                garbage += record_len(old.len) + rec_len;
+                            } else {
+                                garbage += rec_len;
+                            }
+                        } else {
+                            if let Some(old) = index.insert(
+                                n.key,
+                                Slot {
+                                    offset,
+                                    len: n.data.len() as u32,
+                                },
+                            ) {
+                                garbage += record_len(old.len);
+                            }
+                        }
+                        offset += rec_len;
+                    }
+                    Err(StoreError::Corrupt { reason, .. }) if is_torn_tail(reason) => {
+                        // A record that runs off the end of the file is a
+                        // torn append from a crash: drop it. In-place
+                        // corruption (bad magic, checksum mismatch) is NOT
+                        // truncated — valid records may follow, so surface
+                        // it instead of silently discarding them.
+                        break;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        file.set_len(offset)?;
+        file.seek(SeekFrom::End(0))?;
+        Ok(Volume {
+            path,
+            file,
+            index,
+            size: offset,
+            garbage,
+        })
+    }
+
+    /// The volume's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of live objects.
+    pub fn live_count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Bytes in the log.
+    pub fn size_bytes(&self) -> u64 {
+        self.size
+    }
+
+    /// Bytes occupied by dead records.
+    pub fn garbage_bytes(&self) -> u64 {
+        self.garbage
+    }
+
+    /// Appends (or overwrites) `key` with `data`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors.
+    pub fn put(&mut self, key: u64, data: &[u8]) -> Result<(), StoreError> {
+        let needle = Needle::new(key, data.to_vec());
+        let rec_len = needle.encoded_len() as u64;
+        needle.write_to(&mut self.file)?;
+        if let Some(old) = self.index.insert(
+            key,
+            Slot {
+                offset: self.size,
+                len: data.len() as u32,
+            },
+        ) {
+            self.garbage += record_len(old.len);
+        }
+        self.size += rec_len;
+        Ok(())
+    }
+
+    /// Reads the live payload for `key`, verifying its checksum.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors or on-disk corruption.
+    pub fn get(&mut self, key: u64) -> Result<Option<Vec<u8>>, StoreError> {
+        let Some(slot) = self.index.get(&key).copied() else {
+            return Ok(None);
+        };
+        self.file.seek(SeekFrom::Start(slot.offset))?;
+        let mut reader = BufReader::new(&mut self.file);
+        let needle = Needle::read_from(&mut reader, slot.offset)?.ok_or(StoreError::Corrupt {
+            offset: slot.offset,
+            reason: "indexed record missing",
+        })?;
+        self.file.seek(SeekFrom::End(0))?;
+        if needle.key != key {
+            return Err(StoreError::Corrupt {
+                offset: slot.offset,
+                reason: "index points at wrong key",
+            });
+        }
+        Ok(Some(needle.data))
+    }
+
+    /// Whether `key` is live.
+    pub fn contains(&self, key: u64) -> bool {
+        self.index.contains_key(&key)
+    }
+
+    /// Deletes `key` by appending a tombstone. Returns whether it existed.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors.
+    pub fn delete(&mut self, key: u64) -> Result<bool, StoreError> {
+        let existed = self.index.remove(&key);
+        let tomb = Needle::tombstone(key);
+        let rec_len = tomb.encoded_len() as u64;
+        tomb.write_to(&mut self.file)?;
+        if let Some(old) = existed {
+            self.garbage += record_len(old.len) + rec_len;
+        } else {
+            self.garbage += rec_len;
+        }
+        self.size += rec_len;
+        Ok(existed.is_some())
+    }
+
+    /// Live keys, unordered.
+    pub fn keys(&self) -> impl Iterator<Item = u64> + '_ {
+        self.index.keys().copied()
+    }
+
+    /// Rewrites the volume keeping only live records, reclaiming garbage.
+    /// The new log is written beside the old file and atomically renamed
+    /// over it.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors; the original volume is untouched on failure.
+    pub fn compact(&mut self) -> Result<(), StoreError> {
+        let tmp_path = self.path.with_extension("compact");
+        {
+            let mut tmp = File::create(&tmp_path)?;
+            let mut keys: Vec<u64> = self.index.keys().copied().collect();
+            keys.sort_unstable();
+            for key in keys {
+                let data = self.get(key)?.ok_or(StoreError::Corrupt {
+                    offset: 0,
+                    reason: "live key vanished during compaction",
+                })?;
+                Needle::new(key, data).write_to(&mut tmp)?;
+            }
+            tmp.flush()?;
+        }
+        std::fs::rename(&tmp_path, &self.path)?;
+        let fresh = Volume::open(&self.path)?;
+        *self = fresh;
+        Ok(())
+    }
+
+    /// Flushes buffered writes to the OS.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.file.flush()?;
+        Ok(())
+    }
+}
+
+fn record_len(payload: u32) -> u64 {
+    (HEADER_BYTES + payload as usize + TRAILER_BYTES) as u64
+}
+
+/// Whether a corruption reason indicates a record that ran off the end
+/// of the file (a torn append), as opposed to in-place damage like a bad
+/// checksum or magic, which must be surfaced rather than truncated away.
+fn is_torn_tail(reason: &str) -> bool {
+    reason.starts_with("torn") || reason.starts_with("truncated")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_volume(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "ndpipe-vol-{}-{}-{tag}.log",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .expect("clock")
+                .as_nanos()
+        ))
+    }
+
+    struct Cleanup(PathBuf);
+    impl Drop for Cleanup {
+        fn drop(&mut self) {
+            std::fs::remove_file(&self.0).ok();
+        }
+    }
+
+    #[test]
+    fn put_get_delete() {
+        let path = temp_volume("pgd");
+        let _c = Cleanup(path.clone());
+        let mut v = Volume::open(&path).expect("open");
+        v.put(1, b"alpha").expect("put");
+        v.put(2, b"beta").expect("put");
+        assert_eq!(v.get(1).expect("get").as_deref(), Some(&b"alpha"[..]));
+        assert_eq!(v.get(3).expect("get"), None);
+        assert!(v.delete(1).expect("delete"));
+        assert!(!v.delete(1).expect("delete"));
+        assert_eq!(v.get(1).expect("get"), None);
+        assert_eq!(v.live_count(), 1);
+    }
+
+    #[test]
+    fn overwrite_keeps_latest() {
+        let path = temp_volume("ow");
+        let _c = Cleanup(path.clone());
+        let mut v = Volume::open(&path).expect("open");
+        v.put(5, b"old").expect("put");
+        v.put(5, b"new").expect("put");
+        assert_eq!(v.get(5).expect("get").as_deref(), Some(&b"new"[..]));
+        assert!(v.garbage_bytes() > 0);
+    }
+
+    #[test]
+    fn recovery_rebuilds_index() {
+        let path = temp_volume("rec");
+        let _c = Cleanup(path.clone());
+        {
+            let mut v = Volume::open(&path).expect("open");
+            v.put(1, b"one").expect("put");
+            v.put(2, b"two").expect("put");
+            v.delete(1).expect("delete");
+            v.put(3, b"three").expect("put");
+            v.sync().expect("sync");
+        }
+        let mut v = Volume::open(&path).expect("reopen");
+        assert_eq!(v.live_count(), 2);
+        assert_eq!(v.get(1).expect("get"), None);
+        assert_eq!(v.get(2).expect("get").as_deref(), Some(&b"two"[..]));
+        assert_eq!(v.get(3).expect("get").as_deref(), Some(&b"three"[..]));
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_recovery() {
+        let path = temp_volume("torn");
+        let _c = Cleanup(path.clone());
+        {
+            let mut v = Volume::open(&path).expect("open");
+            v.put(1, b"complete record").expect("put");
+            v.sync().expect("sync");
+        }
+        // Simulate a crash mid-append: garbage half-record at the tail.
+        {
+            use std::fs::OpenOptions;
+            let mut f = OpenOptions::new().append(true).open(&path).expect("open raw");
+            f.write_all(&crate::needle::MAGIC.to_le_bytes()).expect("tear");
+            f.write_all(&[1, 2, 3]).expect("tear");
+        }
+        let mut v = Volume::open(&path).expect("recover");
+        assert_eq!(v.live_count(), 1);
+        assert_eq!(v.get(1).expect("get").as_deref(), Some(&b"complete record"[..]));
+        // The tail was dropped; appends keep working.
+        v.put(2, b"after crash").expect("put");
+        assert_eq!(v.get(2).expect("get").as_deref(), Some(&b"after crash"[..]));
+    }
+
+    #[test]
+    fn mid_file_bit_flip_is_surfaced_not_truncated() {
+        let path = temp_volume("flip");
+        let _c = Cleanup(path.clone());
+        {
+            let mut v = Volume::open(&path).expect("open");
+            v.put(1, b"first record payload").expect("put");
+            v.put(2, b"second record payload").expect("put");
+            v.sync().expect("sync");
+        }
+        // Flip one payload byte of the FIRST record.
+        let mut bytes = std::fs::read(&path).expect("read raw");
+        bytes[crate::needle::HEADER_BYTES + 2] ^= 0x10;
+        std::fs::write(&path, &bytes).expect("write raw");
+        // Recovery must report corruption, not silently drop record 2.
+        let err = Volume::open(&path).unwrap_err();
+        assert!(
+            matches!(err, StoreError::Corrupt { reason: "checksum mismatch", .. }),
+            "unexpected {err:?}"
+        );
+        // And the file is untouched (record 2 still present on disk).
+        assert_eq!(std::fs::read(&path).expect("reread").len(), bytes.len());
+    }
+
+    #[test]
+    fn compaction_reclaims_garbage() {
+        let path = temp_volume("cmp");
+        let _c = Cleanup(path.clone());
+        let mut v = Volume::open(&path).expect("open");
+        for i in 0..50u64 {
+            v.put(i, &[i as u8; 100]).expect("put");
+        }
+        for i in 0..40u64 {
+            v.delete(i).expect("delete");
+        }
+        let before = v.size_bytes();
+        v.compact().expect("compact");
+        assert!(v.size_bytes() < before / 3, "{} -> {}", before, v.size_bytes());
+        assert_eq!(v.garbage_bytes(), 0);
+        assert_eq!(v.live_count(), 10);
+        for i in 40..50u64 {
+            assert_eq!(v.get(i).expect("get").as_deref(), Some(&vec![i as u8; 100][..]));
+        }
+    }
+
+    #[test]
+    fn keys_enumerates_live_objects() {
+        let path = temp_volume("keys");
+        let _c = Cleanup(path.clone());
+        let mut v = Volume::open(&path).expect("open");
+        v.put(10, b"x").expect("put");
+        v.put(20, b"y").expect("put");
+        v.delete(10).expect("delete");
+        let mut keys: Vec<u64> = v.keys().collect();
+        keys.sort_unstable();
+        assert_eq!(keys, vec![20]);
+        assert!(v.contains(20));
+        assert!(!v.contains(10));
+    }
+}

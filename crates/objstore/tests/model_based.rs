@@ -1,0 +1,89 @@
+//! Model-based property testing: the object store must behave exactly
+//! like a `HashMap<u64, Vec<u8>>` under any operation sequence, including
+//! across close/reopen boundaries and compactions.
+
+use objstore::ObjectStore;
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u64, Vec<u8>),
+    Delete(u64),
+    Get(u64),
+    Compact,
+    Reopen,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u64..20, prop::collection::vec(any::<u8>(), 0..64))
+            .prop_map(|(k, v)| Op::Put(k, v)),
+        2 => (0u64..20).prop_map(Op::Delete),
+        2 => (0u64..20).prop_map(Op::Get),
+        1 => Just(Op::Compact),
+        1 => Just(Op::Reopen),
+    ]
+}
+
+fn temp_dir(tag: u64) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "objstore-model-{}-{}-{tag}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .expect("clock")
+            .as_nanos()
+    ))
+}
+
+struct Cleanup(PathBuf);
+impl Drop for Cleanup {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn store_agrees_with_hashmap(ops in prop::collection::vec(op_strategy(), 1..60), tag in any::<u64>()) {
+        let dir = temp_dir(tag);
+        let _c = Cleanup(dir.clone());
+        // Small volumes force rotation mid-sequence.
+        let mut store = ObjectStore::open(&dir, 512).expect("open");
+        let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Put(k, v) => {
+                    store.put(k, &v).expect("put");
+                    model.insert(k, v);
+                }
+                Op::Delete(k) => {
+                    let existed = store.delete(k).expect("delete");
+                    prop_assert_eq!(existed, model.remove(&k).is_some());
+                }
+                Op::Get(k) => {
+                    let got = store.get(k).expect("get");
+                    prop_assert_eq!(got, model.get(&k).cloned());
+                }
+                Op::Compact => {
+                    store.compact(0.0).expect("compact");
+                }
+                Op::Reopen => {
+                    store.sync().expect("sync");
+                    drop(store);
+                    store = ObjectStore::open(&dir, 512).expect("reopen");
+                }
+            }
+            prop_assert_eq!(store.len(), model.len());
+        }
+        // Final full sweep.
+        for (k, v) in &model {
+            let got = store.get(*k).expect("get");
+            prop_assert_eq!(got.as_deref(), Some(v.as_slice()));
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! FIFO resources with busy-time accounting.
+
+use crate::SimTime;
+
+/// A closed service interval `[start, end)` on a resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// When service began.
+    pub start: SimTime,
+    /// When service completed.
+    pub end: SimTime,
+}
+
+impl Interval {
+    /// Duration of the interval.
+    pub fn duration(&self) -> SimTime {
+        self.end - self.start
+    }
+}
+
+/// A single-server FIFO resource (a GPU, a disk, a network link, a CPU-core
+/// pool modeled as one server with scaled service times).
+///
+/// Jobs are served in the order [`Resource::serve`] is called; each job
+/// starts at `max(arrival, previous job's end)`. The resource accumulates
+/// total busy time so utilization and energy can be derived after a run.
+///
+/// # Example
+///
+/// ```
+/// use simkit::{Resource, SimTime};
+///
+/// let mut link = Resource::new("10Gbps link");
+/// let a = link.serve(SimTime::ZERO, SimTime::from_secs(1.0));
+/// let b = link.serve(SimTime::from_secs(0.5), SimTime::from_secs(1.0));
+/// assert_eq!(a.end, SimTime::from_secs(1.0));
+/// assert_eq!(b.start, SimTime::from_secs(1.0)); // waited 0.5s in queue
+/// assert!((link.utilization(SimTime::from_secs(2.0)) - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Resource {
+    name: String,
+    free_at: SimTime,
+    busy: SimTime,
+    jobs: u64,
+}
+
+impl Resource {
+    /// A new, idle resource. The name is used only for diagnostics.
+    pub fn new(name: impl Into<String>) -> Self {
+        Resource {
+            name: name.into(),
+            free_at: SimTime::ZERO,
+            busy: SimTime::ZERO,
+            jobs: 0,
+        }
+    }
+
+    /// The resource's diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Serves a job arriving at `arrival` that needs `service` time,
+    /// returning the interval during which it actually ran.
+    pub fn serve(&mut self, arrival: SimTime, service: SimTime) -> Interval {
+        let start = arrival.max(self.free_at);
+        let end = start + service;
+        self.free_at = end;
+        self.busy += service;
+        self.jobs += 1;
+        Interval { start, end }
+    }
+
+    /// Earliest time a new arrival could begin service.
+    pub fn free_at(&self) -> SimTime {
+        self.free_at
+    }
+
+    /// Total time spent serving jobs.
+    pub fn busy_time(&self) -> SimTime {
+        self.busy
+    }
+
+    /// Number of jobs served.
+    pub fn jobs_served(&self) -> u64 {
+        self.jobs
+    }
+
+    /// Fraction of `[0, horizon)` spent busy. Clamped to `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is zero.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        assert!(horizon > SimTime::ZERO, "utilization needs a horizon");
+        (self.busy.as_secs() / horizon.as_secs()).min(1.0)
+    }
+
+    /// Resets the resource to idle at time zero, clearing statistics.
+    pub fn reset(&mut self) {
+        self.free_at = SimTime::ZERO;
+        self.busy = SimTime::ZERO;
+        self.jobs = 0;
+    }
+}
+
+/// A pool of `n` identical FIFO servers with least-loaded dispatch.
+///
+/// Models multi-core CPU sections (e.g. the eight decompression cores of
+/// SRV-C) and multi-GPU hosts.
+#[derive(Debug, Clone)]
+pub struct Pool {
+    servers: Vec<Resource>,
+}
+
+impl Pool {
+    /// A pool of `n` servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(name: &str, n: usize) -> Self {
+        assert!(n > 0, "pool must have at least one server");
+        Pool {
+            servers: (0..n)
+                .map(|i| Resource::new(format!("{name}[{i}]")))
+                .collect(),
+        }
+    }
+
+    /// Number of servers.
+    pub fn size(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Serves a job on the server that can start it earliest.
+    pub fn serve(&mut self, arrival: SimTime, service: SimTime) -> Interval {
+        let idx = self
+            .servers
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| s.free_at().max(arrival))
+            .map(|(i, _)| i)
+            .expect("pool is non-empty");
+        self.servers[idx].serve(arrival, service)
+    }
+
+    /// Total busy time across all servers.
+    pub fn busy_time(&self) -> SimTime {
+        self.servers.iter().map(|s| s.busy_time()).sum()
+    }
+
+    /// Mean utilization across servers over `[0, horizon)`.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        self.servers
+            .iter()
+            .map(|s| s.utilization(horizon))
+            .sum::<f64>()
+            / self.servers.len() as f64
+    }
+
+    /// Earliest time any server becomes free.
+    pub fn earliest_free(&self) -> SimTime {
+        self.servers
+            .iter()
+            .map(|s| s.free_at())
+            .min()
+            .expect("pool is non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_queueing() {
+        let mut r = Resource::new("disk");
+        let a = r.serve(SimTime::ZERO, SimTime::from_secs(3.0));
+        let b = r.serve(SimTime::from_secs(1.0), SimTime::from_secs(2.0));
+        assert_eq!(a.start, SimTime::ZERO);
+        assert_eq!(b.start, SimTime::from_secs(3.0));
+        assert_eq!(b.end, SimTime::from_secs(5.0));
+        assert_eq!(r.jobs_served(), 2);
+    }
+
+    #[test]
+    fn idle_gap_not_counted_busy() {
+        let mut r = Resource::new("gpu");
+        r.serve(SimTime::ZERO, SimTime::from_secs(1.0));
+        r.serve(SimTime::from_secs(5.0), SimTime::from_secs(1.0));
+        assert_eq!(r.busy_time(), SimTime::from_secs(2.0));
+        assert!((r.utilization(SimTime::from_secs(10.0)) - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interval_duration() {
+        let i = Interval {
+            start: SimTime::from_secs(1.0),
+            end: SimTime::from_secs(3.5),
+        };
+        assert_eq!(i.duration(), SimTime::from_secs(2.5));
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut r = Resource::new("x");
+        r.serve(SimTime::ZERO, SimTime::from_secs(2.0));
+        r.reset();
+        assert_eq!(r.busy_time(), SimTime::ZERO);
+        assert_eq!(r.free_at(), SimTime::ZERO);
+        assert_eq!(r.jobs_served(), 0);
+    }
+
+    #[test]
+    fn pool_parallelism() {
+        let mut p = Pool::new("cores", 2);
+        let a = p.serve(SimTime::ZERO, SimTime::from_secs(2.0));
+        let b = p.serve(SimTime::ZERO, SimTime::from_secs(2.0));
+        let c = p.serve(SimTime::ZERO, SimTime::from_secs(2.0));
+        // First two run in parallel, third queues behind one of them.
+        assert_eq!(a.start, SimTime::ZERO);
+        assert_eq!(b.start, SimTime::ZERO);
+        assert_eq!(c.start, SimTime::from_secs(2.0));
+        assert_eq!(p.busy_time(), SimTime::from_secs(6.0));
+    }
+
+    #[test]
+    fn pool_least_loaded_dispatch() {
+        let mut p = Pool::new("cores", 2);
+        p.serve(SimTime::ZERO, SimTime::from_secs(10.0)); // server 0 long job
+        let b = p.serve(SimTime::from_secs(1.0), SimTime::from_secs(1.0));
+        assert_eq!(b.start, SimTime::from_secs(1.0)); // went to idle server 1
+        assert_eq!(p.earliest_free(), SimTime::from_secs(2.0));
+    }
+}

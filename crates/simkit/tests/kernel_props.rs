@@ -1,0 +1,85 @@
+//! Property tests of the simulation kernel.
+
+use proptest::prelude::*;
+use simkit::resource::Pool;
+use simkit::{EventQueue, Resource, SimTime};
+
+proptest! {
+    /// A FIFO resource conserves work: busy time equals the sum of
+    /// service times, and completions never overlap.
+    #[test]
+    fn resource_conserves_work(jobs in prop::collection::vec((0u32..100, 1u32..50), 1..40)) {
+        let mut r = Resource::new("r");
+        let mut total = 0.0;
+        let mut last_end = SimTime::ZERO;
+        for &(arrival, service) in &jobs {
+            let iv = r.serve(
+                SimTime::from_secs(arrival as f64),
+                SimTime::from_secs(service as f64),
+            );
+            total += service as f64;
+            // Start no earlier than arrival, no earlier than prior end.
+            prop_assert!(iv.start >= SimTime::from_secs(arrival as f64));
+            prop_assert!(iv.start >= last_end);
+            prop_assert_eq!(iv.duration(), SimTime::from_secs(service as f64));
+            last_end = iv.end;
+        }
+        prop_assert!((r.busy_time().as_secs() - total).abs() < 1e-9);
+        prop_assert_eq!(r.jobs_served(), jobs.len() as u64);
+    }
+
+    /// A k-server pool is never slower than a single server and never
+    /// faster than k ideal servers.
+    #[test]
+    fn pool_bounds(
+        k in 1usize..6,
+        jobs in prop::collection::vec(1u32..20, 1..30),
+    ) {
+        let mut single = Resource::new("one");
+        let mut pool = Pool::new("pool", k);
+        let mut single_end = SimTime::ZERO;
+        let mut pool_end = SimTime::ZERO;
+        let mut total = 0.0;
+        for &service in &jobs {
+            let s = SimTime::from_secs(service as f64);
+            single_end = single.serve(SimTime::ZERO, s).end;
+            pool_end = pool_end.max(pool.serve(SimTime::ZERO, s).end);
+            total += service as f64;
+        }
+        prop_assert!(pool_end <= single_end);
+        // Lower bound: total work / k.
+        prop_assert!(pool_end.as_secs() + 1e-9 >= total / k as f64);
+    }
+
+    /// The event queue clock is monotone over any schedule.
+    #[test]
+    fn clock_monotone(times in prop::collection::vec(0u32..1000, 1..60)) {
+        let mut q = EventQueue::new();
+        for &t in &times {
+            q.schedule(SimTime::from_secs(t as f64), ());
+        }
+        let mut last = SimTime::ZERO;
+        while let Some(e) = q.pop() {
+            prop_assert!(e.at >= last);
+            prop_assert_eq!(q.now(), e.at);
+            last = e.at;
+        }
+    }
+
+    /// Interleaving schedule/pop maintains causality: every popped event
+    /// fires no earlier than the event that preceded it.
+    #[test]
+    fn interleaved_schedule_pop(script in prop::collection::vec((0u32..50, any::<bool>()), 1..50)) {
+        let mut q = EventQueue::new();
+        let mut last = SimTime::ZERO;
+        for &(delay, do_pop) in &script {
+            q.schedule_in(SimTime::from_secs(delay as f64), ());
+            if do_pop {
+                if let Some(e) = q.pop() {
+                    prop_assert!(e.at >= last);
+                    last = e.at;
+                }
+            }
+        }
+    }
+}

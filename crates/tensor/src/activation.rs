@@ -1,0 +1,215 @@
+//! Activation functions and the softmax family.
+
+use crate::Tensor;
+
+/// Rectified linear unit, elementwise.
+pub fn relu(t: &Tensor) -> Tensor {
+    t.map(|x| x.max(0.0))
+}
+
+/// Derivative mask of ReLU evaluated at the *pre-activation* input:
+/// 1 where `x > 0`, else 0.
+pub fn relu_grad_mask(pre_activation: &Tensor) -> Tensor {
+    pre_activation.map(|x| if x > 0.0 { 1.0 } else { 0.0 })
+}
+
+/// Gaussian error linear unit (tanh approximation), elementwise.
+pub fn gelu(t: &Tensor) -> Tensor {
+    t.map(|x| {
+        let c = (2.0f32 / std::f32::consts::PI).sqrt();
+        0.5 * x * (1.0 + (c * (x + 0.044715 * x * x * x)).tanh())
+    })
+}
+
+/// Logistic sigmoid, elementwise.
+pub fn sigmoid(t: &Tensor) -> Tensor {
+    t.map(|x| 1.0 / (1.0 + (-x).exp()))
+}
+
+/// Row-wise softmax of a `[rows, cols]` matrix (numerically stabilized).
+///
+/// # Panics
+///
+/// Panics unless the input is rank 2.
+pub fn softmax_rows(logits: &Tensor) -> Tensor {
+    assert_eq!(logits.shape().rank(), 2, "softmax_rows needs a matrix");
+    let (rows, cols) = (logits.dims()[0], logits.dims()[1]);
+    let mut out = vec![0.0f32; rows * cols];
+    for r in 0..rows {
+        let row = &logits.data()[r * cols..(r + 1) * cols];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0f32;
+        for (o, &x) in out[r * cols..(r + 1) * cols].iter_mut().zip(row) {
+            let e = (x - max).exp();
+            *o = e;
+            denom += e;
+        }
+        for o in &mut out[r * cols..(r + 1) * cols] {
+            *o /= denom;
+        }
+    }
+    Tensor::from_vec(out, &[rows, cols])
+}
+
+/// Row-wise log-softmax of a `[rows, cols]` matrix.
+///
+/// # Panics
+///
+/// Panics unless the input is rank 2.
+pub fn log_softmax_rows(logits: &Tensor) -> Tensor {
+    assert_eq!(logits.shape().rank(), 2, "log_softmax_rows needs a matrix");
+    let (rows, cols) = (logits.dims()[0], logits.dims()[1]);
+    let mut out = vec![0.0f32; rows * cols];
+    for r in 0..rows {
+        let row = &logits.data()[r * cols..(r + 1) * cols];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let lse = row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln() + max;
+        for (o, &x) in out[r * cols..(r + 1) * cols].iter_mut().zip(row) {
+            *o = x - lse;
+        }
+    }
+    Tensor::from_vec(out, &[rows, cols])
+}
+
+/// Mean cross-entropy of row-wise `logits` against integer `labels`.
+///
+/// # Panics
+///
+/// Panics if `labels.len()` differs from the number of rows, or a label is
+/// out of range.
+pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> f32 {
+    let (rows, cols) = (logits.dims()[0], logits.dims()[1]);
+    assert_eq!(labels.len(), rows, "one label per row required");
+    let logp = log_softmax_rows(logits);
+    let mut loss = 0.0f32;
+    for (r, &y) in labels.iter().enumerate() {
+        assert!(y < cols, "label {y} out of range for {cols} classes");
+        loss -= logp.data()[r * cols + y];
+    }
+    loss / rows as f32
+}
+
+/// Gradient of mean cross-entropy w.r.t. the logits:
+/// `(softmax - onehot) / rows`.
+///
+/// # Panics
+///
+/// Panics if `labels.len()` differs from the number of rows, or a label is
+/// out of range.
+pub fn cross_entropy_grad(logits: &Tensor, labels: &[usize]) -> Tensor {
+    let (rows, cols) = (logits.dims()[0], logits.dims()[1]);
+    assert_eq!(labels.len(), rows, "one label per row required");
+    let mut grad = softmax_rows(logits);
+    let inv = 1.0 / rows as f32;
+    for (r, &y) in labels.iter().enumerate() {
+        assert!(y < cols, "label {y} out of range for {cols} classes");
+        grad.data_mut()[r * cols + y] -= 1.0;
+    }
+    grad.map_inplace(|x| x * inv);
+    grad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let t = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]);
+        assert_eq!(relu(&t).data(), &[0.0, 0.0, 2.0]);
+        assert_eq!(relu_grad_mask(&t).data(), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn gelu_fixed_points() {
+        let t = Tensor::from_vec(vec![0.0, 10.0, -10.0], &[3]);
+        let g = gelu(&t);
+        assert_eq!(g.data()[0], 0.0);
+        assert!((g.data()[1] - 10.0).abs() < 1e-3);
+        assert!(g.data()[2].abs() < 1e-3);
+    }
+
+    #[test]
+    fn sigmoid_midpoint() {
+        let t = Tensor::from_vec(vec![0.0], &[1]);
+        assert!((sigmoid(&t).data()[0] - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, -5.0, 0.0, 5.0], &[2, 3]);
+        let s = softmax_rows(&t);
+        for r in 0..2 {
+            let sum: f32 = s.data()[r * 3..(r + 1) * 3].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+        // Monotone in the logits.
+        assert!(s.data()[2] > s.data()[1]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let t = Tensor::from_vec(vec![1000.0, 1001.0, 1002.0], &[1, 3]);
+        let s = softmax_rows(&t);
+        let t2 = Tensor::from_vec(vec![0.0, 1.0, 2.0], &[1, 3]);
+        let s2 = softmax_rows(&t2);
+        for (a, b) in s.data().iter().zip(s2.data()) {
+            assert!((a - b).abs() < 1e-6);
+            assert!(a.is_finite());
+        }
+    }
+
+    #[test]
+    fn log_softmax_matches_log_of_softmax() {
+        let t = Tensor::from_vec(vec![0.5, -1.5, 2.0, 0.0], &[2, 2]);
+        let a = log_softmax_rows(&t);
+        let b = softmax_rows(&t).map(f32::ln);
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_small() {
+        let logits = Tensor::from_vec(vec![20.0, 0.0, 0.0, 0.0, 20.0, 0.0], &[2, 3]);
+        let loss = cross_entropy(&logits, &[0, 1]);
+        assert!(loss < 1e-6, "loss {loss}");
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_classes() {
+        let logits = Tensor::zeros(&[4, 10]);
+        let loss = cross_entropy(&logits, &[0, 3, 5, 9]);
+        assert!((loss - (10.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn grad_rows_sum_to_zero() {
+        let logits = Tensor::from_vec(vec![0.3, -0.2, 0.9, 1.0, 0.0, -1.0], &[2, 3]);
+        let g = cross_entropy_grad(&logits, &[2, 0]);
+        for r in 0..2 {
+            let sum: f32 = g.data()[r * 3..(r + 1) * 3].iter().sum();
+            assert!(sum.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn grad_matches_finite_differences() {
+        let logits = Tensor::from_vec(vec![0.1, -0.4, 0.7, 0.2, 0.9, -0.3], &[2, 3]);
+        let labels = [2usize, 1];
+        let g = cross_entropy_grad(&logits, &labels);
+        let eps = 1e-3;
+        for i in 0..logits.len() {
+            let mut plus = logits.clone();
+            plus.data_mut()[i] += eps;
+            let mut minus = logits.clone();
+            minus.data_mut()[i] -= eps;
+            let num = (cross_entropy(&plus, &labels) - cross_entropy(&minus, &labels)) / (2.0 * eps);
+            assert!(
+                (num - g.data()[i]).abs() < 1e-3,
+                "grad mismatch at {i}: {num} vs {}",
+                g.data()[i]
+            );
+        }
+    }
+}

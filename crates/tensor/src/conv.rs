@@ -1,0 +1,321 @@
+//! 2-D convolution (via im2col) and pooling over NCHW tensors.
+
+use crate::{linalg, Tensor};
+
+/// Convolution / pooling spatial hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dSpec {
+    /// Kernel height and width.
+    pub kernel: usize,
+    /// Stride in both spatial dimensions.
+    pub stride: usize,
+    /// Zero padding on each spatial edge.
+    pub padding: usize,
+}
+
+impl Conv2dSpec {
+    /// Creates a spec; `stride` must be nonzero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel == 0` or `stride == 0`.
+    pub fn new(kernel: usize, stride: usize, padding: usize) -> Self {
+        assert!(kernel > 0, "kernel must be positive");
+        assert!(stride > 0, "stride must be positive");
+        Conv2dSpec {
+            kernel,
+            stride,
+            padding,
+        }
+    }
+
+    /// Output spatial size for an input of size `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit in the padded input.
+    pub fn out_size(&self, n: usize) -> usize {
+        let padded = n + 2 * self.padding;
+        assert!(
+            padded >= self.kernel,
+            "kernel {} larger than padded input {padded}",
+            self.kernel
+        );
+        (padded - self.kernel) / self.stride + 1
+    }
+}
+
+/// Lowers `[c, h, w]` image patches into a `[c*k*k, oh*ow]` matrix so
+/// convolution becomes a single matmul.
+fn im2col(input: &[f32], c: usize, h: usize, w: usize, spec: Conv2dSpec) -> (Tensor, usize, usize) {
+    let oh = spec.out_size(h);
+    let ow = spec.out_size(w);
+    let k = spec.kernel;
+    let mut cols = vec![0.0f32; c * k * k * oh * ow];
+    let row_len = oh * ow;
+    for ch in 0..c {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (ch * k * k + ky * k + kx) * row_len;
+                for oy in 0..oh {
+                    let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                    for ox in 0..ow {
+                        let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                        let v = if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                            input[ch * h * w + iy as usize * w + ix as usize]
+                        } else {
+                            0.0
+                        };
+                        cols[row + oy * ow + ox] = v;
+                    }
+                }
+            }
+        }
+    }
+    (Tensor::from_vec(cols, &[c * k * k, row_len]), oh, ow)
+}
+
+/// 2-D convolution of a batched NCHW input.
+///
+/// - `input`: `[n, c_in, h, w]`
+/// - `weight`: `[c_out, c_in, k, k]`
+/// - `bias`: `[c_out]` or `None`
+///
+/// Returns `[n, c_out, oh, ow]`.
+///
+/// # Panics
+///
+/// Panics on rank or channel mismatches.
+pub fn conv2d(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, spec: Conv2dSpec) -> Tensor {
+    assert_eq!(input.shape().rank(), 4, "conv2d input must be NCHW");
+    assert_eq!(weight.shape().rank(), 4, "conv2d weight must be OIKK");
+    let (n, c_in, h, w) = (
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    );
+    let (c_out, c_in2, k, k2) = (
+        weight.dims()[0],
+        weight.dims()[1],
+        weight.dims()[2],
+        weight.dims()[3],
+    );
+    assert_eq!(c_in, c_in2, "conv2d channel mismatch");
+    assert_eq!(k, k2, "conv2d kernel must be square");
+    assert_eq!(k, spec.kernel, "conv2d spec kernel mismatch");
+    if let Some(b) = bias {
+        assert_eq!(b.len(), c_out, "conv2d bias length mismatch");
+    }
+
+    let wmat = weight
+        .reshape(&[c_out, c_in * k * k])
+        .expect("weight reshape is size-preserving");
+    let oh = spec.out_size(h);
+    let ow = spec.out_size(w);
+    let mut out = vec![0.0f32; n * c_out * oh * ow];
+    let img_len = c_in * h * w;
+    for b_idx in 0..n {
+        let img = &input.data()[b_idx * img_len..(b_idx + 1) * img_len];
+        let (cols, _, _) = im2col(img, c_in, h, w, spec);
+        let res = linalg::matmul(&wmat, &cols); // [c_out, oh*ow]
+        let dst = &mut out[b_idx * c_out * oh * ow..(b_idx + 1) * c_out * oh * ow];
+        dst.copy_from_slice(res.data());
+        if let Some(bvec) = bias {
+            for co in 0..c_out {
+                let add = bvec.data()[co];
+                for v in &mut dst[co * oh * ow..(co + 1) * oh * ow] {
+                    *v += add;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, c_out, oh, ow])
+}
+
+/// Max pooling over an NCHW input. Returns `[n, c, oh, ow]`.
+///
+/// # Panics
+///
+/// Panics unless the input is rank 4.
+pub fn max_pool2d(input: &Tensor, spec: Conv2dSpec) -> Tensor {
+    pool2d(input, spec, true)
+}
+
+/// Average pooling over an NCHW input. Padding cells count toward the
+/// divisor (the `count_include_pad = true` convention). Returns
+/// `[n, c, oh, ow]`.
+///
+/// # Panics
+///
+/// Panics unless the input is rank 4.
+pub fn avg_pool2d(input: &Tensor, spec: Conv2dSpec) -> Tensor {
+    pool2d(input, spec, false)
+}
+
+fn pool2d(input: &Tensor, spec: Conv2dSpec, take_max: bool) -> Tensor {
+    assert_eq!(input.shape().rank(), 4, "pool2d input must be NCHW");
+    let (n, c, h, w) = (
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    );
+    let oh = spec.out_size(h);
+    let ow = spec.out_size(w);
+    let k = spec.kernel;
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    let data = input.data();
+    for b in 0..n {
+        for ch in 0..c {
+            let plane = &data[(b * c + ch) * h * w..(b * c + ch + 1) * h * w];
+            let dst = &mut out[(b * c + ch) * oh * ow..(b * c + ch + 1) * oh * ow];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut acc = 0.0f32;
+                    for ky in 0..k {
+                        let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                        for kx in 0..k {
+                            let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                            let v = if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                                plane[iy as usize * w + ix as usize]
+                            } else {
+                                0.0
+                            };
+                            best = best.max(v);
+                            acc += v;
+                        }
+                    }
+                    dst[oy * ow + ox] = if take_max {
+                        best
+                    } else {
+                        acc / (k * k) as f32
+                    };
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, c, oh, ow])
+}
+
+/// Global average pooling: `[n, c, h, w]` → `[n, c]`.
+///
+/// # Panics
+///
+/// Panics unless the input is rank 4.
+pub fn global_avg_pool(input: &Tensor) -> Tensor {
+    assert_eq!(input.shape().rank(), 4, "global_avg_pool input must be NCHW");
+    let (n, c, h, w) = (
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    );
+    let mut out = vec![0.0f32; n * c];
+    let hw = (h * w) as f32;
+    for b in 0..n {
+        for ch in 0..c {
+            let plane = &input.data()[(b * c + ch) * h * w..(b * c + ch + 1) * h * w];
+            out[b * c + ch] = plane.iter().sum::<f32>() / hw;
+        }
+    }
+    Tensor::from_vec(out, &[n, c])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_size_formula() {
+        let s = Conv2dSpec::new(3, 1, 1);
+        assert_eq!(s.out_size(8), 8); // same padding
+        let s2 = Conv2dSpec::new(3, 2, 0);
+        assert_eq!(s2.out_size(7), 3);
+    }
+
+    #[test]
+    fn conv_identity_kernel() {
+        // 1x1 kernel with weight 1 should copy the input.
+        let input = Tensor::from_vec((0..16).map(|x| x as f32).collect(), &[1, 1, 4, 4]);
+        let weight = Tensor::ones(&[1, 1, 1, 1]);
+        let out = conv2d(&input, &weight, None, Conv2dSpec::new(1, 1, 0));
+        assert_eq!(out.data(), input.data());
+    }
+
+    #[test]
+    fn conv_known_answer() {
+        // 2x2 input, 2x2 all-ones kernel, no padding: single output = sum.
+        let input = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let weight = Tensor::ones(&[1, 1, 2, 2]);
+        let out = conv2d(&input, &weight, None, Conv2dSpec::new(2, 1, 0));
+        assert_eq!(out.dims(), &[1, 1, 1, 1]);
+        assert_eq!(out.data()[0], 10.0);
+    }
+
+    #[test]
+    fn conv_bias_and_channels() {
+        // Two output channels differing only by bias.
+        let input = Tensor::ones(&[1, 1, 3, 3]);
+        let weight = Tensor::ones(&[2, 1, 3, 3]);
+        let bias = Tensor::from_vec(vec![0.0, 100.0], &[2]);
+        let out = conv2d(&input, &weight, Some(&bias), Conv2dSpec::new(3, 1, 0));
+        assert_eq!(out.data(), &[9.0, 109.0]);
+    }
+
+    #[test]
+    fn conv_padding_zeroes_edges() {
+        let input = Tensor::ones(&[1, 1, 2, 2]);
+        let weight = Tensor::ones(&[1, 1, 3, 3]);
+        let out = conv2d(&input, &weight, None, Conv2dSpec::new(3, 1, 1));
+        assert_eq!(out.dims(), &[1, 1, 2, 2]);
+        // Every output sees exactly the 4 ones.
+        assert_eq!(out.data(), &[4.0, 4.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn max_pool_picks_max() {
+        let input = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let out = max_pool2d(&input, Conv2dSpec::new(2, 2, 0));
+        assert_eq!(out.data(), &[4.0]);
+    }
+
+    #[test]
+    fn avg_pool_averages() {
+        let input = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let out = avg_pool2d(&input, Conv2dSpec::new(2, 2, 0));
+        assert_eq!(out.data(), &[2.5]);
+    }
+
+    #[test]
+    fn global_avg_pool_per_channel() {
+        let input = Tensor::from_vec(
+            vec![
+                1.0, 1.0, 1.0, 1.0, // channel 0
+                2.0, 2.0, 2.0, 2.0, // channel 1
+            ],
+            &[1, 2, 2, 2],
+        );
+        let out = global_avg_pool(&input);
+        assert_eq!(out.dims(), &[1, 2]);
+        assert_eq!(out.data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn batch_dimension_is_independent() {
+        let a = Tensor::from_vec(vec![1.0; 4], &[1, 1, 2, 2]);
+        let b = Tensor::from_vec(vec![2.0; 4], &[1, 1, 2, 2]);
+        let mut both = Vec::new();
+        both.extend_from_slice(a.data());
+        both.extend_from_slice(b.data());
+        let batch = Tensor::from_vec(both, &[2, 1, 2, 2]);
+        let weight = Tensor::ones(&[1, 1, 2, 2]);
+        let spec = Conv2dSpec::new(2, 1, 0);
+        let out = conv2d(&batch, &weight, None, spec);
+        let oa = conv2d(&a, &weight, None, spec);
+        let ob = conv2d(&b, &weight, None, spec);
+        assert_eq!(out.data()[0], oa.data()[0]);
+        assert_eq!(out.data()[1], ob.data()[0]);
+    }
+}

@@ -1,0 +1,80 @@
+//! Weight initializers.
+
+use crate::Tensor;
+use rand::Rng;
+
+/// Kaiming/He normal initialization for layers followed by ReLU:
+/// `N(0, sqrt(2 / fan_in))`.
+///
+/// # Panics
+///
+/// Panics if `fan_in == 0`.
+pub fn kaiming_normal<R: Rng + ?Sized>(dims: &[usize], fan_in: usize, rng: &mut R) -> Tensor {
+    assert!(fan_in > 0, "fan_in must be positive");
+    let std = (2.0 / fan_in as f32).sqrt();
+    Tensor::randn(dims, rng).scale(std)
+}
+
+/// Xavier/Glorot uniform initialization:
+/// `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+///
+/// # Panics
+///
+/// Panics if `fan_in + fan_out == 0`.
+pub fn xavier_uniform<R: Rng + ?Sized>(
+    dims: &[usize],
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut R,
+) -> Tensor {
+    assert!(fan_in + fan_out > 0, "fan_in + fan_out must be positive");
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Tensor::rand_uniform(dims, -a, a, rng)
+}
+
+/// δ-balanced initialization for a stack of linear layers, as assumed by the
+/// convergence analysis of NDPipe §5.2 (condition B of Arora et al.).
+///
+/// Produces weights `W ∈ R^{d_out × d_in}` whose Gram matrices are
+/// approximately balanced across consecutive layers by drawing each entry
+/// from `N(0, s²)` with `s = (1 / sqrt(d_in))·scale`.
+pub fn balanced_linear<R: Rng + ?Sized>(
+    d_out: usize,
+    d_in: usize,
+    scale: f32,
+    rng: &mut R,
+) -> Tensor {
+    let s = scale / (d_in as f32).sqrt();
+    Tensor::randn(&[d_out, d_in], rng).scale(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kaiming_variance_tracks_fan_in() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = kaiming_normal(&[100, 100], 100, &mut rng);
+        let var = t.map(|x| x * x).mean();
+        assert!((var - 0.02).abs() < 0.005, "var {var}");
+    }
+
+    #[test]
+    fn xavier_bounds_hold() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = (6.0f32 / 300.0).sqrt();
+        let t = xavier_uniform(&[100, 200], 200, 100, &mut rng);
+        assert!(t.data().iter().all(|&x| x.abs() <= a));
+    }
+
+    #[test]
+    fn balanced_linear_has_expected_scale() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let w = balanced_linear(64, 256, 1.0, &mut rng);
+        let var = w.map(|x| x * x).mean();
+        assert!((var - 1.0 / 256.0).abs() < 1e-3, "var {var}");
+    }
+}

@@ -1,0 +1,109 @@
+//! Minimal f32 n-dimensional tensor library.
+//!
+//! This crate is the numerical substrate for the NDPipe reproduction. It
+//! provides exactly what fine-tuning a classifier head and running
+//! feature-extraction forward passes require:
+//!
+//! - [`Shape`] — dimension/stride bookkeeping with checked index math,
+//! - [`Tensor`] — a dense, row-major `f32` tensor with elementwise and
+//!   broadcasting operations,
+//! - [`linalg`] — blocked matrix multiplication and transposes,
+//! - [`conv`] — im2col 2-D convolution and max/average pooling,
+//! - [`activation`] — ReLU, GELU, sigmoid, (log-)softmax,
+//! - [`init`] — Kaiming/Xavier weight initializers over a seeded RNG.
+//!
+//! The library is intentionally small: no autograd graph, no views, no
+//! generic element types. The NDPipe fine-tuning path only back-propagates
+//! through the trainable classifier layers, and those gradients are written
+//! by hand in the `dnn` crate on top of these primitives.
+//!
+//! # Example
+//!
+//! ```
+//! use tensor::{Tensor, linalg};
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//! let b = Tensor::eye(2);
+//! let c = linalg::matmul(&a, &b);
+//! assert_eq!(c.data(), a.data());
+//! ```
+
+pub mod activation;
+pub mod conv;
+pub mod init;
+pub mod linalg;
+pub mod shape;
+pub mod tensor;
+
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Error type for tensor operations that validate their inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two shapes that were required to match did not.
+    ShapeMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// The left-hand shape.
+        lhs: Vec<usize>,
+        /// The right-hand shape.
+        rhs: Vec<usize>,
+    },
+    /// A reshape changed the total number of elements.
+    BadReshape {
+        /// Number of elements in the source tensor.
+        from: usize,
+        /// Number of elements implied by the requested shape.
+        to: usize,
+    },
+    /// An index was out of bounds for the tensor's shape.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: Vec<usize>,
+        /// The tensor's dimensions.
+        dims: Vec<usize>,
+    },
+}
+
+impl std::fmt::Display for TensorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "shape mismatch in {op}: {lhs:?} vs {rhs:?}")
+            }
+            TensorError::BadReshape { from, to } => {
+                write!(f, "cannot reshape {from} elements into {to} elements")
+            }
+            TensorError::IndexOutOfBounds { index, dims } => {
+                write!(f, "index {index:?} out of bounds for dims {dims:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: vec![2, 3],
+            rhs: vec![4, 5],
+        };
+        let s = e.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("[2, 3]"));
+    }
+
+    #[test]
+    fn error_types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+        assert_send_sync::<Tensor>();
+    }
+}

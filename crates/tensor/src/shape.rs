@@ -1,0 +1,189 @@
+//! Shape and stride bookkeeping for dense row-major tensors.
+
+/// Dimensions of a dense, row-major tensor.
+///
+/// A `Shape` owns its dimension list and derives contiguous strides on
+/// demand. The empty shape `[]` denotes a scalar with one element.
+///
+/// # Example
+///
+/// ```
+/// use tensor::Shape;
+///
+/// let s = Shape::new(&[2, 3, 4]);
+/// assert_eq!(s.len(), 24);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// assert_eq!(s.offset(&[1, 2, 3]), Some(23));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from a dimension list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero; zero-sized tensors are not used
+    /// anywhere in this project and allowing them would complicate every
+    /// kernel for no benefit.
+    pub fn new(dims: &[usize]) -> Self {
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "zero-sized dimension in shape {dims:?}"
+        );
+        Shape {
+            dims: dims.to_vec(),
+        }
+    }
+
+    /// Returns the scalar shape (rank 0, one element).
+    pub fn scalar() -> Self {
+        Shape { dims: Vec::new() }
+    }
+
+    /// The dimension list.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions (rank).
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Whether the shape holds no elements. Always false: zero dimensions
+    /// are rejected at construction and the scalar shape has one element.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Size of dimension `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= rank`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.dims[axis]
+    }
+
+    /// Contiguous row-major strides.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Flat offset of a multi-index, or `None` if out of bounds.
+    pub fn offset(&self, index: &[usize]) -> Option<usize> {
+        if index.len() != self.dims.len() {
+            return None;
+        }
+        let mut off = 0;
+        let mut stride = 1;
+        for axis in (0..self.dims.len()).rev() {
+            if index[axis] >= self.dims[axis] {
+                return None;
+            }
+            off += index[axis] * stride;
+            stride *= self.dims[axis];
+        }
+        Some(off)
+    }
+
+    /// Converts a flat offset back into a multi-index.
+    ///
+    /// Inverse of [`Shape::offset`] for in-range offsets.
+    pub fn unravel(&self, mut flat: usize) -> Option<Vec<usize>> {
+        if flat >= self.len() {
+            return None;
+        }
+        let mut index = vec![0; self.dims.len()];
+        for axis in (0..self.dims.len()).rev() {
+            index[axis] = flat % self.dims[axis];
+            flat /= self.dims[axis];
+        }
+        Some(index)
+    }
+
+    /// Whether `self` and `other` have identical dimensions.
+    pub fn same_dims(&self, other: &Shape) -> bool {
+        self.dims == other.dims
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", self.dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape::new(&dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_has_one_element() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.offset(&[]), Some(0));
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        let s = Shape::new(&[4, 3, 2]);
+        assert_eq!(s.strides(), vec![6, 2, 1]);
+    }
+
+    #[test]
+    fn offset_checks_bounds() {
+        let s = Shape::new(&[2, 3]);
+        assert_eq!(s.offset(&[1, 2]), Some(5));
+        assert_eq!(s.offset(&[2, 0]), None);
+        assert_eq!(s.offset(&[0, 3]), None);
+        assert_eq!(s.offset(&[0]), None);
+    }
+
+    #[test]
+    fn unravel_inverts_offset() {
+        let s = Shape::new(&[3, 4, 5]);
+        for flat in 0..s.len() {
+            let idx = s.unravel(flat).unwrap();
+            assert_eq!(s.offset(&idx), Some(flat));
+        }
+        assert_eq!(s.unravel(s.len()), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-sized")]
+    fn zero_dim_rejected() {
+        let _ = Shape::new(&[2, 0, 3]);
+    }
+
+    #[test]
+    fn display_matches_debug_dims() {
+        let s = Shape::new(&[2, 3]);
+        assert_eq!(s.to_string(), "[2, 3]");
+    }
+}

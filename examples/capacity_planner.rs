@@ -1,0 +1,100 @@
+//! Capacity planning with APO: given a model, a fleet budget and a
+//! network, decide where to cut the model, how many PipeStores to run,
+//! and what it will cost — the deployment question §5.3 automates.
+//!
+//! ```bash
+//! cargo run --release --example capacity_planner [resnet50|inceptionv3|resnext101|vit]
+//! ```
+
+use cluster::energy::training_energy;
+use cluster::training::{srv_training_report, training_report, TrainSetup};
+use dnn::ModelProfile;
+use hw::cost::fleet_run_cost_usd;
+use hw::{CostModel, LinkSpec};
+use ndpipe::apo::{best_organization, ApoInput};
+
+fn pick_model() -> ModelProfile {
+    match std::env::args().nth(1).as_deref() {
+        None | Some("resnet50") => ModelProfile::resnet50(),
+        Some("inceptionv3") => ModelProfile::inception_v3(),
+        Some("resnext101") => ModelProfile::resnext101(),
+        Some("vit") => ModelProfile::vit_b16(),
+        Some("shufflenetv2") => ModelProfile::shufflenet_v2(),
+        Some(other) => {
+            eprintln!(
+                "unknown model '{other}'; expected one of: resnet50, inceptionv3, \
+                 resnext101, vit, shufflenetv2"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let model = pick_model();
+    println!("planning an NDPipe deployment for {}", model.name());
+    println!(
+        "  model: {:.1} GFLOPs/image, {:.1} MB of parameters, {} stages",
+        model.total_flops() / 1e9,
+        model.total_param_bytes() / 1e6,
+        model.stages().len()
+    );
+
+    let input = ApoInput::paper_default(model.clone());
+    let plan = best_organization(&input);
+    let cut = &model.stages()[plan.best.partition - 1].name;
+    println!("\nAPO recommendation:");
+    println!("  partition after {cut} (PipeStores run stages 1..={})", plan.best.partition);
+    println!(
+        "  fleet size: {} PipeStores (store-stage {:.0}s vs tuner-stage {:.0}s, imbalance {:.0}s)",
+        plan.best.n_pipestores, plan.best.t_ps, plan.best.t_tuner, plan.best.t_diff
+    );
+
+    let setup = TrainSetup {
+        partition: plan.best.partition,
+        ..TrainSetup::paper_default(model.clone(), plan.best.n_pipestores)
+    };
+    let rep = training_report(&setup);
+    let energy = training_energy(&setup);
+    let cost = fleet_run_cost_usd(
+        CostModel::g4dn_4xlarge(),
+        plan.best.n_pipestores,
+        CostModel::p3_2xlarge(),
+        rep.total_secs,
+    );
+    println!("\nexpected fine-tuning job (1.2M images, 20 head epochs):");
+    println!("  wall time      {:.1} min", rep.total_secs / 60.0);
+    println!(
+        "  feature traffic {:.2} GB over the fabric",
+        rep.data_traffic_bytes / 1e9
+    );
+    println!("  energy         {:.0} kJ ({:.1} images/kJ)", energy.joules / 1e3, energy.ips_per_kilojoule());
+    println!("  AWS cost       ${cost:.2}");
+
+    // Compare against the centralized alternative.
+    let srv = srv_training_report(&model, 1_200_000, 20, 512, &LinkSpec::ethernet_gbps(10.0));
+    let srv_cost = fleet_run_cost_usd(CostModel::g4dn_4xlarge(), 4, CostModel::p3_8xlarge(), srv.total_secs);
+    println!("\nversus a centralized SRV-C host (2x V100 + 4 storage servers):");
+    println!(
+        "  wall time {:.1} min, cost ${:.2} -> NDPipe is {:.2}x faster and {:.2}x cheaper",
+        srv.total_secs / 60.0,
+        srv_cost,
+        srv.total_secs / rep.total_secs,
+        srv_cost / cost
+    );
+
+    println!("\nfull sweep (stores -> time, T_diff):");
+    for c in plan.sweep.iter().step_by(2) {
+        println!(
+            "  n={:>2}  {:>6.1}s  T_diff {:>6.1}s{}",
+            c.n_pipestores,
+            c.total_secs,
+            c.t_diff,
+            if c.n_pipestores == plan.best.n_pipestores {
+                "   <- APO pick"
+            } else {
+                ""
+            }
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! Quickstart: boot an NDPipe deployment, let photos drift in for a
+//! week, fine-tune near the data, and refresh the label database.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use ndpipe::system::{NdPipeSystem, SystemConfig};
+use ndpipe_data::DatasetSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // A small deployment: 3 PipeStores over a 10-class synthetic photo
+    // universe (use `DatasetSpec::cifar100()` etc. with
+    // `SystemConfig::paper_mini()` for paper-scale runs).
+    println!("booting NDPipe (3 PipeStores + Tuner)...");
+    let mut system = NdPipeSystem::bootstrap(
+        SystemConfig {
+            initial_pool: 600,
+            ..SystemConfig::small_test()
+        },
+        DatasetSpec::tiny(),
+        &mut rng,
+    );
+    println!(
+        "  {} photos sharded over {} stores, {} labels indexed",
+        system.scenario().pool_size(),
+        system.stores().len(),
+        system.labeldb().len()
+    );
+    println!("  base accuracy: {}", system.evaluate(&mut rng));
+
+    // A week of uploads: new photos, new categories, drifting content.
+    for _ in 0..7 {
+        system.advance_day(&mut rng);
+    }
+    println!(
+        "after 7 days: {} photos ({} classes), stale accuracy: {}",
+        system.scenario().pool_size(),
+        system.scenario().current_classes(),
+        system.evaluate(&mut rng)
+    );
+    println!(
+        "  online inference served {} uploads in {} batches (mean batch {:.1})",
+        system.online_stats().processed,
+        system.online_stats().batches,
+        system.online_stats().mean_batch()
+    );
+
+    // Continuous fine-tuning: PipeStores extract features in parallel,
+    // the Tuner trains the classifier, deltas flow back.
+    let outcome = system.fine_tune(&mut rng);
+    println!(
+        "fine-tuned over {} examples; features shipped: {} KB; model deltas: {} KB ({:.0}x smaller than full models)",
+        outcome.report.examples,
+        outcome.report.feature_bytes / 1024,
+        outcome.report.distribution_bytes / 1024,
+        outcome.report.distribution_reduction
+    );
+    println!("  post-tune accuracy: {}", outcome.final_accuracy);
+
+    // Offline inference refreshes stale labels near the data.
+    let relabel = system.offline_relabel();
+    println!(
+        "offline relabel: {} photos examined, {} labels fixed; label-DB accuracy {:.1}%",
+        relabel.examined,
+        relabel.changed,
+        system.label_accuracy() * 100.0
+    );
+}

@@ -1,0 +1,27 @@
+//! Umbrella crate for the NDPipe reproduction workspace.
+//!
+//! This package exists to host the runnable examples (`examples/`) and
+//! the cross-crate integration tests (`tests/`). The implementation
+//! lives in the member crates, re-exported here for convenience:
+//!
+//! - [`ndpipe`] — the paper's contribution (FT-DMP, APO, NPE,
+//!   Check-N-Run, label DB, system facade),
+//! - [`dnn`] — executable mini-models and architecture profiles,
+//! - [`ndpipe_data`] — synthetic drifting datasets and the DEFLATE codec,
+//! - [`cluster`] / [`hw`] / [`simkit`] — the calibrated performance
+//!   simulation stack,
+//! - [`tensor`] — the numeric substrate.
+//!
+//! Start with `examples/quickstart.rs`:
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+pub use cluster;
+pub use dnn;
+pub use hw;
+pub use ndpipe;
+pub use ndpipe_data;
+pub use simkit;
+pub use tensor;

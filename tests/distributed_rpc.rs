@@ -1,0 +1,194 @@
+//! True distributed execution: PipeStore servers on localhost sockets,
+//! a Tuner client driving FT-DMP and offline inference over TCP.
+
+use dnn::{Mlp, TrainConfig, Trainer};
+use ndpipe::ftdmp::FtdmpConfig;
+use ndpipe::rpc::server::serve_pipestore_once;
+use ndpipe::rpc::{ftdmp_fine_tune_remote, RemotePipeStore};
+use ndpipe::{PipeStore, Tuner};
+use ndpipe_data::{ClassUniverse, LabeledDataset};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::mpsc;
+use tensor::Tensor;
+
+fn dataset(rng: &mut StdRng, classes: usize, per_class: usize) -> (LabeledDataset, LabeledDataset) {
+    let u = ClassUniverse::new(16, 8, classes, 0.3, rng);
+    let make = |u: &ClassUniverse, rng: &mut StdRng, n: usize| {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..u.classes() {
+            for _ in 0..n {
+                rows.push(u.sample(c, rng));
+                labels.push(c);
+            }
+        }
+        LabeledDataset::new(rows, labels, u.classes())
+    };
+    (make(&u, rng, per_class), make(&u, rng, per_class / 2))
+}
+
+/// Spawns `n` PipeStore servers on ephemeral localhost ports and returns
+/// connected clients plus the server join handles.
+fn spawn_fleet(
+    train: &LabeledDataset,
+    n: usize,
+) -> (
+    Vec<RemotePipeStore>,
+    Vec<std::thread::JoinHandle<PipeStore>>,
+) {
+    let mut clients = Vec::with_capacity(n);
+    let mut handles = Vec::with_capacity(n);
+    for (i, shard) in train.shards(n).into_iter().enumerate() {
+        let store = PipeStore::new(i, shard);
+        let (tx, rx) = mpsc::channel();
+        let handle = std::thread::spawn(move || {
+            serve_pipestore_once(store, "127.0.0.1:0", move |addr| {
+                tx.send(addr).expect("report addr");
+            })
+            .expect("server session")
+        });
+        let addr = rx.recv().expect("server came up");
+        clients.push(RemotePipeStore::connect(addr).expect("connect"));
+        handles.push(handle);
+    }
+    (clients, handles)
+}
+
+#[test]
+fn distributed_fine_tune_over_sockets_learns() {
+    let mut rng = StdRng::seed_from_u64(101);
+    let (train, test) = dataset(&mut rng, 5, 30);
+    let model = Mlp::new(&[16, 24, 16, 5], 2, &mut rng);
+    let cfg = TrainConfig {
+        batch: 16,
+        ..TrainConfig::default()
+    };
+    let mut tuner = Tuner::new(model, cfg);
+    let before = Trainer::evaluate(tuner.model(), &test).top1;
+
+    let (mut clients, handles) = spawn_fleet(&train, 3);
+    let report = ftdmp_fine_tune_remote(
+        &mut tuner,
+        &mut clients,
+        &FtdmpConfig {
+            n_run: 2,
+            epochs_per_run: 12,
+            train: cfg,
+        },
+        &mut rng,
+    )
+    .expect("distributed fine-tune");
+
+    // Offline inference over the wire: labels only.
+    let mut total_labels = 0;
+    for c in &mut clients {
+        // No photos stored, so zero labels — but the call round-trips.
+        total_labels += c.offline_infer().expect("offline infer").len();
+    }
+    assert_eq!(total_labels, 0);
+
+    for c in clients {
+        c.shutdown().expect("shutdown");
+    }
+    let stores: Vec<PipeStore> = handles
+        .into_iter()
+        .map(|h| h.join().expect("server thread"))
+        .collect();
+
+    let after = Trainer::evaluate(tuner.model(), &test).top1;
+    assert!(
+        after > before + 0.2,
+        "distributed tuning failed: {before:.3} -> {after:.3}"
+    );
+    assert_eq!(report.examples, train.len());
+    assert!(report.feature_bytes > 0);
+
+    // Every remote replica ended close to the master (8-bit delta
+    // quantization compounds through two classifier layers, so allow a
+    // small tolerance relative to logit scale).
+    let x = Tensor::randn(&[4, 16], &mut rng);
+    let master = tuner.model().forward(&x);
+    for s in stores {
+        let replica = s.model().expect("model installed").forward(&x);
+        for (a, b) in master.data().iter().zip(replica.data()) {
+            assert!((a - b).abs() < 0.15, "replica drifted: {a} vs {b}");
+        }
+        // And they agree on predictions.
+        assert_eq!(master.argmax(), replica.argmax());
+    }
+}
+
+#[test]
+fn distributed_matches_local_ftdmp() {
+    let mut rng = StdRng::seed_from_u64(102);
+    let (train, test) = dataset(&mut rng, 4, 30);
+    let model = Mlp::new(&[16, 24, 16, 4], 2, &mut rng);
+    let cfg = TrainConfig {
+        batch: 16,
+        ..TrainConfig::default()
+    };
+    let ft = FtdmpConfig {
+        n_run: 1,
+        epochs_per_run: 10,
+        train: cfg,
+    };
+
+    // Local threads.
+    let mut local_tuner = Tuner::new(model.clone(), cfg);
+    let mut local_stores: Vec<PipeStore> = train
+        .shards(2)
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| PipeStore::new(i, s))
+        .collect();
+    ndpipe::ftdmp_fine_tune(&mut local_tuner, &mut local_stores, &ft, &mut rng);
+    let local_acc = Trainer::evaluate(local_tuner.model(), &test).top1;
+
+    // Sockets.
+    let mut remote_tuner = Tuner::new(model, cfg);
+    let (mut clients, handles) = spawn_fleet(&train, 2);
+    ftdmp_fine_tune_remote(&mut remote_tuner, &mut clients, &ft, &mut rng)
+        .expect("remote fine-tune");
+    for c in clients {
+        c.shutdown().expect("shutdown");
+    }
+    for h in handles {
+        h.join().expect("server thread");
+    }
+    let remote_acc = Trainer::evaluate(remote_tuner.model(), &test).top1;
+
+    assert!(
+        (local_acc - remote_acc).abs() < 0.15,
+        "local {local_acc:.3} vs remote {remote_acc:.3}"
+    );
+}
+
+#[test]
+fn remote_errors_surface_cleanly() {
+    let mut rng = StdRng::seed_from_u64(103);
+    let (train, _) = dataset(&mut rng, 4, 10);
+    // Model with a *narrower* label space than the shards: the remote
+    // check must reject it before any bytes of model move.
+    let model = Mlp::new(&[16, 12, 3], 1, &mut rng);
+    let cfg = TrainConfig::default();
+    let mut tuner = Tuner::new(model, cfg);
+    let (mut clients, handles) = spawn_fleet(&train, 1);
+    let result = ftdmp_fine_tune_remote(
+        &mut tuner,
+        &mut clients,
+        &FtdmpConfig {
+            n_run: 1,
+            epochs_per_run: 1,
+            train: cfg,
+        },
+        &mut rng,
+    );
+    assert!(result.is_err(), "should refuse wider label space");
+    for c in clients {
+        c.shutdown().expect("shutdown");
+    }
+    for h in handles {
+        h.join().expect("server thread");
+    }
+}

@@ -1,0 +1,109 @@
+//! End-to-end integration tests spanning all crates: a full NDPipe
+//! lifecycle over drifting synthetic photos.
+
+use ndpipe::system::{NdPipeSystem, SystemConfig};
+use ndpipe_data::DatasetSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn boot(seed: u64, pool: usize) -> (NdPipeSystem, StdRng) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let system = NdPipeSystem::bootstrap(
+        SystemConfig {
+            initial_pool: pool,
+            ..SystemConfig::small_test()
+        },
+        DatasetSpec::tiny(),
+        &mut rng,
+    );
+    (system, rng)
+}
+
+#[test]
+fn month_long_lifecycle_keeps_invariants() {
+    let (mut system, mut rng) = boot(1, 400);
+    for day in 1..=28 {
+        system.advance_day(&mut rng);
+        // Label DB always covers the whole pool.
+        assert_eq!(system.labeldb().len(), system.scenario().pool_size());
+        // Shards always partition the pool.
+        let sharded: usize = system.stores().iter().map(|s| s.shard_len()).sum();
+        assert_eq!(sharded, system.scenario().pool_size());
+        if day % 14 == 0 {
+            let outcome = system.fine_tune(&mut rng);
+            assert!(outcome.final_accuracy.top1.is_finite());
+            // Model version advanced once per pipeline run.
+            assert!(system.tuner().version() > 0);
+            let relabel = system.offline_relabel();
+            assert_eq!(relabel.examined, system.scenario().pool_size());
+        }
+    }
+    // After a maintained month the model still works on today's data.
+    let acc = system.evaluate(&mut rng).top1;
+    assert!(acc > 0.4, "maintained model collapsed to {acc}");
+}
+
+#[test]
+fn continuous_fine_tuning_beats_staleness() {
+    let (mut system, mut rng) = boot(2, 500);
+    let frozen = system.model().clone();
+    for _ in 0..21 {
+        system.advance_day(&mut rng);
+    }
+    system.fine_tune(&mut rng);
+    let test = system.scenario().test_set(&mut rng);
+    let maintained = dnn::Trainer::evaluate(system.model(), &test).top1;
+    let outdated = dnn::Trainer::evaluate(&frozen, &test).top1;
+    assert!(
+        maintained > outdated - 0.02,
+        "maintained {maintained:.3} vs outdated {outdated:.3}"
+    );
+}
+
+#[test]
+fn offline_relabel_improves_or_preserves_label_db() {
+    let (mut system, mut rng) = boot(3, 500);
+    for _ in 0..14 {
+        system.advance_day(&mut rng);
+    }
+    system.fine_tune(&mut rng);
+    let before = system.label_accuracy();
+    let stats = system.offline_relabel();
+    let after = system.label_accuracy();
+    assert!(stats.examined > 0);
+    assert!(after >= before - 0.02, "label DB degraded: {before} -> {after}");
+}
+
+#[test]
+fn model_versions_are_monotonic_and_stores_track_master() {
+    let (mut system, mut rng) = boot(4, 400);
+    let v0 = system.tuner().version();
+    system.fine_tune(&mut rng);
+    let v1 = system.tuner().version();
+    assert!(v1 > v0);
+    // Every store's replica agrees with the master on a probe batch.
+    let probe = system.scenario().test_set(&mut rng);
+    let x = probe.features().row(0);
+    let x = x.reshape(&[1, x.len()]).expect("row");
+    let master = system.model().forward(&x);
+    for store in system.stores() {
+        let replica = store.model().expect("installed").forward(&x);
+        for (a, b) in master.data().iter().zip(replica.data()) {
+            assert!((a - b).abs() < 0.05, "replica drifted: {a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn physical_photo_path_round_trips() {
+    let (system, _) = boot(5, 300);
+    for store in system.stores() {
+        for stored in store.photos() {
+            let decompressed =
+                ndpipe_data::deflate::decompress(&stored.compressed_binary).expect("valid");
+            assert_eq!(decompressed.len(), stored.preproc_bytes);
+            // Photos carry JPEG-like magic.
+            assert_eq!(&stored.photo.blob[..2], &[0xFF, 0xD8]);
+        }
+    }
+}

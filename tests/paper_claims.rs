@@ -1,0 +1,179 @@
+//! Integration tests pinning the paper's headline quantitative claims
+//! (as *shapes*: who wins, by roughly what factor, where crossovers sit).
+
+use cluster::energy::{
+    inference_energy, srv_training_energy, training_energy,
+};
+use cluster::inference::{inference_report, InferenceSetup, InferenceVariant};
+use cluster::training::{srv_training_report, training_report, TrainSetup};
+use dnn::ModelProfile;
+use hw::LinkSpec;
+use ndpipe::apo::{best_organization, ApoInput};
+
+/// Abstract §1: "1.39× higher inference throughput ... given the same
+/// energy budget" — NDPipe at matched SRV-C throughput is meaningfully
+/// more power-efficient.
+#[test]
+fn headline_inference_efficiency() {
+    let mut gains = Vec::new();
+    for model in ModelProfile::figure_models() {
+        let srv = inference_report(
+            InferenceVariant::SrvCompressed,
+            &InferenceSetup::paper_default(model.clone(), 4),
+        );
+        let n = (1..=40)
+            .find(|&n| {
+                inference_report(
+                    InferenceVariant::NdPipe,
+                    &InferenceSetup::paper_default(model.clone(), n),
+                )
+                .ips
+                    >= srv.ips
+            })
+            .expect("crossover exists");
+        let e_srv = inference_energy(
+            InferenceVariant::SrvCompressed,
+            &InferenceSetup::paper_default(model.clone(), 4),
+            1_000_000,
+        );
+        let e_ndp = inference_energy(
+            InferenceVariant::NdPipe,
+            &InferenceSetup::paper_default(model.clone(), n),
+            1_000_000,
+        );
+        gains.push(e_ndp.ips_per_watt() / e_srv.ips_per_watt());
+    }
+    let mean = gains.iter().sum::<f64>() / gains.len() as f64;
+    assert!(
+        (1.1..2.5).contains(&mean),
+        "mean inference efficiency gain {mean:.2} (paper 1.39x): {gains:?}"
+    );
+}
+
+/// Abstract §1: "2.64× faster training ... given the same energy budget"
+/// — NDPipe's best fleet beats SRV-C on images/kJ by a solid factor.
+#[test]
+fn headline_training_efficiency() {
+    let link = LinkSpec::ethernet_gbps(10.0);
+    let mut gains = Vec::new();
+    for model in ModelProfile::figure_models() {
+        let srv = srv_training_energy(&model, 1_200_000, 20, 512, &link, 4);
+        let best = (1..=20)
+            .map(|n| training_energy(&TrainSetup::paper_default(model.clone(), n)))
+            .map(|e| e.ips_per_kilojoule())
+            .fold(0.0f64, f64::max);
+        gains.push(best / srv.ips_per_kilojoule());
+    }
+    let mean = gains.iter().sum::<f64>() / gains.len() as f64;
+    assert!(
+        (1.5..5.0).contains(&mean),
+        "mean training efficiency gain {mean:.2} (paper 2.64x): {gains:?}"
+    );
+}
+
+/// §6.3: "ten PipeStores and one Tuner provide 1.64× faster training"
+/// than the two-V100 centralized server.
+#[test]
+fn ten_pipestores_beat_the_centralized_trainer() {
+    let link = LinkSpec::ethernet_gbps(10.0);
+    let model = ModelProfile::resnet50();
+    let srv = srv_training_report(&model, 1_200_000, 20, 512, &link);
+    let ndp = training_report(&TrainSetup::paper_default(model, 10));
+    let speedup = srv.total_secs / ndp.total_secs;
+    assert!(
+        (1.2..3.5).contains(&speedup),
+        "10-store speedup {speedup:.2} (paper 1.64x)"
+    );
+}
+
+/// Fig 13's crossover structure for every plotted model: P1 ≤ P2 ≤ P3 and
+/// all within 1..=8 stores.
+#[test]
+fn inference_crossovers_are_ordered_and_small() {
+    for model in ModelProfile::figure_models() {
+        let srv = |v| {
+            inference_report(v, &InferenceSetup::paper_default(model.clone(), 4)).ips
+        };
+        let first_ge = |target: f64| {
+            (1..=30)
+                .find(|&n| {
+                    inference_report(
+                        InferenceVariant::NdPipe,
+                        &InferenceSetup::paper_default(model.clone(), n),
+                    )
+                    .ips
+                        >= target
+                })
+                .expect("crossover")
+        };
+        let p1 = first_ge(srv(InferenceVariant::SrvPreproc));
+        let p2 = first_ge(srv(InferenceVariant::SrvCompressed));
+        let p3 = first_ge(srv(InferenceVariant::SrvIdeal));
+        assert!(p1 <= p2 && p2 <= p3, "{}: {p1},{p2},{p3}", model.name());
+        assert!(p3 <= 8, "{}: P3 = {p3} too large", model.name());
+    }
+}
+
+/// APO ends where the paper's Fig 11 narrative says: the pick balances
+/// the pipeline, and past it training time is nearly flat.
+#[test]
+fn apo_balance_point_is_useful() {
+    for model in [ModelProfile::resnet50(), ModelProfile::inception_v3()] {
+        let plan = best_organization(&ApoInput::paper_default(model.clone()));
+        let n = plan.best.n_pipestores;
+        let t_pick = plan.sweep[n - 1].total_secs;
+        let t_20 = plan.sweep.last().expect("sweep").total_secs;
+        assert!(
+            (t_pick - t_20) / t_pick < 0.2,
+            "{}: picking {n} leaves {:.0}% on the table",
+            model.name(),
+            (t_pick - t_20) / t_pick * 100.0
+        );
+        // And the pick is far cheaper than a max fleet in energy.
+        let eff_pick = training_energy(&TrainSetup {
+            partition: plan.best.partition,
+            ..TrainSetup::paper_default(model.clone(), n)
+        })
+        .ips_per_kilojoule();
+        let eff_20 = training_energy(&TrainSetup {
+            partition: plan.sweep.last().expect("sweep").partition,
+            ..TrainSetup::paper_default(model.clone(), 20)
+        })
+        .ips_per_kilojoule();
+        assert!(eff_pick >= eff_20, "{}: pick is less efficient", model.name());
+    }
+}
+
+/// §3.4 anchors: the unoptimized Typical host lands near 94 IPS and the
+/// Ideal host near 123 IPS for ResNet50 offline inference.
+#[test]
+fn fig5_absolute_anchors() {
+    use cluster::baseline::{baseline_inference, BaselineHost};
+    let link = LinkSpec::ethernet_gbps(10.0);
+    let m = ModelProfile::resnet50();
+    let typ = baseline_inference(BaselineHost::Typical, &m, 4, &link).ips();
+    let ideal = baseline_inference(BaselineHost::Ideal, &m, 4, &link).ips();
+    assert!((75.0..115.0).contains(&typ), "Typical {typ:.1} (paper 94)");
+    assert!((110.0..135.0).contains(&ideal), "Ideal {ideal:.1} (paper 123)");
+}
+
+/// Fig 18 endpoint claims: NDPipe's efficiency advantage is large on a
+/// slow fabric and shrinks (but survives) on a fast one.
+#[test]
+fn bandwidth_sweep_endpoints() {
+    let model = ModelProfile::resnet50();
+    let ratio_at = |gbps: f64| {
+        let mk = |n: usize| InferenceSetup {
+            link: LinkSpec::ethernet_gbps(gbps),
+            ..InferenceSetup::paper_default(model.clone(), n)
+        };
+        let srv = inference_energy(InferenceVariant::SrvCompressed, &mk(4), 1_000_000);
+        let ndp = inference_energy(InferenceVariant::NdPipe, &mk(8), 1_000_000);
+        ndp.ips_per_watt() / srv.ips_per_watt()
+    };
+    let slow = ratio_at(1.0);
+    let fast = ratio_at(40.0);
+    assert!(slow > 2.0, "1Gbps ratio {slow:.2} (paper 3.7x)");
+    assert!(fast > 1.0, "40Gbps ratio {fast:.2} (paper 1.3x)");
+    assert!(slow > fast, "advantage should shrink with bandwidth");
+}
