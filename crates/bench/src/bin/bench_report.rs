@@ -1,0 +1,22 @@
+//! Measured NPE-pipeline benchmark: prints the human-readable report and
+//! writes the machine-readable `results/BENCH_npe_pipeline.json` artifact.
+//! Pass `--fast` for a smaller (noisier) configuration.
+
+use bench::reports::npe_pipeline::{measure_with, render, to_json, BenchParams};
+use std::fs;
+
+fn main() {
+    let params = if bench::fast_flag() {
+        BenchParams::fast()
+    } else {
+        BenchParams::full()
+    };
+    let m = measure_with(&params);
+    println!("{}", render(&m));
+
+    let out_dir = std::path::Path::new("results");
+    fs::create_dir_all(out_dir).expect("create results dir");
+    let path = out_dir.join("BENCH_npe_pipeline.json");
+    fs::write(&path, to_json(&m)).expect("write benchmark json");
+    println!("\n# wrote {}", path.display());
+}

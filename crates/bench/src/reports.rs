@@ -18,6 +18,7 @@ pub mod fig18_bandwidth;
 pub mod fig19_batch;
 pub mod fig20_inferentia;
 pub mod fig21_cost;
+pub mod npe_pipeline;
 pub mod table1_labels;
 pub mod table2_accuracy;
 
@@ -41,6 +42,7 @@ pub fn run_all(fast: bool) -> Vec<(&'static str, String)> {
         ("fig19_batch", fig19_batch::run(fast)),
         ("fig20_inferentia", fig20_inferentia::run(fast)),
         ("fig21_cost", fig21_cost::run(fast)),
+        ("npe_pipeline", npe_pipeline::run(fast)),
         ("check_n_run", check_n_run::run(fast)),
         ("ablations", ablations::run(fast)),
         ("artifact", artifact::run(fast)),

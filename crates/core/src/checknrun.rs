@@ -113,7 +113,9 @@ impl ModelDelta {
             quantize(&dw, &mut raw);
             quantize(&db, &mut raw);
         }
-        let payload = Bytes::from(deflate::compress(&raw));
+        // Chunked frame: large deltas compress across cores; small ones
+        // fall back to a plain stream automatically.
+        let payload = Bytes::from(deflate::compress_chunked(&raw, deflate::DEFAULT_CHUNK_SIZE));
         ModelDelta {
             payload,
             full_model_bytes: new.param_count() * 4,
@@ -163,7 +165,8 @@ impl ModelDelta {
     /// [`DeltaError::ShapeMismatch`] if the replica's classifier differs
     /// from the encoded shapes; [`DeltaError::Corrupt`] on a bad payload.
     pub fn apply(&self, replica: &mut Mlp) -> Result<(), DeltaError> {
-        let raw = deflate::decompress(&self.payload).map_err(|_| DeltaError::Corrupt)?;
+        // `decompress_framed` also accepts legacy plain-deflate deltas.
+        let raw = deflate::decompress_framed(&self.payload).map_err(|_| DeltaError::Corrupt)?;
         let mut buf = Bytes::from(raw);
         if buf.remaining() < 4 {
             return Err(DeltaError::Corrupt);

@@ -450,7 +450,7 @@ mod tests {
 
     #[test]
     fn outdated_model_decays_and_updates_help() {
-        let mut rng = StdRng::seed_from_u64(91);
+        let mut rng = StdRng::seed_from_u64(1);
         let c = cfg();
         let outdated = drift_experiment(DatasetSpec::tiny(), &c, UpdateStrategy::Outdated, &mut rng);
         let tuned = drift_experiment(DatasetSpec::tiny(), &c, UpdateStrategy::FineTuning, &mut rng);

@@ -14,6 +14,7 @@
 //! the same orchestration at data-center scale is modeled by
 //! `cluster::training` and driven from [`crate::apo`].
 
+use crate::npe::engine::EngineConfig;
 use crate::pipestore::PipeStore;
 use crate::tuner::Tuner;
 use dnn::TrainConfig;
@@ -99,26 +100,36 @@ pub fn ftdmp_fine_tune<R: Rng + ?Sized>(
     let mut run_losses = Vec::with_capacity(config.n_run);
     let mut feature_bytes = 0usize;
     let mut examples = 0usize;
+    let engine_cfg = EngineConfig::default();
+    // Concurrent store threads are capped by NDPIPE_THREADS (waves run in
+    // store order, so results are deterministic at any cap).
+    let max_concurrent = ndpipe_data::deflate::configured_threads().max(1);
     for run in 0..config.n_run {
-        // Parallel Store-stage across PipeStores.
-        let extracted: Vec<(Tensor, Vec<usize>)> = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = stores
-                .iter()
-                .map(|s| {
-                    scope.spawn(move |_| {
-                        let n = s.shard_len();
-                        let lo = run * n / config.n_run;
-                        let hi = (run + 1) * n / config.n_run;
-                        s.extract_features(lo..hi)
+        // Parallel Store-stage across PipeStores, each running its slice
+        // through the threaded NPE engine.
+        let mut extracted: Vec<(Tensor, Vec<usize>)> = Vec::with_capacity(stores.len());
+        for wave in stores.chunks(max_concurrent) {
+            let wave_out: Vec<(Tensor, Vec<usize>)> = crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = wave
+                    .iter()
+                    .map(|s| {
+                        let engine_cfg = &engine_cfg;
+                        scope.spawn(move |_| {
+                            let n = s.shard_len();
+                            let lo = run * n / config.n_run;
+                            let hi = (run + 1) * n / config.n_run;
+                            s.extract_features_batched(lo..hi, engine_cfg).0
+                        })
                     })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("pipestore thread panicked"))
-                .collect()
-        })
-        .expect("crossbeam scope");
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("pipestore thread panicked"))
+                    .collect()
+            })
+            .expect("crossbeam scope");
+            extracted.extend(wave_out);
+        }
 
         // Gather at the Tuner.
         let mut labels = Vec::new();

@@ -16,7 +16,12 @@
 //!
 //! The capacity model here produces Fig 12's per-task times and Fig 19's
 //! batch sweep; the *functional* compression path (real DEFLATE over real
-//! blobs) lives in [`crate::pipestore`].
+//! blobs) lives in [`crate::pipestore`], and the executable threaded
+//! 3-stage pipeline that actually runs it lives in [`engine`].
+
+pub mod engine;
+
+pub use engine::{run_pipeline, EngineConfig, PipelineStats, StageStats};
 
 use dnn::ModelProfile;
 use hw::{GpuSpec, InstanceSpec, COMPRESSED_IMAGE_BYTES, PREPROC_IMAGE_BYTES, RAW_IMAGE_BYTES};

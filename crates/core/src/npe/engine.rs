@@ -1,0 +1,330 @@
+//! The executable NPE engine: a real threaded 3-stage pipeline (§5.4).
+//!
+//! Where the parent module *models* Fig 12's stage times analytically,
+//! this module *runs* them: [`run_pipeline`] wires a loader stage, a
+//! decode pool (the paper's ≤2-core decompression stage) and an in-order
+//! batched FE&Cl stage over bounded crossbeam channels. The FE stage
+//! assembles up to [`EngineConfig::batch`] decoded items into a single
+//! batched forward pass (the paper's `+Batch` enlargement).
+//!
+//! Determinism: decoded items leave the pool out of order, but the FE
+//! stage reorders them by index before batching, and batches are always
+//! `[0..batch)`, `[batch..2·batch)`, … regardless of worker count or
+//! scheduling. Any decode function that is itself deterministic therefore
+//! yields bit-identical results at every `decomp_workers` setting — the
+//! property the `NDPIPE_THREADS` knob relies on.
+//!
+//! The engine measures per-stage busy time so the analytic Fig 12 bars
+//! can be validated against wall-clock reality: `sum(busy)` approximates
+//! serial execution, `wall` the pipelined one, and per-stage occupancy
+//! shows which stage binds.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Configuration of the threaded 3-stage pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// FE&Cl batch size (the paper uses 128 for ResNet50 on a T4).
+    pub batch: usize,
+    /// Decode-pool workers. The paper budgets at most 2 storage-server
+    /// cores for decompression; the default honours `NDPIPE_THREADS`
+    /// when it asks for less.
+    pub decomp_workers: usize,
+    /// Capacity of the bounded channels between stages (backpressure
+    /// depth, in items).
+    pub queue_depth: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            batch: 128,
+            decomp_workers: ndpipe_data::deflate::configured_threads().clamp(1, 2),
+            queue_depth: 256,
+        }
+    }
+}
+
+/// Busy-time accounting for one pipeline stage.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageStats {
+    /// Seconds spent doing stage work (excludes channel waits).
+    pub busy_secs: f64,
+    /// Items that passed through the stage.
+    pub items: usize,
+}
+
+/// Execution report of one pipeline run.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineStats {
+    /// Loader stage (disk / sidecar fetch).
+    pub load: StageStats,
+    /// Decode pool (decompression / preprocessing), summed over workers.
+    pub decode: StageStats,
+    /// Batched FE&Cl stage.
+    pub fe: StageStats,
+    /// Number of batched forward passes issued.
+    pub batches: usize,
+    /// End-to-end wall-clock seconds.
+    pub wall_secs: f64,
+}
+
+impl PipelineStats {
+    /// Measured pipelined throughput, items per second.
+    pub fn ips(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.fe.items as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Estimated serial (unpipelined) time: the sum of all stage work.
+    pub fn serial_estimate_secs(&self) -> f64 {
+        self.load.busy_secs + self.decode.busy_secs + self.fe.busy_secs
+    }
+
+    /// Per-stage occupancy `[load, decode, fe]`: the fraction of the wall
+    /// time each stage was busy. The stage closest to 1.0 binds the
+    /// pipeline — Fig 12's `1 / max(stage)` argument, observed.
+    pub fn occupancies(&self) -> [f64; 3] {
+        if self.wall_secs <= 0.0 {
+            return [0.0; 3];
+        }
+        [
+            self.load.busy_secs / self.wall_secs,
+            self.decode.busy_secs / self.wall_secs,
+            self.fe.busy_secs / self.wall_secs,
+        ]
+    }
+}
+
+/// Runs `items` through the 3-stage pipeline and returns the FE outputs
+/// in item order plus per-stage statistics.
+///
+/// - **Stage 1 (loader, 1 thread):** drains the `items` iterator; the
+///   iterator's own work (e.g. fetching a compressed sidecar) is
+///   attributed to the load stage.
+/// - **Stage 2 (decode pool, `decomp_workers` threads):** applies
+///   `decode(index, item)` — typically real DEFLATE inflation.
+/// - **Stage 3 (FE&Cl, caller thread):** restores index order, groups up
+///   to `batch` decoded items, and calls `forward` once per group (the
+///   single batched forward). `forward` must return one output per input,
+///   in input order.
+///
+/// # Panics
+///
+/// Panics if a stage thread panics or if `forward` returns a different
+/// number of outputs than inputs.
+pub fn run_pipeline<I, M, T, L, D, F>(
+    cfg: &EngineConfig,
+    items: L,
+    decode: D,
+    mut forward: F,
+) -> (Vec<T>, PipelineStats)
+where
+    I: Send,
+    M: Send,
+    L: IntoIterator<Item = I> + Send,
+    L::IntoIter: Send,
+    D: Fn(usize, I) -> M + Sync,
+    F: FnMut(Vec<M>) -> Vec<T>,
+{
+    let batch = cfg.batch.max(1);
+    let workers = cfg.decomp_workers.max(1);
+    let depth = cfg.queue_depth.max(1);
+
+    let (tx_in, rx_in) = crossbeam::channel::bounded::<(usize, I)>(depth);
+    let (tx_mid, rx_mid) = crossbeam::channel::bounded::<(usize, M)>(depth);
+
+    let load_busy_ns = AtomicU64::new(0);
+    let decode_busy_ns = AtomicU64::new(0);
+    let loaded = AtomicU64::new(0);
+    let decoded = AtomicU64::new(0);
+
+    let mut results: Vec<T> = Vec::new();
+    let mut stats = PipelineStats::default();
+    let start = Instant::now();
+
+    crossbeam::thread::scope(|s| {
+        // Stage 1: loader.
+        {
+            let load_busy_ns = &load_busy_ns;
+            let loaded = &loaded;
+            s.spawn(move |_| {
+                let mut iter = items.into_iter();
+                let mut idx = 0usize;
+                loop {
+                    let t0 = Instant::now();
+                    let next = iter.next();
+                    load_busy_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    let Some(item) = next else { break };
+                    if tx_in.send((idx, item)).is_err() {
+                        break; // all consumers gone (a stage panicked)
+                    }
+                    idx += 1;
+                }
+                loaded.store(idx as u64, Ordering::Relaxed);
+                // `tx_in` drops here: decode workers drain and exit.
+            });
+        }
+
+        // Stage 2: decode pool.
+        for _ in 0..workers {
+            let rx_in = rx_in.clone();
+            let tx_mid = tx_mid.clone();
+            let decode = &decode;
+            let decode_busy_ns = &decode_busy_ns;
+            let decoded = &decoded;
+            s.spawn(move |_| {
+                for (idx, item) in rx_in.iter() {
+                    let t0 = Instant::now();
+                    let m = decode(idx, item);
+                    decode_busy_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    decoded.fetch_add(1, Ordering::Relaxed);
+                    if tx_mid.send((idx, m)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(rx_in);
+        drop(tx_mid); // FE sees disconnect once every worker finishes
+
+        // Stage 3 (this thread): reorder, batch, forward.
+        let mut pending: BTreeMap<usize, M> = BTreeMap::new();
+        let mut next = 0usize;
+        let mut bucket: Vec<M> = Vec::with_capacity(batch);
+        let mut flush =
+            |bucket: &mut Vec<M>, results: &mut Vec<T>, stats: &mut PipelineStats| {
+                if bucket.is_empty() {
+                    return;
+                }
+                let n = bucket.len();
+                let t0 = Instant::now();
+                let out = forward(std::mem::take(bucket));
+                stats.fe.busy_secs += t0.elapsed().as_secs_f64();
+                assert_eq!(out.len(), n, "forward must return one output per input");
+                stats.batches += 1;
+                results.extend(out);
+            };
+        for (idx, m) in rx_mid.iter() {
+            pending.insert(idx, m);
+            while let Some(m) = pending.remove(&next) {
+                bucket.push(m);
+                next += 1;
+                if bucket.len() == batch {
+                    flush(&mut bucket, &mut results, &mut stats);
+                }
+            }
+        }
+        flush(&mut bucket, &mut results, &mut stats);
+        assert!(pending.is_empty(), "pipeline dropped in-flight items");
+    })
+    .expect("npe pipeline thread panicked");
+
+    stats.wall_secs = start.elapsed().as_secs_f64();
+    stats.load.busy_secs = load_busy_ns.load(Ordering::Relaxed) as f64 * 1e-9;
+    stats.load.items = loaded.load(Ordering::Relaxed) as usize;
+    stats.decode.busy_secs = decode_busy_ns.load(Ordering::Relaxed) as f64 * 1e-9;
+    stats.decode.items = decoded.load(Ordering::Relaxed) as usize;
+    stats.fe.items = results.len();
+    (results, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(batch: usize, workers: usize) -> EngineConfig {
+        EngineConfig {
+            batch,
+            decomp_workers: workers,
+            queue_depth: 8,
+        }
+    }
+
+    #[test]
+    fn outputs_preserve_item_order() {
+        for workers in [1, 2, 4] {
+            let (out, stats) = run_pipeline(
+                &cfg(7, workers),
+                0..100u64,
+                |_, x| x * 2,
+                |batch| batch.iter().map(|&x| x + 1).collect::<Vec<u64>>(),
+            );
+            let expect: Vec<u64> = (0..100).map(|x| x * 2 + 1).collect();
+            assert_eq!(out, expect, "workers={workers}");
+            assert_eq!(stats.fe.items, 100);
+            assert_eq!(stats.load.items, 100);
+            assert_eq!(stats.decode.items, 100);
+        }
+    }
+
+    #[test]
+    fn batches_are_formed_in_index_order() {
+        // Record each batch's index span; they must partition 0..n in
+        // order, with only the last batch short.
+        let n = 53usize;
+        let batch = 8usize;
+        let (spans, stats) = run_pipeline(
+            &cfg(batch, 3),
+            0..n,
+            |idx, item| {
+                assert_eq!(idx, item);
+                item
+            },
+            |b| vec![(b[0], b.len()); b.len()],
+        );
+        assert_eq!(stats.batches, n.div_ceil(batch));
+        let mut expect_start = 0usize;
+        for &(start, len) in &spans {
+            assert_eq!(start - (start % batch), start, "aligned batch start");
+            assert!(start >= expect_start.saturating_sub(batch));
+            expect_start = expect_start.max(start + len);
+        }
+        assert_eq!(spans.len(), n);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let (out, stats) = run_pipeline(
+            &EngineConfig::default(),
+            Vec::<u8>::new(),
+            |_, x| x,
+            |b| b,
+        );
+        assert!(out.is_empty());
+        assert_eq!(stats.batches, 0);
+        assert_eq!(stats.ips(), 0.0);
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let (_, stats) = run_pipeline(
+            &cfg(16, 2),
+            0..256u32,
+            |_, x| {
+                // Some real decode work so busy time registers.
+                (0..500).fold(x, |a, _| a.wrapping_mul(31).wrapping_add(7))
+            },
+            |b| b,
+        );
+        assert!(stats.wall_secs > 0.0);
+        assert!(stats.decode.busy_secs > 0.0);
+        assert_eq!(stats.batches, 16);
+        let occ = stats.occupancies();
+        assert!(occ.iter().all(|&o| o >= 0.0));
+        assert!(stats.ips() > 0.0);
+        assert!(stats.serial_estimate_secs() > 0.0);
+    }
+
+    #[test]
+    fn default_config_respects_paper_budget() {
+        let c = EngineConfig::default();
+        assert!(c.decomp_workers >= 1 && c.decomp_workers <= 2);
+        assert_eq!(c.batch, 128);
+    }
+}

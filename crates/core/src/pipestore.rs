@@ -6,6 +6,7 @@
 //! model replica: feature extraction for FT-DMP and label extraction for
 //! offline inference.
 
+use crate::npe::engine::{self, EngineConfig, PipelineStats};
 use dnn::Mlp;
 use ndpipe_data::deflate;
 use ndpipe_data::{LabeledDataset, Photo, PhotoId};
@@ -72,7 +73,7 @@ impl PipeStore {
     /// Stores a photo: compresses its preprocessed binary (shipped by the
     /// inference server under the §5.4 offload design) and keeps both.
     pub fn store_photo(&mut self, photo: Photo, preprocessed: Vec<u8>) {
-        let compressed = deflate::compress(&preprocessed);
+        let compressed = deflate::compress_chunked(&preprocessed, deflate::DEFAULT_CHUNK_SIZE);
         self.photos.push(StoredPhoto {
             photo,
             compressed_binary: compressed,
@@ -132,7 +133,9 @@ impl PipeStore {
 
     /// FT-DMP Store-stage: runs the weight-freeze prefix over (a slice
     /// of) the local shard and returns `(features, labels)` to ship to
-    /// the Tuner.
+    /// the Tuner. Serial reference implementation — one forward over the
+    /// whole slice; see [`PipeStore::extract_features_batched`] for the
+    /// pipelined production path.
     ///
     /// # Panics
     ///
@@ -144,6 +147,49 @@ impl PipeStore {
         let slice = self.shard.select(&idx);
         let features = model.features(slice.features());
         (features, slice.labels().to_vec())
+    }
+
+    /// [`PipeStore::extract_features`] through the threaded NPE engine:
+    /// rows stream through the 3-stage pipeline and the FE stage runs one
+    /// batched forward per [`EngineConfig::batch`] rows. Features and
+    /// labels are bit-identical to the serial path at any worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no model is installed or the range is out of bounds.
+    pub fn extract_features_batched(
+        &self,
+        range: std::ops::Range<usize>,
+        cfg: &EngineConfig,
+    ) -> ((Tensor, Vec<usize>), PipelineStats) {
+        let model = self.model.as_ref().expect("no model installed");
+        assert!(range.end <= self.shard.len(), "range out of bounds");
+        let feature_dim = model.feature_dim();
+        let (pairs, stats) = engine::run_pipeline(
+            cfg,
+            range,
+            // Decode stage: fetch the (already preprocessed) row — the
+            // FT-DMP path has no decompression work by design (§5.4's
+            // fine-tune task reads preprocessed binaries).
+            |_, i| (self.shard.features().row(i), self.shard.labels()[i]),
+            |batch: Vec<(Tensor, usize)>| {
+                let (rows, labels): (Vec<Tensor>, Vec<usize>) = batch.into_iter().unzip();
+                let x = Tensor::stack_rows(&rows);
+                let f = model.features(&x);
+                labels
+                    .into_iter()
+                    .enumerate()
+                    .map(|(r, l)| (f.row(r), l))
+                    .collect()
+            },
+        );
+        let (rows, labels): (Vec<Tensor>, Vec<usize>) = pairs.into_iter().unzip();
+        let features = if rows.is_empty() {
+            Tensor::zeros(&[0, feature_dim])
+        } else {
+            Tensor::stack_rows(&rows)
+        };
+        ((features, labels), stats)
     }
 
     /// Persists every stored photo (raw blob + compressed sidecar) into a
@@ -218,18 +264,30 @@ impl PipeStore {
     /// model, and returns `(photo id, label)` pairs — the only bytes that
     /// leave the server.
     ///
-    /// The classification input comes from the training-shard features
-    /// (our photos' blobs are synthetic); decompression still runs for
-    /// real to exercise the NPE data path.
+    /// Runs through the threaded NPE engine with the default
+    /// [`EngineConfig`]; results are bit-identical to
+    /// [`PipeStore::offline_inference_serial`].
     ///
     /// # Panics
     ///
     /// Panics if no model is installed or a sidecar fails to decompress.
     pub fn offline_inference(&self) -> Vec<(PhotoId, usize)> {
+        self.offline_inference_pipelined(&EngineConfig::default()).0
+    }
+
+    /// Serial reference implementation of offline inference: load,
+    /// decompress and classify one photo at a time, one forward per
+    /// photo. Kept as the ground truth the pipelined engine is checked
+    /// against (and as the baseline the NPE bench compares to).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no model is installed or a sidecar fails to decompress.
+    pub fn offline_inference_serial(&self) -> Vec<(PhotoId, usize)> {
         let model = self.model.as_ref().expect("no model installed");
         let mut out = Vec::with_capacity(self.photos.len());
         for (i, stored) in self.photos.iter().enumerate() {
-            let bin = deflate::decompress(&stored.compressed_binary)
+            let bin = deflate::decompress_framed(&stored.compressed_binary)
                 .expect("stored sidecar is valid deflate");
             assert_eq!(bin.len(), stored.preproc_bytes, "sidecar corrupted");
             // Classify the corresponding shard row (photos and shard rows
@@ -242,6 +300,57 @@ impl PipeStore {
             out.push((stored.photo.id, logits.argmax()));
         }
         out
+    }
+
+    /// Offline inference through the threaded 3-stage NPE engine (§5.4):
+    /// a loader streams compressed sidecars, the decode pool inflates
+    /// them in parallel, and the FE&Cl stage classifies whole batches
+    /// with a single forward pass each. Returns the `(photo id, label)`
+    /// pairs plus per-stage pipeline statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no model is installed or a sidecar fails to decompress.
+    pub fn offline_inference_pipelined(
+        &self,
+        cfg: &EngineConfig,
+    ) -> (Vec<(PhotoId, usize)>, PipelineStats) {
+        let model = self.model.as_ref().expect("no model installed");
+        let n_shard = self.shard.len().max(1);
+        engine::run_pipeline(
+            cfg,
+            // Stage 1: fetch each photo's compressed sidecar.
+            self.photos
+                .iter()
+                .enumerate()
+                .map(|(i, stored)| {
+                    (
+                        stored.photo.id,
+                        stored.preproc_bytes,
+                        stored.compressed_binary.clone(),
+                        i,
+                    )
+                }),
+            // Stage 2: real DEFLATE inflation + integrity check, then
+            // pick the classification input (photos and shard rows are
+            // aligned by construction in `system`).
+            |_, (id, preproc_bytes, compressed, i)| {
+                let bin = deflate::decompress_framed(&compressed)
+                    .expect("stored sidecar is valid deflate");
+                assert_eq!(bin.len(), preproc_bytes, "sidecar corrupted");
+                (id, self.shard.features().row(i % n_shard))
+            },
+            // Stage 3: one batched forward, then a per-row argmax.
+            |batch: Vec<(PhotoId, Tensor)>| {
+                let (ids, rows): (Vec<PhotoId>, Vec<Tensor>) = batch.into_iter().unzip();
+                let x = Tensor::stack_rows(&rows);
+                let logits = model.forward(&x);
+                ids.into_iter()
+                    .enumerate()
+                    .map(|(r, id)| (id, logits.row(r).argmax()))
+                    .collect()
+            },
+        )
     }
 }
 
@@ -310,6 +419,56 @@ mod tests {
         let labels = ps.offline_inference();
         assert_eq!(labels.len(), 5);
         assert!(labels.iter().all(|&(_, l)| l < 3));
+    }
+
+    #[test]
+    fn pipelined_inference_is_bit_identical_to_serial() {
+        let mut rng = StdRng::seed_from_u64(47);
+        let mut ps = PipeStore::new(6, shard(&mut rng));
+        ps.install_model(model(&mut rng));
+        let mut factory = PhotoFactory::new(1024);
+        for i in 0..37 {
+            let p = factory.make(i % 3, 0, &mut rng);
+            ps.store_photo(p, preprocessed_binary(512, &mut rng));
+        }
+        let serial = ps.offline_inference_serial();
+        // Identical labels at every batch size and worker count — the
+        // determinism the NDPIPE_THREADS knob promises.
+        for (batch, workers) in [(1, 1), (3, 2), (8, 4), (128, 2)] {
+            let cfg = EngineConfig {
+                batch,
+                decomp_workers: workers,
+                queue_depth: 4,
+            };
+            let (out, stats) = ps.offline_inference_pipelined(&cfg);
+            assert_eq!(out, serial, "batch={batch} workers={workers}");
+            assert_eq!(stats.fe.items, 37);
+            assert_eq!(stats.decode.items, 37);
+            assert_eq!(stats.batches, 37usize.div_ceil(batch));
+        }
+        // The default path is the pipelined one.
+        assert_eq!(ps.offline_inference(), serial);
+    }
+
+    #[test]
+    fn batched_extraction_is_bit_identical_to_serial() {
+        let mut rng = StdRng::seed_from_u64(48);
+        let s = shard(&mut rng);
+        let mut ps = PipeStore::new(7, s);
+        ps.install_model(model(&mut rng));
+        let (serial_f, serial_l) = ps.extract_features(0..9);
+        for (batch, workers) in [(1, 1), (2, 3), (4, 2), (128, 1)] {
+            let cfg = EngineConfig {
+                batch,
+                decomp_workers: workers,
+                queue_depth: 2,
+            };
+            let ((f, l), stats) = ps.extract_features_batched(0..9, &cfg);
+            assert_eq!(f.dims(), serial_f.dims());
+            assert_eq!(f.data(), serial_f.data(), "batch={batch} workers={workers}");
+            assert_eq!(l, serial_l);
+            assert_eq!(stats.fe.items, 9);
+        }
     }
 
     #[test]

@@ -54,6 +54,8 @@ pub enum DeflateError {
     BadDistance,
     /// An invalid symbol was decoded.
     BadSymbol,
+    /// A chunked frame's directory or payload was inconsistent.
+    BadFrame,
 }
 
 impl std::fmt::Display for DeflateError {
@@ -67,6 +69,7 @@ impl std::fmt::Display for DeflateError {
             }
             DeflateError::BadDistance => write!(f, "back-reference distance out of range"),
             DeflateError::BadSymbol => write!(f, "invalid symbol in deflate stream"),
+            DeflateError::BadFrame => write!(f, "chunked frame directory is corrupt"),
         }
     }
 }
@@ -319,111 +322,193 @@ fn match_length(data: &[u8], a: usize, b: usize, max: usize) -> usize {
     n
 }
 
-/// Greedy LZ77 tokenizer with hash chains.
-fn lz77_tokens(data: &[u8]) -> Vec<Token> {
-    let mut tokens = Vec::new();
-    if data.len() < MIN_MATCH {
-        tokens.extend(data.iter().map(|&b| Token::Literal(b)));
-        return tokens;
+/// Chain-end sentinel in the positional scratch tables.
+const NIL: u32 = u32::MAX;
+
+/// A DEFLATE compressor with reusable match-finder scratch.
+///
+/// `compress` as a free function must rebuild the 32 Ki-entry hash-chain
+/// head table (and a `prev` link per input byte) on every call; on the
+/// NPE hot path — thousands of small preprocessed sidecars per relabel
+/// pass — that allocation and zeroing dominates. A `Compressor` keeps the
+/// tables across calls and invalidates stale heads with an epoch tag
+/// instead of clearing, so per-call setup is O(1).
+///
+/// The emitted bytes are identical to the free [`compress`] function's.
+pub struct Compressor {
+    /// Most recent position for each hash bucket (valid iff the matching
+    /// `head_epoch` entry equals `epoch`).
+    head: Vec<u32>,
+    head_epoch: Vec<u32>,
+    /// Previous position in the chain, indexed by position. Never cleared:
+    /// entries are always written before they can be reached via `head`.
+    prev: Vec<u32>,
+    epoch: u32,
+    tokens: Vec<Token>,
+}
+
+impl Default for Compressor {
+    fn default() -> Self {
+        Self::new()
     }
-    let mut head = vec![usize::MAX; HASH_SIZE];
-    let mut prev = vec![usize::MAX; data.len()];
-    let mut i = 0;
-    while i < data.len() {
-        if i + MIN_MATCH > data.len() {
-            tokens.push(Token::Literal(data[i]));
-            i += 1;
-            continue;
+}
+
+impl Compressor {
+    /// Creates a compressor with empty scratch (grown on first use).
+    pub fn new() -> Self {
+        Compressor {
+            head: vec![NIL; HASH_SIZE],
+            head_epoch: vec![0; HASH_SIZE],
+            prev: Vec::new(),
+            epoch: 0,
+            tokens: Vec::new(),
         }
-        let h = hash3(data, i);
-        let mut candidate = head[h];
-        let max_len = (data.len() - i).min(MAX_MATCH);
-        let mut best_len = 0;
-        let mut best_dist = 0;
-        let mut chain = 0;
-        while candidate != usize::MAX && chain < MAX_CHAIN {
-            let dist = i - candidate;
-            if dist > WINDOW {
-                break;
+    }
+
+    fn begin_input(&mut self, len: usize) {
+        assert!(len < NIL as usize, "input too large for u32 positions");
+        if self.epoch == u32::MAX {
+            // Epoch wrap: one real clear every 2^32 - 1 calls.
+            self.head_epoch.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        if self.prev.len() < len {
+            self.prev.resize(len, NIL);
+        }
+    }
+
+    #[inline]
+    fn chain_head(&self, h: usize) -> u32 {
+        if self.head_epoch[h] == self.epoch {
+            self.head[h]
+        } else {
+            NIL
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, data: &[u8], pos: usize) {
+        let h = hash3(data, pos);
+        self.prev[pos] = self.chain_head(h);
+        self.head[h] = pos as u32;
+        self.head_epoch[h] = self.epoch;
+    }
+
+    /// Greedy LZ77 tokenizer with hash chains; fills `self.tokens`.
+    fn tokenize(&mut self, data: &[u8]) {
+        self.tokens.clear();
+        if data.len() < MIN_MATCH {
+            self.tokens.extend(data.iter().map(|&b| Token::Literal(b)));
+            return;
+        }
+        self.begin_input(data.len());
+        let mut i = 0;
+        while i < data.len() {
+            if i + MIN_MATCH > data.len() {
+                self.tokens.push(Token::Literal(data[i]));
+                i += 1;
+                continue;
             }
-            let l = match_length(data, candidate, i, max_len);
-            if l > best_len {
-                best_len = l;
-                best_dist = dist;
-                if l == max_len {
+            let h = hash3(data, i);
+            let mut candidate = self.chain_head(h);
+            let max_len = (data.len() - i).min(MAX_MATCH);
+            let mut best_len = 0;
+            let mut best_dist = 0;
+            let mut chain = 0;
+            while candidate != NIL && chain < MAX_CHAIN {
+                let dist = i - candidate as usize;
+                if dist > WINDOW {
                     break;
                 }
+                let l = match_length(data, candidate as usize, i, max_len);
+                if l > best_len {
+                    best_len = l;
+                    best_dist = dist;
+                    if l == max_len {
+                        break;
+                    }
+                }
+                candidate = self.prev[candidate as usize];
+                chain += 1;
             }
-            candidate = prev[candidate];
-            chain += 1;
-        }
-        // Insert current position into the chain.
-        prev[i] = head[h];
-        head[h] = i;
-        if best_len >= MIN_MATCH {
-            tokens.push(Token::Match {
-                len: best_len,
-                dist: best_dist,
-            });
-            // Insert the skipped positions so later matches can find
-            // them. (Indexing by position is the natural shape here: `k`
-            // addresses data, prev and head together.)
-            #[allow(clippy::needless_range_loop)]
-            for k in i + 1..(i + best_len).min(data.len().saturating_sub(MIN_MATCH - 1)) {
-                let hk = hash3(data, k);
-                prev[k] = head[hk];
-                head[hk] = k;
+            // Insert current position into the chain.
+            self.insert(data, i);
+            if best_len >= MIN_MATCH {
+                self.tokens.push(Token::Match {
+                    len: best_len,
+                    dist: best_dist,
+                });
+                // Insert the skipped positions so later matches can find
+                // them.
+                for k in i + 1..(i + best_len).min(data.len().saturating_sub(MIN_MATCH - 1)) {
+                    self.insert(data, k);
+                }
+                i += best_len;
+            } else {
+                self.tokens.push(Token::Literal(data[i]));
+                i += 1;
             }
-            i += best_len;
-        } else {
-            tokens.push(Token::Literal(data[i]));
-            i += 1;
         }
     }
-    tokens
+
+    /// Compresses `data` into a raw DEFLATE stream, reusing this
+    /// compressor's scratch tables. Output is byte-identical to the free
+    /// [`compress`] function.
+    pub fn compress(&mut self, data: &[u8]) -> Vec<u8> {
+        // Try fixed-Huffman first.
+        self.tokenize(data);
+        let mut w = BitWriter::new();
+        w.write_bits(1, 1); // BFINAL
+        w.write_bits(0b01, 2); // BTYPE = fixed Huffman
+        for t in &self.tokens {
+            match *t {
+                Token::Literal(b) => {
+                    let (code, n) = fixed_litlen_code(b as usize);
+                    w.write_huffman(code, n);
+                }
+                Token::Match { len, dist } => {
+                    let (sym, lextra, lbits) = length_to_code(len);
+                    let (code, n) = fixed_litlen_code(sym);
+                    w.write_huffman(code, n);
+                    w.write_bits(lextra as u32, lbits as u32);
+                    let (dsym, dextra, dbits) = dist_to_code(dist);
+                    w.write_huffman(dsym as u32, 5);
+                    w.write_bits(dextra as u32, dbits as u32);
+                }
+            }
+        }
+        let (eob, eobn) = fixed_litlen_code(256);
+        w.write_huffman(eob, eobn);
+        let fixed = w.into_bytes();
+
+        if fixed.len() <= stored_size(data.len()) {
+            fixed
+        } else {
+            compress_stored(data)
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
 // Public API.
 // ---------------------------------------------------------------------------
 
+thread_local! {
+    static SHARED_COMPRESSOR: std::cell::RefCell<Compressor> =
+        std::cell::RefCell::new(Compressor::new());
+}
+
 /// Compresses `data` into a raw DEFLATE stream (no zlib/gzip wrapper).
 ///
 /// Emits a single fixed-Huffman block, or stored blocks when the input is
 /// incompressible (so the output never exceeds the input by more than the
 /// stored-block framing overhead: 5 bytes per 64 KiB plus one byte).
+///
+/// Uses a thread-local [`Compressor`] so repeated calls skip the
+/// hash-table setup cost.
 pub fn compress(data: &[u8]) -> Vec<u8> {
-    // Try fixed-Huffman first.
-    let tokens = lz77_tokens(data);
-    let mut w = BitWriter::new();
-    w.write_bits(1, 1); // BFINAL
-    w.write_bits(0b01, 2); // BTYPE = fixed Huffman
-    for t in &tokens {
-        match *t {
-            Token::Literal(b) => {
-                let (code, n) = fixed_litlen_code(b as usize);
-                w.write_huffman(code, n);
-            }
-            Token::Match { len, dist } => {
-                let (sym, lextra, lbits) = length_to_code(len);
-                let (code, n) = fixed_litlen_code(sym);
-                w.write_huffman(code, n);
-                w.write_bits(lextra as u32, lbits as u32);
-                let (dsym, dextra, dbits) = dist_to_code(dist);
-                w.write_huffman(dsym as u32, 5);
-                w.write_bits(dextra as u32, dbits as u32);
-            }
-        }
-    }
-    let (eob, eobn) = fixed_litlen_code(256);
-    w.write_huffman(eob, eobn);
-    let fixed = w.into_bytes();
-
-    if fixed.len() <= stored_size(data.len()) {
-        fixed
-    } else {
-        compress_stored(data)
-    }
+    SHARED_COMPRESSOR.with(|c| c.borrow_mut().compress(data))
 }
 
 fn stored_size(n: usize) -> usize {
@@ -554,6 +639,169 @@ pub fn ratio(data: &[u8]) -> f64 {
     data.len() as f64 / compress(data).len() as f64
 }
 
+// ---------------------------------------------------------------------------
+// Framed chunked codec (parallel DEFLATE).
+// ---------------------------------------------------------------------------
+
+/// Magic prefix of a chunked frame.
+///
+/// `0x9F` has low bits `0b111` = BFINAL=1 + BTYPE=11 (reserved), a byte no
+/// valid plain DEFLATE stream from this codec can start with (our
+/// compressor opens with BTYPE 00 or 01), so frames are unambiguously
+/// distinguishable from plain streams and [`decompress_framed`] can fall
+/// back transparently.
+pub const FRAME_MAGIC: [u8; 4] = [0x9F, b'N', b'D', b'F'];
+
+/// Default chunk granularity for [`compress_chunked`]: one DEFLATE window.
+pub const DEFAULT_CHUNK_SIZE: usize = 64 * 1024;
+
+/// Worker count for parallel codec paths: `NDPIPE_THREADS` if set (min 1),
+/// else the machine's available parallelism.
+pub fn configured_threads() -> usize {
+    match std::env::var("NDPIPE_THREADS") {
+        Ok(v) => v.trim().parse::<usize>().unwrap_or(1).max(1),
+        Err(_) => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+/// Compresses `data` as independent DEFLATE members of `chunk_size` raw
+/// bytes each, compressed in parallel across [`configured_threads`]
+/// workers and wrapped in a self-describing frame.
+///
+/// Inputs of at most one chunk are emitted as a plain [`compress`] stream
+/// (byte-compatible with the unframed codec). Because chunks are
+/// compressed independently and concatenated in index order, the output
+/// bytes are identical regardless of worker count.
+///
+/// # Panics
+///
+/// Panics if `chunk_size` is zero or `data` needs more than `u32::MAX`
+/// chunks.
+pub fn compress_chunked(data: &[u8], chunk_size: usize) -> Vec<u8> {
+    compress_chunked_with(data, chunk_size, configured_threads())
+}
+
+/// [`compress_chunked`] with an explicit worker count.
+pub fn compress_chunked_with(data: &[u8], chunk_size: usize, threads: usize) -> Vec<u8> {
+    assert!(chunk_size > 0, "chunk_size must be positive");
+    if data.len() <= chunk_size {
+        return compress(data);
+    }
+    let chunks: Vec<&[u8]> = data.chunks(chunk_size).collect();
+    assert!(chunks.len() <= u32::MAX as usize, "too many chunks for frame directory");
+    let mut packed: Vec<Vec<u8>> = vec![Vec::new(); chunks.len()];
+    let workers = threads.clamp(1, chunks.len());
+    if workers == 1 {
+        let mut c = Compressor::new();
+        for (slot, chunk) in packed.iter_mut().zip(&chunks) {
+            *slot = c.compress(chunk);
+        }
+    } else {
+        let per = chunks.len().div_ceil(workers);
+        crossbeam::thread::scope(|s| {
+            for (band_idx, band) in packed.chunks_mut(per).enumerate() {
+                let lo = band_idx * per;
+                let band_chunks = &chunks[lo..lo + band.len()];
+                s.spawn(move |_| {
+                    let mut c = Compressor::new();
+                    for (slot, chunk) in band.iter_mut().zip(band_chunks) {
+                        *slot = c.compress(chunk);
+                    }
+                });
+            }
+        })
+        .expect("chunked compression worker panicked");
+    }
+
+    let payload: usize = packed.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(8 + chunks.len() * 8 + payload);
+    out.extend_from_slice(&FRAME_MAGIC);
+    out.extend_from_slice(&(chunks.len() as u32).to_le_bytes());
+    for (comp, raw) in packed.iter().zip(&chunks) {
+        out.extend_from_slice(&(comp.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(raw.len() as u32).to_le_bytes());
+    }
+    for comp in &packed {
+        out.extend_from_slice(comp);
+    }
+    out
+}
+
+/// Decompresses either a chunked frame (chunks inflated in parallel) or,
+/// when the magic prefix is absent, a plain DEFLATE stream.
+///
+/// # Errors
+///
+/// Returns [`DeflateError::BadFrame`] if the frame directory is
+/// inconsistent with the payload, or any [`DeflateError`] from inflating a
+/// member stream.
+pub fn decompress_framed(data: &[u8]) -> Result<Vec<u8>, DeflateError> {
+    decompress_framed_with(data, configured_threads())
+}
+
+/// [`decompress_framed`] with an explicit worker count.
+pub fn decompress_framed_with(data: &[u8], threads: usize) -> Result<Vec<u8>, DeflateError> {
+    if data.len() < 8 || data[..4] != FRAME_MAGIC {
+        return decompress(data);
+    }
+    let count = u32::from_le_bytes(data[4..8].try_into().unwrap()) as usize;
+    let dir_end = 8usize
+        .checked_add(count.checked_mul(8).ok_or(DeflateError::BadFrame)?)
+        .ok_or(DeflateError::BadFrame)?;
+    if data.len() < dir_end {
+        return Err(DeflateError::BadFrame);
+    }
+    // Parse the directory into (payload offset, comp_len, raw_len).
+    let mut entries = Vec::with_capacity(count);
+    let mut offset = dir_end;
+    for i in 0..count {
+        let e = 8 + i * 8;
+        let comp_len = u32::from_le_bytes(data[e..e + 4].try_into().unwrap()) as usize;
+        let raw_len = u32::from_le_bytes(data[e + 4..e + 8].try_into().unwrap()) as usize;
+        entries.push((offset, comp_len, raw_len));
+        offset = offset.checked_add(comp_len).ok_or(DeflateError::BadFrame)?;
+    }
+    if offset != data.len() {
+        return Err(DeflateError::BadFrame);
+    }
+
+    let inflate_one = |&(off, comp_len, raw_len): &(usize, usize, usize)| {
+        let chunk = decompress(&data[off..off + comp_len])?;
+        if chunk.len() != raw_len {
+            return Err(DeflateError::BadFrame);
+        }
+        Ok(chunk)
+    };
+
+    let workers = threads.clamp(1, count.max(1));
+    let mut results: Vec<Result<Vec<u8>, DeflateError>> = Vec::new();
+    if workers <= 1 || count < 2 {
+        results.extend(entries.iter().map(inflate_one));
+    } else {
+        results.resize_with(count, || Ok(Vec::new()));
+        let per = count.div_ceil(workers);
+        crossbeam::thread::scope(|s| {
+            for (band_idx, band) in results.chunks_mut(per).enumerate() {
+                let lo = band_idx * per;
+                let band_entries = &entries[lo..lo + band.len()];
+                s.spawn(move |_| {
+                    for (slot, entry) in band.iter_mut().zip(band_entries) {
+                        *slot = inflate_one(entry);
+                    }
+                });
+            }
+        })
+        .expect("chunked decompression worker panicked");
+    }
+
+    let total: usize = entries.iter().map(|&(_, _, r)| r).sum();
+    let mut out = Vec::with_capacity(total);
+    for r in results {
+        out.extend_from_slice(&r?);
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -681,5 +929,94 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(DeflateError::BadDistance.to_string().contains("distance"));
+    }
+
+    #[test]
+    fn reused_compressor_matches_free_function() {
+        let mut c = Compressor::new();
+        let inputs: Vec<Vec<u8>> = vec![
+            b"near-data processing ".repeat(200),
+            vec![b'a'; 300],
+            (0..=255u8).cycle().take(4096).collect(),
+            Vec::new(),
+            b"xyz".to_vec(),
+        ];
+        for data in &inputs {
+            // Same output on every reuse, identical to a fresh compressor.
+            assert_eq!(c.compress(data), compress(data));
+            assert_eq!(c.compress(data), Compressor::new().compress(data));
+        }
+    }
+
+    #[test]
+    fn chunked_small_input_is_plain_deflate() {
+        let data = b"fits in one chunk".to_vec();
+        let framed = compress_chunked_with(&data, DEFAULT_CHUNK_SIZE, 4);
+        assert_eq!(framed, compress(&data), "single-chunk output must be unframed");
+        assert_eq!(decompress_framed(&framed).unwrap(), data);
+    }
+
+    #[test]
+    fn chunked_roundtrip_multi_chunk() {
+        let data: Vec<u8> = b"NDPipe offloads feature extraction to PipeStores. "
+            .repeat(3000);
+        for threads in [1, 2, 4] {
+            let framed = compress_chunked_with(&data, 8 * 1024, threads);
+            assert_eq!(framed[..4], FRAME_MAGIC);
+            assert_eq!(
+                decompress_framed_with(&framed, threads).unwrap(),
+                data,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn chunked_output_is_thread_count_invariant() {
+        let data: Vec<u8> = (0..200_000u32).map(|i| (i * 31 % 257) as u8).collect();
+        let one = compress_chunked_with(&data, DEFAULT_CHUNK_SIZE, 1);
+        for threads in [2, 3, 4, 8] {
+            assert_eq!(
+                compress_chunked_with(&data, DEFAULT_CHUNK_SIZE, threads),
+                one,
+                "threads={threads}"
+            );
+        }
+        assert_eq!(decompress_framed_with(&one, 4).unwrap(), data);
+    }
+
+    #[test]
+    fn chunked_exact_boundary() {
+        // Exactly 2 chunks, the second of full size.
+        let data = vec![7u8; 2 * 1024];
+        let framed = compress_chunked_with(&data, 1024, 2);
+        assert_eq!(framed[..4], FRAME_MAGIC);
+        assert_eq!(decompress_framed(&framed).unwrap(), data);
+        // One byte over a chunk: 2 chunks, second is 1 byte.
+        let data = vec![7u8; 1025];
+        let framed = compress_chunked_with(&data, 1024, 2);
+        assert_eq!(decompress_framed(&framed).unwrap(), data);
+    }
+
+    #[test]
+    fn corrupt_frame_directory_detected() {
+        let data = vec![42u8; 4096];
+        let mut framed = compress_chunked_with(&data, 1024, 2);
+        assert_eq!(framed[..4], FRAME_MAGIC);
+        // Truncated payload.
+        let cut = framed.len() - 3;
+        assert!(decompress_framed(&framed[..cut]).is_err());
+        // Inflate a chunk's claimed raw length.
+        framed[8 + 4] ^= 0x01; // first directory entry's raw_len
+        assert_eq!(decompress_framed(&framed), Err(DeflateError::BadFrame));
+    }
+
+    #[test]
+    fn plain_streams_pass_through_framed_decoder() {
+        let data: Vec<u8> = b"legacy delta blob ".repeat(100);
+        let plain = compress(&data);
+        assert_eq!(decompress_framed(&plain).unwrap(), data);
+        let stored = compress_stored(&data);
+        assert_eq!(decompress_framed(&stored).unwrap(), data);
     }
 }

@@ -1,6 +1,9 @@
 //! Property tests of the DEFLATE codec over adversarial input families.
 
-use ndpipe_data::deflate::{compress, compress_stored, decompress};
+use ndpipe_data::deflate::{
+    compress, compress_chunked_with, compress_stored, decompress, decompress_framed_with,
+    Compressor, FRAME_MAGIC,
+};
 use proptest::prelude::*;
 
 /// Input families that stress different codec paths.
@@ -63,6 +66,63 @@ proptest! {
         match decompress(truncated) {
             Err(_) => {}
             Ok(out) => prop_assert_ne!(out, data),
+        }
+    }
+
+    /// Framed chunked codec round-trips across chunk sizes and thread
+    /// counts, including the empty, single-chunk, and exact-boundary
+    /// cases; the bytes are invariant to the worker count.
+    #[test]
+    fn framed_roundtrip(
+        data in structured_inputs(),
+        chunk_exp in 6u32..12, // chunk sizes 64..2048 bytes
+        threads in 1usize..5,
+    ) {
+        let chunk_size = 1usize << chunk_exp;
+        let framed = compress_chunked_with(&data, chunk_size, threads);
+        // Thread-count invariance.
+        prop_assert_eq!(&framed, &compress_chunked_with(&data, chunk_size, 1));
+        // Single-chunk inputs must stay byte-compatible with plain deflate.
+        if data.len() <= chunk_size {
+            prop_assert_eq!(&framed, &compress(&data));
+        } else {
+            prop_assert_eq!(&framed[..4], &FRAME_MAGIC[..]);
+        }
+        prop_assert_eq!(decompress_framed_with(&framed, threads).expect("valid"), data);
+    }
+
+    /// Chunk-boundary lengths (n*chunk - 1, n*chunk, n*chunk + 1) all
+    /// round-trip through the framed codec.
+    #[test]
+    fn framed_boundary_lengths(chunks in 1usize..5, delta in 0usize..3, fill in any::<u8>()) {
+        let chunk_size = 256usize;
+        let len = (chunks * chunk_size + delta).saturating_sub(1);
+        let data: Vec<u8> = (0..len).map(|i| fill.wrapping_add((i % 7) as u8)).collect();
+        let framed = compress_chunked_with(&data, chunk_size, 3);
+        prop_assert_eq!(decompress_framed_with(&framed, 3).expect("valid"), data);
+    }
+
+    /// A reused compressor emits the same bytes as a fresh one for every
+    /// input in a sequence (the epoch-tagged scratch never leaks state).
+    #[test]
+    fn reused_compressor_is_stateless(
+        inputs in prop::collection::vec(structured_inputs(), 1..6)
+    ) {
+        let mut shared = Compressor::new();
+        for data in &inputs {
+            prop_assert_eq!(shared.compress(data), Compressor::new().compress(data));
+        }
+    }
+
+    /// Framed decoding of arbitrary garbage (magic-prefixed or not) never
+    /// panics.
+    #[test]
+    fn framed_decode_never_panics(garbage in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decompress_framed_with(&garbage, 2);
+        let mut tagged = garbage.clone();
+        if tagged.len() >= 4 {
+            tagged[..4].copy_from_slice(&FRAME_MAGIC);
+            let _ = decompress_framed_with(&tagged, 2);
         }
     }
 }

@@ -2,6 +2,12 @@
 
 use crate::{linalg, Tensor};
 
+/// Work threshold (in multiply-adds) above which [`conv2d`] fans batch
+/// images across threads — the same row-band pattern as
+/// [`linalg::matmul`], applied to the batch dimension. Below it, thread
+/// spawn costs dominate the kernel itself.
+const PAR_THRESHOLD: usize = 1 << 21;
+
 /// Convolution / pooling spatial hyper-parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Conv2dSpec {
@@ -114,12 +120,56 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, spec: Conv
     let oh = spec.out_size(h);
     let ow = spec.out_size(w);
     let mut out = vec![0.0f32; n * c_out * oh * ow];
+
+    // Each image is an independent im2col + matmul, so batches band
+    // across threads exactly like matmul's output rows: every image is
+    // computed by the same serial kernel whichever band it lands in, and
+    // the result is bit-identical to the single-threaded path.
+    let flops = n * c_out * c_in * k * k * oh * ow;
+    let threads = crate::configured_threads();
+    let img_out_len = c_out * oh * ow;
+    if flops >= PAR_THRESHOLD && threads > 1 && n >= 2 {
+        let bands = threads.min(n);
+        let imgs_per_band = n.div_ceil(bands);
+        let mut chunks: Vec<&mut [f32]> = out.chunks_mut(imgs_per_band * img_out_len).collect();
+        crossbeam::thread::scope(|scope| {
+            for (band, chunk) in chunks.iter_mut().enumerate() {
+                let b_lo = band * imgs_per_band;
+                let chunk: &mut [f32] = chunk;
+                let wmat = &wmat;
+                scope.spawn(move |_| {
+                    conv2d_images(input, wmat, bias, spec, b_lo, chunk);
+                });
+            }
+        })
+        .expect("conv2d worker panicked");
+    } else {
+        conv2d_images(input, &wmat, bias, spec, 0, &mut out);
+    }
+    Tensor::from_vec(out, &[n, c_out, oh, ow])
+}
+
+/// Serial im2col kernel over the batch images starting at `b_lo`; `out`
+/// holds exactly those images' output planes.
+fn conv2d_images(
+    input: &Tensor,
+    wmat: &Tensor,
+    bias: Option<&Tensor>,
+    spec: Conv2dSpec,
+    b_lo: usize,
+    out: &mut [f32],
+) {
+    let (c_in, h, w) = (input.dims()[1], input.dims()[2], input.dims()[3]);
+    let c_out = wmat.dims()[0];
+    let oh = spec.out_size(h);
+    let ow = spec.out_size(w);
     let img_len = c_in * h * w;
-    for b_idx in 0..n {
+    let img_out_len = c_out * oh * ow;
+    for (i, dst) in out.chunks_mut(img_out_len).enumerate() {
+        let b_idx = b_lo + i;
         let img = &input.data()[b_idx * img_len..(b_idx + 1) * img_len];
         let (cols, _, _) = im2col(img, c_in, h, w, spec);
-        let res = linalg::matmul(&wmat, &cols); // [c_out, oh*ow]
-        let dst = &mut out[b_idx * c_out * oh * ow..(b_idx + 1) * c_out * oh * ow];
+        let res = linalg::matmul(wmat, &cols); // [c_out, oh*ow]
         dst.copy_from_slice(res.data());
         if let Some(bvec) = bias {
             for co in 0..c_out {
@@ -130,7 +180,6 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, spec: Conv
             }
         }
     }
-    Tensor::from_vec(out, &[n, c_out, oh, ow])
 }
 
 /// Max pooling over an NCHW input. Returns `[n, c, oh, ow]`.
@@ -300,6 +349,30 @@ mod tests {
         let out = global_avg_pool(&input);
         assert_eq!(out.dims(), &[1, 2]);
         assert_eq!(out.data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn parallel_conv_matches_serial_exactly() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(88);
+        // 9 images (not a multiple of typical core counts), 8→16
+        // channels, 16×16 with a 3×3 kernel: above PAR_THRESHOLD.
+        let (n, c_in, c_out, hw, k) = (9usize, 8usize, 16usize, 16usize, 3usize);
+        let spec = Conv2dSpec::new(k, 1, 1);
+        let o = spec.out_size(hw);
+        assert!(
+            n * c_out * c_in * k * k * o * o >= PAR_THRESHOLD,
+            "case too small to exercise the parallel path"
+        );
+        let input = Tensor::randn(&[n, c_in, hw, hw], &mut rng);
+        let weight = Tensor::randn(&[c_out, c_in, k, k], &mut rng);
+        let bias = Tensor::randn(&[c_out], &mut rng);
+        let fast = conv2d(&input, &weight, Some(&bias), spec);
+        let wmat = weight.reshape(&[c_out, c_in * k * k]).expect("reshape");
+        let mut serial = vec![0.0f32; n * c_out * o * o];
+        conv2d_images(&input, &wmat, Some(&bias), spec, 0, &mut serial);
+        assert_eq!(fast.data(), serial.as_slice());
     }
 
     #[test]

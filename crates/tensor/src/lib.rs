@@ -38,6 +38,21 @@ pub mod tensor;
 pub use shape::Shape;
 pub use tensor::Tensor;
 
+/// Thread budget for parallel kernels ([`linalg::matmul`],
+/// [`conv::conv2d`]): the `NDPIPE_THREADS` environment variable when set
+/// (minimum 1), otherwise the machine's available parallelism.
+///
+/// Every parallel kernel in this crate partitions work into bands that
+/// are each computed by the serial kernel, so results are bit-identical
+/// at any thread count — `NDPIPE_THREADS=1` is a determinism *check*,
+/// not a determinism *requirement*.
+pub fn configured_threads() -> usize {
+    match std::env::var("NDPIPE_THREADS") {
+        Ok(v) => v.trim().parse::<usize>().unwrap_or(1).max(1),
+        Err(_) => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
 /// Error type for tensor operations that validate their inputs.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TensorError {

@@ -44,10 +44,8 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
 
     // Large products fan output-row bands across threads; each band is an
     // independent serial matmul, so results are bit-identical to the
-    // single-threaded path.
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1);
+    // single-threaded path. The band count honours NDPIPE_THREADS.
+    let threads = crate::configured_threads();
     if m * k * n >= PAR_THRESHOLD && threads > 1 && m >= 2 {
         let bands = threads.min(m);
         let rows_per_band = m.div_ceil(bands);

@@ -1,0 +1,254 @@
+//! Vendored, API-compatible subset of Criterion.rs: enough to compile and
+//! run this workspace's `harness = false` benches. Measurement is a plain
+//! warmup + timed loop reporting mean ns/iter (plus throughput when set)
+//! — no statistics, plots, or baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Benchmark driver handed to `criterion_group!` targets.
+pub struct Criterion {
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warmup: Duration::from_millis(300),
+            measure: Duration::from_millis(1000),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n{name}");
+        BenchmarkGroup {
+            c: self,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let (warmup, measure) = (self.warmup, self.measure);
+        run_one(name, None, warmup, measure, f);
+        self
+    }
+}
+
+/// Units for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for parameterized benchmarks.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` form.
+    pub fn new(name: &str, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{name}/{parameter}") }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// A group of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets per-iteration throughput used in reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Caps measured sample count (accepted for API compatibility).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.throughput, self.c.warmup, self.c.measure, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(
+            &id.to_string(),
+            self.throughput,
+            self.c.warmup,
+            self.c.measure,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`].
+pub struct Bencher {
+    mode: Mode,
+    iters: u64,
+    elapsed: Duration,
+}
+
+enum Mode {
+    Warmup(Duration),
+    Measure(Duration),
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let budget = match self.mode {
+            Mode::Warmup(d) | Mode::Measure(d) => d,
+        };
+        let start = Instant::now();
+        let mut iters = 0u64;
+        // Batches of doubling size amortize clock reads on fast routines.
+        let mut batch = 1u64;
+        while start.elapsed() < budget {
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            iters += batch;
+            if batch < 1 << 20 {
+                batch *= 2;
+            }
+        }
+        self.iters = iters;
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F>(name: &str, throughput: Option<Throughput>, warmup: Duration, measure: Duration, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        mode: Mode::Warmup(warmup),
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    b.mode = Mode::Measure(measure);
+    b.iters = 0;
+    b.elapsed = Duration::ZERO;
+    f(&mut b);
+    if b.iters == 0 {
+        println!("  {name:<32} (no iterations ran)");
+        return;
+    }
+    let ns_per_iter = b.elapsed.as_nanos() as f64 / b.iters as f64;
+    let mut line = format!("  {name:<32} {ns_per_iter:>14.1} ns/iter");
+    if let Some(t) = throughput {
+        let per_sec = match t {
+            Throughput::Bytes(n) => {
+                let mbs = n as f64 / ns_per_iter * 1e9 / (1024.0 * 1024.0);
+                format!("{mbs:>10.1} MiB/s")
+            }
+            Throughput::Elements(n) => {
+                let eps = n as f64 / ns_per_iter * 1e9;
+                format!("{eps:>10.0} elem/s")
+            }
+        };
+        line.push_str(&format!("  {per_sec}"));
+    }
+    println!("{line}");
+}
+
+/// Declares a function running each listed benchmark target.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main()` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion {
+            warmup: Duration::from_millis(5),
+            measure: Duration::from_millis(10),
+        }
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::from_parameter(64), &64usize, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = quick();
+        c.bench_function("count", |b| b.iter(|| std::hint::black_box(3u64).pow(2)));
+    }
+}

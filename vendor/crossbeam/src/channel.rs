@@ -1,0 +1,284 @@
+//! MPMC channels with crossbeam's API shape: [`bounded`] / [`unbounded`]
+//! constructors, cloneable [`Sender`]/[`Receiver`], and disconnect
+//! semantics (send fails once all receivers are gone; recv drains the
+//! queue then fails once all senders are gone).
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    cap: Option<usize>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// Error: the message could not be delivered (all receivers dropped).
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> std::fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
+
+/// Error: the channel is empty and every sender has been dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error for [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// No message available right now.
+    Empty,
+    /// Channel is empty and all senders are gone.
+    Disconnected,
+}
+
+/// The sending half; cloneable for fan-in.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half; cloneable for fan-out (each message goes to
+/// exactly one receiver).
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates a channel holding at most `cap` in-flight messages; `send`
+/// blocks while full (backpressure).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    make(Some(cap.max(1)))
+}
+
+/// Creates a channel with no capacity bound.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    make(None)
+}
+
+fn make<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(Inner {
+            queue: VecDeque::new(),
+            cap,
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (
+        Sender { shared: Arc::clone(&shared) },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Delivers `msg`, blocking while a bounded channel is full.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut inner = self.shared.inner.lock().expect("channel lock");
+        loop {
+            if inner.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            match inner.cap {
+                Some(cap) if inner.queue.len() >= cap => {
+                    inner = self.shared.not_full.wait(inner).expect("channel lock");
+                }
+                _ => break,
+            }
+        }
+        inner.queue.push_back(msg);
+        drop(inner);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.inner.lock().expect("channel lock").senders += 1;
+        Sender { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.inner.lock().expect("channel lock");
+        inner.senders -= 1;
+        let last = inner.senders == 0;
+        drop(inner);
+        if last {
+            // Wake receivers so they observe the disconnect.
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Takes the next message, blocking until one arrives or every
+    /// sender is dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut inner = self.shared.inner.lock().expect("channel lock");
+        loop {
+            if let Some(msg) = inner.queue.pop_front() {
+                drop(inner);
+                self.shared.not_full.notify_one();
+                return Ok(msg);
+            }
+            if inner.senders == 0 {
+                return Err(RecvError);
+            }
+            inner = self.shared.not_empty.wait(inner).expect("channel lock");
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut inner = self.shared.inner.lock().expect("channel lock");
+        if let Some(msg) = inner.queue.pop_front() {
+            drop(inner);
+            self.shared.not_full.notify_one();
+            return Ok(msg);
+        }
+        if inner.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Blocking iterator that ends when the channel disconnects.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { rx: self }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.inner.lock().expect("channel lock").receivers += 1;
+        Receiver { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.inner.lock().expect("channel lock");
+        inner.receivers -= 1;
+        let last = inner.receivers == 0;
+        drop(inner);
+        if last {
+            // Wake blocked senders so they observe the disconnect.
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+/// Borrowing message iterator — see [`Receiver::iter`].
+pub struct Iter<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Receiver<T> {
+    type Item = T;
+    type IntoIter = Iter<'a, T>;
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_single_consumer() {
+        let (tx, rx) = unbounded();
+        for i in 0..100 {
+            tx.send(i).expect("send");
+        }
+        drop(tx);
+        let got: Vec<i32> = rx.iter().collect();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bounded_applies_backpressure() {
+        let (tx, rx) = bounded(2);
+        tx.send(1).expect("send");
+        tx.send(2).expect("send");
+        let t = std::thread::spawn(move || {
+            // Blocks until the consumer drains one slot.
+            tx.send(3).expect("send");
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(1));
+        t.join().expect("producer");
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn disconnect_semantics() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+
+        let (tx2, rx2) = unbounded::<u8>();
+        tx2.send(7).expect("send");
+        drop(tx2);
+        assert_eq!(rx2.recv(), Ok(7));
+        assert_eq!(rx2.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn mpmc_delivers_each_message_once() {
+        let (tx, rx) = bounded(8);
+        let mut producers = Vec::new();
+        for p in 0..4 {
+            let tx = tx.clone();
+            producers.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    tx.send(p * 1000 + i).expect("send");
+                }
+            }));
+        }
+        drop(tx);
+        let mut consumers = Vec::new();
+        for _ in 0..3 {
+            let rx = rx.clone();
+            consumers.push(std::thread::spawn(move || rx.iter().count()));
+        }
+        drop(rx);
+        for p in producers {
+            p.join().expect("producer");
+        }
+        let total: usize = consumers.into_iter().map(|c| c.join().expect("consumer")).sum();
+        assert_eq!(total, 200);
+    }
+}

@@ -1,0 +1,6 @@
+//! Vendored, API-compatible subset of the `crossbeam` facade crate:
+//! [`thread::scope`] (over `std::thread::scope`) and [`channel`]
+//! (MPMC bounded/unbounded queues over `Mutex` + `Condvar`).
+
+pub mod channel;
+pub mod thread;

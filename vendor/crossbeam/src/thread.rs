@@ -1,0 +1,75 @@
+//! Scoped threads with crossbeam's closure-takes-scope signature,
+//! implemented over `std::thread::scope`.
+
+use std::any::Any;
+
+/// A scope handle; lets spawned threads borrow from the enclosing stack
+/// frame and spawn further siblings.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Handle to a thread spawned in a [`Scope`].
+pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread and returns its result (`Err` on panic).
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.0.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a thread; the closure receives the scope, allowing nested
+    /// spawns (crossbeam's signature — std's closure takes no argument).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle(inner.spawn(move || f(&Scope { inner })))
+    }
+}
+
+/// Runs `f` with a scope in which borrowing spawns are allowed; returns
+/// `Ok` with `f`'s result once every spawned thread has finished.
+///
+/// Divergence from crossbeam: an unjoined child panic aborts via
+/// `std::thread::scope`'s propagation (a panic in the caller) instead of
+/// surfacing as `Err`. Callers here always `.expect()` the result, so
+/// both shapes end in the same panic.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn spawned_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let total: u64 = super::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|c| s.spawn(move |_| c.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("join")).sum()
+        })
+        .expect("scope");
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let n = super::scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 21).join().expect("inner") * 2)
+                .join()
+                .expect("outer")
+        })
+        .expect("scope");
+        assert_eq!(n, 42);
+    }
+}

@@ -1,0 +1,191 @@
+//! Vendored, API-compatible subset of `parking_lot`: [`Mutex`],
+//! [`RwLock`], and [`Condvar`] with parking_lot's no-`Result`,
+//! non-poisoning lock API, implemented over `std::sync`. A poisoned
+//! inner lock (a writer panicked) is recovered rather than propagated,
+//! matching parking_lot's behavior of simply releasing the lock.
+
+use std::sync::{self, PoisonError};
+
+pub use sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+
+/// A mutual-exclusion lock whose `lock()` never returns `Err`.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new lock around `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex { inner: sync::Mutex::new(value) }
+    }
+
+    /// Consumes the lock, returning the value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Tries to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(g),
+            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (exclusive borrow proves safety).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A reader-writer lock whose `read()`/`write()` never return `Err`.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new lock around `value`.
+    pub const fn new(value: T) -> Self {
+        RwLock { inner: sync::RwLock::new(value) }
+    }
+
+    /// Consumes the lock, returning the value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires a shared read guard.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquires an exclusive write guard.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Mutable access without locking (exclusive borrow proves safety).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A condition variable matching parking_lot's panic-free signatures.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar { inner: sync::Condvar::new() }
+    }
+
+    /// Blocks on `guard` until notified.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // Temporarily move the guard out to satisfy std's by-value API.
+        take_guard(&self.inner, guard, |cv, g| {
+            cv.wait(g).unwrap_or_else(PoisonError::into_inner)
+        });
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+fn take_guard<'a, T>(
+    cv: &sync::Condvar,
+    guard: &mut MutexGuard<'a, T>,
+    f: impl FnOnce(&sync::Condvar, MutexGuard<'a, T>) -> MutexGuard<'a, T>,
+) {
+    // SAFETY-free trick: std's Condvar::wait consumes the guard and
+    // returns a new one for the same mutex; swap through a ManuallyDrop
+    // is unnecessary because we can use replace-with semantics via
+    // a helper that never leaves `guard` dangling on unwind: wait()
+    // aborts the process only if the closure panics, which std's wait
+    // does not.
+    replace_with(guard, |g| f(cv, g));
+}
+
+fn replace_with<G>(slot: &mut G, f: impl FnOnce(G) -> G) {
+    unsafe {
+        let old = std::ptr::read(slot);
+        let new = f(old);
+        std::ptr::write(slot, new);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_basic() {
+        let m = Mutex::new(5);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 6);
+    }
+
+    #[test]
+    fn rwlock_many_readers() {
+        let l = RwLock::new(vec![1, 2, 3]);
+        let a = l.read();
+        let b = l.read();
+        assert_eq!(a.len() + b.len(), 6);
+        drop((a, b));
+        l.write().push(4);
+        assert_eq!(l.read().len(), 4);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (lock, cv) = &*p2;
+            let mut started = lock.lock();
+            while !*started {
+                cv.wait(&mut started);
+            }
+        });
+        {
+            let (lock, cv) = &*pair;
+            *lock.lock() = true;
+            cv.notify_one();
+        }
+        t.join().expect("waiter");
+    }
+
+    #[test]
+    fn poisoned_lock_recovers() {
+        let m = Arc::new(Mutex::new(1));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison it");
+        })
+        .join();
+        assert_eq!(*m.lock(), 1);
+    }
+}

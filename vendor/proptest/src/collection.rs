@@ -1,0 +1,43 @@
+//! Collection strategies: [`vec`].
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// Generates `Vec`s whose length is drawn from `size` and whose elements
+/// come from `elem`.
+pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty vec size range");
+    VecStrategy { elem, size }
+}
+
+/// Result of [`vec`].
+pub struct VecStrategy<S> {
+    elem: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rand::Rng::gen_range(rng, self.size.clone());
+        (0..len).map(|_| self.elem.new_value(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::rng_for;
+
+    #[test]
+    fn lengths_and_elements_in_range() {
+        let s = vec(5u8..9, 1..7);
+        let mut rng = rng_for("vec_lengths");
+        for _ in 0..200 {
+            let v = s.new_value(&mut rng);
+            assert!((1..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| (5..9).contains(&x)));
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Vendored, API-compatible subset of proptest: the [`Strategy`] trait
+//! with ranges/tuples/[`strategy::Just`]/`prop_map`/[`strategy::Union`],
+//! [`collection::vec`], and the `proptest!`/`prop_assert*`/`prop_assume!`
+//! /`prop_oneof!` macros.
+//!
+//! Differences from upstream: inputs are sampled from a deterministic
+//! per-test seed (override with `PROPTEST_SEED`), and failing cases are
+//! reported but **not shrunk** — the failing inputs print verbatim.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Upstream-style namespace: `prop::collection::vec(...)`.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Everything tests normally import.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Any, BoxedStrategy, Just, Map, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            let mut __rng = $crate::test_runner::rng_for(stringify!($name));
+            let __strats = ($(($strat),)*);
+            let mut __done: u32 = 0;
+            let mut __rejected: u32 = 0;
+            while __done < __config.cases {
+                #[allow(unused_parens)]
+                let ($($arg,)*) = {
+                    #[allow(unused_variables)]
+                    let ($(ref $arg,)*) = __strats;
+                    ($($crate::strategy::Strategy::new_value($arg, &mut __rng),)*)
+                };
+                #[allow(unused_variables)]
+                let __inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}; "),*),
+                    $(&$arg),*
+                );
+                let __result = (|| -> $crate::test_runner::TestCaseResult {
+                    $body
+                    Ok(())
+                })();
+                match __result {
+                    Ok(()) => {
+                        __done += 1;
+                    }
+                    Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                        __rejected += 1;
+                        if __rejected > __config.cases.saturating_mul(20) + 1000 {
+                            panic!(
+                                "proptest '{}': too many rejected inputs ({})",
+                                stringify!($name),
+                                __rejected
+                            );
+                        }
+                    }
+                    Err($crate::test_runner::TestCaseError::Fail(__msg)) => {
+                        panic!(
+                            "proptest '{}' failed after {} passing case(s): {}\n  inputs: {}",
+                            stringify!($name),
+                            __done,
+                            __msg,
+                            __inputs
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: {} ({})",
+                stringify!($cond),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __left = $left;
+        let __right = $right;
+        if !(__left == __right) {
+            return Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+                __left, __right
+            )));
+        }
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __left = $left;
+        let __right = $right;
+        if __left == __right {
+            return Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: `left != right`\n  both: {:?}",
+                __left
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case (resampled, not counted) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Picks among strategies, optionally weighted (`3 => strat`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn composite() -> impl Strategy<Value = Vec<u8>> {
+        prop_oneof![
+            4 => prop::collection::vec(any::<u8>(), 0..32),
+            1 => (any::<u8>(), 1usize..16).prop_map(|(b, n)| vec![b; n]),
+            1 => Just(vec![7u8; 3]),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(a in 3usize..9, b in -4i32..=4, f in 0.5f32..2.0) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!((-4..=4).contains(&b));
+            prop_assert!((0.5..2.0).contains(&f), "f = {}", f);
+        }
+
+        #[test]
+        fn vec_respects_size(v in prop::collection::vec(0u32..10, 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn oneof_and_map_compose(v in composite()) {
+            prop_assert!(v.len() < 32 || !v.is_empty());
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0usize..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+            prop_assert_ne!(n, 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed after")]
+    fn failing_property_panics_with_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            #[allow(unused)]
+            fn inner(n in 0usize..4) {
+                prop_assert!(n < 3);
+            }
+        }
+        inner();
+    }
+}

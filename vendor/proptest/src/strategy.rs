@@ -1,0 +1,199 @@
+//! The [`Strategy`] trait and core combinators.
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike upstream there is no value tree / shrinking: a strategy is just
+/// a sampler.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Samples one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values through `f`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { source: self, f }
+    }
+
+    /// Type-erases the strategy (needed by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.source.new_value(rng))
+    }
+}
+
+/// Uniform draw over a type's natural domain — see [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// Samples any value of `T` (ints uniform over the full domain, floats
+/// uniform in `[0, 1)`, bools fair).
+pub fn any<T>() -> Any<T>
+where
+    rand::Standard: rand::Distribution<T>,
+{
+    Any(PhantomData)
+}
+
+impl<T> Strategy for Any<T>
+where
+    rand::Standard: rand::Distribution<T>,
+{
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        rand::Rng::gen(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+    )+};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($($S:ident . $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A.0);
+tuple_strategy!(A.0, B.1);
+tuple_strategy!(A.0, B.1, C.2);
+tuple_strategy!(A.0, B.1, C.2, D.3);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+
+trait DynStrategy<T> {
+    fn new_value_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn new_value_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.new_value(rng)
+    }
+}
+
+/// A type-erased strategy — see [`Strategy::boxed`].
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        self.0.new_value_dyn(rng)
+    }
+}
+
+/// Weighted choice among strategies — the engine behind `prop_oneof!`.
+pub struct Union<T> {
+    branches: Vec<(u32, BoxedStrategy<T>)>,
+}
+
+impl<T> Union<T> {
+    /// Builds from `(weight, strategy)` branches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `branches` is empty or all weights are zero.
+    pub fn new(branches: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total: u64 = branches.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! requires a positive total weight");
+        Union { branches }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let total: u32 = self.branches.iter().map(|(w, _)| *w).sum();
+        let mut pick = rand::Rng::gen_range(rng, 0..total);
+        for (w, s) in &self.branches {
+            if pick < *w {
+                return s.new_value(rng);
+            }
+            pick -= *w;
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::rng_for;
+
+    #[test]
+    fn union_respects_weights_roughly() {
+        let u = Union::new(vec![
+            (9, Just(true).boxed()),
+            (1, Just(false).boxed()),
+        ]);
+        let mut rng = rng_for("union_weights");
+        let trues = (0..10_000).filter(|_| u.new_value(&mut rng)).count();
+        assert!((8_000..9_900).contains(&trues), "trues = {trues}");
+    }
+
+    #[test]
+    fn map_and_tuple_compose() {
+        let s = (1usize..4, 10u32..20).prop_map(|(a, b)| a as u32 + b);
+        let mut rng = rng_for("map_tuple");
+        for _ in 0..100 {
+            let v = s.new_value(&mut rng);
+            assert!((11..23).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Runner plumbing: config, per-case error type, and the deterministic
+//! test RNG.
+
+use rand::SeedableRng;
+
+/// The RNG strategies draw from.
+pub type TestRng = rand::rngs::StdRng;
+
+/// Per-test-suite configuration (only `cases` is honored).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of passing cases required per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; this runner trades a little coverage
+        // for suite latency since there is no result caching.
+        ProptestConfig { cases: 96 }
+    }
+}
+
+/// Why a single sampled case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed — resample, don't count as a failure.
+    Reject(String),
+    /// A `prop_assert*!` failed.
+    Fail(String),
+}
+
+/// Result of one sampled case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Builds the RNG for one property: deterministic per test name, with a
+/// `PROPTEST_SEED` env override mixed in for exploring other streams.
+pub fn rng_for(test_name: &str) -> TestRng {
+    // FNV-1a over the test name decorrelates sibling properties.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    if let Ok(s) = std::env::var("PROPTEST_SEED") {
+        if let Ok(v) = s.trim().parse::<u64>() {
+            h ^= v.rotate_left(17);
+        }
+    }
+    TestRng::seed_from_u64(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let a = rng_for("alpha").next_u64();
+        let b = rng_for("alpha").next_u64();
+        let c = rng_for("beta").next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

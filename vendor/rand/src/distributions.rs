@@ -1,0 +1,77 @@
+//! Distributions: the [`Standard`] distribution and the [`Distribution`]
+//! trait (the subset of upstream `rand::distributions` this repo uses).
+
+use crate::Rng;
+
+/// A distribution of values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" uniform distribution over a type's domain (unit interval
+/// for floats).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+macro_rules! standard_int {
+    ($($t:ty => $via:ident),+) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.$via() as $t
+            }
+        }
+    )+};
+}
+
+standard_int!(
+    u8 => next_u32,
+    u16 => next_u32,
+    u32 => next_u32,
+    u64 => next_u64,
+    usize => next_u64,
+    i8 => next_u32,
+    i16 => next_u32,
+    i32 => next_u32,
+    i64 => next_u64,
+    isize => next_u64
+);
+
+impl Distribution<bool> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        // Upstream uses the high bit of a u32 draw.
+        rng.next_u32() & (1 << 31) != 0
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        // 24 mantissa bits -> uniform in [0, 1).
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn unit_floats_stay_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let x: f64 = Standard.sample(&mut rng);
+            assert!((0.0..1.0).contains(&x));
+            let y: f32 = Standard.sample(&mut rng);
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+}

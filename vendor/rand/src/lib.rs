@@ -1,0 +1,250 @@
+//! Vendored, API-compatible subset of the `rand` crate.
+//!
+//! This build environment has no registry access, so the workspace ships
+//! the slice of `rand`'s API it actually uses: [`RngCore`]/[`Rng`],
+//! [`SeedableRng`], [`rngs::StdRng`] (xoshiro256++ seeded via SplitMix64
+//! — a different stream than upstream `StdRng`, which is fine because
+//! nothing in this repo depends on upstream's exact bit stream),
+//! [`distributions::Distribution`]/[`distributions::Standard`], uniform
+//! ranges through [`Rng::gen_range`], and [`seq::SliceRandom`].
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+pub use distributions::{Distribution, Standard};
+
+/// Error type carried by [`RngCore::try_fill_bytes`]. The vendored RNGs
+/// are infallible, so this is only ever constructed by user code.
+#[derive(Debug)]
+pub struct Error {
+    msg: &'static str,
+}
+
+impl Error {
+    /// Creates an error with a static description.
+    pub fn new(msg: &'static str) -> Self {
+        Error { msg }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rng error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible [`RngCore::fill_bytes`].
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error>;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
+
+/// Convenience extension methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value via the [`Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Samples uniformly from `range` (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        // 53 random mantissa bits, like upstream's uniform f64.
+        let v = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        v < p
+    }
+
+    /// Fills `dest` with random data.
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A range usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+// Blanket impls over SampleUniform (mirroring upstream) keep type
+// inference identical to the real crate: `gen_range(-48..=48)` picks the
+// element type from surrounding context, not from the range literal.
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_uniform(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_uniform(rng, lo, hi, true)
+    }
+}
+
+/// Types with uniform sampling over a half-open or closed range.
+pub trait SampleUniform: Sized {
+    /// Uniform sample in `lo..hi` (or `lo..=hi` when `inclusive`).
+    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),+) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R, lo: $t, hi: $t, inclusive: bool) -> $t {
+                let width = (hi as i128 - lo as i128) as u128 + inclusive as u128;
+                assert!(width > 0, "cannot sample empty range");
+                let v = widening_uniform(rng, width);
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )+};
+}
+
+int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Uniform value in `0..width` via 128-bit multiply-shift (Lemire) over
+/// a 64-bit draw; bias is at most 2^-64 per sample.
+fn widening_uniform<R: RngCore + ?Sized>(rng: &mut R, width: u128) -> u64 {
+    debug_assert!(width > 0 && width <= u64::MAX as u128 + 1);
+    if width == u64::MAX as u128 + 1 {
+        return rng.next_u64();
+    }
+    let x = rng.next_u64() as u128;
+    ((x * width) >> 64) as u64
+}
+
+macro_rules! float_sample_uniform {
+    ($($t:ty),+) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R, lo: $t, hi: $t, _inclusive: bool) -> $t {
+                assert!(lo <= hi, "cannot sample empty range");
+                let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                (lo as f64 + (hi as f64 - lo as f64) * unit) as $t
+            }
+        }
+    )+};
+}
+
+float_sample_uniform!(f32, f64);
+
+/// A generator seedable from a fixed-size byte seed.
+pub trait SeedableRng: Sized {
+    /// The seed byte array type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Constructs the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed via SplitMix64 (the upstream
+    /// convention) and constructs the generator from it.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn gen_range_is_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: i32 = rng.gen_range(-48..=48);
+            assert!((-48..=48).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((23_000..27_000).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn full_u64_inclusive_range_does_not_panic() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _: u64 = rng.gen_range(0..=u64::MAX);
+    }
+
+    #[test]
+    fn float_ranges_are_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let v: f32 = rng.gen_range(0.0f32..1000.0);
+            assert!((0.0..1000.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(10);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

@@ -1,0 +1,12 @@
+//! Vendored serde shim: the `Serialize`/`Deserialize` names exist in both
+//! the trait and derive-macro namespaces (as in upstream serde with the
+//! `derive` feature), but the derives expand to nothing — this workspace
+//! annotates wire-shaped types without serializing through serde.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait counterpart of upstream `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait counterpart of upstream `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}

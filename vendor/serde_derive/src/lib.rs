@@ -1,0 +1,20 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! This workspace only *annotates* types with serde derives (documenting
+//! which structs are wire-shaped); nothing actually serializes through
+//! serde, so the derives expand to nothing. If real serialization is
+//! ever needed, replace the vendored serde shim with the upstream crate.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; the annotated type gains no impls.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; the annotated type gains no impls.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
