@@ -1,6 +1,23 @@
-//! Regenerates the paper's artifact result. Pass `--fast` for a
-//! smaller configuration.
+//! Regenerates the paper's artifact result, then asserts the run left a
+//! non-empty, well-formed telemetry snapshot behind (CI smoke check for
+//! the observability path). Pass `--fast` for a smaller configuration.
 
 fn main() {
     println!("{}", bench::reports::artifact::run(bench::fast_flag()));
+
+    // The artifact workflow exercises FT-DMP, Check-N-Run, and online
+    // inference, all of which record into the process-global registry.
+    let snapshot = telemetry::global().snapshot();
+    assert!(
+        !snapshot.is_empty(),
+        "artifact run recorded no telemetry — instrumentation regressed"
+    );
+    let json = snapshot.to_json();
+    telemetry::export::validate_json(&json)
+        .unwrap_or_else(|e| panic!("telemetry snapshot JSON malformed: {e}"));
+    println!(
+        "# telemetry smoke: {} series, {} bytes of well-formed JSON",
+        snapshot.len(),
+        json.len()
+    );
 }

@@ -1,22 +1,37 @@
-//! Measured NPE-pipeline benchmark: prints the human-readable report and
-//! writes the machine-readable `results/BENCH_npe_pipeline.json` artifact.
-//! Pass `--fast` for a smaller (noisier) configuration.
+//! Measured benchmarks: prints the human-readable reports and writes the
+//! machine-readable JSON artifacts (`results/BENCH_npe_pipeline.json` and
+//! `results/BENCH_telemetry_overhead.json`). Pass `--fast` for smaller
+//! (noisier) configurations.
 
-use bench::reports::npe_pipeline::{measure_with, render, to_json, BenchParams};
+use bench::reports::{npe_pipeline, telemetry_overhead};
 use std::fs;
 
 fn main() {
-    let params = if bench::fast_flag() {
-        BenchParams::fast()
-    } else {
-        BenchParams::full()
-    };
-    let m = measure_with(&params);
-    println!("{}", render(&m));
-
+    let fast = bench::fast_flag();
     let out_dir = std::path::Path::new("results");
     fs::create_dir_all(out_dir).expect("create results dir");
+
+    let params = if fast {
+        npe_pipeline::BenchParams::fast()
+    } else {
+        npe_pipeline::BenchParams::full()
+    };
+    let m = npe_pipeline::measure_with(&params);
+    println!("{}", npe_pipeline::render(&m));
     let path = out_dir.join("BENCH_npe_pipeline.json");
-    fs::write(&path, to_json(&m)).expect("write benchmark json");
+    fs::write(&path, npe_pipeline::to_json(&m)).expect("write benchmark json");
+    println!("\n# wrote {}", path.display());
+
+    let params = if fast {
+        telemetry_overhead::OverheadParams::fast()
+    } else {
+        telemetry_overhead::OverheadParams::full()
+    };
+    let m = telemetry_overhead::measure_with(&params);
+    println!("\n{}", telemetry_overhead::render(&m));
+    let json = telemetry_overhead::to_json(&m);
+    telemetry::export::validate_json(&json).expect("overhead json well-formed");
+    let path = out_dir.join("BENCH_telemetry_overhead.json");
+    fs::write(&path, json).expect("write overhead json");
     println!("\n# wrote {}", path.display());
 }

@@ -1,16 +1,82 @@
 //! Regenerates every table and figure, printing each report and writing
-//! them under `results/`. Pass `--fast` for smaller configurations.
+//! them under `results/`, then dumps a cluster-wide telemetry scrape
+//! (`cluster_metrics.prom` / `cluster_metrics.json`) from a small live
+//! PipeStore fleet. Pass `--fast` for smaller configurations.
 
+use dnn::Mlp;
+use ndpipe::rpc::server::serve_pipestore_once;
+use ndpipe::rpc::{scrape_cluster, RemotePipeStore};
+use ndpipe::PipeStore;
+use ndpipe_data::{ClassUniverse, LabeledDataset};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::fs;
+use std::path::Path;
+use std::sync::mpsc;
 
 fn main() {
     let fast = bench::fast_flag();
-    let out_dir = std::path::Path::new("results");
+    let out_dir = Path::new("results");
     fs::create_dir_all(out_dir).expect("create results dir");
     for (name, report) in bench::reports::run_all(fast) {
         println!("{report}\n");
         fs::write(out_dir.join(format!("{name}.txt")), &report)
             .expect("write report");
     }
-    eprintln!("reports written to {}", out_dir.display());
+
+    let snapshot = scrape_fleet();
+    let json = snapshot.to_json();
+    telemetry::export::validate_json(&json).expect("cluster metrics json well-formed");
+    fs::write(out_dir.join("cluster_metrics.json"), json).expect("write cluster metrics json");
+    fs::write(out_dir.join("cluster_metrics.prom"), snapshot.to_prometheus())
+        .expect("write cluster metrics exposition");
+    eprintln!(
+        "reports written to {} (cluster scrape: {} series from 2 stores)",
+        out_dir.display(),
+        snapshot.len()
+    );
+}
+
+/// Boots two loopback PipeStore servers, drives one feature-extraction
+/// round over RPC, and returns the merged per-peer-labelled scrape.
+fn scrape_fleet() -> telemetry::Snapshot {
+    let mut rng = StdRng::seed_from_u64(7);
+    let universe = ClassUniverse::new(16, 8, 4, 0.3, &mut rng);
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    for c in 0..4 {
+        for _ in 0..16 {
+            rows.push(universe.sample(c, &mut rng));
+            labels.push(c);
+        }
+    }
+    let dataset = LabeledDataset::new(rows, labels, 4);
+    let model = Mlp::new(&[16, 24, 4], 1, &mut rng);
+
+    let mut clients = Vec::new();
+    let mut handles = Vec::new();
+    for (i, shard) in dataset.shards(2).into_iter().enumerate() {
+        let store = PipeStore::new(i, shard);
+        let (tx, rx) = mpsc::channel();
+        handles.push(std::thread::spawn(move || {
+            serve_pipestore_once(store, "127.0.0.1:0", move |addr| {
+                tx.send(addr).expect("report addr");
+            })
+            .expect("server session")
+        }));
+        let addr = rx.recv().expect("server came up");
+        clients.push(RemotePipeStore::connect(addr).expect("connect"));
+    }
+    for c in &mut clients {
+        c.install_model(&model).expect("install model");
+        c.extract_features(0, 1).expect("extract features");
+    }
+    let cluster = scrape_cluster(&mut clients).expect("scrape cluster");
+    for c in clients {
+        c.shutdown().expect("shutdown");
+    }
+    for h in handles {
+        h.join().expect("server thread");
+    }
+    cluster.merged_labelled()
 }

@@ -21,6 +21,7 @@ pub mod fig21_cost;
 pub mod npe_pipeline;
 pub mod table1_labels;
 pub mod table2_accuracy;
+pub mod telemetry_overhead;
 
 /// Runs every report in paper order, returning `(name, report)` pairs.
 pub fn run_all(fast: bool) -> Vec<(&'static str, String)> {
@@ -43,6 +44,7 @@ pub fn run_all(fast: bool) -> Vec<(&'static str, String)> {
         ("fig20_inferentia", fig20_inferentia::run(fast)),
         ("fig21_cost", fig21_cost::run(fast)),
         ("npe_pipeline", npe_pipeline::run(fast)),
+        ("telemetry_overhead", telemetry_overhead::run(fast)),
         ("check_n_run", check_n_run::run(fast)),
         ("ablations", ablations::run(fast)),
         ("artifact", artifact::run(fast)),

@@ -151,7 +151,9 @@ impl NpeMeasurements {
 
 /// Builds the benchmark world: one PipeStore with a model replica and
 /// `p.photos` stored photos carrying real compressed preprocessed sidecars.
-fn build_store(p: &BenchParams, rng: &mut StdRng) -> PipeStore {
+/// Shared with the `telemetry_overhead` report so both benches measure the
+/// same workload.
+pub(crate) fn build_store(p: &BenchParams, rng: &mut StdRng) -> PipeStore {
     let universe = ClassUniverse::new(p.input_dim, 16, p.classes, 0.25, rng);
     let rows: Vec<tensor::Tensor> = (0..p.shard_rows)
         .map(|i| universe.sample(i % p.classes, rng))

@@ -116,6 +116,29 @@ impl ModelDelta {
         // Chunked frame: large deltas compress across cores; small ones
         // fall back to a plain stream automatically.
         let payload = Bytes::from(deflate::compress_chunked(&raw, deflate::DEFAULT_CHUNK_SIZE));
+        if telemetry::enabled() {
+            let g = telemetry::global();
+            g.counter(
+                "ndpipe_checknrun_deltas_total",
+                "Check-N-Run deltas encoded",
+            )
+            .inc();
+            g.counter(
+                "ndpipe_checknrun_delta_bytes_total",
+                "compressed delta payload bytes encoded",
+            )
+            .add(payload.len() as u64);
+            g.counter(
+                "ndpipe_checknrun_full_model_bytes_total",
+                "bytes a full-model distribution would have moved",
+            )
+            .add((new.param_count() * 4) as u64);
+            g.histogram(
+                "ndpipe_checknrun_traffic_reduction",
+                "full-model bytes over delta bytes, per encoded delta",
+            )
+            .observe((new.param_count() * 4) as f64 / payload.len().max(1) as f64);
+        }
         ModelDelta {
             payload,
             full_model_bytes: new.param_count() * 4,

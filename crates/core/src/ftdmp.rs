@@ -90,11 +90,22 @@ pub fn ftdmp_fine_tune<R: Rng + ?Sized>(
         );
     }
 
+    let phase_hist = |phase: &str| {
+        telemetry::global().histogram_with(
+            "ndpipe_ftdmp_phase_seconds",
+            &[("phase", phase)],
+            "wall time of one in-process FT-DMP phase",
+        )
+    };
+    let record = telemetry::enabled();
+
     // 1. Distribute the current master to every store.
+    let timer = record.then(|| phase_hist("distribute").start_timer());
     for s in stores.iter_mut() {
         s.install_model(tuner.model().clone());
     }
     let model_before = tuner.model().clone();
+    timer.map(|t| t.observe_and_disarm());
 
     // 2. Pipeline runs: extract (parallel) then tune.
     let mut run_losses = Vec::with_capacity(config.n_run);
@@ -107,6 +118,7 @@ pub fn ftdmp_fine_tune<R: Rng + ?Sized>(
     for run in 0..config.n_run {
         // Parallel Store-stage across PipeStores, each running its slice
         // through the threaded NPE engine.
+        let timer = record.then(|| phase_hist("extract").start_timer());
         let mut extracted: Vec<(Tensor, Vec<usize>)> = Vec::with_capacity(stores.len());
         for wave in stores.chunks(max_concurrent) {
             let wave_out: Vec<(Tensor, Vec<usize>)> = crossbeam::thread::scope(|scope| {
@@ -130,6 +142,7 @@ pub fn ftdmp_fine_tune<R: Rng + ?Sized>(
             .expect("crossbeam scope");
             extracted.extend(wave_out);
         }
+        timer.map(|t| t.observe_and_disarm());
 
         // Gather at the Tuner.
         let mut labels = Vec::new();
@@ -145,17 +158,34 @@ pub fn ftdmp_fine_tune<R: Rng + ?Sized>(
         let features = Tensor::stack_rows(&rows);
 
         // Tuner-stage.
+        let timer = record.then(|| phase_hist("train").start_timer());
         let loss = tuner.train_on_features(&features, &labels, config.epochs_per_run, rng);
+        timer.map(|t| t.observe_and_disarm());
         run_losses.push(loss);
     }
 
     // 3. Redistribute the fine-tuned model as Check-N-Run deltas.
+    let timer = record.then(|| phase_hist("redistribute").start_timer());
     let delta = tuner.delta_from(&model_before);
     let mut distribution_bytes = 0usize;
     for s in stores.iter_mut() {
         let replica = s.model_mut().expect("model installed above");
         delta.apply(replica).expect("same architecture");
         distribution_bytes += delta.wire_bytes();
+    }
+    timer.map(|t| t.observe_and_disarm());
+    if record {
+        let g = telemetry::global();
+        g.counter(
+            "ndpipe_ftdmp_rounds_total",
+            "completed in-process FT-DMP fine-tuning rounds",
+        )
+        .inc();
+        g.counter(
+            "ndpipe_ftdmp_feature_bytes_total",
+            "feature bytes shipped from PipeStores to the Tuner",
+        )
+        .add(feature_bytes as u64);
     }
 
     FtdmpReport {

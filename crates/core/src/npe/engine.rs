@@ -56,6 +56,38 @@ pub struct StageStats {
     pub items: usize,
 }
 
+/// Queue-depth sampling of one inter-stage channel: the loader samples
+/// the load→decode queue at each send, the FE stage samples the
+/// decode→FE queue at each receive. Sampling is skipped entirely while
+/// [`telemetry::enabled`] is off, so the uninstrumented baseline pays
+/// nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueueStats {
+    /// Number of depth samples taken.
+    pub samples: usize,
+    /// Sum of sampled depths (for the mean).
+    pub depth_sum: u64,
+    /// Largest sampled depth.
+    pub depth_max: usize,
+}
+
+impl QueueStats {
+    fn record(&mut self, depth: usize) {
+        self.samples += 1;
+        self.depth_sum += depth as u64;
+        self.depth_max = self.depth_max.max(depth);
+    }
+
+    /// Mean sampled depth (0 when never sampled).
+    pub fn mean(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.depth_sum as f64 / self.samples as f64
+        }
+    }
+}
+
 /// Execution report of one pipeline run.
 #[derive(Debug, Clone, Default)]
 pub struct PipelineStats {
@@ -69,6 +101,10 @@ pub struct PipelineStats {
     pub batches: usize,
     /// End-to-end wall-clock seconds.
     pub wall_secs: f64,
+    /// Depth of the load→decode queue, sampled at each send.
+    pub in_queue: QueueStats,
+    /// Depth of the decode→FE queue, sampled at each receive.
+    pub mid_queue: QueueStats,
 }
 
 impl PipelineStats {
@@ -143,6 +179,12 @@ where
     let decode_busy_ns = AtomicU64::new(0);
     let loaded = AtomicU64::new(0);
     let decoded = AtomicU64::new(0);
+    // Queue-depth sampling (telemetry): the loader publishes its local
+    // tallies through these once it finishes.
+    let sample_queues = telemetry::enabled();
+    let in_samples = AtomicU64::new(0);
+    let in_depth_sum = AtomicU64::new(0);
+    let in_depth_max = AtomicU64::new(0);
 
     let mut results: Vec<T> = Vec::new();
     let mut stats = PipelineStats::default();
@@ -153,9 +195,12 @@ where
         {
             let load_busy_ns = &load_busy_ns;
             let loaded = &loaded;
+            let (in_samples, in_depth_sum, in_depth_max) =
+                (&in_samples, &in_depth_sum, &in_depth_max);
             s.spawn(move |_| {
                 let mut iter = items.into_iter();
                 let mut idx = 0usize;
+                let mut queue = QueueStats::default();
                 loop {
                     let t0 = Instant::now();
                     let next = iter.next();
@@ -164,9 +209,15 @@ where
                     if tx_in.send((idx, item)).is_err() {
                         break; // all consumers gone (a stage panicked)
                     }
+                    if sample_queues {
+                        queue.record(tx_in.len());
+                    }
                     idx += 1;
                 }
                 loaded.store(idx as u64, Ordering::Relaxed);
+                in_samples.store(queue.samples as u64, Ordering::Relaxed);
+                in_depth_sum.store(queue.depth_sum, Ordering::Relaxed);
+                in_depth_max.store(queue.depth_max as u64, Ordering::Relaxed);
                 // `tx_in` drops here: decode workers drain and exit.
             });
         }
@@ -211,6 +262,9 @@ where
                 results.extend(out);
             };
         for (idx, m) in rx_mid.iter() {
+            if sample_queues {
+                stats.mid_queue.record(rx_mid.len());
+            }
             pending.insert(idx, m);
             while let Some(m) = pending.remove(&next) {
                 bucket.push(m);
@@ -231,6 +285,11 @@ where
     stats.decode.busy_secs = decode_busy_ns.load(Ordering::Relaxed) as f64 * 1e-9;
     stats.decode.items = decoded.load(Ordering::Relaxed) as usize;
     stats.fe.items = results.len();
+    stats.in_queue = QueueStats {
+        samples: in_samples.load(Ordering::Relaxed) as usize,
+        depth_sum: in_depth_sum.load(Ordering::Relaxed),
+        depth_max: in_depth_max.load(Ordering::Relaxed) as usize,
+    };
     (results, stats)
 }
 
@@ -319,6 +378,16 @@ mod tests {
         assert!(occ.iter().all(|&o| o >= 0.0));
         assert!(stats.ips() > 0.0);
         assert!(stats.serial_estimate_secs() > 0.0);
+    }
+
+    #[test]
+    fn queue_depths_are_sampled_when_enabled() {
+        telemetry::set_enabled(true);
+        let (_, stats) = run_pipeline(&cfg(16, 2), 0..64u32, |_, x| x, |b| b);
+        assert_eq!(stats.in_queue.samples, 64, "one sample per loaded item");
+        assert_eq!(stats.mid_queue.samples, 64, "one sample per received item");
+        assert!(stats.in_queue.depth_max <= 8, "bounded by queue_depth");
+        assert!(stats.in_queue.mean() <= stats.in_queue.depth_max as f64);
     }
 
     #[test]

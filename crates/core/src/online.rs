@@ -18,6 +18,7 @@ use tensor::Tensor;
 struct Pending {
     photo: Photo,
     features: Tensor,
+    enqueued: std::time::Instant,
 }
 
 /// The result of online inference for one upload.
@@ -125,7 +126,11 @@ impl OnlineInferenceServer {
             self.model.input_dim(),
             "feature width mismatch"
         );
-        self.queue.push(Pending { photo, features });
+        self.queue.push(Pending {
+            photo,
+            features,
+            enqueued: std::time::Instant::now(),
+        });
         if self.queue.len() >= self.batch_size {
             self.run_batch(rng)
         } else {
@@ -145,6 +150,26 @@ impl OnlineInferenceServer {
 
     fn run_batch<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Vec<OnlineResult> {
         let pending: Vec<Pending> = self.queue.drain(..).collect();
+        if telemetry::enabled() {
+            let g = telemetry::global();
+            let wait = g.histogram(
+                "ndpipe_online_queue_wait_seconds",
+                "time an upload waited for its dynamic batch to fire",
+            );
+            for p in &pending {
+                wait.observe(p.enqueued.elapsed().as_secs_f64());
+            }
+            g.histogram(
+                "ndpipe_online_batch_size",
+                "requests served per dynamically formed batch",
+            )
+            .observe(pending.len() as f64);
+            g.counter(
+                "ndpipe_online_requests_total",
+                "uploads served by online inference",
+            )
+            .add(pending.len() as u64);
+        }
         let rows: Vec<Tensor> = pending.iter().map(|p| p.features.clone()).collect();
         let batch = Tensor::stack_rows(&rows);
         let logits = self.model.forward(&batch);

@@ -10,7 +10,23 @@ use crate::npe::engine::{self, EngineConfig, PipelineStats};
 use dnn::Mlp;
 use ndpipe_data::deflate;
 use ndpipe_data::{LabeledDataset, Photo, PhotoId};
+use std::sync::{Arc, Mutex};
 use tensor::Tensor;
+
+/// Accumulated NPE engine activity on one store: the most recent run's
+/// [`PipelineStats`] plus lifetime totals. One source of truth for both
+/// the Fig 12 bench and the telemetry exporters.
+#[derive(Debug, Clone, Default)]
+pub struct NpeActivity {
+    /// Stats of the most recent pipeline run, if any ran.
+    pub last: Option<PipelineStats>,
+    /// Number of pipeline runs.
+    pub runs: u64,
+    /// Items that left the FE stage, summed over runs.
+    pub items: u64,
+    /// Wall-clock seconds, summed over runs.
+    pub wall_secs: f64,
+}
 
 /// One stored photo entry: raw blob plus the compressed preprocessed
 /// binary sidecar.
@@ -32,6 +48,8 @@ pub struct PipeStore {
     shard: LabeledDataset,
     photos: Vec<StoredPhoto>,
     model: Option<Mlp>,
+    metrics: Arc<telemetry::Registry>,
+    npe: Mutex<NpeActivity>,
 }
 
 impl PipeStore {
@@ -42,12 +60,102 @@ impl PipeStore {
             shard,
             photos: Vec::new(),
             model: None,
+            metrics: Arc::new(telemetry::Registry::new()),
+            npe: Mutex::new(NpeActivity::default()),
         }
     }
 
     /// The store's identifier.
     pub fn id(&self) -> usize {
         self.id
+    }
+
+    /// This store's own metric registry. Each PipeStore keeps local
+    /// metrics (rather than the process [`telemetry::global`] registry)
+    /// so co-located stores — common in tests and the simulated cluster —
+    /// stay distinguishable, and the Tuner's scrape can label each
+    /// store's snapshot by peer.
+    pub fn metrics(&self) -> &Arc<telemetry::Registry> {
+        &self.metrics
+    }
+
+    /// Stats of the most recent NPE pipeline run on this store, if any.
+    pub fn last_pipeline_stats(&self) -> Option<PipelineStats> {
+        self.npe.lock().expect("npe activity lock").last.clone()
+    }
+
+    /// Accumulated NPE engine activity (runs, items, wall time).
+    pub fn npe_activity(&self) -> NpeActivity {
+        self.npe.lock().expect("npe activity lock").clone()
+    }
+
+    /// Folds one pipeline run into the activity record and the metric
+    /// registry. Metric recording is skipped while telemetry is
+    /// disabled; the activity record always updates (it feeds the Fig 12
+    /// bench, not just observability).
+    fn record_npe(&self, stats: &PipelineStats) {
+        {
+            let mut acc = self.npe.lock().expect("npe activity lock");
+            acc.runs += 1;
+            acc.items += stats.fe.items as u64;
+            acc.wall_secs += stats.wall_secs;
+            acc.last = Some(stats.clone());
+        }
+        if !telemetry::enabled() {
+            return;
+        }
+        let m = &self.metrics;
+        for (name, s) in [
+            ("load", stats.load),
+            ("decode", stats.decode),
+            ("fe", stats.fe),
+        ] {
+            m.histogram_with(
+                "ndpipe_npe_stage_busy_seconds",
+                &[("stage", name)],
+                "per-run busy seconds of one NPE stage",
+            )
+            .observe(s.busy_secs);
+            m.counter_with(
+                "ndpipe_npe_stage_items_total",
+                &[("stage", name)],
+                "items that passed through one NPE stage",
+            )
+            .add(s.items as u64);
+        }
+        let occ = stats.occupancies();
+        for (name, o) in [("load", occ[0]), ("decode", occ[1]), ("fe", occ[2])] {
+            m.gauge_with(
+                "ndpipe_npe_stage_occupancy",
+                &[("stage", name)],
+                "fraction of the last run's wall time the stage was busy",
+            )
+            .set(o);
+        }
+        m.counter(
+            "ndpipe_npe_batches_total",
+            "batched forward passes issued by the FE stage",
+        )
+        .add(stats.batches as u64);
+        m.histogram(
+            "ndpipe_npe_run_wall_seconds",
+            "end-to-end wall time of one NPE pipeline run",
+        )
+        .observe(stats.wall_secs);
+        for (queue, q) in [("in", stats.in_queue), ("mid", stats.mid_queue)] {
+            m.gauge_with(
+                "ndpipe_npe_queue_depth_mean",
+                &[("queue", queue)],
+                "mean sampled depth of an inter-stage queue, last run",
+            )
+            .set(q.mean());
+            m.gauge_with(
+                "ndpipe_npe_queue_depth_max",
+                &[("queue", queue)],
+                "max sampled depth of an inter-stage queue, last run",
+            )
+            .set(q.depth_max as f64);
+        }
     }
 
     /// Number of training examples in the local shard.
@@ -74,6 +182,23 @@ impl PipeStore {
     /// inference server under the §5.4 offload design) and keeps both.
     pub fn store_photo(&mut self, photo: Photo, preprocessed: Vec<u8>) {
         let compressed = deflate::compress_chunked(&preprocessed, deflate::DEFAULT_CHUNK_SIZE);
+        if telemetry::enabled() {
+            self.metrics
+                .counter("ndpipe_store_photos_total", "photos ingested by this store")
+                .inc();
+            self.metrics
+                .counter(
+                    "ndpipe_store_sidecar_bytes_total",
+                    "compressed preprocessed-binary sidecar bytes written",
+                )
+                .add(compressed.len() as u64);
+            self.metrics
+                .counter(
+                    "ndpipe_store_preproc_bytes_total",
+                    "uncompressed preprocessed-binary bytes ingested",
+                )
+                .add(preprocessed.len() as u64);
+        }
         self.photos.push(StoredPhoto {
             photo,
             compressed_binary: compressed,
@@ -189,6 +314,7 @@ impl PipeStore {
         } else {
             Tensor::stack_rows(&rows)
         };
+        self.record_npe(&stats);
         ((features, labels), stats)
     }
 
@@ -317,7 +443,7 @@ impl PipeStore {
     ) -> (Vec<(PhotoId, usize)>, PipelineStats) {
         let model = self.model.as_ref().expect("no model installed");
         let n_shard = self.shard.len().max(1);
-        engine::run_pipeline(
+        let (out, stats) = engine::run_pipeline(
             cfg,
             // Stage 1: fetch each photo's compressed sidecar.
             self.photos
@@ -350,7 +476,9 @@ impl PipeStore {
                     .map(|(r, id)| (id, logits.row(r).argmax()))
                     .collect()
             },
-        )
+        );
+        self.record_npe(&stats);
+        (out, stats)
     }
 }
 
@@ -469,6 +597,43 @@ mod tests {
             assert_eq!(l, serial_l);
             assert_eq!(stats.fe.items, 9);
         }
+    }
+
+    #[test]
+    fn npe_activity_and_metrics_reflect_runs() {
+        telemetry::set_enabled(true);
+        let mut rng = StdRng::seed_from_u64(49);
+        let mut ps = PipeStore::new(8, shard(&mut rng));
+        ps.install_model(model(&mut rng));
+        let mut factory = PhotoFactory::new(1024);
+        for i in 0..10 {
+            let p = factory.make(i % 3, 0, &mut rng);
+            ps.store_photo(p, preprocessed_binary(512, &mut rng));
+        }
+        assert!(ps.last_pipeline_stats().is_none(), "no runs yet");
+
+        let cfg = EngineConfig {
+            batch: 4,
+            decomp_workers: 2,
+            queue_depth: 4,
+        };
+        let (_, stats) = ps.offline_inference_pipelined(&cfg);
+        let _ = ps.extract_features_batched(0..9, &cfg);
+
+        let last = ps.last_pipeline_stats().expect("a run happened");
+        assert_eq!(last.fe.items, 9, "last run is the extraction");
+        let acc = ps.npe_activity();
+        assert_eq!(acc.runs, 2);
+        assert_eq!(acc.items, stats.fe.items as u64 + 9);
+
+        let snap = ps.metrics().snapshot();
+        assert_eq!(snap.counter_value("ndpipe_store_photos_total"), Some(10));
+        assert_eq!(
+            snap.counter_value("ndpipe_npe_stage_items_total"),
+            Some((stats.fe.items + 9) as u64 * 3),
+            "items counted once per stage"
+        );
+        assert!(snap.find("ndpipe_npe_run_wall_seconds").is_some());
     }
 
     #[test]

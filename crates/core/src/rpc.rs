@@ -18,8 +18,8 @@ pub mod distributed;
 pub mod server;
 pub mod wire;
 
-pub use client::RemotePipeStore;
-pub use distributed::ftdmp_fine_tune_remote;
+pub use client::{ConnectOptions, RemotePipeStore};
+pub use distributed::{ftdmp_fine_tune_remote, scrape_cluster, ClusterMetrics};
 
 /// Errors on the RPC path.
 #[derive(Debug)]

@@ -6,7 +6,35 @@ use crate::rpc::RpcError;
 use dnn::Mlp;
 use std::io::{BufReader, BufWriter};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 use tensor::Tensor;
+
+/// Connection policy for [`RemotePipeStore::connect_with`]: bounded
+/// retry with exponential backoff, plus socket read/write timeouts so a
+/// wedged store cannot pin the Tuner forever.
+#[derive(Debug, Clone, Copy)]
+pub struct ConnectOptions {
+    /// Connection attempts before giving up (≥ 1).
+    pub max_attempts: u32,
+    /// Sleep before the second attempt; doubles each retry.
+    pub initial_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Read/write timeout applied to the connected socket; `None`
+    /// blocks indefinitely.
+    pub io_timeout: Option<Duration>,
+}
+
+impl Default for ConnectOptions {
+    fn default() -> Self {
+        ConnectOptions {
+            max_attempts: 5,
+            initial_backoff: Duration::from_millis(20),
+            max_backoff: Duration::from_secs(1),
+            io_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
 
 /// A connected remote PipeStore.
 #[derive(Debug)]
@@ -17,20 +45,60 @@ pub struct RemotePipeStore {
 }
 
 impl RemotePipeStore {
-    /// Connects to a PipeStore server.
+    /// Connects to a PipeStore server with the default
+    /// [`ConnectOptions`] (retries transient failures with exponential
+    /// backoff, then applies I/O timeouts).
     ///
     /// # Errors
     ///
-    /// Connection errors.
+    /// The final connection error once every attempt is exhausted.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<RemotePipeStore, RpcError> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true).ok();
-        let peer = stream.peer_addr()?;
-        Ok(RemotePipeStore {
-            reader: BufReader::new(stream.try_clone()?),
-            writer: BufWriter::new(stream),
-            peer,
-        })
+        Self::connect_with(addr, &ConnectOptions::default())
+    }
+
+    /// Connects under an explicit policy; see [`ConnectOptions`].
+    ///
+    /// # Errors
+    ///
+    /// The final connection error once every attempt is exhausted.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        opts: &ConnectOptions,
+    ) -> Result<RemotePipeStore, RpcError> {
+        let attempts = opts.max_attempts.max(1);
+        let mut backoff = opts.initial_backoff;
+        let mut last_err: Option<std::io::Error> = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(opts.max_backoff);
+                if telemetry::enabled() {
+                    telemetry::global()
+                        .counter(
+                            "ndpipe_rpc_client_connect_retries_total",
+                            "connection attempts beyond the first",
+                        )
+                        .inc();
+                }
+            }
+            match TcpStream::connect(&addr) {
+                Ok(stream) => {
+                    stream.set_nodelay(true).ok();
+                    stream.set_read_timeout(opts.io_timeout)?;
+                    stream.set_write_timeout(opts.io_timeout)?;
+                    let peer = stream.peer_addr()?;
+                    return Ok(RemotePipeStore {
+                        reader: BufReader::new(stream.try_clone()?),
+                        writer: BufWriter::new(stream),
+                        peer,
+                    });
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(RpcError::Io(last_err.unwrap_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::Other, "no connection attempt ran")
+        })))
     }
 
     /// The remote address.
@@ -39,8 +107,39 @@ impl RemotePipeStore {
     }
 
     fn call(&mut self, req: &Request) -> Result<Reply, RpcError> {
-        write_request(&mut self.writer, req)?;
-        read_reply(&mut self.reader)
+        if !telemetry::enabled() {
+            write_request(&mut self.writer, req)?;
+            return Ok(read_reply(&mut self.reader)?.0);
+        }
+        let op = req.op_name();
+        let m = telemetry::global();
+        m.counter_with(
+            "ndpipe_rpc_client_requests_total",
+            &[("op", op)],
+            "RPC calls issued by this process",
+        )
+        .inc();
+        let timer = m
+            .histogram_with(
+                "ndpipe_rpc_client_op_seconds",
+                &[("op", op)],
+                "round-trip latency per operation",
+            )
+            .start_timer();
+        let sent = write_request(&mut self.writer, req)?;
+        let (reply, received) = read_reply(&mut self.reader)?;
+        timer.observe_and_disarm();
+        m.counter(
+            "ndpipe_rpc_client_bytes_written_total",
+            "request bytes put on the wire",
+        )
+        .add(sent as u64);
+        m.counter(
+            "ndpipe_rpc_client_bytes_read_total",
+            "reply bytes read off the wire",
+        )
+        .add(received as u64);
+        Ok(reply)
     }
 
     fn expect_ack(&mut self, req: &Request) -> Result<(), RpcError> {
@@ -113,6 +212,19 @@ impl RemotePipeStore {
         }
     }
 
+    /// Scrapes the store's telemetry registry: one point-in-time
+    /// [`telemetry::Snapshot`] of every metric the store recorded.
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol/remote errors.
+    pub fn scrape(&mut self) -> Result<telemetry::Snapshot, RpcError> {
+        match self.call(&Request::Metrics)? {
+            Reply::Metrics(snapshot) => Ok(snapshot),
+            _ => Err(RpcError::Protocol("expected metrics")),
+        }
+    }
+
     /// Ends the session; the server returns after acknowledging.
     ///
     /// # Errors
@@ -120,5 +232,39 @@ impl RemotePipeStore {
     /// Socket/protocol errors.
     pub fn shutdown(mut self) -> Result<(), RpcError> {
         self.expect_ack(&Request::Shutdown)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn connect_gives_up_after_bounded_attempts() {
+        // Port 1 on localhost refuses immediately; the retry loop must
+        // back off, then surface the final error.
+        let opts = ConnectOptions {
+            max_attempts: 3,
+            initial_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(10),
+            io_timeout: None,
+        };
+        let t0 = Instant::now();
+        let r = RemotePipeStore::connect_with("127.0.0.1:1", &opts);
+        assert!(matches!(r, Err(RpcError::Io(_))));
+        // Two backoffs happened: 5ms + 10ms at minimum.
+        assert!(t0.elapsed() >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn zero_attempts_clamps_to_one() {
+        let opts = ConnectOptions {
+            max_attempts: 0,
+            initial_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(1),
+            io_timeout: None,
+        };
+        assert!(RemotePipeStore::connect_with("127.0.0.1:1", &opts).is_err());
     }
 }

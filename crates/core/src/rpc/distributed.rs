@@ -8,6 +8,45 @@ use crate::tuner::Tuner;
 use rand::Rng;
 use tensor::Tensor;
 
+/// The Tuner's cluster-wide view after scraping every PipeStore.
+#[derive(Debug, Clone)]
+pub struct ClusterMetrics {
+    /// Each store's snapshot, tagged with its socket address.
+    pub per_peer: Vec<(std::net::SocketAddr, telemetry::Snapshot)>,
+    /// All peer snapshots folded into one: counters summed, histograms
+    /// merged bucket-wise. Peer identity is erased here — use
+    /// [`ClusterMetrics::merged_labelled`] to keep it.
+    pub merged: telemetry::Snapshot,
+}
+
+impl ClusterMetrics {
+    /// A merged view that keeps per-store resolution by tagging every
+    /// sample with a `peer` label before folding.
+    pub fn merged_labelled(&self) -> telemetry::Snapshot {
+        let mut out = telemetry::Snapshot::default();
+        for (peer, snap) in &self.per_peer {
+            out.merge_from(&snap.clone().with_label("peer", &peer.to_string()));
+        }
+        out
+    }
+}
+
+/// Scrapes every remote PipeStore's telemetry registry over RPC and
+/// folds the snapshots into a cluster-wide view.
+///
+/// # Errors
+///
+/// Socket/protocol/remote errors from any peer.
+pub fn scrape_cluster(remotes: &mut [RemotePipeStore]) -> Result<ClusterMetrics, RpcError> {
+    let mut per_peer = Vec::with_capacity(remotes.len());
+    for remote in remotes.iter_mut() {
+        let peer = remote.peer();
+        per_peer.push((peer, remote.scrape()?));
+    }
+    let merged = telemetry::Snapshot::merged(per_peer.iter().map(|(_, s)| s));
+    Ok(ClusterMetrics { per_peer, merged })
+}
+
 /// Runs FT-DMP fine-tuning across remote PipeStores over TCP: installs
 /// the master model, pulls features per pipeline run, trains the
 /// classifier tail locally, and pushes the result back as Check-N-Run
@@ -47,17 +86,29 @@ pub fn ftdmp_fine_tune_remote<R: Rng + ?Sized>(
         }
     }
 
+    let phase_hist = |phase: &str| {
+        telemetry::global().histogram_with(
+            "ndpipe_ftdmp_remote_phase_seconds",
+            &[("phase", phase)],
+            "wall time of one remote FT-DMP phase",
+        )
+    };
+    let record = telemetry::enabled();
+
     // 1. Distribute the current master model.
+    let timer = record.then(|| phase_hist("distribute").start_timer());
     let model_before = tuner.model().clone();
     for remote in remotes.iter_mut() {
         remote.install_model(&model_before)?;
     }
+    timer.map(|t| t.observe_and_disarm());
 
     // 2. Pipeline runs: gather features, tune.
     let mut run_losses = Vec::with_capacity(config.n_run);
     let mut feature_bytes = 0usize;
     let mut examples = 0usize;
     for run in 0..config.n_run {
+        let timer = record.then(|| phase_hist("extract").start_timer());
         let mut rows = Vec::new();
         let mut labels = Vec::new();
         for remote in remotes.iter_mut() {
@@ -68,18 +119,31 @@ pub fn ftdmp_fine_tune_remote<R: Rng + ?Sized>(
             }
             labels.extend(l);
         }
+        timer.map(|t| t.observe_and_disarm());
         examples += labels.len();
         let features = Tensor::stack_rows(&rows);
+        let timer = record.then(|| phase_hist("train").start_timer());
         let loss = tuner.train_on_features(&features, &labels, config.epochs_per_run, rng);
+        timer.map(|t| t.observe_and_disarm());
         run_losses.push(loss);
     }
 
     // 3. Redistribute as deltas.
+    let timer = record.then(|| phase_hist("redistribute").start_timer());
     let delta = tuner.delta_from(&model_before);
     let mut distribution_bytes = 0usize;
     for remote in remotes.iter_mut() {
         remote.apply_delta(&delta)?;
         distribution_bytes += delta.wire_bytes();
+    }
+    timer.map(|t| t.observe_and_disarm());
+    if record {
+        telemetry::global()
+            .counter(
+                "ndpipe_ftdmp_remote_rounds_total",
+                "completed remote FT-DMP fine-tuning rounds",
+            )
+            .inc();
     }
 
     Ok(FtdmpReport {

@@ -1,35 +1,82 @@
 //! The PipeStore-side request loop.
 
 use crate::checknrun::ModelDelta;
+use crate::npe::engine::EngineConfig;
 use crate::pipestore::PipeStore;
 use crate::rpc::wire::{read_request, write_reply, Reply, Request};
 use crate::rpc::RpcError;
 use dnn::Mlp;
 use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+/// Default read/write timeout applied to accepted Tuner sockets: a stuck
+/// or vanished peer releases the server instead of pinning it forever.
+pub const SERVER_IO_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Serves one Tuner session over `stream`, mutating `store` as requests
-/// arrive. Returns cleanly when the Tuner sends `Shutdown` or closes the
-/// connection.
+/// arrive. Applies [`SERVER_IO_TIMEOUT`] to the socket and records
+/// per-operation request counts, latencies and wire bytes into the
+/// store's [`PipeStore::metrics`] registry. Returns cleanly when the
+/// Tuner sends `Shutdown` or closes the connection.
 ///
 /// # Errors
 ///
-/// Socket/protocol errors. Application-level failures (e.g. applying a
-/// mismatched delta) are reported to the peer as `Error` replies and do
-/// not tear down the session.
+/// Socket/protocol errors (including a peer idle past the timeout).
+/// Application-level failures (e.g. applying a mismatched delta) are
+/// reported to the peer as `Error` replies and do not tear down the
+/// session.
 pub fn serve_session(store: &mut PipeStore, stream: TcpStream) -> Result<(), RpcError> {
+    stream.set_read_timeout(Some(SERVER_IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(SERVER_IO_TIMEOUT))?;
     let mut reader = std::io::BufReader::new(stream.try_clone()?);
     let mut writer = std::io::BufWriter::new(stream);
     loop {
-        let request = match read_request(&mut reader) {
+        let (request, bytes_in) = match read_request(&mut reader) {
             Ok(r) => r,
             Err(RpcError::Io(e)) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
                 return Ok(()); // peer hung up
             }
             Err(e) => return Err(e),
         };
+        let op = request.op_name();
+        let record = telemetry::enabled();
+        let timer = if record {
+            let m = store.metrics();
+            m.counter_with(
+                "ndpipe_rpc_server_requests_total",
+                &[("op", op)],
+                "requests handled by this store's RPC server",
+            )
+            .inc();
+            m.counter(
+                "ndpipe_rpc_server_bytes_read_total",
+                "request bytes read off the wire",
+            )
+            .add(bytes_in as u64);
+            Some(
+                m.histogram_with(
+                    "ndpipe_rpc_server_op_seconds",
+                    &[("op", op)],
+                    "server-side handling latency per operation",
+                )
+                .start_timer(),
+            )
+        } else {
+            None
+        };
         let reply = handle(store, request);
         let done = reply.is_none();
-        write_reply(&mut writer, &reply.unwrap_or(Reply::Ack))?;
+        let bytes_out = write_reply(&mut writer, &reply.unwrap_or(Reply::Ack))?;
+        if let Some(t) = timer {
+            t.observe_and_disarm();
+            store
+                .metrics()
+                .counter(
+                    "ndpipe_rpc_server_bytes_written_total",
+                    "reply bytes put on the wire",
+                )
+                .add(bytes_out as u64);
+        }
         if done {
             return Ok(());
         }
@@ -60,7 +107,10 @@ fn handle(store: &mut PipeStore, request: Request) -> Option<Reply> {
             if lo >= hi {
                 return Some(Reply::Error("empty run slice".to_string()));
             }
-            let (features, labels) = store.extract_features(lo..hi);
+            // The batched NPE path: bit-identical to the serial
+            // reference, and it feeds the store's pipeline stats.
+            let ((features, labels), _stats) =
+                store.extract_features_batched(lo..hi, &EngineConfig::default());
             Reply::Features {
                 features,
                 labels: labels.into_iter().map(|l| l as u32).collect(),
@@ -91,6 +141,7 @@ fn handle(store: &mut PipeStore, request: Request) -> Option<Reply> {
             examples: store.shard_len() as u64,
             classes: store.shard().num_classes() as u32,
         },
+        Request::Metrics => Reply::Metrics(store.metrics().snapshot()),
         Request::Shutdown => return None,
     })
 }
@@ -184,6 +235,27 @@ mod tests {
             handle(&mut s, Request::ExtractFeatures { run: 5, n_run: 3 }),
             Some(Reply::Error(_))
         ));
+    }
+
+    #[test]
+    fn handle_metrics_returns_store_snapshot() {
+        telemetry::set_enabled(true);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut s = store(&mut rng);
+        let model = Mlp::new(&[8, 6, 3], 1, &mut rng);
+        assert_eq!(
+            handle(&mut s, Request::InstallModel(model.to_bytes())),
+            Some(Reply::Ack)
+        );
+        // An extraction run populates NPE metrics in the store registry.
+        let _ = handle(&mut s, Request::ExtractFeatures { run: 0, n_run: 1 });
+        match handle(&mut s, Request::Metrics) {
+            Some(Reply::Metrics(snap)) => {
+                assert!(!snap.is_empty(), "store registry must have NPE metrics");
+                assert!(snap.find("ndpipe_npe_run_wall_seconds").is_some());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -25,8 +25,26 @@ pub enum Request {
     ApplyDelta(Vec<u8>),
     /// Report shard metadata.
     Describe,
+    /// Scrape the store's telemetry registry.
+    Metrics,
     /// Close the session.
     Shutdown,
+}
+
+impl Request {
+    /// Stable operation name, used as the `op` metric label on both
+    /// sides of the wire.
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Request::InstallModel(_) => "install_model",
+            Request::ExtractFeatures { .. } => "extract_features",
+            Request::OfflineInfer => "offline_infer",
+            Request::ApplyDelta(_) => "apply_delta",
+            Request::Describe => "describe",
+            Request::Metrics => "metrics",
+            Request::Shutdown => "shutdown",
+        }
+    }
 }
 
 /// Replies a PipeStore sends back.
@@ -50,6 +68,8 @@ pub enum Reply {
         /// Label-space size.
         classes: u32,
     },
+    /// A telemetry snapshot of the store's registry.
+    Metrics(telemetry::Snapshot),
     /// The store failed to handle the request.
     Error(String),
 }
@@ -60,10 +80,12 @@ const TAG_INFER: u8 = 3;
 const TAG_DELTA: u8 = 4;
 const TAG_DESCRIBE: u8 = 5;
 const TAG_SHUTDOWN: u8 = 6;
+const TAG_METRICS_REQ: u8 = 7;
 const TAG_ACK: u8 = 64;
 const TAG_FEATURES: u8 = 65;
 const TAG_LABELS: u8 = 66;
 const TAG_SHARD_INFO: u8 = 67;
+const TAG_METRICS: u8 = 68;
 const TAG_ERROR: u8 = 127;
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
@@ -116,6 +138,7 @@ impl Request {
             Request::OfflineInfer => (TAG_INFER, Vec::new()),
             Request::ApplyDelta(d) => (TAG_DELTA, d.clone()),
             Request::Describe => (TAG_DESCRIBE, Vec::new()),
+            Request::Metrics => (TAG_METRICS_REQ, Vec::new()),
             Request::Shutdown => (TAG_SHUTDOWN, Vec::new()),
         }
     }
@@ -133,6 +156,7 @@ impl Request {
             TAG_INFER => Ok(Request::OfflineInfer),
             TAG_DELTA => Ok(Request::ApplyDelta(payload.to_vec())),
             TAG_DESCRIBE => Ok(Request::Describe),
+            TAG_METRICS_REQ => Ok(Request::Metrics),
             TAG_SHUTDOWN => Ok(Request::Shutdown),
             _ => Err(RpcError::Protocol("unknown request tag")),
         }
@@ -171,6 +195,7 @@ impl Reply {
                 put_u32(&mut p, *classes);
                 (TAG_SHARD_INFO, p)
             }
+            Reply::Metrics(snapshot) => (TAG_METRICS, snapshot.to_bytes()),
             Reply::Error(msg) => (TAG_ERROR, msg.as_bytes().to_vec()),
         }
     }
@@ -229,6 +254,9 @@ impl Reply {
                 c.finish()?;
                 Ok(Reply::ShardInfo { examples, classes })
             }
+            TAG_METRICS => telemetry::Snapshot::from_bytes(payload)
+                .map(Reply::Metrics)
+                .map_err(RpcError::Protocol),
             TAG_ERROR => Ok(Reply::Error(
                 String::from_utf8_lossy(payload).into_owned(),
             )),
@@ -237,7 +265,7 @@ impl Reply {
     }
 }
 
-fn write_frame<W: Write>(w: &mut W, tag: u8, payload: &[u8]) -> Result<(), RpcError> {
+fn write_frame<W: Write>(w: &mut W, tag: u8, payload: &[u8]) -> Result<usize, RpcError> {
     if payload.len() > MAX_FRAME {
         return Err(RpcError::Protocol("frame too large"));
     }
@@ -245,7 +273,7 @@ fn write_frame<W: Write>(w: &mut W, tag: u8, payload: &[u8]) -> Result<(), RpcEr
     w.write_all(&[tag])?;
     w.write_all(payload)?;
     w.flush()?;
-    Ok(())
+    Ok(5 + payload.len())
 }
 
 fn read_frame<R: Read>(r: &mut R) -> Result<(u8, Vec<u8>), RpcError> {
@@ -261,47 +289,49 @@ fn read_frame<R: Read>(r: &mut R) -> Result<(u8, Vec<u8>), RpcError> {
     Ok((tag, payload))
 }
 
-/// Writes a request frame.
+/// Writes a request frame, returning the bytes put on the wire.
 ///
 /// # Errors
 ///
 /// Socket or framing errors.
-pub fn write_request<W: Write>(w: &mut W, req: &Request) -> Result<(), RpcError> {
+pub fn write_request<W: Write>(w: &mut W, req: &Request) -> Result<usize, RpcError> {
     let (tag, payload) = req.encode_body();
     write_frame(w, tag, &payload)
 }
 
-/// Reads a request frame.
+/// Reads a request frame, returning it with the bytes consumed.
 ///
 /// # Errors
 ///
 /// Socket or framing errors.
-pub fn read_request<R: Read>(r: &mut R) -> Result<Request, RpcError> {
+pub fn read_request<R: Read>(r: &mut R) -> Result<(Request, usize), RpcError> {
     let (tag, payload) = read_frame(r)?;
-    Request::decode_body(tag, &payload)
+    let n = 5 + payload.len();
+    Ok((Request::decode_body(tag, &payload)?, n))
 }
 
-/// Writes a reply frame.
+/// Writes a reply frame, returning the bytes put on the wire.
 ///
 /// # Errors
 ///
 /// Socket or framing errors.
-pub fn write_reply<W: Write>(w: &mut W, reply: &Reply) -> Result<(), RpcError> {
+pub fn write_reply<W: Write>(w: &mut W, reply: &Reply) -> Result<usize, RpcError> {
     let (tag, payload) = reply.encode_body();
     write_frame(w, tag, &payload)
 }
 
-/// Reads a reply frame, converting remote `Error` replies into
-/// [`RpcError::Remote`].
+/// Reads a reply frame (with the bytes consumed), converting remote
+/// `Error` replies into [`RpcError::Remote`].
 ///
 /// # Errors
 ///
 /// Socket, framing or remote errors.
-pub fn read_reply<R: Read>(r: &mut R) -> Result<Reply, RpcError> {
+pub fn read_reply<R: Read>(r: &mut R) -> Result<(Reply, usize), RpcError> {
     let (tag, payload) = read_frame(r)?;
+    let n = 5 + payload.len();
     match Reply::decode_body(tag, &payload)? {
         Reply::Error(msg) => Err(RpcError::Remote(msg)),
-        reply => Ok(reply),
+        reply => Ok((reply, n)),
     }
 }
 
@@ -311,16 +341,20 @@ mod tests {
 
     fn roundtrip_req(req: Request) {
         let mut buf = Vec::new();
-        write_request(&mut buf, &req).expect("write");
-        let back = read_request(&mut buf.as_slice()).expect("read");
+        let wrote = write_request(&mut buf, &req).expect("write");
+        assert_eq!(wrote, buf.len(), "write_request reports wire bytes");
+        let (back, read) = read_request(&mut buf.as_slice()).expect("read");
         assert_eq!(back, req);
+        assert_eq!(read, buf.len(), "read_request reports wire bytes");
     }
 
     fn roundtrip_reply(reply: Reply) {
         let mut buf = Vec::new();
-        write_reply(&mut buf, &reply).expect("write");
-        let back = read_reply(&mut buf.as_slice()).expect("read");
+        let wrote = write_reply(&mut buf, &reply).expect("write");
+        assert_eq!(wrote, buf.len(), "write_reply reports wire bytes");
+        let (back, read) = read_reply(&mut buf.as_slice()).expect("read");
         assert_eq!(back, reply);
+        assert_eq!(read, buf.len(), "read_reply reports wire bytes");
     }
 
     #[test]
@@ -330,7 +364,37 @@ mod tests {
         roundtrip_req(Request::OfflineInfer);
         roundtrip_req(Request::ApplyDelta(vec![9; 100]));
         roundtrip_req(Request::Describe);
+        roundtrip_req(Request::Metrics);
         roundtrip_req(Request::Shutdown);
+    }
+
+    #[test]
+    fn metrics_reply_roundtrips_a_real_registry() {
+        let reg = telemetry::Registry::new();
+        reg.counter_with("ndpipe_rpc_requests_total", &[("op", "describe")], "reqs")
+            .add(4);
+        reg.histogram("ndpipe_rpc_op_seconds", "latency").observe(0.003);
+        let snap = reg.snapshot();
+        roundtrip_reply(Reply::Metrics(snap.clone()));
+
+        // And over a simulated wire the decoded snapshot still answers
+        // queries.
+        let mut buf = Vec::new();
+        write_reply(&mut buf, &Reply::Metrics(snap)).expect("write");
+        match read_reply(&mut buf.as_slice()).expect("read").0 {
+            Reply::Metrics(back) => {
+                assert_eq!(back.counter_value("ndpipe_rpc_requests_total"), Some(4));
+            }
+            other => panic!("expected metrics reply, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_metrics_payload_is_a_protocol_error() {
+        assert!(matches!(
+            Reply::decode_body(TAG_METRICS, &[1, 2, 3]),
+            Err(RpcError::Protocol(_))
+        ));
     }
 
     #[test]

@@ -175,6 +175,23 @@ impl NdPipeSystem {
         &self.labeldb
     }
 
+    /// A cluster-wide telemetry view of this (in-process) deployment:
+    /// the process-global registry merged with every PipeStore's local
+    /// registry, each store's samples tagged `store=<id>`. The socket
+    /// deployment gets the same view via
+    /// [`crate::rpc::distributed::scrape_cluster`].
+    pub fn metrics_snapshot(&self) -> telemetry::Snapshot {
+        let mut merged = telemetry::global().snapshot();
+        for store in &self.stores {
+            let tagged = store
+                .metrics()
+                .snapshot()
+                .with_label("store", &store.id().to_string());
+            merged.merge_from(&tagged);
+        }
+        merged
+    }
+
     /// The underlying drift scenario (read access).
     pub fn scenario(&self) -> &DriftScenario {
         &self.scenario

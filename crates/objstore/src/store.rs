@@ -5,6 +5,60 @@ use crate::StoreError;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 
+/// Handles into the process-wide telemetry registry, resolved once at
+/// open so the per-I/O cost is one atomic add. Gauges are updated by
+/// delta (and unwound on drop) so several co-existing stores sum
+/// correctly.
+#[derive(Debug)]
+struct IoMetrics {
+    puts: telemetry::Counter,
+    gets: telemetry::Counter,
+    deletes: telemetry::Counter,
+    bytes_written: telemetry::Counter,
+    bytes_read: telemetry::Counter,
+    compact_reclaimed: telemetry::Counter,
+    live_objects: telemetry::Gauge,
+    volumes: telemetry::Gauge,
+}
+
+impl IoMetrics {
+    fn resolve() -> IoMetrics {
+        let g = telemetry::global();
+        let op = |name: &'static str| {
+            g.counter_with(
+                "ndpipe_objstore_ops_total",
+                &[("op", name)],
+                "object-store operations",
+            )
+        };
+        IoMetrics {
+            puts: op("put"),
+            gets: op("get"),
+            deletes: op("delete"),
+            bytes_written: g.counter(
+                "ndpipe_objstore_bytes_written_total",
+                "object payload bytes written",
+            ),
+            bytes_read: g.counter(
+                "ndpipe_objstore_bytes_read_total",
+                "object payload bytes read",
+            ),
+            compact_reclaimed: g.counter(
+                "ndpipe_objstore_compact_reclaimed_bytes_total",
+                "log bytes reclaimed by compaction",
+            ),
+            live_objects: g.gauge(
+                "ndpipe_objstore_live_objects",
+                "live objects across open stores",
+            ),
+            volumes: g.gauge(
+                "ndpipe_objstore_volumes",
+                "volumes across open stores",
+            ),
+        }
+    }
+}
+
 /// A directory of volumes: writes go to the active volume and rotate to a
 /// fresh one past `volume_limit` bytes; a key directory maps each object
 /// to its volume (Haystack's "store" tier without the separate directory
@@ -16,6 +70,15 @@ pub struct ObjectStore {
     /// key → index into `volumes`.
     directory: HashMap<u64, usize>,
     volume_limit: u64,
+    metrics: IoMetrics,
+}
+
+impl Drop for ObjectStore {
+    fn drop(&mut self) {
+        // Unwind this store's contribution to the shared gauges.
+        self.metrics.live_objects.add(-(self.directory.len() as f64));
+        self.metrics.volumes.add(-(self.volumes.len() as f64));
+    }
 }
 
 impl ObjectStore {
@@ -57,11 +120,15 @@ impl ObjectStore {
             }
             volumes.push(vol);
         }
+        let metrics = IoMetrics::resolve();
+        metrics.live_objects.add(directory.len() as f64);
+        metrics.volumes.add(volumes.len() as f64);
         Ok(ObjectStore {
             dir,
             volumes,
             directory,
             volume_limit,
+            metrics,
         })
     }
 
@@ -99,6 +166,9 @@ impl ObjectStore {
             let id = self.volumes.len() as u32;
             let vol = Volume::open(self.dir.join(format!("vol-{id}.log")))?;
             self.volumes.push(vol);
+            if telemetry::enabled() {
+                self.metrics.volumes.add(1.0);
+            }
         }
         let active = self.volumes.len() - 1;
         // Overwrites into a different volume must tombstone the old copy
@@ -109,7 +179,14 @@ impl ObjectStore {
             }
         }
         self.volumes[active].put(key, data)?;
-        self.directory.insert(key, active);
+        let fresh_key = self.directory.insert(key, active).is_none();
+        if telemetry::enabled() {
+            self.metrics.puts.inc();
+            self.metrics.bytes_written.add(data.len() as u64);
+            if fresh_key {
+                self.metrics.live_objects.add(1.0);
+            }
+        }
         Ok(())
     }
 
@@ -122,7 +199,14 @@ impl ObjectStore {
         let Some(&idx) = self.directory.get(&key) else {
             return Ok(None);
         };
-        self.volumes[idx].get(key)
+        let data = self.volumes[idx].get(key)?;
+        if telemetry::enabled() {
+            self.metrics.gets.inc();
+            if let Some(d) = &data {
+                self.metrics.bytes_read.add(d.len() as u64);
+            }
+        }
+        Ok(data)
     }
 
     /// Deletes `key`. Returns whether it existed.
@@ -135,6 +219,10 @@ impl ObjectStore {
             return Ok(false);
         };
         self.volumes[idx].delete(key)?;
+        if telemetry::enabled() {
+            self.metrics.deletes.inc();
+            self.metrics.live_objects.add(-1.0);
+        }
         Ok(true)
     }
 
@@ -157,6 +245,9 @@ impl ObjectStore {
                 self.volumes[idx].compact()?;
                 reclaimed += before - self.volumes[idx].size_bytes();
             }
+        }
+        if telemetry::enabled() {
+            self.metrics.compact_reclaimed.add(reclaimed);
         }
         Ok(reclaimed)
     }

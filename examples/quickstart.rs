@@ -70,4 +70,22 @@ fn main() {
         relabel.changed,
         system.label_accuracy() * 100.0
     );
+
+    // Everything above was instrumented: dump the deployment-wide
+    // telemetry snapshot (process-global + per-store registries).
+    let snapshot = system.metrics_snapshot();
+    println!("\ntelemetry snapshot ({} series), selected lines:", snapshot.len());
+    for line in snapshot
+        .to_prometheus()
+        .lines()
+        .filter(|l| !l.starts_with('#'))
+        .filter(|l| {
+            l.starts_with("ndpipe_ftdmp_rounds_total")
+                || l.starts_with("ndpipe_online_requests_total")
+                || l.starts_with("ndpipe_checknrun_deltas_total")
+                || l.starts_with("ndpipe_npe_stage_items_total")
+        })
+    {
+        println!("  {line}");
+    }
 }

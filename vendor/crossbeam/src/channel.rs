@@ -92,6 +92,17 @@ fn make<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
 }
 
 impl<T> Sender<T> {
+    /// Number of messages currently queued (a racy instantaneous view,
+    /// like upstream crossbeam's).
+    pub fn len(&self) -> usize {
+        self.shared.inner.lock().expect("channel lock").queue.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// Delivers `msg`, blocking while a bounded channel is full.
     pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
         let mut inner = self.shared.inner.lock().expect("channel lock");
@@ -134,6 +145,17 @@ impl<T> Drop for Sender<T> {
 }
 
 impl<T> Receiver<T> {
+    /// Number of messages currently queued (a racy instantaneous view,
+    /// like upstream crossbeam's).
+    pub fn len(&self) -> usize {
+        self.shared.inner.lock().expect("channel lock").queue.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// Takes the next message, blocking until one arrives or every
     /// sender is dropped.
     pub fn recv(&self) -> Result<T, RecvError> {
