@@ -24,6 +24,16 @@ fn main() {
             .expect("write report");
     }
 
+    let lint = ndlint::run_workspace(workspace_root());
+    let mut lint_report = String::new();
+    for f in &lint.findings {
+        lint_report.push_str(&format!("{f}\n"));
+    }
+    lint_report.push_str(&lint.summary());
+    lint_report.push('\n');
+    fs::write(out_dir.join("ndlint.txt"), &lint_report).expect("write ndlint report");
+    println!("{}", lint.summary());
+
     let snapshot = scrape_fleet();
     let json = snapshot.to_json();
     telemetry::export::validate_json(&json).expect("cluster metrics json well-formed");
@@ -35,6 +45,15 @@ fn main() {
         out_dir.display(),
         snapshot.len()
     );
+}
+
+/// The repo checkout containing `crates/`, located from this crate's
+/// manifest so `run_all` works from any cwd.
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("bench crate lives at <root>/crates/bench")
 }
 
 /// Boots two loopback PipeStore servers, drives one feature-extraction

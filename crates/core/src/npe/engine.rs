@@ -105,6 +105,12 @@ pub struct PipelineStats {
     pub in_queue: QueueStats,
     /// Depth of the decode→FE queue, sampled at each receive.
     pub mid_queue: QueueStats,
+    /// Items dropped because their decode failed (an `Err` from the
+    /// decode fn, or a decode panic contained by the pool worker).
+    pub stage_errors: usize,
+    /// First stage error message, kept for diagnostics when
+    /// `stage_errors > 0`.
+    pub first_error: Option<String>,
 }
 
 impl PipelineStats {
@@ -152,9 +158,51 @@ impl PipelineStats {
 ///
 /// # Panics
 ///
-/// Panics if a stage thread panics or if `forward` returns a different
-/// number of outputs than inputs.
+/// Panics if a stage errors (decode `Err` or a decode panic — use
+/// [`run_pipeline_fallible`] to observe those as data instead) or if
+/// `forward` returns a different number of outputs than inputs.
 pub fn run_pipeline<I, M, T, L, D, F>(
+    cfg: &EngineConfig,
+    items: L,
+    decode: D,
+    forward: F,
+) -> (Vec<T>, PipelineStats)
+where
+    I: Send,
+    M: Send,
+    L: IntoIterator<Item = I> + Send,
+    L::IntoIter: Send,
+    D: Fn(usize, I) -> M + Sync,
+    F: FnMut(Vec<M>) -> Vec<T>,
+{
+    let (out, stats) = run_pipeline_fallible(
+        cfg,
+        items,
+        |idx, item| Ok::<M, String>(decode(idx, item)),
+        forward,
+    );
+    if let Some(err) = &stats.first_error {
+        // ndlint: allow(panic, reason = "infallible API re-raises contained decode failures on the caller thread; fallible callers use run_pipeline_fallible")
+        panic!("npe decode stage failed: {err}");
+    }
+    (out, stats)
+}
+
+/// [`run_pipeline`] with a fallible decode stage.
+///
+/// `decode` returns `Result<M, String>`; an `Err` (or a panic inside
+/// `decode`, which the pool worker catches) drops that item, increments
+/// [`PipelineStats::stage_errors`], records the first message in
+/// [`PipelineStats::first_error`], and lets every other item flow through.
+/// The FE stage still sees surviving items in index order, so batches stay
+/// deterministic; the pipeline drains cleanly instead of unwinding through
+/// a bounded channel send and wedging its peers.
+///
+/// # Panics
+///
+/// Panics only if `forward` returns a different number of outputs than
+/// inputs (a caller bug, raised on the caller's own thread).
+pub fn run_pipeline_fallible<I, M, T, L, D, F>(
     cfg: &EngineConfig,
     items: L,
     decode: D,
@@ -165,7 +213,7 @@ where
     M: Send,
     L: IntoIterator<Item = I> + Send,
     L::IntoIter: Send,
-    D: Fn(usize, I) -> M + Sync,
+    D: Fn(usize, I) -> Result<M, String> + Sync,
     F: FnMut(Vec<M>) -> Vec<T>,
 {
     let batch = cfg.batch.max(1);
@@ -173,7 +221,7 @@ where
     let depth = cfg.queue_depth.max(1);
 
     let (tx_in, rx_in) = crossbeam::channel::bounded::<(usize, I)>(depth);
-    let (tx_mid, rx_mid) = crossbeam::channel::bounded::<(usize, M)>(depth);
+    let (tx_mid, rx_mid) = crossbeam::channel::bounded::<(usize, Result<M, String>)>(depth);
 
     let load_busy_ns = AtomicU64::new(0);
     let decode_busy_ns = AtomicU64::new(0);
@@ -204,6 +252,7 @@ where
                 loop {
                     let t0 = Instant::now();
                     let next = iter.next();
+                    // ndlint: allow(relaxed, reason = "monotonic busy-time tally; published to the caller by the scope join, not by this store")
                     load_busy_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
                     let Some(item) = next else { break };
                     if tx_in.send((idx, item)).is_err() {
@@ -214,10 +263,12 @@ where
                     }
                     idx += 1;
                 }
-                loaded.store(idx as u64, Ordering::Relaxed);
-                in_samples.store(queue.samples as u64, Ordering::Relaxed);
-                in_depth_sum.store(queue.depth_sum, Ordering::Relaxed);
-                in_depth_max.store(queue.depth_max as u64, Ordering::Relaxed);
+                // Final publication of the loader's local tallies; Release
+                // pairs with the Acquire loads after the scope join.
+                loaded.store(idx as u64, Ordering::Release);
+                in_samples.store(queue.samples as u64, Ordering::Release);
+                in_depth_sum.store(queue.depth_sum, Ordering::Release);
+                in_depth_max.store(queue.depth_max as u64, Ordering::Release);
                 // `tx_in` drops here: decode workers drain and exit.
             });
         }
@@ -232,8 +283,16 @@ where
             s.spawn(move |_| {
                 for (idx, item) in rx_in.iter() {
                     let t0 = Instant::now();
-                    let m = decode(idx, item);
+                    // Contain decode panics to this item: unwinding out of
+                    // a pool worker would silently shrink the pool and can
+                    // wedge the pipeline on a bounded channel.
+                    let m = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        decode(idx, item)
+                    }))
+                    .unwrap_or_else(|payload| Err(panic_message(&*payload)));
+                    // ndlint: allow(relaxed, reason = "monotonic busy-time and item tallies; published to the caller by the scope join")
                     decode_busy_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    // ndlint: allow(relaxed, reason = "monotonic item counter; published to the caller by the scope join")
                     decoded.fetch_add(1, Ordering::Relaxed);
                     if tx_mid.send((idx, m)).is_err() {
                         break;
@@ -244,8 +303,10 @@ where
         drop(rx_in);
         drop(tx_mid); // FE sees disconnect once every worker finishes
 
-        // Stage 3 (this thread): reorder, batch, forward.
-        let mut pending: BTreeMap<usize, M> = BTreeMap::new();
+        // Stage 3 (this thread): reorder, batch, forward. Failed items
+        // are dropped here (after restoring index order) so survivors
+        // still batch deterministically.
+        let mut pending: BTreeMap<usize, Result<M, String>> = BTreeMap::new();
         let mut next = 0usize;
         let mut bucket: Vec<M> = Vec::with_capacity(batch);
         let mut flush =
@@ -257,6 +318,7 @@ where
                 let t0 = Instant::now();
                 let out = forward(std::mem::take(bucket));
                 stats.fe.busy_secs += t0.elapsed().as_secs_f64();
+                // ndlint: allow(panic, reason = "forward() contract violation is a caller bug; this raises on the caller's own thread, not inside a pool worker")
                 assert_eq!(out.len(), n, "forward must return one output per input");
                 stats.batches += 1;
                 results.extend(out);
@@ -267,30 +329,62 @@ where
             }
             pending.insert(idx, m);
             while let Some(m) = pending.remove(&next) {
-                bucket.push(m);
                 next += 1;
-                if bucket.len() == batch {
-                    flush(&mut bucket, &mut results, &mut stats);
+                match m {
+                    Ok(m) => {
+                        bucket.push(m);
+                        if bucket.len() == batch {
+                            flush(&mut bucket, &mut results, &mut stats);
+                        }
+                    }
+                    Err(e) => {
+                        stats.stage_errors += 1;
+                        if stats.first_error.is_none() {
+                            stats.first_error = Some(e);
+                        }
+                    }
                 }
             }
         }
         flush(&mut bucket, &mut results, &mut stats);
+        // ndlint: allow(panic, reason = "an index gap here means the engine itself lost an item; fail fast on the caller thread rather than return silently short results")
         assert!(pending.is_empty(), "pipeline dropped in-flight items");
     })
-    .expect("npe pipeline thread panicked");
+    .unwrap_or_else(|_| {
+        // Only the loader can still panic (a user-supplied iterator);
+        // decode panics are contained per-item above. Surface it as a
+        // stage error so callers see a drained, unwedged pipeline.
+        stats.stage_errors += 1;
+        if stats.first_error.is_none() {
+            stats.first_error = Some("loader stage panicked".to_string());
+        }
+    });
 
     stats.wall_secs = start.elapsed().as_secs_f64();
-    stats.load.busy_secs = load_busy_ns.load(Ordering::Relaxed) as f64 * 1e-9;
-    stats.load.items = loaded.load(Ordering::Relaxed) as usize;
-    stats.decode.busy_secs = decode_busy_ns.load(Ordering::Relaxed) as f64 * 1e-9;
-    stats.decode.items = decoded.load(Ordering::Relaxed) as usize;
+    // Acquire pairs with the loader's Release stores; the scope join
+    // already synchronizes, this keeps the pairing explicit and lintable.
+    stats.load.busy_secs = load_busy_ns.load(Ordering::Acquire) as f64 * 1e-9;
+    stats.load.items = loaded.load(Ordering::Acquire) as usize;
+    stats.decode.busy_secs = decode_busy_ns.load(Ordering::Acquire) as f64 * 1e-9;
+    stats.decode.items = decoded.load(Ordering::Acquire) as usize;
     stats.fe.items = results.len();
     stats.in_queue = QueueStats {
-        samples: in_samples.load(Ordering::Relaxed) as usize,
-        depth_sum: in_depth_sum.load(Ordering::Relaxed),
-        depth_max: in_depth_max.load(Ordering::Relaxed) as usize,
+        samples: in_samples.load(Ordering::Acquire) as usize,
+        depth_sum: in_depth_sum.load(Ordering::Acquire),
+        depth_max: in_depth_max.load(Ordering::Acquire) as usize,
     };
     (results, stats)
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("decode panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("decode panicked: {s}")
+    } else {
+        "decode panicked".to_string()
+    }
 }
 
 #[cfg(test)]
@@ -395,5 +489,90 @@ mod tests {
         let c = EngineConfig::default();
         assert!(c.decomp_workers >= 1 && c.decomp_workers <= 2);
         assert_eq!(c.batch, 128);
+    }
+
+    #[test]
+    fn fallible_decode_drops_failed_items_and_keeps_order() {
+        for workers in [1, 2, 4] {
+            let (out, stats) = run_pipeline_fallible(
+                &cfg(4, workers),
+                0..40u64,
+                |_, x| {
+                    if x % 10 == 3 {
+                        Err(format!("item {x} corrupt"))
+                    } else {
+                        Ok(x)
+                    }
+                },
+                |b| b,
+            );
+            let expect: Vec<u64> = (0..40).filter(|x| x % 10 != 3).collect();
+            assert_eq!(out, expect, "workers={workers}");
+            assert_eq!(stats.stage_errors, 4);
+            assert_eq!(stats.load.items, 40);
+            assert_eq!(stats.decode.items, 40, "errored items still pass decode");
+            assert_eq!(stats.fe.items, 36);
+            let first = stats.first_error.expect("first error recorded");
+            assert_eq!(first, "item 3 corrupt", "errors surface in index order");
+        }
+    }
+
+    #[test]
+    fn decode_panics_are_contained_per_item() {
+        for workers in [1, 3] {
+            let (out, stats) = run_pipeline_fallible(
+                &cfg(8, workers),
+                0..32u32,
+                |_, x| {
+                    if x == 17 {
+                        panic!("poisoned sidecar {x}");
+                    }
+                    Ok::<u32, String>(x)
+                },
+                |b| b,
+            );
+            assert_eq!(out.len(), 31, "workers={workers}");
+            assert!(!out.contains(&17));
+            assert_eq!(stats.stage_errors, 1);
+            let msg = stats.first_error.expect("panic surfaced as error");
+            assert!(msg.contains("poisoned sidecar 17"), "msg: {msg}");
+        }
+    }
+
+    #[test]
+    fn all_items_failing_still_drains_cleanly() {
+        let (out, stats) = run_pipeline_fallible(
+            &cfg(4, 2),
+            0..16u32,
+            |_, x| Err::<u32, String>(format!("nope {x}")),
+            |b: Vec<u32>| b,
+        );
+        assert!(out.is_empty());
+        assert_eq!(stats.stage_errors, 16);
+        assert_eq!(stats.batches, 0);
+        assert_eq!(stats.load.items, 16, "loader finished despite failures");
+    }
+
+    #[test]
+    fn infallible_api_panics_on_contained_decode_failure() {
+        let result = std::panic::catch_unwind(|| {
+            run_pipeline(
+                &cfg(4, 2),
+                0..8u32,
+                |_, x| {
+                    if x == 5 {
+                        panic!("bad item");
+                    }
+                    x
+                },
+                |b| b,
+            )
+        });
+        let err = result.expect_err("run_pipeline must re-raise decode failures");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("npe decode stage failed"), "msg: {msg}");
     }
 }

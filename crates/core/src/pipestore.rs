@@ -156,6 +156,12 @@ impl PipeStore {
             )
             .set(q.depth_max as f64);
         }
+        m.counter_with(
+            "ndpipe_npe_stage_errors_total",
+            &[("stage", "decode")],
+            "items dropped because a pipeline stage failed (decode error or contained panic)",
+        )
+        .add(stats.stage_errors as u64);
     }
 
     /// Number of training examples in the local shard.
@@ -392,11 +398,12 @@ impl PipeStore {
     ///
     /// Runs through the threaded NPE engine with the default
     /// [`EngineConfig`]; results are bit-identical to
-    /// [`PipeStore::offline_inference_serial`].
+    /// [`PipeStore::offline_inference_serial`]. Corrupt sidecars are
+    /// dropped and counted, not panicked on.
     ///
     /// # Panics
     ///
-    /// Panics if no model is installed or a sidecar fails to decompress.
+    /// Panics if no model is installed.
     pub fn offline_inference(&self) -> Vec<(PhotoId, usize)> {
         self.offline_inference_pipelined(&EngineConfig::default()).0
     }
@@ -434,16 +441,21 @@ impl PipeStore {
     /// with a single forward pass each. Returns the `(photo id, label)`
     /// pairs plus per-stage pipeline statistics.
     ///
+    /// A corrupt sidecar no longer panics a decode-pool worker: the item
+    /// is dropped, counted in `ndpipe_npe_stage_errors_total` (and
+    /// [`PipelineStats::stage_errors`]), and every other photo still
+    /// classifies.
+    ///
     /// # Panics
     ///
-    /// Panics if no model is installed or a sidecar fails to decompress.
+    /// Panics if no model is installed.
     pub fn offline_inference_pipelined(
         &self,
         cfg: &EngineConfig,
     ) -> (Vec<(PhotoId, usize)>, PipelineStats) {
         let model = self.model.as_ref().expect("no model installed");
         let n_shard = self.shard.len().max(1);
-        let (out, stats) = engine::run_pipeline(
+        let (out, stats) = engine::run_pipeline_fallible(
             cfg,
             // Stage 1: fetch each photo's compressed sidecar.
             self.photos
@@ -462,9 +474,16 @@ impl PipeStore {
             // aligned by construction in `system`).
             |_, (id, preproc_bytes, compressed, i)| {
                 let bin = deflate::decompress_framed(&compressed)
-                    .expect("stored sidecar is valid deflate");
-                assert_eq!(bin.len(), preproc_bytes, "sidecar corrupted");
-                (id, self.shard.features().row(i % n_shard))
+                    .map_err(|e| format!("photo {}: sidecar decompress failed: {e}", id.0))?;
+                if bin.len() != preproc_bytes {
+                    return Err(format!(
+                        "photo {}: sidecar corrupted ({} != {} bytes)",
+                        id.0,
+                        bin.len(),
+                        preproc_bytes
+                    ));
+                }
+                Ok((id, self.shard.features().row(i % n_shard)))
             },
             // Stage 3: one batched forward, then a per-row argmax.
             |batch: Vec<(PhotoId, Tensor)>| {
@@ -576,6 +595,52 @@ mod tests {
         }
         // The default path is the pipelined one.
         assert_eq!(ps.offline_inference(), serial);
+    }
+
+    #[test]
+    fn corrupt_sidecar_is_dropped_counted_and_isolated() {
+        telemetry::set_enabled(true);
+        let mut rng = StdRng::seed_from_u64(50);
+        let mut ps = PipeStore::new(9, shard(&mut rng));
+        ps.install_model(model(&mut rng));
+        let mut factory = PhotoFactory::new(1024);
+        for i in 0..12 {
+            let p = factory.make(i % 3, 0, &mut rng);
+            ps.store_photo(p, preprocessed_binary(512, &mut rng));
+        }
+        let serial = ps.offline_inference_serial();
+
+        // Clobber one photo's sidecar past recognition (frame magic gone).
+        let victim = ps.photos[5].photo.id;
+        ps.photos[5].compressed_binary.truncate(3);
+
+        let cfg = EngineConfig {
+            batch: 4,
+            decomp_workers: 2,
+            queue_depth: 4,
+        };
+        let (out, stats) = ps.offline_inference_pipelined(&cfg);
+
+        // The corrupt photo is dropped; every other photo still classifies
+        // with results identical to the serial reference.
+        let expect: Vec<(PhotoId, usize)> =
+            serial.iter().copied().filter(|&(id, _)| id != victim).collect();
+        assert_eq!(out, expect);
+        assert_eq!(stats.stage_errors, 1);
+        assert_eq!(stats.fe.items, 11);
+        let msg = stats.first_error.as_deref().expect("error recorded");
+        assert!(
+            msg.contains(&format!("photo {}", victim.0)),
+            "error names the photo: {msg}"
+        );
+
+        // The drop is observable: the error counter reflects the run.
+        let snap = ps.metrics().snapshot();
+        assert_eq!(
+            snap.counter_value("ndpipe_npe_stage_errors_total"),
+            Some(1),
+            "one dropped item counted"
+        );
     }
 
     #[test]

@@ -103,18 +103,30 @@ struct Cursor<'a> {
 
 impl<'a> Cursor<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8], RpcError> {
-        if self.pos + n > self.buf.len() {
-            return Err(RpcError::Protocol("payload truncated"));
-        }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(RpcError::Protocol("payload truncated"))?;
+        let s = self
+            .buf
+            .get(self.pos..end)
+            .ok_or(RpcError::Protocol("payload truncated"))?;
+        self.pos = end;
         Ok(s)
     }
     fn u32(&mut self) -> Result<u32, RpcError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("fixed")))
+        let b: [u8; 4] = self
+            .take(4)?
+            .try_into()
+            .map_err(|_| RpcError::Protocol("payload truncated"))?;
+        Ok(u32::from_le_bytes(b))
     }
     fn u64(&mut self) -> Result<u64, RpcError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("fixed")))
+        let b: [u8; 8] = self
+            .take(8)?
+            .try_into()
+            .map_err(|_| RpcError::Protocol("payload truncated"))?;
+        Ok(u64::from_le_bytes(b))
     }
     fn finish(self) -> Result<(), RpcError> {
         if self.pos == self.buf.len() {
@@ -169,8 +181,14 @@ impl Reply {
             Reply::Ack => (TAG_ACK, Vec::new()),
             Reply::Features { features, labels } => {
                 let mut p = Vec::new();
-                put_u32(&mut p, features.dims()[0] as u32);
-                put_u32(&mut p, features.dims()[1] as u32);
+                // A non-2D tensor is a caller bug; encode (0, 0) so the
+                // peer rejects the frame instead of panicking here.
+                let (rows, cols) = match *features.dims() {
+                    [r, c] => (r, c),
+                    _ => (0, 0),
+                };
+                put_u32(&mut p, rows as u32);
+                put_u32(&mut p, cols as u32);
                 for &x in features.data() {
                     p.extend_from_slice(&x.to_le_bytes());
                 }
@@ -217,10 +235,13 @@ impl Reply {
                     .and_then(|n| n.checked_mul(4))
                     .ok_or(RpcError::Protocol("feature matrix too large"))?;
                 let raw = c.take(bytes)?;
-                let data: Vec<f32> = raw
-                    .chunks_exact(4)
-                    .map(|b| f32::from_le_bytes(b.try_into().expect("fixed")))
-                    .collect();
+                let mut data = Vec::with_capacity(rows * dim);
+                for b in raw.chunks_exact(4) {
+                    let arr: [u8; 4] = b
+                        .try_into()
+                        .map_err(|_| RpcError::Protocol("payload truncated"))?;
+                    data.push(f32::from_le_bytes(arr));
+                }
                 let n_labels = c.u32()? as usize;
                 if n_labels != rows {
                     return Err(RpcError::Protocol("label count mismatch"));
@@ -279,11 +300,11 @@ fn write_frame<W: Write>(w: &mut W, tag: u8, payload: &[u8]) -> Result<usize, Rp
 fn read_frame<R: Read>(r: &mut R) -> Result<(u8, Vec<u8>), RpcError> {
     let mut head = [0u8; 5];
     r.read_exact(&mut head)?;
-    let len = u32::from_le_bytes(head[..4].try_into().expect("fixed")) as usize;
+    let [l0, l1, l2, l3, tag] = head;
+    let len = u32::from_le_bytes([l0, l1, l2, l3]) as usize;
     if len > MAX_FRAME {
         return Err(RpcError::Protocol("frame too large"));
     }
-    let tag = head[4];
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
     Ok((tag, payload))

@@ -56,6 +56,8 @@ pub enum DeflateError {
     BadSymbol,
     /// A chunked frame's directory or payload was inconsistent.
     BadFrame,
+    /// A decompression pool worker panicked; the output is unusable.
+    WorkerPanicked,
 }
 
 impl std::fmt::Display for DeflateError {
@@ -70,6 +72,7 @@ impl std::fmt::Display for DeflateError {
             DeflateError::BadDistance => write!(f, "back-reference distance out of range"),
             DeflateError::BadSymbol => write!(f, "invalid symbol in deflate stream"),
             DeflateError::BadFrame => write!(f, "chunked frame directory is corrupt"),
+            DeflateError::WorkerPanicked => write!(f, "decompression worker panicked"),
         }
     }
 }
@@ -176,20 +179,23 @@ impl<'a> BitReader<'a> {
     }
 
     fn read_u16_le(&mut self) -> Result<u16, DeflateError> {
-        if self.pos + 2 > self.input.len() {
-            return Err(DeflateError::UnexpectedEof);
+        let raw = self.read_raw(2)?;
+        match *raw {
+            [lo, hi] => Ok(u16::from_le_bytes([lo, hi])),
+            _ => Err(DeflateError::UnexpectedEof),
         }
-        let v = u16::from_le_bytes([self.input[self.pos], self.input[self.pos + 1]]);
-        self.pos += 2;
-        Ok(v)
     }
 
     fn read_raw(&mut self, n: usize) -> Result<&'a [u8], DeflateError> {
-        if self.pos + n > self.input.len() {
-            return Err(DeflateError::UnexpectedEof);
-        }
-        let s = &self.input[self.pos..self.pos + n];
-        self.pos += n;
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(DeflateError::UnexpectedEof)?;
+        let s = self
+            .input
+            .get(self.pos..end)
+            .ok_or(DeflateError::UnexpectedEof)?;
+        self.pos = end;
         Ok(s)
     }
 }
@@ -603,24 +609,25 @@ fn decode_fixed_block(r: &mut BitReader<'_>, out: &mut Vec<u8>) -> Result<(), De
             0..=255 => out.push(sym as u8),
             256 => return Ok(()),
             257..=285 => {
-                let (base, extra) = LENGTH_TABLE[sym - 257];
+                let &(base, extra) = LENGTH_TABLE
+                    .get(sym - 257)
+                    .ok_or(DeflateError::BadSymbol)?;
                 let len = base as usize + r.read_bits(extra as u32)? as usize;
                 // Distance: 5-bit fixed code, MSB-first.
                 let mut dcode = 0u32;
                 for _ in 0..5 {
                     dcode = r.read_code_bit(dcode)?;
                 }
-                if dcode as usize >= DIST_TABLE.len() {
-                    return Err(DeflateError::BadSymbol);
-                }
-                let (dbase, dextra) = DIST_TABLE[dcode as usize];
+                let &(dbase, dextra) = DIST_TABLE
+                    .get(dcode as usize)
+                    .ok_or(DeflateError::BadSymbol)?;
                 let dist = dbase as usize + r.read_bits(dextra as u32)? as usize;
                 if dist == 0 || dist > out.len() {
                     return Err(DeflateError::BadDistance);
                 }
                 let start = out.len() - dist;
                 for k in 0..len {
-                    let b = out[start + k];
+                    let b = *out.get(start + k).ok_or(DeflateError::BadDistance)?;
                     out.push(b);
                 }
             }
@@ -739,12 +746,24 @@ pub fn decompress_framed(data: &[u8]) -> Result<Vec<u8>, DeflateError> {
     decompress_framed_with(data, configured_threads())
 }
 
+/// Reads a little-endian u32 from the frame directory without panicking
+/// on truncated input.
+fn frame_u32(data: &[u8], at: usize) -> Result<u32, DeflateError> {
+    let end = at.checked_add(4).ok_or(DeflateError::BadFrame)?;
+    let b: [u8; 4] = data
+        .get(at..end)
+        .ok_or(DeflateError::BadFrame)?
+        .try_into()
+        .map_err(|_| DeflateError::BadFrame)?;
+    Ok(u32::from_le_bytes(b))
+}
+
 /// [`decompress_framed`] with an explicit worker count.
 pub fn decompress_framed_with(data: &[u8], threads: usize) -> Result<Vec<u8>, DeflateError> {
-    if data.len() < 8 || data[..4] != FRAME_MAGIC {
+    if data.len() < 8 || !data.starts_with(&FRAME_MAGIC) {
         return decompress(data);
     }
-    let count = u32::from_le_bytes(data[4..8].try_into().unwrap()) as usize;
+    let count = frame_u32(data, 4)? as usize;
     let dir_end = 8usize
         .checked_add(count.checked_mul(8).ok_or(DeflateError::BadFrame)?)
         .ok_or(DeflateError::BadFrame)?;
@@ -756,8 +775,8 @@ pub fn decompress_framed_with(data: &[u8], threads: usize) -> Result<Vec<u8>, De
     let mut offset = dir_end;
     for i in 0..count {
         let e = 8 + i * 8;
-        let comp_len = u32::from_le_bytes(data[e..e + 4].try_into().unwrap()) as usize;
-        let raw_len = u32::from_le_bytes(data[e + 4..e + 8].try_into().unwrap()) as usize;
+        let comp_len = frame_u32(data, e)? as usize;
+        let raw_len = frame_u32(data, e + 4)? as usize;
         entries.push((offset, comp_len, raw_len));
         offset = offset.checked_add(comp_len).ok_or(DeflateError::BadFrame)?;
     }
@@ -766,7 +785,9 @@ pub fn decompress_framed_with(data: &[u8], threads: usize) -> Result<Vec<u8>, De
     }
 
     let inflate_one = |&(off, comp_len, raw_len): &(usize, usize, usize)| {
-        let chunk = decompress(&data[off..off + comp_len])?;
+        let end = off.checked_add(comp_len).ok_or(DeflateError::BadFrame)?;
+        let member = data.get(off..end).ok_or(DeflateError::BadFrame)?;
+        let chunk = decompress(member)?;
         if chunk.len() != raw_len {
             return Err(DeflateError::BadFrame);
         }
@@ -780,18 +801,21 @@ pub fn decompress_framed_with(data: &[u8], threads: usize) -> Result<Vec<u8>, De
     } else {
         results.resize_with(count, || Ok(Vec::new()));
         let per = count.div_ceil(workers);
-        crossbeam::thread::scope(|s| {
-            for (band_idx, band) in results.chunks_mut(per).enumerate() {
-                let lo = band_idx * per;
-                let band_entries = &entries[lo..lo + band.len()];
+        let scope_result = crossbeam::thread::scope(|s| {
+            for (band, band_entries) in results.chunks_mut(per).zip(entries.chunks(per)) {
                 s.spawn(move |_| {
                     for (slot, entry) in band.iter_mut().zip(band_entries) {
                         *slot = inflate_one(entry);
                     }
                 });
             }
-        })
-        .expect("chunked decompression worker panicked");
+        });
+        // A corrupt member surfaces as Err in its result slot; an actual
+        // worker panic (engine bug) is contained to this error instead of
+        // unwinding into the NPE pipeline.
+        if scope_result.is_err() {
+            return Err(DeflateError::WorkerPanicked);
+        }
     }
 
     let total: usize = entries.iter().map(|&(_, _, r)| r).sum();

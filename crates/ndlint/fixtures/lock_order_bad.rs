@@ -1,0 +1,21 @@
+//! Fixture: AB in one function, BA in another — a lock-order cycle.
+//! Not compiled; consumed by `tests/fixtures.rs` as scanner input.
+
+use std::sync::Mutex;
+
+pub struct Shared {
+    pub queue: Mutex<Vec<u32>>,
+    pub stats: Mutex<u64>,
+}
+
+pub fn producer(s: &Shared) {
+    let q = s.queue.lock();
+    let t = s.stats.lock(); // MARK: lock-order-ab
+    drop((q, t));
+}
+
+pub fn reporter(s: &Shared) {
+    let t = s.stats.lock();
+    let q = s.queue.lock(); // MARK: lock-order-ba
+    drop((t, q));
+}

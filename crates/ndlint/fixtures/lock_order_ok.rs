@@ -1,0 +1,21 @@
+//! Fixture: both functions acquire in the same order — acyclic, clean.
+//! Not compiled; consumed by `tests/fixtures.rs` as scanner input.
+
+use std::sync::Mutex;
+
+pub struct Shared {
+    pub queue: Mutex<Vec<u32>>,
+    pub stats: Mutex<u64>,
+}
+
+pub fn producer(s: &Shared) {
+    let q = s.queue.lock();
+    let t = s.stats.lock();
+    drop((q, t));
+}
+
+pub fn reporter(s: &Shared) {
+    let q = s.queue.lock();
+    let t = s.stats.lock();
+    drop((q, t));
+}

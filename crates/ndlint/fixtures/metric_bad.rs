@@ -1,0 +1,11 @@
+//! Fixture: bad prefix, counter without `_total`, a kind conflict, and a
+//! registration missing from the canonical table.
+//! Not compiled; consumed by `tests/fixtures.rs` as scanner input.
+
+pub fn register(reg: &Registry) {
+    reg.counter("requests_total", "no ndpipe_ prefix"); // MARK: metric-prefix
+    reg.counter("ndpipe_fixture_items", "counter without _total"); // MARK: metric-suffix
+    reg.gauge("ndpipe_fixture_mixed", "first registered as a gauge");
+    reg.histogram("ndpipe_fixture_mixed", "then as a histogram"); // MARK: metric-kind-conflict
+    reg.counter("ndpipe_fixture_unlisted_total", "not in the table"); // MARK: metric-unlisted
+}

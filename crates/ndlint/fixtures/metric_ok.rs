@@ -1,0 +1,8 @@
+//! Fixture: well-formed names matching the canonical table exactly.
+//! Not compiled; consumed by `tests/fixtures.rs` as scanner input.
+
+pub fn register(reg: &Registry) {
+    reg.counter("ndpipe_fixture_requests_total", "well-formed counter");
+    reg.gauge("ndpipe_fixture_depth", "well-formed gauge");
+    reg.histogram("ndpipe_fixture_latency_seconds", "well-formed histogram");
+}

@@ -1,0 +1,10 @@
+//! Fixture: unwrap, a panicking macro and a slice index inside a zone fn.
+//! Not compiled; consumed by `tests/fixtures.rs` as scanner input.
+
+pub fn decode(buf: &[u8]) -> u8 {
+    let first = buf.first().unwrap(); // MARK: panic-unwrap
+    if *first == 0 {
+        panic!("zero tag"); // MARK: panic-macro
+    }
+    buf[1] // MARK: panic-index
+}

@@ -1,0 +1,18 @@
+//! Fixture: fallible decode keeps the zone clean; tests may still assert.
+//! Not compiled; consumed by `tests/fixtures.rs` as scanner input.
+
+pub fn decode(buf: &[u8]) -> Result<u8, &'static str> {
+    let first = buf.first().copied().ok_or("empty")?;
+    if first == 0 {
+        return Err("zero tag");
+    }
+    buf.get(1).copied().ok_or("truncated")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn asserts_and_unwraps_are_fine_in_tests() {
+        assert_eq!(super::decode(&[1, 2]).unwrap(), 2);
+    }
+}

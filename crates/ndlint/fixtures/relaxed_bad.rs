@@ -1,0 +1,8 @@
+//! Fixture: one unannotated `Ordering::Relaxed` outside tests must fire.
+//! Not compiled; consumed by `tests/fixtures.rs` as scanner input.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn peek(n: &AtomicUsize) -> usize {
+    n.load(Ordering::Relaxed) // MARK: relaxed-finding
+}

@@ -1,0 +1,20 @@
+//! Fixture: annotated Relaxed and test-only Relaxed are both clean.
+//! Not compiled; consumed by `tests/fixtures.rs` as scanner input.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn peek(n: &AtomicUsize) -> usize {
+    // ndlint: allow(relaxed, reason = "pure tally; nothing is published through it")
+    n.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relaxed_inside_cfg_test_is_exempt() {
+        let n = AtomicUsize::new(0);
+        let _ = n.load(Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,27 @@
+//! Fixture: `decode_body` is missing the `Del` variant — exhaustiveness
+//! must fire at the fn declaration line.
+//! Not compiled; consumed by `tests/fixtures.rs` as scanner input.
+
+pub enum Op {
+    Get { key: u32 },
+    Put { key: u32, val: u32 },
+    Del,
+}
+
+impl Op {
+    pub fn encode_body(&self) -> u8 {
+        match self {
+            Op::Get { .. } => 1,
+            Op::Put { .. } => 2,
+            Op::Del => 3,
+        }
+    }
+
+    pub fn decode_body(tag: u8) -> Option<Op> { // MARK: wire-missing-del
+        match tag {
+            1 => Some(Op::Get { key: 0 }),
+            2 => Some(Op::Put { key: 0, val: 0 }),
+            _ => None,
+        }
+    }
+}

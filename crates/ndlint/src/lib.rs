@@ -1,0 +1,407 @@
+//! ndlint — workspace-wide concurrency & protocol lint pass for the
+//! NDPipe reproduction.
+//!
+//! Five rule families, tuned to the invariants this codebase depends on:
+//!
+//! 1. `lock_order`   — inter-type lock acquisition graph must be acyclic.
+//! 2. `relaxed`      — every `Ordering::Relaxed` outside tests must carry
+//!                     `// ndlint: allow(relaxed, reason = "...")`.
+//! 3. `panic`        — no `unwrap`/`expect`/`panic!`-family/slice-index in
+//!                     designated no-panic zones outside `#[cfg(test)]`.
+//! 4. `wire`         — every RPC enum variant must appear in encode,
+//!                     decode, and server dispatch.
+//! 5. `metric`       — registered metric names are well-formed, kind-
+//!                     consistent, and match DESIGN.md's canonical table.
+//!
+//! Plus directive hygiene: malformed or unknown `// ndlint:` comments are
+//! themselves findings, so a typo'd suppression can't silently disable a
+//! rule.
+
+pub mod lexer;
+pub mod rules;
+pub mod scan;
+
+use scan::SourceFile;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Rule names accepted in `// ndlint: allow(<rule>, ...)` directives.
+pub const KNOWN_RULES: &[&str] = &["relaxed", "panic", "lock_order", "metric", "wire"];
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule family that fired (one of [`KNOWN_RULES`] or `directive`).
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (0 when the finding is file-scoped).
+    pub col: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}] {}",
+            self.file, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// Which functions of a zone file the panic-surface rule covers.
+#[derive(Debug, Clone)]
+pub enum FnFilter {
+    /// Every non-test function in the file.
+    All,
+    /// Only the named functions (worker/decode hot paths).
+    Named(Vec<String>),
+}
+
+/// A no-panic zone: file (suffix match on the workspace-relative path)
+/// plus the functions covered.
+#[derive(Debug, Clone)]
+pub struct Zone {
+    pub file_suffix: String,
+    pub filter: FnFilter,
+}
+
+/// One place an enum's variants must all be mentioned.
+#[derive(Debug, Clone)]
+pub struct WireSite {
+    pub file_suffix: String,
+    /// Required `impl` target of the function, if any.
+    pub impl_target: Option<String>,
+    pub fn_name: String,
+    /// Short label used in diagnostics ("encode", "dispatch", ...).
+    pub label: String,
+}
+
+/// Exhaustiveness check: `enum_name` (defined in `enum_file_suffix`) must
+/// have every variant mentioned as `Enum::Variant` in each site.
+#[derive(Debug, Clone)]
+pub struct WireCheck {
+    pub enum_file_suffix: String,
+    pub enum_name: String,
+    pub sites: Vec<WireSite>,
+}
+
+/// A canonical metric-name table entry: `(name, kind)` where kind is
+/// `counter` | `gauge` | `histogram`.
+pub type MetricTable = Vec<(String, String)>;
+
+/// Full analyzer configuration.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    pub zones: Vec<Zone>,
+    pub wire_checks: Vec<WireCheck>,
+    /// Canonical metric table; `None` disables the DESIGN.md cross-check
+    /// (name well-formedness and kind consistency still run).
+    pub metric_table: Option<MetricTable>,
+}
+
+impl Config {
+    /// Configuration for the live NDPipe workspace.
+    pub fn workspace() -> Config {
+        Config {
+            zones: vec![
+                Zone {
+                    file_suffix: "core/src/rpc/wire.rs".into(),
+                    filter: FnFilter::All,
+                },
+                Zone {
+                    file_suffix: "core/src/rpc/server.rs".into(),
+                    filter: FnFilter::All,
+                },
+                Zone {
+                    file_suffix: "telemetry/src/snapshot.rs".into(),
+                    filter: FnFilter::All,
+                },
+                // NPE worker bodies: a panic here unwinds through a bounded
+                // channel send and wedges the pipeline.
+                Zone {
+                    file_suffix: "core/src/npe/engine.rs".into(),
+                    filter: FnFilter::Named(vec![
+                        "run_pipeline".into(),
+                        "run_pipeline_fallible".into(),
+                    ]),
+                },
+                // Decompress side runs inside the NPE decode pool; corrupt
+                // input must surface as Err, not a worker panic.
+                Zone {
+                    file_suffix: "data/src/deflate.rs".into(),
+                    filter: FnFilter::Named(vec![
+                        "decompress".into(),
+                        "decompress_framed".into(),
+                        "decompress_framed_with".into(),
+                        "frame_u32".into(),
+                        "decode_fixed_block".into(),
+                        "decode_fixed_litlen".into(),
+                        "read_bits".into(),
+                        "read_code_bit".into(),
+                        "read_u16_le".into(),
+                        "read_raw".into(),
+                    ]),
+                },
+            ],
+            wire_checks: vec![
+                WireCheck {
+                    enum_file_suffix: "core/src/rpc/wire.rs".into(),
+                    enum_name: "Request".into(),
+                    sites: vec![
+                        WireSite {
+                            file_suffix: "core/src/rpc/wire.rs".into(),
+                            impl_target: Some("Request".into()),
+                            fn_name: "encode_body".into(),
+                            label: "encode".into(),
+                        },
+                        WireSite {
+                            file_suffix: "core/src/rpc/wire.rs".into(),
+                            impl_target: Some("Request".into()),
+                            fn_name: "decode_body".into(),
+                            label: "decode".into(),
+                        },
+                        WireSite {
+                            file_suffix: "core/src/rpc/server.rs".into(),
+                            impl_target: None,
+                            fn_name: "handle".into(),
+                            label: "server dispatch".into(),
+                        },
+                    ],
+                },
+                WireCheck {
+                    enum_file_suffix: "core/src/rpc/wire.rs".into(),
+                    enum_name: "Reply".into(),
+                    sites: vec![
+                        WireSite {
+                            file_suffix: "core/src/rpc/wire.rs".into(),
+                            impl_target: Some("Reply".into()),
+                            fn_name: "encode_body".into(),
+                            label: "encode".into(),
+                        },
+                        WireSite {
+                            file_suffix: "core/src/rpc/wire.rs".into(),
+                            impl_target: Some("Reply".into()),
+                            fn_name: "decode_body".into(),
+                            label: "decode".into(),
+                        },
+                    ],
+                },
+            ],
+            metric_table: None, // filled from DESIGN.md by run_workspace
+        }
+    }
+}
+
+/// Result of a full pass.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub findings: Vec<Finding>,
+    pub files_scanned: usize,
+}
+
+impl Report {
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// One-line summary suitable for CI logs.
+    pub fn summary(&self) -> String {
+        format!(
+            "ndlint: {} finding(s) across {} file(s) scanned",
+            self.findings.len(),
+            self.files_scanned
+        )
+    }
+}
+
+/// Runs every rule over an already-parsed file set.
+pub fn run(files: &[SourceFile], cfg: &Config) -> Report {
+    let mut findings = Vec::new();
+    for sf in files {
+        rules::directives::check(sf, &mut findings);
+        rules::relaxed::check(sf, &mut findings);
+        rules::panic_surface::check(sf, cfg, &mut findings);
+        rules::metric_names::collect(sf, &mut findings);
+    }
+    rules::lock_order::check(files, &mut findings);
+    rules::wire_dispatch::check(files, cfg, &mut findings);
+    rules::metric_names::check(files, cfg, &mut findings);
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule))
+    });
+    findings.dedup();
+    Report {
+        findings,
+        files_scanned: files.len(),
+    }
+}
+
+/// Parses a set of files from disk. `rel` paths are computed against
+/// `root`; unreadable files become file-scoped findings in the returned
+/// report rather than panics.
+pub fn parse_files(root: &Path, paths: &[PathBuf]) -> (Vec<SourceFile>, Vec<Finding>) {
+    let mut files = Vec::new();
+    let mut errs = Vec::new();
+    for p in paths {
+        let rel = p
+            .strip_prefix(root)
+            .unwrap_or(p)
+            .to_string_lossy()
+            .replace('\\', "/");
+        match std::fs::read_to_string(p) {
+            Ok(src) => files.push(SourceFile::parse(p, &rel, &src)),
+            Err(e) => errs.push(Finding {
+                rule: "io",
+                file: rel,
+                line: 0,
+                col: 0,
+                message: format!("unreadable source file: {e}"),
+            }),
+        }
+    }
+    (files, errs)
+}
+
+/// Walks `<root>/crates/*/src/**/*.rs`, sorted for deterministic output.
+pub fn workspace_sources(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let crates = root.join("crates");
+    let Ok(entries) = std::fs::read_dir(&crates) else {
+        return out;
+    };
+    let mut crate_dirs: Vec<PathBuf> = entries
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        collect_rs(&dir.join("src"), &mut out);
+    }
+    out.sort();
+    out
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let p = entry.path();
+        if p.is_dir() {
+            collect_rs(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Extracts the canonical metric table from DESIGN.md: rows of the
+/// markdown table under the `### Canonical metric names` heading, shaped
+/// `| \`name\` | kind | ... |`.
+pub fn parse_design_metric_table(design: &str) -> Option<MetricTable> {
+    let mut in_section = false;
+    let mut table = Vec::new();
+    for line in design.lines() {
+        let trimmed = line.trim();
+        if trimmed.starts_with("### ") {
+            in_section = trimmed == "### Canonical metric names";
+            continue;
+        }
+        if trimmed.starts_with("## ") || trimmed.starts_with("# ") {
+            in_section = false;
+            continue;
+        }
+        if !in_section || !trimmed.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = trimmed
+            .trim_matches('|')
+            .split('|')
+            .map(str::trim)
+            .collect();
+        if cells.len() < 2 {
+            continue;
+        }
+        let name = cells[0].trim_matches('`');
+        let kind = cells[1].to_ascii_lowercase();
+        if !name.starts_with("ndpipe_") {
+            continue; // header / separator rows
+        }
+        table.push((name.to_string(), kind));
+    }
+    if in_section || !table.is_empty() {
+        Some(table)
+    } else {
+        None
+    }
+}
+
+/// Full workspace pass rooted at `root` (the repo checkout). Reads
+/// DESIGN.md for the metric table; a missing table is itself a finding.
+pub fn run_workspace(root: &Path) -> Report {
+    let mut cfg = Config::workspace();
+    let design_path = root.join("DESIGN.md");
+    let mut pre_findings = Vec::new();
+    match std::fs::read_to_string(&design_path) {
+        Ok(text) => match parse_design_metric_table(&text) {
+            Some(table) => cfg.metric_table = Some(table),
+            None => pre_findings.push(Finding {
+                rule: "metric",
+                file: "DESIGN.md".into(),
+                line: 0,
+                col: 0,
+                message: "missing `### Canonical metric names` table".into(),
+            }),
+        },
+        Err(e) => pre_findings.push(Finding {
+            rule: "metric",
+            file: "DESIGN.md".into(),
+            line: 0,
+            col: 0,
+            message: format!("unreadable: {e}"),
+        }),
+    }
+    let paths = workspace_sources(root);
+    let (files, io_errs) = parse_files(root, &paths);
+    let mut report = run(&files, &cfg);
+    report.findings.extend(pre_findings);
+    report.findings.extend(io_errs);
+    report.findings.sort_by(|a, b| {
+        (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule))
+    });
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn design_table_parser_extracts_backticked_names() {
+        let md = "\
+# DESIGN\n\n### Canonical metric names\n\n\
+| name | kind | meaning |\n|---|---|---|\n\
+| `ndpipe_x_total` | counter | things |\n\
+| `ndpipe_y` | gauge | level |\n\n## Next section\n\
+| `ndpipe_not_in_table` | counter | outside the section |\n";
+        let table = parse_design_metric_table(md).unwrap();
+        assert_eq!(
+            table,
+            vec![
+                ("ndpipe_x_total".to_string(), "counter".to_string()),
+                ("ndpipe_y".to_string(), "gauge".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn design_table_parser_rejects_missing_section() {
+        assert!(parse_design_metric_table("# DESIGN\nno table here\n").is_none());
+    }
+}

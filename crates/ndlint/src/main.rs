@@ -1,0 +1,48 @@
+//! ndlint CLI: `cargo run -p ndlint [--release] [-- <workspace-root>]`.
+//!
+//! Exits 0 when the workspace is clean, 1 when any finding fires, 2 on
+//! usage errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                println!(
+                    "usage: ndlint [workspace-root]\n\n\
+                     Lints crates/*/src/**/*.rs for lock-order cycles, unannotated\n\
+                     Ordering::Relaxed, panics in no-panic zones, unplumbed RPC enum\n\
+                     variants, and metric names missing from DESIGN.md."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other if root.is_none() => root = Some(PathBuf::from(other)),
+            other => {
+                eprintln!("ndlint: unexpected argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
+    if !root.join("crates").is_dir() {
+        eprintln!(
+            "ndlint: `{}` does not look like the workspace root (no crates/ dir)",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    let report = ndlint::run_workspace(&root);
+    for f in &report.findings {
+        println!("{f}");
+    }
+    println!("{}", report.summary());
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,44 @@
+//! Directive hygiene: a typo'd `// ndlint:` comment must not silently
+//! disable a rule, so malformed directives, unknown rule names, and
+//! reason-less allows are all findings in their own right.
+
+use crate::scan::SourceFile;
+use crate::{Finding, KNOWN_RULES};
+
+pub fn check(sf: &SourceFile, out: &mut Vec<Finding>) {
+    for (line, why) in &sf.lexed.malformed {
+        out.push(Finding {
+            rule: "directive",
+            file: sf.rel.clone(),
+            line: *line,
+            col: 0,
+            message: format!("malformed ndlint directive: {why}"),
+        });
+    }
+    for ann in &sf.lexed.annotations {
+        if !KNOWN_RULES.contains(&ann.rule.as_str()) {
+            out.push(Finding {
+                rule: "directive",
+                file: sf.rel.clone(),
+                line: ann.line,
+                col: 0,
+                message: format!(
+                    "unknown rule `{}` in ndlint allow (known: {})",
+                    ann.rule,
+                    KNOWN_RULES.join(", ")
+                ),
+            });
+        } else if !ann.has_reason {
+            out.push(Finding {
+                rule: "directive",
+                file: sf.rel.clone(),
+                line: ann.line,
+                col: 0,
+                message: format!(
+                    "allow({}) without a reason; write `// ndlint: allow({}, reason = \"...\")`",
+                    ann.rule, ann.rule
+                ),
+            });
+        }
+    }
+}

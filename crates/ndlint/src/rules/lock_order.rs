@@ -1,0 +1,158 @@
+//! Lock-order rule: extract the sequence of `.lock()` / `.read()` /
+//! `.write()` acquisitions in each function, build the inter-class
+//! acquisition graph (class = receiver field/binding name), and fail on
+//! cycles — the classic two-function AB/BA deadlock shape.
+//!
+//! Heuristics, chosen to stay sound-ish without type information:
+//! - only zero-argument calls count (`io::Read::read(&mut buf)` has an
+//!   argument, `Mutex::lock()` does not);
+//! - the receiver class is the identifier token directly before the `.`;
+//!   calls on temporaries (`foo().lock()`) are skipped;
+//! - same-class pairs are ignored (re-acquiring the same lock is a
+//!   different bug class, and guards are usually dropped in between);
+//! - an edge can be suppressed at its later acquisition site with
+//!   `// ndlint: allow(lock_order, reason = ...)`.
+
+use crate::scan::{SourceFile, KEYWORDS};
+use crate::Finding;
+use std::collections::{BTreeMap, BTreeSet};
+
+const LOCK_METHODS: &[&str] = &["lock", "read", "write"];
+
+/// One acquisition site.
+#[derive(Debug, Clone)]
+struct Acq {
+    class: String,
+    file: String,
+    line: u32,
+    col: u32,
+    fn_name: String,
+    method: String,
+}
+
+pub fn check(files: &[SourceFile], out: &mut Vec<Finding>) {
+    // Collect ordered edges: (earlier class -> later class) with the later
+    // acquisition site as the anchor.
+    let mut edges: Vec<(String, String, Acq, Acq)> = Vec::new();
+    for sf in files {
+        for f in &sf.fns {
+            if f.is_test {
+                continue;
+            }
+            let Some((open, close)) = f.body else { continue };
+            let acqs = acquisitions(sf, &f.name, open, close);
+            for a in 0..acqs.len() {
+                for b in (a + 1)..acqs.len() {
+                    if acqs[a].class == acqs[b].class {
+                        continue;
+                    }
+                    if sf.allowed("lock_order", acqs[b].line) {
+                        continue;
+                    }
+                    edges.push((
+                        acqs[a].class.clone(),
+                        acqs[b].class.clone(),
+                        acqs[a].clone(),
+                        acqs[b].clone(),
+                    ));
+                }
+            }
+        }
+    }
+
+    // Adjacency over classes.
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for (from, to, _, _) in &edges {
+        adj.entry(from).or_default().insert(to);
+    }
+
+    // An edge (u, v) participates in a cycle iff v reaches u.
+    let mut seen_msgs: BTreeSet<String> = BTreeSet::new();
+    for (from, to, first, second) in &edges {
+        if !reaches(&adj, to, from) {
+            continue;
+        }
+        let msg = format!(
+            "lock-order cycle: `{from}` -> `{to}` (fn `{}` acquires `{to}`.{}() at \
+             {}:{} while `{from}`.{}() from {}:{} may be held); another path acquires \
+             them in the opposite order",
+            second.fn_name,
+            second.method,
+            first.file,
+            second.line,
+            first.method,
+            first.file,
+            first.line,
+        );
+        if !seen_msgs.insert(msg.clone()) {
+            continue;
+        }
+        out.push(Finding {
+            rule: "lock_order",
+            file: second.file.clone(),
+            line: second.line,
+            col: second.col,
+            message: msg,
+        });
+    }
+}
+
+fn reaches(adj: &BTreeMap<&str, BTreeSet<&str>>, from: &str, target: &str) -> bool {
+    let mut stack = vec![from];
+    let mut visited: BTreeSet<&str> = BTreeSet::new();
+    while let Some(node) = stack.pop() {
+        if node == target {
+            return true;
+        }
+        if !visited.insert(node) {
+            continue;
+        }
+        if let Some(next) = adj.get(node) {
+            stack.extend(next.iter().copied());
+        }
+    }
+    false
+}
+
+/// Ordered `.lock()`/`.read()`/`.write()` acquisitions inside a fn body.
+fn acquisitions(sf: &SourceFile, fn_name: &str, open: usize, close: usize) -> Vec<Acq> {
+    let toks = sf.tokens();
+    let mut out = Vec::new();
+    let hi = close.min(toks.len().saturating_sub(1));
+    for i in open..=hi {
+        if !toks[i].is_punct('.') || i == open {
+            continue;
+        }
+        let Some(method) = toks.get(i + 1).and_then(|t| t.ident()) else {
+            continue;
+        };
+        if !LOCK_METHODS.contains(&method) {
+            continue;
+        }
+        // Zero-arg call: `( )` directly after the method name.
+        if !(toks.get(i + 2).is_some_and(|t| t.is_punct('('))
+            && toks.get(i + 3).is_some_and(|t| t.is_punct(')')))
+        {
+            continue;
+        }
+        // Receiver class: identifier directly before the `.`.
+        let Some(class) = toks[i - 1].ident() else {
+            continue;
+        };
+        if KEYWORDS.contains(&class) {
+            continue;
+        }
+        if sf.in_test(i) {
+            continue;
+        }
+        out.push(Acq {
+            class: class.to_string(),
+            file: sf.rel.clone(),
+            line: toks[i + 1].line,
+            col: toks[i + 1].col,
+            fn_name: fn_name.to_string(),
+            method: method.to_string(),
+        });
+    }
+    out
+}

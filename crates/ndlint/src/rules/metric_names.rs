@@ -1,0 +1,184 @@
+//! Metric-name consistency: every metric registered in code (via the
+//! telemetry registry's `.counter(..)` / `.gauge(..)` / `.histogram(..)`
+//! families) must be `ndpipe_`-prefixed snake_case, counters must end in
+//! `_total`, a name must keep one kind everywhere, and the set of names
+//! must match DESIGN.md's canonical table in both directions.
+
+use crate::scan::SourceFile;
+use crate::{Config, Finding};
+use std::collections::BTreeMap;
+
+/// Registry constructor methods, mapped to the metric kind they create.
+const METHODS: &[(&str, &str)] = &[
+    ("counter", "counter"),
+    ("counter_with", "counter"),
+    ("gauge", "gauge"),
+    ("gauge_with", "gauge"),
+    ("histogram", "histogram"),
+    ("histogram_with", "histogram"),
+];
+
+/// One registration site found in code.
+#[derive(Debug, Clone)]
+pub struct Registration {
+    pub name: String,
+    pub kind: &'static str,
+    pub file: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// Per-file pass: find registrations and flag malformed names in place.
+/// Well-formed registrations are kept for the cross-file pass.
+pub fn collect(sf: &SourceFile, out: &mut Vec<Finding>) {
+    for reg in registrations(sf) {
+        if sf.allowed("metric", reg.line) {
+            continue;
+        }
+        if let Some(problem) = name_problem(&reg) {
+            out.push(Finding {
+                rule: "metric",
+                file: reg.file.clone(),
+                line: reg.line,
+                col: reg.col,
+                message: problem,
+            });
+        }
+    }
+}
+
+/// Cross-file pass: kind consistency plus the bidirectional DESIGN.md
+/// table check.
+pub fn check(files: &[SourceFile], cfg: &Config, out: &mut Vec<Finding>) {
+    let mut by_name: BTreeMap<String, Vec<Registration>> = BTreeMap::new();
+    for sf in files {
+        for reg in registrations(sf) {
+            if sf.allowed("metric", reg.line) {
+                continue;
+            }
+            by_name.entry(reg.name.clone()).or_default().push(reg);
+        }
+    }
+
+    for (name, regs) in &by_name {
+        let first = &regs[0];
+        if let Some(conflict) = regs.iter().find(|r| r.kind != first.kind) {
+            out.push(Finding {
+                rule: "metric",
+                file: conflict.file.clone(),
+                line: conflict.line,
+                col: conflict.col,
+                message: format!(
+                    "metric `{name}` registered as {} here but as {} at {}:{}",
+                    conflict.kind, first.kind, first.file, first.line
+                ),
+            });
+        }
+    }
+
+    let Some(table) = &cfg.metric_table else {
+        return;
+    };
+    let table_kinds: BTreeMap<&str, &str> = table
+        .iter()
+        .map(|(n, k)| (n.as_str(), k.as_str()))
+        .collect();
+
+    for (name, regs) in &by_name {
+        let first = &regs[0];
+        match table_kinds.get(name.as_str()) {
+            None => out.push(Finding {
+                rule: "metric",
+                file: first.file.clone(),
+                line: first.line,
+                col: first.col,
+                message: format!(
+                    "metric `{name}` is not listed in DESIGN.md's canonical metric table"
+                ),
+            }),
+            Some(kind) if *kind != first.kind => out.push(Finding {
+                rule: "metric",
+                file: first.file.clone(),
+                line: first.line,
+                col: first.col,
+                message: format!(
+                    "metric `{name}` registered as {} but DESIGN.md lists it as {kind}",
+                    first.kind
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+    for (name, _) in table {
+        if !by_name.contains_key(name) {
+            out.push(Finding {
+                rule: "metric",
+                file: "DESIGN.md".into(),
+                line: 0,
+                col: 0,
+                message: format!(
+                    "metric `{name}` is listed in DESIGN.md but never registered in code"
+                ),
+            });
+        }
+    }
+}
+
+fn name_problem(reg: &Registration) -> Option<String> {
+    let name = &reg.name;
+    if !name.starts_with("ndpipe_") {
+        return Some(format!(
+            "metric `{name}` must use the `ndpipe_` prefix"
+        ));
+    }
+    let snake = name
+        .chars()
+        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_');
+    if !snake || name.contains("__") || name.ends_with('_') {
+        return Some(format!(
+            "metric `{name}` is not snake_case ([a-z0-9_], no doubled/trailing underscore)"
+        ));
+    }
+    if reg.kind == "counter" && !name.ends_with("_total") {
+        return Some(format!(
+            "counter `{name}` must end in `_total` (Prometheus convention)"
+        ));
+    }
+    None
+}
+
+/// All non-test metric registrations in a file: `.method("name", ...)`
+/// where `method` is a registry constructor and the first argument is a
+/// string literal.
+pub fn registrations(sf: &SourceFile) -> Vec<Registration> {
+    let toks = sf.tokens();
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_punct('.') {
+            continue;
+        }
+        let Some(method) = toks.get(i + 1).and_then(|t| t.ident()) else {
+            continue;
+        };
+        let Some((_, kind)) = METHODS.iter().find(|(m, _)| *m == method) else {
+            continue;
+        };
+        if !toks.get(i + 2).is_some_and(|t| t.is_punct('(')) {
+            continue;
+        }
+        let Some(name) = toks.get(i + 3).and_then(|t| t.str_lit()) else {
+            continue;
+        };
+        if sf.in_test(i) {
+            continue;
+        }
+        out.push(Registration {
+            name: name.to_string(),
+            kind,
+            file: sf.rel.clone(),
+            line: toks[i + 3].line,
+            col: toks[i + 3].col,
+        });
+    }
+    out
+}

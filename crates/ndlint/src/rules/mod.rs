@@ -1,0 +1,8 @@
+//! The five rule families plus directive hygiene.
+
+pub mod directives;
+pub mod lock_order;
+pub mod metric_names;
+pub mod panic_surface;
+pub mod relaxed;
+pub mod wire_dispatch;

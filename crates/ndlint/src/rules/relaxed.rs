@@ -1,0 +1,38 @@
+//! Atomic-ordering audit: every `Ordering::Relaxed` outside `#[cfg(test)]`
+//! must be annotated `// ndlint: allow(relaxed, reason = "...")`. Pure
+//! monotonic counters earn the annotation; cross-stage signalling must be
+//! rewritten to Acquire/Release instead.
+
+use crate::scan::SourceFile;
+use crate::Finding;
+
+pub fn check(sf: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = sf.tokens();
+    for i in 3..toks.len() {
+        if !toks[i].is_ident("Relaxed") {
+            continue;
+        }
+        if !(toks[i - 1].is_punct(':')
+            && toks[i - 2].is_punct(':')
+            && toks[i - 3].is_ident("Ordering"))
+        {
+            continue;
+        }
+        if sf.in_test(i) {
+            continue;
+        }
+        let (line, col) = (toks[i].line, toks[i].col);
+        if sf.allowed("relaxed", line) {
+            continue;
+        }
+        out.push(Finding {
+            rule: "relaxed",
+            file: sf.rel.clone(),
+            line,
+            col,
+            message: "Ordering::Relaxed without `// ndlint: allow(relaxed, reason = ...)`; \
+                      use Acquire/Release for cross-thread handoff, or annotate a pure counter"
+                .into(),
+        });
+    }
+}

@@ -1,0 +1,182 @@
+//! Wire/dispatch exhaustiveness: every variant of a protocol enum must be
+//! mentioned (as `Enum::Variant`) in each configured site — encoder,
+//! decoder, and server dispatch. Adding an RPC op without full plumbing is
+//! a lint error, not a runtime `Unknown op`.
+
+use crate::scan::SourceFile;
+use crate::{Config, Finding, WireCheck, WireSite};
+
+pub fn check(files: &[SourceFile], cfg: &Config, out: &mut Vec<Finding>) {
+    for wc in &cfg.wire_checks {
+        run_check(files, wc, out);
+    }
+}
+
+fn run_check(files: &[SourceFile], wc: &WireCheck, out: &mut Vec<Finding>) {
+    let Some(enum_file) = files.iter().find(|f| f.rel.ends_with(&wc.enum_file_suffix)) else {
+        return; // enum's file not in the scanned set — nothing to enforce
+    };
+    let Some((variants, enum_line)) = enum_variants(enum_file, &wc.enum_name) else {
+        out.push(Finding {
+            rule: "wire",
+            file: enum_file.rel.clone(),
+            line: 0,
+            col: 0,
+            message: format!("enum `{}` not found for wire check", wc.enum_name),
+        });
+        return;
+    };
+    for site in &wc.sites {
+        check_site(files, wc, site, &variants, enum_line, out);
+    }
+}
+
+fn check_site(
+    files: &[SourceFile],
+    wc: &WireCheck,
+    site: &WireSite,
+    variants: &[(String, u32)],
+    enum_line: u32,
+    out: &mut Vec<Finding>,
+) {
+    let Some(sf) = files.iter().find(|f| f.rel.ends_with(&site.file_suffix)) else {
+        out.push(Finding {
+            rule: "wire",
+            file: site.file_suffix.clone(),
+            line: 0,
+            col: 0,
+            message: format!(
+                "{} site for `{}` not found: file missing from scan set",
+                site.label, wc.enum_name
+            ),
+        });
+        return;
+    };
+    let decl = sf.fns.iter().find(|f| {
+        !f.is_test
+            && f.name == site.fn_name
+            && match &site.impl_target {
+                Some(t) => f.impl_target.as_deref() == Some(t.as_str()),
+                None => true,
+            }
+    });
+    let Some(decl) = decl else {
+        out.push(Finding {
+            rule: "wire",
+            file: sf.rel.clone(),
+            line: 0,
+            col: 0,
+            message: format!(
+                "{} site fn `{}` for `{}` not found in {}",
+                site.label, site.fn_name, wc.enum_name, sf.rel
+            ),
+        });
+        return;
+    };
+    let Some((open, close)) = decl.body else {
+        return;
+    };
+    let toks = sf.tokens();
+    let hi = close.min(toks.len().saturating_sub(1));
+    for (variant, vline) in variants {
+        let mut found = false;
+        for i in open..=hi {
+            if toks[i].is_ident(&wc.enum_name)
+                && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                && toks.get(i + 3).is_some_and(|t| t.is_ident(variant))
+            {
+                found = true;
+                break;
+            }
+        }
+        if found || sf.allowed("wire", decl.line) {
+            continue;
+        }
+        out.push(Finding {
+            rule: "wire",
+            file: sf.rel.clone(),
+            line: decl.line,
+            col: 0,
+            message: format!(
+                "`{}::{}` (declared at line {}) is not handled in {} (`fn {}`); \
+                 variant added at enum line {} must be plumbed through every site",
+                wc.enum_name, variant, vline, site.label, site.fn_name, enum_line
+            ),
+        });
+    }
+}
+
+/// Extracts `(variant, line)` pairs of `enum <name> { ... }`, skipping
+/// attribute groups and variant payloads.
+fn enum_variants(sf: &SourceFile, name: &str) -> Option<(Vec<(String, u32)>, u32)> {
+    let toks = sf.tokens();
+    let start = (0..toks.len()).find(|&i| {
+        toks[i].is_ident("enum") && toks.get(i + 1).is_some_and(|t| t.is_ident(name))
+    })?;
+    let open = (start..toks.len()).find(|&i| toks[i].is_punct('{'))?;
+    let mut variants = Vec::new();
+    let mut depth = 0i32;
+    let mut expect_variant = true; // right after `{` or a depth-1 `,`
+    let mut i = open;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct('}') || t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if depth == 1 {
+            if t.is_punct(',') {
+                expect_variant = true;
+            } else if t.is_punct('#') {
+                // attribute on the next variant: skip `#[ ... ]`
+                let mut adepth = 0i32;
+                let mut j = i + 1;
+                while j < toks.len() {
+                    if toks[j].is_punct('[') {
+                        adepth += 1;
+                    } else if toks[j].is_punct(']') {
+                        adepth -= 1;
+                        if adepth == 0 {
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                i = j;
+            } else if expect_variant {
+                if let Some(id) = t.ident() {
+                    if id.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+                        variants.push((id.to_string(), t.line));
+                    }
+                    expect_variant = false;
+                }
+            }
+        }
+        i += 1;
+    }
+    Some((variants, toks[start].line))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    #[test]
+    fn variant_extraction_skips_payloads_and_attrs() {
+        let sf = SourceFile::parse(
+            Path::new("/x/wire.rs"),
+            "wire.rs",
+            "pub enum Op {\n  #[allow(dead_code)]\n  Install { blob: Vec<u8>, epoch: u64 },\n  \
+             Extract(Vec<String>),\n  Shutdown,\n}",
+        );
+        let (variants, line) = enum_variants(&sf, "Op").unwrap();
+        let names: Vec<&str> = variants.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["Install", "Extract", "Shutdown"]);
+        assert_eq!(line, 1);
+    }
+}

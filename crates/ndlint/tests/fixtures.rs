@@ -1,0 +1,231 @@
+//! Golden-diagnostic tests over the fixture corpus: every rule family has
+//! a `_bad.rs` fixture that must fire at the marked line and an `_ok.rs`
+//! twin that must stay clean. Expected lines are located via `// MARK:`
+//! comments so the fixtures can be edited without renumbering tests.
+
+use ndlint::scan::SourceFile;
+use ndlint::{run, Config, Finding, FnFilter, WireCheck, WireSite, Zone};
+use std::path::PathBuf;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+fn fixture(name: &str) -> (SourceFile, String) {
+    let path = fixture_path(name);
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {name} unreadable: {e}"));
+    (SourceFile::parse(&path, name, &src), src)
+}
+
+/// 1-based line of the (unique) line containing `mark`.
+fn marker_line(src: &str, mark: &str) -> u32 {
+    let hits: Vec<u32> = src
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| l.contains(mark))
+        .map(|(i, _)| i as u32 + 1)
+        .collect();
+    assert_eq!(hits.len(), 1, "marker {mark:?} must appear exactly once");
+    hits[0]
+}
+
+fn lines_of<'a>(findings: &'a [Finding], rule: &str) -> Vec<u32> {
+    findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| f.line)
+        .collect()
+}
+
+fn panic_zone(file: &str) -> Config {
+    Config {
+        zones: vec![Zone {
+            file_suffix: file.to_string(),
+            filter: FnFilter::All,
+        }],
+        ..Config::default()
+    }
+}
+
+fn wire_config(file: &str) -> Config {
+    let site = |fn_name: &str, label: &str| WireSite {
+        file_suffix: file.to_string(),
+        impl_target: Some("Op".to_string()),
+        fn_name: fn_name.to_string(),
+        label: label.to_string(),
+    };
+    Config {
+        wire_checks: vec![WireCheck {
+            enum_file_suffix: file.to_string(),
+            enum_name: "Op".to_string(),
+            sites: vec![site("encode_body", "encode"), site("decode_body", "decode")],
+        }],
+        ..Config::default()
+    }
+}
+
+#[test]
+fn relaxed_bad_fires_at_marked_line() {
+    let (sf, src) = fixture("relaxed_bad.rs");
+    let report = run(&[sf], &Config::default());
+    assert_eq!(
+        lines_of(&report.findings, "relaxed"),
+        vec![marker_line(&src, "MARK: relaxed-finding")],
+        "findings: {:?}",
+        report.findings
+    );
+    assert_eq!(report.findings.len(), 1);
+}
+
+#[test]
+fn relaxed_ok_is_clean() {
+    let (sf, _) = fixture("relaxed_ok.rs");
+    let report = run(&[sf], &Config::default());
+    assert!(report.is_clean(), "findings: {:?}", report.findings);
+}
+
+#[test]
+fn panic_bad_fires_on_unwrap_macro_and_index() {
+    let (sf, src) = fixture("panic_bad.rs");
+    let report = run(&[sf], &panic_zone("panic_bad.rs"));
+    let mut lines = lines_of(&report.findings, "panic");
+    lines.sort_unstable();
+    assert_eq!(
+        lines,
+        vec![
+            marker_line(&src, "MARK: panic-unwrap"),
+            marker_line(&src, "MARK: panic-macro"),
+            marker_line(&src, "MARK: panic-index"),
+        ],
+        "findings: {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn panic_bad_is_clean_outside_any_zone() {
+    // The rule is zone-gated: the same file with no zone configured is fine.
+    let (sf, _) = fixture("panic_bad.rs");
+    let report = run(&[sf], &Config::default());
+    assert!(report.is_clean(), "findings: {:?}", report.findings);
+}
+
+#[test]
+fn panic_ok_is_clean_inside_the_zone() {
+    let (sf, _) = fixture("panic_ok.rs");
+    let report = run(&[sf], &panic_zone("panic_ok.rs"));
+    assert!(report.is_clean(), "findings: {:?}", report.findings);
+}
+
+#[test]
+fn lock_order_bad_reports_the_inversion_at_both_later_sites() {
+    let (sf, src) = fixture("lock_order_bad.rs");
+    let report = run(&[sf], &Config::default());
+    let mut lines = lines_of(&report.findings, "lock_order");
+    lines.sort_unstable();
+    assert_eq!(
+        lines,
+        vec![
+            marker_line(&src, "MARK: lock-order-ab"),
+            marker_line(&src, "MARK: lock-order-ba"),
+        ],
+        "findings: {:?}",
+        report.findings
+    );
+    for f in &report.findings {
+        assert!(f.message.contains("lock-order cycle"), "message: {}", f.message);
+    }
+}
+
+#[test]
+fn lock_order_ok_is_clean() {
+    let (sf, _) = fixture("lock_order_ok.rs");
+    let report = run(&[sf], &Config::default());
+    assert!(report.is_clean(), "findings: {:?}", report.findings);
+}
+
+#[test]
+fn wire_bad_flags_the_missing_variant_in_decode_only() {
+    let (sf, src) = fixture("wire_bad.rs");
+    let report = run(&[sf], &wire_config("wire_bad.rs"));
+    let wire: Vec<&Finding> = report.findings.iter().filter(|f| f.rule == "wire").collect();
+    assert_eq!(wire.len(), 1, "findings: {:?}", report.findings);
+    assert_eq!(wire[0].line, marker_line(&src, "MARK: wire-missing-del"));
+    assert!(wire[0].message.contains("`Op::Del`"), "message: {}", wire[0].message);
+    assert!(wire[0].message.contains("decode"), "message: {}", wire[0].message);
+}
+
+#[test]
+fn wire_ok_is_clean() {
+    let (sf, _) = fixture("wire_ok.rs");
+    let report = run(&[sf], &wire_config("wire_ok.rs"));
+    assert!(report.is_clean(), "findings: {:?}", report.findings);
+}
+
+#[test]
+fn metric_bad_fires_on_prefix_suffix_kind_and_table() {
+    let (sf, src) = fixture("metric_bad.rs");
+    let cfg = Config {
+        metric_table: Some(vec![("ndpipe_fixture_mixed".to_string(), "gauge".to_string())]),
+        ..Config::default()
+    };
+    let report = run(&[sf], &cfg);
+    let expect = |mark: &str, needle: &str| {
+        let line = marker_line(&src, mark);
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| f.rule == "metric" && f.line == line && f.message.contains(needle)),
+            "no metric finding at line {line} containing {needle:?}; findings: {:?}",
+            report.findings
+        );
+    };
+    expect("MARK: metric-prefix", "`ndpipe_` prefix");
+    expect("MARK: metric-suffix", "must end in `_total`");
+    expect("MARK: metric-kind-conflict", "registered as histogram here but as gauge");
+    expect("MARK: metric-unlisted", "not listed in DESIGN.md");
+}
+
+#[test]
+fn metric_ok_is_clean_against_a_matching_table() {
+    let (sf, _) = fixture("metric_ok.rs");
+    let cfg = Config {
+        metric_table: Some(vec![
+            ("ndpipe_fixture_requests_total".to_string(), "counter".to_string()),
+            ("ndpipe_fixture_depth".to_string(), "gauge".to_string()),
+            ("ndpipe_fixture_latency_seconds".to_string(), "histogram".to_string()),
+        ]),
+        ..Config::default()
+    };
+    let report = run(&[sf], &cfg);
+    assert!(report.is_clean(), "findings: {:?}", report.findings);
+}
+
+#[test]
+fn metric_table_entry_with_no_registration_fires() {
+    let (sf, _) = fixture("metric_ok.rs");
+    let cfg = Config {
+        metric_table: Some(vec![
+            ("ndpipe_fixture_requests_total".to_string(), "counter".to_string()),
+            ("ndpipe_fixture_depth".to_string(), "gauge".to_string()),
+            ("ndpipe_fixture_latency_seconds".to_string(), "histogram".to_string()),
+            ("ndpipe_fixture_ghost_total".to_string(), "counter".to_string()),
+        ]),
+        ..Config::default()
+    };
+    let report = run(&[sf], &cfg);
+    assert!(
+        report.findings.iter().any(|f| {
+            f.rule == "metric"
+                && f.file == "DESIGN.md"
+                && f.message.contains("ndpipe_fixture_ghost_total")
+                && f.message.contains("never registered")
+        }),
+        "findings: {:?}",
+        report.findings
+    );
+}

@@ -71,12 +71,14 @@ pub fn global() -> &'static Arc<Registry> {
 /// the overhead benchmark flips it to measure an uninstrumented
 /// baseline. Handles stay valid either way — only recording is skipped.
 pub fn enabled() -> bool {
+    // ndlint: allow(relaxed, reason = "advisory kill switch; a stale read only delays when recording toggles, it guards no data")
     ENABLED.load(Ordering::Relaxed)
 }
 
 /// Turns recording at instrumented call sites on or off (see
 /// [`enabled`]).
 pub fn set_enabled(on: bool) {
+    // ndlint: allow(relaxed, reason = "advisory kill switch; no other memory is published through this flag")
     ENABLED.store(on, Ordering::Relaxed);
 }
 

@@ -116,7 +116,7 @@ impl HistogramSnapshot {
         self.sum += other.sum;
         let mut merged: Vec<(f64, u64)> = Vec::with_capacity(self.buckets.len());
         let (mut a, mut b) = (self.buckets.iter().peekable(), other.buckets.iter().peekable());
-        while a.peek().is_some() || b.peek().is_some() {
+        loop {
             match (a.peek(), b.peek()) {
                 (Some(&&(ua, na)), Some(&&(ub, nb))) if ua == ub => {
                     merged.push((ua, na + nb));
@@ -139,7 +139,7 @@ impl HistogramSnapshot {
                     merged.push((ub, nb));
                     b.next();
                 }
-                (None, None) => unreachable!(),
+                (None, None) => break,
             }
         }
         self.buckets = merged;
@@ -365,24 +365,43 @@ struct Reader<'a> {
 
 impl<'a> Reader<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8], &'static str> {
-        if self.pos + n > self.buf.len() {
-            return Err("snapshot payload truncated");
-        }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or("snapshot payload truncated")?;
+        let s = self
+            .buf
+            .get(self.pos..end)
+            .ok_or("snapshot payload truncated")?;
+        self.pos = end;
         Ok(s)
     }
     fn u8(&mut self) -> Result<u8, &'static str> {
-        Ok(self.take(1)?[0])
+        self.take(1)?
+            .first()
+            .copied()
+            .ok_or("snapshot payload truncated")
     }
     fn u32(&mut self) -> Result<u32, &'static str> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("fixed")))
+        let b: [u8; 4] = self
+            .take(4)?
+            .try_into()
+            .map_err(|_| "snapshot payload truncated")?;
+        Ok(u32::from_le_bytes(b))
     }
     fn u64(&mut self) -> Result<u64, &'static str> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("fixed")))
+        let b: [u8; 8] = self
+            .take(8)?
+            .try_into()
+            .map_err(|_| "snapshot payload truncated")?;
+        Ok(u64::from_le_bytes(b))
     }
     fn f64(&mut self) -> Result<f64, &'static str> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("fixed")))
+        let b: [u8; 8] = self
+            .take(8)?
+            .try_into()
+            .map_err(|_| "snapshot payload truncated")?;
+        Ok(f64::from_le_bytes(b))
     }
     fn string(&mut self) -> Result<String, &'static str> {
         let n = self.u32()? as usize;

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Full local gate: build, test, then the ndlint static pass.
+# Mirrors what CI runs; exits non-zero on the first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo run -q -p ndlint --release

@@ -1,0 +1,67 @@
+//! Tier-1 gate: the whole workspace must pass the ndlint static pass.
+//!
+//! This is the same analysis `cargo run -p ndlint` performs — lock-order
+//! cycles, unannotated `Ordering::Relaxed`, panic surface in the no-panic
+//! zones, wire/dispatch exhaustiveness, and metric-name consistency
+//! against DESIGN.md's canonical table.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = ndlint::run_workspace(root);
+    let rendered: Vec<String> = report.findings.iter().map(|f| f.to_string()).collect();
+    assert!(
+        report.is_clean(),
+        "{}\n{}",
+        rendered.join("\n"),
+        report.summary()
+    );
+}
+
+#[test]
+fn workspace_scan_covers_the_crates() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = ndlint::run_workspace(root);
+    assert!(
+        report.files_scanned >= 40,
+        "expected the crates/*/src walk to find a real workspace, got {} files",
+        report.files_scanned
+    );
+}
+
+#[test]
+fn workspace_config_zones_and_sites_resolve() {
+    // Guard against silent rot: every zone file and wire-check site named
+    // in the workspace config must actually exist in the scanned set (a
+    // rename would otherwise quietly disable the rule).
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let paths = ndlint::workspace_sources(root);
+    let rels: Vec<String> = paths
+        .iter()
+        .map(|p| p.to_string_lossy().replace('\\', "/"))
+        .collect();
+    let cfg = ndlint::Config::workspace();
+    for zone in &cfg.zones {
+        assert!(
+            rels.iter().any(|r| r.ends_with(&zone.file_suffix)),
+            "zone file {} missing from scan set",
+            zone.file_suffix
+        );
+    }
+    for wc in &cfg.wire_checks {
+        assert!(
+            rels.iter().any(|r| r.ends_with(&wc.enum_file_suffix)),
+            "wire enum file {} missing from scan set",
+            wc.enum_file_suffix
+        );
+        for site in &wc.sites {
+            assert!(
+                rels.iter().any(|r| r.ends_with(&site.file_suffix)),
+                "wire site file {} missing from scan set",
+                site.file_suffix
+            );
+        }
+    }
+}
