@@ -1,9 +1,10 @@
 //! Measured benchmarks: prints the human-readable reports and writes the
-//! machine-readable JSON artifacts (`results/BENCH_npe_pipeline.json` and
+//! machine-readable JSON artifacts (`results/BENCH_npe_pipeline.json`,
+//! `results/BENCH_gemm_kernel.json`, and
 //! `results/BENCH_telemetry_overhead.json`). Pass `--fast` for smaller
 //! (noisier) configurations.
 
-use bench::reports::{npe_pipeline, telemetry_overhead};
+use bench::reports::{gemm_kernel, npe_pipeline, telemetry_overhead};
 use std::fs;
 
 fn main() {
@@ -20,6 +21,17 @@ fn main() {
     println!("{}", npe_pipeline::render(&m));
     let path = out_dir.join("BENCH_npe_pipeline.json");
     fs::write(&path, npe_pipeline::to_json(&m)).expect("write benchmark json");
+    println!("\n# wrote {}", path.display());
+
+    let params = if fast {
+        gemm_kernel::BenchParams::fast()
+    } else {
+        gemm_kernel::BenchParams::full()
+    };
+    let m = gemm_kernel::measure_with(&params);
+    println!("\n{}", gemm_kernel::render(&m));
+    let path = out_dir.join("BENCH_gemm_kernel.json");
+    fs::write(&path, gemm_kernel::to_json(&m)).expect("write gemm json");
     println!("\n# wrote {}", path.display());
 
     let params = if fast {

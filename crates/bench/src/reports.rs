@@ -18,6 +18,7 @@ pub mod fig18_bandwidth;
 pub mod fig19_batch;
 pub mod fig20_inferentia;
 pub mod fig21_cost;
+pub mod gemm_kernel;
 pub mod npe_pipeline;
 pub mod table1_labels;
 pub mod table2_accuracy;
@@ -44,6 +45,7 @@ pub fn run_all(fast: bool) -> Vec<(&'static str, String)> {
         ("fig20_inferentia", fig20_inferentia::run(fast)),
         ("fig21_cost", fig21_cost::run(fast)),
         ("npe_pipeline", npe_pipeline::run(fast)),
+        ("gemm_kernel", gemm_kernel::run(fast)),
         ("telemetry_overhead", telemetry_overhead::run(fast)),
         ("check_n_run", check_n_run::run(fast)),
         ("ablations", ablations::run(fast)),

@@ -112,36 +112,26 @@ pub fn ftdmp_fine_tune<R: Rng + ?Sized>(
     let mut feature_bytes = 0usize;
     let mut examples = 0usize;
     let engine_cfg = EngineConfig::default();
-    // Concurrent store threads are capped by NDPIPE_THREADS (waves run in
-    // store order, so results are deterministic at any cap).
+    // Concurrent store extractions are capped by NDPIPE_THREADS. Stores
+    // are claimed dynamically from the shared worker pool (no wave
+    // barrier — a slow store no longer stalls the rest of its wave), and
+    // each store's features land in its own index slot, so the gathered
+    // order is deterministic at any cap.
     let max_concurrent = ndpipe_data::deflate::configured_threads().max(1);
     for run in 0..config.n_run {
         // Parallel Store-stage across PipeStores, each running its slice
         // through the threaded NPE engine.
         let timer = record.then(|| phase_hist("extract").start_timer());
-        let mut extracted: Vec<(Tensor, Vec<usize>)> = Vec::with_capacity(stores.len());
-        for wave in stores.chunks(max_concurrent) {
-            let wave_out: Vec<(Tensor, Vec<usize>)> = crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = wave
-                    .iter()
-                    .map(|s| {
-                        let engine_cfg = &engine_cfg;
-                        scope.spawn(move |_| {
-                            let n = s.shard_len();
-                            let lo = run * n / config.n_run;
-                            let hi = (run + 1) * n / config.n_run;
-                            s.extract_features_batched(lo..hi, engine_cfg).0
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("pipestore thread panicked"))
-                    .collect()
+        let stores_shared: &[crate::PipeStore] = stores;
+        let extracted: Vec<(Tensor, Vec<usize>)> =
+            tensor::pool::map_indexed(max_concurrent, stores_shared.len(), |i| {
+                let s = &stores_shared[i];
+                let n = s.shard_len();
+                let lo = run * n / config.n_run;
+                let hi = (run + 1) * n / config.n_run;
+                s.extract_features_batched(lo..hi, &engine_cfg).0
             })
-            .expect("crossbeam scope");
-            extracted.extend(wave_out);
-        }
+            .unwrap_or_else(|e| panic!("pipestore extraction failed: {e}"));
         timer.map(|t| t.observe_and_disarm());
 
         // Gather at the Tuner.

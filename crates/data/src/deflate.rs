@@ -704,20 +704,29 @@ pub fn compress_chunked_with(data: &[u8], chunk_size: usize, threads: usize) -> 
             *slot = c.compress(chunk);
         }
     } else {
+        // Bands of chunks run on the shared worker pool; each band
+        // reuses one Compressor and writes its own output slots, so the
+        // emitted bytes are identical regardless of worker count.
         let per = chunks.len().div_ceil(workers);
-        crossbeam::thread::scope(|s| {
-            for (band_idx, band) in packed.chunks_mut(per).enumerate() {
-                let lo = band_idx * per;
-                let band_chunks = &chunks[lo..lo + band.len()];
-                s.spawn(move |_| {
-                    let mut c = Compressor::new();
-                    for (slot, chunk) in band.iter_mut().zip(band_chunks) {
-                        *slot = c.compress(chunk);
-                    }
-                });
+        let bands: Vec<std::sync::Mutex<(usize, &mut [Vec<u8>])>> = packed
+            .chunks_mut(per)
+            .enumerate()
+            .map(|(i, band)| std::sync::Mutex::new((i * per, band)))
+            .collect();
+        tensor::pool::run(workers, bands.len(), &|t| {
+            if let Some(slot) = bands.get(t) {
+                let mut guard = slot
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                let (lo, band) = &mut *guard;
+                let band_chunks = &chunks[*lo..*lo + band.len()];
+                let mut c = Compressor::new();
+                for (out, chunk) in band.iter_mut().zip(band_chunks) {
+                    *out = c.compress(chunk);
+                }
             }
         })
-        .expect("chunked compression worker panicked");
+        .unwrap_or_else(|e| panic!("chunked compression worker panicked: {e}"));
     }
 
     let payload: usize = packed.iter().map(Vec::len).sum();
@@ -801,19 +810,29 @@ pub fn decompress_framed_with(data: &[u8], threads: usize) -> Result<Vec<u8>, De
     } else {
         results.resize_with(count, || Ok(Vec::new()));
         let per = count.div_ceil(workers);
-        let scope_result = crossbeam::thread::scope(|s| {
-            for (band, band_entries) in results.chunks_mut(per).zip(entries.chunks(per)) {
-                s.spawn(move |_| {
-                    for (slot, entry) in band.iter_mut().zip(band_entries) {
-                        *slot = inflate_one(entry);
+        let run_result = {
+            let bands: Vec<std::sync::Mutex<(&mut [Result<Vec<u8>, DeflateError>], &[(usize, usize, usize)])>> =
+                results
+                    .chunks_mut(per)
+                    .zip(entries.chunks(per))
+                    .map(std::sync::Mutex::new)
+                    .collect();
+            tensor::pool::run(workers, bands.len(), &|t| {
+                if let Some(slot) = bands.get(t) {
+                    let mut guard = slot
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    let (band, band_entries) = &mut *guard;
+                    for (out, entry) in band.iter_mut().zip(band_entries.iter()) {
+                        *out = inflate_one(entry);
                     }
-                });
-            }
-        });
+                }
+            })
+        };
         // A corrupt member surfaces as Err in its result slot; an actual
-        // worker panic (engine bug) is contained to this error instead of
-        // unwinding into the NPE pipeline.
-        if scope_result.is_err() {
+        // worker panic (engine bug) is contained by the pool to a typed
+        // error instead of unwinding into the NPE pipeline.
+        if run_result.is_err() {
             return Err(DeflateError::WorkerPanicked);
         }
     }

@@ -7,7 +7,8 @@
 //! image-shaped demos. Training still happens in the MLP head.
 
 use rand::Rng;
-use tensor::conv::{conv2d, global_avg_pool, max_pool2d, Conv2dSpec};
+use std::sync::OnceLock;
+use tensor::conv::{conv2d_prepacked, global_avg_pool, max_pool2d, Conv2dSpec, PackedConvWeight};
 use tensor::{activation, init, Tensor};
 
 /// A fixed (weight-freeze) convolutional feature extractor:
@@ -30,6 +31,11 @@ use tensor::{activation, init, Tensor};
 pub struct CnnFeatureExtractor {
     /// One `(weight, bias)` per conv stage.
     stages: Vec<(Tensor, Tensor)>,
+    /// Per-stage packed weight panels, built on first use. Weights are
+    /// frozen after construction, so no invalidation is needed — this is
+    /// the conv half of the packed-weight cache (see `Linear::packed`
+    /// for the trainable half).
+    packed: Vec<OnceLock<PackedConvWeight>>,
     in_channels: usize,
 }
 
@@ -51,8 +57,10 @@ impl CnnFeatureExtractor {
             stages.push((w, b));
             c_in = c_out;
         }
+        let packed = (0..stages.len()).map(|_| OnceLock::new()).collect();
         CnnFeatureExtractor {
             stages,
+            packed,
             in_channels,
         }
     }
@@ -89,7 +97,8 @@ impl CnnFeatureExtractor {
         let pool_spec = Conv2dSpec::new(2, 2, 0);
         let mut h = images.clone();
         for (i, (w, b)) in self.stages.iter().enumerate() {
-            h = activation_relu4(&conv2d(&h, w, Some(b), conv_spec));
+            let pw = self.packed[i].get_or_init(|| PackedConvWeight::pack(w));
+            h = activation_relu4(&conv2d_prepacked(&h, pw, Some(b), conv_spec));
             // Pool between stages while the plane is big enough.
             if i + 1 < self.stages.len() && h.dims()[2] >= 2 && h.dims()[3] >= 2 {
                 h = max_pool2d(&h, pool_spec);

@@ -1,6 +1,8 @@
 //! Fully-connected layer with hand-written backward pass.
 
 use rand::Rng;
+use std::sync::{Arc, Mutex, PoisonError};
+use tensor::pack::PackedB;
 use tensor::{init, linalg, Tensor};
 
 /// A dense layer `y = x Wᵀ + b` with SGD-with-momentum state.
@@ -21,7 +23,7 @@ use tensor::{init, linalg, Tensor};
 /// let y = layer.forward(&x);
 /// assert_eq!(y.dims(), &[3, 2]);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Linear {
     w: Tensor,
     b: Tensor,
@@ -29,6 +31,32 @@ pub struct Linear {
     vb: Tensor,
     /// Adam state, allocated on first Adam step: (m_w, v_w, m_b, v_b, t).
     adam: Option<AdamState>,
+    /// Version counter for `w`, bumped on every weight mutation. Keys the
+    /// packed-forward-weight cache: frozen layers (never mutated) pack
+    /// once and reuse the panels every batch.
+    w_version: u64,
+    /// Lazily packed `wᵀ` panels for [`Linear::forward`], tagged with the
+    /// `w_version` they were packed at.
+    packed: Mutex<Option<(u64, Arc<PackedB>)>>,
+}
+
+impl Clone for Linear {
+    fn clone(&self) -> Self {
+        let packed = self
+            .packed
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        Linear {
+            w: self.w.clone(),
+            b: self.b.clone(),
+            vw: self.vw.clone(),
+            vb: self.vb.clone(),
+            adam: self.adam.clone(),
+            w_version: self.w_version,
+            packed: Mutex::new(packed),
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -65,7 +93,28 @@ impl Linear {
             vw: Tensor::zeros(&[d_out, d_in]),
             vb: Tensor::zeros(&[d_out]),
             adam: None,
+            w_version: 0,
+            packed: Mutex::new(None),
         }
+    }
+
+    /// Marks the weights as changed, invalidating the packed cache.
+    fn bump_version(&mut self) {
+        self.w_version = self.w_version.wrapping_add(1);
+    }
+
+    /// The packed `wᵀ` panels for the forward GEMM, re-packed only when
+    /// the weights have changed since the last pack.
+    fn packed_forward_weights(&self) -> Arc<PackedB> {
+        let mut guard = self.packed.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some((v, pb)) = guard.as_ref() {
+            if *v == self.w_version {
+                return Arc::clone(pb);
+            }
+        }
+        let pb = Arc::new(PackedB::pack_nt(&self.w));
+        *guard = Some((self.w_version, Arc::clone(&pb)));
+        pb
     }
 
     /// Input dimensionality.
@@ -98,6 +147,7 @@ impl Linear {
         assert_eq!(b.dims(), self.b.dims(), "bias shape mismatch");
         self.w = w;
         self.b = b;
+        self.bump_version();
     }
 
     /// Number of parameters.
@@ -112,7 +162,10 @@ impl Linear {
     /// Panics if the input width differs from `d_in`.
     pub fn forward(&self, x: &Tensor) -> Tensor {
         assert_eq!(x.dims()[1], self.d_in(), "input width mismatch");
-        linalg::matmul_nt(x, &self.w).add_row_bias(&self.b)
+        // Prepacked wᵀ panels — bit-identical to matmul_nt(x, w), minus
+        // the per-call pack pass (frozen layers pack exactly once).
+        let pb = self.packed_forward_weights();
+        linalg::matmul_packed_b(x, &pb).add_row_bias(&self.b)
     }
 
     /// Backward pass: given the upstream gradient `dy` `[n, out]` and the
@@ -144,6 +197,7 @@ impl Linear {
         self.vb = self.vb.scale(momentum);
         self.vb.axpy(-lr, &grads.db);
         self.b = self.b.add(&self.vb);
+        self.bump_version();
     }
 
     /// One update step under any [`crate::optim::Optimizer`]. For SGD this is exactly
@@ -184,6 +238,7 @@ impl Linear {
                     };
                 adam_update(&mut self.w, &mut state.mw, &mut state.vw, &grads.dw);
                 adam_update(&mut self.b, &mut state.mb, &mut state.vb, &grads.db);
+                self.bump_version();
             }
         }
     }
@@ -324,6 +379,36 @@ mod tests {
         assert!(l.adam.is_some());
         l.reset_momentum();
         assert!(l.adam.is_none());
+    }
+
+    #[test]
+    fn packed_cache_invalidates_on_every_mutation_path() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut l = Linear::new(6, 4, &mut rng);
+        let x = Tensor::randn(&[3, 6], &mut rng);
+        let fresh = |l: &Linear, x: &Tensor| {
+            linalg::matmul_nt(x, l.weights()).add_row_bias(l.bias())
+        };
+        // Populate the cache, then mutate through each path and check the
+        // cached forward tracks the live weights bit-for-bit.
+        assert_eq!(l.forward(&x), fresh(&l, &x));
+
+        l.set_weights(l.weights().scale(2.0), l.bias().clone());
+        assert_eq!(l.forward(&x), fresh(&l, &x), "after set_weights");
+
+        let dy = Tensor::randn(&[3, 4], &mut rng);
+        let g = l.backward(&x, &dy);
+        l.apply(&g, 0.1, 0.9);
+        assert_eq!(l.forward(&x), fresh(&l, &x), "after sgd apply");
+
+        l.step(&g, 0.01, crate::optim::Optimizer::adam());
+        assert_eq!(l.forward(&x), fresh(&l, &x), "after adam step");
+
+        // Clones carry the cache but stay independent.
+        let c = l.clone();
+        l.set_weights(l.weights().scale(0.5), l.bias().clone());
+        assert_eq!(c.forward(&x), fresh(&c, &x), "clone after parent mutation");
+        assert_eq!(l.forward(&x), fresh(&l, &x), "parent after mutation");
     }
 
     #[test]

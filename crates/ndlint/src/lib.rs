@@ -121,6 +121,14 @@ impl Config {
                     file_suffix: "telemetry/src/snapshot.rs".into(),
                     filter: FnFilter::All,
                 },
+                // The shared worker pool: every parallel kernel funnels
+                // through it, and a panic that escapes the pool's own
+                // machinery (rather than being contained per-task and
+                // reported as PoolError) would tear down unrelated jobs.
+                Zone {
+                    file_suffix: "tensor/src/pool.rs".into(),
+                    filter: FnFilter::All,
+                },
                 // NPE worker bodies: a panic here unwinds through a bounded
                 // channel send and wedges the pipeline.
                 Zone {

@@ -1,11 +1,22 @@
 //! 2-D convolution (via im2col) and pooling over NCHW tensors.
+//!
+//! Convolution runs on the same packed GEMM kernel as
+//! [`linalg::matmul`]: the `[c_out, c_in*k*k]` weight matrix is packed
+//! into micro-panels **once per call** (or once per layer via
+//! [`PackedConvWeight`] — the frozen-feature-extractor cache), each
+//! image's patches are lowered into a thread-local im2col buffer (no
+//! per-image allocation), and batch images band across the shared
+//! [`crate::pool`]. Every image is computed by the same serial kernel
+//! whichever thread claims it, so results are bit-identical at any
+//! worker count.
 
+use crate::pack::{self, PackedA};
 use crate::{linalg, Tensor};
 
 /// Work threshold (in multiply-adds) above which [`conv2d`] fans batch
-/// images across threads — the same row-band pattern as
-/// [`linalg::matmul`], applied to the batch dimension. Below it, thread
-/// spawn costs dominate the kernel itself.
+/// images across the worker pool — the same band pattern as
+/// [`linalg::matmul`], applied to the batch dimension. Below it,
+/// scheduling overhead dominates the kernel itself.
 const PAR_THRESHOLD: usize = 1 << 21;
 
 /// Convolution / pooling spatial hyper-parameters.
@@ -52,12 +63,21 @@ impl Conv2dSpec {
 }
 
 /// Lowers `[c, h, w]` image patches into a `[c*k*k, oh*ow]` matrix so
-/// convolution becomes a single matmul.
-fn im2col(input: &[f32], c: usize, h: usize, w: usize, spec: Conv2dSpec) -> (Tensor, usize, usize) {
+/// convolution becomes a single matmul. Writes into `cols` (resized,
+/// capacity reused across calls via the thread-local scratch).
+fn im2col_into(
+    input: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    spec: Conv2dSpec,
+    cols: &mut Vec<f32>,
+) {
     let oh = spec.out_size(h);
     let ow = spec.out_size(w);
     let k = spec.kernel;
-    let mut cols = vec![0.0f32; c * k * k * oh * ow];
+    cols.clear();
+    cols.resize(c * k * k * oh * ow, 0.0);
     let row_len = oh * ow;
     for ch in 0..c {
         for ky in 0..k {
@@ -78,7 +98,50 @@ fn im2col(input: &[f32], c: usize, h: usize, w: usize, spec: Conv2dSpec) -> (Ten
             }
         }
     }
-    (Tensor::from_vec(cols, &[c * k * k, row_len]), oh, ow)
+}
+
+/// A conv2d weight prepacked for the GEMM microkernel: the
+/// `[c_out, c_in*k*k]` matrix as A micro-panels. Frozen feature
+/// extractors build one per layer and reuse it every batch
+/// ([`conv2d_prepacked`]); [`conv2d`] builds one per call.
+#[derive(Debug, Clone)]
+pub struct PackedConvWeight {
+    pa: PackedA,
+    c_out: usize,
+    c_in: usize,
+    kernel: usize,
+}
+
+impl PackedConvWeight {
+    /// Packs an OIKK `[c_out, c_in, k, k]` weight tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `weight` is rank 4 with a square kernel.
+    pub fn pack(weight: &Tensor) -> Self {
+        assert_eq!(weight.shape().rank(), 4, "conv2d weight must be OIKK");
+        let (c_out, c_in, k, k2) = (
+            weight.dims()[0],
+            weight.dims()[1],
+            weight.dims()[2],
+            weight.dims()[3],
+        );
+        assert_eq!(k, k2, "conv2d kernel must be square");
+        let wmat = weight
+            .reshape(&[c_out, c_in * k * k])
+            .expect("weight reshape is size-preserving");
+        PackedConvWeight {
+            pa: PackedA::pack(&wmat),
+            c_out,
+            c_in,
+            kernel: k,
+        }
+    }
+
+    /// `(c_out, c_in, kernel)` of the packed weight.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.c_out, self.c_in, self.kernel)
+    }
 }
 
 /// 2-D convolution of a batched NCHW input.
@@ -93,90 +156,126 @@ fn im2col(input: &[f32], c: usize, h: usize, w: usize, spec: Conv2dSpec) -> (Ten
 ///
 /// Panics on rank or channel mismatches.
 pub fn conv2d(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, spec: Conv2dSpec) -> Tensor {
+    conv2d_with_threads(input, weight, bias, spec, crate::configured_threads())
+}
+
+/// [`conv2d`] with an explicit thread budget (determinism tests, benches).
+///
+/// # Panics
+///
+/// Same contract as [`conv2d`].
+pub fn conv2d_with_threads(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    spec: Conv2dSpec,
+    threads: usize,
+) -> Tensor {
+    let pw = PackedConvWeight::pack(weight);
+    conv2d_prepacked_with_threads(input, &pw, bias, spec, threads)
+}
+
+/// [`conv2d`] with a weight packed ahead of time — the frozen-layer fast
+/// path: the weight-matrix pack pass is skipped entirely.
+///
+/// # Panics
+///
+/// Same contract as [`conv2d`].
+pub fn conv2d_prepacked(
+    input: &Tensor,
+    pw: &PackedConvWeight,
+    bias: Option<&Tensor>,
+    spec: Conv2dSpec,
+) -> Tensor {
+    conv2d_prepacked_with_threads(input, pw, bias, spec, crate::configured_threads())
+}
+
+/// [`conv2d_prepacked`] with an explicit thread budget.
+///
+/// # Panics
+///
+/// Same contract as [`conv2d`].
+pub fn conv2d_prepacked_with_threads(
+    input: &Tensor,
+    pw: &PackedConvWeight,
+    bias: Option<&Tensor>,
+    spec: Conv2dSpec,
+    threads: usize,
+) -> Tensor {
     assert_eq!(input.shape().rank(), 4, "conv2d input must be NCHW");
-    assert_eq!(weight.shape().rank(), 4, "conv2d weight must be OIKK");
     let (n, c_in, h, w) = (
         input.dims()[0],
         input.dims()[1],
         input.dims()[2],
         input.dims()[3],
     );
-    let (c_out, c_in2, k, k2) = (
-        weight.dims()[0],
-        weight.dims()[1],
-        weight.dims()[2],
-        weight.dims()[3],
-    );
-    assert_eq!(c_in, c_in2, "conv2d channel mismatch");
-    assert_eq!(k, k2, "conv2d kernel must be square");
+    let (c_out, pc_in, k) = pw.dims();
+    assert_eq!(c_in, pc_in, "conv2d channel mismatch");
     assert_eq!(k, spec.kernel, "conv2d spec kernel mismatch");
     if let Some(b) = bias {
         assert_eq!(b.len(), c_out, "conv2d bias length mismatch");
     }
 
-    let wmat = weight
-        .reshape(&[c_out, c_in * k * k])
-        .expect("weight reshape is size-preserving");
     let oh = spec.out_size(h);
     let ow = spec.out_size(w);
     let mut out = vec![0.0f32; n * c_out * oh * ow];
-
-    // Each image is an independent im2col + matmul, so batches band
-    // across threads exactly like matmul's output rows: every image is
-    // computed by the same serial kernel whichever band it lands in, and
-    // the result is bit-identical to the single-threaded path.
-    let flops = n * c_out * c_in * k * k * oh * ow;
-    let threads = crate::configured_threads();
     let img_out_len = c_out * oh * ow;
+
+    // Each image is an independent im2col + prepacked GEMM, so batch
+    // images band across the pool exactly like matmul's output rows:
+    // every image is computed by the same serial kernel whichever thread
+    // claims it, and the result is bit-identical to the single-threaded
+    // path.
+    let flops = n * c_out * c_in * k * k * oh * ow;
     if flops >= PAR_THRESHOLD && threads > 1 && n >= 2 {
-        let bands = threads.min(n);
-        let imgs_per_band = n.div_ceil(bands);
-        let mut chunks: Vec<&mut [f32]> = out.chunks_mut(imgs_per_band * img_out_len).collect();
-        crossbeam::thread::scope(|scope| {
-            for (band, chunk) in chunks.iter_mut().enumerate() {
-                let b_lo = band * imgs_per_band;
-                let chunk: &mut [f32] = chunk;
-                let wmat = &wmat;
-                scope.spawn(move |_| {
-                    conv2d_images(input, wmat, bias, spec, b_lo, chunk);
-                });
+        let images: Vec<std::sync::Mutex<(usize, &mut [f32])>> = out
+            .chunks_mut(img_out_len)
+            .enumerate()
+            .map(std::sync::Mutex::new)
+            .collect();
+        crate::pool::run(threads.min(n), images.len(), &|t| {
+            if let Some(slot) = images.get(t) {
+                let mut guard = slot
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                let (b_idx, dst) = &mut *guard;
+                conv2d_image(input, pw, bias, spec, *b_idx, dst);
             }
         })
-        .expect("conv2d worker panicked");
+        .unwrap_or_else(|e| panic!("conv2d: {e}"));
     } else {
-        conv2d_images(input, &wmat, bias, spec, 0, &mut out);
+        for (b_idx, dst) in out.chunks_mut(img_out_len).enumerate() {
+            conv2d_image(input, pw, bias, spec, b_idx, dst);
+        }
     }
     Tensor::from_vec(out, &[n, c_out, oh, ow])
 }
 
-/// Serial im2col kernel over the batch images starting at `b_lo`; `out`
-/// holds exactly those images' output planes.
-fn conv2d_images(
+/// Serial kernel for one batch image: thread-local im2col, then the
+/// prepacked-A GEMM into the image's output plane.
+fn conv2d_image(
     input: &Tensor,
-    wmat: &Tensor,
+    pw: &PackedConvWeight,
     bias: Option<&Tensor>,
     spec: Conv2dSpec,
-    b_lo: usize,
-    out: &mut [f32],
+    b_idx: usize,
+    dst: &mut [f32],
 ) {
     let (c_in, h, w) = (input.dims()[1], input.dims()[2], input.dims()[3]);
-    let c_out = wmat.dims()[0];
+    let c_out = pw.c_out;
     let oh = spec.out_size(h);
     let ow = spec.out_size(w);
     let img_len = c_in * h * w;
-    let img_out_len = c_out * oh * ow;
-    for (i, dst) in out.chunks_mut(img_out_len).enumerate() {
-        let b_idx = b_lo + i;
-        let img = &input.data()[b_idx * img_len..(b_idx + 1) * img_len];
-        let (cols, _, _) = im2col(img, c_in, h, w, spec);
-        let res = linalg::matmul(wmat, &cols); // [c_out, oh*ow]
-        dst.copy_from_slice(res.data());
-        if let Some(bvec) = bias {
-            for co in 0..c_out {
-                let add = bvec.data()[co];
-                for v in &mut dst[co * oh * ow..(co + 1) * oh * ow] {
-                    *v += add;
-                }
+    let img = &input.data()[b_idx * img_len..(b_idx + 1) * img_len];
+    pack::with_im2col(|cols| {
+        im2col_into(img, c_in, h, w, spec, cols);
+        linalg::matmul_packed_a_into(&pw.pa, cols, oh * ow, dst);
+    });
+    if let Some(bvec) = bias {
+        for co in 0..c_out {
+            let add = bvec.data()[co];
+            for v in &mut dst[co * oh * ow..(co + 1) * oh * ow] {
+                *v += add;
             }
         }
     }
@@ -368,11 +467,15 @@ mod tests {
         let input = Tensor::randn(&[n, c_in, hw, hw], &mut rng);
         let weight = Tensor::randn(&[c_out, c_in, k, k], &mut rng);
         let bias = Tensor::randn(&[c_out], &mut rng);
-        let fast = conv2d(&input, &weight, Some(&bias), spec);
-        let wmat = weight.reshape(&[c_out, c_in * k * k]).expect("reshape");
-        let mut serial = vec![0.0f32; n * c_out * o * o];
-        conv2d_images(&input, &wmat, Some(&bias), spec, 0, &mut serial);
-        assert_eq!(fast.data(), serial.as_slice());
+        let serial = conv2d_with_threads(&input, &weight, Some(&bias), spec, 1);
+        for threads in [2, 3, 8] {
+            let fast = conv2d_with_threads(&input, &weight, Some(&bias), spec, threads);
+            assert_eq!(fast.data(), serial.data(), "threads={threads}");
+        }
+        // Prepacked weights take the same kernel path bit-for-bit.
+        let pw = PackedConvWeight::pack(&weight);
+        let pre = conv2d_prepacked(&input, &pw, Some(&bias), spec);
+        assert_eq!(pre.data(), serial.data());
     }
 
     #[test]

@@ -7,7 +7,13 @@
 //! - [`Shape`] — dimension/stride bookkeeping with checked index math,
 //! - [`Tensor`] — a dense, row-major `f32` tensor with elementwise and
 //!   broadcasting operations,
-//! - [`linalg`] — blocked matrix multiplication and transposes,
+//! - [`linalg`] — packed-panel (BLIS-style) matrix multiplication and
+//!   transposes,
+//! - [`pack`] — panel packing + thread-local scratch feeding the GEMM
+//!   microkernel, and the prepacked-operand types the frozen-layer
+//!   weight cache stores,
+//! - [`pool`] — the persistent worker pool every parallel kernel in the
+//!   workspace shares (honours `NDPIPE_THREADS`),
 //! - [`conv`] — im2col 2-D convolution and max/average pooling,
 //! - [`activation`] — ReLU, GELU, sigmoid, (log-)softmax,
 //! - [`init`] — Kaiming/Xavier weight initializers over a seeded RNG.
@@ -32,6 +38,8 @@ pub mod activation;
 pub mod conv;
 pub mod init;
 pub mod linalg;
+pub mod pack;
+pub mod pool;
 pub mod shape;
 pub mod tensor;
 
@@ -79,6 +87,15 @@ pub enum TensorError {
         /// The tensor's dimensions.
         dims: Vec<usize>,
     },
+    /// A worker-pool task panicked while computing this operation. The
+    /// remaining bands still ran to completion before this was reported
+    /// (see [`pool::run`]).
+    WorkerPanicked {
+        /// The operation whose band failed.
+        op: &'static str,
+        /// The contained panic message.
+        msg: String,
+    },
 }
 
 impl std::fmt::Display for TensorError {
@@ -92,6 +109,9 @@ impl std::fmt::Display for TensorError {
             }
             TensorError::IndexOutOfBounds { index, dims } => {
                 write!(f, "index {index:?} out of bounds for dims {dims:?}")
+            }
+            TensorError::WorkerPanicked { op, msg } => {
+                write!(f, "worker panicked in {op}: {msg}")
             }
         }
     }

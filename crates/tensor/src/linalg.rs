@@ -1,23 +1,69 @@
-//! Dense linear algebra: blocked matmul and transposes.
+//! Dense linear algebra: packed-panel GEMM, transposes, dot.
+//!
+//! # Compute kernel
+//!
+//! All three matrix products ([`matmul`], [`matmul_tn`], [`matmul_nt`])
+//! run through one BLIS-style packed kernel:
+//!
+//! 1. B is packed once per call into `NR`-column k-major micro-panels
+//!    (thread-local scratch, or a cached [`PackedB`] for frozen weights).
+//! 2. The `m` output rows are split into bands of whole `MR`-row panels;
+//!    bands are claimed dynamically from the shared [`crate::pool`].
+//! 3. Each band packs its rows of A (k-major micro-panels, or slices a
+//!    prepacked [`PackedA`]) and calls the register-blocked
+//!    [`microkernel`]: an `MR×NR` f32 accumulator tile updated by an
+//!    unrolled multiply-add over `k`, which LLVM auto-vectorizes for the
+//!    baseline target.
+//!
+//! Transposed operands are absorbed into the packing strides
+//! (see [`crate::pack::MatRef`]) — `matmul_tn`/`matmul_nt` never
+//! materialize a transpose and scale across the pool exactly like
+//! `matmul`.
+//!
+//! ## Determinism
+//!
+//! Every output element is accumulated over `k` in ascending order by the
+//! same serial microkernel regardless of which thread computes its band,
+//! and bands never share output cells — so results are bit-identical at
+//! any `NDPIPE_THREADS` value. Band *geometry* only affects scheduling,
+//! not values.
 
-use crate::Tensor;
+use crate::pack::{self, pack_a_panels, pack_b_panels, MatRef, PackedA, PackedB, MR, NR};
+use crate::pool::{self, PoolError};
+use crate::{Tensor, TensorError};
+use std::sync::{Mutex, OnceLock};
 
-/// Cache-blocking tile size for [`matmul`]. 64×64 f32 tiles (16 KiB) fit
-/// comfortably in L1 on every machine this project targets.
+/// Cache-blocking tile size for [`reference_matmul`]. 64×64 f32 tiles
+/// (16 KiB) fit comfortably in L1 on every machine this project targets.
 const TILE: usize = 64;
 
-/// Work threshold (in multiply-adds) above which [`matmul`] fans the
-/// output rows across threads. Below it, thread spawn costs dominate.
+/// Work threshold (in multiply-adds) above which the GEMM driver fans
+/// output-row bands across the worker pool. Below it, submission overhead
+/// dominates the kernel itself.
 const PAR_THRESHOLD: usize = 1 << 21;
+
+/// Cached handle for the `ndpipe_gemm_flops_total` counter so the hot
+/// path pays one relaxed atomic add, not a registry lookup.
+fn flops_counter() -> &'static telemetry::Counter {
+    static FLOPS: OnceLock<telemetry::Counter> = OnceLock::new();
+    FLOPS.get_or_init(|| {
+        telemetry::global().counter(
+            "ndpipe_gemm_flops_total",
+            "f32 floating-point operations executed by the packed GEMM driver",
+        )
+    })
+}
 
 /// Matrix product `a @ b` for `a: [m, k]`, `b: [k, n]`.
 ///
-/// Uses i-k-j loop order over cache-sized tiles, which keeps the innermost
-/// loop a contiguous saxpy over the output row.
+/// Runs the packed-panel kernel with the [`crate::configured_threads`]
+/// budget; see the module docs for the kernel and determinism story.
 ///
 /// # Panics
 ///
-/// Panics unless both inputs are rank 2 with compatible inner dimensions.
+/// Panics unless both inputs are rank 2 with compatible inner dimensions,
+/// or if a pool worker panics (see [`try_matmul`] for the typed-error
+/// form).
 ///
 /// # Example
 ///
@@ -29,6 +75,15 @@ const PAR_THRESHOLD: usize = 1 << 21;
 /// assert_eq!(matmul(&a, &b).data(), &[2.0, 1.0, 4.0, 3.0]);
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    matmul_with_threads(a, b, crate::configured_threads())
+}
+
+/// [`matmul`] with an explicit thread budget (determinism tests, benches).
+///
+/// # Panics
+///
+/// Same contract as [`matmul`].
+pub fn matmul_with_threads(a: &Tensor, b: &Tensor, threads: usize) -> Tensor {
     assert_eq!(a.shape().rank(), 2, "matmul lhs must be a matrix");
     assert_eq!(b.shape().rank(), 2, "matmul rhs must be a matrix");
     let (m, k) = (a.dims()[0], a.dims()[1]);
@@ -37,38 +92,220 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
         k, k2,
         "matmul inner dimension mismatch: [{m}, {k}] @ [{k2}, {n}]"
     );
+    unwrap_gemm("matmul", gemm(m, n, k, ASrc::nn(a), BSrc::nn(b), threads))
+}
 
-    let mut out = vec![0.0f32; m * n];
+/// Fallible [`matmul`]: shape errors and pool-worker failures come back
+/// as [`TensorError`] instead of panics.
+///
+/// # Errors
+///
+/// [`TensorError::ShapeMismatch`] on rank/dimension mismatch,
+/// [`TensorError::WorkerPanicked`] if a pool task panicked.
+pub fn try_matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let (m, k, n) = check_shapes("matmul", a, b, Layout::Nn)?;
+    gemm(m, n, k, ASrc::nn(a), BSrc::nn(b), crate::configured_threads())
+        .map_err(|e| worker_err("matmul", e))
+}
+
+/// `aᵀ @ b` without materializing the transpose: `a: [k, m]`, `b: [k, n]`.
+///
+/// This is the shape that appears in the weight gradient of a linear layer
+/// (`dW = xᵀ @ dy`). Runs the same packed kernel/pool as [`matmul`].
+///
+/// # Panics
+///
+/// Panics unless both inputs are rank 2 with matching leading dimension,
+/// or if a pool worker panics.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    matmul_tn_with_threads(a, b, crate::configured_threads())
+}
+
+/// [`matmul_tn`] with an explicit thread budget.
+///
+/// # Panics
+///
+/// Same contract as [`matmul_tn`].
+pub fn matmul_tn_with_threads(a: &Tensor, b: &Tensor, threads: usize) -> Tensor {
+    assert_eq!(a.shape().rank(), 2, "matmul_tn lhs must be a matrix");
+    assert_eq!(b.shape().rank(), 2, "matmul_tn rhs must be a matrix");
+    let (k, m) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(k, k2, "matmul_tn leading dimension mismatch");
+    unwrap_gemm("matmul_tn", gemm(m, n, k, ASrc::tn(a), BSrc::nn(b), threads))
+}
+
+/// Fallible [`matmul_tn`].
+///
+/// # Errors
+///
+/// Same contract as [`try_matmul`].
+pub fn try_matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let (m, k, n) = check_shapes("matmul_tn", a, b, Layout::Tn)?;
+    gemm(m, n, k, ASrc::tn(a), BSrc::nn(b), crate::configured_threads())
+        .map_err(|e| worker_err("matmul_tn", e))
+}
+
+/// `a @ bᵀ` without materializing the transpose: `a: [m, k]`, `b: [n, k]`.
+///
+/// This is the shape of a linear layer's forward pass and input gradient
+/// (`y = x @ Wᵀ`, `dx = dy @ W` reads W naturally). Runs the same packed
+/// kernel/pool as [`matmul`].
+///
+/// # Panics
+///
+/// Panics unless both inputs are rank 2 with matching trailing dimension,
+/// or if a pool worker panics.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    matmul_nt_with_threads(a, b, crate::configured_threads())
+}
+
+/// [`matmul_nt`] with an explicit thread budget.
+///
+/// # Panics
+///
+/// Same contract as [`matmul_nt`].
+pub fn matmul_nt_with_threads(a: &Tensor, b: &Tensor, threads: usize) -> Tensor {
+    assert_eq!(a.shape().rank(), 2, "matmul_nt lhs must be a matrix");
+    assert_eq!(b.shape().rank(), 2, "matmul_nt rhs must be a matrix");
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (n, k2) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(k, k2, "matmul_nt trailing dimension mismatch");
+    unwrap_gemm("matmul_nt", gemm(m, n, k, ASrc::nn(a), BSrc::nt(b), threads))
+}
+
+/// Fallible [`matmul_nt`].
+///
+/// # Errors
+///
+/// Same contract as [`try_matmul`].
+pub fn try_matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let (m, k, n) = check_shapes("matmul_nt", a, b, Layout::Nt)?;
+    gemm(m, n, k, ASrc::nn(a), BSrc::nt(b), crate::configured_threads())
+        .map_err(|e| worker_err("matmul_nt", e))
+}
+
+/// `pa @ b` with a prepacked left operand (`pa: [m, k]`, `b: [k, n]`):
+/// the per-call A-pack pass is skipped entirely. Used by conv2d, which
+/// multiplies the same weight matrix against every image's im2col panels.
+///
+/// # Panics
+///
+/// Panics on inner-dimension mismatch or if a pool worker panics.
+pub fn matmul_packed_a(pa: &PackedA, b: &Tensor) -> Tensor {
+    matmul_packed_a_with_threads(pa, b, crate::configured_threads())
+}
+
+/// [`matmul_packed_a`] with an explicit thread budget.
+///
+/// # Panics
+///
+/// Same contract as [`matmul_packed_a`].
+pub fn matmul_packed_a_with_threads(pa: &PackedA, b: &Tensor, threads: usize) -> Tensor {
+    assert_eq!(b.shape().rank(), 2, "matmul_packed_a rhs must be a matrix");
+    let (m, k) = pa.dims();
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(k, k2, "matmul_packed_a inner dimension mismatch");
+    unwrap_gemm(
+        "matmul_packed_a",
+        gemm(m, n, k, ASrc::Packed(pa), BSrc::nn(b), threads),
+    )
+}
+
+/// `a @ B` with a prepacked right operand (`a: [m, k]`, `B: [k, n]`):
+/// the per-call B-pack pass is skipped entirely. This is the frozen-layer
+/// fast path — a feature extractor packs its weights once
+/// ([`PackedB::pack_nt`]) and every batch reuses the panels.
+///
+/// # Panics
+///
+/// Panics on inner-dimension mismatch or if a pool worker panics.
+pub fn matmul_packed_b(a: &Tensor, pb: &PackedB) -> Tensor {
+    assert_eq!(a.shape().rank(), 2, "matmul_packed_b lhs must be a matrix");
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = pb.dims();
+    assert_eq!(k, k2, "matmul_packed_b inner dimension mismatch");
+    unwrap_gemm(
+        "matmul_packed_b",
+        gemm(
+            m,
+            n,
+            k,
+            ASrc::nn(a),
+            BSrc::Packed(pb),
+            crate::configured_threads(),
+        ),
+    )
+}
+
+/// Transpose of a `[m, n]` matrix, tiled so both the source reads and the
+/// destination writes stay within cache lines of a 32×32 block (the naive
+/// column-scatter loop misses on every store for wide matrices).
+///
+/// # Panics
+///
+/// Panics unless the input is rank 2.
+pub fn transpose(a: &Tensor) -> Tensor {
+    const TR_TILE: usize = 32;
+    assert_eq!(a.shape().rank(), 2, "transpose needs a matrix");
+    let (m, n) = (a.dims()[0], a.dims()[1]);
     let ad = a.data();
-    let bd = b.data();
-
-    // Large products fan output-row bands across threads; each band is an
-    // independent serial matmul, so results are bit-identical to the
-    // single-threaded path. The band count honours NDPIPE_THREADS.
-    let threads = crate::configured_threads();
-    if m * k * n >= PAR_THRESHOLD && threads > 1 && m >= 2 {
-        let bands = threads.min(m);
-        let rows_per_band = m.div_ceil(bands);
-        let mut chunks: Vec<&mut [f32]> = out.chunks_mut(rows_per_band * n).collect();
-        crossbeam::thread::scope(|scope| {
-            for (band, chunk) in chunks.iter_mut().enumerate() {
-                let i_lo = band * rows_per_band;
-                let chunk: &mut [f32] = chunk;
-                scope.spawn(move |_| {
-                    matmul_rows(ad, bd, chunk, i_lo, i_lo + chunk.len() / n, k, n);
-                });
+    let mut out = vec![0.0f32; m * n];
+    for i0 in (0..m).step_by(TR_TILE) {
+        let i1 = (i0 + TR_TILE).min(m);
+        for j0 in (0..n).step_by(TR_TILE) {
+            let j1 = (j0 + TR_TILE).min(n);
+            for i in i0..i1 {
+                for j in j0..j1 {
+                    out[j * m + i] = ad[i * n + j];
+                }
             }
-        })
-        .expect("matmul worker panicked");
-    } else {
-        matmul_rows(ad, bd, &mut out, 0, m, k, n);
+        }
     }
+    Tensor::from_vec(out, &[n, m])
+}
+
+/// Dot product of two equal-length rank-1 tensors.
+///
+/// # Panics
+///
+/// Panics unless both inputs are rank 1 of equal length.
+pub fn dot(a: &Tensor, b: &Tensor) -> f32 {
+    assert_eq!(a.shape().rank(), 1, "dot lhs must be a vector");
+    assert_eq!(b.shape().rank(), 1, "dot rhs must be a vector");
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.data().iter().zip(b.data()).map(|(&x, &y)| x * y).sum()
+}
+
+/// The pre-packing serial kernel (i-k-j saxpy over 64×64 tiles), kept as
+/// the benchmark baseline and test oracle for the packed driver.
+///
+/// # Panics
+///
+/// Panics unless both inputs are rank 2 with compatible inner dimensions.
+pub fn reference_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2, "matmul lhs must be a matrix");
+    assert_eq!(b.shape().rank(), 2, "matmul rhs must be a matrix");
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(k, k2, "matmul inner dimension mismatch");
+    let mut out = vec![0.0f32; m * n];
+    matmul_rows(a.data(), b.data(), &mut out, 0, m, k, n);
     Tensor::from_vec(out, &[m, n])
 }
 
 /// Serial tiled kernel over output rows `i_lo..i_hi`; `out` holds exactly
-/// those rows.
-fn matmul_rows(ad: &[f32], bd: &[f32], out: &mut [f32], i_lo: usize, i_hi: usize, k: usize, n: usize) {
+/// those rows. This was the PR-1 production kernel; see
+/// [`reference_matmul`].
+fn matmul_rows(
+    ad: &[f32],
+    bd: &[f32],
+    out: &mut [f32],
+    i_lo: usize,
+    i_hi: usize,
+    k: usize,
+    n: usize,
+) {
     for i0 in (i_lo..i_hi).step_by(TILE) {
         let i1 = (i0 + TILE).min(i_hi);
         for k0 in (0..k).step_by(TILE) {
@@ -94,98 +331,288 @@ fn matmul_rows(ad: &[f32], bd: &[f32], out: &mut [f32], i_lo: usize, i_hi: usize
     }
 }
 
-/// Transpose of a `[m, n]` matrix.
-///
-/// # Panics
-///
-/// Panics unless the input is rank 2.
-pub fn transpose(a: &Tensor) -> Tensor {
-    assert_eq!(a.shape().rank(), 2, "transpose needs a matrix");
-    let (m, n) = (a.dims()[0], a.dims()[1]);
-    let ad = a.data();
-    let mut out = vec![0.0f32; m * n];
-    for i in 0..m {
-        for j in 0..n {
-            out[j * m + i] = ad[i * n + j];
-        }
-    }
-    Tensor::from_vec(out, &[n, m])
+// ---------------------------------------------------------------------------
+// Packed GEMM driver
+// ---------------------------------------------------------------------------
+
+/// Left-operand source for the driver: a strided view to pack per band, or
+/// panels packed ahead of time.
+enum ASrc<'a> {
+    Mat(MatRef<'a>),
+    Packed(&'a PackedA),
 }
 
-/// `aᵀ @ b` without materializing the transpose: `a: [k, m]`, `b: [k, n]`.
-///
-/// This is the shape that appears in the weight gradient of a linear layer
-/// (`dW = xᵀ @ dy`).
-///
-/// # Panics
-///
-/// Panics unless both inputs are rank 2 with matching leading dimension.
-pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
-    assert_eq!(a.shape().rank(), 2, "matmul_tn lhs must be a matrix");
-    assert_eq!(b.shape().rank(), 2, "matmul_tn rhs must be a matrix");
-    let (k, m) = (a.dims()[0], a.dims()[1]);
-    let (k2, n) = (b.dims()[0], b.dims()[1]);
-    assert_eq!(k, k2, "matmul_tn leading dimension mismatch");
-    let ad = a.data();
-    let bd = b.data();
+impl<'a> ASrc<'a> {
+    fn nn(a: &'a Tensor) -> Self {
+        ASrc::Mat(MatRef::row_major(a.data(), a.dims()[0], a.dims()[1]))
+    }
+
+    /// View `aᵀ` of a `[k, m]` buffer as the `[m, k]` left operand.
+    fn tn(a: &'a Tensor) -> Self {
+        ASrc::Mat(MatRef::transposed(a.data(), a.dims()[1], a.dims()[0]))
+    }
+}
+
+/// Right-operand source: a strided view to pack once per call, or a cached
+/// [`PackedB`].
+enum BSrc<'a> {
+    Mat(MatRef<'a>),
+    Packed(&'a PackedB),
+}
+
+impl<'a> BSrc<'a> {
+    fn nn(b: &'a Tensor) -> Self {
+        BSrc::Mat(MatRef::row_major(b.data(), b.dims()[0], b.dims()[1]))
+    }
+
+    /// View `bᵀ` of an `[n, k]` buffer as the `[k, n]` right operand.
+    fn nt(b: &'a Tensor) -> Self {
+        BSrc::Mat(MatRef::transposed(b.data(), b.dims()[1], b.dims()[0]))
+    }
+}
+
+fn unwrap_gemm(op: &str, r: Result<Tensor, PoolError>) -> Tensor {
+    r.unwrap_or_else(|e| panic!("{op}: {e}"))
+}
+
+fn worker_err(op: &'static str, e: PoolError) -> TensorError {
+    TensorError::WorkerPanicked {
+        op,
+        msg: e.to_string(),
+    }
+}
+
+enum Layout {
+    Nn,
+    Tn,
+    Nt,
+}
+
+/// Shape validation for the fallible entry points; returns `(m, k, n)`.
+fn check_shapes(
+    op: &'static str,
+    a: &Tensor,
+    b: &Tensor,
+    layout: Layout,
+) -> Result<(usize, usize, usize), TensorError> {
+    let mismatch = || TensorError::ShapeMismatch {
+        op,
+        lhs: a.dims().to_vec(),
+        rhs: b.dims().to_vec(),
+    };
+    if a.shape().rank() != 2 || b.shape().rank() != 2 {
+        return Err(mismatch());
+    }
+    let (ad0, ad1) = (a.dims()[0], a.dims()[1]);
+    let (bd0, bd1) = (b.dims()[0], b.dims()[1]);
+    let (m, k, k2, n) = match layout {
+        Layout::Nn => (ad0, ad1, bd0, bd1),
+        Layout::Tn => (ad1, ad0, bd0, bd1),
+        Layout::Nt => (ad0, ad1, bd1, bd0),
+    };
+    if k != k2 {
+        return Err(mismatch());
+    }
+    Ok((m, k, n))
+}
+
+/// The shared packed-panel driver behind every matrix product.
+fn gemm(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: ASrc<'_>,
+    b: BSrc<'_>,
+    threads: usize,
+) -> Result<Tensor, PoolError> {
+    if telemetry::enabled() {
+        flops_counter().add(2 * (m * n * k) as u64);
+    }
     let mut out = vec![0.0f32; m * n];
+    match b {
+        BSrc::Packed(pb) => gemm_packed_b(m, n, k, &a, &pb.buf, threads, &mut out)?,
+        BSrc::Mat(mb) => pack::with_pack_b(|buf| {
+            pack_b_panels(&mb, buf);
+            gemm_packed_b(m, n, k, &a, buf, threads, &mut out)
+        })?,
+    }
+    Ok(Tensor::from_vec(out, &[m, n]))
+}
+
+/// Dispatches row bands over the pool (or runs one serial band).
+fn gemm_packed_b(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &ASrc<'_>,
+    pb: &[f32],
+    threads: usize,
+    out: &mut [f32],
+) -> Result<(), PoolError> {
+    let m_panels = m.div_ceil(MR);
+    let threads = if 2 * m * n * k >= PAR_THRESHOLD {
+        threads.max(1)
+    } else {
+        1
+    };
+    if threads == 1 || m_panels == 1 {
+        gemm_band(a, 0, m, k, n, pb, out);
+        return Ok(());
+    }
+    // Split whole MR-panels into bands; a couple of bands per thread lets
+    // the pool's chunked self-scheduling absorb load imbalance.
+    let band_target = (threads * 2).min(m_panels);
+    let panels_per_band = m_panels.div_ceil(band_target);
+    let rows_per_band = panels_per_band * MR;
+    let bands: Vec<Mutex<(usize, &mut [f32])>> = out
+        .chunks_mut(rows_per_band * n)
+        .enumerate()
+        .map(|(i, c)| Mutex::new((i * rows_per_band, c)))
+        .collect();
+    pool::run(threads, bands.len(), &|t| {
+        if let Some(slot) = bands.get(t) {
+            let mut guard = slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let (r0, band_out) = &mut *guard;
+            let rows = band_out.len() / n;
+            gemm_band(a, *r0, *r0 + rows, k, n, pb, band_out);
+        }
+    })
+}
+
+/// Serial prepacked-A GEMM writing into `out` (length `m * n`), where
+/// `b_data` is a row-major `[k, n]` buffer. This is conv2d's per-image
+/// inner kernel: the image's im2col panels are packed into thread-local
+/// scratch and multiplied against the packed weight matrix without any
+/// allocation.
+pub(crate) fn matmul_packed_a_into(pa: &PackedA, b_data: &[f32], n: usize, out: &mut [f32]) {
+    let (m, k) = pa.dims();
+    debug_assert_eq!(b_data.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    if telemetry::enabled() {
+        flops_counter().add(2 * (m * n * k) as u64);
+    }
+    pack::with_pack_b(|buf| {
+        pack_b_panels(&MatRef::row_major(b_data, k, n), buf);
+        gemm_panels(&pa.buf, m, k, n, buf, out);
+    });
+}
+
+/// Serial packed kernel over output rows `r0..r1` (MR-panel aligned);
+/// `out` holds exactly those rows.
+fn gemm_band(a: &ASrc<'_>, r0: usize, r1: usize, k: usize, n: usize, pb: &[f32], out: &mut [f32]) {
+    match a {
+        ASrc::Packed(pa) => {
+            debug_assert_eq!(r0 % MR, 0);
+            let p0 = r0 / MR;
+            let p1 = r1.div_ceil(MR);
+            gemm_panels(&pa.buf[p0 * MR * k..p1 * MR * k], r1 - r0, k, n, pb, out);
+        }
+        ASrc::Mat(mat) => pack::with_pack_a(|buf| {
+            pack_a_panels(mat, r0, r1, buf);
+            gemm_panels(buf, r1 - r0, k, n, pb, out);
+        }),
+    }
+}
+
+/// Multiplies packed A panels (covering `rows` valid rows) against packed
+/// B panels, masking the write-back at the edges.
+fn gemm_panels(pa: &[f32], rows: usize, k: usize, n: usize, pb: &[f32], out: &mut [f32]) {
+    let n_panels = n.div_ceil(NR);
+    for (p, pa_panel) in pa.chunks_exact(MR * k).enumerate() {
+        let row0 = p * MR;
+        if row0 >= rows {
+            break;
+        }
+        let tile_rows = MR.min(rows - row0);
+        for jp in 0..n_panels {
+            let pb_panel = &pb[jp * NR * k..(jp + 1) * NR * k];
+            let mut acc = [[0.0f32; NR]; MR];
+            microkernel(k, pa_panel, pb_panel, &mut acc);
+            let col0 = jp * NR;
+            let tile_cols = NR.min(n - col0);
+            for (r, acc_row) in acc.iter().enumerate().take(tile_rows) {
+                let dst = &mut out[(row0 + r) * n + col0..(row0 + r) * n + col0 + tile_cols];
+                dst.copy_from_slice(&acc_row[..tile_cols]);
+            }
+        }
+    }
+}
+
+/// Register-blocked micro-tile update: `acc += A_panel @ B_panel` where
+/// `A_panel` is `MR×k` (k-major) and `B_panel` is `k×NR`.
+///
+/// Dispatches once (cached CPUID probe) to an AVX variant on x86-64
+/// hosts that support it, else to the portable auto-vectorized loop.
+/// Both variants perform the *same* IEEE mul-then-add per element in the
+/// same ascending-k order — the AVX path deliberately uses separate
+/// multiply and add (no FMA contraction) — so results are bit-identical
+/// across hosts and dispatch decisions.
+#[inline(always)]
+fn microkernel(k: usize, pa: &[f32], pb: &[f32], acc: &mut [[f32; NR]; MR]) {
+    #[cfg(target_arch = "x86_64")]
+    if avx_available() {
+        // Safety: AVX support was verified at runtime, and the panel
+        // slices are sized `k*MR` / `k*NR` by the packers.
+        unsafe { microkernel_avx(k, pa, pb, acc) };
+        return;
+    }
+    microkernel_portable(k, pa, pb, acc);
+}
+
+/// Portable fallback: fixed-size array arithmetic shaped for LLVM
+/// auto-vectorization — NR independent f32 multiply-adds per A broadcast.
+#[inline(always)]
+fn microkernel_portable(k: usize, pa: &[f32], pb: &[f32], acc: &mut [[f32; NR]; MR]) {
+    let (a_steps, _) = pa.as_chunks::<MR>();
+    let (b_steps, _) = pb.as_chunks::<NR>();
+    for (a_step, b_step) in a_steps.iter().zip(b_steps).take(k) {
+        for (&av, acc_row) in a_step.iter().zip(acc.iter_mut()) {
+            for (c, &bv) in acc_row.iter_mut().zip(b_step) {
+                *c += av * bv;
+            }
+        }
+    }
+}
+
+/// Cached runtime probe for the AVX microkernel.
+#[cfg(target_arch = "x86_64")]
+fn avx_available() -> bool {
+    static AVX: OnceLock<bool> = OnceLock::new();
+    *AVX.get_or_init(|| std::arch::is_x86_feature_detected!("avx"))
+}
+
+/// AVX micro-tile update: each accumulator row is one 8-lane `ymm`
+/// register (`NR == 8`), updated with separate `vmulps`/`vaddps` so the
+/// rounding matches the portable kernel exactly.
+///
+/// # Safety
+///
+/// Requires AVX at runtime; `pa`/`pb` must hold at least `k*MR` / `k*NR`
+/// elements.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn microkernel_avx(k: usize, pa: &[f32], pb: &[f32], acc: &mut [[f32; NR]; MR]) {
+    use std::arch::x86_64::*;
+    const { assert!(NR == 8 && MR == 4) };
+    debug_assert!(pa.len() >= k * MR && pb.len() >= k * NR);
+    let mut c0 = _mm256_loadu_ps(acc[0].as_ptr());
+    let mut c1 = _mm256_loadu_ps(acc[1].as_ptr());
+    let mut c2 = _mm256_loadu_ps(acc[2].as_ptr());
+    let mut c3 = _mm256_loadu_ps(acc[3].as_ptr());
+    let pa = pa.as_ptr();
+    let pb = pb.as_ptr();
     for kk in 0..k {
-        for i in 0..m {
-            let aki = ad[kk * m + i];
-            if aki == 0.0 {
-                continue;
-            }
-            let brow = &bd[kk * n..kk * n + n];
-            let orow = &mut out[i * n..i * n + n];
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += aki * bv;
-            }
-        }
+        let b = _mm256_loadu_ps(pb.add(kk * NR));
+        let a = pa.add(kk * MR);
+        c0 = _mm256_add_ps(c0, _mm256_mul_ps(_mm256_broadcast_ss(&*a), b));
+        c1 = _mm256_add_ps(c1, _mm256_mul_ps(_mm256_broadcast_ss(&*a.add(1)), b));
+        c2 = _mm256_add_ps(c2, _mm256_mul_ps(_mm256_broadcast_ss(&*a.add(2)), b));
+        c3 = _mm256_add_ps(c3, _mm256_mul_ps(_mm256_broadcast_ss(&*a.add(3)), b));
     }
-    Tensor::from_vec(out, &[m, n])
-}
-
-/// `a @ bᵀ` without materializing the transpose: `a: [m, k]`, `b: [n, k]`.
-///
-/// This is the shape of the input gradient of a linear layer
-/// (`dx = dy @ Wᵀ`).
-///
-/// # Panics
-///
-/// Panics unless both inputs are rank 2 with matching trailing dimension.
-pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
-    assert_eq!(a.shape().rank(), 2, "matmul_nt lhs must be a matrix");
-    assert_eq!(b.shape().rank(), 2, "matmul_nt rhs must be a matrix");
-    let (m, k) = (a.dims()[0], a.dims()[1]);
-    let (n, k2) = (b.dims()[0], b.dims()[1]);
-    assert_eq!(k, k2, "matmul_nt trailing dimension mismatch");
-    let ad = a.data();
-    let bd = b.data();
-    let mut out = vec![0.0f32; m * n];
-    for i in 0..m {
-        let arow = &ad[i * k..i * k + k];
-        for j in 0..n {
-            let brow = &bd[j * k..j * k + k];
-            let mut acc = 0.0f32;
-            for (&av, &bv) in arow.iter().zip(brow) {
-                acc += av * bv;
-            }
-            out[i * n + j] = acc;
-        }
-    }
-    Tensor::from_vec(out, &[m, n])
-}
-
-/// Dot product of two equal-length rank-1 tensors.
-///
-/// # Panics
-///
-/// Panics unless both inputs are rank 1 of equal length.
-pub fn dot(a: &Tensor, b: &Tensor) -> f32 {
-    assert_eq!(a.shape().rank(), 1, "dot lhs must be a vector");
-    assert_eq!(b.shape().rank(), 1, "dot rhs must be a vector");
-    assert_eq!(a.len(), b.len(), "dot length mismatch");
-    a.data().iter().zip(b.data()).map(|(&x, &y)| x * y).sum()
+    _mm256_storeu_ps(acc[0].as_mut_ptr(), c0);
+    _mm256_storeu_ps(acc[1].as_mut_ptr(), c1);
+    _mm256_storeu_ps(acc[2].as_mut_ptr(), c2);
+    _mm256_storeu_ps(acc[3].as_mut_ptr(), c3);
 }
 
 #[cfg(test)]
@@ -236,10 +663,54 @@ mod tests {
     }
 
     #[test]
+    fn packed_matches_reference_kernel() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for (m, k, n) in [(4, 8, 8), (33, 17, 29), (70, 64, 66)] {
+            let a = Tensor::randn(&[m, k], &mut rng);
+            let b = Tensor::randn(&[k, n], &mut rng);
+            // Same ascending-k accumulation order → bit-identical to the
+            // PR-1 kernel on finite nonzero data.
+            assert_eq!(matmul(&a, &b), reference_matmul(&a, &b));
+        }
+    }
+
+    #[test]
+    fn prepacked_operands_match_unpacked() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let a = Tensor::randn(&[13, 27], &mut rng);
+        let b = Tensor::randn(&[27, 19], &mut rng);
+        let base = matmul(&a, &b);
+        assert_eq!(matmul_packed_a(&PackedA::pack(&a), &b), base);
+        assert_eq!(matmul_packed_b(&a, &PackedB::pack(&b)), base);
+
+        // pack_nt: w is [n, k], used as bᵀ.
+        let w = Tensor::randn(&[19, 27], &mut rng);
+        assert_eq!(
+            matmul_packed_b(&a, &PackedB::pack_nt(&w)),
+            matmul_nt(&a, &w)
+        );
+    }
+
+    #[test]
     fn transpose_involution() {
         let mut rng = StdRng::seed_from_u64(3);
         let a = Tensor::randn(&[4, 9], &mut rng);
         assert_eq!(transpose(&transpose(&a)), a);
+    }
+
+    #[test]
+    fn blocked_transpose_matches_naive() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for (m, n) in [(1, 1), (3, 95), (95, 3), (33, 70), (64, 64)] {
+            let a = Tensor::randn(&[m, n], &mut rng);
+            let t = transpose(&a);
+            assert_eq!(t.dims(), &[n, m]);
+            for i in 0..m {
+                for j in 0..n {
+                    assert_eq!(t.at(&[j, i]), a.at(&[i, j]));
+                }
+            }
+        }
     }
 
     #[test]
@@ -252,6 +723,19 @@ mod tests {
         let c = Tensor::randn(&[3, 8], &mut rng);
         let d = Tensor::randn(&[7, 8], &mut rng);
         assert_close(&matmul_nt(&c, &d), &matmul(&c, &transpose(&d)), 1e-4);
+    }
+
+    #[test]
+    fn try_variants_report_shape_errors() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        let err = try_matmul(&a, &b).expect_err("mismatched shapes");
+        assert!(matches!(err, TensorError::ShapeMismatch { op: "matmul", .. }));
+        assert!(try_matmul_tn(&a, &b).is_err());
+        assert!(try_matmul_nt(&a, &Tensor::zeros(&[4, 4])).is_err());
+        // And succeed on valid shapes.
+        let ok = try_matmul(&a, &Tensor::zeros(&[3, 5])).expect("valid shapes");
+        assert_eq!(ok.dims(), &[2, 5]);
     }
 
     #[test]
@@ -276,19 +760,29 @@ mod par_tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    /// The parallel path (large product) must agree with the serial
-    /// kernel bit-for-bit, including when rows don't divide evenly.
+    /// The pooled path (large product) must agree with the single-thread
+    /// packed kernel bit-for-bit, including when rows don't divide evenly
+    /// into MR panels or bands.
     #[test]
     fn parallel_matches_serial_exactly() {
         let mut rng = StdRng::seed_from_u64(77);
         for (m, k, n) in [(300, 120, 130), (257, 90, 101)] {
-            assert!(m * k * n >= PAR_THRESHOLD, "case too small to exercise the parallel path");
+            assert!(
+                2 * m * k * n >= PAR_THRESHOLD,
+                "case too small to exercise the parallel path"
+            );
             let a = Tensor::randn(&[m, k], &mut rng);
             let b = Tensor::randn(&[k, n], &mut rng);
-            let fast = matmul(&a, &b);
-            let mut serial = vec![0.0f32; m * n];
-            matmul_rows(a.data(), b.data(), &mut serial, 0, m, k, n);
-            assert_eq!(fast.data(), serial.as_slice());
+            let serial = matmul_with_threads(&a, &b, 1);
+            for threads in [2, 3, 8] {
+                assert_eq!(
+                    matmul_with_threads(&a, &b, threads),
+                    serial,
+                    "threads={threads}"
+                );
+            }
+            // And the packed kernel still agrees with the PR-1 kernel.
+            assert_eq!(serial, reference_matmul(&a, &b));
         }
     }
 }

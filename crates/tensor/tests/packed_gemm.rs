@@ -1,0 +1,230 @@
+//! Property tests of the packed-panel GEMM driver against a naive
+//! triple-loop oracle, over adversarial shapes, plus determinism checks
+//! across worker counts.
+//!
+//! Bit-equality (not tolerance) is the contract: every kernel path —
+//! portable, AVX-dispatched, serial, pooled — accumulates each output
+//! element over k in ascending order with separate multiply and add, so
+//! all paths execute the identical IEEE operation sequence per element.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tensor::linalg;
+use tensor::pack::{PackedA, PackedB};
+use tensor::Tensor;
+
+/// Naive j-inner triple loop, accumulating over k ascending — the same
+/// per-element operation order the microkernel guarantees.
+fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let n = b.dims()[1];
+    let mut out = Tensor::zeros(&[m, n]);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a.at(&[i, p]) * b.at(&[p, j]);
+            }
+            out.set(&[i, j], acc);
+        }
+    }
+    out
+}
+
+/// Shapes the blocking logic finds adversarial: unit dims, dims straddling
+/// the MR=4 / NR=8 panel edges, primes, and tall/skinny aspect ratios.
+const EDGE_SHAPES: &[(usize, usize, usize)] = &[
+    (1, 1, 1),
+    (1, 17, 1),
+    (1, 5, 23),  // m = 1: a single ragged A panel
+    (23, 5, 1),  // n = 1: a single ragged B panel
+    (3, 7, 5),   // everything below one full panel
+    (4, 8, 8),   // exactly one full MR x NR tile
+    (5, 9, 9),   // one past every panel edge
+    (13, 31, 7), // primes
+    (37, 2, 41),
+    (97, 3, 2),  // tall and skinny
+    (2, 3, 97),  // short and wide
+];
+
+#[test]
+fn edge_shapes_match_naive_for_all_layouts() {
+    let mut rng = StdRng::seed_from_u64(9001);
+    for &(m, k, n) in EDGE_SHAPES {
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let b = Tensor::randn(&[k, n], &mut rng);
+        let want = naive_matmul(&a, &b);
+        assert_eq!(
+            linalg::matmul(&a, &b).data(),
+            want.data(),
+            "matmul diverged at {m}x{k}x{n}"
+        );
+        let at = linalg::transpose(&a);
+        assert_eq!(
+            linalg::matmul_tn(&at, &b).data(),
+            want.data(),
+            "matmul_tn diverged at {m}x{k}x{n}"
+        );
+        let bt = linalg::transpose(&b);
+        assert_eq!(
+            linalg::matmul_nt(&a, &bt).data(),
+            want.data(),
+            "matmul_nt diverged at {m}x{k}x{n}"
+        );
+        assert_eq!(
+            linalg::matmul_packed_a(&PackedA::pack(&a), &b).data(),
+            want.data(),
+            "matmul_packed_a diverged at {m}x{k}x{n}"
+        );
+        assert_eq!(
+            linalg::matmul_packed_b(&a, &PackedB::pack(&b)).data(),
+            want.data(),
+            "matmul_packed_b diverged at {m}x{k}x{n}"
+        );
+    }
+}
+
+/// The parallel band split must be invisible: products big enough to
+/// cross the parallel threshold are bit-identical at every worker count.
+#[test]
+fn parallel_products_are_bit_identical_across_worker_counts() {
+    let mut rng = StdRng::seed_from_u64(9002);
+    // Both cross the 2*m*n*k >= 2^21 parallel threshold; the second is
+    // tall/skinny so the band split hits ragged final bands.
+    for &(m, k, n) in &[(128, 96, 96), (517, 600, 9)] {
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let b = Tensor::randn(&[k, n], &mut rng);
+        let serial = linalg::matmul_with_threads(&a, &b, 1);
+        for threads in [2usize, 8] {
+            assert_eq!(
+                linalg::matmul_with_threads(&a, &b, threads).data(),
+                serial.data(),
+                "matmul not deterministic at {m}x{k}x{n}, {threads} threads"
+            );
+        }
+        let at = linalg::transpose(&a);
+        let tn_serial = linalg::matmul_tn_with_threads(&at, &b, 1);
+        assert_eq!(tn_serial.data(), serial.data());
+        let bt = linalg::transpose(&b);
+        let nt_serial = linalg::matmul_nt_with_threads(&a, &bt, 1);
+        assert_eq!(nt_serial.data(), serial.data());
+        for threads in [2usize, 8] {
+            assert_eq!(
+                linalg::matmul_tn_with_threads(&at, &b, threads).data(),
+                serial.data(),
+                "matmul_tn not deterministic at {m}x{k}x{n}, {threads} threads"
+            );
+            assert_eq!(
+                linalg::matmul_nt_with_threads(&a, &bt, threads).data(),
+                serial.data(),
+                "matmul_nt not deterministic at {m}x{k}x{n}, {threads} threads"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The packed kernel agrees bit-for-bit with the naive oracle on
+    /// arbitrary small shapes.
+    #[test]
+    fn matmul_matches_naive(
+        seed in 0u64..1000,
+        m in 1usize..40,
+        k in 1usize..40,
+        n in 1usize..40,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let b = Tensor::randn(&[k, n], &mut rng);
+        let got = linalg::matmul(&a, &b);
+        let want = naive_matmul(&a, &b);
+        prop_assert_eq!(got.data(), want.data());
+    }
+
+    /// The transposed-operand drivers agree with multiplying explicit
+    /// transposes, so all three layouts share one kernel's semantics.
+    #[test]
+    fn tn_and_nt_match_explicit_transposes(
+        seed in 0u64..1000,
+        m in 1usize..24,
+        k in 1usize..24,
+        n in 1usize..24,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let at = Tensor::randn(&[k, m], &mut rng); // aᵀ stored [k, m]
+        let bt = Tensor::randn(&[n, k], &mut rng); // bᵀ stored [n, k]
+        let a = linalg::transpose(&at);
+        let b = linalg::transpose(&bt);
+        let want = naive_matmul(&a, &b);
+        let tn = linalg::matmul_tn(&at, &b);
+        prop_assert_eq!(tn.data(), want.data());
+        let nt = linalg::matmul_nt(&a, &bt);
+        prop_assert_eq!(nt.data(), want.data());
+    }
+
+    /// Prepacking either operand changes nothing about the product.
+    #[test]
+    fn prepacked_operands_are_transparent(
+        seed in 0u64..1000,
+        m in 1usize..24,
+        k in 1usize..24,
+        n in 1usize..24,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let b = Tensor::randn(&[k, n], &mut rng);
+        let want = linalg::matmul(&a, &b);
+        let pa = PackedA::pack(&a);
+        let via_pa = linalg::matmul_packed_a(&pa, &b);
+        prop_assert_eq!(via_pa.data(), want.data());
+        let pb = PackedB::pack(&b);
+        let via_pb = linalg::matmul_packed_b(&a, &pb);
+        prop_assert_eq!(via_pb.data(), want.data());
+        let bt = linalg::transpose(&b);
+        let pbt = PackedB::pack_nt(&bt);
+        let via_pbt = linalg::matmul_packed_b(&a, &pbt);
+        prop_assert_eq!(via_pbt.data(), want.data());
+    }
+
+    /// Blocked transpose round-trips and matches the naive definition.
+    #[test]
+    fn transpose_is_an_involution(
+        seed in 0u64..1000,
+        m in 1usize..70,
+        n in 1usize..70,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::randn(&[m, n], &mut rng);
+        let t = linalg::transpose(&a);
+        prop_assert_eq!(t.dims(), &[n, m]);
+        for i in 0..m {
+            for j in 0..n {
+                prop_assert_eq!(a.at(&[i, j]), t.at(&[j, i]));
+            }
+        }
+        let back = linalg::transpose(&t);
+        prop_assert_eq!(back.data(), a.data());
+    }
+
+    /// Explicit worker budgets never change the product, even below the
+    /// parallel threshold (where they must collapse to the serial path).
+    #[test]
+    fn thread_budget_is_invisible(
+        seed in 0u64..1000,
+        m in 1usize..32,
+        k in 1usize..32,
+        n in 1usize..32,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let b = Tensor::randn(&[k, n], &mut rng);
+        let serial = linalg::matmul_with_threads(&a, &b, 1);
+        for threads in [2usize, 8] {
+            let pooled = linalg::matmul_with_threads(&a, &b, threads);
+            prop_assert_eq!(pooled.data(), serial.data());
+        }
+    }
+}

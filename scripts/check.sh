@@ -7,3 +7,9 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo run -q -p ndlint --release
+# Bench smoke: the measured benches must run end-to-end and write their
+# JSON artifacts (fast configs; numbers are noisy, existence is the gate).
+cargo run -q -p bench --release --bin bench_report -- --fast >/dev/null
+test -s results/BENCH_npe_pipeline.json
+test -s results/BENCH_gemm_kernel.json
+test -s results/BENCH_telemetry_overhead.json
