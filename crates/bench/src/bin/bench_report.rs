@@ -1,10 +1,11 @@
 //! Measured benchmarks: prints the human-readable reports and writes the
 //! machine-readable JSON artifacts (`results/BENCH_npe_pipeline.json`,
-//! `results/BENCH_gemm_kernel.json`, and
-//! `results/BENCH_telemetry_overhead.json`). Pass `--fast` for smaller
+//! `results/BENCH_gemm_kernel.json`,
+//! `results/BENCH_telemetry_overhead.json`, and
+//! `results/BENCH_cluster_fanout.json`). Pass `--fast` for smaller
 //! (noisier) configurations.
 
-use bench::reports::{gemm_kernel, npe_pipeline, telemetry_overhead};
+use bench::reports::{cluster_fanout, gemm_kernel, npe_pipeline, telemetry_overhead};
 use std::fs;
 
 fn main() {
@@ -45,5 +46,18 @@ fn main() {
     telemetry::export::validate_json(&json).expect("overhead json well-formed");
     let path = out_dir.join("BENCH_telemetry_overhead.json");
     fs::write(&path, json).expect("write overhead json");
+    println!("\n# wrote {}", path.display());
+
+    let params = if fast {
+        cluster_fanout::FanoutParams::fast()
+    } else {
+        cluster_fanout::FanoutParams::full()
+    };
+    let m = cluster_fanout::measure_with(&params);
+    println!("\n{}", cluster_fanout::render(&m));
+    let json = cluster_fanout::to_json(&m);
+    telemetry::export::validate_json(&json).expect("fanout json well-formed");
+    let path = out_dir.join("BENCH_cluster_fanout.json");
+    fs::write(&path, json).expect("write fanout json");
     println!("\n# wrote {}", path.display());
 }

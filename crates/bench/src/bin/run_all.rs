@@ -4,15 +4,13 @@
 //! PipeStore fleet. Pass `--fast` for smaller configurations.
 
 use dnn::Mlp;
-use ndpipe::rpc::server::serve_pipestore_once;
-use ndpipe::rpc::{scrape_cluster, RemotePipeStore};
+use ndpipe::rpc::{Cluster, PipeStoreServer, ServerConfig};
 use ndpipe::PipeStore;
 use ndpipe_data::{ClassUniverse, LabeledDataset};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fs;
 use std::path::Path;
-use std::sync::mpsc;
 
 fn main() {
     let fast = bench::fast_flag();
@@ -57,7 +55,8 @@ fn workspace_root() -> &'static Path {
 }
 
 /// Boots two loopback PipeStore servers, drives one feature-extraction
-/// round over RPC, and returns the merged per-peer-labelled scrape.
+/// round over the `Cluster` fan-out, and returns the merged
+/// per-peer-labelled scrape.
 fn scrape_fleet() -> telemetry::Snapshot {
     let mut rng = StdRng::seed_from_u64(7);
     let universe = ClassUniverse::new(16, 8, 4, 0.3, &mut rng);
@@ -72,30 +71,28 @@ fn scrape_fleet() -> telemetry::Snapshot {
     let dataset = LabeledDataset::new(rows, labels, 4);
     let model = Mlp::new(&[16, 24, 4], 1, &mut rng);
 
-    let mut clients = Vec::new();
-    let mut handles = Vec::new();
+    let mut servers = Vec::new();
+    let mut addrs = Vec::new();
     for (i, shard) in dataset.shards(2).into_iter().enumerate() {
-        let store = PipeStore::new(i, shard);
-        let (tx, rx) = mpsc::channel();
-        handles.push(std::thread::spawn(move || {
-            serve_pipestore_once(store, "127.0.0.1:0", move |addr| {
-                tx.send(addr).expect("report addr");
-            })
-            .expect("server session")
-        }));
-        let addr = rx.recv().expect("server came up");
-        clients.push(RemotePipeStore::connect(addr).expect("connect"));
+        let server = PipeStoreServer::bind(
+            PipeStore::new(i, shard),
+            "127.0.0.1:0",
+            ServerConfig::default(),
+        )
+        .expect("bind fleet server");
+        addrs.push(server.local_addr().to_string());
+        servers.push(server);
     }
-    for c in &mut clients {
-        c.install_model(&model).expect("install model");
-        c.extract_features(0, 1).expect("extract features");
+    let cluster = Cluster::builder().connect(&addrs).expect("connect cluster");
+    let fan = cluster.install_model(&model);
+    assert!(fan.failures.is_empty(), "install failures: {:?}", fan.failures);
+    let fan = cluster.extract_features(0, 1);
+    assert!(fan.failures.is_empty(), "extract failures: {:?}", fan.failures);
+    let metrics = cluster.scrape_metrics().expect("scrape cluster");
+    let fan = cluster.shutdown();
+    assert!(fan.failures.is_empty(), "shutdown failures: {:?}", fan.failures);
+    for s in servers {
+        s.shutdown().expect("server drain");
     }
-    let cluster = scrape_cluster(&mut clients).expect("scrape cluster");
-    for c in clients {
-        c.shutdown().expect("shutdown");
-    }
-    for h in handles {
-        h.join().expect("server thread");
-    }
-    cluster.merged_labelled()
+    metrics.merged_labelled()
 }

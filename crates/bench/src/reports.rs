@@ -3,6 +3,7 @@
 pub mod ablations;
 pub mod artifact;
 pub mod check_n_run;
+pub mod cluster_fanout;
 pub mod fig04_drift;
 pub mod fig05_bottleneck;
 pub mod fig06_ndp_breakdown;
@@ -47,6 +48,7 @@ pub fn run_all(fast: bool) -> Vec<(&'static str, String)> {
         ("npe_pipeline", npe_pipeline::run(fast)),
         ("gemm_kernel", gemm_kernel::run(fast)),
         ("telemetry_overhead", telemetry_overhead::run(fast)),
+        ("cluster_fanout", cluster_fanout::run(fast)),
         ("check_n_run", check_n_run::run(fast)),
         ("ablations", ablations::run(fast)),
         ("artifact", artifact::run(fast)),

@@ -17,8 +17,7 @@
 
 use dnn::{Mlp, TrainConfig, Trainer};
 use ndpipe::ftdmp::FtdmpConfig;
-use ndpipe::rpc::server::serve_pipestore_once;
-use ndpipe::rpc::{ftdmp_fine_tune_remote, RemotePipeStore};
+use ndpipe::rpc::{Cluster, FailurePolicy, PipeStoreServer, ServerConfig};
 use ndpipe::{PipeStore, Tuner};
 use ndpipe_data::{ClassUniverse, LabeledDataset};
 use rand::rngs::StdRng;
@@ -32,7 +31,7 @@ const PER_CLASS: usize = 60;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  ndpipe_node pipestore --listen ADDR --shard I/N [--seed S]\n  \
-         ndpipe_node tuner --connect ADDR[,ADDR...] [--seed S] [--runs N] [--epochs E]"
+         ndpipe_node tuner --connect ADDR[,ADDR...] [--seed S] [--runs N] [--epochs E] [--quorum K]"
     );
     ExitCode::FAILURE
 }
@@ -83,12 +82,22 @@ fn run_pipestore(args: &[String]) -> ExitCode {
     let (_, data) = corpus(seed);
     let shard = data.shards(n).swap_remove(i);
     eprintln!(
-        "pipestore {i}/{n}: {} local examples, serving one Tuner session on {listen}",
+        "pipestore {i}/{n}: {} local examples, serving on {listen}",
         shard.len()
     );
-    match serve_pipestore_once(PipeStore::new(i, shard), &listen, |addr| {
-        eprintln!("pipestore {i}/{n}: listening on {addr}");
-    }) {
+    let server = match PipeStoreServer::bind(PipeStore::new(i, shard), &listen, ServerConfig::default())
+    {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("pipestore {i}/{n}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("pipestore {i}/{n}: listening on {}", server.local_addr());
+    // Serve until the first Tuner session finishes, then drain & exit —
+    // the artifact workflow runs one fine-tuning round per invocation.
+    server.wait_idle(1);
+    match server.shutdown() {
         Ok(store) => {
             eprintln!(
                 "pipestore {i}/{n}: session complete (model installed: {})",
@@ -116,6 +125,13 @@ fn run_tuner(args: &[String]) -> ExitCode {
     let epochs: usize = arg_value(args, "--epochs")
         .and_then(|s| s.parse().ok())
         .unwrap_or(12);
+    // `--quorum K`: keep going as long as K stores survive the round;
+    // without it any peer failure aborts (strict).
+    let policy = match arg_value(args, "--quorum").map(|s| s.parse::<usize>()) {
+        Some(Ok(k)) => FailurePolicy::Quorum(k),
+        Some(Err(_)) => return usage(),
+        None => FailurePolicy::Strict,
+    };
 
     let (universe, _) = corpus(seed);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x7A_BE);
@@ -135,23 +151,25 @@ fn run_tuner(args: &[String]) -> ExitCode {
         Trainer::evaluate(tuner.model(), &test)
     );
 
-    let mut remotes = Vec::new();
-    for addr in connect.split(',') {
-        match RemotePipeStore::connect(addr.trim()) {
-            Ok(r) => {
-                eprintln!("tuner: connected to {}", r.peer());
-                remotes.push(r);
-            }
-            Err(e) => {
-                eprintln!("tuner: cannot connect to {addr}: {e}");
-                return ExitCode::FAILURE;
-            }
+    let addrs: Vec<&str> = connect.split(',').map(str::trim).collect();
+    let cluster = match Cluster::builder().policy(policy).connect(&addrs) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("tuner: cannot build cluster: {e}");
+            return ExitCode::FAILURE;
         }
+    };
+    for f in cluster.initial_failures() {
+        eprintln!("tuner: peer down at connect (will retry per-op): {f}");
     }
+    eprintln!(
+        "tuner: driving {} store(s) under policy {:?}",
+        cluster.len(),
+        cluster.policy()
+    );
 
-    let report = match ftdmp_fine_tune_remote(
+    let outcome = match cluster.ftdmp_fine_tune(
         &mut tuner,
-        &mut remotes,
         &FtdmpConfig {
             n_run,
             epochs_per_run: epochs,
@@ -165,12 +183,15 @@ fn run_tuner(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    for r in remotes {
-        if let Err(e) = r.shutdown() {
-            eprintln!("tuner: shutdown warning: {e}");
-        }
+    for f in cluster.shutdown().failures {
+        eprintln!("tuner: shutdown warning: {f}");
     }
 
+    let report = &outcome.report;
+    for f in &outcome.failures {
+        eprintln!("tuner: peer excluded mid-round: {f}");
+    }
+    println!("peers completed       {}", outcome.peers_used.len());
     println!("examples trained      {}", report.examples);
     println!("feature bytes moved   {}", report.feature_bytes);
     println!(

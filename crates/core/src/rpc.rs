@@ -6,30 +6,67 @@
 //!
 //! - [`wire`] — length-prefixed, tagged frames with hand-rolled
 //!   little-endian payload encoding (no external serialization crates),
-//! - [`server`] — `serve_pipestore`: a blocking request loop around a
-//!   [`crate::PipeStore`],
+//!   including the versioned [`wire::Handshake`] that opens every session,
+//! - [`server`] — [`server::PipeStoreServer`]: a concurrent, session-capped
+//!   accept loop around a [`crate::PipeStore`],
 //! - [`client`] — [`client::RemotePipeStore`]: the Tuner's handle to one
 //!   remote store,
-//! - [`distributed`] — FT-DMP over sockets, mirroring
-//!   [`crate::ftdmp::ftdmp_fine_tune`].
+//! - [`cluster`] — [`cluster::Cluster`]: the Tuner's control plane over a
+//!   fleet: one worker thread per peer, parallel fan-out, per-peer retry
+//!   and a [`cluster::FailurePolicy`] so a flaky peer doesn't abort the
+//!   round,
+//! - [`distributed`] — deprecated free-function shims kept for one
+//!   release; they delegate to [`cluster::Cluster`].
 
 pub mod client;
+pub mod cluster;
 pub mod distributed;
 pub mod server;
 pub mod wire;
 
 pub use client::{ConnectOptions, RemotePipeStore};
-pub use distributed::{ftdmp_fine_tune_remote, scrape_cluster, ClusterMetrics};
+pub use cluster::{
+    Cluster, ClusterBuilder, ClusterError, ClusterFtdmpReport, ClusterMetrics, FailurePolicy,
+    Fanout, PeerFailure, PeerResult,
+};
+#[allow(deprecated)]
+pub use distributed::{ftdmp_fine_tune_remote, scrape_cluster};
+pub use server::{PipeStoreServer, ServerConfig};
 
-/// Errors on the RPC path.
+/// Errors on the RPC path, structured so failover logic can `match`
+/// instead of string-sniffing.
 #[derive(Debug)]
 pub enum RpcError {
     /// Socket-level failure.
     Io(std::io::Error),
     /// A frame violated the protocol.
     Protocol(&'static str),
-    /// The peer reported a failure.
-    Remote(String),
+    /// The peer reported an application-level failure for one operation.
+    Remote {
+        /// Peer address the failure came from.
+        peer: String,
+        /// Operation that failed (`Request::op_name` or `"hello"`).
+        op: &'static str,
+        /// The peer's error message.
+        msg: String,
+    },
+    /// The peer speaks a different wire-protocol revision.
+    ProtocolMismatch {
+        /// Our [`wire::PROTOCOL_VERSION`].
+        ours: u32,
+        /// The peer's version.
+        theirs: u32,
+    },
+    /// The peer could not be reached (connect attempts exhausted, or the
+    /// handle is detached) — the canonical "this store is down" signal.
+    PeerUnavailable {
+        /// Peer address (or the connect string when unresolvable).
+        peer: String,
+        /// Connection attempts made before giving up.
+        attempts: u32,
+        /// The last socket error, when one was observed.
+        source: Option<std::io::Error>,
+    },
 }
 
 impl std::fmt::Display for RpcError {
@@ -37,7 +74,21 @@ impl std::fmt::Display for RpcError {
         match self {
             RpcError::Io(e) => write!(f, "rpc i/o error: {e}"),
             RpcError::Protocol(s) => write!(f, "rpc protocol violation: {s}"),
-            RpcError::Remote(s) => write!(f, "remote pipestore error: {s}"),
+            RpcError::Remote { peer, op, msg } => {
+                write!(f, "remote pipestore error ({peer}, {op}): {msg}")
+            }
+            RpcError::ProtocolMismatch { ours, theirs } => write!(
+                f,
+                "protocol version mismatch: ours v{ours}, peer speaks v{theirs}"
+            ),
+            RpcError::PeerUnavailable {
+                peer,
+                attempts,
+                source,
+            } => match source {
+                Some(e) => write!(f, "peer {peer} unavailable after {attempts} attempt(s): {e}"),
+                None => write!(f, "peer {peer} unavailable after {attempts} attempt(s)"),
+            },
         }
     }
 }
@@ -46,6 +97,9 @@ impl std::error::Error for RpcError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             RpcError::Io(e) => Some(e),
+            RpcError::PeerUnavailable {
+                source: Some(e), ..
+            } => Some(e),
             _ => None,
         }
     }
@@ -64,6 +118,36 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(RpcError::Protocol("bad tag").to_string().contains("bad tag"));
-        assert!(RpcError::Remote("boom".into()).to_string().contains("boom"));
+        let remote = RpcError::Remote {
+            peer: "10.0.0.1:7401".into(),
+            op: "apply_delta",
+            msg: "boom".into(),
+        };
+        let s = remote.to_string();
+        assert!(s.contains("boom") && s.contains("10.0.0.1:7401") && s.contains("apply_delta"));
+        let mismatch = RpcError::ProtocolMismatch { ours: 1, theirs: 3 };
+        assert!(mismatch.to_string().contains("v3"));
+        let down = RpcError::PeerUnavailable {
+            peer: "10.0.0.2:7401".into(),
+            attempts: 5,
+            source: None,
+        };
+        assert!(down.to_string().contains("5 attempt"));
+    }
+
+    #[test]
+    fn failover_code_can_match_structured_variants() {
+        // The point of the redesign: no string-sniffing required.
+        let e = RpcError::PeerUnavailable {
+            peer: "x".into(),
+            attempts: 1,
+            source: None,
+        };
+        assert!(matches!(e, RpcError::PeerUnavailable { .. }));
+        let e = RpcError::ProtocolMismatch { ours: 1, theirs: 2 };
+        assert!(matches!(
+            e,
+            RpcError::ProtocolMismatch { ours: 1, theirs: 2 }
+        ));
     }
 }

@@ -1,17 +1,35 @@
 //! The Tuner-side handle to a remote PipeStore.
 
 use crate::checknrun::ModelDelta;
-use crate::rpc::wire::{read_reply, write_request, Reply, Request};
+use crate::rpc::wire::{
+    read_handshake, read_reply, write_handshake, write_request, Handshake, Reply, Request,
+    FEATURE_DELTAS, FEATURE_METRICS, FEATURE_MULTI_SESSION, PROTOCOL_VERSION,
+};
 use crate::rpc::RpcError;
 use dnn::Mlp;
 use std::io::{BufReader, BufWriter};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 use tensor::Tensor;
+
+/// Feature bits this client understands; advertised in the `Hello`.
+pub const CLIENT_FEATURES: u64 = FEATURE_METRICS | FEATURE_DELTAS | FEATURE_MULTI_SESSION;
 
 /// Connection policy for [`RemotePipeStore::connect_with`]: bounded
 /// retry with exponential backoff, plus socket read/write timeouts so a
 /// wedged store cannot pin the Tuner forever.
+///
+/// Build one fluently:
+///
+/// ```
+/// use ndpipe::rpc::ConnectOptions;
+/// use std::time::Duration;
+/// let opts = ConnectOptions::new()
+///     .retries(3)
+///     .backoff(Duration::from_millis(10), Duration::from_millis(100))
+///     .timeout(Duration::from_secs(5));
+/// assert_eq!(opts.max_attempts, 3);
+/// ```
 #[derive(Debug, Clone, Copy)]
 pub struct ConnectOptions {
     /// Connection attempts before giving up (≥ 1).
@@ -36,35 +54,114 @@ impl Default for ConnectOptions {
     }
 }
 
-/// A connected remote PipeStore.
+impl ConnectOptions {
+    /// Starts from the defaults; chain [`ConnectOptions::retries`],
+    /// [`ConnectOptions::backoff`], [`ConnectOptions::timeout`] /
+    /// [`ConnectOptions::no_timeout`] to adjust.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total connection attempts (clamped to ≥ 1).
+    #[must_use]
+    pub fn retries(mut self, attempts: u32) -> Self {
+        self.max_attempts = attempts.max(1);
+        self
+    }
+
+    /// Backoff schedule: sleep `initial` before the second attempt,
+    /// doubling up to `max`.
+    #[must_use]
+    pub fn backoff(mut self, initial: Duration, max: Duration) -> Self {
+        self.initial_backoff = initial;
+        self.max_backoff = max;
+        self
+    }
+
+    /// Socket read/write timeout once connected.
+    #[must_use]
+    pub fn timeout(mut self, t: Duration) -> Self {
+        self.io_timeout = Some(t);
+        self
+    }
+
+    /// Block indefinitely on socket reads/writes.
+    #[must_use]
+    pub fn no_timeout(mut self) -> Self {
+        self.io_timeout = None;
+        self
+    }
+
+    /// The pre-builder field-by-field constructor.
+    #[deprecated(note = "use the ConnectOptions::new() builder")]
+    pub fn legacy(
+        max_attempts: u32,
+        initial_backoff: Duration,
+        max_backoff: Duration,
+        io_timeout: Option<Duration>,
+    ) -> Self {
+        ConnectOptions {
+            max_attempts,
+            initial_backoff,
+            max_backoff,
+            io_timeout,
+        }
+    }
+}
+
+/// The buffered socket halves of one live session.
 #[derive(Debug)]
-pub struct RemotePipeStore {
+struct Io {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
-    peer: std::net::SocketAddr,
+}
+
+/// A remote PipeStore handle. Holds at most one live session; when the
+/// transport is lost (or the handle was detached into a
+/// [`crate::rpc::Cluster`] worker), calls fail with
+/// [`RpcError::PeerUnavailable`] until [`RemotePipeStore::reconnect`]
+/// succeeds.
+#[derive(Debug)]
+pub struct RemotePipeStore {
+    io: Option<Io>,
+    peer: SocketAddr,
+    opts: ConnectOptions,
+    store_id: u64,
+    features: u64,
+    sent_bytes: u64,
+    recv_bytes: u64,
 }
 
 impl RemotePipeStore {
     /// Connects to a PipeStore server with the default
     /// [`ConnectOptions`] (retries transient failures with exponential
-    /// backoff, then applies I/O timeouts).
+    /// backoff, then applies I/O timeouts) and performs the versioned
+    /// `Hello` handshake.
     ///
     /// # Errors
     ///
-    /// The final connection error once every attempt is exhausted.
+    /// [`RpcError::PeerUnavailable`] once every attempt is exhausted,
+    /// [`RpcError::ProtocolMismatch`] on version skew, or the server's
+    /// refusal as [`RpcError::Remote`].
     pub fn connect(addr: impl ToSocketAddrs) -> Result<RemotePipeStore, RpcError> {
-        Self::connect_with(addr, &ConnectOptions::default())
+        Self::connect_with(addr, ConnectOptions::default())
     }
 
     /// Connects under an explicit policy; see [`ConnectOptions`].
     ///
     /// # Errors
     ///
-    /// The final connection error once every attempt is exhausted.
+    /// As [`RemotePipeStore::connect`].
     pub fn connect_with(
         addr: impl ToSocketAddrs,
-        opts: &ConnectOptions,
+        opts: ConnectOptions,
     ) -> Result<RemotePipeStore, RpcError> {
+        let label = addr
+            .to_socket_addrs()
+            .ok()
+            .and_then(|mut a| a.next())
+            .map(|a| a.to_string())
+            .unwrap_or_else(|| "<unresolved>".to_string());
         let attempts = opts.max_attempts.max(1);
         let mut backoff = opts.initial_backoff;
         let mut last_err: Option<std::io::Error> = None;
@@ -82,64 +179,215 @@ impl RemotePipeStore {
                 }
             }
             match TcpStream::connect(&addr) {
-                Ok(stream) => {
-                    stream.set_nodelay(true).ok();
-                    stream.set_read_timeout(opts.io_timeout)?;
-                    stream.set_write_timeout(opts.io_timeout)?;
-                    let peer = stream.peer_addr()?;
-                    return Ok(RemotePipeStore {
-                        reader: BufReader::new(stream.try_clone()?),
-                        writer: BufWriter::new(stream),
-                        peer,
-                    });
-                }
+                Ok(stream) => match Self::open_session(stream, opts) {
+                    Ok(remote) => return Ok(remote),
+                    // Version skew and handshake refusals are permanent:
+                    // retrying the same peer cannot fix them.
+                    Err(RpcError::Io(e)) => last_err = Some(e),
+                    Err(fatal) => return Err(fatal),
+                },
                 Err(e) => last_err = Some(e),
             }
         }
-        Err(RpcError::Io(last_err.unwrap_or_else(|| {
-            std::io::Error::new(std::io::ErrorKind::Other, "no connection attempt ran")
-        })))
+        Err(RpcError::PeerUnavailable {
+            peer: label,
+            attempts,
+            source: last_err,
+        })
+    }
+
+    /// Handshakes over a freshly connected socket.
+    fn open_session(stream: TcpStream, opts: ConnectOptions) -> Result<RemotePipeStore, RpcError> {
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(opts.io_timeout)?;
+        stream.set_write_timeout(opts.io_timeout)?;
+        let peer = stream.peer_addr()?;
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut writer = BufWriter::new(stream);
+        let sent = write_handshake(
+            &mut writer,
+            &Handshake::Hello {
+                version: PROTOCOL_VERSION,
+                features: CLIENT_FEATURES,
+            },
+        )? as u64;
+        let (store_id, features) = match read_handshake(&mut reader)? {
+            Handshake::Accept {
+                version,
+                features,
+                store_id,
+            } => {
+                if version != PROTOCOL_VERSION {
+                    return Err(RpcError::ProtocolMismatch {
+                        ours: PROTOCOL_VERSION,
+                        theirs: version,
+                    });
+                }
+                (store_id, features)
+            }
+            Handshake::Reject { version, reason } => {
+                return Err(if version != PROTOCOL_VERSION {
+                    RpcError::ProtocolMismatch {
+                        ours: PROTOCOL_VERSION,
+                        theirs: version,
+                    }
+                } else {
+                    RpcError::Remote {
+                        peer: peer.to_string(),
+                        op: "hello",
+                        msg: reason,
+                    }
+                });
+            }
+            Handshake::Hello { .. } => {
+                return Err(RpcError::Protocol("unexpected hello from server"));
+            }
+        };
+        Ok(RemotePipeStore {
+            io: Some(Io { reader, writer }),
+            peer,
+            opts,
+            store_id,
+            features,
+            sent_bytes: sent,
+            recv_bytes: 0,
+        })
+    }
+
+    /// A handle with no live session (used by the cluster layer for
+    /// peers that were down at construction; calls fail with
+    /// [`RpcError::PeerUnavailable`] until [`RemotePipeStore::reconnect`]).
+    pub(crate) fn detached(peer: SocketAddr, opts: ConnectOptions) -> RemotePipeStore {
+        RemotePipeStore {
+            io: None,
+            peer,
+            opts,
+            store_id: 0,
+            features: 0,
+            sent_bytes: 0,
+            recv_bytes: 0,
+        }
+    }
+
+    /// Moves the live session (and counters) out of `self`, leaving a
+    /// detached shell behind; [`RemotePipeStore::restore`] undoes it.
+    pub(crate) fn take(&mut self) -> RemotePipeStore {
+        RemotePipeStore {
+            io: self.io.take(),
+            peer: self.peer,
+            opts: self.opts,
+            store_id: self.store_id,
+            features: self.features,
+            sent_bytes: self.sent_bytes,
+            recv_bytes: self.recv_bytes,
+        }
+    }
+
+    /// Reinstalls a session previously moved out with
+    /// [`RemotePipeStore::take`] (possibly reconnected in the interim).
+    pub(crate) fn restore(&mut self, other: RemotePipeStore) {
+        *self = other;
+    }
+
+    /// Whether a live session is attached.
+    pub fn is_connected(&self) -> bool {
+        self.io.is_some()
+    }
+
+    /// Drops the live session (e.g. after an I/O error), keeping the
+    /// address and policy for a later [`RemotePipeStore::reconnect`].
+    pub(crate) fn disconnect(&mut self) {
+        self.io = None;
+    }
+
+    /// Re-dials the peer under the stored [`ConnectOptions`], replacing
+    /// any previous session.
+    ///
+    /// # Errors
+    ///
+    /// As [`RemotePipeStore::connect`].
+    pub fn reconnect(&mut self) -> Result<(), RpcError> {
+        let fresh = Self::connect_with(self.peer, self.opts)?;
+        let (sent, recv) = (self.sent_bytes, self.recv_bytes);
+        *self = fresh;
+        // Wire counters are cumulative across reconnects of this handle.
+        self.sent_bytes += sent;
+        self.recv_bytes += recv;
+        Ok(())
     }
 
     /// The remote address.
-    pub fn peer(&self) -> std::net::SocketAddr {
+    pub fn peer(&self) -> SocketAddr {
         self.peer
     }
 
+    /// The store id the server reported in its handshake `Accept`.
+    pub fn store_id(&self) -> u64 {
+        self.store_id
+    }
+
+    /// Feature bits the server offered in its handshake `Accept`.
+    pub fn features(&self) -> u64 {
+        self.features
+    }
+
+    /// Cumulative `(sent, received)` wire bytes over this handle,
+    /// including frame headers — the honest traffic numbers the
+    /// FT-DMP reports are built from.
+    pub fn wire_totals(&self) -> (u64, u64) {
+        (self.sent_bytes, self.recv_bytes)
+    }
+
     fn call(&mut self, req: &Request) -> Result<Reply, RpcError> {
-        if !telemetry::enabled() {
-            write_request(&mut self.writer, req)?;
-            return Ok(read_reply(&mut self.reader)?.0);
-        }
         let op = req.op_name();
-        let m = telemetry::global();
-        m.counter_with(
-            "ndpipe_rpc_client_requests_total",
-            &[("op", op)],
-            "RPC calls issued by this process",
-        )
-        .inc();
-        let timer = m
-            .histogram_with(
+        let peer = self.peer;
+        let io = self.io.as_mut().ok_or(RpcError::PeerUnavailable {
+            peer: peer.to_string(),
+            attempts: 0,
+            source: None,
+        })?;
+        let record = telemetry::enabled();
+        let timer = record.then(|| {
+            let m = telemetry::global();
+            m.counter_with(
+                "ndpipe_rpc_client_requests_total",
+                &[("op", op)],
+                "RPC calls issued by this process",
+            )
+            .inc();
+            m.histogram_with(
                 "ndpipe_rpc_client_op_seconds",
                 &[("op", op)],
                 "round-trip latency per operation",
             )
-            .start_timer();
-        let sent = write_request(&mut self.writer, req)?;
-        let (reply, received) = read_reply(&mut self.reader)?;
-        timer.observe_and_disarm();
-        m.counter(
-            "ndpipe_rpc_client_bytes_written_total",
-            "request bytes put on the wire",
-        )
-        .add(sent as u64);
-        m.counter(
-            "ndpipe_rpc_client_bytes_read_total",
-            "reply bytes read off the wire",
-        )
-        .add(received as u64);
-        Ok(reply)
+            .start_timer()
+        });
+        let sent = write_request(&mut io.writer, req)?;
+        let (reply, received) = read_reply(&mut io.reader)?;
+        self.sent_bytes += sent as u64;
+        self.recv_bytes += received as u64;
+        if let Some(t) = timer {
+            t.observe_and_disarm();
+            let m = telemetry::global();
+            m.counter(
+                "ndpipe_rpc_client_bytes_written_total",
+                "request bytes put on the wire",
+            )
+            .add(sent as u64);
+            m.counter(
+                "ndpipe_rpc_client_bytes_read_total",
+                "reply bytes read off the wire",
+            )
+            .add(received as u64);
+        }
+        match reply {
+            Reply::Error(msg) => Err(RpcError::Remote {
+                peer: peer.to_string(),
+                op,
+                msg,
+            }),
+            reply => Ok(reply),
+        }
     }
 
     fn expect_ack(&mut self, req: &Request) -> Result<(), RpcError> {
@@ -156,6 +404,16 @@ impl RemotePipeStore {
     /// Socket/protocol/remote errors.
     pub fn install_model(&mut self, model: &Mlp) -> Result<(), RpcError> {
         self.expect_ack(&Request::InstallModel(model.to_bytes()))
+    }
+
+    /// Installs an already-serialized model blob (lets a cluster fan-out
+    /// serialize the master once, not once per peer).
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol/remote errors.
+    pub fn install_model_bytes(&mut self, model: &[u8]) -> Result<(), RpcError> {
+        self.expect_ack(&Request::InstallModel(model.to_vec()))
     }
 
     /// Asks the store to extract features for pipeline run `run` of
@@ -200,6 +458,15 @@ impl RemotePipeStore {
         self.expect_ack(&Request::ApplyDelta(delta.to_bytes()))
     }
 
+    /// Ships an already-serialized Check-N-Run delta blob.
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol/remote errors.
+    pub fn apply_delta_bytes(&mut self, delta: &[u8]) -> Result<(), RpcError> {
+        self.expect_ack(&Request::ApplyDelta(delta.to_vec()))
+    }
+
     /// Fetches `(examples, classes)` shard metadata.
     ///
     /// # Errors
@@ -225,13 +492,26 @@ impl RemotePipeStore {
         }
     }
 
+    /// Ends the session without consuming the handle (the cluster layer
+    /// reuses the handle for reconnects); the server side returns once
+    /// it has acknowledged.
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol errors.
+    pub(crate) fn end_session(&mut self) -> Result<(), RpcError> {
+        let r = self.expect_ack(&Request::Shutdown);
+        self.io = None;
+        r
+    }
+
     /// Ends the session; the server returns after acknowledging.
     ///
     /// # Errors
     ///
     /// Socket/protocol errors.
     pub fn shutdown(mut self) -> Result<(), RpcError> {
-        self.expect_ack(&Request::Shutdown)
+        self.end_session()
     }
 }
 
@@ -243,28 +523,54 @@ mod tests {
     #[test]
     fn connect_gives_up_after_bounded_attempts() {
         // Port 1 on localhost refuses immediately; the retry loop must
-        // back off, then surface the final error.
-        let opts = ConnectOptions {
-            max_attempts: 3,
-            initial_backoff: Duration::from_millis(5),
-            max_backoff: Duration::from_millis(10),
-            io_timeout: None,
-        };
+        // back off, then surface a structured PeerUnavailable.
+        let opts = ConnectOptions::new()
+            .retries(3)
+            .backoff(Duration::from_millis(5), Duration::from_millis(10))
+            .no_timeout();
         let t0 = Instant::now();
-        let r = RemotePipeStore::connect_with("127.0.0.1:1", &opts);
-        assert!(matches!(r, Err(RpcError::Io(_))));
+        match RemotePipeStore::connect_with("127.0.0.1:1", opts) {
+            Err(RpcError::PeerUnavailable { peer, attempts, .. }) => {
+                assert_eq!(attempts, 3);
+                assert!(peer.contains("127.0.0.1:1"), "{peer}");
+            }
+            other => panic!("expected PeerUnavailable, got {other:?}"),
+        }
         // Two backoffs happened: 5ms + 10ms at minimum.
         assert!(t0.elapsed() >= Duration::from_millis(15));
     }
 
     #[test]
     fn zero_attempts_clamps_to_one() {
-        let opts = ConnectOptions {
-            max_attempts: 0,
-            initial_backoff: Duration::from_millis(1),
-            max_backoff: Duration::from_millis(1),
-            io_timeout: None,
-        };
-        assert!(RemotePipeStore::connect_with("127.0.0.1:1", &opts).is_err());
+        let opts = ConnectOptions::new()
+            .retries(0)
+            .backoff(Duration::from_millis(1), Duration::from_millis(1))
+            .no_timeout();
+        assert_eq!(opts.max_attempts, 1);
+        assert!(RemotePipeStore::connect_with("127.0.0.1:1", opts).is_err());
+    }
+
+    #[test]
+    fn detached_handle_reports_peer_unavailable() {
+        let peer: SocketAddr = "127.0.0.1:9".parse().expect("addr");
+        let mut r = RemotePipeStore::detached(peer, ConnectOptions::new().retries(1));
+        assert!(!r.is_connected());
+        match r.describe() {
+            Err(RpcError::PeerUnavailable { attempts: 0, .. }) => {}
+            other => panic!("expected PeerUnavailable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_constructor_still_builds() {
+        let o = ConnectOptions::legacy(
+            2,
+            Duration::from_millis(1),
+            Duration::from_millis(2),
+            None,
+        );
+        assert_eq!(o.max_attempts, 2);
+        assert!(o.io_timeout.is_none());
     }
 }

@@ -1,0 +1,1135 @@
+//! The Tuner's cluster control plane: one worker thread per remote
+//! PipeStore, parallel fan-out of control operations, per-peer retry,
+//! and a [`FailurePolicy`] so an FT-DMP round survives flaky peers.
+//!
+//! This replaces the free-function API (`scrape_cluster`,
+//! `ftdmp_fine_tune_remote` over `&mut [RemotePipeStore]`): a
+//! [`Cluster`] owns its peers, fans every operation out concurrently —
+//! the paper's near-linear-scaling claim (§6) assumes the Store stage of
+//! every peer runs at once — and gathers *typed* per-peer results
+//! ([`Fanout`]) instead of dying on the first [`RpcError`].
+//!
+//! This file is an ndlint no-panic zone: a flaky peer must surface as a
+//! [`PeerFailure`], never as a Tuner-side panic.
+
+use crate::checknrun::ModelDelta;
+use crate::ftdmp::{FtdmpConfig, FtdmpReport};
+use crate::rpc::client::{ConnectOptions, RemotePipeStore};
+use crate::rpc::RpcError;
+use crate::tuner::Tuner;
+use dnn::Mlp;
+use rand::Rng;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use tensor::Tensor;
+
+/// What the control plane does when peers fail an operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailurePolicy {
+    /// Any peer failure aborts the round (the pre-redesign behavior,
+    /// minus the lost work: surviving results are still reported).
+    Strict,
+    /// The round proceeds as long as at least `k` peers stay healthy;
+    /// failed peers are excluded and reported as [`PeerFailure`]s.
+    Quorum(usize),
+}
+
+impl FailurePolicy {
+    /// Whether a phase outcome of `ok` healthy peers and `failed`
+    /// failures lets the round continue.
+    pub fn admits(&self, ok: usize, failed: usize) -> bool {
+        match self {
+            FailurePolicy::Strict => failed == 0,
+            FailurePolicy::Quorum(k) => ok >= *k,
+        }
+    }
+}
+
+impl std::fmt::Display for FailurePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailurePolicy::Strict => write!(f, "strict"),
+            FailurePolicy::Quorum(k) => write!(f, "quorum({k})"),
+        }
+    }
+}
+
+/// One peer's failure on one operation, with enough context to act on.
+#[derive(Debug)]
+pub struct PeerFailure {
+    /// Position of the peer in the cluster.
+    pub index: usize,
+    /// Peer address.
+    pub peer: String,
+    /// Operation that failed.
+    pub op: &'static str,
+    /// Attempts made (including retries) before giving up.
+    pub attempts: u32,
+    /// The final error.
+    pub error: RpcError,
+}
+
+impl std::fmt::Display for PeerFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "peer #{} ({}) failed {} after {} attempt(s): {}",
+            self.index, self.peer, self.op, self.attempts, self.error
+        )
+    }
+}
+
+/// One peer's successful result, with the wire traffic it cost.
+#[derive(Debug)]
+pub struct PeerResult<T> {
+    /// Position of the peer in the cluster.
+    pub index: usize,
+    /// Peer address.
+    pub peer: SocketAddr,
+    /// The operation's result.
+    pub value: T,
+    /// Attempts made (1 = first try succeeded).
+    pub attempts: u32,
+    /// Request bytes this operation put on the wire to this peer.
+    pub sent_bytes: u64,
+    /// Reply bytes read back from this peer.
+    pub recv_bytes: u64,
+}
+
+/// The gathered outcome of fanning one operation across the cluster:
+/// per-peer successes (sorted by peer index, so concatenating them is
+/// deterministic) and per-peer failures.
+#[derive(Debug)]
+pub struct Fanout<T> {
+    /// Successful peers, ascending by index.
+    pub ok: Vec<PeerResult<T>>,
+    /// Failed peers, ascending by index.
+    pub failures: Vec<PeerFailure>,
+    /// Wall-clock time of the whole fan-out (slowest peer dominates).
+    pub elapsed: Duration,
+}
+
+impl<T> Fanout<T> {
+    /// Values in peer-index order, discarding per-peer bookkeeping.
+    pub fn into_values(self) -> Vec<T> {
+        self.ok.into_iter().map(|r| r.value).collect()
+    }
+}
+
+/// Why a cluster-level operation could not complete.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// The cluster has no peers.
+    NoPeers,
+    /// A configuration problem independent of any peer.
+    Config(&'static str),
+    /// The [`FailurePolicy`] rejected the round.
+    Rejected {
+        /// The policy that rejected.
+        policy: FailurePolicy,
+        /// Healthy peers at the point of rejection.
+        ok: usize,
+        /// Everything that went wrong, across all phases so far.
+        failures: Vec<PeerFailure>,
+    },
+}
+
+impl ClusterError {
+    /// Collapses to a single [`RpcError`] (the first peer failure, when
+    /// there is one) for callers on the old free-function API.
+    pub fn into_rpc(self) -> RpcError {
+        match self {
+            ClusterError::NoPeers => RpcError::Protocol("cluster has no peers"),
+            ClusterError::Config(msg) => RpcError::Protocol(msg),
+            ClusterError::Rejected { failures, .. } => match failures.into_iter().next() {
+                Some(f) => f.error,
+                None => RpcError::Protocol("failure policy rejected the round"),
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::NoPeers => write!(f, "cluster has no peers"),
+            ClusterError::Config(msg) => write!(f, "cluster misconfigured: {msg}"),
+            ClusterError::Rejected {
+                policy,
+                ok,
+                failures,
+            } => {
+                write!(
+                    f,
+                    "failure policy {policy} rejected the round ({ok} healthy, {} failed",
+                    failures.len()
+                )?;
+                match failures.iter().next() {
+                    Some(first) => write!(f, "; first: {first})"),
+                    None => write!(f, ")"),
+                }
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// The Tuner's cluster-wide view after scraping every PipeStore.
+#[derive(Debug, Clone)]
+pub struct ClusterMetrics {
+    /// Each store's snapshot, tagged with its socket address.
+    pub per_peer: Vec<(SocketAddr, telemetry::Snapshot)>,
+    /// All peer snapshots folded into one: counters summed, histograms
+    /// merged bucket-wise. Peer identity is erased here — use
+    /// [`ClusterMetrics::merged_labelled`] to keep it.
+    pub merged: telemetry::Snapshot,
+}
+
+impl ClusterMetrics {
+    /// A merged view that keeps per-store resolution by tagging every
+    /// sample with a `peer` label before folding.
+    pub fn merged_labelled(&self) -> telemetry::Snapshot {
+        let mut out = telemetry::Snapshot::default();
+        for (peer, snap) in &self.per_peer {
+            out.merge_from(&snap.clone().with_label("peer", &peer.to_string()));
+        }
+        out
+    }
+}
+
+/// An FT-DMP round's outcome at cluster granularity: the training report
+/// plus which peers contributed and which fell out along the way.
+#[derive(Debug)]
+pub struct ClusterFtdmpReport {
+    /// The usual FT-DMP report, with `feature_bytes` and
+    /// `distribution_bytes` measured as *actual wire bytes* (frame
+    /// headers included), not uncompressed element counts.
+    pub report: FtdmpReport,
+    /// Peers that failed (and were excluded) during the round.
+    pub failures: Vec<PeerFailure>,
+    /// Indices of the peers that completed every phase.
+    pub peers_used: Vec<usize>,
+}
+
+/// A control operation fanned out to peers. Blobs are `Arc`-shared so a
+/// model serialized once is not copied per peer.
+#[derive(Clone)]
+enum PeerOp {
+    InstallModel(Arc<[u8]>),
+    ExtractFeatures { run: u32, n_run: u32 },
+    OfflineInfer,
+    ApplyDelta(Arc<[u8]>),
+    Describe,
+    Scrape,
+    EndSession,
+}
+
+impl PeerOp {
+    /// Metric label; matches `Request::op_name` on the wire layer.
+    fn name(&self) -> &'static str {
+        match self {
+            PeerOp::InstallModel(_) => "install_model",
+            PeerOp::ExtractFeatures { .. } => "extract_features",
+            PeerOp::OfflineInfer => "offline_infer",
+            PeerOp::ApplyDelta(_) => "apply_delta",
+            PeerOp::Describe => "describe",
+            PeerOp::Scrape => "metrics",
+            PeerOp::EndSession => "shutdown",
+        }
+    }
+}
+
+/// A successful per-peer operation result, still untyped.
+enum PeerOk {
+    Ack,
+    Features { features: Tensor, labels: Vec<usize> },
+    Labels(Vec<(u64, u32)>),
+    Shard { examples: u64, classes: u32 },
+    Metrics(telemetry::Snapshot),
+}
+
+struct WorkerReply {
+    index: usize,
+    peer: SocketAddr,
+    op: &'static str,
+    attempts: u32,
+    sent_bytes: u64,
+    recv_bytes: u64,
+    result: Result<PeerOk, RpcError>,
+}
+
+enum Job {
+    Op {
+        op: PeerOp,
+        attempts: u32,
+        done: mpsc::Sender<WorkerReply>,
+    },
+    Stop,
+}
+
+struct PeerSlot {
+    addr: SocketAddr,
+    tx: mpsc::Sender<Job>,
+    thread: Option<JoinHandle<RemotePipeStore>>,
+}
+
+/// Executes `op` against one peer with bounded retry: transport errors
+/// drop the session and reconnect (the peer may have restarted); remote
+/// application errors and protocol violations are final. Exhausted
+/// retries collapse into [`RpcError::PeerUnavailable`].
+fn run_op(
+    remote: &mut RemotePipeStore,
+    op: &PeerOp,
+    max_attempts: u32,
+) -> (Result<PeerOk, RpcError>, u32) {
+    // Ending a session that is already gone is a no-op, not a failure,
+    // and must not trigger a pointless reconnect.
+    if matches!(op, PeerOp::EndSession) && !remote.is_connected() {
+        return (Ok(PeerOk::Ack), 0);
+    }
+    let max = max_attempts.max(1);
+    let mut last_io: Option<std::io::Error> = None;
+    for attempt in 1..=max {
+        if !remote.is_connected() {
+            match remote.reconnect() {
+                Ok(()) => {}
+                Err(RpcError::Io(e)) => {
+                    last_io = Some(e);
+                    continue;
+                }
+                Err(RpcError::PeerUnavailable { source, .. }) => {
+                    last_io = source;
+                    continue;
+                }
+                // Version skew / handshake refusal: retrying won't help.
+                Err(fatal) => return (Err(fatal), attempt),
+            }
+        }
+        match apply(remote, op) {
+            Ok(ok) => return (Ok(ok), attempt),
+            Err(RpcError::Io(e)) => {
+                remote.disconnect();
+                last_io = Some(e);
+            }
+            Err(fatal) => return (Err(fatal), attempt),
+        }
+    }
+    (
+        Err(RpcError::PeerUnavailable {
+            peer: remote.peer().to_string(),
+            attempts: max,
+            source: last_io,
+        }),
+        max,
+    )
+}
+
+fn apply(remote: &mut RemotePipeStore, op: &PeerOp) -> Result<PeerOk, RpcError> {
+    match op {
+        PeerOp::InstallModel(blob) => remote.install_model_bytes(blob).map(|()| PeerOk::Ack),
+        PeerOp::ExtractFeatures { run, n_run } => remote
+            .extract_features(*run, *n_run)
+            .map(|(features, labels)| PeerOk::Features { features, labels }),
+        PeerOp::OfflineInfer => remote.offline_infer().map(PeerOk::Labels),
+        PeerOp::ApplyDelta(blob) => remote.apply_delta_bytes(blob).map(|()| PeerOk::Ack),
+        PeerOp::Describe => remote
+            .describe()
+            .map(|(examples, classes)| PeerOk::Shard { examples, classes }),
+        PeerOp::Scrape => remote.scrape().map(PeerOk::Metrics),
+        PeerOp::EndSession => remote.end_session().map(|()| PeerOk::Ack),
+    }
+}
+
+fn worker_main(index: usize, mut remote: RemotePipeStore, rx: mpsc::Receiver<Job>) -> RemotePipeStore {
+    while let Ok(job) = rx.recv() {
+        match job {
+            Job::Op { op, attempts, done } => {
+                let (sent_before, recv_before) = remote.wire_totals();
+                let (result, attempts) = run_op(&mut remote, &op, attempts);
+                let (sent_after, recv_after) = remote.wire_totals();
+                let reply = WorkerReply {
+                    index,
+                    peer: remote.peer(),
+                    op: op.name(),
+                    attempts,
+                    sent_bytes: sent_after.saturating_sub(sent_before),
+                    recv_bytes: recv_after.saturating_sub(recv_before),
+                    result,
+                };
+                if done.send(reply).is_err() {
+                    // The gathering side went away; nothing left to do
+                    // for this job.
+                }
+            }
+            Job::Stop => break,
+        }
+    }
+    remote
+}
+
+/// Configures and connects a [`Cluster`].
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterBuilder {
+    connect: ConnectOptions,
+    policy: FailurePolicy,
+    op_attempts: u32,
+}
+
+impl Default for ClusterBuilder {
+    fn default() -> Self {
+        ClusterBuilder {
+            connect: ConnectOptions::default(),
+            policy: FailurePolicy::Strict,
+            op_attempts: 2,
+        }
+    }
+}
+
+impl ClusterBuilder {
+    /// Starts from the defaults: [`FailurePolicy::Strict`], default
+    /// [`ConnectOptions`], 2 attempts per operation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the failure policy for every subsequent round.
+    #[must_use]
+    pub fn policy(mut self, policy: FailurePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Connection policy used both at construction and for worker-side
+    /// reconnects.
+    #[must_use]
+    pub fn connect_options(mut self, opts: ConnectOptions) -> Self {
+        self.connect = opts;
+        self
+    }
+
+    /// Attempts per fanned-out operation (clamped to ≥ 1); transport
+    /// errors reconnect and retry up to this bound.
+    #[must_use]
+    pub fn op_attempts(mut self, attempts: u32) -> Self {
+        self.op_attempts = attempts.max(1);
+        self
+    }
+
+    /// Connects to every address in parallel and builds the cluster.
+    /// Under [`FailurePolicy::Quorum`], peers that are down get detached
+    /// slots (their workers keep trying to reconnect per-operation) as
+    /// long as the quorum holds; under [`FailurePolicy::Strict`] any
+    /// connect failure is an error.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NoPeers`] for an empty list,
+    /// [`ClusterError::Config`] for unresolvable addresses, or
+    /// [`ClusterError::Rejected`] when the policy does not admit the
+    /// surviving set.
+    pub fn connect<S: AsRef<str>>(self, addrs: &[S]) -> Result<Cluster, ClusterError> {
+        if addrs.is_empty() {
+            return Err(ClusterError::NoPeers);
+        }
+        let mut resolved = Vec::with_capacity(addrs.len());
+        for a in addrs {
+            match a.as_ref().to_socket_addrs().ok().and_then(|mut i| i.next()) {
+                Some(sa) => resolved.push(sa),
+                None => return Err(ClusterError::Config("unresolvable peer address")),
+            }
+        }
+        let opts = self.connect;
+        let results: Vec<Result<RemotePipeStore, RpcError>> = std::thread::scope(|s| {
+            let handles: Vec<_> = resolved
+                .iter()
+                .map(|&sa| s.spawn(move || RemotePipeStore::connect_with(sa, opts)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(r) => r,
+                    Err(_) => Err(RpcError::Protocol("peer connect thread panicked")),
+                })
+                .collect()
+        });
+        let mut remotes = Vec::with_capacity(resolved.len());
+        let mut failures = Vec::new();
+        for (index, (result, sa)) in results.into_iter().zip(resolved).enumerate() {
+            match result {
+                Ok(r) => remotes.push(r),
+                Err(error) => {
+                    failures.push(PeerFailure {
+                        index,
+                        peer: sa.to_string(),
+                        op: "connect",
+                        attempts: opts.max_attempts.max(1),
+                        error,
+                    });
+                    remotes.push(RemotePipeStore::detached(sa, opts));
+                }
+            }
+        }
+        let healthy = remotes.iter().filter(|r| r.is_connected()).count();
+        if !self.policy.admits(healthy, failures.len()) {
+            return Err(ClusterError::Rejected {
+                policy: self.policy,
+                ok: healthy,
+                failures,
+            });
+        }
+        self.adopt_with_failures(remotes, failures)
+    }
+
+    /// Builds a cluster around already-connected handles (e.g. taken
+    /// over from the deprecated free-function API). Order is preserved:
+    /// peer `i` of the cluster is `remotes[i]`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NoPeers`] for an empty vector, or
+    /// [`ClusterError::Config`] if a worker thread cannot be spawned.
+    pub fn adopt(self, remotes: Vec<RemotePipeStore>) -> Result<Cluster, ClusterError> {
+        self.adopt_with_failures(remotes, Vec::new())
+    }
+
+    fn adopt_with_failures(
+        self,
+        remotes: Vec<RemotePipeStore>,
+        initial_failures: Vec<PeerFailure>,
+    ) -> Result<Cluster, ClusterError> {
+        if remotes.is_empty() {
+            return Err(ClusterError::NoPeers);
+        }
+        let mut peers = Vec::with_capacity(remotes.len());
+        for (index, remote) in remotes.into_iter().enumerate() {
+            let (tx, rx) = mpsc::channel();
+            let addr = remote.peer();
+            let thread = std::thread::Builder::new()
+                .name(format!("ndpipe-peer-{index}"))
+                .spawn(move || worker_main(index, remote, rx))
+                .map_err(|_| ClusterError::Config("failed to spawn peer worker thread"))?;
+            peers.push(PeerSlot {
+                addr,
+                tx,
+                thread: Some(thread),
+            });
+        }
+        Ok(Cluster {
+            peers,
+            policy: self.policy,
+            op_attempts: self.op_attempts,
+            initial_failures,
+        })
+    }
+}
+
+/// The Tuner's handle to a fleet of PipeStores: owns one worker thread
+/// per peer and fans control operations out concurrently, so the wall
+/// clock of a phase is the slowest peer, not the sum of all peers.
+///
+/// ```no_run
+/// use ndpipe::rpc::{Cluster, FailurePolicy};
+/// # fn demo() -> Result<(), ndpipe::rpc::ClusterError> {
+/// let cluster = Cluster::builder()
+///     .policy(FailurePolicy::Quorum(2))
+///     .connect(&["10.0.0.1:7401", "10.0.0.2:7401", "10.0.0.3:7401"])?;
+/// let metrics = cluster.scrape_metrics()?;
+/// println!("fleet requests: {:?}",
+///          metrics.merged.counter_value("ndpipe_rpc_server_requests_total"));
+/// cluster.shutdown();
+/// # Ok(()) }
+/// ```
+pub struct Cluster {
+    peers: Vec<PeerSlot>,
+    policy: FailurePolicy,
+    op_attempts: u32,
+    initial_failures: Vec<PeerFailure>,
+}
+
+impl Cluster {
+    /// Entry point: `Cluster::builder().policy(..).connect(&addrs)`.
+    pub fn builder() -> ClusterBuilder {
+        ClusterBuilder::new()
+    }
+
+    /// Number of peers (healthy or not).
+    pub fn len(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Whether the cluster has no peers (never true for a built cluster).
+    pub fn is_empty(&self) -> bool {
+        self.peers.is_empty()
+    }
+
+    /// The failure policy rounds run under.
+    pub fn policy(&self) -> FailurePolicy {
+        self.policy
+    }
+
+    /// Peer addresses in index order.
+    pub fn peer_addrs(&self) -> Vec<SocketAddr> {
+        self.peers.iter().map(|p| p.addr).collect()
+    }
+
+    /// Connect-time failures (peers admitted as detached slots under a
+    /// quorum policy; their workers reconnect per-operation).
+    pub fn initial_failures(&self) -> &[PeerFailure] {
+        &self.initial_failures
+    }
+
+    /// Fans `op` out to the peers at `indices` and gathers every reply.
+    fn fanout_on(&self, indices: &[usize], op: PeerOp) -> Fanout<PeerOk> {
+        let op_name = op.name();
+        let t0 = Instant::now();
+        let (tx, rx) = mpsc::channel();
+        let mut failures = Vec::new();
+        for &index in indices {
+            match self.peers.get(index) {
+                Some(slot) => {
+                    let job = Job::Op {
+                        op: op.clone(),
+                        attempts: self.op_attempts,
+                        done: tx.clone(),
+                    };
+                    if slot.tx.send(job).is_err() {
+                        failures.push(PeerFailure {
+                            index,
+                            peer: slot.addr.to_string(),
+                            op: op_name,
+                            attempts: 0,
+                            error: RpcError::Protocol("peer worker is gone"),
+                        });
+                    }
+                }
+                None => failures.push(PeerFailure {
+                    index,
+                    peer: "<out of range>".to_string(),
+                    op: op_name,
+                    attempts: 0,
+                    error: RpcError::Protocol("peer index out of range"),
+                }),
+            }
+        }
+        drop(tx);
+        let mut ok = Vec::new();
+        for reply in rx {
+            match reply.result {
+                Ok(value) => ok.push(PeerResult {
+                    index: reply.index,
+                    peer: reply.peer,
+                    value,
+                    attempts: reply.attempts,
+                    sent_bytes: reply.sent_bytes,
+                    recv_bytes: reply.recv_bytes,
+                }),
+                Err(error) => failures.push(PeerFailure {
+                    index: reply.index,
+                    peer: reply.peer.to_string(),
+                    op: reply.op,
+                    attempts: reply.attempts,
+                    error,
+                }),
+            }
+        }
+        ok.sort_by_key(|r| r.index);
+        failures.sort_by_key(|f| f.index);
+        let elapsed = t0.elapsed();
+        if telemetry::enabled() {
+            let m = telemetry::global();
+            m.histogram_with(
+                "ndpipe_cluster_fanout_seconds",
+                &[("op", op_name)],
+                "wall time of one cluster-wide fan-out (slowest peer)",
+            )
+            .observe(elapsed.as_secs_f64());
+            if !failures.is_empty() {
+                m.counter_with(
+                    "ndpipe_cluster_peer_failures_total",
+                    &[("op", op_name)],
+                    "peer operations that failed after retries",
+                )
+                .add(failures.len() as u64);
+            }
+        }
+        Fanout {
+            ok,
+            failures,
+            elapsed,
+        }
+    }
+
+    fn fanout_all(&self, op: PeerOp) -> Fanout<PeerOk> {
+        let indices: Vec<usize> = (0..self.peers.len()).collect();
+        self.fanout_on(&indices, op)
+    }
+
+    /// Re-types a raw fanout, converting unexpected reply shapes into
+    /// failures rather than panicking (this file is a no-panic zone).
+    fn typed<T>(
+        raw: Fanout<PeerOk>,
+        op: &'static str,
+        mut map: impl FnMut(PeerOk) -> Option<T>,
+    ) -> Fanout<T> {
+        let mut ok = Vec::with_capacity(raw.ok.len());
+        let mut failures = raw.failures;
+        for r in raw.ok {
+            let (index, peer, attempts, sent, recv) =
+                (r.index, r.peer, r.attempts, r.sent_bytes, r.recv_bytes);
+            match map(r.value) {
+                Some(value) => ok.push(PeerResult {
+                    index,
+                    peer,
+                    value,
+                    attempts,
+                    sent_bytes: sent,
+                    recv_bytes: recv,
+                }),
+                None => failures.push(PeerFailure {
+                    index,
+                    peer: peer.to_string(),
+                    op,
+                    attempts,
+                    error: RpcError::Protocol("unexpected reply shape"),
+                }),
+            }
+        }
+        failures.sort_by_key(|f| f.index);
+        Fanout {
+            ok,
+            failures,
+            elapsed: raw.elapsed,
+        }
+    }
+
+    /// Installs a model replica on every peer. The model is serialized
+    /// once and the bytes shared across workers.
+    pub fn install_model(&self, model: &Mlp) -> Fanout<()> {
+        let blob: Arc<[u8]> = model.to_bytes().into();
+        Self::typed(
+            self.fanout_all(PeerOp::InstallModel(blob)),
+            "install_model",
+            |ok| matches!(ok, PeerOk::Ack).then_some(()),
+        )
+    }
+
+    /// Extracts features for pipeline run `run` of `n_run` on every peer
+    /// concurrently — the fan-out that carries the paper's scaling claim.
+    pub fn extract_features(&self, run: u32, n_run: u32) -> Fanout<(Tensor, Vec<usize>)> {
+        Self::typed(
+            self.fanout_all(PeerOp::ExtractFeatures { run, n_run }),
+            "extract_features",
+            |ok| match ok {
+                PeerOk::Features { features, labels } => Some((features, labels)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Runs near-data offline inference on every peer.
+    pub fn offline_infer(&self) -> Fanout<Vec<(u64, u32)>> {
+        Self::typed(
+            self.fanout_all(PeerOp::OfflineInfer),
+            "offline_infer",
+            |ok| match ok {
+                PeerOk::Labels(pairs) => Some(pairs),
+                _ => None,
+            },
+        )
+    }
+
+    /// Ships a Check-N-Run delta to every peer (serialized once).
+    pub fn apply_delta(&self, delta: &ModelDelta) -> Fanout<()> {
+        let blob: Arc<[u8]> = delta.to_bytes().into();
+        Self::typed(
+            self.fanout_all(PeerOp::ApplyDelta(blob)),
+            "apply_delta",
+            |ok| matches!(ok, PeerOk::Ack).then_some(()),
+        )
+    }
+
+    /// Fetches `(examples, classes)` shard metadata from every peer.
+    pub fn describe(&self) -> Fanout<(u64, u32)> {
+        Self::typed(self.fanout_all(PeerOp::Describe), "describe", |ok| {
+            match ok {
+                PeerOk::Shard { examples, classes } => Some((examples, classes)),
+                _ => None,
+            }
+        })
+    }
+
+    /// Scrapes every peer's telemetry registry concurrently.
+    pub fn scrape(&self) -> Fanout<telemetry::Snapshot> {
+        Self::typed(self.fanout_all(PeerOp::Scrape), "metrics", |ok| match ok {
+            PeerOk::Metrics(snap) => Some(snap),
+            _ => None,
+        })
+    }
+
+    /// Scrapes the fleet and folds the snapshots into a cluster-wide
+    /// [`ClusterMetrics`] view, subject to the failure policy.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Rejected`] when too few peers answered.
+    pub fn scrape_metrics(&self) -> Result<ClusterMetrics, ClusterError> {
+        let fan = self.scrape();
+        if !self.policy.admits(fan.ok.len(), fan.failures.len()) {
+            return Err(ClusterError::Rejected {
+                policy: self.policy,
+                ok: fan.ok.len(),
+                failures: fan.failures,
+            });
+        }
+        let per_peer: Vec<(SocketAddr, telemetry::Snapshot)> =
+            fan.ok.into_iter().map(|r| (r.peer, r.value)).collect();
+        let merged = telemetry::Snapshot::merged(per_peer.iter().map(|(_, s)| s));
+        Ok(ClusterMetrics { per_peer, merged })
+    }
+
+    /// Runs one FT-DMP fine-tuning round across the cluster: describe &
+    /// validate, distribute the master model, extract features per
+    /// pipeline run **in parallel across peers**, train the classifier
+    /// tail locally, and redistribute the result as a Check-N-Run delta.
+    ///
+    /// Peers that fail a phase are excluded from the rest of the round;
+    /// the [`FailurePolicy`] decides after each phase whether the
+    /// survivors suffice. `feature_bytes`/`distribution_bytes` in the
+    /// report are actual wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Config`] for a zero-run config,
+    /// [`ClusterError::Rejected`] when the policy gives up on the round.
+    pub fn ftdmp_fine_tune<R: Rng + ?Sized>(
+        &self,
+        tuner: &mut Tuner,
+        config: &FtdmpConfig,
+        rng: &mut R,
+    ) -> Result<ClusterFtdmpReport, ClusterError> {
+        if self.peers.is_empty() {
+            return Err(ClusterError::NoPeers);
+        }
+        if config.n_run == 0 {
+            return Err(ClusterError::Config("need at least one run"));
+        }
+        let phase_hist = |phase: &str| {
+            telemetry::global().histogram_with(
+                "ndpipe_ftdmp_remote_phase_seconds",
+                &[("phase", phase)],
+                "wall time of one remote FT-DMP phase",
+            )
+        };
+        let record = telemetry::enabled();
+        let mut failures: Vec<PeerFailure> = Vec::new();
+        let mut live: Vec<usize> = (0..self.peers.len()).collect();
+
+        // 0. Sanity-check label spaces before shipping anything; an
+        // incompatible shard is a peer failure, not a panic.
+        let fan = self.fanout_on(&live, PeerOp::Describe);
+        failures.extend(fan.failures);
+        live.clear();
+        for r in fan.ok {
+            let (examples, classes) = match r.value {
+                PeerOk::Shard { examples, classes } => (examples, classes),
+                _ => (0, u32::MAX),
+            };
+            if examples < config.n_run as u64 {
+                failures.push(PeerFailure {
+                    index: r.index,
+                    peer: r.peer.to_string(),
+                    op: "describe",
+                    attempts: r.attempts,
+                    error: RpcError::Remote {
+                        peer: r.peer.to_string(),
+                        op: "describe",
+                        msg: "shard smaller than N_run".to_string(),
+                    },
+                });
+            } else if classes as usize > tuner.model().num_classes() {
+                failures.push(PeerFailure {
+                    index: r.index,
+                    peer: r.peer.to_string(),
+                    op: "describe",
+                    attempts: r.attempts,
+                    error: RpcError::Remote {
+                        peer: r.peer.to_string(),
+                        op: "describe",
+                        msg: "shard has wider label space than the model".to_string(),
+                    },
+                });
+            } else {
+                live.push(r.index);
+            }
+        }
+        self.admit(&live, failures.len())
+            .map_err(|()| self.reject(live.len(), std::mem::take(&mut failures)))?;
+
+        // 1. Distribute the current master model (serialized once).
+        let timer = record.then(|| phase_hist("distribute").start_timer());
+        let model_before = tuner.model().clone();
+        let blob: Arc<[u8]> = model_before.to_bytes().into();
+        let fan = self.fanout_on(&live, PeerOp::InstallModel(blob));
+        live = fan.ok.iter().map(|r| r.index).collect();
+        failures.extend(fan.failures);
+        if let Some(t) = timer {
+            t.observe_and_disarm();
+        }
+        self.admit(&live, failures.len())
+            .map_err(|()| self.reject(live.len(), std::mem::take(&mut failures)))?;
+
+        // 2. Pipeline runs: gather features in parallel, tune locally.
+        let mut run_losses = Vec::with_capacity(config.n_run);
+        let mut feature_bytes = 0usize;
+        let mut examples = 0usize;
+        for run in 0..config.n_run {
+            let timer = record.then(|| phase_hist("extract").start_timer());
+            let fan = self.fanout_on(
+                &live,
+                PeerOp::ExtractFeatures {
+                    run: run as u32,
+                    n_run: config.n_run as u32,
+                },
+            );
+            if let Some(t) = timer {
+                t.observe_and_disarm();
+            }
+            failures.extend(fan.failures);
+            live.clear();
+            let mut rows = Vec::new();
+            let mut labels = Vec::new();
+            // fan.ok is sorted by peer index, so row order matches the
+            // sequential reference exactly.
+            for r in fan.ok {
+                if let PeerOk::Features {
+                    features,
+                    labels: l,
+                } = r.value
+                {
+                    feature_bytes += r.recv_bytes as usize;
+                    for i in 0..l.len() {
+                        rows.push(features.row(i));
+                    }
+                    labels.extend(l);
+                    live.push(r.index);
+                }
+            }
+            self.admit(&live, failures.len())
+                .map_err(|()| self.reject(live.len(), std::mem::take(&mut failures)))?;
+            examples += labels.len();
+            let features = Tensor::stack_rows(&rows);
+            let timer = record.then(|| phase_hist("train").start_timer());
+            let loss = tuner.train_on_features(&features, &labels, config.epochs_per_run, rng);
+            if let Some(t) = timer {
+                t.observe_and_disarm();
+            }
+            run_losses.push(loss);
+        }
+
+        // 3. Redistribute as deltas (serialized once, fanned out).
+        let timer = record.then(|| phase_hist("redistribute").start_timer());
+        let delta = tuner.delta_from(&model_before);
+        let blob: Arc<[u8]> = delta.to_bytes().into();
+        let fan = self.fanout_on(&live, PeerOp::ApplyDelta(blob));
+        let distribution_bytes: usize = fan.ok.iter().map(|r| r.sent_bytes as usize).sum();
+        live = fan.ok.iter().map(|r| r.index).collect();
+        failures.extend(fan.failures);
+        if let Some(t) = timer {
+            t.observe_and_disarm();
+        }
+        self.admit(&live, failures.len())
+            .map_err(|()| self.reject(live.len(), std::mem::take(&mut failures)))?;
+        if record {
+            telemetry::global()
+                .counter(
+                    "ndpipe_ftdmp_remote_rounds_total",
+                    "completed remote FT-DMP fine-tuning rounds",
+                )
+                .inc();
+        }
+
+        Ok(ClusterFtdmpReport {
+            report: FtdmpReport {
+                run_losses,
+                feature_bytes,
+                distribution_bytes,
+                distribution_reduction: delta.traffic_reduction(),
+                examples,
+            },
+            failures,
+            peers_used: live,
+        })
+    }
+
+    fn admit(&self, live: &[usize], failed: usize) -> Result<(), ()> {
+        if self.policy.admits(live.len(), failed) {
+            Ok(())
+        } else {
+            Err(())
+        }
+    }
+
+    fn reject(&self, ok: usize, failures: Vec<PeerFailure>) -> ClusterError {
+        ClusterError::Rejected {
+            policy: self.policy,
+            ok,
+            failures,
+        }
+    }
+
+    /// Ends every peer session cleanly, then stops and joins the worker
+    /// threads. Per-peer shutdown failures are reported, not fatal.
+    pub fn shutdown(mut self) -> Fanout<()> {
+        let indices: Vec<usize> = (0..self.peers.len()).collect();
+        let fan = Self::typed(
+            self.fanout_on(&indices, PeerOp::EndSession),
+            "shutdown",
+            |ok| matches!(ok, PeerOk::Ack).then_some(()),
+        );
+        self.stop_and_join();
+        fan
+    }
+
+    /// Stops the workers and returns the underlying per-peer handles in
+    /// index order (sessions intact), e.g. to hand back to the deprecated
+    /// free-function API.
+    pub fn into_remotes(mut self) -> Vec<RemotePipeStore> {
+        self.stop_and_join()
+    }
+
+    fn stop_and_join(&mut self) -> Vec<RemotePipeStore> {
+        for slot in &self.peers {
+            let _ = slot.tx.send(Job::Stop);
+        }
+        let mut out = Vec::with_capacity(self.peers.len());
+        for slot in self.peers.iter_mut() {
+            if let Some(thread) = slot.thread.take() {
+                if let Ok(remote) = thread.join() {
+                    out.push(remote);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        // Best-effort: unblock workers; shutdown()/into_remotes() join.
+        for slot in &self.peers {
+            let _ = slot.tx.send(Job::Stop);
+        }
+    }
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("peers", &self.peer_addrs())
+            .field("policy", &self.policy)
+            .field("op_attempts", &self.op_attempts)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_admission_rules() {
+        assert!(FailurePolicy::Strict.admits(3, 0));
+        assert!(!FailurePolicy::Strict.admits(3, 1));
+        assert!(FailurePolicy::Quorum(2).admits(2, 1));
+        assert!(!FailurePolicy::Quorum(2).admits(1, 2));
+        assert!(FailurePolicy::Quorum(0).admits(0, 5));
+    }
+
+    #[test]
+    fn empty_cluster_is_rejected() {
+        let addrs: [&str; 0] = [];
+        assert!(matches!(
+            Cluster::builder().connect(&addrs),
+            Err(ClusterError::NoPeers)
+        ));
+        assert!(matches!(
+            Cluster::builder().adopt(Vec::new()),
+            Err(ClusterError::NoPeers)
+        ));
+    }
+
+    #[test]
+    fn strict_connect_to_dead_peers_fails_with_peer_failures() {
+        let opts = ConnectOptions::new()
+            .retries(1)
+            .backoff(Duration::from_millis(1), Duration::from_millis(1));
+        let err = Cluster::builder()
+            .connect_options(opts)
+            .connect(&["127.0.0.1:1", "127.0.0.1:1"])
+            .err()
+            .expect("dead peers must not connect");
+        match err {
+            ClusterError::Rejected { ok, failures, .. } => {
+                assert_eq!(ok, 0);
+                assert_eq!(failures.len(), 2);
+                assert!(failures
+                    .iter()
+                    .all(|f| matches!(f.error, RpcError::PeerUnavailable { .. })));
+            }
+            other => panic!("expected Rejected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quorum_zero_admits_all_dead_peers_as_detached() {
+        let opts = ConnectOptions::new()
+            .retries(1)
+            .backoff(Duration::from_millis(1), Duration::from_millis(1));
+        let cluster = Cluster::builder()
+            .connect_options(opts)
+            .policy(FailurePolicy::Quorum(0))
+            .connect(&["127.0.0.1:1"])
+            .expect("quorum(0) admits anything");
+        assert_eq!(cluster.len(), 1);
+        assert_eq!(cluster.initial_failures().len(), 1);
+        // Operations fail per-peer instead of erroring the whole call.
+        let fan = cluster.describe();
+        assert!(fan.ok.is_empty());
+        assert_eq!(fan.failures.len(), 1);
+        // Quorum(0) admits an empty surviving set, so the scrape
+        // "succeeds" with zero peers rather than rejecting.
+        let metrics = cluster.scrape_metrics().expect("quorum(0) admits");
+        assert!(metrics.per_peer.is_empty());
+        let fan = cluster.shutdown();
+        // Nothing to end on a detached peer; shutdown is clean.
+        assert!(fan.failures.is_empty());
+    }
+
+    #[test]
+    fn cluster_error_collapses_to_first_rpc_error() {
+        let e = ClusterError::Rejected {
+            policy: FailurePolicy::Strict,
+            ok: 1,
+            failures: vec![PeerFailure {
+                index: 2,
+                peer: "10.0.0.3:7401".into(),
+                op: "metrics",
+                attempts: 2,
+                error: RpcError::PeerUnavailable {
+                    peer: "10.0.0.3:7401".into(),
+                    attempts: 2,
+                    source: None,
+                },
+            }],
+        };
+        assert!(matches!(e.into_rpc(), RpcError::PeerUnavailable { .. }));
+        assert!(matches!(
+            ClusterError::NoPeers.into_rpc(),
+            RpcError::Protocol(_)
+        ));
+    }
+}

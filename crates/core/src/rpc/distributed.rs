@@ -1,34 +1,39 @@
-//! FT-DMP over sockets: the Tuner drives remote PipeStores exactly as
-//! [`crate::ftdmp::ftdmp_fine_tune`] drives in-process ones.
+//! Deprecated free-function façade over [`crate::rpc::Cluster`].
+//!
+//! These entry points predate the cluster control plane: they took
+//! `&mut [RemotePipeStore]` and drove the fleet one peer at a time, so a
+//! single socket error aborted the whole round and wall-clock grew
+//! linearly with cluster size. They are kept for one release as thin
+//! shims — each call temporarily adopts the handles into a [`Cluster`]
+//! (parallel fan-out, [`FailurePolicy::Strict`], no retries, so results
+//! on a healthy cluster are identical) and hands them back afterwards.
 
 use crate::ftdmp::{FtdmpConfig, FtdmpReport};
 use crate::rpc::client::RemotePipeStore;
+use crate::rpc::cluster::{Cluster, ClusterError, FailurePolicy};
 use crate::rpc::RpcError;
 use crate::tuner::Tuner;
 use rand::Rng;
-use tensor::Tensor;
 
-/// The Tuner's cluster-wide view after scraping every PipeStore.
-#[derive(Debug, Clone)]
-pub struct ClusterMetrics {
-    /// Each store's snapshot, tagged with its socket address.
-    pub per_peer: Vec<(std::net::SocketAddr, telemetry::Snapshot)>,
-    /// All peer snapshots folded into one: counters summed, histograms
-    /// merged bucket-wise. Peer identity is erased here — use
-    /// [`ClusterMetrics::merged_labelled`] to keep it.
-    pub merged: telemetry::Snapshot,
-}
+pub use crate::rpc::cluster::ClusterMetrics;
 
-impl ClusterMetrics {
-    /// A merged view that keeps per-store resolution by tagging every
-    /// sample with a `peer` label before folding.
-    pub fn merged_labelled(&self) -> telemetry::Snapshot {
-        let mut out = telemetry::Snapshot::default();
-        for (peer, snap) in &self.per_peer {
-            out.merge_from(&snap.clone().with_label("peer", &peer.to_string()));
-        }
-        out
+/// Adopts the handles into a temporary strict cluster, runs `f`, and
+/// restores the handles (sessions intact) regardless of the outcome.
+fn with_cluster<T>(
+    remotes: &mut [RemotePipeStore],
+    f: impl FnOnce(&Cluster) -> Result<T, RpcError>,
+) -> Result<T, RpcError> {
+    let taken: Vec<RemotePipeStore> = remotes.iter_mut().map(|r| r.take()).collect();
+    let cluster = Cluster::builder()
+        .policy(FailurePolicy::Strict)
+        .op_attempts(1)
+        .adopt(taken)
+        .map_err(ClusterError::into_rpc)?;
+    let out = f(&cluster);
+    for (slot, handle) in remotes.iter_mut().zip(cluster.into_remotes()) {
+        slot.restore(handle);
     }
+    out
 }
 
 /// Scrapes every remote PipeStore's telemetry registry over RPC and
@@ -37,14 +42,11 @@ impl ClusterMetrics {
 /// # Errors
 ///
 /// Socket/protocol/remote errors from any peer.
+#[deprecated(note = "use Cluster::scrape_metrics for parallel, policy-aware scraping")]
 pub fn scrape_cluster(remotes: &mut [RemotePipeStore]) -> Result<ClusterMetrics, RpcError> {
-    let mut per_peer = Vec::with_capacity(remotes.len());
-    for remote in remotes.iter_mut() {
-        let peer = remote.peer();
-        per_peer.push((peer, remote.scrape()?));
-    }
-    let merged = telemetry::Snapshot::merged(per_peer.iter().map(|(_, s)| s));
-    Ok(ClusterMetrics { per_peer, merged })
+    with_cluster(remotes, |cluster| {
+        cluster.scrape_metrics().map_err(ClusterError::into_rpc)
+    })
 }
 
 /// Runs FT-DMP fine-tuning across remote PipeStores over TCP: installs
@@ -60,6 +62,7 @@ pub fn scrape_cluster(remotes: &mut [RemotePipeStore]) -> Result<ClusterMetrics,
 /// # Panics
 ///
 /// Panics if `remotes` is empty or `n_run == 0`.
+#[deprecated(note = "use Cluster::ftdmp_fine_tune for parallel fan-out and failure policies")]
 pub fn ftdmp_fine_tune_remote<R: Rng + ?Sized>(
     tuner: &mut Tuner,
     remotes: &mut [RemotePipeStore],
@@ -68,89 +71,10 @@ pub fn ftdmp_fine_tune_remote<R: Rng + ?Sized>(
 ) -> Result<FtdmpReport, RpcError> {
     assert!(!remotes.is_empty(), "need at least one remote PipeStore");
     assert!(config.n_run > 0, "need at least one run");
-
-    // Sanity-check label spaces before shipping anything.
-    for remote in remotes.iter_mut() {
-        let (examples, classes) = remote.describe()?;
-        if examples < config.n_run as u64 {
-            return Err(RpcError::Remote(format!(
-                "{} shard smaller than N_run",
-                remote.peer()
-            )));
-        }
-        if classes as usize > tuner.model().num_classes() {
-            return Err(RpcError::Remote(format!(
-                "{} has wider label space than the model",
-                remote.peer()
-            )));
-        }
-    }
-
-    let phase_hist = |phase: &str| {
-        telemetry::global().histogram_with(
-            "ndpipe_ftdmp_remote_phase_seconds",
-            &[("phase", phase)],
-            "wall time of one remote FT-DMP phase",
-        )
-    };
-    let record = telemetry::enabled();
-
-    // 1. Distribute the current master model.
-    let timer = record.then(|| phase_hist("distribute").start_timer());
-    let model_before = tuner.model().clone();
-    for remote in remotes.iter_mut() {
-        remote.install_model(&model_before)?;
-    }
-    timer.map(|t| t.observe_and_disarm());
-
-    // 2. Pipeline runs: gather features, tune.
-    let mut run_losses = Vec::with_capacity(config.n_run);
-    let mut feature_bytes = 0usize;
-    let mut examples = 0usize;
-    for run in 0..config.n_run {
-        let timer = record.then(|| phase_hist("extract").start_timer());
-        let mut rows = Vec::new();
-        let mut labels = Vec::new();
-        for remote in remotes.iter_mut() {
-            let (f, l) = remote.extract_features(run as u32, config.n_run as u32)?;
-            feature_bytes += f.len() * 4;
-            for i in 0..l.len() {
-                rows.push(f.row(i));
-            }
-            labels.extend(l);
-        }
-        timer.map(|t| t.observe_and_disarm());
-        examples += labels.len();
-        let features = Tensor::stack_rows(&rows);
-        let timer = record.then(|| phase_hist("train").start_timer());
-        let loss = tuner.train_on_features(&features, &labels, config.epochs_per_run, rng);
-        timer.map(|t| t.observe_and_disarm());
-        run_losses.push(loss);
-    }
-
-    // 3. Redistribute as deltas.
-    let timer = record.then(|| phase_hist("redistribute").start_timer());
-    let delta = tuner.delta_from(&model_before);
-    let mut distribution_bytes = 0usize;
-    for remote in remotes.iter_mut() {
-        remote.apply_delta(&delta)?;
-        distribution_bytes += delta.wire_bytes();
-    }
-    timer.map(|t| t.observe_and_disarm());
-    if record {
-        telemetry::global()
-            .counter(
-                "ndpipe_ftdmp_remote_rounds_total",
-                "completed remote FT-DMP fine-tuning rounds",
-            )
-            .inc();
-    }
-
-    Ok(FtdmpReport {
-        run_losses,
-        feature_bytes,
-        distribution_bytes,
-        distribution_reduction: delta.traffic_reduction(),
-        examples,
+    with_cluster(remotes, |cluster| {
+        cluster
+            .ftdmp_fine_tune(tuner, config, rng)
+            .map(|r| r.report)
+            .map_err(ClusterError::into_rpc)
     })
 }

@@ -1,37 +1,113 @@
-//! The PipeStore-side request loop.
+//! The PipeStore-side RPC serving machinery.
+//!
+//! [`PipeStoreServer`] is the deployment shape: a session-capped accept
+//! loop, one thread per live Tuner session, every session opened by the
+//! versioned [`Handshake`] and multiplexed over the same
+//! `Mutex<PipeStore>` so concurrent Tuners (or one Tuner's parallel
+//! fan-out) can talk to the store at once. [`serve_session`] remains as
+//! the single-session, post-handshake building block.
 
 use crate::checknrun::ModelDelta;
 use crate::npe::engine::EngineConfig;
 use crate::pipestore::PipeStore;
-use crate::rpc::wire::{read_request, write_reply, Reply, Request};
+use crate::rpc::wire::{
+    read_handshake, read_request, write_handshake, write_reply, Handshake, Reply, Request,
+    FEATURE_DELTAS, FEATURE_METRICS, FEATURE_MULTI_SESSION, PROTOCOL_VERSION,
+};
 use crate::rpc::RpcError;
 use dnn::Mlp;
-use std::net::{TcpListener, TcpStream};
-use std::time::Duration;
+use parking_lot::Mutex;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Default read/write timeout applied to accepted Tuner sockets: a stuck
 /// or vanished peer releases the server instead of pinning it forever.
 pub const SERVER_IO_TIMEOUT: Duration = Duration::from_secs(30);
 
-/// Serves one Tuner session over `stream`, mutating `store` as requests
-/// arrive. Applies [`SERVER_IO_TIMEOUT`] to the socket and records
-/// per-operation request counts, latencies and wire bytes into the
-/// store's [`PipeStore::metrics`] registry. Returns cleanly when the
-/// Tuner sends `Shutdown` or closes the connection.
+/// Feature bits this server offers in its handshake `Accept`.
+pub const SERVER_FEATURES: u64 = FEATURE_METRICS | FEATURE_DELTAS | FEATURE_MULTI_SESSION;
+
+/// How the accept loop polls for new connections and the stop flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+/// Tuning knobs for [`PipeStoreServer`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Concurrent session cap; connection attempts beyond it are refused
+    /// with a handshake `Reject` so the Tuner sees a clear error instead
+    /// of an unbounded thread pile-up on the store.
+    pub max_sessions: usize,
+    /// Read/write timeout on accepted sockets (`None` blocks forever).
+    pub io_timeout: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_sessions: 32,
+            io_timeout: Some(SERVER_IO_TIMEOUT),
+        }
+    }
+}
+
+/// Performs the server half of the session handshake: read the client's
+/// `Hello`, answer `Accept` (or `Reject` on version skew). Handshake
+/// frames are deliberately *not* counted in the per-op request metrics —
+/// they are session plumbing, not store work.
 ///
 /// # Errors
 ///
-/// Socket/protocol errors (including a peer idle past the timeout).
-/// Application-level failures (e.g. applying a mismatched delta) are
-/// reported to the peer as `Error` replies and do not tear down the
-/// session.
-pub fn serve_session(store: &mut PipeStore, stream: TcpStream) -> Result<(), RpcError> {
-    stream.set_read_timeout(Some(SERVER_IO_TIMEOUT))?;
-    stream.set_write_timeout(Some(SERVER_IO_TIMEOUT))?;
-    let mut reader = std::io::BufReader::new(stream.try_clone()?);
-    let mut writer = std::io::BufWriter::new(stream);
+/// [`RpcError::ProtocolMismatch`] when the peer speaks another protocol
+/// revision (after telling the peer so), socket/protocol errors
+/// otherwise.
+fn greet<R: Read, W: Write>(reader: &mut R, writer: &mut W, store_id: u64) -> Result<(), RpcError> {
+    match read_handshake(reader)? {
+        Handshake::Hello { version, .. } => {
+            if version == PROTOCOL_VERSION {
+                write_handshake(
+                    writer,
+                    &Handshake::Accept {
+                        version: PROTOCOL_VERSION,
+                        features: SERVER_FEATURES,
+                        store_id,
+                    },
+                )?;
+                Ok(())
+            } else {
+                write_handshake(
+                    writer,
+                    &Handshake::Reject {
+                        version: PROTOCOL_VERSION,
+                        reason: format!("server speaks protocol v{PROTOCOL_VERSION}"),
+                    },
+                )?;
+                Err(RpcError::ProtocolMismatch {
+                    ours: PROTOCOL_VERSION,
+                    theirs: version,
+                })
+            }
+        }
+        Handshake::Accept { .. } | Handshake::Reject { .. } => {
+            Err(RpcError::Protocol("expected hello from client"))
+        }
+    }
+}
+
+/// The post-handshake request loop, generic over how the store is
+/// reached so the same code serves both the exclusive single-session
+/// path and the mutex-shared concurrent path.
+fn session_loop<R: Read, W: Write>(
+    registry: &telemetry::Registry,
+    reader: &mut R,
+    writer: &mut W,
+    mut with_store: impl FnMut(Request) -> Option<Reply>,
+) -> Result<(), RpcError> {
     loop {
-        let (request, bytes_in) = match read_request(&mut reader) {
+        let (request, bytes_in) = match read_request(reader) {
             Ok(r) => r,
             Err(RpcError::Io(e)) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
                 return Ok(()); // peer hung up
@@ -41,36 +117,37 @@ pub fn serve_session(store: &mut PipeStore, stream: TcpStream) -> Result<(), Rpc
         let op = request.op_name();
         let record = telemetry::enabled();
         let timer = if record {
-            let m = store.metrics();
-            m.counter_with(
-                "ndpipe_rpc_server_requests_total",
-                &[("op", op)],
-                "requests handled by this store's RPC server",
-            )
-            .inc();
-            m.counter(
-                "ndpipe_rpc_server_bytes_read_total",
-                "request bytes read off the wire",
-            )
-            .add(bytes_in as u64);
-            Some(
-                m.histogram_with(
-                    "ndpipe_rpc_server_op_seconds",
+            registry
+                .counter_with(
+                    "ndpipe_rpc_server_requests_total",
                     &[("op", op)],
-                    "server-side handling latency per operation",
+                    "requests handled by this store's RPC server",
                 )
-                .start_timer(),
+                .inc();
+            registry
+                .counter(
+                    "ndpipe_rpc_server_bytes_read_total",
+                    "request bytes read off the wire",
+                )
+                .add(bytes_in as u64);
+            Some(
+                registry
+                    .histogram_with(
+                        "ndpipe_rpc_server_op_seconds",
+                        &[("op", op)],
+                        "server-side handling latency per operation",
+                    )
+                    .start_timer(),
             )
         } else {
             None
         };
-        let reply = handle(store, request);
+        let reply = with_store(request);
         let done = reply.is_none();
-        let bytes_out = write_reply(&mut writer, &reply.unwrap_or(Reply::Ack))?;
+        let bytes_out = write_reply(writer, &reply.unwrap_or(Reply::Ack))?;
         if let Some(t) = timer {
             t.observe_and_disarm();
-            store
-                .metrics()
+            registry
                 .counter(
                     "ndpipe_rpc_server_bytes_written_total",
                     "reply bytes put on the wire",
@@ -81,6 +158,29 @@ pub fn serve_session(store: &mut PipeStore, stream: TcpStream) -> Result<(), Rpc
             return Ok(());
         }
     }
+}
+
+/// Serves one already-handshaken Tuner session over `stream`, mutating
+/// `store` as requests arrive. Applies [`SERVER_IO_TIMEOUT`] to the
+/// socket and records per-operation request counts, latencies and wire
+/// bytes into the store's [`PipeStore::metrics`] registry. Returns
+/// cleanly when the Tuner sends `Shutdown` or closes the connection.
+///
+/// # Errors
+///
+/// Socket/protocol errors (including a peer idle past the timeout).
+/// Application-level failures (e.g. applying a mismatched delta) are
+/// reported to the peer as `Error` replies and do not tear down the
+/// session.
+pub fn serve_session(store: &mut PipeStore, stream: TcpStream) -> Result<(), RpcError> {
+    stream.set_read_timeout(Some(SERVER_IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(SERVER_IO_TIMEOUT))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let registry = Arc::clone(store.metrics());
+    session_loop(&registry, &mut reader, &mut writer, |req| {
+        handle(store, req)
+    })
 }
 
 /// Handles one request; `None` means the session should end (after the
@@ -146,24 +246,293 @@ fn handle(store: &mut PipeStore, request: Request) -> Option<Reply> {
     })
 }
 
-/// Binds `addr`, accepts exactly one Tuner connection, and serves it to
-/// completion. Returns the bound address before blocking via the
-/// `on_ready` callback (useful for ephemeral ports in tests/examples).
+/// A live session tracked by the server: the raw socket (so
+/// [`PipeStoreServer::abort`] can slam it) and the serving thread.
+struct SessionSlot {
+    stream: TcpStream,
+    thread: JoinHandle<()>,
+}
+
+/// State shared between the server handle, the accept thread, and every
+/// session thread.
+struct Shared {
+    store: Mutex<PipeStore>,
+    /// The store's registry, cloned out so sessions record metrics
+    /// without holding the store lock.
+    registry: Arc<telemetry::Registry>,
+    store_id: u64,
+    cfg: ServerConfig,
+    stop: AtomicBool,
+    active: AtomicUsize,
+    completed: AtomicUsize,
+    sessions: Mutex<Vec<SessionSlot>>,
+    first_error: Mutex<Option<RpcError>>,
+}
+
+impl Shared {
+    fn session_gauge(&self, delta: f64) {
+        if telemetry::enabled() {
+            self.registry
+                .gauge(
+                    "ndpipe_rpc_sessions_active",
+                    "live Tuner sessions on this store's RPC server",
+                )
+                .add(delta);
+        }
+    }
+}
+
+/// A concurrent RPC server wrapping one [`PipeStore`]: binds a listener,
+/// accepts up to [`ServerConfig::max_sessions`] simultaneous Tuner
+/// sessions (thread-per-connection over the shared store), and gives the
+/// store back on [`PipeStoreServer::shutdown`].
+///
+/// ```no_run
+/// use ndpipe::rpc::{PipeStoreServer, ServerConfig};
+/// # fn demo(store: ndpipe::PipeStore) -> Result<(), ndpipe::rpc::RpcError> {
+/// let server = PipeStoreServer::bind(store, "127.0.0.1:0", ServerConfig::default())?;
+/// println!("serving on {}", server.local_addr());
+/// // ... Tuners connect, do work, end their sessions ...
+/// let store = server.shutdown()?;
+/// # let _ = store; Ok(()) }
+/// ```
+pub struct PipeStoreServer {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    addr: SocketAddr,
+}
+
+impl PipeStoreServer {
+    /// Binds `addr` and starts the accept loop in a background thread.
+    ///
+    /// # Errors
+    ///
+    /// Bind/socket errors.
+    pub fn bind(store: PipeStore, addr: &str, cfg: ServerConfig) -> Result<Self, RpcError> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let registry = Arc::clone(store.metrics());
+        let store_id = store.id() as u64;
+        let shared = Arc::new(Shared {
+            store: Mutex::new(store),
+            registry,
+            store_id,
+            cfg,
+            stop: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            completed: AtomicUsize::new(0),
+            sessions: Mutex::new(Vec::new()),
+            first_error: Mutex::new(None),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name(format!("ndpipe-accept-{store_id}"))
+            .spawn(move || accept_loop(&accept_shared, &listener))?;
+        Ok(PipeStoreServer {
+            shared,
+            accept: Some(accept),
+            addr: local,
+        })
+    }
+
+    /// The bound listen address (useful with ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Sessions currently being served.
+    pub fn active_sessions(&self) -> usize {
+        self.shared.active.load(Ordering::SeqCst)
+    }
+
+    /// Sessions that have ended (cleanly or not) since bind.
+    pub fn completed_sessions(&self) -> usize {
+        self.shared.completed.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until at least `min_completed` sessions have ended and no
+    /// session is in flight.
+    pub fn wait_idle(&self, min_completed: usize) {
+        loop {
+            if self.shared.completed.load(Ordering::SeqCst) >= min_completed
+                && self.shared.active.load(Ordering::SeqCst) == 0
+            {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Like [`PipeStoreServer::wait_idle`] but gives up after `timeout`,
+    /// returning whether the condition was reached.
+    pub fn wait_idle_timeout(&self, min_completed: usize, timeout: Duration) -> bool {
+        let t0 = Instant::now();
+        loop {
+            if self.shared.completed.load(Ordering::SeqCst) >= min_completed
+                && self.shared.active.load(Ordering::SeqCst) == 0
+            {
+                return true;
+            }
+            if t0.elapsed() > timeout {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Stops accepting, drains in-flight sessions (each runs until its
+    /// Tuner ends the session, hangs up, or idles past the I/O timeout),
+    /// and returns the store.
+    ///
+    /// # Errors
+    ///
+    /// The first session-level error observed since bind, if any.
+    pub fn shutdown(self) -> Result<PipeStore, RpcError> {
+        self.teardown(false)
+    }
+
+    /// Hard-stops the server: slams every live session socket shut and
+    /// closes the listener, so peers observe connection errors. Session
+    /// errors caused by the abort are discarded. Used by failure-injection
+    /// tests to simulate a killed store.
+    ///
+    /// # Errors
+    ///
+    /// Only internal teardown failures; peer-visible errors are expected
+    /// and swallowed.
+    pub fn abort(self) -> Result<PipeStore, RpcError> {
+        self.teardown(true)
+    }
+
+    fn teardown(mut self, hard: bool) -> Result<PipeStore, RpcError> {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if hard {
+            for slot in self.shared.sessions.lock().iter() {
+                let _ = slot.stream.shutdown(std::net::Shutdown::Both);
+            }
+        }
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let slots = std::mem::take(&mut *self.shared.sessions.lock());
+        for slot in slots {
+            let _ = slot.thread.join();
+        }
+        let PipeStoreServer { shared, .. } = self;
+        let shared = Arc::try_unwrap(shared)
+            .map_err(|_| RpcError::Protocol("server state still referenced after join"))?;
+        let store = shared.store.into_inner();
+        match shared.first_error.into_inner() {
+            Some(e) if !hard => Err(e),
+            _ => Ok(store),
+        }
+    }
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nodelay(true).ok();
+                if shared.active.load(Ordering::SeqCst) >= shared.cfg.max_sessions {
+                    refuse(stream, "session cap reached");
+                    continue;
+                }
+                spawn_session(shared, stream);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+/// Refuses a connection with a handshake `Reject` (best-effort; the peer
+/// may already be gone).
+fn refuse(stream: TcpStream, reason: &str) {
+    let mut writer = BufWriter::new(stream);
+    let _ = write_handshake(
+        &mut writer,
+        &Handshake::Reject {
+            version: PROTOCOL_VERSION,
+            reason: reason.to_string(),
+        },
+    );
+}
+
+fn spawn_session(shared: &Arc<Shared>, stream: TcpStream) {
+    let conn = match stream.try_clone() {
+        Ok(c) => c,
+        Err(_) => return, // socket already dead
+    };
+    shared.active.fetch_add(1, Ordering::SeqCst);
+    shared.session_gauge(1.0);
+    let sh = Arc::clone(shared);
+    let spawned = std::thread::Builder::new()
+        .name("ndpipe-session".to_string())
+        .spawn(move || {
+            let result = serve_shared_session(&sh, stream);
+            match result {
+                Ok(()) => {}
+                // A version-skewed peer was told so and refused; that is
+                // the server working as designed, not a server fault.
+                Err(RpcError::ProtocolMismatch { .. }) => {}
+                Err(e) => {
+                    let mut slot = sh.first_error.lock();
+                    if slot.is_none() {
+                        *slot = Some(e);
+                    }
+                }
+            }
+            sh.active.fetch_sub(1, Ordering::SeqCst);
+            sh.completed.fetch_add(1, Ordering::SeqCst);
+            sh.session_gauge(-1.0);
+        });
+    match spawned {
+        Ok(thread) => shared.sessions.lock().push(SessionSlot {
+            stream: conn,
+            thread,
+        }),
+        Err(_) => {
+            shared.active.fetch_sub(1, Ordering::SeqCst);
+            shared.session_gauge(-1.0);
+        }
+    }
+}
+
+/// One session over the shared store: handshake, then the request loop
+/// locking the store per-request (so parallel sessions interleave at
+/// request granularity instead of serializing whole sessions).
+fn serve_shared_session(shared: &Arc<Shared>, stream: TcpStream) -> Result<(), RpcError> {
+    stream.set_read_timeout(shared.cfg.io_timeout)?;
+    stream.set_write_timeout(shared.cfg.io_timeout)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    greet(&mut reader, &mut writer, shared.store_id)?;
+    session_loop(&shared.registry, &mut reader, &mut writer, |req| {
+        handle(&mut shared.store.lock(), req)
+    })
+}
+
+/// Binds `addr`, serves Tuner sessions until the first one completes,
+/// then shuts down and returns the store. Reports the bound address via
+/// `on_ready` before serving (useful for ephemeral ports).
 ///
 /// # Errors
 ///
 /// Bind/accept/socket errors.
+#[deprecated(note = "use PipeStoreServer::bind for concurrent, session-capped serving")]
 pub fn serve_pipestore_once(
-    mut store: PipeStore,
+    store: PipeStore,
     addr: &str,
     on_ready: impl FnOnce(std::net::SocketAddr),
 ) -> Result<PipeStore, RpcError> {
-    let listener = TcpListener::bind(addr)?;
-    on_ready(listener.local_addr()?);
-    let (stream, _) = listener.accept()?;
-    stream.set_nodelay(true).ok();
-    serve_session(&mut store, stream)?;
-    Ok(store)
+    let server = PipeStoreServer::bind(store, addr, ServerConfig::default())?;
+    on_ready(server.local_addr());
+    server.wait_idle(1);
+    server.shutdown()
 }
 
 #[cfg(test)]
@@ -263,5 +632,58 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let mut s = store(&mut rng);
         assert_eq!(handle(&mut s, Request::Shutdown), None);
+    }
+
+    #[test]
+    fn greet_accepts_matching_version() {
+        let mut hello = Vec::new();
+        write_handshake(
+            &mut hello,
+            &Handshake::Hello {
+                version: PROTOCOL_VERSION,
+                features: 0,
+            },
+        )
+        .expect("encode hello");
+        let mut out = Vec::new();
+        greet(&mut hello.as_slice(), &mut out, 42).expect("greet");
+        match read_handshake(&mut out.as_slice()).expect("decode accept") {
+            Handshake::Accept {
+                version, store_id, ..
+            } => {
+                assert_eq!(version, PROTOCOL_VERSION);
+                assert_eq!(store_id, 42);
+            }
+            other => panic!("expected accept, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn greet_rejects_version_skew_with_structured_error() {
+        let mut hello = Vec::new();
+        write_handshake(
+            &mut hello,
+            &Handshake::Hello {
+                version: 99,
+                features: 0,
+            },
+        )
+        .expect("encode hello");
+        let mut out = Vec::new();
+        match greet(&mut hello.as_slice(), &mut out, 1) {
+            Err(RpcError::ProtocolMismatch { ours, theirs }) => {
+                assert_eq!(ours, PROTOCOL_VERSION);
+                assert_eq!(theirs, 99);
+            }
+            other => panic!("expected mismatch, got {other:?}"),
+        }
+        // And the peer was told, with our version so it can diagnose.
+        match read_handshake(&mut out.as_slice()).expect("decode reject") {
+            Handshake::Reject { version, reason } => {
+                assert_eq!(version, PROTOCOL_VERSION);
+                assert!(reason.contains("protocol"));
+            }
+            other => panic!("expected reject, got {other:?}"),
+        }
     }
 }

@@ -1,4 +1,10 @@
 //! Frame format: `[u32 len][u8 tag][payload]`, all little-endian.
+//!
+//! Sessions open with a versioned [`Handshake`]: the client sends
+//! `Hello` (protocol version + feature bits), the server answers
+//! `Accept` (version + features + store id) or `Reject`. Peers speaking
+//! a different protocol revision fail fast with a structured
+//! [`RpcError::ProtocolMismatch`] instead of a mid-stream decode error.
 
 use crate::rpc::RpcError;
 use std::io::{Read, Write};
@@ -6,6 +12,17 @@ use tensor::Tensor;
 
 /// Hard cap on a single frame (guards against garbage length prefixes).
 pub const MAX_FRAME: usize = 256 * 1024 * 1024;
+
+/// Wire protocol revision. Bump on any frame-layout change; the
+/// handshake refuses mismatched peers before any payload moves.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Feature bit: the peer serves telemetry scrapes (`Metrics`).
+pub const FEATURE_METRICS: u64 = 1 << 0;
+/// Feature bit: the peer applies Check-N-Run deltas (`ApplyDelta`).
+pub const FEATURE_DELTAS: u64 = 1 << 1;
+/// Feature bit: the peer serves concurrent sessions (PipeStoreServer).
+pub const FEATURE_MULTI_SESSION: u64 = 1 << 2;
 
 /// Requests the Tuner sends to a PipeStore.
 #[derive(Debug, Clone, PartialEq)]
@@ -74,6 +91,37 @@ pub enum Reply {
     Error(String),
 }
 
+/// Session-opening frames. A session is exactly one `Hello` from the
+/// connecting Tuner answered by one `Accept` or `Reject` from the store;
+/// only then does the request/reply stream begin.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Handshake {
+    /// Client greeting: protocol revision and the features it can use.
+    Hello {
+        /// The client's [`PROTOCOL_VERSION`].
+        version: u32,
+        /// Feature bits the client understands.
+        features: u64,
+    },
+    /// Server acceptance: the session may proceed.
+    Accept {
+        /// The server's [`PROTOCOL_VERSION`].
+        version: u32,
+        /// Feature bits the server offers.
+        features: u64,
+        /// Stable identity of the PipeStore behind this socket.
+        store_id: u64,
+    },
+    /// Server refusal; the connection closes after this frame.
+    Reject {
+        /// The server's [`PROTOCOL_VERSION`] so the client can tell a
+        /// version skew from an operational refusal (e.g. session cap).
+        version: u32,
+        /// Human-readable refusal reason.
+        reason: String,
+    },
+}
+
 const TAG_INSTALL: u8 = 1;
 const TAG_EXTRACT: u8 = 2;
 const TAG_INFER: u8 = 3;
@@ -81,6 +129,9 @@ const TAG_DELTA: u8 = 4;
 const TAG_DESCRIBE: u8 = 5;
 const TAG_SHUTDOWN: u8 = 6;
 const TAG_METRICS_REQ: u8 = 7;
+const TAG_HELLO: u8 = 32;
+const TAG_ACCEPT: u8 = 33;
+const TAG_REJECT: u8 = 34;
 const TAG_ACK: u8 = 64;
 const TAG_FEATURES: u8 = 65;
 const TAG_LABELS: u8 = 66;
@@ -286,6 +337,90 @@ impl Reply {
     }
 }
 
+impl Handshake {
+    fn encode_body(&self) -> (u8, Vec<u8>) {
+        match self {
+            Handshake::Hello { version, features } => {
+                let mut p = Vec::with_capacity(12);
+                put_u32(&mut p, *version);
+                put_u64(&mut p, *features);
+                (TAG_HELLO, p)
+            }
+            Handshake::Accept {
+                version,
+                features,
+                store_id,
+            } => {
+                let mut p = Vec::with_capacity(20);
+                put_u32(&mut p, *version);
+                put_u64(&mut p, *features);
+                put_u64(&mut p, *store_id);
+                (TAG_ACCEPT, p)
+            }
+            Handshake::Reject { version, reason } => {
+                let mut p = Vec::with_capacity(4 + reason.len());
+                put_u32(&mut p, *version);
+                p.extend_from_slice(reason.as_bytes());
+                (TAG_REJECT, p)
+            }
+        }
+    }
+
+    fn decode_body(tag: u8, payload: &[u8]) -> Result<Handshake, RpcError> {
+        match tag {
+            TAG_HELLO => {
+                let mut c = Cursor { buf: payload, pos: 0 };
+                let version = c.u32()?;
+                let features = c.u64()?;
+                c.finish()?;
+                Ok(Handshake::Hello { version, features })
+            }
+            TAG_ACCEPT => {
+                let mut c = Cursor { buf: payload, pos: 0 };
+                let version = c.u32()?;
+                let features = c.u64()?;
+                let store_id = c.u64()?;
+                c.finish()?;
+                Ok(Handshake::Accept {
+                    version,
+                    features,
+                    store_id,
+                })
+            }
+            TAG_REJECT => {
+                let mut c = Cursor { buf: payload, pos: 0 };
+                let version = c.u32()?;
+                let reason =
+                    String::from_utf8_lossy(c.take(payload.len().saturating_sub(4))?).into_owned();
+                Ok(Handshake::Reject { version, reason })
+            }
+            _ => Err(RpcError::Protocol("expected handshake frame")),
+        }
+    }
+}
+
+/// Writes a handshake frame, returning the bytes put on the wire.
+///
+/// # Errors
+///
+/// Socket or framing errors.
+pub fn write_handshake<W: Write>(w: &mut W, hs: &Handshake) -> Result<usize, RpcError> {
+    let (tag, payload) = hs.encode_body();
+    write_frame(w, tag, &payload)
+}
+
+/// Reads a handshake frame. Any non-handshake tag is a protocol error —
+/// a pre-handshake peer fails here with a clear message rather than a
+/// mid-stream decode failure.
+///
+/// # Errors
+///
+/// Socket or framing errors.
+pub fn read_handshake<R: Read>(r: &mut R) -> Result<Handshake, RpcError> {
+    let (tag, payload) = read_frame(r)?;
+    Handshake::decode_body(tag, &payload)
+}
+
 fn write_frame<W: Write>(w: &mut W, tag: u8, payload: &[u8]) -> Result<usize, RpcError> {
     if payload.len() > MAX_FRAME {
         return Err(RpcError::Protocol("frame too large"));
@@ -341,19 +476,17 @@ pub fn write_reply<W: Write>(w: &mut W, reply: &Reply) -> Result<usize, RpcError
     write_frame(w, tag, &payload)
 }
 
-/// Reads a reply frame (with the bytes consumed), converting remote
-/// `Error` replies into [`RpcError::Remote`].
+/// Reads a reply frame (with the bytes consumed). `Error` replies come
+/// back as [`Reply::Error`]; the client layer converts them into
+/// [`RpcError::Remote`] enriched with the peer address and operation.
 ///
 /// # Errors
 ///
-/// Socket, framing or remote errors.
+/// Socket or framing errors.
 pub fn read_reply<R: Read>(r: &mut R) -> Result<(Reply, usize), RpcError> {
     let (tag, payload) = read_frame(r)?;
     let n = 5 + payload.len();
-    match Reply::decode_body(tag, &payload)? {
-        Reply::Error(msg) => Err(RpcError::Remote(msg)),
-        reply => Ok((reply, n)),
-    }
+    Ok((Reply::decode_body(tag, &payload)?, n))
 }
 
 #[cfg(test)]
@@ -433,12 +566,63 @@ mod tests {
     }
 
     #[test]
-    fn remote_error_surfaces_as_rpc_error() {
+    fn remote_error_reply_roundtrips() {
         let mut buf = Vec::new();
         write_reply(&mut buf, &Reply::Error("shard missing".into())).expect("write");
         match read_reply(&mut buf.as_slice()) {
-            Err(RpcError::Remote(msg)) => assert!(msg.contains("shard missing")),
-            other => panic!("expected remote error, got {other:?}"),
+            Ok((Reply::Error(msg), _)) => assert!(msg.contains("shard missing")),
+            other => panic!("expected error reply, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn handshake_roundtrips() {
+        for hs in [
+            Handshake::Hello {
+                version: PROTOCOL_VERSION,
+                features: FEATURE_METRICS | FEATURE_DELTAS,
+            },
+            Handshake::Accept {
+                version: PROTOCOL_VERSION,
+                features: FEATURE_METRICS | FEATURE_DELTAS | FEATURE_MULTI_SESSION,
+                store_id: 7,
+            },
+            Handshake::Reject {
+                version: 2,
+                reason: "session cap reached".into(),
+            },
+        ] {
+            let mut buf = Vec::new();
+            let wrote = write_handshake(&mut buf, &hs).expect("write");
+            assert_eq!(wrote, buf.len());
+            let back = read_handshake(&mut buf.as_slice()).expect("read");
+            assert_eq!(back, hs);
+        }
+    }
+
+    #[test]
+    fn pre_handshake_request_is_a_clear_error() {
+        // An old-protocol peer that skips the handshake and sends a
+        // request first must fail fast, not misparse.
+        let mut buf = Vec::new();
+        write_request(&mut buf, &Request::Describe).expect("write");
+        assert!(matches!(
+            read_handshake(&mut buf.as_slice()),
+            Err(RpcError::Protocol("expected handshake frame"))
+        ));
+    }
+
+    #[test]
+    fn truncated_handshake_rejected() {
+        assert!(Handshake::decode_body(TAG_ACCEPT, &[1, 2, 3]).is_err());
+        assert!(Handshake::decode_body(TAG_HELLO, &[0; 11]).is_err());
+        // Reject with an empty reason is fine (version survives).
+        match Handshake::decode_body(TAG_REJECT, &9u32.to_le_bytes()) {
+            Ok(Handshake::Reject { version, reason }) => {
+                assert_eq!(version, 9);
+                assert!(reason.is_empty());
+            }
+            other => panic!("unexpected {other:?}"),
         }
     }
 

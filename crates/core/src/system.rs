@@ -179,7 +179,7 @@ impl NdPipeSystem {
     /// the process-global registry merged with every PipeStore's local
     /// registry, each store's samples tagged `store=<id>`. The socket
     /// deployment gets the same view via
-    /// [`crate::rpc::distributed::scrape_cluster`].
+    /// [`crate::rpc::Cluster::scrape_metrics`].
     pub fn metrics_snapshot(&self) -> telemetry::Snapshot {
         let mut merged = telemetry::global().snapshot();
         for store in &self.stores {

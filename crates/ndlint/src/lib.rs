@@ -117,6 +117,12 @@ impl Config {
                     file_suffix: "core/src/rpc/server.rs".into(),
                     filter: FnFilter::All,
                 },
+                // The cluster control plane: a flaky peer must surface
+                // as a PeerFailure, never as a Tuner-side panic.
+                Zone {
+                    file_suffix: "core/src/rpc/cluster.rs".into(),
+                    filter: FnFilter::All,
+                },
                 Zone {
                     file_suffix: "telemetry/src/snapshot.rs".into(),
                     filter: FnFilter::All,
@@ -177,6 +183,32 @@ impl Config {
                             file_suffix: "core/src/rpc/server.rs".into(),
                             impl_target: None,
                             fn_name: "handle".into(),
+                            label: "server dispatch".into(),
+                        },
+                    ],
+                },
+                // Session-opening frames: encode/decode plus the server's
+                // greeting, which must consider every handshake shape.
+                WireCheck {
+                    enum_file_suffix: "core/src/rpc/wire.rs".into(),
+                    enum_name: "Handshake".into(),
+                    sites: vec![
+                        WireSite {
+                            file_suffix: "core/src/rpc/wire.rs".into(),
+                            impl_target: Some("Handshake".into()),
+                            fn_name: "encode_body".into(),
+                            label: "encode".into(),
+                        },
+                        WireSite {
+                            file_suffix: "core/src/rpc/wire.rs".into(),
+                            impl_target: Some("Handshake".into()),
+                            fn_name: "decode_body".into(),
+                            label: "decode".into(),
+                        },
+                        WireSite {
+                            file_suffix: "core/src/rpc/server.rs".into(),
+                            impl_target: None,
+                            fn_name: "greet".into(),
                             label: "server dispatch".into(),
                         },
                     ],

@@ -13,3 +13,6 @@ cargo run -q -p bench --release --bin bench_report -- --fast >/dev/null
 test -s results/BENCH_npe_pipeline.json
 test -s results/BENCH_gemm_kernel.json
 test -s results/BENCH_telemetry_overhead.json
+test -s results/BENCH_cluster_fanout.json
+# RPC server stress smoke: 8 concurrent sessions against one PipeStore.
+cargo test -q --release --test cluster_failover -- --ignored
