@@ -70,5 +70,10 @@ fn bench_delta(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_feature_extraction, bench_tuner_step, bench_delta);
+criterion_group!(
+    benches,
+    bench_feature_extraction,
+    bench_tuner_step,
+    bench_delta
+);
 criterion_main!(benches);

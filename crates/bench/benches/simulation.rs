@@ -1,9 +1,9 @@
 //! Micro-benchmarks of the cluster capacity models and APO search —
 //! these run inside deployment tooling, so they should stay cheap.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cluster::inference::{inference_report, InferenceSetup, InferenceVariant};
 use cluster::training::{training_report, TrainSetup};
+use criterion::{criterion_group, criterion_main, Criterion};
 use dnn::ModelProfile;
 use ndpipe::apo::{best_organization, ApoInput};
 
@@ -28,5 +28,10 @@ fn bench_apo(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_inference_report, bench_training_report, bench_apo);
+criterion_group!(
+    benches,
+    bench_inference_report,
+    bench_training_report,
+    bench_apo
+);
 criterion_main!(benches);

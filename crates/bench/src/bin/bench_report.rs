@@ -2,10 +2,13 @@
 //! machine-readable JSON artifacts (`results/BENCH_npe_pipeline.json`,
 //! `results/BENCH_gemm_kernel.json`,
 //! `results/BENCH_telemetry_overhead.json`, and
-//! `results/BENCH_cluster_fanout.json`). Pass `--fast` for smaller
+//! `results/BENCH_cluster_fanout.json`, and
+//! `results/BENCH_rpc_concurrency.json`). Pass `--fast` for smaller
 //! (noisier) configurations.
 
-use bench::reports::{cluster_fanout, gemm_kernel, npe_pipeline, telemetry_overhead};
+use bench::reports::{
+    cluster_fanout, gemm_kernel, npe_pipeline, rpc_concurrency, telemetry_overhead,
+};
 use std::fs;
 
 fn main() {
@@ -59,5 +62,18 @@ fn main() {
     telemetry::export::validate_json(&json).expect("fanout json well-formed");
     let path = out_dir.join("BENCH_cluster_fanout.json");
     fs::write(&path, json).expect("write fanout json");
+    println!("\n# wrote {}", path.display());
+
+    let params = if fast {
+        rpc_concurrency::ConcurrencyParams::fast()
+    } else {
+        rpc_concurrency::ConcurrencyParams::full()
+    };
+    let m = rpc_concurrency::measure_with(&params);
+    println!("\n{}", rpc_concurrency::render(&m));
+    let json = rpc_concurrency::to_json(&m);
+    telemetry::export::validate_json(&json).expect("rpc concurrency json well-formed");
+    let path = out_dir.join("BENCH_rpc_concurrency.json");
+    fs::write(&path, json).expect("write rpc concurrency json");
     println!("\n# wrote {}", path.display());
 }

@@ -8,7 +8,10 @@ use rand::{rngs::StdRng, SeedableRng};
 fn main() {
     let cfg = ExperimentConfig::paper();
     let mut rng = StdRng::seed_from_u64(2024);
-    let spec = DatasetSpec { daily_drift: DatasetSpec::imagenet_1k().daily_drift * 0.25, ..DatasetSpec::imagenet_1k() };
+    let spec = DatasetSpec {
+        daily_drift: DatasetSpec::imagenet_1k().daily_drift * 0.25,
+        ..DatasetSpec::imagenet_1k()
+    };
     let mut scenario = DriftScenario::new(spec, cfg.initial_pool, &mut rng);
     // replicate label_fix internals
     let m0 = {
@@ -16,7 +19,10 @@ fn main() {
         dims.extend_from_slice(&cfg.feature_widths);
         dims.push(scenario.train_set().num_classes());
         let mut model = dnn::Mlp::new(&dims, cfg.feature_widths.len(), &mut rng);
-        let t = Trainer::new(dnn::TrainConfig { max_epochs: 15, ..cfg.train });
+        let t = Trainer::new(dnn::TrainConfig {
+            max_epochs: 15,
+            ..cfg.train
+        });
         t.fit(&mut model, &scenario.train_set(), None, 0, &mut rng);
         model
     };
@@ -29,26 +35,39 @@ fn main() {
     }
     let snapshot = db.snapshot();
     let truth = |id: PhotoId| scenario_truth(&scenario, id);
-    fn scenario_truth(s: &DriftScenario, id: PhotoId) -> usize { s.pool_item(id.0 as usize).0 }
+    fn scenario_truth(s: &DriftScenario, id: PhotoId) -> usize {
+        s.pool_item(id.0 as usize).0
+    }
     let acc0 = db.accuracy_against(truth);
     println!("M0 label acc on pool: {:.3} ({} photos)", acc0, photo_count);
     for gen in 1..=2u64 {
-        for _ in 0..14 { scenario.advance_day(&mut rng); }
+        for _ in 0..14 {
+            scenario.advance_day(&mut rng);
+        }
         let mut dims = vec![spec.input_dim];
         dims.extend_from_slice(&cfg.feature_widths);
         dims.push(scenario.train_set().num_classes());
         let mut model = dnn::Mlp::new(&dims, cfg.feature_widths.len(), &mut rng);
-        let t = Trainer::new(dnn::TrainConfig { max_epochs: 25, ..cfg.train });
+        let t = Trainer::new(dnn::TrainConfig {
+            max_epochs: 25,
+            ..cfg.train
+        });
         t.fit(&mut model, &scenario.train_set(), None, 0, &mut rng);
-        let relabels: Vec<(PhotoId, usize)> = (0..photo_count).map(|i| {
-            let (_, x) = scenario.pool_item(i);
-            let logits = model.forward(&x.reshape(&[1, x.len()]).unwrap());
-            (PhotoId(i as u64), logits.argmax())
-        }).collect();
+        let relabels: Vec<(PhotoId, usize)> = (0..photo_count)
+            .map(|i| {
+                let (_, x) = scenario.pool_item(i);
+                let logits = model.forward(&x.reshape(&[1, x.len()]).unwrap());
+                (PhotoId(i as u64), logits.argmax())
+            })
+            .collect();
         let stats = db.apply_relabels(relabels, gen);
         let acc = db.accuracy_against(|id| scenario_truth(&scenario, id));
-        println!("M{gen}: changed {} of {}, pool-label acc {:.3}, fixed_frac {:.4}",
-            stats.changed, stats.examined, acc,
-            db.fixed_fraction_since(&snapshot, |id| scenario_truth(&scenario, id)));
+        println!(
+            "M{gen}: changed {} of {}, pool-label acc {:.3}, fixed_frac {:.4}",
+            stats.changed,
+            stats.examined,
+            acc,
+            db.fixed_fraction_since(&snapshot, |id| scenario_truth(&scenario, id))
+        );
     }
 }

@@ -2,5 +2,8 @@
 //! smaller configuration.
 
 fn main() {
-    println!("{}", bench::reports::fig13_inference::run(bench::fast_flag()));
+    println!(
+        "{}",
+        bench::reports::fig13_inference::run(bench::fast_flag())
+    );
 }

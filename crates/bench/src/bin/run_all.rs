@@ -18,8 +18,7 @@ fn main() {
     fs::create_dir_all(out_dir).expect("create results dir");
     for (name, report) in bench::reports::run_all(fast) {
         println!("{report}\n");
-        fs::write(out_dir.join(format!("{name}.txt")), &report)
-            .expect("write report");
+        fs::write(out_dir.join(format!("{name}.txt")), &report).expect("write report");
     }
 
     let lint = ndlint::run_workspace(workspace_root());
@@ -36,8 +35,11 @@ fn main() {
     let json = snapshot.to_json();
     telemetry::export::validate_json(&json).expect("cluster metrics json well-formed");
     fs::write(out_dir.join("cluster_metrics.json"), json).expect("write cluster metrics json");
-    fs::write(out_dir.join("cluster_metrics.prom"), snapshot.to_prometheus())
-        .expect("write cluster metrics exposition");
+    fs::write(
+        out_dir.join("cluster_metrics.prom"),
+        snapshot.to_prometheus(),
+    )
+    .expect("write cluster metrics exposition");
     eprintln!(
         "reports written to {} (cluster scrape: {} series from 2 stores)",
         out_dir.display(),
@@ -85,12 +87,24 @@ fn scrape_fleet() -> telemetry::Snapshot {
     }
     let cluster = Cluster::builder().connect(&addrs).expect("connect cluster");
     let fan = cluster.install_model(&model);
-    assert!(fan.failures.is_empty(), "install failures: {:?}", fan.failures);
+    assert!(
+        fan.failures.is_empty(),
+        "install failures: {:?}",
+        fan.failures
+    );
     let fan = cluster.extract_features(0, 1);
-    assert!(fan.failures.is_empty(), "extract failures: {:?}", fan.failures);
+    assert!(
+        fan.failures.is_empty(),
+        "extract failures: {:?}",
+        fan.failures
+    );
     let metrics = cluster.scrape_metrics().expect("scrape cluster");
     let fan = cluster.shutdown();
-    assert!(fan.failures.is_empty(), "shutdown failures: {:?}", fan.failures);
+    assert!(
+        fan.failures.is_empty(),
+        "shutdown failures: {:?}",
+        fan.failures
+    );
     for s in servers {
         s.shutdown().expect("server drain");
     }

@@ -2,5 +2,8 @@
 //! smaller configuration.
 
 fn main() {
-    println!("{}", bench::reports::table2_accuracy::run(bench::fast_flag()));
+    println!(
+        "{}",
+        bench::reports::table2_accuracy::run(bench::fast_flag())
+    );
 }

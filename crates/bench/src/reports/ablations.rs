@@ -21,7 +21,12 @@ pub fn run(_fast: bool) -> String {
     // --- 1. Decompression core count (§5.4 reserves "a maximum of two").
     let model = ModelProfile::resnet50();
     let store = InstanceSpec::pipestore();
-    r.header(&["decompress cores", "decomp cap (IPS)", "store throughput (IPS)", "hidden by FE?"]);
+    r.header(&[
+        "decompress cores",
+        "decomp cap (IPS)",
+        "store throughput (IPS)",
+        "hidden by FE?",
+    ]);
     let gpu_ips = model.t4_inference_ips();
     for cores in [1usize, 2, 4, 8] {
         let decomp_ips = store.cpu.decompress_bps(cores) / COMPRESSED_IMAGE_BYTES;
@@ -48,7 +53,12 @@ pub fn run(_fast: bool) -> String {
     }
     let delta = ModelDelta::between(&old, &new);
     let full_bytes = new.param_count() * 4;
-    r.header(&["fleet size", "full distribution", "delta distribution", "saving"]);
+    r.header(&[
+        "fleet size",
+        "full distribution",
+        "delta distribution",
+        "saving",
+    ]);
     for n in [4usize, 10, 20] {
         r.row(&[
             n.to_string(),

@@ -41,11 +41,11 @@ pub fn run(fast: bool) -> String {
     let mut r = Report::new("Artifact", "end-to-end NDPipe smoke run (§A workflow)");
     r.header(&["step", "value"]);
     r.row(&["bootstrap + initial training (s)".into(), fmt(boot_secs, 2)]);
-    r.row(&["stale top-1 after 7 days".into(), format!("{}%", pct(stale.top1))]);
     r.row(&[
-        "fine-tune time (s)".into(),
-        fmt(ft_secs, 2),
+        "stale top-1 after 7 days".into(),
+        format!("{}%", pct(stale.top1)),
     ]);
+    r.row(&["fine-tune time (s)".into(), fmt(ft_secs, 2)]);
     r.row(&[
         "feature-extraction throughput (img/s)".into(),
         fmt(outcome.report.examples as f64 / ft_secs.max(1e-9), 0),
@@ -54,10 +54,7 @@ pub fn run(fast: bool) -> String {
         "post-tune top-1".into(),
         format!("{}%", pct(outcome.final_accuracy.top1)),
     ]);
-    r.row(&[
-        "offline inference time (s)".into(),
-        fmt(inf_secs, 3),
-    ]);
+    r.row(&["offline inference time (s)".into(), fmt(inf_secs, 3)]);
     r.row(&[
         "offline inference throughput (img/s)".into(),
         fmt(relabel.examined as f64 / inf_secs.max(1e-9), 0),

@@ -33,7 +33,10 @@ pub fn run(fast: bool) -> String {
     let mut r = Report::new("Check-N-Run", "compressed-delta model distribution (§5)");
     r.header(&["quantity", "value"]);
     r.row(&["full model".into(), human_bytes(full_bytes as f64)]);
-    r.row(&["delta on the wire".into(), human_bytes(delta.wire_bytes() as f64)]);
+    r.row(&[
+        "delta on the wire".into(),
+        human_bytes(delta.wire_bytes() as f64),
+    ]);
     r.row(&[
         "traffic reduction".into(),
         format!("{}x", fmt(delta.traffic_reduction(), 1)),
@@ -49,7 +52,10 @@ mod tests {
     #[test]
     fn reduction_is_large() {
         let s = super::run(true);
-        let line = s.lines().find(|l| l.starts_with("traffic reduction")).unwrap();
+        let line = s
+            .lines()
+            .find(|l| l.starts_with("traffic reduction"))
+            .unwrap();
         let x: f64 = line
             .split('\t')
             .nth(1)

@@ -174,9 +174,12 @@ fn measure_pinned(p: &FanoutParams) -> FanoutMeasurements {
     let mut rows_per_peer = 0;
     for (i, shard) in dataset.shards(p.peers).into_iter().enumerate() {
         rows_per_peer = rows_per_peer.max(shard.len());
-        let server =
-            PipeStoreServer::bind(PipeStore::new(i, shard), "127.0.0.1:0", ServerConfig::default())
-                .expect("bind bench server");
+        let server = PipeStoreServer::bind(
+            PipeStore::new(i, shard),
+            "127.0.0.1:0",
+            ServerConfig::default(),
+        )
+        .expect("bind bench server");
         addrs.push(server.local_addr());
         servers.push(server);
     }
@@ -197,14 +200,22 @@ fn measure_pinned(p: &FanoutParams) -> FanoutMeasurements {
         c.install_model(&model).expect("install (sequential)");
     }
     let fan = cluster.install_model(&model);
-    assert!(fan.failures.is_empty(), "install failures: {:?}", fan.failures);
+    assert!(
+        fan.failures.is_empty(),
+        "install failures: {:?}",
+        fan.failures
+    );
 
     // Warm both paths: socket buffers, the GEMM pool, packing scratch.
     for c in &mut seq {
         c.extract_features(0, n_run).expect("warm sequential");
     }
     let warm = cluster.extract_features(0, n_run);
-    assert!(warm.failures.is_empty(), "warm failures: {:?}", warm.failures);
+    assert!(
+        warm.failures.is_empty(),
+        "warm failures: {:?}",
+        warm.failures
+    );
 
     let mut sequential_runs = Vec::with_capacity(p.repeats);
     let mut fanout_runs = Vec::with_capacity(p.repeats);
@@ -222,7 +233,11 @@ fn measure_pinned(p: &FanoutParams) -> FanoutMeasurements {
         let mut sweep_bytes = 0u64;
         for run in 0..n_run {
             let fan = cluster.extract_features(run, n_run);
-            assert!(fan.failures.is_empty(), "fanout failures: {:?}", fan.failures);
+            assert!(
+                fan.failures.is_empty(),
+                "fanout failures: {:?}",
+                fan.failures
+            );
             sweep_bytes += fan.ok.iter().map(|r| r.recv_bytes).sum::<u64>();
         }
         fanout_runs.push(t.elapsed().as_secs_f64());
@@ -233,7 +248,11 @@ fn measure_pinned(p: &FanoutParams) -> FanoutMeasurements {
         c.shutdown().expect("sequential handle shutdown");
     }
     let fan = cluster.shutdown();
-    assert!(fan.failures.is_empty(), "shutdown failures: {:?}", fan.failures);
+    assert!(
+        fan.failures.is_empty(),
+        "shutdown failures: {:?}",
+        fan.failures
+    );
     for s in servers {
         s.shutdown().expect("server drain");
     }
@@ -268,7 +287,10 @@ pub fn to_json(m: &FanoutMeasurements) -> String {
         "  \"sequential_best_secs\": {:.5},\n",
         m.sequential_secs()
     ));
-    s.push_str(&format!("  \"fanout_best_secs\": {:.5},\n", m.fanout_secs()));
+    s.push_str(&format!(
+        "  \"fanout_best_secs\": {:.5},\n",
+        m.fanout_secs()
+    ));
     s.push_str(&format!("  \"speedup\": {:.3},\n", m.speedup()));
     s.push_str(&format!("  \"pass_fanout_bar\": {},\n", m.pass()));
     s.push_str(&format!(

@@ -1,9 +1,7 @@
 //! Fig 4: the outdated-model problem — accuracy decay and recovery.
 
 use crate::util::{pct, Report};
-use ndpipe::experiment::{
-    dataset_size_sweep, drift_experiment, ExperimentConfig, UpdateStrategy,
-};
+use ndpipe::experiment::{dataset_size_sweep, drift_experiment, ExperimentConfig, UpdateStrategy};
 use ndpipe_data::DatasetSpec;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

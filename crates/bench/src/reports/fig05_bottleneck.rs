@@ -26,11 +26,7 @@ pub fn run(_fast: bool) -> String {
         let inf = baseline_inference(host, &model, 4, &link);
         let minutes = ft.total() * images / 60.0;
         times.push(minutes);
-        r.row(&[
-            name.to_string(),
-            fmt(minutes, 1),
-            fmt(inf.ips(), 1),
-        ]);
+        r.row(&[name.to_string(), fmt(minutes, 1), fmt(inf.ips(), 1)]);
     }
     r.blank();
     r.note(&format!(

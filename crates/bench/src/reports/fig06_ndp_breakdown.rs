@@ -2,8 +2,7 @@
 
 use crate::util::{fmt, Report};
 use cluster::baseline::{
-    baseline_fine_tune, baseline_inference, naive_ndp_fine_tune, naive_ndp_inference,
-    BaselineHost,
+    baseline_fine_tune, baseline_inference, naive_ndp_fine_tune, naive_ndp_inference, BaselineHost,
 };
 use dnn::ModelProfile;
 use hw::LinkSpec;

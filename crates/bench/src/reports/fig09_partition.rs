@@ -9,7 +9,9 @@ use dnn::ModelProfile;
 /// (everything on the stores, weight sync over the network).
 pub fn run(_fast: bool) -> String {
     let model = ModelProfile::resnet50();
-    let labels = ["None", "+Conv1", "+Conv2", "+Conv3", "+Conv4", "+Conv5", "+FC"];
+    let labels = [
+        "None", "+Conv1", "+Conv2", "+Conv3", "+Conv4", "+Conv5", "+FC",
+    ];
 
     let mut r = Report::new(
         "Fig 9",

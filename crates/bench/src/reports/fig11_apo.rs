@@ -64,6 +64,11 @@ mod tests {
         assert!(s.contains("APO picks"));
         assert!(s.contains("IPS/kJ"));
         // 20 rows.
-        assert!(s.lines().filter(|l| l.ends_with(|c: char| c.is_ascii_digit())).count() >= 20);
+        assert!(
+            s.lines()
+                .filter(|l| l.ends_with(|c: char| c.is_ascii_digit()))
+                .count()
+                >= 20
+        );
     }
 }

@@ -19,14 +19,7 @@ pub fn run(fast: bool) -> String {
         (NpeTask::FineTune, "fine-tuning"),
         (NpeTask::OfflineInference, "offline inference"),
     ] {
-        r.header(&[
-            name,
-            "Read",
-            "Preproc.",
-            "Decomp.",
-            "FE",
-            "pipelined IPS",
-        ]);
+        r.header(&[name, "Read", "Preproc.", "Decomp.", "FE", "pipelined IPS"]);
         for level in NpeLevel::all() {
             let t = stage_times(&model, task, level);
             r.row(&[

@@ -19,7 +19,14 @@ pub fn run(_fast: bool) -> String {
             ("P2", InferenceVariant::SrvCompressed),
             ("P3", InferenceVariant::SrvIdeal),
         ];
-        r.header(&[model.name(), "system", "GPU W", "CPU W", "Other W", "total W"]);
+        r.header(&[
+            model.name(),
+            "system",
+            "GPU W",
+            "CPU W",
+            "Other W",
+            "total W",
+        ]);
         for (point, srv_variant) in targets {
             let srv_ips = setup4(srv_variant).ips;
             // Match NDPipe store count to the SRV throughput.
@@ -29,18 +36,14 @@ pub fn run(_fast: bool) -> String {
                         InferenceVariant::NdPipe,
                         &InferenceSetup::paper_default(model.clone(), n),
                     )
-                    .ips
-                        >= srv_ips
+                    .ips >= srv_ips
                 })
                 .unwrap_or(60);
             for (name, variant, n) in [
                 (srv_variant.label(), srv_variant, 4usize),
                 ("NDPipe", InferenceVariant::NdPipe, n_match),
             ] {
-                let p = fleet_power(
-                    variant,
-                    &InferenceSetup::paper_default(model.clone(), n),
-                );
+                let p = fleet_power(variant, &InferenceSetup::paper_default(model.clone(), n));
                 r.row(&[
                     point.to_string(),
                     format!("{name} (n={n})"),

@@ -10,7 +10,10 @@ use hw::LinkSpec;
 /// point (P1) and at the best-efficiency fleet size (BEST).
 pub fn run(_fast: bool) -> String {
     let link = LinkSpec::ethernet_gbps(10.0);
-    let mut r = Report::new("Fig 16", "training energy efficiency (IPS/kJ) at P1 and BEST");
+    let mut r = Report::new(
+        "Fig 16",
+        "training energy efficiency (IPS/kJ) at P1 and BEST",
+    );
     r.header(&["model", "point", "SRV-C", "NDPipe", "gain"]);
     let mut gains_p1 = Vec::new();
     let mut gains_best = Vec::new();
@@ -21,8 +24,7 @@ pub fn run(_fast: bool) -> String {
 
         let p1 = (1..=30)
             .find(|&n| {
-                training_report(&TrainSetup::paper_default(model.clone(), n)).total_secs
-                    <= srv_time
+                training_report(&TrainSetup::paper_default(model.clone(), n)).total_secs <= srv_time
             })
             .unwrap_or(30);
         let best = (1..=20)
@@ -36,8 +38,8 @@ pub fn run(_fast: bool) -> String {
             .expect("non-empty range");
 
         for (label, n, gains) in [("P1", p1, &mut gains_p1), ("BEST", best, &mut gains_best)] {
-            let ndp = training_energy(&TrainSetup::paper_default(model.clone(), n))
-                .ips_per_kilojoule();
+            let ndp =
+                training_energy(&TrainSetup::paper_default(model.clone(), n)).ips_per_kilojoule();
             let gain = ndp / srv_energy;
             gains.push(gain);
             r.row(&[

@@ -68,7 +68,10 @@ mod tests {
     fn four_runs_reported() {
         let s = super::run(true);
         for n in 1..=4 {
-            assert!(s.lines().any(|l| l.starts_with(&n.to_string())), "missing N_run={n}");
+            assert!(
+                s.lines().any(|l| l.starts_with(&n.to_string())),
+                "missing N_run={n}"
+            );
         }
         assert!(s.contains("time saved"));
     }

@@ -11,7 +11,12 @@ use hw::LinkSpec;
 pub fn run(_fast: bool) -> String {
     let mut r = Report::new("Fig 18", "inference IPS/W vs network bandwidth");
     for model in [ModelProfile::resnet50(), ModelProfile::resnext101()] {
-        r.header(&[model.name(), "SRV-C IPS/W", "NDPipe IPS/W", "SRV-C bottleneck"]);
+        r.header(&[
+            model.name(),
+            "SRV-C IPS/W",
+            "NDPipe IPS/W",
+            "SRV-C bottleneck",
+        ]);
         let mut first = None;
         let mut last = None;
         for gbps in [1.0, 10.0, 20.0, 40.0] {

@@ -26,8 +26,7 @@ pub fn run(_fast: bool) -> String {
                     InferenceVariant::NdPipeInf1,
                     &InferenceSetup::paper_default(model.clone(), n),
                 )
-                .ips
-                    >= srv_ips
+                .ips >= srv_ips
             })
             .unwrap_or(40);
 
@@ -42,12 +41,11 @@ pub fn run(_fast: bool) -> String {
             .unwrap_or(40);
 
         // Efficiency at the crossovers.
-        let e_srv_inf =
-            inference_energy(
-                InferenceVariant::SrvCompressed,
-                &InferenceSetup::paper_default(model.clone(), 4),
-                1_000_000,
-            );
+        let e_srv_inf = inference_energy(
+            InferenceVariant::SrvCompressed,
+            &InferenceSetup::paper_default(model.clone(), 4),
+            1_000_000,
+        );
         let e_inf1 = inference_energy(
             InferenceVariant::NdPipeInf1,
             &InferenceSetup::paper_default(model.clone(), inf_cross),

@@ -20,7 +20,10 @@ pub fn run(_fast: bool) -> String {
         srv.total_secs,
     );
 
-    let mut r = Report::new("Fig 21a", "fine-tuning cost (USD) vs #PipeStores (ResNet50)");
+    let mut r = Report::new(
+        "Fig 21a",
+        "fine-tuning cost (USD) vs #PipeStores (ResNet50)",
+    );
     r.header(&["#stores", "NDPipe $", "NDPipe-Inf1 $", "SRV-C $"]);
     let mut ndp_best = f64::INFINITY;
     let mut inf1_best = f64::INFINITY;
@@ -71,10 +74,22 @@ pub fn run(_fast: bool) -> String {
         CostModel::p3_8xlarge(),
         full_train_secs,
     );
-    r.row(&["Full training (SRV)".into(), fmt(full_cost / ndp_best, 1), "highest".into()]);
-    r.row(&["SRV-C fine-tune".into(), fmt(srv_cost / ndp_best, 2), "high".into()]);
+    r.row(&[
+        "Full training (SRV)".into(),
+        fmt(full_cost / ndp_best, 1),
+        "highest".into(),
+    ]);
+    r.row(&[
+        "SRV-C fine-tune".into(),
+        fmt(srv_cost / ndp_best, 2),
+        "high".into(),
+    ]);
     r.row(&["NDPipe fine-tune".into(), "1.00".into(), "high".into()]);
-    r.row(&["NDPipe-Inf1 fine-tune".into(), fmt(inf1_best / ndp_best, 2), "high".into()]);
+    r.row(&[
+        "NDPipe-Inf1 fine-tune".into(),
+        fmt(inf1_best / ndp_best, 2),
+        "high".into(),
+    ]);
     r.note("paper Fig 21b: full training is the most accurate but costs orders of");
     r.note("magnitude more; fine-tuning variants cluster at slightly lower accuracy");
     r.render()
@@ -87,7 +102,10 @@ mod tests {
         let s = super::run(true);
         assert!(s.contains("cheapest fine-tune"));
         // NDPipe at some fleet size is cheaper than SRV-C.
-        let line = s.lines().find(|l| l.contains("cheaper than SRV-C")).unwrap();
+        let line = s
+            .lines()
+            .find(|l| l.contains("cheaper than SRV-C"))
+            .unwrap();
         let x: f64 = line
             .split("NDPipe ")
             .nth(1)

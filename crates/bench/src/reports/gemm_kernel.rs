@@ -99,11 +99,7 @@ impl GemmMeasurements {
 
 /// Times `mul()` `reps` times, checks each product bit-identical to
 /// `oracle`, and returns the best (wall secs, GFLOP/s) pair.
-fn time_best(
-    p: &BenchParams,
-    oracle: &Tensor,
-    mul: impl Fn() -> Tensor,
-) -> (f64, f64) {
+fn time_best(p: &BenchParams, oracle: &Tensor, mul: impl Fn() -> Tensor) -> (f64, f64) {
     let flops = 2.0 * (p.dim as f64).powi(3);
     let mut best = f64::INFINITY;
     for _ in 0..p.reps {
@@ -138,8 +134,7 @@ pub fn measure_with(p: &BenchParams) -> GemmMeasurements {
         secs,
     });
     for threads in [1usize, 2, 4] {
-        let (secs, gflops) =
-            time_best(p, &oracle, || linalg::matmul_with_threads(&a, &b, threads));
+        let (secs, gflops) = time_best(p, &oracle, || linalg::matmul_with_threads(&a, &b, threads));
         points.push(GemmPoint {
             kernel: "packed",
             threads,

@@ -141,9 +141,7 @@ impl NpeMeasurements {
         let one = self.codec.iter().find(|c| c.threads == 1);
         let top = self.codec.iter().max_by_key(|c| c.threads);
         match (one, top) {
-            (Some(a), Some(b)) if a.decompress_mb_s > 0.0 => {
-                b.decompress_mb_s / a.decompress_mb_s
-            }
+            (Some(a), Some(b)) if a.decompress_mb_s > 0.0 => b.decompress_mb_s / a.decompress_mb_s,
             _ => 0.0,
         }
     }
@@ -239,8 +237,7 @@ pub fn measure_with(p: &BenchParams) -> NpeMeasurements {
         let packed = deflate::compress_chunked_with(&data, deflate::DEFAULT_CHUNK_SIZE, threads);
         let compress_mb_s = mb / t0.elapsed().as_secs_f64().max(1e-9);
         let t0 = Instant::now();
-        let restored =
-            deflate::decompress_framed_with(&packed, threads).expect("codec roundtrip");
+        let restored = deflate::decompress_framed_with(&packed, threads).expect("codec roundtrip");
         let decompress_mb_s = mb / t0.elapsed().as_secs_f64().max(1e-9);
         assert_eq!(restored.len(), data.len(), "codec roundtrip length");
         codec.push(CodecPoint {
@@ -332,7 +329,13 @@ pub fn render(m: &NpeMeasurements) -> String {
         m.cpus
     ));
     r.blank();
-    r.header(&["path", "decomp workers", "IPS", "wall s", "occ load/decode/fe"]);
+    r.header(&[
+        "path",
+        "decomp workers",
+        "IPS",
+        "wall s",
+        "occ load/decode/fe",
+    ]);
     r.row(&[
         "serial".into(),
         "1".into(),

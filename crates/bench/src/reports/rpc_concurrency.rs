@@ -1,0 +1,426 @@
+//! Cross-session dynamic batching vs per-session inference: many
+//! pipelining Tuner sessions firing `Infer` rows at one loopback
+//! `PipeStoreServer`, once with coalescing disabled (every row is its
+//! own single-row forward — the per-session baseline) and once with the
+//! event loop's batch window on. Writes the machine-readable artifact
+//! `results/BENCH_rpc_concurrency.json`.
+//!
+//! `NDPIPE_THREADS` is pinned to 1 so each forward pass is serial: the
+//! win reported at high session counts is genuine batching (one `[n, d]`
+//! GEMM amortizing per-call overhead over `n` rows), not the tensor pool
+//! racing itself. p99 latency comes from the server's own
+//! `ndpipe_rpc_server_op_seconds{op="infer"}` histogram, so the artifact
+//! records what the telemetry path records — not a bench-side stopwatch.
+
+use crate::util::{fmt, Report};
+use dnn::Mlp;
+use ndpipe::online::BatchPolicy;
+use ndpipe::rpc::{ConnectOptions, PipeStoreServer, RemotePipeStore, ServerConfig};
+use ndpipe::PipeStore;
+use ndpipe_data::{ClassUniverse, LabeledDataset};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+use tensor::Tensor;
+
+/// Workload knobs for the concurrency sweep.
+#[derive(Debug, Clone)]
+pub struct ConcurrencyParams {
+    /// Concurrent session counts to sweep (ascending).
+    pub session_counts: Vec<usize>,
+    /// `Infer` rows each session sends.
+    pub infers_per_session: usize,
+    /// Client pipelining window (in-flight rows per session).
+    pub window: usize,
+    /// Input feature dimension (also the model's hidden width).
+    pub input_dim: usize,
+    /// Label-space width of the synthetic corpus.
+    pub classes: usize,
+}
+
+impl ConcurrencyParams {
+    /// Full configuration: the acceptance setup (batching must win at
+    /// the 64-session point).
+    pub fn full() -> Self {
+        ConcurrencyParams {
+            session_counts: vec![1, 8, 64],
+            infers_per_session: 192,
+            window: 8,
+            input_dim: 32,
+            classes: 8,
+        }
+    }
+
+    /// Smaller (noisier) configuration for `--fast` runs.
+    pub fn fast() -> Self {
+        ConcurrencyParams {
+            session_counts: vec![1, 8, 64],
+            infers_per_session: 64,
+            window: 8,
+            input_dim: 16,
+            classes: 4,
+        }
+    }
+
+    /// Tiny configuration for unit tests (debug builds).
+    pub fn tiny() -> Self {
+        ConcurrencyParams {
+            session_counts: vec![1, 4],
+            infers_per_session: 16,
+            window: 4,
+            input_dim: 16,
+            classes: 4,
+        }
+    }
+}
+
+/// One (mode, session-count) sweep cell.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// `"baseline"` (coalescing off) or `"batched"`.
+    pub mode: &'static str,
+    /// Concurrent sessions driving the server.
+    pub sessions: usize,
+    /// Total `Infer` rows answered.
+    pub rows: usize,
+    /// Wall seconds from release barrier to last session joined.
+    pub wall_secs: f64,
+    /// Rows per second over the whole fleet.
+    pub rps: f64,
+    /// p99 of `ndpipe_rpc_server_op_seconds{op="infer"}` — for the
+    /// batched mode this is arrival-to-completion, so it *includes* the
+    /// batch window delay.
+    pub p99_secs: f64,
+    /// Mean rows per coalesced batch (1.0 in baseline mode).
+    pub mean_batch: f64,
+}
+
+/// Everything the bench measures, ready for rendering as text or JSON.
+#[derive(Debug, Clone)]
+pub struct ConcurrencyMeasurements {
+    pub params: ConcurrencyParams,
+    /// Physical parallelism available to server + sessions.
+    pub cpus: usize,
+    /// Sweep cells, baseline and batched interleaved per session count.
+    pub cells: Vec<Cell>,
+}
+
+impl ConcurrencyMeasurements {
+    fn cell(&self, mode: &str, sessions: usize) -> Option<&Cell> {
+        self.cells
+            .iter()
+            .find(|c| c.mode == mode && c.sessions == sessions)
+    }
+
+    /// The largest swept session count.
+    pub fn max_sessions(&self) -> usize {
+        self.params
+            .session_counts
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(1)
+    }
+
+    /// Baseline throughput at the largest session count.
+    pub fn baseline_rps_at_max(&self) -> f64 {
+        self.cell("baseline", self.max_sessions())
+            .map_or(0.0, |c| c.rps)
+    }
+
+    /// Batched throughput at the largest session count.
+    pub fn batched_rps_at_max(&self) -> f64 {
+        self.cell("batched", self.max_sessions())
+            .map_or(0.0, |c| c.rps)
+    }
+
+    /// The acceptance bar: with ≥ 64 concurrent sessions, cross-session
+    /// batching must beat the per-session baseline outright.
+    pub fn pass(&self) -> bool {
+        self.batched_rps_at_max() > self.baseline_rps_at_max()
+    }
+}
+
+/// Runs the measurement at the given workload size. Pins
+/// `NDPIPE_THREADS=1` while the servers are alive and restores the prior
+/// value before returning (all server threads are joined first).
+pub fn measure_with(p: &ConcurrencyParams) -> ConcurrencyMeasurements {
+    let prior = std::env::var("NDPIPE_THREADS").ok();
+    std::env::set_var("NDPIPE_THREADS", "1");
+    let m = measure_pinned(p);
+    match prior {
+        Some(v) => std::env::set_var("NDPIPE_THREADS", v),
+        None => std::env::remove_var("NDPIPE_THREADS"),
+    }
+    m
+}
+
+fn corpus(p: &ConcurrencyParams, rng: &mut StdRng) -> LabeledDataset {
+    let u = ClassUniverse::new(p.input_dim, 8, p.classes, 0.3, rng);
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    for c in 0..p.classes {
+        for _ in 0..8 {
+            rows.push(u.sample(c, rng));
+            labels.push(c);
+        }
+    }
+    LabeledDataset::new(rows, labels, p.classes)
+}
+
+/// Drives one sweep cell: a fresh server in `mode`, `sessions` client
+/// threads each pushing `infers_per_session` rows through a pipelined
+/// window, wall-clocked from the release barrier.
+fn run_cell(
+    p: &ConcurrencyParams,
+    model: &Arc<Mlp>,
+    coalesce: bool,
+    sessions: usize,
+    rng: &mut StdRng,
+) -> Cell {
+    let cfg = ServerConfig {
+        coalesce,
+        batch: BatchPolicy::default(),
+        ..ServerConfig::default()
+    };
+    let server = PipeStoreServer::bind(PipeStore::new(0, corpus(p, rng)), "127.0.0.1:0", cfg)
+        .expect("bind bench server");
+    let addr = server.local_addr();
+    {
+        let mut c = RemotePipeStore::connect(addr).expect("installer connect");
+        c.install_model(model).expect("install");
+        c.shutdown().expect("installer end");
+    }
+
+    let start = Arc::new(Barrier::new(sessions + 1));
+    let dim = p.input_dim;
+    let per = p.infers_per_session;
+    let window = p.window;
+    let mut handles = Vec::with_capacity(sessions);
+    for s in 0..sessions {
+        let start = Arc::clone(&start);
+        let model = Arc::clone(model);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(9_000 + s as u64);
+            let rows: Vec<Vec<f32>> = (0..per)
+                .map(|_| Tensor::randn(&[dim], &mut rng).data().to_vec())
+                .collect();
+            let expected: Vec<u32> = rows
+                .iter()
+                .map(|r| {
+                    model
+                        .forward(&Tensor::from_vec(r.clone(), &[1, dim]))
+                        .argmax() as u32
+                })
+                .collect();
+            let opts = ConnectOptions::new()
+                .retries(10)
+                .backoff(Duration::from_millis(5), Duration::from_millis(200));
+            let mut client = RemotePipeStore::connect_with(addr, opts).expect("session connect");
+            start.wait();
+            let got = client
+                .infer_pipelined(&rows, window)
+                .expect("pipelined infer");
+            assert_eq!(got, expected, "bench replies demuxed to the wrong request");
+            client.shutdown().expect("end session");
+        }));
+    }
+
+    start.wait();
+    let t0 = Instant::now();
+    for h in handles {
+        h.join().expect("session thread");
+    }
+    let wall = t0.elapsed().as_secs_f64().max(1e-9);
+    let rows = sessions * per;
+
+    let store = server.shutdown().expect("server drain");
+    let snap = store.metrics().snapshot();
+    let p99 = match snap
+        .find_with("ndpipe_rpc_server_op_seconds", &[("op", "infer")])
+        .map(|s| &s.value)
+    {
+        Some(telemetry::SampleValue::Histogram(h)) => h.quantile(0.99),
+        _ => f64::NAN,
+    };
+    let mean_batch = match snap.find("ndpipe_rpc_batch_size").map(|s| &s.value) {
+        Some(telemetry::SampleValue::Histogram(h)) => h.mean(),
+        _ => 1.0, // baseline mode never forms a batch
+    };
+
+    Cell {
+        mode: if coalesce { "batched" } else { "baseline" },
+        sessions,
+        rows,
+        wall_secs: wall,
+        rps: rows as f64 / wall,
+        p99_secs: p99,
+        mean_batch,
+    }
+}
+
+fn measure_pinned(p: &ConcurrencyParams) -> ConcurrencyMeasurements {
+    let mut rng = StdRng::seed_from_u64(45_205);
+    let model = Arc::new(Mlp::new(
+        &[p.input_dim, p.input_dim, p.classes],
+        1,
+        &mut rng,
+    ));
+    let mut cells = Vec::new();
+    for &sessions in &p.session_counts {
+        // Warm cell (socket stack, allocator) discarded, then the two
+        // modes back-to-back so they see the same machine state.
+        for coalesce in [false, true] {
+            cells.push(run_cell(p, &model, coalesce, sessions, &mut rng));
+        }
+    }
+    ConcurrencyMeasurements {
+        params: p.clone(),
+        cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        cells,
+    }
+}
+
+/// Renders the measurements as the machine-readable JSON artifact.
+pub fn to_json(m: &ConcurrencyMeasurements) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"rpc_concurrency\",\n");
+    s.push_str(&format!("  \"window\": {},\n", m.params.window));
+    s.push_str(&format!(
+        "  \"infers_per_session\": {},\n",
+        m.params.infers_per_session
+    ));
+    s.push_str(&format!("  \"input_dim\": {},\n", m.params.input_dim));
+    s.push_str(&format!("  \"cpus\": {},\n", m.cpus));
+    s.push_str("  \"cells\": [\n");
+    for (i, c) in m.cells.iter().enumerate() {
+        let p99 = if c.p99_secs.is_finite() {
+            format!("{:.6}", c.p99_secs)
+        } else {
+            "null".to_string()
+        };
+        s.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"sessions\": {}, \"rows\": {}, \
+             \"wall_secs\": {:.5}, \"rps\": {:.1}, \"p99_secs\": {}, \
+             \"mean_batch\": {:.2}}}{}\n",
+            c.mode,
+            c.sessions,
+            c.rows,
+            c.wall_secs,
+            c.rps,
+            p99,
+            c.mean_batch,
+            if i + 1 < m.cells.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!("  \"max_sessions\": {},\n", m.max_sessions()));
+    s.push_str(&format!(
+        "  \"baseline_rps_at_max\": {:.1},\n",
+        m.baseline_rps_at_max()
+    ));
+    s.push_str(&format!(
+        "  \"batched_rps_at_max\": {:.1},\n",
+        m.batched_rps_at_max()
+    ));
+    s.push_str(&format!("  \"pass_batching_bar\": {}\n", m.pass()));
+    s.push_str("}\n");
+    s
+}
+
+/// Renders the measurements as a human-readable report.
+pub fn render(m: &ConcurrencyMeasurements) -> String {
+    let mut r = Report::new(
+        "RPC concurrency",
+        "cross-session dynamic batching vs per-session inference",
+    );
+    r.note(&format!(
+        "{} infers/session, window {}, dim {}, server GEMM pinned to 1 \
+         thread ({} cores); p99 from the server's op_seconds histogram \
+         (arrival to completion, batch window included)",
+        m.params.infers_per_session, m.params.window, m.params.input_dim, m.cpus
+    ));
+    r.blank();
+    r.header(&["mode", "sessions", "rows/s", "p99 ms", "mean batch"]);
+    for c in &m.cells {
+        r.row(&[
+            c.mode.into(),
+            c.sessions.to_string(),
+            fmt(c.rps, 0),
+            fmt(c.p99_secs * 1e3, 3),
+            fmt(c.mean_batch, 2),
+        ]);
+    }
+    r.blank();
+    r.note(&format!(
+        "at {} sessions: baseline {:.0} rows/s vs batched {:.0} rows/s — \
+         batching must win at the top of the sweep: {}",
+        m.max_sessions(),
+        m.baseline_rps_at_max(),
+        m.batched_rps_at_max(),
+        if m.pass() { "PASS" } else { "FAIL" }
+    ));
+    r.render()
+}
+
+/// Standard entry point matching the other report modules.
+pub fn run(fast: bool) -> String {
+    let params = if fast {
+        ConcurrencyParams::fast()
+    } else {
+        ConcurrencyParams::full()
+    };
+    render(&measure_with(&params))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_measurement_produces_valid_json_and_restores_env() {
+        let before = std::env::var("NDPIPE_THREADS").ok();
+        let m = measure_with(&ConcurrencyParams::tiny());
+        assert_eq!(
+            std::env::var("NDPIPE_THREADS").ok(),
+            before,
+            "NDPIPE_THREADS not restored"
+        );
+        // Two modes per swept session count, all rows answered.
+        assert_eq!(m.cells.len(), 2 * m.params.session_counts.len());
+        for c in &m.cells {
+            assert_eq!(c.rows, c.sessions * m.params.infers_per_session);
+            assert!(c.rps > 0.0, "cell produced no throughput: {c:?}");
+            assert!(
+                c.p99_secs.is_finite() && c.p99_secs >= 0.0,
+                "p99 unrecorded for {c:?}"
+            );
+        }
+        // Coalescing actually formed multi-row batches somewhere, and
+        // the baseline never did.
+        for c in m.cells.iter().filter(|c| c.mode == "baseline") {
+            assert!((c.mean_batch - 1.0).abs() < 1e-9, "baseline batched: {c:?}");
+        }
+
+        let json = to_json(&m);
+        telemetry::export::validate_json(&json).expect("well-formed JSON");
+        for key in [
+            "\"bench\"",
+            "\"cells\"",
+            "\"baseline_rps_at_max\"",
+            "\"batched_rps_at_max\"",
+            "\"pass_batching_bar\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        // `": inf"` not bare "inf" — the `infers_per_session` key would
+        // trip a substring check.
+        assert!(!json.contains("NaN") && !json.contains(": inf") && !json.contains("-inf"));
+
+        let text = render(&m);
+        assert!(text.contains("RPC concurrency"));
+        assert!(text.contains("batched"));
+    }
+}

@@ -23,7 +23,12 @@ pub fn run(fast: bool) -> String {
     let mut r = Report::new("Table 1", "% of M0's labels fixed by newer models");
     let headers: Vec<String> = (0..fixes.len()).map(|i| format!("M{i}")).collect();
     r.header(&headers.iter().map(String::as_str).collect::<Vec<_>>());
-    r.row(&fixes.iter().map(|&f| format!("{}%", pct(f))).collect::<Vec<_>>());
+    r.row(
+        &fixes
+            .iter()
+            .map(|&f| format!("{}%", pct(f)))
+            .collect::<Vec<_>>(),
+    );
     r.blank();
     r.note("paper: 0% / 6.67% / 7.29% / 7.96% / 8.98% — each generation fixes more");
     r.note("stale labels, motivating offline re-inference near the data");

@@ -44,9 +44,7 @@ pub fn run(fast: bool) -> String {
         capacities()
     };
     for spec in datasets {
-        r.header(&[
-            spec.name, "variant", "top-1", "top-5",
-        ]);
+        r.header(&[spec.name, "variant", "top-1", "top-5"]);
         for (model_name, widths) in &caps {
             cfg.feature_widths = widths.clone();
             let row = table2_row(spec, &cfg, 10, &mut rng);

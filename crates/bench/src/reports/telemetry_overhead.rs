@@ -165,10 +165,7 @@ pub fn to_json(m: &OverheadMeasurements) -> String {
     ));
     s.push_str(&format!("  \"overhead_pct\": {:.3},\n", m.overhead_pct()));
     s.push_str(&format!("  \"pass_under_5pct\": {},\n", m.pass()));
-    s.push_str(&format!(
-        "  \"registry_series\": {},\n",
-        m.registry_series
-    ));
+    s.push_str(&format!("  \"registry_series\": {},\n", m.registry_series));
     s.push_str(&format!(
         "  \"baseline_runs_ips\": {},\n",
         json_run_list(&m.baseline_runs)

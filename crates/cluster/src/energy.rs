@@ -34,7 +34,9 @@ impl EnergyReport {
 pub fn fleet_power(variant: InferenceVariant, setup: &InferenceSetup) -> ComponentPower {
     let report = inference_report(variant, setup);
     match variant {
-        InferenceVariant::SrvIdeal | InferenceVariant::SrvPreproc | InferenceVariant::SrvCompressed => {
+        InferenceVariant::SrvIdeal
+        | InferenceVariant::SrvPreproc
+        | InferenceVariant::SrvCompressed => {
             let host = InstanceSpec::srv_host();
             let mut p = host.power_at(report.gpu_util, report.cpu_util);
             if variant != InferenceVariant::SrvIdeal {

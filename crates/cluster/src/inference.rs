@@ -116,8 +116,7 @@ pub fn inference_report(variant: InferenceVariant, setup: &InferenceSetup) -> In
             let compute = model.t4_inference_ips() * host.total_dnn_factor() * batch_eff;
             let net = setup.link.items_per_sec(COMPRESSED_IMAGE_BYTES);
             let disk = storage_disk_cap(setup.n_servers, COMPRESSED_IMAGE_BYTES);
-            let decomp =
-                host_cpu.decompress_bps(setup.decompress_cores) / COMPRESSED_IMAGE_BYTES;
+            let decomp = host_cpu.decompress_bps(setup.decompress_cores) / COMPRESSED_IMAGE_BYTES;
             vec![
                 (Bottleneck::Compute, compute),
                 (Bottleneck::Network, net),

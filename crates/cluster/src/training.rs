@@ -170,11 +170,10 @@ pub fn training_report(setup: &TrainSetup) -> TrainingReport {
     let (tuner_secs, sync_secs, sync_traffic) = if k > first_trainable {
         // §4.1 naive-NDP pathology: the trainable tail is replicated on
         // PipeStores; every iteration synchronizes its weights.
-        let head_train =
-            setup.epochs as f64 * images * 3.0 * trainable_flops / (n * store_eff);
+        let head_train = setup.epochs as f64 * images * 3.0 * trainable_flops / (n * store_eff);
         let sync_bytes = iterations * model.trainable_param_bytes() * 2.0 * n;
-        let sync_secs = sync_bytes / setup.link.effective_bps()
-            + iterations * SYNC_ROUND_LATENCY_SECS;
+        let sync_secs =
+            sync_bytes / setup.link.effective_bps() + iterations * SYNC_ROUND_LATENCY_SECS;
         (head_train, sync_secs, sync_bytes)
     } else {
         // Residual weight-freeze suffix runs once per image on the Tuner.
@@ -214,7 +213,13 @@ pub fn training_report(setup: &TrainSetup) -> TrainingReport {
 /// Fine-tuning time on the centralized SRV-C baseline: the host streams
 /// compressed binaries from storage servers, runs the full weight-freeze
 /// forward on its two V100s, caches features, then trains the head.
-pub fn srv_training_report(model: &ModelProfile, images: u64, epochs: usize, batch: usize, link: &LinkSpec) -> TrainingReport {
+pub fn srv_training_report(
+    model: &ModelProfile,
+    images: u64,
+    epochs: usize,
+    batch: usize,
+    link: &LinkSpec,
+) -> TrainingReport {
     let host = InstanceSpec::srv_host();
     let images_f = images as f64;
     let host_eff = model.effective_flops(host.total_dnn_factor());

@@ -85,14 +85,14 @@ fn run_pipestore(args: &[String]) -> ExitCode {
         "pipestore {i}/{n}: {} local examples, serving on {listen}",
         shard.len()
     );
-    let server = match PipeStoreServer::bind(PipeStore::new(i, shard), &listen, ServerConfig::default())
-    {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("pipestore {i}/{n}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let server =
+        match PipeStoreServer::bind(PipeStore::new(i, shard), &listen, ServerConfig::default()) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("pipestore {i}/{n}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
     eprintln!("pipestore {i}/{n}: listening on {}", server.local_addr());
     // Serve until the first Tuner session finishes, then drain & exit —
     // the artifact workflow runs one fine-tuning round per invocation.
@@ -136,8 +136,9 @@ fn run_tuner(args: &[String]) -> ExitCode {
     let (universe, _) = corpus(seed);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x7A_BE);
     let model = Mlp::new(&[INPUT_DIM, 24, 16, CLASSES], 2, &mut rng);
-    let test_rows: Vec<tensor::Tensor> =
-        (0..400).map(|k| universe.sample(k % CLASSES, &mut rng)).collect();
+    let test_rows: Vec<tensor::Tensor> = (0..400)
+        .map(|k| universe.sample(k % CLASSES, &mut rng))
+        .collect();
     let test_labels: Vec<usize> = (0..400).map(|k| k % CLASSES).collect();
     let test = LabeledDataset::new(test_rows, test_labels, CLASSES);
 

@@ -58,10 +58,7 @@ pub struct ModelDelta {
 
 /// Quantization: i8 with symmetric per-tensor scale.
 fn quantize(delta: &Tensor, out: &mut BytesMut) {
-    let max_abs = delta
-        .data()
-        .iter()
-        .fold(0.0f32, |m, &x| m.max(x.abs()));
+    let max_abs = delta.data().iter().fold(0.0f32, |m, &x| m.max(x.abs()));
     let scale = if max_abs > 0.0 { max_abs / 127.0 } else { 0.0 };
     out.put_f32_le(scale);
     for &x in delta.data() {

@@ -452,8 +452,14 @@ mod tests {
     fn outdated_model_decays_and_updates_help() {
         let mut rng = StdRng::seed_from_u64(1);
         let c = cfg();
-        let outdated = drift_experiment(DatasetSpec::tiny(), &c, UpdateStrategy::Outdated, &mut rng);
-        let tuned = drift_experiment(DatasetSpec::tiny(), &c, UpdateStrategy::FineTuning, &mut rng);
+        let outdated =
+            drift_experiment(DatasetSpec::tiny(), &c, UpdateStrategy::Outdated, &mut rng);
+        let tuned = drift_experiment(
+            DatasetSpec::tiny(),
+            &c,
+            UpdateStrategy::FineTuning,
+            &mut rng,
+        );
         let base = outdated[0].metrics.top1;
         let end_outdated = outdated.last().unwrap().metrics.top1;
         let end_tuned = tuned.last().unwrap().metrics.top1;
@@ -471,8 +477,18 @@ mod tests {
     fn full_training_at_least_matches_fine_tuning() {
         let mut rng = StdRng::seed_from_u64(92);
         let c = cfg();
-        let full = drift_experiment(DatasetSpec::tiny(), &c, UpdateStrategy::FullTraining, &mut rng);
-        let tuned = drift_experiment(DatasetSpec::tiny(), &c, UpdateStrategy::FineTuning, &mut rng);
+        let full = drift_experiment(
+            DatasetSpec::tiny(),
+            &c,
+            UpdateStrategy::FullTraining,
+            &mut rng,
+        );
+        let tuned = drift_experiment(
+            DatasetSpec::tiny(),
+            &c,
+            UpdateStrategy::FineTuning,
+            &mut rng,
+        );
         let end_full = full.last().unwrap().metrics.top1;
         let end_tuned = tuned.last().unwrap().metrics.top1;
         assert!(

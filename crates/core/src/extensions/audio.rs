@@ -150,8 +150,7 @@ mod tests {
         let e2 = spectrogram_embedding(&long);
         assert_eq!(e1.dims(), e2.dims());
         // Same tone → similar embeddings despite different lengths.
-        let cos = tensor::linalg::dot(&e1, &e2)
-            / (e1.frobenius_norm() * e2.frobenius_norm());
+        let cos = tensor::linalg::dot(&e1, &e2) / (e1.frobenius_norm() * e2.frobenius_norm());
         assert!(cos > 0.95, "cosine {cos}");
     }
 

@@ -148,7 +148,11 @@ mod tests {
         assert_eq!(s.frame_features.dims(), &[2, 12]);
         assert_eq!(s.summary.dims(), &[12]);
         // Summary = mean of the two feature rows.
-        let manual = s.frame_features.row(0).add(&s.frame_features.row(1)).scale(0.5);
+        let manual = s
+            .frame_features
+            .row(0)
+            .add(&s.frame_features.row(1))
+            .scale(0.5);
         for (a, b) in s.summary.data().iter().zip(manual.data()) {
             assert!((a - b).abs() < 1e-6);
         }
@@ -168,9 +172,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "share a shape")]
     fn mismatched_frames_rejected() {
-        let _ = VideoClip::new(vec![
-            Tensor::zeros(&[1, 8, 8]),
-            Tensor::zeros(&[1, 4, 4]),
-        ]);
+        let _ = VideoClip::new(vec![Tensor::zeros(&[1, 8, 8]), Tensor::zeros(&[1, 4, 4])]);
     }
 }

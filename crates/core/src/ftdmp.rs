@@ -308,10 +308,7 @@ mod tests {
         };
         let a1 = accuracy(1, &mut rng);
         let a3 = accuracy(3, &mut rng);
-        assert!(
-            (a1 - a3).abs() < 0.08,
-            "N_run=1 {a1:.3} vs N_run=3 {a3:.3}"
-        );
+        assert!((a1 - a3).abs() < 0.08, "N_run=1 {a1:.3} vs N_run=3 {a3:.3}");
     }
 
     #[test]

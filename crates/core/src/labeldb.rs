@@ -139,10 +139,7 @@ impl LabelDb {
         if map.is_empty() {
             return 0.0;
         }
-        let correct = map
-            .iter()
-            .filter(|(&id, r)| truth(id) == r.label)
-            .count();
+        let correct = map.iter().filter(|(&id, r)| truth(id) == r.label).count();
         correct as f64 / map.len() as f64
     }
 

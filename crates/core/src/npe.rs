@@ -94,10 +94,7 @@ impl StageTimes {
     /// Throughput with 3-stage pipelining: the slowest stage governs.
     /// Both CPU stages share the CPU, so they form one pipeline stage.
     pub fn pipelined_ips(&self) -> f64 {
-        1.0 / self
-            .read
-            .max(self.preproc + self.decomp)
-            .max(self.fe)
+        1.0 / self.read.max(self.preproc + self.decomp).max(self.fe)
     }
 }
 
@@ -128,18 +125,13 @@ pub fn stage_times_on(
     store: &InstanceSpec,
     batch: usize,
 ) -> StageTimes {
-    let gpu_ips = model.t4_inference_ips()
-        * store.total_dnn_factor()
-        * ModelProfile::batch_efficiency(batch);
+    let gpu_ips =
+        model.t4_inference_ips() * store.total_dnn_factor() * ModelProfile::batch_efficiency(batch);
 
     let raw_input = task == NpeTask::OfflineInference && level < NpeLevel::Offload;
     let (read_bytes, preproc, decomp) = match (raw_input, level >= NpeLevel::Comp) {
         // Raw JPEGs: full preprocessing on one storage-server core.
-        (true, _) => (
-            RAW_IMAGE_BYTES,
-            1.0 / store.cpu.preprocess_ips(1),
-            0.0,
-        ),
+        (true, _) => (RAW_IMAGE_BYTES, 1.0 / store.cpu.preprocess_ips(1), 0.0),
         // Preprocessed, uncompressed binaries.
         (false, false) => (PREPROC_IMAGE_BYTES, 0.0, 0.0),
         // Compressed binaries + 2 decompression cores.
@@ -173,7 +165,13 @@ pub fn throughput_at_batch(
     ) {
         return None;
     }
-    let t = stage_times_on(model, NpeTask::OfflineInference, NpeLevel::Batch, store, batch);
+    let t = stage_times_on(
+        model,
+        NpeTask::OfflineInference,
+        NpeLevel::Batch,
+        store,
+        batch,
+    );
     Some(t.pipelined_ips())
 }
 

@@ -309,20 +309,19 @@ where
         let mut pending: BTreeMap<usize, Result<M, String>> = BTreeMap::new();
         let mut next = 0usize;
         let mut bucket: Vec<M> = Vec::with_capacity(batch);
-        let mut flush =
-            |bucket: &mut Vec<M>, results: &mut Vec<T>, stats: &mut PipelineStats| {
-                if bucket.is_empty() {
-                    return;
-                }
-                let n = bucket.len();
-                let t0 = Instant::now();
-                let out = forward(std::mem::take(bucket));
-                stats.fe.busy_secs += t0.elapsed().as_secs_f64();
-                // ndlint: allow(panic, reason = "forward() contract violation is a caller bug; this raises on the caller's own thread, not inside a pool worker")
-                assert_eq!(out.len(), n, "forward must return one output per input");
-                stats.batches += 1;
-                results.extend(out);
-            };
+        let mut flush = |bucket: &mut Vec<M>, results: &mut Vec<T>, stats: &mut PipelineStats| {
+            if bucket.is_empty() {
+                return;
+            }
+            let n = bucket.len();
+            let t0 = Instant::now();
+            let out = forward(std::mem::take(bucket));
+            stats.fe.busy_secs += t0.elapsed().as_secs_f64();
+            // ndlint: allow(panic, reason = "forward() contract violation is a caller bug; this raises on the caller's own thread, not inside a pool worker")
+            assert_eq!(out.len(), n, "forward must return one output per input");
+            stats.batches += 1;
+            results.extend(out);
+        };
         for (idx, m) in rx_mid.iter() {
             if sample_queues {
                 stats.mid_queue.record(rx_mid.len());
@@ -443,12 +442,8 @@ mod tests {
 
     #[test]
     fn empty_input_is_fine() {
-        let (out, stats) = run_pipeline(
-            &EngineConfig::default(),
-            Vec::<u8>::new(),
-            |_, x| x,
-            |b| b,
-        );
+        let (out, stats) =
+            run_pipeline(&EngineConfig::default(), Vec::<u8>::new(), |_, x| x, |b| b);
         assert!(out.is_empty());
         assert_eq!(stats.batches, 0);
         assert_eq!(stats.ips(), 0.0);
@@ -569,10 +564,7 @@ mod tests {
             )
         });
         let err = result.expect_err("run_pipeline must re-raise decode failures");
-        let msg = err
-            .downcast_ref::<String>()
-            .cloned()
-            .unwrap_or_default();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
         assert!(msg.contains("npe decode stage failed"), "msg: {msg}");
     }
 }

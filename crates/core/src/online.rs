@@ -53,6 +53,28 @@ impl OnlineStats {
     }
 }
 
+/// Knobs for dynamic batching, shared by this in-process server and the
+/// RPC front door's cross-session coalescer: a batch fires when either
+/// `max_batch` rows have accumulated or the oldest pending row has waited
+/// `max_delay`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Fire as soon as this many rows are pending.
+    pub max_batch: usize,
+    /// Fire once the oldest pending row has waited this long, even if
+    /// the batch is not full — bounds added tail latency.
+    pub max_delay: std::time::Duration,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        Self {
+            max_batch: 32,
+            max_delay: std::time::Duration::from_micros(500),
+        }
+    }
+}
+
 /// An inference server with dynamic batching: requests queue until
 /// `batch_size` accumulate (or [`OnlineInferenceServer::flush`] forces a
 /// partial batch), then one forward pass serves them all.
@@ -282,7 +304,9 @@ mod tests {
         let out = srv.submit(factory.make(0, 0, &mut rng), f.clone(), &mut rng);
         assert_eq!(
             out[0].label,
-            new_model.forward(&f.reshape(&[1, 8]).expect("row")).argmax()
+            new_model
+                .forward(&f.reshape(&[1, 8]).expect("row"))
+                .argmax()
         );
     }
 

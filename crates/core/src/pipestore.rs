@@ -10,8 +10,90 @@ use crate::npe::engine::{self, EngineConfig, PipelineStats};
 use dnn::Mlp;
 use ndpipe_data::deflate;
 use ndpipe_data::{LabeledDataset, Photo, PhotoId};
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use tensor::Tensor;
+
+/// Shard count of the photo map. Sixteen is plenty to decorrelate the
+/// event-driven server's worker pool (a handful of threads) while
+/// keeping the whole-map snapshot cheap.
+const PHOTO_SHARDS: usize = 16;
+
+/// The photo/sidecar map, sharded `RwLock`-per-bucket so concurrent
+/// readers (offline inference, persistence, scrapes) never contend with
+/// each other and writers only serialize within one bucket. Every entry
+/// carries a monotone insertion sequence number so whole-map snapshots
+/// reproduce the exact insertion order the old `Vec` gave — ordering
+/// that offline inference relies on to align photos with shard rows.
+#[derive(Debug)]
+struct PhotoShards {
+    buckets: Box<[RwLock<Vec<(u64, StoredPhoto)>>]>,
+    next_seq: AtomicU64,
+    count: AtomicUsize,
+}
+
+impl PhotoShards {
+    fn new() -> Self {
+        PhotoShards {
+            buckets: (0..PHOTO_SHARDS).map(|_| RwLock::new(Vec::new())).collect(),
+            next_seq: AtomicU64::new(0),
+            count: AtomicUsize::new(0),
+        }
+    }
+
+    fn bucket(&self, id: PhotoId) -> &RwLock<Vec<(u64, StoredPhoto)>> {
+        // Modulo keeps the index in range for any id; the expect can
+        // never fire with a non-empty bucket array.
+        &self.buckets[id.0 as usize % self.buckets.len()]
+    }
+
+    fn insert(&self, stored: StoredPhoto) {
+        // The sequence number only has to be unique and monotone per
+        // insert; ordering relative to other memory is established by
+        // the bucket lock below.
+        // ndlint: allow(relaxed, reason = "unique ticket draw; publication happens under the bucket lock")
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        self.bucket(stored.photo.id).write().push((seq, stored));
+        // ndlint: allow(relaxed, reason = "pure tally; readers only need an approximate count")
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn get(&self, id: PhotoId) -> Option<StoredPhoto> {
+        self.bucket(id)
+            .read()
+            .iter()
+            .find(|(_, p)| p.photo.id == id)
+            .map(|(_, p)| p.clone())
+    }
+
+    fn len(&self) -> usize {
+        // ndlint: allow(relaxed, reason = "pure tally; nothing is published through it")
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// All photos in insertion order (sorted by sequence number).
+    fn snapshot(&self) -> Vec<StoredPhoto> {
+        let mut all: Vec<(u64, StoredPhoto)> = Vec::with_capacity(self.len());
+        for b in self.buckets.iter() {
+            all.extend(b.read().iter().cloned());
+        }
+        all.sort_unstable_by_key(|(seq, _)| *seq);
+        all.into_iter().map(|(_, p)| p).collect()
+    }
+
+    /// Drains every bucket, returning the photos in insertion order.
+    fn take_all(&self) -> Vec<StoredPhoto> {
+        let mut all: Vec<(u64, StoredPhoto)> = Vec::with_capacity(self.len());
+        for b in self.buckets.iter() {
+            all.append(&mut b.write());
+        }
+        // ndlint: allow(relaxed, reason = "pure tally reset under every bucket's write lock")
+        self.count.store(0, Ordering::Relaxed);
+        all.sort_unstable_by_key(|(seq, _)| *seq);
+        all.into_iter().map(|(_, p)| p).collect()
+    }
+}
 
 /// Accumulated NPE engine activity on one store: the most recent run's
 /// [`PipelineStats`] plus lifetime totals. One source of truth for both
@@ -46,8 +128,14 @@ pub struct StoredPhoto {
 pub struct PipeStore {
     id: usize,
     shard: LabeledDataset,
-    photos: Vec<StoredPhoto>,
+    photos: PhotoShards,
     model: Option<Mlp>,
+    /// The published immutable model snapshot, keyed on
+    /// [`Mlp::weights_version`]: readers grab an `Arc` clone without
+    /// touching (or blocking) the mutable replica. Re-published lazily
+    /// whenever the version diverges, so Check-N-Run delta application
+    /// invalidates it automatically.
+    published: RwLock<Option<(u64, Arc<Mlp>)>>,
     metrics: Arc<telemetry::Registry>,
     npe: Mutex<NpeActivity>,
 }
@@ -58,8 +146,9 @@ impl PipeStore {
         PipeStore {
             id,
             shard,
-            photos: Vec::new(),
+            photos: PhotoShards::new(),
             model: None,
+            published: RwLock::new(None),
             metrics: Arc::new(telemetry::Registry::new()),
             npe: Mutex::new(NpeActivity::default()),
         }
@@ -186,7 +275,9 @@ impl PipeStore {
 
     /// Stores a photo: compresses its preprocessed binary (shipped by the
     /// inference server under the §5.4 offload design) and keeps both.
-    pub fn store_photo(&mut self, photo: Photo, preprocessed: Vec<u8>) {
+    /// Takes `&self` — ingest lands in a sharded map, so concurrent
+    /// stores (and concurrent readers) don't serialize on the store.
+    pub fn store_photo(&self, photo: Photo, preprocessed: Vec<u8>) {
         let compressed = deflate::compress_chunked(&preprocessed, deflate::DEFAULT_CHUNK_SIZE);
         if telemetry::enabled() {
             self.metrics
@@ -205,33 +296,52 @@ impl PipeStore {
                 )
                 .add(preprocessed.len() as u64);
         }
-        self.photos.push(StoredPhoto {
+        self.photos.insert(StoredPhoto {
             photo,
             compressed_binary: compressed,
             preproc_bytes: preprocessed.len(),
         });
     }
 
-    /// Looks up a stored photo by id.
-    pub fn photo(&self, id: PhotoId) -> Option<&StoredPhoto> {
-        self.photos.iter().find(|p| p.photo.id == id)
+    /// Looks up a stored photo by id (an owned clone — the entry lives
+    /// behind a shard lock that must not be held across caller code).
+    pub fn photo(&self, id: PhotoId) -> Option<StoredPhoto> {
+        self.photos.get(id)
     }
 
-    /// Iterates over the stored photos.
-    pub fn photos(&self) -> impl Iterator<Item = &StoredPhoto> {
-        self.photos.iter()
+    /// Mutates one stored photo in place under its shard lock, returning
+    /// the closure's result (`None` if the id is unknown). Test and
+    /// repair paths use this where they previously indexed the photo
+    /// `Vec` directly.
+    pub fn with_photo_mut<R>(
+        &self,
+        id: PhotoId,
+        f: impl FnOnce(&mut StoredPhoto) -> R,
+    ) -> Option<R> {
+        let mut bucket = self.photos.bucket(id).write();
+        bucket
+            .iter_mut()
+            .find(|(_, p)| p.photo.id == id)
+            .map(|(_, p)| f(p))
+    }
+
+    /// The stored photos, in insertion order (an owned snapshot).
+    pub fn photos(&self) -> Vec<StoredPhoto> {
+        self.photos.snapshot()
     }
 
     /// Removes and returns all stored photos (used when resharding moves
     /// a server's archive to its replacement).
     pub fn take_photos(&mut self) -> Vec<StoredPhoto> {
-        std::mem::take(&mut self.photos)
+        self.photos.take_all()
     }
 
     /// Adopts already-compressed photos (the counterpart of
     /// [`PipeStore::take_photos`]).
     pub fn adopt_photos(&mut self, photos: Vec<StoredPhoto>) {
-        self.photos.extend(photos);
+        for p in photos {
+            self.photos.insert(p);
+        }
     }
 
     /// Average storage overhead of the compressed sidecars relative to
@@ -239,17 +349,20 @@ impl PipeStore {
     ///
     /// Returns `None` when no photos are stored.
     pub fn sidecar_overhead(&self) -> Option<f64> {
-        if self.photos.is_empty() {
+        let photos = self.photos.snapshot();
+        if photos.is_empty() {
             return None;
         }
-        let raw: usize = self.photos.iter().map(|p| p.photo.size()).sum();
-        let side: usize = self.photos.iter().map(|p| p.compressed_binary.len()).sum();
+        let raw: usize = photos.iter().map(|p| p.photo.size()).sum();
+        let side: usize = photos.iter().map(|p| p.compressed_binary.len()).sum();
         Some(side as f64 / raw as f64)
     }
 
-    /// Installs (or replaces) the local model replica.
+    /// Installs (or replaces) the local model replica and immediately
+    /// publishes its immutable snapshot for lock-free readers.
     pub fn install_model(&mut self, model: Mlp) {
         self.model = Some(model);
+        self.republish_model();
     }
 
     /// The local model replica, if one has been distributed.
@@ -257,9 +370,48 @@ impl PipeStore {
         self.model.as_ref()
     }
 
-    /// Mutable model access (for applying Check-N-Run deltas).
+    /// Mutable model access (for applying Check-N-Run deltas). Mutation
+    /// bumps the weight version, so the next [`PipeStore::model_snapshot`]
+    /// republishes automatically; call [`PipeStore::republish_model`] to
+    /// do it eagerly.
     pub fn model_mut(&mut self) -> Option<&mut Mlp> {
         self.model.as_mut()
+    }
+
+    /// The version key of the published snapshot path: the replica's
+    /// current [`Mlp::weights_version`], `None` without a model.
+    pub fn model_version(&self) -> Option<u64> {
+        self.model.as_ref().map(Mlp::weights_version)
+    }
+
+    /// An immutable `Arc` snapshot of the model replica, arc-swap style:
+    /// readers clone the `Arc` and run forwards without holding any
+    /// store lock. The snapshot is keyed on [`Mlp::weights_version`] —
+    /// if the replica changed since the last publication (install or
+    /// delta apply), a fresh snapshot is published first, so readers can
+    /// never observe half-applied weights.
+    pub fn model_snapshot(&self) -> Option<Arc<Mlp>> {
+        let model = self.model.as_ref()?;
+        let v = model.weights_version();
+        if let Some((pv, arc)) = &*self.published.read() {
+            if *pv == v {
+                return Some(Arc::clone(arc));
+            }
+        }
+        let arc = Arc::new(model.clone());
+        *self.published.write() = Some((v, Arc::clone(&arc)));
+        Some(arc)
+    }
+
+    /// Eagerly (re)publishes the model snapshot at the replica's current
+    /// weight version (or clears it when no model is installed). The RPC
+    /// server calls this right after applying a delta so concurrent
+    /// `Infer` traffic flips to the new weights at a frame boundary.
+    pub fn republish_model(&self) {
+        *self.published.write() = self
+            .model
+            .as_ref()
+            .map(|m| (m.weights_version(), Arc::new(m.clone())));
     }
 
     /// FT-DMP Store-stage: runs the weight-freeze prefix over (a slice
@@ -336,7 +488,8 @@ impl PipeStore {
         &self,
         store: &mut objstore::ObjectStore,
     ) -> Result<usize, objstore::StoreError> {
-        for p in &self.photos {
+        let photos = self.photos.snapshot();
+        for p in &photos {
             store.put(p.photo.id.0 * 2, &p.photo.blob)?;
             let mut sidecar = Vec::with_capacity(4 + p.compressed_binary.len());
             sidecar.extend_from_slice(&(p.preproc_bytes as u32).to_le_bytes());
@@ -344,7 +497,7 @@ impl PipeStore {
             store.put(p.photo.id.0 * 2 + 1, &sidecar)?;
         }
         store.sync()?;
-        Ok(self.photos.len())
+        Ok(photos.len())
     }
 
     /// Reloads photos previously written by [`PipeStore::persist_photos`],
@@ -360,9 +513,11 @@ impl PipeStore {
     ) -> Result<usize, objstore::StoreError> {
         let mut blob_keys: Vec<u64> = store.keys().filter(|k| k % 2 == 0).collect();
         blob_keys.sort_unstable();
-        let mut photos = Vec::with_capacity(blob_keys.len());
+        let mut restored = Vec::with_capacity(blob_keys.len());
         for key in blob_keys {
-            let Some(blob) = store.get(key)? else { continue };
+            let Some(blob) = store.get(key)? else {
+                continue;
+            };
             let Some(sidecar) = store.get(key + 1)? else {
                 continue; // blob without sidecar: skip
             };
@@ -376,7 +531,7 @@ impl PipeStore {
             let day = u32::from_le_bytes(blob[8..12].try_into().expect("fixed")) as usize;
             let preproc_bytes =
                 u32::from_le_bytes(sidecar[..4].try_into().expect("fixed")) as usize;
-            photos.push(StoredPhoto {
+            restored.push(StoredPhoto {
                 photo: Photo {
                     id: PhotoId(key / 2),
                     class,
@@ -387,7 +542,10 @@ impl PipeStore {
                 preproc_bytes,
             });
         }
-        self.photos = photos;
+        self.photos.take_all();
+        for p in restored {
+            self.photos.insert(p);
+        }
         Ok(self.photos.len())
     }
 
@@ -418,8 +576,9 @@ impl PipeStore {
     /// Panics if no model is installed or a sidecar fails to decompress.
     pub fn offline_inference_serial(&self) -> Vec<(PhotoId, usize)> {
         let model = self.model.as_ref().expect("no model installed");
-        let mut out = Vec::with_capacity(self.photos.len());
-        for (i, stored) in self.photos.iter().enumerate() {
+        let photos = self.photos.snapshot();
+        let mut out = Vec::with_capacity(photos.len());
+        for (i, stored) in photos.iter().enumerate() {
             let bin = deflate::decompress_framed(&stored.compressed_binary)
                 .expect("stored sidecar is valid deflate");
             assert_eq!(bin.len(), stored.preproc_bytes, "sidecar corrupted");
@@ -427,9 +586,7 @@ impl PipeStore {
             // are aligned by construction in `system`).
             let row = i % self.shard.len().max(1);
             let x = self.shard.features().row(row);
-            let logits = model.forward(
-                &x.reshape(&[1, x.len()]).expect("row reshape"),
-            );
+            let logits = model.forward(&x.reshape(&[1, x.len()]).expect("row reshape"));
             out.push((stored.photo.id, logits.argmax()));
         }
         out
@@ -455,20 +612,18 @@ impl PipeStore {
     ) -> (Vec<(PhotoId, usize)>, PipelineStats) {
         let model = self.model.as_ref().expect("no model installed");
         let n_shard = self.shard.len().max(1);
+        let photos = self.photos.snapshot();
         let (out, stats) = engine::run_pipeline_fallible(
             cfg,
             // Stage 1: fetch each photo's compressed sidecar.
-            self.photos
-                .iter()
-                .enumerate()
-                .map(|(i, stored)| {
-                    (
-                        stored.photo.id,
-                        stored.preproc_bytes,
-                        stored.compressed_binary.clone(),
-                        i,
-                    )
-                }),
+            photos.into_iter().enumerate().map(|(i, stored)| {
+                (
+                    stored.photo.id,
+                    stored.preproc_bytes,
+                    stored.compressed_binary,
+                    i,
+                )
+            }),
             // Stage 2: real DEFLATE inflation + integrity check, then
             // pick the classification input (photos and shard rows are
             // aligned by construction in `system`).
@@ -611,8 +766,9 @@ mod tests {
         let serial = ps.offline_inference_serial();
 
         // Clobber one photo's sidecar past recognition (frame magic gone).
-        let victim = ps.photos[5].photo.id;
-        ps.photos[5].compressed_binary.truncate(3);
+        let victim = ps.photos()[5].photo.id;
+        ps.with_photo_mut(victim, |p| p.compressed_binary.truncate(3))
+            .expect("victim exists");
 
         let cfg = EngineConfig {
             batch: 4,
@@ -623,8 +779,11 @@ mod tests {
 
         // The corrupt photo is dropped; every other photo still classifies
         // with results identical to the serial reference.
-        let expect: Vec<(PhotoId, usize)> =
-            serial.iter().copied().filter(|&(id, _)| id != victim).collect();
+        let expect: Vec<(PhotoId, usize)> = serial
+            .iter()
+            .copied()
+            .filter(|&(id, _)| id != victim)
+            .collect();
         assert_eq!(out, expect);
         assert_eq!(stats.stage_errors, 1);
         assert_eq!(stats.fe.items, 11);
@@ -704,13 +863,67 @@ mod tests {
     #[test]
     fn photo_lookup() {
         let mut rng = StdRng::seed_from_u64(44);
-        let mut ps = PipeStore::new(3, shard(&mut rng));
+        let ps = PipeStore::new(3, shard(&mut rng));
         let mut factory = PhotoFactory::new(256);
         let p = factory.make(0, 0, &mut rng);
         let id = p.id;
         ps.store_photo(p, preprocessed_binary(128, &mut rng));
         assert!(ps.photo(id).is_some());
         assert!(ps.photo(PhotoId(999)).is_none());
+    }
+
+    #[test]
+    fn model_snapshots_cached_and_keyed_on_weight_version() {
+        let mut rng = StdRng::seed_from_u64(51);
+        let mut ps = PipeStore::new(10, shard(&mut rng));
+        assert!(ps.model_snapshot().is_none(), "no model, no snapshot");
+        ps.install_model(model(&mut rng));
+        let v1 = ps.model_version().expect("version");
+        let s1 = ps.model_snapshot().expect("snapshot");
+        let s2 = ps.model_snapshot().expect("snapshot");
+        assert!(
+            Arc::ptr_eq(&s1, &s2),
+            "unchanged weights reuse the published Arc"
+        );
+        // Mutating the replica bumps the weight version; the next
+        // snapshot must republish rather than serve stale weights.
+        {
+            let m = ps.model_mut().expect("model");
+            let l = &mut m.classifier_layers_mut()[0];
+            let (w, b) = (l.weights().clone(), l.bias().clone());
+            l.set_weights(w, b);
+        }
+        let v2 = ps.model_version().expect("version");
+        assert_ne!(v1, v2, "mutation bumps the version key");
+        let s3 = ps.model_snapshot().expect("snapshot");
+        assert!(!Arc::ptr_eq(&s1, &s3), "version change republishes");
+        assert_eq!(s3.weights_version(), v2);
+    }
+
+    #[test]
+    fn concurrent_ingest_lands_every_photo() {
+        // `store_photo(&self)`: parallel writers into the sharded map
+        // must not lose entries, and the snapshot keeps insertion order
+        // per writer (global order across writers is interleaved).
+        let mut rng = StdRng::seed_from_u64(52);
+        let ps = std::sync::Arc::new(PipeStore::new(11, shard(&mut rng)));
+        let mut joins = Vec::new();
+        for t in 0..4u64 {
+            let ps = std::sync::Arc::clone(&ps);
+            joins.push(std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(100 + t);
+                let mut factory = PhotoFactory::new(256);
+                for i in 0..25 {
+                    let p = factory.make((t as usize + i) % 3, 0, &mut rng);
+                    ps.store_photo(p, preprocessed_binary(128, &mut rng));
+                }
+            }));
+        }
+        for j in joins {
+            j.join().expect("writer");
+        }
+        assert_eq!(ps.photo_count(), 100);
+        assert_eq!(ps.photos().len(), 100);
     }
 
     #[test]
@@ -740,7 +953,7 @@ mod tests {
         }
         let _c = Cleanup(dir.clone());
 
-        let mut ps = PipeStore::new(5, shard(&mut rng));
+        let ps = PipeStore::new(5, shard(&mut rng));
         let mut factory = PhotoFactory::new(2048);
         for i in 0..4 {
             let p = factory.make(i % 3, 2, &mut rng);
@@ -754,7 +967,7 @@ mod tests {
         let mut restored = PipeStore::new(5, shard(&mut rng));
         let mut os = objstore::ObjectStore::open(&dir, 1 << 20).expect("reopen");
         assert_eq!(restored.restore_photos(&mut os).expect("restore"), 4);
-        for (a, b) in ps.photos().zip(restored.photos()) {
+        for (a, b) in ps.photos().into_iter().zip(restored.photos()) {
             assert_eq!(a.photo.id, b.photo.id);
             assert_eq!(a.photo.class, b.photo.class);
             assert_eq!(a.photo.day, b.photo.day);

@@ -7,10 +7,15 @@
 //! - [`wire`] — length-prefixed, tagged frames with hand-rolled
 //!   little-endian payload encoding (no external serialization crates),
 //!   including the versioned [`wire::Handshake`] that opens every session,
-//! - [`server`] — [`server::PipeStoreServer`]: a concurrent, session-capped
-//!   accept loop around a [`crate::PipeStore`],
+//! - [`server`] — [`server::PipeStoreServer`]: an event-driven
+//!   (poll-based) front door around a [`crate::PipeStore`] — nonblocking
+//!   sockets, incremental frame decode, a worker pool off the event
+//!   thread, and cross-session dynamic batching of
+//!   [`wire::Request::Infer`] rows,
+//! - [`sys`] — the tiny `poll(2)`/self-pipe shim the server's event
+//!   loop stands on (no external crates),
 //! - [`client`] — [`client::RemotePipeStore`]: the Tuner's handle to one
-//!   remote store,
+//!   remote store, now with a pipelined in-flight request window,
 //! - [`cluster`] — [`cluster::Cluster`]: the Tuner's control plane over a
 //!   fleet: one worker thread per peer, parallel fan-out, per-peer retry
 //!   and a [`cluster::FailurePolicy`] so a flaky peer doesn't abort the
@@ -22,6 +27,7 @@ pub mod client;
 pub mod cluster;
 pub mod distributed;
 pub mod server;
+pub mod sys;
 pub mod wire;
 
 pub use client::{ConnectOptions, RemotePipeStore};
@@ -86,7 +92,10 @@ impl std::fmt::Display for RpcError {
                 attempts,
                 source,
             } => match source {
-                Some(e) => write!(f, "peer {peer} unavailable after {attempts} attempt(s): {e}"),
+                Some(e) => write!(
+                    f,
+                    "peer {peer} unavailable after {attempts} attempt(s): {e}"
+                ),
                 None => write!(f, "peer {peer} unavailable after {attempts} attempt(s)"),
             },
         }
@@ -117,7 +126,9 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(RpcError::Protocol("bad tag").to_string().contains("bad tag"));
+        assert!(RpcError::Protocol("bad tag")
+            .to_string()
+            .contains("bad tag"));
         let remote = RpcError::Remote {
             peer: "10.0.0.1:7401".into(),
             op: "apply_delta",

@@ -1,13 +1,16 @@
-//! The Tuner-side handle to a remote PipeStore.
+//! The Tuner-side handle to a remote PipeStore, including a pipelined
+//! in-flight request window ([`RemotePipeStore::start_infer`] /
+//! [`RemotePipeStore::finish_infer`]) that keeps many `Infer` rows on
+//! the wire at once against the event-driven server.
 
 use crate::checknrun::ModelDelta;
 use crate::rpc::wire::{
-    read_handshake, read_reply, write_handshake, write_request, Handshake, Reply, Request,
-    FEATURE_DELTAS, FEATURE_METRICS, FEATURE_MULTI_SESSION, PROTOCOL_VERSION,
+    read_handshake, read_reply, write_handshake, write_request, write_request_noflush, Handshake,
+    Reply, Request, FEATURE_DELTAS, FEATURE_METRICS, FEATURE_MULTI_SESSION, PROTOCOL_VERSION,
 };
 use crate::rpc::RpcError;
 use dnn::Mlp;
-use std::io::{BufReader, BufWriter};
+use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 use tensor::Tensor;
@@ -130,6 +133,9 @@ pub struct RemotePipeStore {
     features: u64,
     sent_bytes: u64,
     recv_bytes: u64,
+    /// `Infer` requests written to the wire whose replies have not been
+    /// collected yet (the pipelined in-flight window).
+    pending: usize,
 }
 
 impl RemotePipeStore {
@@ -251,6 +257,7 @@ impl RemotePipeStore {
             features,
             sent_bytes: sent,
             recv_bytes: 0,
+            pending: 0,
         })
     }
 
@@ -266,6 +273,7 @@ impl RemotePipeStore {
             features: 0,
             sent_bytes: 0,
             recv_bytes: 0,
+            pending: 0,
         }
     }
 
@@ -280,6 +288,8 @@ impl RemotePipeStore {
             features: self.features,
             sent_bytes: self.sent_bytes,
             recv_bytes: self.recv_bytes,
+            // The in-flight window travels with the transport.
+            pending: std::mem::replace(&mut self.pending, 0),
         }
     }
 
@@ -298,6 +308,8 @@ impl RemotePipeStore {
     /// address and policy for a later [`RemotePipeStore::reconnect`].
     pub(crate) fn disconnect(&mut self) {
         self.io = None;
+        // Replies for the old transport can never arrive now.
+        self.pending = 0;
     }
 
     /// Re-dials the peer under the stored [`ConnectOptions`], replacing
@@ -339,6 +351,12 @@ impl RemotePipeStore {
     }
 
     fn call(&mut self, req: &Request) -> Result<Reply, RpcError> {
+        if self.pending > 0 {
+            // A blocking call would read a pipelined reply as its own.
+            return Err(RpcError::Protocol(
+                "pipelined infer replies outstanding; call finish_infer first",
+            ));
+        }
         let op = req.op_name();
         let peer = self.peer;
         let io = self.io.as_mut().ok_or(RpcError::PeerUnavailable {
@@ -428,10 +446,9 @@ impl RemotePipeStore {
         n_run: u32,
     ) -> Result<(Tensor, Vec<usize>), RpcError> {
         match self.call(&Request::ExtractFeatures { run, n_run })? {
-            Reply::Features { features, labels } => Ok((
-                features,
-                labels.into_iter().map(|l| l as usize).collect(),
-            )),
+            Reply::Features { features, labels } => {
+                Ok((features, labels.into_iter().map(|l| l as usize).collect()))
+            }
             _ => Err(RpcError::Protocol("expected features")),
         }
     }
@@ -492,6 +509,156 @@ impl RemotePipeStore {
         }
     }
 
+    /// Classifies one feature row on the remote store (one blocking
+    /// round-trip). See [`RemotePipeStore::start_infer`] for the
+    /// pipelined variant.
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol/remote errors.
+    pub fn infer(&mut self, features: &[f32]) -> Result<u32, RpcError> {
+        match self.call(&Request::Infer {
+            features: features.to_vec(),
+        })? {
+            Reply::Label(l) => Ok(l),
+            _ => Err(RpcError::Protocol("expected label")),
+        }
+    }
+
+    /// Queues one `Infer` on the wire without waiting for its reply,
+    /// growing the in-flight window; collect the window with
+    /// [`RemotePipeStore::finish_infer`]. Frames are buffered — the
+    /// flush happens in `finish_infer`, so a whole window can leave in
+    /// one segment.
+    ///
+    /// # Errors
+    ///
+    /// Socket/framing errors ([`RpcError::PeerUnavailable`] when
+    /// detached).
+    pub fn start_infer(&mut self, features: &[f32]) -> Result<(), RpcError> {
+        let peer = self.peer;
+        let io = self.io.as_mut().ok_or(RpcError::PeerUnavailable {
+            peer: peer.to_string(),
+            attempts: 0,
+            source: None,
+        })?;
+        let req = Request::Infer {
+            features: features.to_vec(),
+        };
+        let sent = write_request_noflush(&mut io.writer, &req)?;
+        self.sent_bytes += sent as u64;
+        self.pending += 1;
+        if telemetry::enabled() {
+            let m = telemetry::global();
+            m.counter_with(
+                "ndpipe_rpc_client_requests_total",
+                &[("op", "infer")],
+                "RPC calls issued by this process",
+            )
+            .inc();
+            m.counter(
+                "ndpipe_rpc_client_bytes_written_total",
+                "request bytes put on the wire",
+            )
+            .add(sent as u64);
+        }
+        Ok(())
+    }
+
+    /// Requests queued by [`RemotePipeStore::start_infer`] whose replies
+    /// have not been collected yet.
+    pub fn pending_infers(&self) -> usize {
+        self.pending
+    }
+
+    /// Flushes the queued window and collects every outstanding reply,
+    /// in issue order.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors drop the session (remaining replies can never
+    /// arrive). A per-row remote error is reported as
+    /// [`RpcError::Remote`] *after* the whole window has been drained,
+    /// so the session stays usable.
+    pub fn finish_infer(&mut self) -> Result<Vec<u32>, RpcError> {
+        let peer = self.peer;
+        let Some(io) = self.io.as_mut() else {
+            self.pending = 0;
+            return Err(RpcError::PeerUnavailable {
+                peer: peer.to_string(),
+                attempts: 0,
+                source: None,
+            });
+        };
+        let mut pending = std::mem::replace(&mut self.pending, 0);
+        let mut recv_total = 0u64;
+        let result = (|| -> Result<Vec<u32>, RpcError> {
+            io.writer.flush()?;
+            let mut out = Vec::with_capacity(pending);
+            let mut first_remote: Option<RpcError> = None;
+            while pending > 0 {
+                let (reply, n) = read_reply(&mut io.reader)?;
+                recv_total += n as u64;
+                pending -= 1;
+                match reply {
+                    Reply::Label(l) => out.push(l),
+                    Reply::Error(msg) => {
+                        if first_remote.is_none() {
+                            first_remote = Some(RpcError::Remote {
+                                peer: peer.to_string(),
+                                op: "infer",
+                                msg,
+                            });
+                        }
+                    }
+                    _ => return Err(RpcError::Protocol("expected label")),
+                }
+            }
+            match first_remote {
+                Some(e) => Err(e),
+                None => Ok(out),
+            }
+        })();
+        self.recv_bytes += recv_total;
+        if telemetry::enabled() {
+            telemetry::global()
+                .counter(
+                    "ndpipe_rpc_client_bytes_read_total",
+                    "reply bytes read off the wire",
+                )
+                .add(recv_total);
+        }
+        if matches!(result, Err(RpcError::Io(_)) | Err(RpcError::Protocol(_))) {
+            // Transport state is unknown mid-stream; force a reconnect.
+            self.disconnect();
+        }
+        result
+    }
+
+    /// Classifies many rows through the pipelined window: keeps up to
+    /// `window` requests in flight per wave, returning the labels in
+    /// row order. This is what makes the event-driven server's
+    /// cross-session batching bite — many rows on the wire at once.
+    ///
+    /// # Errors
+    ///
+    /// As [`RemotePipeStore::finish_infer`].
+    pub fn infer_pipelined(
+        &mut self,
+        rows: &[Vec<f32>],
+        window: usize,
+    ) -> Result<Vec<u32>, RpcError> {
+        let window = window.max(1);
+        let mut out = Vec::with_capacity(rows.len());
+        for wave in rows.chunks(window) {
+            for row in wave {
+                self.start_infer(row)?;
+            }
+            out.extend(self.finish_infer()?);
+        }
+        Ok(out)
+    }
+
     /// Ends the session without consuming the handle (the cluster layer
     /// reuses the handle for reconnects); the server side returns once
     /// it has acknowledged.
@@ -500,6 +667,12 @@ impl RemotePipeStore {
     ///
     /// Socket/protocol errors.
     pub(crate) fn end_session(&mut self) -> Result<(), RpcError> {
+        if self.pending > 0 {
+            // Drain any open window so the Shutdown ack isn't read as a
+            // pipelined reply (best-effort; errors surface below if the
+            // transport is really gone).
+            let _ = self.finish_infer();
+        }
         let r = self.expect_ack(&Request::Shutdown);
         self.io = None;
         r
@@ -564,12 +737,7 @@ mod tests {
     #[test]
     #[allow(deprecated)]
     fn legacy_constructor_still_builds() {
-        let o = ConnectOptions::legacy(
-            2,
-            Duration::from_millis(1),
-            Duration::from_millis(2),
-            None,
-        );
+        let o = ConnectOptions::legacy(2, Duration::from_millis(1), Duration::from_millis(2), None);
         assert_eq!(o.max_attempts, 2);
         assert!(o.io_timeout.is_none());
     }

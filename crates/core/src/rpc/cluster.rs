@@ -26,6 +26,12 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use tensor::Tensor;
 
+/// Per-peer job queue depth. Rounds are sequential — `fanout_on` gathers
+/// every reply before the next round starts — so at most one `Job::Op`
+/// plus one `Job::Stop` is ever in flight per peer; the bound exists to
+/// keep the queue from masking a stuck round as silent memory growth.
+const PEER_JOB_QUEUE_CAP: usize = 4;
+
 /// What the control plane does when peers fail an operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FailurePolicy {
@@ -246,9 +252,15 @@ impl PeerOp {
 /// A successful per-peer operation result, still untyped.
 enum PeerOk {
     Ack,
-    Features { features: Tensor, labels: Vec<usize> },
+    Features {
+        features: Tensor,
+        labels: Vec<usize>,
+    },
     Labels(Vec<(u64, u32)>),
-    Shard { examples: u64, classes: u32 },
+    Shard {
+        examples: u64,
+        classes: u32,
+    },
     Metrics(telemetry::Snapshot),
 }
 
@@ -266,14 +278,14 @@ enum Job {
     Op {
         op: PeerOp,
         attempts: u32,
-        done: mpsc::Sender<WorkerReply>,
+        done: mpsc::SyncSender<WorkerReply>,
     },
     Stop,
 }
 
 struct PeerSlot {
     addr: SocketAddr,
-    tx: mpsc::Sender<Job>,
+    tx: mpsc::SyncSender<Job>,
     thread: Option<JoinHandle<RemotePipeStore>>,
 }
 
@@ -344,7 +356,11 @@ fn apply(remote: &mut RemotePipeStore, op: &PeerOp) -> Result<PeerOk, RpcError> 
     }
 }
 
-fn worker_main(index: usize, mut remote: RemotePipeStore, rx: mpsc::Receiver<Job>) -> RemotePipeStore {
+fn worker_main(
+    index: usize,
+    mut remote: RemotePipeStore,
+    rx: mpsc::Receiver<Job>,
+) -> RemotePipeStore {
     while let Ok(job) = rx.recv() {
         match job {
             Job::Op { op, attempts, done } => {
@@ -506,7 +522,7 @@ impl ClusterBuilder {
         }
         let mut peers = Vec::with_capacity(remotes.len());
         for (index, remote) in remotes.into_iter().enumerate() {
-            let (tx, rx) = mpsc::channel();
+            let (tx, rx) = mpsc::sync_channel(PEER_JOB_QUEUE_CAP);
             let addr = remote.peer();
             let thread = std::thread::Builder::new()
                 .name(format!("ndpipe-peer-{index}"))
@@ -586,7 +602,9 @@ impl Cluster {
     fn fanout_on(&self, indices: &[usize], op: PeerOp) -> Fanout<PeerOk> {
         let op_name = op.name();
         let t0 = Instant::now();
-        let (tx, rx) = mpsc::channel();
+        // Each targeted peer sends exactly one reply per fan-out, so a
+        // bound of `indices.len()` means workers never block on `done`.
+        let (tx, rx) = mpsc::sync_channel(indices.len().max(1));
         let mut failures = Vec::new();
         for &index in indices {
             match self.peers.get(index) {
@@ -754,12 +772,14 @@ impl Cluster {
 
     /// Fetches `(examples, classes)` shard metadata from every peer.
     pub fn describe(&self) -> Fanout<(u64, u32)> {
-        Self::typed(self.fanout_all(PeerOp::Describe), "describe", |ok| {
-            match ok {
+        Self::typed(
+            self.fanout_all(PeerOp::Describe),
+            "describe",
+            |ok| match ok {
                 PeerOk::Shard { examples, classes } => Some((examples, classes)),
                 _ => None,
-            }
-        })
+            },
+        )
     }
 
     /// Scrapes every peer's telemetry registry concurrently.

@@ -1,94 +1,136 @@
-//! The PipeStore-side RPC serving machinery.
+//! The PipeStore-side RPC serving machinery: an event-driven front door.
 //!
-//! [`PipeStoreServer`] is the deployment shape: a session-capped accept
-//! loop, one thread per live Tuner session, every session opened by the
-//! versioned [`Handshake`] and multiplexed over the same
-//! `Mutex<PipeStore>` so concurrent Tuners (or one Tuner's parallel
-//! fan-out) can talk to the store at once. [`serve_session`] remains as
-//! the single-session, post-handshake building block.
+//! [`PipeStoreServer`] runs one *event thread* over a readiness loop
+//! ([`crate::rpc::sys::poll_fds`]): nonblocking accepts, per-session
+//! read/write buffers with incremental frame decode
+//! ([`crate::rpc::wire::FrameDecoder`]), and request pipelining — a
+//! session may have many requests in flight, and replies flush back in
+//! request order through a per-session reorder buffer. Store work runs
+//! on a small configurable worker pool ([`ServerConfig::workers`]) so a
+//! slow operation never blocks the poll loop, and `Infer` rows from
+//! *different* sessions are coalesced into one batched forward call
+//! (cross-session dynamic batching, [`ServerConfig::batch`]).
+//!
+//! The session cap is a real concurrency cap, not a thread cap: the
+//! default [`ServerConfig::max_sessions`] admits thousands of idle
+//! sessions because each one costs a slab slot and two buffers, not a
+//! stack. [`serve_session`] remains as the blocking, single-session,
+//! post-handshake building block.
 
 use crate::checknrun::ModelDelta;
 use crate::npe::engine::EngineConfig;
+use crate::online::BatchPolicy;
 use crate::pipestore::PipeStore;
+use crate::rpc::sys::{poll_fds, PollFd, WakePipe, POLLIN, POLLOUT};
 use crate::rpc::wire::{
-    read_handshake, read_request, write_handshake, write_reply, Handshake, Reply, Request,
+    frame_bytes, read_request, write_reply, FrameDecoder, Handshake, Reply, Request,
     FEATURE_DELTAS, FEATURE_METRICS, FEATURE_MULTI_SESSION, PROTOCOL_VERSION,
 };
 use crate::rpc::RpcError;
+use crossbeam::channel::{Receiver, Sender, TrySendError};
 use dnn::Mlp;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
+use std::collections::BTreeMap;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use tensor::Tensor;
 
-/// Default read/write timeout applied to accepted Tuner sockets: a stuck
-/// or vanished peer releases the server instead of pinning it forever.
+/// Default idle timeout on accepted sessions: a stuck or vanished peer
+/// releases its slot instead of pinning it forever.
 pub const SERVER_IO_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Feature bits this server offers in its handshake `Accept`.
 pub const SERVER_FEATURES: u64 = FEATURE_METRICS | FEATURE_DELTAS | FEATURE_MULTI_SESSION;
 
-/// How the accept loop polls for new connections and the stop flag.
-const ACCEPT_POLL: Duration = Duration::from_millis(2);
+/// Bounded depth of the event-thread → worker-pool request queue; the
+/// event thread drains finished replies while waiting for space, so a
+/// full queue is backpressure, not a deadlock.
+const WORK_QUEUE_CAP: usize = 1024;
+
+/// Bounded depth of the worker-pool → event-thread reply queue.
+const DONE_QUEUE_CAP: usize = 4096;
+
+/// Poll timeout when nothing is due: the loop also re-checks the stop
+/// flag and the idle sweep at this cadence.
+const IDLE_TICK: Duration = Duration::from_millis(10);
+
+/// Read buffer per readable event; large enough to swallow a batch of
+/// pipelined frames in one syscall.
+const READ_CHUNK: usize = 64 * 1024;
 
 /// Tuning knobs for [`PipeStoreServer`].
 #[derive(Debug, Clone, Copy)]
 pub struct ServerConfig {
     /// Concurrent session cap; connection attempts beyond it are refused
-    /// with a handshake `Reject` so the Tuner sees a clear error instead
-    /// of an unbounded thread pile-up on the store.
+    /// with a handshake `Reject` so the Tuner sees a clear error. The
+    /// event-driven server spends a slab slot (not a thread) per
+    /// session, so the default is generous.
     pub max_sessions: usize,
-    /// Read/write timeout on accepted sockets (`None` blocks forever).
+    /// Idle timeout: a session with no traffic and no work in flight for
+    /// this long is closed (`None` keeps idle sessions forever).
     pub io_timeout: Option<Duration>,
+    /// Worker threads executing store operations off the event thread.
+    pub workers: usize,
+    /// Coalesce `Infer` rows from different sessions into one batched
+    /// forward call. When `false` every `Infer` runs as its own
+    /// single-row forward (the per-session baseline).
+    pub coalesce: bool,
+    /// Batch window for cross-session coalescing: fire on
+    /// [`BatchPolicy::max_batch`] rows or [`BatchPolicy::max_delay`],
+    /// whichever comes first.
+    pub batch: BatchPolicy,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
-            max_sessions: 32,
+            max_sessions: 4096,
             io_timeout: Some(SERVER_IO_TIMEOUT),
+            workers: 2,
+            coalesce: true,
+            batch: BatchPolicy::default(),
         }
     }
 }
 
-/// Performs the server half of the session handshake: read the client's
-/// `Hello`, answer `Accept` (or `Reject` on version skew). Handshake
-/// frames are deliberately *not* counted in the per-op request metrics —
-/// they are session plumbing, not store work.
+/// Outcome of the server half of the session handshake.
+#[derive(Debug)]
+enum Greeting {
+    /// Send this `Accept` frame; the session proceeds to requests.
+    Accepted(Handshake),
+    /// Send this `Reject` frame; the session ends once it flushes.
+    Refused(Handshake),
+}
+
+/// Decides the server's answer to a client's opening handshake frame.
+/// Version skew is an expected condition (the peer is told and refused),
+/// not a server fault. Handshake frames are deliberately *not* counted
+/// in the per-op request metrics — they are session plumbing, not store
+/// work.
 ///
 /// # Errors
 ///
-/// [`RpcError::ProtocolMismatch`] when the peer speaks another protocol
-/// revision (after telling the peer so), socket/protocol errors
-/// otherwise.
-fn greet<R: Read, W: Write>(reader: &mut R, writer: &mut W, store_id: u64) -> Result<(), RpcError> {
-    match read_handshake(reader)? {
+/// [`RpcError::Protocol`] when the peer opens with `Accept` or `Reject`
+/// instead of `Hello` — only clients greet first.
+fn greet(hs: &Handshake, store_id: u64) -> Result<Greeting, RpcError> {
+    match hs {
         Handshake::Hello { version, .. } => {
-            if version == PROTOCOL_VERSION {
-                write_handshake(
-                    writer,
-                    &Handshake::Accept {
-                        version: PROTOCOL_VERSION,
-                        features: SERVER_FEATURES,
-                        store_id,
-                    },
-                )?;
-                Ok(())
+            if *version == PROTOCOL_VERSION {
+                Ok(Greeting::Accepted(Handshake::Accept {
+                    version: PROTOCOL_VERSION,
+                    features: SERVER_FEATURES,
+                    store_id,
+                }))
             } else {
-                write_handshake(
-                    writer,
-                    &Handshake::Reject {
-                        version: PROTOCOL_VERSION,
-                        reason: format!("server speaks protocol v{PROTOCOL_VERSION}"),
-                    },
-                )?;
-                Err(RpcError::ProtocolMismatch {
-                    ours: PROTOCOL_VERSION,
-                    theirs: version,
-                })
+                Ok(Greeting::Refused(Handshake::Reject {
+                    version: PROTOCOL_VERSION,
+                    reason: format!("server speaks protocol v{PROTOCOL_VERSION}"),
+                }))
             }
         }
         Handshake::Accept { .. } | Handshake::Reject { .. } => {
@@ -97,9 +139,9 @@ fn greet<R: Read, W: Write>(reader: &mut R, writer: &mut W, store_id: u64) -> Re
     }
 }
 
-/// The post-handshake request loop, generic over how the store is
-/// reached so the same code serves both the exclusive single-session
-/// path and the mutex-shared concurrent path.
+/// The blocking post-handshake request loop, kept for the
+/// single-session [`serve_session`] building block (the concurrent
+/// server uses the event loop instead).
 fn session_loop<R: Read, W: Write>(
     registry: &telemetry::Registry,
     reader: &mut R,
@@ -160,11 +202,11 @@ fn session_loop<R: Read, W: Write>(
     }
 }
 
-/// Serves one already-handshaken Tuner session over `stream`, mutating
-/// `store` as requests arrive. Applies [`SERVER_IO_TIMEOUT`] to the
-/// socket and records per-operation request counts, latencies and wire
-/// bytes into the store's [`PipeStore::metrics`] registry. Returns
-/// cleanly when the Tuner sends `Shutdown` or closes the connection.
+/// Serves one already-handshaken Tuner session over `stream`, blocking
+/// the calling thread. Applies [`SERVER_IO_TIMEOUT`] to the socket and
+/// records per-operation request counts, latencies and wire bytes into
+/// the store's [`PipeStore::metrics`] registry. Returns cleanly when the
+/// Tuner sends `Shutdown` or closes the connection.
 ///
 /// # Errors
 ///
@@ -172,24 +214,26 @@ fn session_loop<R: Read, W: Write>(
 /// Application-level failures (e.g. applying a mismatched delta) are
 /// reported to the peer as `Error` replies and do not tear down the
 /// session.
-pub fn serve_session(store: &mut PipeStore, stream: TcpStream) -> Result<(), RpcError> {
+pub fn serve_session(store: &RwLock<PipeStore>, stream: TcpStream) -> Result<(), RpcError> {
     stream.set_read_timeout(Some(SERVER_IO_TIMEOUT))?;
     stream.set_write_timeout(Some(SERVER_IO_TIMEOUT))?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
-    let registry = Arc::clone(store.metrics());
+    let registry = Arc::clone(store.read().metrics());
     session_loop(&registry, &mut reader, &mut writer, |req| {
         handle(store, req)
     })
 }
 
 /// Handles one request; `None` means the session should end (after the
-/// final Ack).
-fn handle(store: &mut PipeStore, request: Request) -> Option<Reply> {
+/// final Ack). Read-mostly operations take the store's read lock so
+/// parallel workers can overlap; `InstallModel` and `ApplyDelta` take
+/// the write lock for exclusivity.
+fn handle(store: &RwLock<PipeStore>, request: Request) -> Option<Reply> {
     Some(match request {
         Request::InstallModel(bytes) => match Mlp::from_bytes(&bytes) {
             Ok(model) => {
-                store.install_model(model);
+                store.write().install_model(model);
                 Reply::Ack
             }
             Err(e) => Reply::Error(format!("bad model blob: {e}")),
@@ -198,6 +242,7 @@ fn handle(store: &mut PipeStore, request: Request) -> Option<Reply> {
             if n_run == 0 || run >= n_run {
                 return Some(Reply::Error("bad run index".to_string()));
             }
+            let store = store.read();
             if store.model().is_none() {
                 return Some(Reply::Error("no model installed".to_string()));
             }
@@ -217,6 +262,7 @@ fn handle(store: &mut PipeStore, request: Request) -> Option<Reply> {
             }
         }
         Request::OfflineInfer => {
+            let store = store.read();
             if store.model().is_none() {
                 return Some(Reply::Error("no model installed".to_string()));
             }
@@ -228,44 +274,187 @@ fn handle(store: &mut PipeStore, request: Request) -> Option<Reply> {
             Reply::Labels(pairs)
         }
         Request::ApplyDelta(bytes) => match ModelDelta::from_bytes(&bytes) {
-            Ok(delta) => match store.model_mut() {
-                Some(model) => match delta.apply(model) {
-                    Ok(()) => Reply::Ack,
-                    Err(e) => Reply::Error(format!("delta apply failed: {e}")),
-                },
-                None => Reply::Error("no model installed".to_string()),
-            },
+            Ok(delta) => {
+                let mut guard = store.write();
+                match guard.model_mut() {
+                    Some(model) => match delta.apply(model) {
+                        Ok(()) => {
+                            // Republish eagerly so the next batched Infer
+                            // reads the fine-tuned snapshot without paying
+                            // the lazy version check.
+                            guard.republish_model();
+                            Reply::Ack
+                        }
+                        Err(e) => Reply::Error(format!("delta apply failed: {e}")),
+                    },
+                    None => Reply::Error("no model installed".to_string()),
+                }
+            }
             Err(e) => Reply::Error(format!("bad delta blob: {e}")),
         },
-        Request::Describe => Reply::ShardInfo {
-            examples: store.shard_len() as u64,
-            classes: store.shard().num_classes() as u32,
-        },
-        Request::Metrics => Reply::Metrics(store.metrics().snapshot()),
+        Request::Describe => {
+            let store = store.read();
+            Reply::ShardInfo {
+                examples: store.shard_len() as u64,
+                classes: store.shard().num_classes() as u32,
+            }
+        }
+        Request::Infer { features } => infer_one(&store.read(), &features),
+        Request::Metrics => Reply::Metrics(store.read().metrics().snapshot()),
         Request::Shutdown => return None,
     })
 }
 
-/// A live session tracked by the server: the raw socket (so
-/// [`PipeStoreServer::abort`] can slam it) and the serving thread.
-struct SessionSlot {
-    stream: TcpStream,
-    thread: JoinHandle<()>,
+/// Classifies one feature row against the store's published model
+/// snapshot (the un-coalesced path: blocking sessions, or
+/// [`ServerConfig::coalesce`] off).
+fn infer_one(store: &PipeStore, features: &[f32]) -> Reply {
+    match store.model_snapshot() {
+        Some(model) => classify_row(&model, features),
+        None => Reply::Error("no model installed".to_string()),
+    }
 }
 
-/// State shared between the server handle, the accept thread, and every
-/// session thread.
+/// One single-row forward; dimension mismatches are application errors,
+/// not session faults.
+fn classify_row(model: &Mlp, features: &[f32]) -> Reply {
+    let dim = model.input_dim();
+    if features.len() != dim {
+        return Reply::Error(format!(
+            "bad feature dim: got {}, model wants {dim}",
+            features.len()
+        ));
+    }
+    let x = Tensor::from_vec(features.to_vec(), &[1, dim]);
+    Reply::Label(model.forward(&x).argmax() as u32)
+}
+
+/// Argmax of row `row` in a `[rows, classes]` logits tensor, without
+/// materializing per-row tensors.
+fn row_argmax(logits: &Tensor, row: usize) -> usize {
+    let classes = logits.dims().get(1).copied().unwrap_or(0).max(1);
+    let mut best = 0usize;
+    let mut best_v = f32::NEG_INFINITY;
+    let lo = row * classes;
+    let cells = logits.data().get(lo..lo + classes).unwrap_or(&[]);
+    for (j, v) in cells.iter().enumerate() {
+        if *v > best_v {
+            best_v = *v;
+            best = j;
+        }
+    }
+    best
+}
+
+/// One pending `Infer` row in the cross-session batch.
+struct BatchItem {
+    slot: usize,
+    gen: u64,
+    seq: u64,
+    t0: Instant,
+    features: Vec<f32>,
+}
+
+/// A unit handed to the worker pool.
+enum Work {
+    /// One request from one session.
+    One {
+        slot: usize,
+        gen: u64,
+        seq: u64,
+        t0: Instant,
+        req: Request,
+    },
+    /// A coalesced cross-session inference batch.
+    Batch(Vec<BatchItem>),
+}
+
+/// A finished reply heading back to the event thread; `(slot, gen)`
+/// route it, `seq` orders it within the session, `end` closes the
+/// session after this reply flushes.
+struct Done {
+    slot: usize,
+    gen: u64,
+    seq: u64,
+    frame: Vec<u8>,
+    end: bool,
+}
+
+/// An encoded reply waiting in the reorder buffer for its turn on the
+/// wire.
+struct Flush {
+    frame: Vec<u8>,
+    end: bool,
+}
+
+/// Where a session is in its life.
+enum Phase {
+    /// Waiting for the client's `Hello`.
+    Greeting,
+    /// Handshake accepted; frames are requests.
+    Open,
+    /// Refused (cap or version skew): inbound bytes are drained and
+    /// discarded so closing never turns the queued `Reject` into a TCP
+    /// RST; the session ends on peer EOF or the idle sweep.
+    Refused,
+}
+
+/// What an I/O step decided about a session's future.
+enum Fate {
+    Alive,
+    Closed(Option<RpcError>),
+}
+
+/// One live session in the event loop's slab.
+struct Session {
+    stream: TcpStream,
+    /// Generation tag: replies carry `(slot, gen)` so a reply for a
+    /// closed session can never be misrouted to the slot's next tenant.
+    gen: u64,
+    phase: Phase,
+    decoder: FrameDecoder,
+    /// Outbound bytes; `wpos` marks how much has hit the socket.
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Next request sequence number (assigned at dispatch).
+    next_seq: u64,
+    /// Next sequence number allowed onto the wire — replies flush in
+    /// request order even when workers finish out of order.
+    next_flush: u64,
+    reorder: BTreeMap<u64, Flush>,
+    /// Requests dispatched but not yet flushed back.
+    inflight: usize,
+    read_closed: bool,
+    close_after_flush: bool,
+    /// Whether this session occupies a slot under `max_sessions` (cap
+    /// refusals are parked uncounted).
+    counted: bool,
+    last_activity: Instant,
+}
+
+/// State shared between the server handle, the event thread, and the
+/// worker pool.
 struct Shared {
-    store: Mutex<PipeStore>,
-    /// The store's registry, cloned out so sessions record metrics
-    /// without holding the store lock.
+    store: RwLock<PipeStore>,
+    /// The store's registry, cloned out so workers record metrics
+    /// without touching the store lock.
     registry: Arc<telemetry::Registry>,
     store_id: u64,
     cfg: ServerConfig,
+    /// Soft stop: stop accepting, drain live sessions, then exit.
     stop: AtomicBool,
+    /// Hard stop: slam every session shut and exit now.
+    halt: AtomicBool,
+    /// Live counted sessions. Written with `Release` by the event
+    /// thread, read with `Acquire` by observers: an observer that sees
+    /// the count move also sees the session transition that caused it
+    /// (the pairing `wait_idle` relies on).
     active: AtomicUsize,
+    /// Counted sessions ended since bind; same Release/Acquire pairing
+    /// as `active`, and always incremented *after* the matching `active`
+    /// decrement so `completed >= n && active == 0` is a stable "n
+    /// sessions fully drained" condition.
     completed: AtomicUsize,
-    sessions: Mutex<Vec<SessionSlot>>,
     first_error: Mutex<Option<RpcError>>,
 }
 
@@ -282,10 +471,23 @@ impl Shared {
     }
 }
 
-/// A concurrent RPC server wrapping one [`PipeStore`]: binds a listener,
-/// accepts up to [`ServerConfig::max_sessions`] simultaneous Tuner
-/// sessions (thread-per-connection over the shared store), and gives the
-/// store back on [`PipeStoreServer::shutdown`].
+/// Records the first session-level fault since bind. Version skew is
+/// excluded: telling a mismatched peer "no" is the server working as
+/// designed.
+fn record_first_error(shared: &Shared, e: RpcError) {
+    if matches!(e, RpcError::ProtocolMismatch { .. }) {
+        return;
+    }
+    let mut slot = shared.first_error.lock();
+    if slot.is_none() {
+        *slot = Some(e);
+    }
+}
+
+/// A concurrent RPC server wrapping one [`PipeStore`]: binds a
+/// listener, serves up to [`ServerConfig::max_sessions`] simultaneous
+/// Tuner sessions from a single event thread plus a worker pool, and
+/// gives the store back on [`PipeStoreServer::shutdown`].
 ///
 /// ```no_run
 /// use ndpipe::rpc::{PipeStoreServer, ServerConfig};
@@ -298,16 +500,18 @@ impl Shared {
 /// ```
 pub struct PipeStoreServer {
     shared: Arc<Shared>,
-    accept: Option<JoinHandle<()>>,
+    event: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    wake: Arc<WakePipe>,
     addr: SocketAddr,
 }
 
 impl PipeStoreServer {
-    /// Binds `addr` and starts the accept loop in a background thread.
+    /// Binds `addr` and starts the event thread and worker pool.
     ///
     /// # Errors
     ///
-    /// Bind/socket errors.
+    /// Bind/socket/thread-spawn errors.
     pub fn bind(store: PipeStore, addr: &str, cfg: ServerConfig) -> Result<Self, RpcError> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
@@ -315,23 +519,58 @@ impl PipeStoreServer {
         let registry = Arc::clone(store.metrics());
         let store_id = store.id() as u64;
         let shared = Arc::new(Shared {
-            store: Mutex::new(store),
+            store: RwLock::new(store),
             registry,
             store_id,
             cfg,
             stop: AtomicBool::new(false),
+            halt: AtomicBool::new(false),
             active: AtomicUsize::new(0),
             completed: AtomicUsize::new(0),
-            sessions: Mutex::new(Vec::new()),
             first_error: Mutex::new(None),
         });
-        let accept_shared = Arc::clone(&shared);
-        let accept = std::thread::Builder::new()
-            .name(format!("ndpipe-accept-{store_id}"))
-            .spawn(move || accept_loop(&accept_shared, &listener))?;
+        let wake = Arc::new(WakePipe::new()?);
+        // Both queues are bounded: a flooded server applies backpressure
+        // instead of growing queues without limit.
+        let (work_tx, work_rx) = crossbeam::channel::bounded::<Work>(WORK_QUEUE_CAP);
+        let (done_tx, done_rx) = crossbeam::channel::bounded::<Done>(DONE_QUEUE_CAP);
+        let mut workers = Vec::with_capacity(cfg.workers.max(1));
+        for i in 0..cfg.workers.max(1) {
+            let sh = Arc::clone(&shared);
+            let rx = work_rx.clone();
+            let tx = done_tx.clone();
+            let wk = Arc::clone(&wake);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("ndpipe-rpc-worker-{i}"))
+                    .spawn(move || worker_main(&sh, &rx, &tx, &wk))?,
+            );
+        }
+        let ev = EventLoop {
+            shared: Arc::clone(&shared),
+            listener: Some(listener),
+            wake: Arc::clone(&wake),
+            work: work_tx,
+            done_rx,
+            sessions: Vec::new(),
+            free: Vec::new(),
+            next_gen: 0,
+            live: 0,
+            busy: 0,
+            pend_batch: Vec::new(),
+            batch_since: None,
+            detached: None,
+            stash: Vec::new(),
+            scratch: vec![0u8; READ_CHUNK],
+        };
+        let event = std::thread::Builder::new()
+            .name(format!("ndpipe-rpc-event-{store_id}"))
+            .spawn(move || ev.run())?;
         Ok(PipeStoreServer {
             shared,
-            accept: Some(accept),
+            event: Some(event),
+            workers,
+            wake,
             addr: local,
         })
     }
@@ -343,20 +582,22 @@ impl PipeStoreServer {
 
     /// Sessions currently being served.
     pub fn active_sessions(&self) -> usize {
-        self.shared.active.load(Ordering::SeqCst)
+        // Acquire pairs with the event thread's Release updates: see
+        // the ordering notes on `Shared::active`.
+        self.shared.active.load(Ordering::Acquire)
     }
 
     /// Sessions that have ended (cleanly or not) since bind.
     pub fn completed_sessions(&self) -> usize {
-        self.shared.completed.load(Ordering::SeqCst)
+        self.shared.completed.load(Ordering::Acquire)
     }
 
     /// Blocks until at least `min_completed` sessions have ended and no
     /// session is in flight.
     pub fn wait_idle(&self, min_completed: usize) {
         loop {
-            if self.shared.completed.load(Ordering::SeqCst) >= min_completed
-                && self.shared.active.load(Ordering::SeqCst) == 0
+            if self.shared.completed.load(Ordering::Acquire) >= min_completed
+                && self.shared.active.load(Ordering::Acquire) == 0
             {
                 return;
             }
@@ -369,8 +610,8 @@ impl PipeStoreServer {
     pub fn wait_idle_timeout(&self, min_completed: usize, timeout: Duration) -> bool {
         let t0 = Instant::now();
         loop {
-            if self.shared.completed.load(Ordering::SeqCst) >= min_completed
-                && self.shared.active.load(Ordering::SeqCst) == 0
+            if self.shared.completed.load(Ordering::Acquire) >= min_completed
+                && self.shared.active.load(Ordering::Acquire) == 0
             {
                 return true;
             }
@@ -382,7 +623,7 @@ impl PipeStoreServer {
     }
 
     /// Stops accepting, drains in-flight sessions (each runs until its
-    /// Tuner ends the session, hangs up, or idles past the I/O timeout),
+    /// Tuner ends the session, hangs up, or idles past the timeout),
     /// and returns the store.
     ///
     /// # Errors
@@ -392,10 +633,10 @@ impl PipeStoreServer {
         self.teardown(false)
     }
 
-    /// Hard-stops the server: slams every live session socket shut and
-    /// closes the listener, so peers observe connection errors. Session
-    /// errors caused by the abort are discarded. Used by failure-injection
-    /// tests to simulate a killed store.
+    /// Hard-stops the server: every live session socket is slammed shut
+    /// by the event thread, so peers observe connection errors. Session
+    /// errors caused by the abort are discarded. Used by
+    /// failure-injection tests to simulate a killed store.
     ///
     /// # Errors
     ///
@@ -406,18 +647,21 @@ impl PipeStoreServer {
     }
 
     fn teardown(mut self, hard: bool) -> Result<PipeStore, RpcError> {
-        self.shared.stop.store(true, Ordering::SeqCst);
         if hard {
-            for slot in self.shared.sessions.lock().iter() {
-                let _ = slot.stream.shutdown(std::net::Shutdown::Both);
-            }
+            // Release pairs with the event thread's Acquire load at the
+            // top of its loop; `halt` must be visible no later than
+            // `stop`.
+            self.shared.halt.store(true, Ordering::Release);
         }
-        if let Some(h) = self.accept.take() {
+        self.shared.stop.store(true, Ordering::Release);
+        self.wake.wake();
+        if let Some(h) = self.event.take() {
             let _ = h.join();
         }
-        let slots = std::mem::take(&mut *self.shared.sessions.lock());
-        for slot in slots {
-            let _ = slot.thread.join();
+        // The event loop owned the work sender; its exit disconnects the
+        // channel and every worker's `recv` returns Err.
+        for h in self.workers.drain(..) {
+            let _ = h.join();
         }
         let PipeStoreServer { shared, .. } = self;
         let shared = Arc::try_unwrap(shared)
@@ -430,95 +674,825 @@ impl PipeStoreServer {
     }
 }
 
-fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
-    while !shared.stop.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                stream.set_nodelay(true).ok();
-                if shared.active.load(Ordering::SeqCst) >= shared.cfg.max_sessions {
-                    refuse(stream, "session cap reached");
-                    continue;
+/// The event thread's whole world. Sessions live in a slab
+/// (`sessions` + `free`) so poll-set indices stay cheap to rebuild.
+struct EventLoop {
+    shared: Arc<Shared>,
+    /// Dropped (closing the listen socket) as soon as a stop is seen.
+    listener: Option<TcpListener>,
+    wake: Arc<WakePipe>,
+    work: Sender<Work>,
+    done_rx: Receiver<Done>,
+    sessions: Vec<Option<Session>>,
+    free: Vec<usize>,
+    next_gen: u64,
+    /// Counted live sessions (the `max_sessions` population).
+    live: usize,
+    /// Sessions with at least one request in flight; exported as the
+    /// `ndpipe_rpc_pending_sessions` gauge.
+    busy: usize,
+    /// Cross-session `Infer` rows waiting for the batch window.
+    pend_batch: Vec<BatchItem>,
+    /// When the oldest pending row arrived (the max-delay clock).
+    batch_since: Option<Instant>,
+    /// Set while a session is temporarily out of the slab in
+    /// `drive_read`; its finished replies land in `stash` instead of
+    /// being dropped by the slot lookup.
+    detached: Option<(usize, u64)>,
+    stash: Vec<Done>,
+    scratch: Vec<u8>,
+}
+
+impl EventLoop {
+    fn run(mut self) {
+        loop {
+            // Acquire pairs with teardown's Release stores: observing
+            // the flag implies the handle's prior writes are visible.
+            if self.shared.halt.load(Ordering::Acquire) {
+                self.close_all();
+                return;
+            }
+            let stopping = self.shared.stop.load(Ordering::Acquire);
+            if stopping {
+                self.listener = None;
+            }
+            if let Some(t0) = self.batch_since {
+                if stopping || t0.elapsed() >= self.shared.cfg.batch.max_delay {
+                    self.fire_batch();
                 }
-                spawn_session(shared, stream);
             }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(ACCEPT_POLL);
-            }
-            Err(_) => std::thread::sleep(ACCEPT_POLL),
-        }
-    }
-}
-
-/// Refuses a connection with a handshake `Reject` (best-effort; the peer
-/// may already be gone).
-fn refuse(stream: TcpStream, reason: &str) {
-    let mut writer = BufWriter::new(stream);
-    let _ = write_handshake(
-        &mut writer,
-        &Handshake::Reject {
-            version: PROTOCOL_VERSION,
-            reason: reason.to_string(),
-        },
-    );
-}
-
-fn spawn_session(shared: &Arc<Shared>, stream: TcpStream) {
-    let conn = match stream.try_clone() {
-        Ok(c) => c,
-        Err(_) => return, // socket already dead
-    };
-    shared.active.fetch_add(1, Ordering::SeqCst);
-    shared.session_gauge(1.0);
-    let sh = Arc::clone(shared);
-    let spawned = std::thread::Builder::new()
-        .name("ndpipe-session".to_string())
-        .spawn(move || {
-            let result = serve_shared_session(&sh, stream);
-            match result {
-                Ok(()) => {}
-                // A version-skewed peer was told so and refused; that is
-                // the server working as designed, not a server fault.
-                Err(RpcError::ProtocolMismatch { .. }) => {}
-                Err(e) => {
-                    let mut slot = sh.first_error.lock();
-                    if slot.is_none() {
-                        *slot = Some(e);
+            if stopping {
+                // Refused sessions only linger to avoid an RST racing
+                // their Reject; on shutdown, flushed ones go now.
+                for slot in 0..self.sessions.len() {
+                    let flushed_refusal = matches!(
+                        self.sessions.get(slot).and_then(Option::as_ref),
+                        Some(s) if matches!(s.phase, Phase::Refused) && s.wpos >= s.wbuf.len()
+                    );
+                    if flushed_refusal {
+                        self.close_slot(slot, None);
                     }
                 }
+                if self.sessions.iter().all(Option::is_none) {
+                    return;
+                }
             }
-            sh.active.fetch_sub(1, Ordering::SeqCst);
-            sh.completed.fetch_add(1, Ordering::SeqCst);
-            sh.session_gauge(-1.0);
-        });
-    match spawned {
-        Ok(thread) => shared.sessions.lock().push(SessionSlot {
-            stream: conn,
-            thread,
-        }),
-        Err(_) => {
-            shared.active.fetch_sub(1, Ordering::SeqCst);
-            shared.session_gauge(-1.0);
+
+            // Build the poll set: wake pipe, listener, then one entry
+            // per session that wants readability or has bytes to flush.
+            let mut fds = vec![self.wake.poll_fd()];
+            let lidx = match &self.listener {
+                Some(l) => {
+                    fds.push(PollFd::new(l.as_raw_fd(), POLLIN));
+                    Some(fds.len() - 1)
+                }
+                None => None,
+            };
+            let base = fds.len();
+            let mut slots: Vec<usize> = Vec::new();
+            for (i, entry) in self.sessions.iter().enumerate() {
+                let Some(s) = entry else { continue };
+                let mut ev = 0i16;
+                if !s.read_closed {
+                    ev |= POLLIN;
+                }
+                if s.wpos < s.wbuf.len() {
+                    ev |= POLLOUT;
+                }
+                if ev == 0 {
+                    continue; // waiting only on the worker pool
+                }
+                fds.push(PollFd::new(s.stream.as_raw_fd(), ev));
+                slots.push(i);
+            }
+            let timeout = if self.batch_since.is_some() {
+                // The sub-millisecond batch window rounds up to poll's
+                // millisecond granularity.
+                Duration::from_millis(1)
+            } else {
+                IDLE_TICK
+            };
+            if poll_fds(&mut fds, timeout.as_millis() as i32).is_err() {
+                std::thread::sleep(Duration::from_millis(1));
+                continue;
+            }
+
+            if fds.first().is_some_and(|f| f.readable()) {
+                self.wake.drain();
+            }
+            self.drain_done();
+            if let Some(i) = lidx {
+                if fds.get(i).is_some_and(|f| f.readable()) {
+                    self.accept_new();
+                }
+            }
+            for (k, slot) in slots.iter().copied().enumerate() {
+                let Some(pf) = fds.get(base + k).copied() else {
+                    continue;
+                };
+                if pf.readable() {
+                    self.drive_read(slot);
+                }
+                if pf.writable() {
+                    self.drive_write(slot);
+                }
+                if pf.failed() && !pf.readable() {
+                    self.close_slot(slot, None);
+                }
+            }
+            self.sweep_idle();
+        }
+    }
+
+    /// Accepts everything the listener has queued.
+    fn accept_new(&mut self) {
+        loop {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nodelay(true);
+                    if stream.set_nonblocking(true).is_err() {
+                        continue; // socket already dead
+                    }
+                    let counted = self.live < self.shared.cfg.max_sessions;
+                    self.admit(stream, counted);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(_) => return, // transient; retry on the next readable
+            }
+        }
+    }
+
+    fn admit(&mut self, stream: TcpStream, counted: bool) {
+        let gen = self.next_gen;
+        self.next_gen += 1;
+        let mut s = Session {
+            stream,
+            gen,
+            phase: Phase::Greeting,
+            decoder: FrameDecoder::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            next_seq: 0,
+            next_flush: 0,
+            reorder: BTreeMap::new(),
+            inflight: 0,
+            read_closed: false,
+            close_after_flush: false,
+            counted,
+            last_activity: Instant::now(),
+        };
+        if counted {
+            self.live += 1;
+            // Release: pairs with the Acquire in `active_sessions` (see
+            // `Shared::active`).
+            self.shared.active.fetch_add(1, Ordering::Release);
+            self.shared.session_gauge(1.0);
+        } else {
+            // Over the cap: park the socket as an uncounted Refused
+            // session. It keeps draining inbound bytes so the close
+            // can't RST away the queued Reject, and it ends on peer EOF
+            // or the idle sweep.
+            s.phase = Phase::Refused;
+            match handshake_frame(&Handshake::Reject {
+                version: PROTOCOL_VERSION,
+                reason: "session cap reached".to_string(),
+            }) {
+                Ok(frame) => s.wbuf.extend_from_slice(&frame),
+                Err(_) => return, // tiny static frame; cannot exceed the cap
+            }
+            if let Fate::Closed(_) = try_write(&mut s) {
+                return; // peer already gone
+            }
+        }
+        let slot = match self.free.pop() {
+            Some(i) => i,
+            None => {
+                self.sessions.push(None);
+                self.sessions.len() - 1
+            }
+        };
+        if let Some(entry) = self.sessions.get_mut(slot) {
+            *entry = Some(s);
+        }
+    }
+
+    /// Pulls bytes off a readable session and walks every complete
+    /// frame. The session is detached from the slab for the duration so
+    /// nested `drain_done` calls (backpressure) can't alias it; replies
+    /// for it land in `stash` and replay on reattach.
+    fn drive_read(&mut self, slot: usize) {
+        let Some(mut s) = self.sessions.get_mut(slot).and_then(|e| e.take()) else {
+            return;
+        };
+        self.detached = Some((slot, s.gen));
+        let mut fate = Fate::Alive;
+        loop {
+            match s.stream.read(self.scratch.as_mut_slice()) {
+                Ok(0) => {
+                    s.read_closed = true;
+                    if s.inflight == 0 && s.reorder.is_empty() && s.wpos >= s.wbuf.len() {
+                        fate = Fate::Closed(None);
+                    } else {
+                        s.close_after_flush = true;
+                    }
+                    break;
+                }
+                Ok(n) => {
+                    s.last_activity = Instant::now();
+                    if matches!(s.phase, Phase::Refused) {
+                        continue; // drain and discard
+                    }
+                    s.decoder.feed(self.scratch.get(..n).unwrap_or(&[]));
+                    fate = self.process_frames(slot, &mut s);
+                    if !matches!(fate, Fate::Alive) {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    fate = Fate::Closed(Some(RpcError::Io(e)));
+                    break;
+                }
+            }
+        }
+        self.finish_session(slot, s, fate);
+    }
+
+    /// Reattaches (or destroys) a session after `drive_read`, replaying
+    /// any replies that completed while it was detached.
+    fn finish_session(&mut self, slot: usize, mut s: Session, fate: Fate) {
+        self.detached = None;
+        let stash = std::mem::take(&mut self.stash);
+        if let Fate::Closed(err) = fate {
+            drop(stash); // replies for a dead session are moot
+            self.destroy(slot, s, err);
+            return;
+        }
+        let mut went_idle = false;
+        for d in stash {
+            if d.gen == s.gen && apply_done(&mut s, d, &self.shared.registry) {
+                went_idle = true;
+            }
+        }
+        if went_idle {
+            self.busy = self.busy.saturating_sub(1);
+            self.update_pending_gauge();
+        }
+        match try_write(&mut s) {
+            Fate::Closed(err) => self.destroy(slot, s, err),
+            Fate::Alive => {
+                if let Some(entry) = self.sessions.get_mut(slot) {
+                    *entry = Some(s);
+                }
+            }
+        }
+    }
+
+    /// Decodes and acts on every complete frame buffered for `s`.
+    fn process_frames(&mut self, slot: usize, s: &mut Session) -> Fate {
+        loop {
+            if s.read_closed || matches!(s.phase, Phase::Refused) {
+                return Fate::Alive;
+            }
+            match s.decoder.next_frame() {
+                Ok(None) => return Fate::Alive,
+                Ok(Some((tag, payload))) => match s.phase {
+                    Phase::Greeting => match Handshake::decode_body(tag, &payload) {
+                        Ok(hs) => match greet(&hs, self.shared.store_id) {
+                            Ok(Greeting::Accepted(accept)) => match handshake_frame(&accept) {
+                                Ok(frame) => {
+                                    s.wbuf.extend_from_slice(&frame);
+                                    s.phase = Phase::Open;
+                                }
+                                Err(e) => return Fate::Closed(Some(e)),
+                            },
+                            Ok(Greeting::Refused(reject)) => match handshake_frame(&reject) {
+                                Ok(frame) => {
+                                    s.wbuf.extend_from_slice(&frame);
+                                    s.phase = Phase::Refused;
+                                }
+                                Err(e) => return Fate::Closed(Some(e)),
+                            },
+                            Err(e) => return Fate::Closed(Some(e)),
+                        },
+                        Err(e) => return Fate::Closed(Some(e)),
+                    },
+                    Phase::Open => {
+                        if telemetry::enabled() {
+                            self.shared
+                                .registry
+                                .counter(
+                                    "ndpipe_rpc_server_bytes_read_total",
+                                    "request bytes read off the wire",
+                                )
+                                .add((5 + payload.len()) as u64);
+                        }
+                        match Request::decode_body(tag, &payload) {
+                            Ok(req) => self.dispatch(slot, s, req),
+                            Err(RpcError::Protocol(msg)) => {
+                                // A malformed body inside a well-formed
+                                // frame gets a structured error reply;
+                                // the session survives.
+                                self.self_done(
+                                    s,
+                                    &Reply::Error(format!("bad request frame: {msg}")),
+                                    false,
+                                );
+                            }
+                            Err(e) => return Fate::Closed(Some(e)),
+                        }
+                    }
+                    Phase::Refused => return Fate::Alive,
+                },
+                Err(e) => {
+                    // Unframeable input (e.g. an oversized length
+                    // prefix): tell the peer, then end the session once
+                    // the error flushes.
+                    self.self_done(s, &Reply::Error(format!("protocol violation: {e}")), true);
+                    s.read_closed = true;
+                    record_first_error(&self.shared, e);
+                    return Fate::Alive;
+                }
+            }
+        }
+    }
+
+    /// Routes one decoded request: `Shutdown` is answered inline,
+    /// `Infer` joins the cross-session batch (when coalescing), and
+    /// everything else goes to the worker pool.
+    fn dispatch(&mut self, slot: usize, s: &mut Session, req: Request) {
+        let op = req.op_name();
+        if telemetry::enabled() {
+            self.shared
+                .registry
+                .counter_with(
+                    "ndpipe_rpc_server_requests_total",
+                    &[("op", op)],
+                    "requests handled by this store's RPC server",
+                )
+                .inc();
+        }
+        match req {
+            Request::Shutdown => {
+                if telemetry::enabled() {
+                    self.shared
+                        .registry
+                        .histogram_with(
+                            "ndpipe_rpc_server_op_seconds",
+                            &[("op", op)],
+                            "server-side handling latency per operation",
+                        )
+                        .observe(0.0);
+                }
+                s.read_closed = true;
+                self.self_done(s, &Reply::Ack, true);
+            }
+            Request::Infer { features } if self.shared.cfg.coalesce => {
+                let seq = s.next_seq;
+                s.next_seq += 1;
+                if s.inflight == 0 {
+                    self.busy += 1;
+                    self.update_pending_gauge();
+                }
+                s.inflight += 1;
+                self.pend_batch.push(BatchItem {
+                    slot,
+                    gen: s.gen,
+                    seq,
+                    t0: Instant::now(),
+                    features,
+                });
+                if self.batch_since.is_none() {
+                    self.batch_since = Some(Instant::now());
+                }
+                if self.pend_batch.len() >= self.shared.cfg.batch.max_batch.max(1) {
+                    self.fire_batch();
+                }
+            }
+            other => {
+                let seq = s.next_seq;
+                s.next_seq += 1;
+                if s.inflight == 0 {
+                    self.busy += 1;
+                    self.update_pending_gauge();
+                }
+                s.inflight += 1;
+                self.send_work(Work::One {
+                    slot,
+                    gen: s.gen,
+                    seq,
+                    t0: Instant::now(),
+                    req: other,
+                });
+            }
+        }
+    }
+
+    /// Queues an event-thread-generated reply directly into the
+    /// session's ordered flush stream (no worker round-trip).
+    fn self_done(&mut self, s: &mut Session, reply: &Reply, end: bool) {
+        let seq = s.next_seq;
+        s.next_seq += 1;
+        s.reorder.insert(
+            seq,
+            Flush {
+                frame: reply_frame(reply),
+                end,
+            },
+        );
+        flush_order(s, &self.shared.registry);
+    }
+
+    /// Ships the pending cross-session batch to the worker pool.
+    fn fire_batch(&mut self) {
+        self.batch_since = None;
+        if self.pend_batch.is_empty() {
+            return;
+        }
+        let items = std::mem::take(&mut self.pend_batch);
+        self.send_work(Work::Batch(items));
+    }
+
+    /// Enqueues work, draining finished replies while the queue is full
+    /// — the event thread keeps consuming its side of the pipeline, so
+    /// backpressure can't deadlock it against the worker pool.
+    fn send_work(&mut self, w: Work) {
+        let mut w = w;
+        loop {
+            match self.work.try_send(w) {
+                Ok(()) => return,
+                Err(TrySendError::Full(back)) => {
+                    w = back;
+                    self.drain_done();
+                    std::thread::yield_now();
+                }
+                Err(TrySendError::Disconnected(_)) => return, // teardown
+            }
+        }
+    }
+
+    fn drain_done(&mut self) {
+        while let Ok(d) = self.done_rx.try_recv() {
+            self.complete(d);
+        }
+    }
+
+    /// Routes one finished reply back to its session (or stashes it if
+    /// that session is detached in `drive_read`, or drops it if the
+    /// session died — the generation tag prevents misrouting to a slot's
+    /// next tenant).
+    fn complete(&mut self, d: Done) {
+        if let Some((slot, gen)) = self.detached {
+            if d.slot == slot && d.gen == gen {
+                self.stash.push(d);
+                return;
+            }
+        }
+        let slot = d.slot;
+        let (went_idle, fate) = match self.sessions.get_mut(slot).and_then(Option::as_mut) {
+            Some(s) if s.gen == d.gen => {
+                let went_idle = apply_done(s, d, &self.shared.registry);
+                (went_idle, try_write(s))
+            }
+            _ => return,
+        };
+        if went_idle {
+            self.busy = self.busy.saturating_sub(1);
+            self.update_pending_gauge();
+        }
+        if let Fate::Closed(err) = fate {
+            self.close_slot(slot, err);
+        }
+    }
+
+    fn drive_write(&mut self, slot: usize) {
+        let mut fate = Fate::Alive;
+        if let Some(s) = self.sessions.get_mut(slot).and_then(Option::as_mut) {
+            s.last_activity = Instant::now();
+            fate = try_write(s);
+        }
+        if let Fate::Closed(err) = fate {
+            self.close_slot(slot, err);
+        }
+    }
+
+    /// Closes sessions idle past the configured timeout (only ones with
+    /// no work in flight — a slow batch is not idleness).
+    fn sweep_idle(&mut self) {
+        let Some(limit) = self.shared.cfg.io_timeout else {
+            return;
+        };
+        let now = Instant::now();
+        for slot in 0..self.sessions.len() {
+            let timed_out = matches!(
+                self.sessions.get(slot).and_then(Option::as_ref),
+                Some(s) if s.inflight == 0
+                    && s.reorder.is_empty()
+                    && now.duration_since(s.last_activity) > limit
+            );
+            if timed_out {
+                self.close_slot(
+                    slot,
+                    Some(RpcError::Io(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        "session idle past io_timeout",
+                    ))),
+                );
+            }
+        }
+    }
+
+    fn close_slot(&mut self, slot: usize, err: Option<RpcError>) {
+        let Some(s) = self.sessions.get_mut(slot).and_then(|e| e.take()) else {
+            return;
+        };
+        self.destroy(slot, s, err);
+    }
+
+    /// The single exit point for a session: frees its slot and settles
+    /// every counter, so `ndpipe_rpc_sessions_active` always returns to
+    /// zero no matter how the session ended (including `abort`).
+    fn destroy(&mut self, slot: usize, s: Session, err: Option<RpcError>) {
+        self.free.push(slot);
+        if s.inflight > 0 {
+            self.busy = self.busy.saturating_sub(1);
+            self.update_pending_gauge();
+        }
+        if s.counted {
+            self.live = self.live.saturating_sub(1);
+            // Release decrement *before* the completed increment: an
+            // observer (Acquire) that sees `completed` move has already
+            // seen `active` drop, keeping `wait_idle`'s condition
+            // monotone. Pairs with the loads in `active_sessions` /
+            // `wait_idle`.
+            self.shared.active.fetch_sub(1, Ordering::Release);
+            self.shared.completed.fetch_add(1, Ordering::Release);
+            self.shared.session_gauge(-1.0);
+            if let Some(e) = err {
+                record_first_error(&self.shared, e);
+            }
+        }
+        drop(s); // the socket closes here
+    }
+
+    fn close_all(&mut self) {
+        for slot in 0..self.sessions.len() {
+            self.close_slot(slot, None);
+        }
+    }
+
+    fn update_pending_gauge(&self) {
+        if telemetry::enabled() {
+            self.shared
+                .registry
+                .gauge(
+                    "ndpipe_rpc_pending_sessions",
+                    "sessions with at least one request in flight",
+                )
+                .set(self.busy as f64);
         }
     }
 }
 
-/// One session over the shared store: handshake, then the request loop
-/// locking the store per-request (so parallel sessions interleave at
-/// request granularity instead of serializing whole sessions).
-fn serve_shared_session(shared: &Arc<Shared>, stream: TcpStream) -> Result<(), RpcError> {
-    stream.set_read_timeout(shared.cfg.io_timeout)?;
-    stream.set_write_timeout(shared.cfg.io_timeout)?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-    greet(&mut reader, &mut writer, shared.store_id)?;
-    session_loop(&shared.registry, &mut reader, &mut writer, |req| {
-        handle(&mut shared.store.lock(), req)
-    })
+/// Books one finished reply into a session: decrements inflight, queues
+/// the frame in sequence order, and flushes whatever became contiguous.
+/// Returns whether the session just went idle (for the pending gauge).
+fn apply_done(s: &mut Session, d: Done, registry: &telemetry::Registry) -> bool {
+    s.inflight = s.inflight.saturating_sub(1);
+    let went_idle = s.inflight == 0;
+    s.reorder.insert(
+        d.seq,
+        Flush {
+            frame: d.frame,
+            end: d.end,
+        },
+    );
+    flush_order(s, registry);
+    s.last_activity = Instant::now();
+    went_idle
+}
+
+/// Moves contiguously-sequenced replies from the reorder buffer into the
+/// write buffer: pipelined sessions always see replies in request order,
+/// however the worker pool interleaved them.
+fn flush_order(s: &mut Session, registry: &telemetry::Registry) {
+    while let Some(f) = s.reorder.remove(&s.next_flush) {
+        if telemetry::enabled() {
+            registry
+                .counter(
+                    "ndpipe_rpc_server_bytes_written_total",
+                    "reply bytes put on the wire",
+                )
+                .add(f.frame.len() as u64);
+        }
+        s.wbuf.extend_from_slice(&f.frame);
+        if f.end {
+            s.close_after_flush = true;
+            s.read_closed = true;
+        }
+        s.next_flush += 1;
+    }
+}
+
+/// Pushes as much buffered output as the socket will take, and decides
+/// whether the session is finished (everything flushed and either side
+/// closed it).
+fn try_write(s: &mut Session) -> Fate {
+    loop {
+        let pending = s.wbuf.get(s.wpos..).unwrap_or(&[]);
+        if pending.is_empty() {
+            s.wbuf.clear();
+            s.wpos = 0;
+            let drained = s.inflight == 0 && s.reorder.is_empty();
+            if drained
+                && (s.close_after_flush || (s.read_closed && !matches!(s.phase, Phase::Refused)))
+            {
+                return Fate::Closed(None);
+            }
+            return Fate::Alive;
+        }
+        match s.stream.write(pending) {
+            Ok(0) => {
+                return Fate::Closed(Some(RpcError::Io(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "peer stopped accepting bytes",
+                ))))
+            }
+            Ok(n) => s.wpos += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Fate::Alive,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Fate::Closed(Some(RpcError::Io(e))),
+        }
+    }
+}
+
+/// Encodes a handshake as one wire frame.
+fn handshake_frame(hs: &Handshake) -> Result<Vec<u8>, RpcError> {
+    let (tag, payload) = hs.encode_body();
+    frame_bytes(tag, &payload)
+}
+
+/// Encodes a reply as one wire frame; a reply too large for the frame
+/// cap degrades to a structured error frame.
+fn reply_frame(reply: &Reply) -> Vec<u8> {
+    let (tag, payload) = reply.encode_body();
+    match frame_bytes(tag, &payload) {
+        Ok(frame) => frame,
+        Err(_) => {
+            let (tag, payload) = Reply::Error("reply exceeded frame cap".to_string()).encode_body();
+            frame_bytes(tag, &payload).unwrap_or_default()
+        }
+    }
+}
+
+/// Worker-pool thread: executes store operations and batched inference,
+/// then hands encoded reply frames back to the event thread.
+fn worker_main(shared: &Arc<Shared>, work: &Receiver<Work>, done: &Sender<Done>, wake: &WakePipe) {
+    while let Ok(w) = work.recv() {
+        match w {
+            Work::One {
+                slot,
+                gen,
+                seq,
+                t0,
+                req,
+            } => {
+                let op = req.op_name();
+                let reply = handle(&shared.store, req);
+                let end = reply.is_none();
+                let frame = reply_frame(&reply.unwrap_or(Reply::Ack));
+                if telemetry::enabled() {
+                    shared
+                        .registry
+                        .histogram_with(
+                            "ndpipe_rpc_server_op_seconds",
+                            &[("op", op)],
+                            "server-side handling latency per operation",
+                        )
+                        .observe(t0.elapsed().as_secs_f64());
+                }
+                if done
+                    .send(Done {
+                        slot,
+                        gen,
+                        seq,
+                        frame,
+                        end,
+                    })
+                    .is_err()
+                {
+                    return; // event loop is gone
+                }
+                wake.wake();
+            }
+            Work::Batch(items) => {
+                for d in exec_batch(shared, items) {
+                    if done.send(d).is_err() {
+                        return;
+                    }
+                }
+                wake.wake();
+            }
+        }
+    }
+}
+
+/// Runs one coalesced cross-session inference batch: a single forward
+/// pass over every well-dimensioned row, demultiplexed back into one
+/// reply per originating session. Rows with the wrong width get a
+/// structured per-row error without poisoning the rest of the batch.
+fn exec_batch(shared: &Arc<Shared>, items: Vec<BatchItem>) -> Vec<Done> {
+    let snapshot = shared.store.read().model_snapshot();
+    let Some(model) = snapshot else {
+        return items
+            .into_iter()
+            .map(|it| Done {
+                slot: it.slot,
+                gen: it.gen,
+                seq: it.seq,
+                frame: reply_frame(&Reply::Error("no model installed".to_string())),
+                end: false,
+            })
+            .collect();
+    };
+    let dim = model.input_dim();
+    let mut rows: Vec<f32> = Vec::with_capacity(items.len() * dim);
+    let mut row_of: Vec<Option<usize>> = Vec::with_capacity(items.len());
+    let mut n = 0usize;
+    for it in &items {
+        if it.features.len() == dim {
+            row_of.push(Some(n));
+            rows.extend_from_slice(&it.features);
+            n += 1;
+        } else {
+            row_of.push(None);
+        }
+    }
+    let labels: Vec<u32> = if n > 0 {
+        let x = Tensor::from_vec(rows, &[n, dim]);
+        let logits = model.forward(&x);
+        (0..n).map(|r| row_argmax(&logits, r) as u32).collect()
+    } else {
+        Vec::new()
+    };
+    if telemetry::enabled() {
+        shared
+            .registry
+            .histogram(
+                "ndpipe_rpc_batch_size",
+                "rows per coalesced cross-session inference batch",
+            )
+            .observe(items.len() as f64);
+        if items.len() > 1 {
+            shared
+                .registry
+                .counter(
+                    "ndpipe_online_coalesced_total",
+                    "inference rows served by cross-session coalesced batches",
+                )
+                .add(items.len() as u64);
+        }
+        let h = shared.registry.histogram_with(
+            "ndpipe_rpc_server_op_seconds",
+            &[("op", "infer")],
+            "server-side handling latency per operation",
+        );
+        for it in &items {
+            h.observe(it.t0.elapsed().as_secs_f64());
+        }
+    }
+    items
+        .into_iter()
+        .zip(row_of)
+        .map(|(it, row)| {
+            let reply = match row {
+                Some(r) => match labels.get(r) {
+                    Some(l) => Reply::Label(*l),
+                    None => Reply::Error("batch row missing".to_string()),
+                },
+                None => Reply::Error(format!(
+                    "bad feature dim: got {}, model wants {dim}",
+                    it.features.len()
+                )),
+            };
+            Done {
+                slot: it.slot,
+                gen: it.gen,
+                seq: it.seq,
+                frame: reply_frame(&reply),
+                end: false,
+            }
+        })
+        .collect()
 }
 
 /// Binds `addr`, serves Tuner sessions until the first one completes,
 /// then shuts down and returns the store. Reports the bound address via
-/// `on_ready` before serving (useful for ephemeral ports).
+/// `on_ready` before serving (useful with ephemeral ports).
 ///
 /// # Errors
 ///
@@ -538,6 +1512,7 @@ pub fn serve_pipestore_once(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rpc::wire::MAX_FRAME;
     use ndpipe_data::{ClassUniverse, LabeledDataset};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -549,15 +1524,49 @@ mod tests {
         PipeStore::new(0, LabeledDataset::new(rows, labels, 3))
     }
 
+    fn shared_for(store: PipeStore) -> Arc<Shared> {
+        let registry = Arc::clone(store.metrics());
+        Arc::new(Shared {
+            store: RwLock::new(store),
+            registry,
+            store_id: 0,
+            cfg: ServerConfig::default(),
+            stop: AtomicBool::new(false),
+            halt: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            completed: AtomicUsize::new(0),
+            first_error: Mutex::new(None),
+        })
+    }
+
+    fn decode_done(d: &Done) -> Reply {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&d.frame);
+        let (tag, payload) = dec
+            .next_frame()
+            .expect("frame decodes")
+            .expect("one whole frame");
+        Reply::decode_body(tag, &payload).expect("reply decodes")
+    }
+
     #[test]
     fn handle_rejects_work_without_model() {
         let mut rng = StdRng::seed_from_u64(1);
-        let mut s = store(&mut rng);
-        match handle(&mut s, Request::ExtractFeatures { run: 0, n_run: 1 }) {
+        let s = RwLock::new(store(&mut rng));
+        match handle(&s, Request::ExtractFeatures { run: 0, n_run: 1 }) {
             Some(Reply::Error(msg)) => assert!(msg.contains("no model")),
             other => panic!("unexpected {other:?}"),
         }
-        match handle(&mut s, Request::OfflineInfer) {
+        match handle(&s, Request::OfflineInfer) {
+            Some(Reply::Error(msg)) => assert!(msg.contains("no model")),
+            other => panic!("unexpected {other:?}"),
+        }
+        match handle(
+            &s,
+            Request::Infer {
+                features: vec![0.0; 8],
+            },
+        ) {
             Some(Reply::Error(msg)) => assert!(msg.contains("no model")),
             other => panic!("unexpected {other:?}"),
         }
@@ -566,8 +1575,8 @@ mod tests {
     #[test]
     fn handle_describe_and_install() {
         let mut rng = StdRng::seed_from_u64(2);
-        let mut s = store(&mut rng);
-        match handle(&mut s, Request::Describe) {
+        let s = RwLock::new(store(&mut rng));
+        match handle(&s, Request::Describe) {
             Some(Reply::ShardInfo { examples, classes }) => {
                 assert_eq!(examples, 9);
                 assert_eq!(classes, 3);
@@ -576,10 +1585,10 @@ mod tests {
         }
         let model = Mlp::new(&[8, 6, 3], 1, &mut rng);
         assert_eq!(
-            handle(&mut s, Request::InstallModel(model.to_bytes())),
+            handle(&s, Request::InstallModel(model.to_bytes())),
             Some(Reply::Ack)
         );
-        match handle(&mut s, Request::ExtractFeatures { run: 0, n_run: 3 }) {
+        match handle(&s, Request::ExtractFeatures { run: 0, n_run: 3 }) {
             Some(Reply::Features { features, labels }) => {
                 assert_eq!(features.dims()[0], labels.len());
                 assert_eq!(features.dims()[1], 6);
@@ -591,17 +1600,17 @@ mod tests {
     #[test]
     fn handle_rejects_garbage_blobs() {
         let mut rng = StdRng::seed_from_u64(3);
-        let mut s = store(&mut rng);
+        let s = RwLock::new(store(&mut rng));
         assert!(matches!(
-            handle(&mut s, Request::InstallModel(vec![0, 1, 2])),
+            handle(&s, Request::InstallModel(vec![0, 1, 2])),
             Some(Reply::Error(_))
         ));
         assert!(matches!(
-            handle(&mut s, Request::ApplyDelta(vec![1])),
+            handle(&s, Request::ApplyDelta(vec![1])),
             Some(Reply::Error(_))
         ));
         assert!(matches!(
-            handle(&mut s, Request::ExtractFeatures { run: 5, n_run: 3 }),
+            handle(&s, Request::ExtractFeatures { run: 5, n_run: 3 }),
             Some(Reply::Error(_))
         ));
     }
@@ -610,15 +1619,15 @@ mod tests {
     fn handle_metrics_returns_store_snapshot() {
         telemetry::set_enabled(true);
         let mut rng = StdRng::seed_from_u64(5);
-        let mut s = store(&mut rng);
+        let s = RwLock::new(store(&mut rng));
         let model = Mlp::new(&[8, 6, 3], 1, &mut rng);
         assert_eq!(
-            handle(&mut s, Request::InstallModel(model.to_bytes())),
+            handle(&s, Request::InstallModel(model.to_bytes())),
             Some(Reply::Ack)
         );
         // An extraction run populates NPE metrics in the store registry.
-        let _ = handle(&mut s, Request::ExtractFeatures { run: 0, n_run: 1 });
-        match handle(&mut s, Request::Metrics) {
+        let _ = handle(&s, Request::ExtractFeatures { run: 0, n_run: 1 });
+        match handle(&s, Request::Metrics) {
             Some(Reply::Metrics(snap)) => {
                 assert!(!snap.is_empty(), "store registry must have NPE metrics");
                 assert!(snap.find("ndpipe_npe_run_wall_seconds").is_some());
@@ -630,28 +1639,57 @@ mod tests {
     #[test]
     fn shutdown_ends_session() {
         let mut rng = StdRng::seed_from_u64(4);
-        let mut s = store(&mut rng);
-        assert_eq!(handle(&mut s, Request::Shutdown), None);
+        let s = RwLock::new(store(&mut rng));
+        assert_eq!(handle(&s, Request::Shutdown), None);
+    }
+
+    #[test]
+    fn infer_matches_direct_forward() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let st = store(&mut rng);
+        let model = Mlp::new(&[8, 6, 3], 1, &mut rng);
+        let row = st.shard().features().row(0);
+        let features = row.data().to_vec();
+        let expected = model
+            .forward(&row.reshape(&[1, 8]).expect("row reshape"))
+            .argmax() as u32;
+        let s = RwLock::new(st);
+        assert_eq!(
+            handle(&s, Request::InstallModel(model.to_bytes())),
+            Some(Reply::Ack)
+        );
+        assert_eq!(
+            handle(&s, Request::Infer { features }),
+            Some(Reply::Label(expected))
+        );
+        // Wrong width is an application error, not a session fault.
+        match handle(
+            &s,
+            Request::Infer {
+                features: vec![0.0; 3],
+            },
+        ) {
+            Some(Reply::Error(msg)) => assert!(msg.contains("bad feature dim")),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]
     fn greet_accepts_matching_version() {
-        let mut hello = Vec::new();
-        write_handshake(
-            &mut hello,
+        match greet(
             &Handshake::Hello {
                 version: PROTOCOL_VERSION,
                 features: 0,
             },
-        )
-        .expect("encode hello");
-        let mut out = Vec::new();
-        greet(&mut hello.as_slice(), &mut out, 42).expect("greet");
-        match read_handshake(&mut out.as_slice()).expect("decode accept") {
-            Handshake::Accept {
-                version, store_id, ..
-            } => {
+            42,
+        ) {
+            Ok(Greeting::Accepted(Handshake::Accept {
+                version,
+                features,
+                store_id,
+            })) => {
                 assert_eq!(version, PROTOCOL_VERSION);
+                assert_eq!(features, SERVER_FEATURES);
                 assert_eq!(store_id, 42);
             }
             other => panic!("expected accept, got {other:?}"),
@@ -659,31 +1697,141 @@ mod tests {
     }
 
     #[test]
-    fn greet_rejects_version_skew_with_structured_error() {
-        let mut hello = Vec::new();
-        write_handshake(
-            &mut hello,
+    fn greet_rejects_version_skew_with_structured_reject() {
+        match greet(
             &Handshake::Hello {
                 version: 99,
                 features: 0,
             },
-        )
-        .expect("encode hello");
-        let mut out = Vec::new();
-        match greet(&mut hello.as_slice(), &mut out, 1) {
-            Err(RpcError::ProtocolMismatch { ours, theirs }) => {
-                assert_eq!(ours, PROTOCOL_VERSION);
-                assert_eq!(theirs, 99);
-            }
-            other => panic!("expected mismatch, got {other:?}"),
-        }
-        // And the peer was told, with our version so it can diagnose.
-        match read_handshake(&mut out.as_slice()).expect("decode reject") {
-            Handshake::Reject { version, reason } => {
+            1,
+        ) {
+            Ok(Greeting::Refused(Handshake::Reject { version, reason })) => {
                 assert_eq!(version, PROTOCOL_VERSION);
                 assert!(reason.contains("protocol"));
             }
             other => panic!("expected reject, got {other:?}"),
+        }
+        // Only clients greet first.
+        assert!(greet(
+            &Handshake::Accept {
+                version: PROTOCOL_VERSION,
+                features: 0,
+                store_id: 0
+            },
+            1
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn exec_batch_without_model_errors_every_row() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let shared = shared_for(store(&mut rng));
+        let items = vec![
+            BatchItem {
+                slot: 0,
+                gen: 1,
+                seq: 0,
+                t0: Instant::now(),
+                features: vec![0.0; 8],
+            },
+            BatchItem {
+                slot: 3,
+                gen: 9,
+                seq: 2,
+                t0: Instant::now(),
+                features: vec![0.0; 8],
+            },
+        ];
+        let dones = exec_batch(&shared, items);
+        assert_eq!(dones.len(), 2);
+        assert_eq!((dones[0].slot, dones[0].gen, dones[0].seq), (0, 1, 0));
+        assert_eq!((dones[1].slot, dones[1].gen, dones[1].seq), (3, 9, 2));
+        for d in &dones {
+            match decode_done(d) {
+                Reply::Error(msg) => assert!(msg.contains("no model")),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn exec_batch_demuxes_and_matches_serial_path() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut st = store(&mut rng);
+        let model = Mlp::new(&[8, 6, 3], 1, &mut rng);
+        st.install_model(model);
+        let rows: Vec<Vec<f32>> = (0..4)
+            .map(|i| st.shard().features().row(i).data().to_vec())
+            .collect();
+        let expected: Vec<u32> = rows
+            .iter()
+            .map(|r| {
+                let m = st.model_snapshot().expect("model installed");
+                match classify_row(&m, r) {
+                    Reply::Label(l) => l,
+                    other => panic!("unexpected {other:?}"),
+                }
+            })
+            .collect();
+        let shared = shared_for(st);
+        let mut items: Vec<BatchItem> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| BatchItem {
+                slot: i,
+                gen: i as u64,
+                seq: 7,
+                t0: Instant::now(),
+                features: r.clone(),
+            })
+            .collect();
+        // One malformed row in the middle must not poison the batch.
+        items.insert(
+            2,
+            BatchItem {
+                slot: 99,
+                gen: 0,
+                seq: 0,
+                t0: Instant::now(),
+                features: vec![1.0; 5],
+            },
+        );
+        let dones = exec_batch(&shared, items);
+        assert_eq!(dones.len(), 5);
+        let mut label_idx = 0usize;
+        for d in &dones {
+            if d.slot == 99 {
+                match decode_done(d) {
+                    Reply::Error(msg) => assert!(msg.contains("bad feature dim")),
+                    other => panic!("unexpected {other:?}"),
+                }
+            } else {
+                match decode_done(d) {
+                    Reply::Label(l) => assert_eq!(l, expected[label_idx]),
+                    other => panic!("unexpected {other:?}"),
+                }
+                label_idx += 1;
+            }
+        }
+        assert_eq!(label_idx, 4);
+    }
+
+    #[test]
+    fn reply_frame_oversize_degrades_to_error_frame() {
+        // A reply bigger than MAX_FRAME must yield a decodable error
+        // frame, not a panic or an empty write.
+        let huge = Reply::Error("x".repeat(MAX_FRAME + 1));
+        let frame = reply_frame(&huge);
+        let mut dec = FrameDecoder::new();
+        dec.feed(&frame);
+        let (tag, payload) = dec
+            .next_frame()
+            .expect("frame decodes")
+            .expect("one whole frame");
+        match Reply::decode_body(tag, &payload).expect("reply decodes") {
+            Reply::Error(msg) => assert!(msg.contains("frame cap")),
+            other => panic!("unexpected {other:?}"),
         }
     }
 }

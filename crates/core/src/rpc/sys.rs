@@ -1,0 +1,252 @@
+//! Minimal readiness shim over `poll(2)` and a self-pipe, declared via
+//! `extern "C"` so the event-driven RPC server needs no new crates.
+//!
+//! Scope is deliberately tiny: one safe [`poll`] wrapper that retries
+//! `EINTR`, the [`PollFd`] ABI struct, and a [`WakePipe`] the worker
+//! pool uses to kick the event thread out of a blocking poll when a
+//! finished reply is ready to flush. Everything else (nonblocking
+//! sockets, accepts, reads, writes) goes through std's `TcpListener` /
+//! `TcpStream` with `set_nonblocking(true)`.
+
+use std::io;
+use std::os::fd::RawFd;
+
+/// `struct pollfd` from `<poll.h>`; layout is fixed by the C ABI.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    /// File descriptor to watch (negative entries are ignored by the
+    /// kernel, which we use to keep slab slots stable).
+    pub fd: i32,
+    /// Requested events ([`POLLIN`] / [`POLLOUT`]).
+    pub events: i16,
+    /// Kernel-reported events.
+    pub revents: i16,
+}
+
+/// Readable (or a peer hangup pending a final read).
+pub const POLLIN: i16 = 0x001;
+/// Writable without blocking.
+pub const POLLOUT: i16 = 0x004;
+/// Error condition (always reported, never requested).
+pub const POLLERR: i16 = 0x008;
+/// Peer hung up (always reported, never requested).
+pub const POLLHUP: i16 = 0x010;
+/// Invalid fd (always reported, never requested).
+pub const POLLNVAL: i16 = 0x020;
+
+#[cfg(target_os = "linux")]
+const O_NONBLOCK: i32 = 0x800;
+#[cfg(target_os = "linux")]
+const O_CLOEXEC: i32 = 0x80000;
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+    #[cfg(target_os = "linux")]
+    fn pipe2(fds: *mut i32, flags: i32) -> i32;
+    #[cfg(not(target_os = "linux"))]
+    fn pipe(fds: *mut i32) -> i32;
+    #[cfg(not(target_os = "linux"))]
+    fn fcntl(fd: i32, cmd: i32, arg: i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    fn close(fd: i32) -> i32;
+}
+
+impl PollFd {
+    /// A descriptor watched for `events`.
+    #[must_use]
+    pub fn new(fd: RawFd, events: i16) -> Self {
+        Self {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// A slab placeholder the kernel skips (negative fd).
+    #[must_use]
+    pub fn unused() -> Self {
+        Self {
+            fd: -1,
+            events: 0,
+            revents: 0,
+        }
+    }
+
+    /// Kernel reported readable input.
+    #[must_use]
+    pub fn readable(&self) -> bool {
+        self.revents & POLLIN != 0
+    }
+
+    /// Kernel reported writable output.
+    #[must_use]
+    pub fn writable(&self) -> bool {
+        self.revents & POLLOUT != 0
+    }
+
+    /// Kernel reported an error, hangup, or invalid descriptor; the
+    /// session should be drained and closed.
+    #[must_use]
+    pub fn failed(&self) -> bool {
+        self.revents & (POLLERR | POLLHUP | POLLNVAL) != 0
+    }
+}
+
+/// Blocks until a watched descriptor is ready or `timeout_ms` elapses
+/// (`-1` = wait forever). Returns the number of ready descriptors;
+/// `0` on timeout. `EINTR` is retried internally — signal delivery must
+/// not wake the event loop spuriously into an error path.
+///
+/// # Errors
+///
+/// Any `poll(2)` failure other than `EINTR`.
+pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    loop {
+        // SAFETY: `fds` is a valid, exclusively-borrowed slice of
+        // `#[repr(C)]` pollfd records; the kernel writes only `revents`
+        // within the slice bounds given by `len()`.
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() == io::ErrorKind::Interrupted {
+            continue;
+        }
+        return Err(err);
+    }
+}
+
+/// Self-pipe for cross-thread wakeups: workers [`WakePipe::wake`] after
+/// queueing a finished reply, the event thread polls `read_fd` alongside
+/// the sockets and [`WakePipe::drain`]s it before scanning the done
+/// queue. Both ends are nonblocking, so a full pipe degrades to "wakeup
+/// already pending" instead of blocking a worker.
+#[derive(Debug)]
+pub struct WakePipe {
+    read_fd: RawFd,
+    write_fd: RawFd,
+}
+
+impl WakePipe {
+    /// Opens the pipe with both ends nonblocking (and close-on-exec
+    /// where the platform supports it atomically).
+    ///
+    /// # Errors
+    ///
+    /// The underlying `pipe2`/`pipe` syscall failing (fd exhaustion).
+    pub fn new() -> io::Result<Self> {
+        let mut fds = [-1i32; 2];
+        #[cfg(target_os = "linux")]
+        // SAFETY: `fds` is a valid 2-element array; pipe2 writes exactly
+        // two descriptors on success.
+        let rc = unsafe { pipe2(fds.as_mut_ptr(), O_NONBLOCK | O_CLOEXEC) };
+        #[cfg(not(target_os = "linux"))]
+        // SAFETY: as above for pipe(2); nonblocking is set separately
+        // below via fcntl.
+        let rc = unsafe {
+            let rc = pipe(fds.as_mut_ptr());
+            if rc == 0 {
+                const F_SETFL: i32 = 4;
+                const O_NONBLOCK_PORTABLE: i32 = 0x4;
+                for fd in fds {
+                    fcntl(fd, F_SETFL, O_NONBLOCK_PORTABLE);
+                }
+            }
+            rc
+        };
+        if rc != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let [read_fd, write_fd] = fds;
+        Ok(Self { read_fd, write_fd })
+    }
+
+    /// The readable end, for registration in the poll set.
+    #[must_use]
+    pub fn poll_fd(&self) -> PollFd {
+        PollFd::new(self.read_fd, POLLIN)
+    }
+
+    /// Kicks the event thread. Best-effort: a full pipe already implies
+    /// a pending wakeup, and a torn-down pipe means the loop is gone.
+    pub fn wake(&self) {
+        let byte = [1u8];
+        // SAFETY: writing one byte from a live stack buffer to an fd we
+        // own; nonblocking, so this cannot park the calling worker.
+        let _ = unsafe { write(self.write_fd, byte.as_ptr(), 1) };
+    }
+
+    /// Swallows all pending wakeup bytes (call once per poll wakeup).
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        loop {
+            // SAFETY: reading into a live stack buffer of the stated
+            // length from an fd we own; nonblocking read returns -1 with
+            // EAGAIN when the pipe is empty.
+            let n = unsafe { read(self.read_fd, buf.as_mut_ptr(), buf.len()) };
+            if n < buf.len() as isize {
+                return;
+            }
+        }
+    }
+}
+
+impl Drop for WakePipe {
+    fn drop(&mut self) {
+        // SAFETY: closing descriptors this struct exclusively owns.
+        unsafe {
+            close(self.read_fd);
+            close(self.write_fd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wake_then_drain_roundtrip() {
+        let p = WakePipe::new().expect("pipe");
+        let mut fds = [p.poll_fd()];
+        // Nothing pending: zero-timeout poll reports nothing ready.
+        assert_eq!(poll_fds(&mut fds, 0).expect("poll"), 0);
+        p.wake();
+        p.wake();
+        let mut fds = [p.poll_fd()];
+        assert_eq!(poll_fds(&mut fds, 1000).expect("poll"), 1);
+        assert!(fds[0].readable());
+        p.drain();
+        let mut fds = [p.poll_fd()];
+        assert_eq!(
+            poll_fds(&mut fds, 0).expect("poll"),
+            0,
+            "drain emptied pipe"
+        );
+    }
+
+    #[test]
+    fn poll_times_out_on_silence() {
+        let p = WakePipe::new().expect("pipe");
+        let mut fds = [p.poll_fd()];
+        let t0 = std::time::Instant::now();
+        assert_eq!(poll_fds(&mut fds, 20).expect("poll"), 0);
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(15));
+    }
+
+    #[test]
+    fn wake_from_another_thread_unblocks_poll() {
+        let p = std::sync::Arc::new(WakePipe::new().expect("pipe"));
+        let p2 = std::sync::Arc::clone(&p);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            p2.wake();
+        });
+        let mut fds = [p.poll_fd()];
+        assert_eq!(poll_fds(&mut fds, 5000).expect("poll"), 1);
+        h.join().expect("waker thread");
+    }
+}

@@ -137,8 +137,7 @@ impl NdPipeSystem {
         trainer.fit(&mut model, &train_set, None, 0, rng);
 
         let tuner = Tuner::new(model, config.train);
-        let online =
-            OnlineInferenceServer::new(tuner.model().clone(), 8, config.preproc_bytes);
+        let online = OnlineInferenceServer::new(tuner.model().clone(), 8, config.preproc_bytes);
         let mut system = NdPipeSystem {
             stores: Vec::new(),
             assignments: Vec::new(),
@@ -218,10 +217,7 @@ impl NdPipeSystem {
                 .iter()
                 .map(|&i| self.scenario.pool_item(i).1.clone())
                 .collect();
-            let labels: Vec<usize> = idx
-                .iter()
-                .map(|&i| self.scenario.pool_item(i).0)
-                .collect();
+            let labels: Vec<usize> = idx.iter().map(|&i| self.scenario.pool_item(i).0).collect();
             let shard = LabeledDataset::new(rows, labels, classes);
             let mut store = PipeStore::new(sid, shard);
             store.install_model(self.tuner.model().clone());
@@ -257,10 +253,9 @@ impl NdPipeSystem {
         let model = self.tuner.model();
         for i in 0..self.scenario.pool_size() {
             let (_, x) = self.scenario.pool_item(i);
-            let logits = model.forward(
-                &x.reshape(&[1, x.len()]).expect("row reshape"),
-            );
-            self.labeldb.put(PhotoId(i as u64), logits.argmax(), version);
+            let logits = model.forward(&x.reshape(&[1, x.len()]).expect("row reshape"));
+            self.labeldb
+                .put(PhotoId(i as u64), logits.argmax(), version);
         }
     }
 
@@ -373,7 +368,8 @@ mod tests {
 
     fn boot(seed: u64) -> (NdPipeSystem, StdRng) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let sys = NdPipeSystem::bootstrap(SystemConfig::small_test(), DatasetSpec::tiny(), &mut rng);
+        let sys =
+            NdPipeSystem::bootstrap(SystemConfig::small_test(), DatasetSpec::tiny(), &mut rng);
         (sys, rng)
     }
 

@@ -75,9 +75,9 @@ impl Tuner {
             let mut sum = 0.0f32;
             let mut n = 0;
             for (x, y) in shuffled.batches(self.config.batch) {
-                sum += self
-                    .model
-                    .tune_step_on_features(&x, y, self.config.lr, self.config.momentum);
+                sum +=
+                    self.model
+                        .tune_step_on_features(&x, y, self.config.lr, self.config.momentum);
                 n += 1;
             }
             last = sum / n.max(1) as f32;

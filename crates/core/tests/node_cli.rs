@@ -49,7 +49,15 @@ fn two_pipestores_and_a_tuner_across_processes() {
     for attempt in 0..10 {
         let output = node()
             .args([
-                "tuner", "--connect", &connect, "--seed", "7", "--runs", "2", "--epochs", "8",
+                "tuner",
+                "--connect",
+                &connect,
+                "--seed",
+                "7",
+                "--runs",
+                "2",
+                "--epochs",
+                "8",
             ])
             .output()
             .expect("run tuner");

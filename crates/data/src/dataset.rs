@@ -441,9 +441,8 @@ mod tests {
         // Every (feature, label) pair in the shuffle exists in the source.
         for i in 0..s.len() {
             let row = s.features().row(i);
-            let found = (0..d.len()).any(|j| {
-                d.features().row(j) == row && d.labels()[j] == s.labels()[i]
-            });
+            let found =
+                (0..d.len()).any(|j| d.features().row(j) == row && d.labels()[j] == s.labels()[i]);
             assert!(found, "row {i} lost its label");
         }
     }

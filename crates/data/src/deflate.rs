@@ -187,10 +187,7 @@ impl<'a> BitReader<'a> {
     }
 
     fn read_raw(&mut self, n: usize) -> Result<&'a [u8], DeflateError> {
-        let end = self
-            .pos
-            .checked_add(n)
-            .ok_or(DeflateError::UnexpectedEof)?;
+        let end = self.pos.checked_add(n).ok_or(DeflateError::UnexpectedEof)?;
         let s = self
             .input
             .get(self.pos..end)
@@ -609,9 +606,7 @@ fn decode_fixed_block(r: &mut BitReader<'_>, out: &mut Vec<u8>) -> Result<(), De
             0..=255 => out.push(sym as u8),
             256 => return Ok(()),
             257..=285 => {
-                let &(base, extra) = LENGTH_TABLE
-                    .get(sym - 257)
-                    .ok_or(DeflateError::BadSymbol)?;
+                let &(base, extra) = LENGTH_TABLE.get(sym - 257).ok_or(DeflateError::BadSymbol)?;
                 let len = base as usize + r.read_bits(extra as u32)? as usize;
                 // Distance: 5-bit fixed code, MSB-first.
                 let mut dcode = 0u32;
@@ -695,7 +690,10 @@ pub fn compress_chunked_with(data: &[u8], chunk_size: usize, threads: usize) -> 
         return compress(data);
     }
     let chunks: Vec<&[u8]> = data.chunks(chunk_size).collect();
-    assert!(chunks.len() <= u32::MAX as usize, "too many chunks for frame directory");
+    assert!(
+        chunks.len() <= u32::MAX as usize,
+        "too many chunks for frame directory"
+    );
     let mut packed: Vec<Vec<u8>> = vec![Vec::new(); chunks.len()];
     let workers = threads.clamp(1, chunks.len());
     if workers == 1 {
@@ -811,12 +809,16 @@ pub fn decompress_framed_with(data: &[u8], threads: usize) -> Result<Vec<u8>, De
         results.resize_with(count, || Ok(Vec::new()));
         let per = count.div_ceil(workers);
         let run_result = {
-            let bands: Vec<std::sync::Mutex<(&mut [Result<Vec<u8>, DeflateError>], &[(usize, usize, usize)])>> =
-                results
-                    .chunks_mut(per)
-                    .zip(entries.chunks(per))
-                    .map(std::sync::Mutex::new)
-                    .collect();
+            let bands: Vec<
+                std::sync::Mutex<(
+                    &mut [Result<Vec<u8>, DeflateError>],
+                    &[(usize, usize, usize)],
+                )>,
+            > = results
+                .chunks_mut(per)
+                .zip(entries.chunks(per))
+                .map(std::sync::Mutex::new)
+                .collect();
             tensor::pool::run(workers, bands.len(), &|t| {
                 if let Some(slot) = bands.get(t) {
                     let mut guard = slot
@@ -934,10 +936,7 @@ mod tests {
     fn corrupt_stored_length_detected() {
         let mut c = compress_stored(b"abcdef");
         c[2] ^= 0xFF; // flip NLEN
-        assert_eq!(
-            decompress(&c),
-            Err(DeflateError::StoredLengthMismatch)
-        );
+        assert_eq!(decompress(&c), Err(DeflateError::StoredLengthMismatch));
     }
 
     #[test]
@@ -995,14 +994,17 @@ mod tests {
     fn chunked_small_input_is_plain_deflate() {
         let data = b"fits in one chunk".to_vec();
         let framed = compress_chunked_with(&data, DEFAULT_CHUNK_SIZE, 4);
-        assert_eq!(framed, compress(&data), "single-chunk output must be unframed");
+        assert_eq!(
+            framed,
+            compress(&data),
+            "single-chunk output must be unframed"
+        );
         assert_eq!(decompress_framed(&framed).unwrap(), data);
     }
 
     #[test]
     fn chunked_roundtrip_multi_chunk() {
-        let data: Vec<u8> = b"NDPipe offloads feature extraction to PipeStores. "
-            .repeat(3000);
+        let data: Vec<u8> = b"NDPipe offloads feature extraction to PipeStores. ".repeat(3000);
         for threads in [1, 2, 4] {
             let framed = compress_chunked_with(&data, 8 * 1024, threads);
             assert_eq!(framed[..4], FRAME_MAGIC);

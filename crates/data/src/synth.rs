@@ -57,14 +57,17 @@ impl ClassUniverse {
         noise_sigma: f32,
         rng: &mut R,
     ) -> Self {
-        assert!(input_dim > 0 && latent_dim > 0, "dimensions must be positive");
+        assert!(
+            input_dim > 0 && latent_dim > 0,
+            "dimensions must be positive"
+        );
         assert!(classes > 0, "need at least one class");
         assert!(noise_sigma >= 0.0, "noise must be non-negative");
         let prototypes = (0..classes)
             .map(|_| Tensor::randn(&[latent_dim], rng))
             .collect();
-        let render = Tensor::randn(&[input_dim, latent_dim], rng)
-            .scale(1.0 / (latent_dim as f32).sqrt());
+        let render =
+            Tensor::randn(&[input_dim, latent_dim], rng).scale(1.0 / (latent_dim as f32).sqrt());
         let render_bias = Tensor::randn(&[input_dim], rng).scale(0.1);
         ClassUniverse {
             input_dim,
@@ -106,7 +109,9 @@ impl ClassUniverse {
 
     /// Renders a latent vector to input space: `tanh(A z + b)`.
     fn render_latent(&self, z: &Tensor) -> Tensor {
-        let zm = z.reshape(&[self.latent_dim, 1]).expect("latent is a vector");
+        let zm = z
+            .reshape(&[self.latent_dim, 1])
+            .expect("latent is a vector");
         let x = tensor::linalg::matmul(&self.render, &zm)
             .reshape(&[self.input_dim])
             .expect("render output is a vector");

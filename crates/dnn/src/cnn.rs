@@ -88,11 +88,7 @@ impl CnnFeatureExtractor {
     /// collapses below the kernel before the last stage.
     pub fn features(&self, images: &Tensor) -> Tensor {
         assert_eq!(images.shape().rank(), 4, "input must be NCHW");
-        assert_eq!(
-            images.dims()[1],
-            self.in_channels,
-            "channel count mismatch"
-        );
+        assert_eq!(images.dims()[1], self.in_channels, "channel count mismatch");
         let conv_spec = Conv2dSpec::new(3, 1, 1);
         let pool_spec = Conv2dSpec::new(2, 2, 0);
         let mut h = images.clone();

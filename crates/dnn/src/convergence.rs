@@ -220,20 +220,11 @@ mod tests {
         // the paper sees at N_run = 4 with small sub-datasets.
         let total_iters = 3000;
         let delta_small = 0.004;
-        let end =
-            |runs: usize| {
-                *pipelined_loss_trajectory(
-                    0.001,
-                    0.8,
-                    2,
-                    1.0,
-                    delta_small,
-                    runs,
-                    total_iters / runs,
-                )
+        let end = |runs: usize| {
+            *pipelined_loss_trajectory(0.001, 0.8, 2, 1.0, delta_small, runs, total_iters / runs)
                 .last()
                 .unwrap()
-            };
+        };
         let l1 = end(1);
         let l3 = end(3);
         assert!((l3 - l1).abs() < 0.05, "l1 {l1} vs l3 {l3}");

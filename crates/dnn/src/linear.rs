@@ -122,6 +122,13 @@ impl Linear {
         self.w.dims()[1]
     }
 
+    /// The layer's weight-version counter: bumped on every weight
+    /// mutation, stable across clones. Keys both the packed-panel cache
+    /// and the RPC server's published model snapshots.
+    pub fn version(&self) -> u64 {
+        self.w_version
+    }
+
     /// Output dimensionality.
     pub fn d_out(&self) -> usize {
         self.w.dims()[0]
@@ -318,10 +325,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let mut l = Linear::new(2, 2, &mut rng);
         // Learn to classify x by sign of first coordinate.
-        let x = Tensor::from_vec(
-            vec![1.0, 0.3, -1.0, 0.1, 2.0, -0.5, -2.0, 0.8],
-            &[4, 2],
-        );
+        let x = Tensor::from_vec(vec![1.0, 0.3, -1.0, 0.1, 2.0, -0.5, -2.0, 0.8], &[4, 2]);
         let labels = [0usize, 1, 0, 1];
         let mut first_loss = 0.0;
         let mut last_loss = 0.0;
@@ -346,10 +350,7 @@ mod tests {
     fn adam_descends_on_a_toy_problem() {
         let mut rng = StdRng::seed_from_u64(6);
         let mut l = Linear::new(2, 2, &mut rng);
-        let x = Tensor::from_vec(
-            vec![1.0, 0.3, -1.0, 0.1, 2.0, -0.5, -2.0, 0.8],
-            &[4, 2],
-        );
+        let x = Tensor::from_vec(vec![1.0, 0.3, -1.0, 0.1, 2.0, -0.5, -2.0, 0.8], &[4, 2]);
         let labels = [0usize, 1, 0, 1];
         let opt = crate::optim::Optimizer::adam();
         let mut first = 0.0;
@@ -386,9 +387,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let mut l = Linear::new(6, 4, &mut rng);
         let x = Tensor::randn(&[3, 6], &mut rng);
-        let fresh = |l: &Linear, x: &Tensor| {
-            linalg::matmul_nt(x, l.weights()).add_row_bias(l.bias())
-        };
+        let fresh =
+            |l: &Linear, x: &Tensor| linalg::matmul_nt(x, l.weights()).add_row_bias(l.bias());
         // Populate the cache, then mutate through each path and check the
         // cached forward tracks the live weights bit-for-bit.
         assert_eq!(l.forward(&x), fresh(&l, &x));

@@ -91,6 +91,19 @@ impl Mlp {
         self.layers.iter().map(Linear::param_count).sum()
     }
 
+    /// Aggregate weights version: folds every layer's
+    /// [`Linear::version`] so *any* weight mutation (full install, delta
+    /// apply, optimizer step) changes the value. Keys arc-swap-style
+    /// model-snapshot publication on the RPC server — equal versions mean
+    /// a published `Arc<Mlp>` is still current.
+    pub fn weights_version(&self) -> u64 {
+        self.layers.iter().enumerate().fold(0u64, |acc, (i, l)| {
+            acc.wrapping_mul(31)
+                .wrapping_add(l.version())
+                .wrapping_add(i as u64)
+        })
+    }
+
     /// Parameter count of the trainable classifier tail.
     pub fn classifier_param_count(&self) -> usize {
         self.layers[self.split..]
@@ -561,7 +574,10 @@ mod tests {
         let layer1_d_in = 4 + 8 + 8 + (6 * 4 + 6) * 4;
         bytes[layer1_d_in..layer1_d_in + 4].copy_from_slice(&9u32.to_le_bytes());
         let err = Mlp::from_bytes(&bytes).unwrap_err();
-        assert!(err.contains("mismatch") || err.contains("truncated"), "{err}");
+        assert!(
+            err.contains("mismatch") || err.contains("truncated"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -241,7 +241,12 @@ impl ModelProfile {
                 stage("Conv4", 1.18e9, 0.80 * mb, 28.4e6 * 4.0),
                 // Conv5 ends in global average pooling: 2048 floats out.
                 stage("Conv5", 0.81e9, 2048.0 * 4.0, 60.0e6 * 4.0 / 4.0),
-                stage("FC", 0.004e9, 1000.0 * 4.0, (2048.0 * 1000.0 + 1000.0) * 4.0),
+                stage(
+                    "FC",
+                    0.004e9,
+                    1000.0 * 4.0,
+                    (2048.0 * 1000.0 + 1000.0) * 4.0,
+                ),
             ],
             2129.0,
             0.59e6,
@@ -261,7 +266,12 @@ impl ModelProfile {
                 stage("Mixed5", 1.30e9, 1.41 * mb, 2.6e6 * 4.0),
                 stage("Mixed6", 2.40e9, 0.89 * mb, 10.8e6 * 4.0),
                 stage("Mixed7", 1.00e9, 2048.0 * 4.0, 7.3e6 * 4.0),
-                stage("FC", 0.004e9, 1000.0 * 4.0, (2048.0 * 1000.0 + 1000.0) * 4.0),
+                stage(
+                    "FC",
+                    0.004e9,
+                    1000.0 * 4.0,
+                    (2048.0 * 1000.0 + 1000.0) * 4.0,
+                ),
             ],
             2439.0,
             0.59e6,
@@ -282,7 +292,12 @@ impl ModelProfile {
                 stage("Conv3", 4.20e9, 1.61 * mb, 9.0e6 * 4.0),
                 stage("Conv4", 7.00e9, 0.80 * mb, 55.0e6 * 4.0),
                 stage("Conv5", 2.60e9, 2048.0 * 4.0, 21.0e6 * 4.0),
-                stage("FC", 0.004e9, 1000.0 * 4.0, (2048.0 * 1000.0 + 1000.0) * 4.0),
+                stage(
+                    "FC",
+                    0.004e9,
+                    1000.0 * 4.0,
+                    (2048.0 * 1000.0 + 1000.0) * 4.0,
+                ),
             ],
             449.0,
             0.59e6,
@@ -305,7 +320,12 @@ impl ModelProfile {
                 stage("Stage3", 0.096e9, 0.23 * mb, 0.6e6 * 4.0),
                 stage("Stage4", 0.088e9, 0.11 * mb, 1.2e6 * 4.0),
                 stage("Conv5", 0.056e9, 1024.0 * 4.0, 0.2e6 * 4.0),
-                stage("FC", 0.002e9, 1000.0 * 4.0, (1024.0 * 1000.0 + 1000.0) * 4.0),
+                stage(
+                    "FC",
+                    0.002e9,
+                    1000.0 * 4.0,
+                    (1024.0 * 1000.0 + 1000.0) * 4.0,
+                ),
             ],
             5200.0,
             0.59e6,
@@ -331,7 +351,12 @@ impl ModelProfile {
                 stage("Enc7-9", block3, tok_bytes, 21.3e6 * 4.0),
                 // The last group ends at the CLS token: 768 floats.
                 stage("Enc10-12", block3, 768.0 * 4.0, 21.3e6 * 4.0),
-                stage("Head", 0.003e9, 1000.0 * 4.0, (768.0 * 1000.0 + 1000.0) * 4.0),
+                stage(
+                    "Head",
+                    0.003e9,
+                    1000.0 * 4.0,
+                    (768.0 * 1000.0 + 1000.0) * 4.0,
+                ),
             ],
             277.0,
             0.59e6,

@@ -150,10 +150,7 @@ mod tests {
     #[test]
     fn batch_efficiency_caps_at_one() {
         let t4 = GpuSpec::tesla_t4();
-        assert_eq!(
-            t4.inference_ips(1000.0, 2.0),
-            t4.inference_ips(1000.0, 1.0)
-        );
+        assert_eq!(t4.inference_ips(1000.0, 2.0), t4.inference_ips(1000.0, 1.0));
     }
 
     #[test]

@@ -1,0 +1,12 @@
+//! Fixture: unbounded channel constructors inside a bounded zone fire.
+//! Not compiled; consumed by `tests/fixtures.rs` as scanner input.
+
+use std::sync::mpsc;
+
+pub fn plain_mpsc() {
+    let (_tx, _rx) = mpsc::channel::<u32>(); // MARK: bounded-mpsc
+}
+
+pub fn crossbeam_style() {
+    let (_tx, _rx) = crossbeam::channel::unbounded::<u32>(); // MARK: bounded-unbounded
+}

@@ -1,0 +1,23 @@
+//! Fixture: bounded constructors, an annotated escape, and test-only
+//! channels are all clean. Not compiled; consumed by `tests/fixtures.rs`
+//! as scanner input.
+
+use std::sync::mpsc;
+
+pub fn bounded_ctors() {
+    let (_t1, _r1) = mpsc::sync_channel::<u32>(8);
+    let (_t2, _r2) = crossbeam::channel::bounded::<u32>(8);
+}
+
+pub fn annotated() {
+    // ndlint: allow(bounded, reason = "drained synchronously before return; never outlives the call")
+    let (_tx, _rx) = mpsc::channel::<u32>();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_channels_are_exempt() {
+        let (_tx, _rx) = std::sync::mpsc::channel::<u32>();
+    }
+}

@@ -463,18 +463,17 @@ mod tests {
         let l = lex(r#"let x = "fn fake() { unwrap() }"; y.unwrap();"#);
         let ids = idents(r#"let x = "fn fake() { unwrap() }"; y.unwrap();"#);
         assert_eq!(ids, ["let", "x", "y", "unwrap"]);
-        assert_eq!(
-            l.tokens.iter().filter(|t| t.str_lit().is_some()).count(),
-            1
-        );
+        assert_eq!(l.tokens.iter().filter(|t| t.str_lit().is_some()).count(), 1);
     }
 
     #[test]
     fn comments_hide_code() {
         assert_eq!(idents("// x.unwrap()\nreal"), ["real"]);
         assert_eq!(idents("/* x.unwrap() /* nested */ still */ real"), ["real"]);
-        assert_eq!(idents("/// doc with \"quote\n///and `panic!`\nfn f() {}"),
-            ["fn", "f"]);
+        assert_eq!(
+            idents("/// doc with \"quote\n///and `panic!`\nfn f() {}"),
+            ["fn", "f"]
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! ndlint — workspace-wide concurrency & protocol lint pass for the
 //! NDPipe reproduction.
 //!
-//! Five rule families, tuned to the invariants this codebase depends on:
+//! Six rule families, tuned to the invariants this codebase depends on:
 //!
 //! 1. `lock_order`   — inter-type lock acquisition graph must be acyclic.
 //! 2. `relaxed`      — every `Ordering::Relaxed` outside tests must carry
@@ -12,6 +12,8 @@
 //!                     decode, and server dispatch.
 //! 5. `metric`       — registered metric names are well-formed, kind-
 //!                     consistent, and match DESIGN.md's canonical table.
+//! 6. `bounded`      — channel construction inside the RPC and NPE trees
+//!                     must name a capacity (backpressure, not growth).
 //!
 //! Plus directive hygiene: malformed or unknown `// ndlint:` comments are
 //! themselves findings, so a typo'd suppression can't silently disable a
@@ -26,7 +28,14 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 /// Rule names accepted in `// ndlint: allow(<rule>, ...)` directives.
-pub const KNOWN_RULES: &[&str] = &["relaxed", "panic", "lock_order", "metric", "wire"];
+pub const KNOWN_RULES: &[&str] = &[
+    "relaxed",
+    "panic",
+    "lock_order",
+    "metric",
+    "wire",
+    "bounded",
+];
 
 /// One diagnostic.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -102,6 +111,9 @@ pub struct Config {
     /// Canonical metric table; `None` disables the DESIGN.md cross-check
     /// (name well-formedness and kind consistency still run).
     pub metric_table: Option<MetricTable>,
+    /// Path substrings whose files must construct only bounded channels
+    /// (the `bounded` rule); empty disables the rule.
+    pub bounded_paths: Vec<String>,
 }
 
 impl Config {
@@ -121,6 +133,13 @@ impl Config {
                 // as a PeerFailure, never as a Tuner-side panic.
                 Zone {
                     file_suffix: "core/src/rpc/cluster.rs".into(),
+                    filter: FnFilter::All,
+                },
+                // The poll(2)/pipe(2) shim under the event loop: a raw
+                // syscall error must come back as io::Error, not a panic
+                // that kills the only event thread.
+                Zone {
+                    file_suffix: "core/src/rpc/sys.rs".into(),
                     filter: FnFilter::All,
                 },
                 Zone {
@@ -233,6 +252,10 @@ impl Config {
                 },
             ],
             metric_table: None, // filled from DESIGN.md by run_workspace
+            // Backpressure zones: the event-driven RPC front door and the
+            // NPE pipeline move unbounded request volume through fixed
+            // worker pools, so every inter-stage queue must be bounded.
+            bounded_paths: vec!["core/src/rpc/".into(), "core/src/npe/".into()],
         }
     }
 }
@@ -265,15 +288,15 @@ pub fn run(files: &[SourceFile], cfg: &Config) -> Report {
     for sf in files {
         rules::directives::check(sf, &mut findings);
         rules::relaxed::check(sf, &mut findings);
+        rules::bounded::check(sf, cfg, &mut findings);
         rules::panic_surface::check(sf, cfg, &mut findings);
         rules::metric_names::collect(sf, &mut findings);
     }
     rules::lock_order::check(files, &mut findings);
     rules::wire_dispatch::check(files, cfg, &mut findings);
     rules::metric_names::check(files, cfg, &mut findings);
-    findings.sort_by(|a, b| {
-        (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule))
-    });
+    findings
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
     findings.dedup();
     Report {
         findings,
@@ -412,9 +435,9 @@ pub fn run_workspace(root: &Path) -> Report {
     let mut report = run(&files, &cfg);
     report.findings.extend(pre_findings);
     report.findings.extend(io_errs);
-    report.findings.sort_by(|a, b| {
-        (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule))
-    });
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
     report
 }
 

@@ -1,0 +1,78 @@
+//! Bounded-queue audit: channel construction inside the designated
+//! backpressure zones (the RPC front door and the NPE pipeline) must
+//! name a capacity. An unbounded queue between stages turns a slow
+//! consumer into silent memory growth instead of backpressure, so
+//! `mpsc::channel()` / `crossbeam::channel::unbounded()` are findings
+//! there; `sync_channel(cap)` / `bounded(cap)` are the sanctioned
+//! constructors. Escape hatch: `// ndlint: allow(bounded, reason = ...)`.
+
+use crate::lexer::Token;
+use crate::scan::SourceFile;
+use crate::{Config, Finding};
+
+pub fn check(sf: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
+    if !cfg
+        .bounded_paths
+        .iter()
+        .any(|p| sf.rel.contains(p.as_str()))
+    {
+        return;
+    }
+    let toks = sf.tokens();
+    for i in 0..toks.len() {
+        let Some(name) = toks[i].ident() else {
+            continue;
+        };
+        // `sync_channel` and `bounded` are distinct identifier tokens and
+        // never match; `crossbeam::channel::bounded` has `channel`
+        // followed by `::`, not a call.
+        let fires = match name {
+            "channel" | "unbounded" => is_call(toks, i + 1),
+            _ => false,
+        };
+        if !fires || sf.in_test(i) {
+            continue;
+        }
+        let (line, col) = (toks[i].line, toks[i].col);
+        if sf.allowed("bounded", line) {
+            continue;
+        }
+        out.push(Finding {
+            rule: "bounded",
+            file: sf.rel.clone(),
+            line,
+            col,
+            message: format!(
+                "unbounded channel constructor `{name}` in a backpressure zone; \
+                 use `sync_channel(cap)` / `bounded(cap)` so a slow consumer \
+                 stalls its producer instead of growing the queue, or annotate \
+                 `// ndlint: allow(bounded, reason = ...)`"
+            ),
+        });
+    }
+}
+
+/// Whether the tokens at `j` begin a call: `(` directly, or a turbofish
+/// `::<...>` followed by `(`.
+fn is_call(toks: &[Token], mut j: usize) -> bool {
+    if toks.get(j).is_some_and(|t| t.is_punct('(')) {
+        return true;
+    }
+    let turbofish = toks.get(j).is_some_and(|t| t.is_punct(':'))
+        && toks.get(j + 1).is_some_and(|t| t.is_punct(':'))
+        && toks.get(j + 2).is_some_and(|t| t.is_punct('<'));
+    if !turbofish {
+        return false;
+    }
+    j += 3;
+    let mut depth = 1i32;
+    while j < toks.len() && depth > 0 {
+        if toks[j].is_punct('<') {
+            depth += 1;
+        } else if toks[j].is_punct('>') {
+            depth -= 1;
+        }
+        j += 1;
+    }
+    toks.get(j).is_some_and(|t| t.is_punct('('))
+}

@@ -39,7 +39,9 @@ pub fn check(files: &[SourceFile], out: &mut Vec<Finding>) {
             if f.is_test {
                 continue;
             }
-            let Some((open, close)) = f.body else { continue };
+            let Some((open, close)) = f.body else {
+                continue;
+            };
             let acqs = acquisitions(sf, &f.name, open, close);
             for a in 0..acqs.len() {
                 for b in (a + 1)..acqs.len() {

@@ -127,9 +127,7 @@ pub fn check(files: &[SourceFile], cfg: &Config, out: &mut Vec<Finding>) {
 fn name_problem(reg: &Registration) -> Option<String> {
     let name = &reg.name;
     if !name.starts_with("ndpipe_") {
-        return Some(format!(
-            "metric `{name}` must use the `ndpipe_` prefix"
-        ));
+        return Some(format!("metric `{name}` must use the `ndpipe_` prefix"));
     }
     let snake = name
         .chars()

@@ -1,5 +1,6 @@
-//! The five rule families plus directive hygiene.
+//! The six rule families plus directive hygiene.
 
+pub mod bounded;
 pub mod directives;
 pub mod lock_order;
 pub mod metric_names;

@@ -33,7 +33,9 @@ pub fn check(sf: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
                     continue;
                 }
             }
-            let Some((open, close)) = f.body else { continue };
+            let Some((open, close)) = f.body else {
+                continue;
+            };
             scan_body(sf, &f.name, open, close, out);
         }
     }
@@ -66,8 +68,7 @@ fn scan_body(sf: &SourceFile, fn_name: &str, open: usize, close: usize, out: &mu
         // release builds and is deliberately not flagged).
         if hit.is_none() {
             if let Some(name) = t.ident() {
-                if PANIC_MACROS.contains(&name)
-                    && toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+                if PANIC_MACROS.contains(&name) && toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
                 {
                     hit = Some(format!("`{name}!`"));
                 }

@@ -111,9 +111,8 @@ fn check_site(
 /// attribute groups and variant payloads.
 fn enum_variants(sf: &SourceFile, name: &str) -> Option<(Vec<(String, u32)>, u32)> {
     let toks = sf.tokens();
-    let start = (0..toks.len()).find(|&i| {
-        toks[i].is_ident("enum") && toks.get(i + 1).is_some_and(|t| t.is_ident(name))
-    })?;
+    let start = (0..toks.len())
+        .find(|&i| toks[i].is_ident("enum") && toks.get(i + 1).is_some_and(|t| t.is_ident(name)))?;
     let open = (start..toks.len()).find(|&i| toks[i].is_punct('{'))?;
     let mut variants = Vec::new();
     let mut depth = 0i32;

@@ -225,8 +225,12 @@ fn find_fns(
         if !t.is_ident("fn") {
             continue;
         }
-        let Some(name_tok) = tokens.get(i + 1) else { continue };
-        let Some(name) = name_tok.ident() else { continue };
+        let Some(name_tok) = tokens.get(i + 1) else {
+            continue;
+        };
+        let Some(name) = name_tok.ident() else {
+            continue;
+        };
         // Body: first `{` after the signature at paren depth 0, stopping
         // at `;` (bodyless) — angle depth is ignored because `->` types
         // keep parens balanced.

@@ -15,8 +15,8 @@ fn fixture_path(name: &str) -> PathBuf {
 
 fn fixture(name: &str) -> (SourceFile, String) {
     let path = fixture_path(name);
-    let src = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("fixture {name} unreadable: {e}"));
+    let src =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {name} unreadable: {e}"));
     (SourceFile::parse(&path, name, &src), src)
 }
 
@@ -46,6 +46,13 @@ fn panic_zone(file: &str) -> Config {
             file_suffix: file.to_string(),
             filter: FnFilter::All,
         }],
+        ..Config::default()
+    }
+}
+
+fn bounded_zone(file: &str) -> Config {
+    Config {
+        bounded_paths: vec![file.to_string()],
         ..Config::default()
     }
 }
@@ -121,6 +128,38 @@ fn panic_ok_is_clean_inside_the_zone() {
 }
 
 #[test]
+fn bounded_bad_fires_on_each_unbounded_constructor() {
+    let (sf, src) = fixture("bounded_bad.rs");
+    let report = run(&[sf], &bounded_zone("bounded_bad.rs"));
+    let mut lines = lines_of(&report.findings, "bounded");
+    lines.sort_unstable();
+    assert_eq!(
+        lines,
+        vec![
+            marker_line(&src, "MARK: bounded-mpsc"),
+            marker_line(&src, "MARK: bounded-unbounded"),
+        ],
+        "findings: {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn bounded_bad_is_clean_outside_any_zone() {
+    // The rule is path-gated: the same file with no zone configured is fine.
+    let (sf, _) = fixture("bounded_bad.rs");
+    let report = run(&[sf], &Config::default());
+    assert!(report.is_clean(), "findings: {:?}", report.findings);
+}
+
+#[test]
+fn bounded_ok_is_clean_inside_the_zone() {
+    let (sf, _) = fixture("bounded_ok.rs");
+    let report = run(&[sf], &bounded_zone("bounded_ok.rs"));
+    assert!(report.is_clean(), "findings: {:?}", report.findings);
+}
+
+#[test]
 fn lock_order_bad_reports_the_inversion_at_both_later_sites() {
     let (sf, src) = fixture("lock_order_bad.rs");
     let report = run(&[sf], &Config::default());
@@ -136,7 +175,11 @@ fn lock_order_bad_reports_the_inversion_at_both_later_sites() {
         report.findings
     );
     for f in &report.findings {
-        assert!(f.message.contains("lock-order cycle"), "message: {}", f.message);
+        assert!(
+            f.message.contains("lock-order cycle"),
+            "message: {}",
+            f.message
+        );
     }
 }
 
@@ -151,11 +194,23 @@ fn lock_order_ok_is_clean() {
 fn wire_bad_flags_the_missing_variant_in_decode_only() {
     let (sf, src) = fixture("wire_bad.rs");
     let report = run(&[sf], &wire_config("wire_bad.rs"));
-    let wire: Vec<&Finding> = report.findings.iter().filter(|f| f.rule == "wire").collect();
+    let wire: Vec<&Finding> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "wire")
+        .collect();
     assert_eq!(wire.len(), 1, "findings: {:?}", report.findings);
     assert_eq!(wire[0].line, marker_line(&src, "MARK: wire-missing-del"));
-    assert!(wire[0].message.contains("`Op::Del`"), "message: {}", wire[0].message);
-    assert!(wire[0].message.contains("decode"), "message: {}", wire[0].message);
+    assert!(
+        wire[0].message.contains("`Op::Del`"),
+        "message: {}",
+        wire[0].message
+    );
+    assert!(
+        wire[0].message.contains("decode"),
+        "message: {}",
+        wire[0].message
+    );
 }
 
 #[test]
@@ -169,7 +224,10 @@ fn wire_ok_is_clean() {
 fn metric_bad_fires_on_prefix_suffix_kind_and_table() {
     let (sf, src) = fixture("metric_bad.rs");
     let cfg = Config {
-        metric_table: Some(vec![("ndpipe_fixture_mixed".to_string(), "gauge".to_string())]),
+        metric_table: Some(vec![(
+            "ndpipe_fixture_mixed".to_string(),
+            "gauge".to_string(),
+        )]),
         ..Config::default()
     };
     let report = run(&[sf], &cfg);
@@ -186,7 +244,10 @@ fn metric_bad_fires_on_prefix_suffix_kind_and_table() {
     };
     expect("MARK: metric-prefix", "`ndpipe_` prefix");
     expect("MARK: metric-suffix", "must end in `_total`");
-    expect("MARK: metric-kind-conflict", "registered as histogram here but as gauge");
+    expect(
+        "MARK: metric-kind-conflict",
+        "registered as histogram here but as gauge",
+    );
     expect("MARK: metric-unlisted", "not listed in DESIGN.md");
 }
 
@@ -195,9 +256,15 @@ fn metric_ok_is_clean_against_a_matching_table() {
     let (sf, _) = fixture("metric_ok.rs");
     let cfg = Config {
         metric_table: Some(vec![
-            ("ndpipe_fixture_requests_total".to_string(), "counter".to_string()),
+            (
+                "ndpipe_fixture_requests_total".to_string(),
+                "counter".to_string(),
+            ),
             ("ndpipe_fixture_depth".to_string(), "gauge".to_string()),
-            ("ndpipe_fixture_latency_seconds".to_string(), "histogram".to_string()),
+            (
+                "ndpipe_fixture_latency_seconds".to_string(),
+                "histogram".to_string(),
+            ),
         ]),
         ..Config::default()
     };
@@ -210,10 +277,19 @@ fn metric_table_entry_with_no_registration_fires() {
     let (sf, _) = fixture("metric_ok.rs");
     let cfg = Config {
         metric_table: Some(vec![
-            ("ndpipe_fixture_requests_total".to_string(), "counter".to_string()),
+            (
+                "ndpipe_fixture_requests_total".to_string(),
+                "counter".to_string(),
+            ),
             ("ndpipe_fixture_depth".to_string(), "gauge".to_string()),
-            ("ndpipe_fixture_latency_seconds".to_string(), "histogram".to_string()),
-            ("ndpipe_fixture_ghost_total".to_string(), "counter".to_string()),
+            (
+                "ndpipe_fixture_latency_seconds".to_string(),
+                "histogram".to_string(),
+            ),
+            (
+                "ndpipe_fixture_ghost_total".to_string(),
+                "counter".to_string(),
+            ),
         ]),
         ..Config::default()
     };

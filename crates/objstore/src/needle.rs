@@ -126,10 +126,11 @@ impl Needle {
             reason: "truncated payload",
         })?;
         let mut crc_buf = [0u8; 4];
-        r.read_exact(&mut crc_buf).map_err(|_| StoreError::Corrupt {
-            offset,
-            reason: "truncated checksum",
-        })?;
+        r.read_exact(&mut crc_buf)
+            .map_err(|_| StoreError::Corrupt {
+                offset,
+                reason: "truncated checksum",
+            })?;
         let mut check = Vec::with_capacity(13 + size);
         check.extend_from_slice(&rest);
         check.extend_from_slice(&data);
@@ -174,7 +175,9 @@ mod tests {
     #[test]
     fn eof_is_none() {
         let empty: &[u8] = &[];
-        assert!(Needle::read_from(&mut &*empty, 0).expect("clean eof").is_none());
+        assert!(Needle::read_from(&mut &*empty, 0)
+            .expect("clean eof")
+            .is_none());
     }
 
     #[test]
@@ -184,7 +187,13 @@ mod tests {
         n.write_to(&mut buf).expect("write");
         buf[HEADER_BYTES + 1] ^= 0x40;
         let err = Needle::read_from(&mut buf.as_slice(), 0).unwrap_err();
-        assert!(matches!(err, StoreError::Corrupt { reason: "checksum mismatch", .. }));
+        assert!(matches!(
+            err,
+            StoreError::Corrupt {
+                reason: "checksum mismatch",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -194,7 +203,13 @@ mod tests {
         n.write_to(&mut buf).expect("write");
         buf[0] = 0;
         let err = Needle::read_from(&mut buf.as_slice(), 0).unwrap_err();
-        assert!(matches!(err, StoreError::Corrupt { reason: "bad magic", .. }));
+        assert!(matches!(
+            err,
+            StoreError::Corrupt {
+                reason: "bad magic",
+                ..
+            }
+        ));
     }
 
     #[test]

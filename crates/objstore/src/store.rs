@@ -51,10 +51,7 @@ impl IoMetrics {
                 "ndpipe_objstore_live_objects",
                 "live objects across open stores",
             ),
-            volumes: g.gauge(
-                "ndpipe_objstore_volumes",
-                "volumes across open stores",
-            ),
+            volumes: g.gauge("ndpipe_objstore_volumes", "volumes across open stores"),
         }
     }
 }
@@ -76,7 +73,9 @@ pub struct ObjectStore {
 impl Drop for ObjectStore {
     fn drop(&mut self) {
         // Unwind this store's contribution to the shared gauges.
-        self.metrics.live_objects.add(-(self.directory.len() as f64));
+        self.metrics
+            .live_objects
+            .add(-(self.directory.len() as f64));
         self.metrics.volumes.add(-(self.volumes.len() as f64));
     }
 }
@@ -337,10 +336,7 @@ mod tests {
         let mut s = ObjectStore::open(&dir, 512).expect("reopen");
         assert_eq!(s.len(), 19);
         assert_eq!(s.get(3).expect("get"), None);
-        assert_eq!(
-            s.get(7).expect("get").as_deref(),
-            Some(&b"payload-7"[..])
-        );
+        assert_eq!(s.get(7).expect("get").as_deref(), Some(&b"payload-7"[..]));
     }
 
     #[test]

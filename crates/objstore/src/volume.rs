@@ -56,8 +56,7 @@ impl Volume {
                 match Needle::read_from(&mut reader, offset) {
                     Ok(None) => break,
                     Ok(Some(n)) => {
-                        let rec_len =
-                            (HEADER_BYTES + n.data.len() + TRAILER_BYTES) as u64;
+                        let rec_len = (HEADER_BYTES + n.data.len() + TRAILER_BYTES) as u64;
                         if n.is_tombstone() {
                             if let Some(old) = index.remove(&n.key) {
                                 garbage += record_len(old.len) + rec_len;
@@ -325,13 +324,20 @@ mod tests {
         // Simulate a crash mid-append: garbage half-record at the tail.
         {
             use std::fs::OpenOptions;
-            let mut f = OpenOptions::new().append(true).open(&path).expect("open raw");
-            f.write_all(&crate::needle::MAGIC.to_le_bytes()).expect("tear");
+            let mut f = OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .expect("open raw");
+            f.write_all(&crate::needle::MAGIC.to_le_bytes())
+                .expect("tear");
             f.write_all(&[1, 2, 3]).expect("tear");
         }
         let mut v = Volume::open(&path).expect("recover");
         assert_eq!(v.live_count(), 1);
-        assert_eq!(v.get(1).expect("get").as_deref(), Some(&b"complete record"[..]));
+        assert_eq!(
+            v.get(1).expect("get").as_deref(),
+            Some(&b"complete record"[..])
+        );
         // The tail was dropped; appends keep working.
         v.put(2, b"after crash").expect("put");
         assert_eq!(v.get(2).expect("get").as_deref(), Some(&b"after crash"[..]));
@@ -354,7 +360,13 @@ mod tests {
         // Recovery must report corruption, not silently drop record 2.
         let err = Volume::open(&path).unwrap_err();
         assert!(
-            matches!(err, StoreError::Corrupt { reason: "checksum mismatch", .. }),
+            matches!(
+                err,
+                StoreError::Corrupt {
+                    reason: "checksum mismatch",
+                    ..
+                }
+            ),
             "unexpected {err:?}"
         );
         // And the file is untouched (record 2 still present on disk).
@@ -374,11 +386,19 @@ mod tests {
         }
         let before = v.size_bytes();
         v.compact().expect("compact");
-        assert!(v.size_bytes() < before / 3, "{} -> {}", before, v.size_bytes());
+        assert!(
+            v.size_bytes() < before / 3,
+            "{} -> {}",
+            before,
+            v.size_bytes()
+        );
         assert_eq!(v.garbage_bytes(), 0);
         assert_eq!(v.live_count(), 10);
         for i in 40..50u64 {
-            assert_eq!(v.get(i).expect("get").as_deref(), Some(&vec![i as u8; 100][..]));
+            assert_eq!(
+                v.get(i).expect("get").as_deref(),
+                Some(&vec![i as u8; 100][..])
+            );
         }
     }
 

@@ -170,9 +170,11 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v = [SimTime::from_secs(3.0),
+        let mut v = [
+            SimTime::from_secs(3.0),
             SimTime::ZERO,
-            SimTime::from_secs(1.0)];
+            SimTime::from_secs(1.0),
+        ];
         v.sort();
         assert_eq!(v[0], SimTime::ZERO);
         assert_eq!(v[2], SimTime::from_secs(3.0));

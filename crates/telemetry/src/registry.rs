@@ -122,7 +122,10 @@ impl Registry {
 
     /// Number of registered series.
     pub fn len(&self) -> usize {
-        self.entries.read().expect("telemetry registry poisoned").len()
+        self.entries
+            .read()
+            .expect("telemetry registry poisoned")
+            .len()
     }
 
     /// Whether no series are registered.
@@ -258,7 +261,8 @@ mod tests {
                         c.inc();
                         h.observe(0.001);
                     } else {
-                        reg.counter("ndpipe_test_contended_total", "contention").inc();
+                        reg.counter("ndpipe_test_contended_total", "contention")
+                            .inc();
                         reg.histogram("ndpipe_test_contended_seconds", "contention")
                             .observe(0.001);
                     }
@@ -278,14 +282,22 @@ mod tests {
             snap.counter_value("ndpipe_test_contended_total"),
             Some(expect)
         );
-        match &snap.find("ndpipe_test_contended_seconds").expect("hist").value {
+        match &snap
+            .find("ndpipe_test_contended_seconds")
+            .expect("hist")
+            .value
+        {
             SampleValue::Histogram(h) => {
                 assert_eq!(h.count, expect);
                 assert!((h.sum - expect as f64 * 0.001).abs() < 1e-6 * expect as f64);
             }
             other => panic!("expected histogram, got {}", other.kind()),
         }
-        match &snap.find("ndpipe_test_contended_depth").expect("gauge").value {
+        match &snap
+            .find("ndpipe_test_contended_depth")
+            .expect("gauge")
+            .value
+        {
             SampleValue::Gauge(v) => assert!(v.abs() < 1e-9, "gauge must net to zero, got {v}"),
             other => panic!("expected gauge, got {}", other.kind()),
         }

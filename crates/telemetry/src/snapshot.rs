@@ -115,7 +115,10 @@ impl HistogramSnapshot {
         self.count += other.count;
         self.sum += other.sum;
         let mut merged: Vec<(f64, u64)> = Vec::with_capacity(self.buckets.len());
-        let (mut a, mut b) = (self.buckets.iter().peekable(), other.buckets.iter().peekable());
+        let (mut a, mut b) = (
+            self.buckets.iter().peekable(),
+            other.buckets.iter().peekable(),
+        );
         loop {
             match (a.peek(), b.peek()) {
                 (Some(&&(ua, na)), Some(&&(ub, nb))) if ua == ub => {
@@ -225,9 +228,8 @@ impl Snapshot {
                 None => self.samples.push(theirs.clone()),
             }
         }
-        self.samples.sort_by(|a, b| {
-            (&a.name, &a.labels).cmp(&(&b.name, &b.labels))
-        });
+        self.samples
+            .sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
     }
 
     /// Merges many snapshots into a fresh cluster-wide view.

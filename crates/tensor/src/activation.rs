@@ -204,7 +204,8 @@ mod tests {
             plus.data_mut()[i] += eps;
             let mut minus = logits.clone();
             minus.data_mut()[i] -= eps;
-            let num = (cross_entropy(&plus, &labels) - cross_entropy(&minus, &labels)) / (2.0 * eps);
+            let num =
+                (cross_entropy(&plus, &labels) - cross_entropy(&minus, &labels)) / (2.0 * eps);
             assert!(
                 (num - g.data()[i]).abs() < 1e-3,
                 "grad mismatch at {i}: {num} vs {}",

@@ -65,14 +65,7 @@ impl Conv2dSpec {
 /// Lowers `[c, h, w]` image patches into a `[c*k*k, oh*ow]` matrix so
 /// convolution becomes a single matmul. Writes into `cols` (resized,
 /// capacity reused across calls via the thread-local scratch).
-fn im2col_into(
-    input: &[f32],
-    c: usize,
-    h: usize,
-    w: usize,
-    spec: Conv2dSpec,
-    cols: &mut Vec<f32>,
-) {
+fn im2col_into(input: &[f32], c: usize, h: usize, w: usize, spec: Conv2dSpec, cols: &mut Vec<f32>) {
     let oh = spec.out_size(h);
     let ow = spec.out_size(w);
     let k = spec.kernel;
@@ -335,11 +328,7 @@ fn pool2d(input: &Tensor, spec: Conv2dSpec, take_max: bool) -> Tensor {
                             acc += v;
                         }
                     }
-                    dst[oy * ow + ox] = if take_max {
-                        best
-                    } else {
-                        acc / (k * k) as f32
-                    };
+                    dst[oy * ow + ox] = if take_max { best } else { acc / (k * k) as f32 };
                 }
             }
         }
@@ -353,7 +342,11 @@ fn pool2d(input: &Tensor, spec: Conv2dSpec, take_max: bool) -> Tensor {
 ///
 /// Panics unless the input is rank 4.
 pub fn global_avg_pool(input: &Tensor) -> Tensor {
-    assert_eq!(input.shape().rank(), 4, "global_avg_pool input must be NCHW");
+    assert_eq!(
+        input.shape().rank(),
+        4,
+        "global_avg_pool input must be NCHW"
+    );
     let (n, c, h, w) = (
         input.dims()[0],
         input.dims()[1],

@@ -104,8 +104,15 @@ pub fn matmul_with_threads(a: &Tensor, b: &Tensor, threads: usize) -> Tensor {
 /// [`TensorError::WorkerPanicked`] if a pool task panicked.
 pub fn try_matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
     let (m, k, n) = check_shapes("matmul", a, b, Layout::Nn)?;
-    gemm(m, n, k, ASrc::nn(a), BSrc::nn(b), crate::configured_threads())
-        .map_err(|e| worker_err("matmul", e))
+    gemm(
+        m,
+        n,
+        k,
+        ASrc::nn(a),
+        BSrc::nn(b),
+        crate::configured_threads(),
+    )
+    .map_err(|e| worker_err("matmul", e))
 }
 
 /// `aᵀ @ b` without materializing the transpose: `a: [k, m]`, `b: [k, n]`.
@@ -132,7 +139,10 @@ pub fn matmul_tn_with_threads(a: &Tensor, b: &Tensor, threads: usize) -> Tensor 
     let (k, m) = (a.dims()[0], a.dims()[1]);
     let (k2, n) = (b.dims()[0], b.dims()[1]);
     assert_eq!(k, k2, "matmul_tn leading dimension mismatch");
-    unwrap_gemm("matmul_tn", gemm(m, n, k, ASrc::tn(a), BSrc::nn(b), threads))
+    unwrap_gemm(
+        "matmul_tn",
+        gemm(m, n, k, ASrc::tn(a), BSrc::nn(b), threads),
+    )
 }
 
 /// Fallible [`matmul_tn`].
@@ -142,8 +152,15 @@ pub fn matmul_tn_with_threads(a: &Tensor, b: &Tensor, threads: usize) -> Tensor 
 /// Same contract as [`try_matmul`].
 pub fn try_matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
     let (m, k, n) = check_shapes("matmul_tn", a, b, Layout::Tn)?;
-    gemm(m, n, k, ASrc::tn(a), BSrc::nn(b), crate::configured_threads())
-        .map_err(|e| worker_err("matmul_tn", e))
+    gemm(
+        m,
+        n,
+        k,
+        ASrc::tn(a),
+        BSrc::nn(b),
+        crate::configured_threads(),
+    )
+    .map_err(|e| worker_err("matmul_tn", e))
 }
 
 /// `a @ bᵀ` without materializing the transpose: `a: [m, k]`, `b: [n, k]`.
@@ -171,7 +188,10 @@ pub fn matmul_nt_with_threads(a: &Tensor, b: &Tensor, threads: usize) -> Tensor 
     let (m, k) = (a.dims()[0], a.dims()[1]);
     let (n, k2) = (b.dims()[0], b.dims()[1]);
     assert_eq!(k, k2, "matmul_nt trailing dimension mismatch");
-    unwrap_gemm("matmul_nt", gemm(m, n, k, ASrc::nn(a), BSrc::nt(b), threads))
+    unwrap_gemm(
+        "matmul_nt",
+        gemm(m, n, k, ASrc::nn(a), BSrc::nt(b), threads),
+    )
 }
 
 /// Fallible [`matmul_nt`].
@@ -181,8 +201,15 @@ pub fn matmul_nt_with_threads(a: &Tensor, b: &Tensor, threads: usize) -> Tensor 
 /// Same contract as [`try_matmul`].
 pub fn try_matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
     let (m, k, n) = check_shapes("matmul_nt", a, b, Layout::Nt)?;
-    gemm(m, n, k, ASrc::nn(a), BSrc::nt(b), crate::configured_threads())
-        .map_err(|e| worker_err("matmul_nt", e))
+    gemm(
+        m,
+        n,
+        k,
+        ASrc::nn(a),
+        BSrc::nt(b),
+        crate::configured_threads(),
+    )
+    .map_err(|e| worker_err("matmul_nt", e))
 }
 
 /// `pa @ b` with a prepacked left operand (`pa: [m, k]`, `b: [k, n]`):
@@ -471,7 +498,9 @@ fn gemm_packed_b(
         .collect();
     pool::run(threads, bands.len(), &|t| {
         if let Some(slot) = bands.get(t) {
-            let mut guard = slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let mut guard = slot
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             let (r0, band_out) = &mut *guard;
             let rows = band_out.len() / n;
             gemm_band(a, *r0, *r0 + rows, k, n, pb, band_out);
@@ -730,7 +759,10 @@ mod tests {
         let a = Tensor::zeros(&[2, 3]);
         let b = Tensor::zeros(&[4, 2]);
         let err = try_matmul(&a, &b).expect_err("mismatched shapes");
-        assert!(matches!(err, TensorError::ShapeMismatch { op: "matmul", .. }));
+        assert!(matches!(
+            err,
+            TensorError::ShapeMismatch { op: "matmul", .. }
+        ));
         assert!(try_matmul_tn(&a, &b).is_err());
         assert!(try_matmul_nt(&a, &Tensor::zeros(&[4, 4])).is_err());
         // And succeed on valid shapes.

@@ -87,8 +87,7 @@ impl JobState {
 
     /// Whether a scan of the queue should still offer this job to workers.
     fn wants_helpers(&self) -> bool {
-        self.seats.load(Ordering::Acquire) > 0
-            && self.next.load(Ordering::Acquire) < self.n_tasks
+        self.seats.load(Ordering::Acquire) > 0 && self.next.load(Ordering::Acquire) < self.n_tasks
     }
 
     /// Claims task indices and runs them until the job is exhausted,
@@ -103,8 +102,7 @@ impl JobState {
             if i >= self.n_tasks {
                 break;
             }
-            let result =
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(i)));
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(i)));
             if let Err(payload) = result {
                 let msg = panic_message(&*payload);
                 let mut first = lock_ignoring_poison(&self.panic);
@@ -124,10 +122,7 @@ impl JobState {
     fn wait_done(&self) {
         let mut rem = lock_ignoring_poison(&self.remaining);
         while *rem > 0 {
-            rem = self
-                .done
-                .wait(rem)
-                .unwrap_or_else(PoisonError::into_inner);
+            rem = self.done.wait(rem).unwrap_or_else(PoisonError::into_inner);
         }
     }
 }
@@ -251,8 +246,7 @@ pub fn run(threads: usize, n_tasks: usize, task: &(dyn Fn(usize) + Sync)) -> Res
         // Serial fast path: same per-task panic containment, no queue.
         let mut first_panic = None;
         for i in 0..n_tasks {
-            let result =
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(i)));
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(i)));
             if let Err(payload) = result {
                 first_panic.get_or_insert_with(|| panic_message(&*payload));
             }

@@ -291,7 +291,11 @@ impl Tensor {
 
     /// Frobenius norm (L2 norm of the flattened data).
     pub fn frobenius_norm(&self) -> f32 {
-        self.data.iter().map(|&x| x as f64 * x as f64).sum::<f64>().sqrt() as f32
+        self.data
+            .iter()
+            .map(|&x| x as f64 * x as f64)
+            .sum::<f64>()
+            .sqrt() as f32
     }
 
     /// Sums a `[rows, cols]` matrix down its rows, producing `[cols]`.

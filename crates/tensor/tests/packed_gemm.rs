@@ -44,8 +44,8 @@ const EDGE_SHAPES: &[(usize, usize, usize)] = &[
     (5, 9, 9),   // one past every panel edge
     (13, 31, 7), // primes
     (37, 2, 41),
-    (97, 3, 2),  // tall and skinny
-    (2, 3, 97),  // short and wide
+    (97, 3, 2), // tall and skinny
+    (2, 3, 97), // short and wide
 ];
 
 #[test]

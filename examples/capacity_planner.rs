@@ -44,7 +44,10 @@ fn main() {
     let plan = best_organization(&input);
     let cut = &model.stages()[plan.best.partition - 1].name;
     println!("\nAPO recommendation:");
-    println!("  partition after {cut} (PipeStores run stages 1..={})", plan.best.partition);
+    println!(
+        "  partition after {cut} (PipeStores run stages 1..={})",
+        plan.best.partition
+    );
     println!(
         "  fleet size: {} PipeStores (store-stage {:.0}s vs tuner-stage {:.0}s, imbalance {:.0}s)",
         plan.best.n_pipestores, plan.best.t_ps, plan.best.t_tuner, plan.best.t_diff
@@ -68,12 +71,21 @@ fn main() {
         "  feature traffic {:.2} GB over the fabric",
         rep.data_traffic_bytes / 1e9
     );
-    println!("  energy         {:.0} kJ ({:.1} images/kJ)", energy.joules / 1e3, energy.ips_per_kilojoule());
+    println!(
+        "  energy         {:.0} kJ ({:.1} images/kJ)",
+        energy.joules / 1e3,
+        energy.ips_per_kilojoule()
+    );
     println!("  AWS cost       ${cost:.2}");
 
     // Compare against the centralized alternative.
     let srv = srv_training_report(&model, 1_200_000, 20, 512, &LinkSpec::ethernet_gbps(10.0));
-    let srv_cost = fleet_run_cost_usd(CostModel::g4dn_4xlarge(), 4, CostModel::p3_8xlarge(), srv.total_secs);
+    let srv_cost = fleet_run_cost_usd(
+        CostModel::g4dn_4xlarge(),
+        4,
+        CostModel::p3_8xlarge(),
+        srv.total_secs,
+    );
     println!("\nversus a centralized SRV-C host (2x V100 + 4 storage servers):");
     println!(
         "  wall time {:.1} min, cost ${:.2} -> NDPipe is {:.2}x faster and {:.2}x cheaper",

@@ -37,7 +37,10 @@ fn main() {
     for p in store.photos() {
         side_total += p.compressed_binary.len();
     }
-    println!("stored 64 photos: {:.1} MB raw JPEG-like blobs", raw_total as f64 / 1e6);
+    println!(
+        "stored 64 photos: {:.1} MB raw JPEG-like blobs",
+        raw_total as f64 / 1e6
+    );
     println!(
         "compressed preprocessed sidecars: {:.2} MB ({:.1}% storage overhead; paper: 17.5% before compression)",
         side_total as f64 / 1e6,
@@ -112,6 +115,8 @@ fn main() {
         .expect("restore photos");
     restored.install_model(tuned);
     let relabeled = restored.offline_inference().len();
-    println!("after restart: {n} photos recovered, {relabeled} relabeled from the recovered archive.");
+    println!(
+        "after restart: {n} photos recovered, {relabeled} relabeled from the recovered archive."
+    );
     std::fs::remove_dir_all(&dir).ok();
 }

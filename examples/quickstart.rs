@@ -74,7 +74,10 @@ fn main() {
     // Everything above was instrumented: dump the deployment-wide
     // telemetry snapshot (process-global + per-store registries).
     let snapshot = system.metrics_snapshot();
-    println!("\ntelemetry snapshot ({} series), selected lines:", snapshot.len());
+    println!(
+        "\ntelemetry snapshot ({} series), selected lines:",
+        snapshot.len()
+    );
     for line in snapshot
         .to_prometheus()
         .lines()

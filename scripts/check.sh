@@ -14,5 +14,9 @@ test -s results/BENCH_npe_pipeline.json
 test -s results/BENCH_gemm_kernel.json
 test -s results/BENCH_telemetry_overhead.json
 test -s results/BENCH_cluster_fanout.json
+test -s results/BENCH_rpc_concurrency.json
 # RPC server stress smoke: 8 concurrent sessions against one PipeStore.
 cargo test -q --release --test cluster_failover -- --ignored
+# Event-loop soak: ≥1000 concurrent sessions, zero lost replies, p99
+# asserted from the server's telemetry histograms.
+cargo test -q --release --test rpc_event_server -- --ignored

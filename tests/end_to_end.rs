@@ -71,7 +71,10 @@ fn offline_relabel_improves_or_preserves_label_db() {
     let stats = system.offline_relabel();
     let after = system.label_accuracy();
     assert!(stats.examined > 0);
-    assert!(after >= before - 0.02, "label DB degraded: {before} -> {after}");
+    assert!(
+        after >= before - 0.02,
+        "label DB degraded: {before} -> {after}"
+    );
 }
 
 #[test]

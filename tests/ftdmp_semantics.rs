@@ -58,9 +58,7 @@ fn distributed_features_match_centralized() {
     }
     let gathered = Tensor::stack_rows(&gathered_rows);
     // Centralized: concatenate the shards in the same order and extract.
-    let central = model.features(
-        &LabeledDataset::concat(&train.shards(4)).features().clone(),
-    );
+    let central = model.features(&LabeledDataset::concat(&train.shards(4)).features().clone());
     assert_eq!(gathered.data(), central.data());
 }
 
@@ -139,8 +137,8 @@ fn fleet_size_does_not_change_learning() {
         );
         accs.push(Trainer::evaluate(tuner.model(), &test).top1);
     }
-    let spread = accs.iter().fold(0.0f64, |m, &a| m.max(a))
-        - accs.iter().fold(1.0f64, |m, &a| m.min(a));
+    let spread =
+        accs.iter().fold(0.0f64, |m, &a| m.max(a)) - accs.iter().fold(1.0f64, |m, &a| m.min(a));
     assert!(spread < 0.12, "accuracy varies with fleet size: {accs:?}");
 }
 

@@ -1,9 +1,7 @@
 //! Integration tests pinning the paper's headline quantitative claims
 //! (as *shapes*: who wins, by roughly what factor, where crossovers sit).
 
-use cluster::energy::{
-    inference_energy, srv_training_energy, training_energy,
-};
+use cluster::energy::{inference_energy, srv_training_energy, training_energy};
 use cluster::inference::{inference_report, InferenceSetup, InferenceVariant};
 use cluster::training::{srv_training_report, training_report, TrainSetup};
 use dnn::ModelProfile;
@@ -27,8 +25,7 @@ fn headline_inference_efficiency() {
                     InferenceVariant::NdPipe,
                     &InferenceSetup::paper_default(model.clone(), n),
                 )
-                .ips
-                    >= srv.ips
+                .ips >= srv.ips
             })
             .expect("crossover exists");
         let e_srv = inference_energy(
@@ -91,9 +88,7 @@ fn ten_pipestores_beat_the_centralized_trainer() {
 #[test]
 fn inference_crossovers_are_ordered_and_small() {
     for model in ModelProfile::figure_models() {
-        let srv = |v| {
-            inference_report(v, &InferenceSetup::paper_default(model.clone(), 4)).ips
-        };
+        let srv = |v| inference_report(v, &InferenceSetup::paper_default(model.clone(), 4)).ips;
         let first_ge = |target: f64| {
             (1..=30)
                 .find(|&n| {
@@ -101,8 +96,7 @@ fn inference_crossovers_are_ordered_and_small() {
                         InferenceVariant::NdPipe,
                         &InferenceSetup::paper_default(model.clone(), n),
                     )
-                    .ips
-                        >= target
+                    .ips >= target
                 })
                 .expect("crossover")
         };
@@ -140,7 +134,11 @@ fn apo_balance_point_is_useful() {
             ..TrainSetup::paper_default(model.clone(), 20)
         })
         .ips_per_kilojoule();
-        assert!(eff_pick >= eff_20, "{}: pick is less efficient", model.name());
+        assert!(
+            eff_pick >= eff_20,
+            "{}: pick is less efficient",
+            model.name()
+        );
     }
 }
 
@@ -154,7 +152,10 @@ fn fig5_absolute_anchors() {
     let typ = baseline_inference(BaselineHost::Typical, &m, 4, &link).ips();
     let ideal = baseline_inference(BaselineHost::Ideal, &m, 4, &link).ips();
     assert!((75.0..115.0).contains(&typ), "Typical {typ:.1} (paper 94)");
-    assert!((110.0..135.0).contains(&ideal), "Ideal {ideal:.1} (paper 123)");
+    assert!(
+        (110.0..135.0).contains(&ideal),
+        "Ideal {ideal:.1} (paper 123)"
+    );
 }
 
 /// Fig 18 endpoint claims: NDPipe's efficiency advantage is large on a

@@ -1,0 +1,274 @@
+//! The event-driven RPC front door under concurrency: session-slot
+//! reaping on abort, client-side request pipelining, malformed-frame
+//! handling, and an (ignored-by-default) thousand-session soak that
+//! `scripts/check.sh` runs explicitly.
+
+use dnn::Mlp;
+use ndpipe::rpc::server::{PipeStoreServer, ServerConfig};
+use ndpipe::rpc::wire::{
+    read_handshake, read_reply, write_handshake, write_request, Handshake, Reply, Request,
+    PROTOCOL_VERSION,
+};
+use ndpipe::rpc::{ConnectOptions, RemotePipeStore};
+use ndpipe::PipeStore;
+use ndpipe_data::{ClassUniverse, LabeledDataset};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+use tensor::Tensor;
+
+fn dataset(rng: &mut StdRng, classes: usize, per_class: usize) -> LabeledDataset {
+    let u = ClassUniverse::new(16, 8, classes, 0.3, rng);
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    for c in 0..classes {
+        for _ in 0..per_class {
+            rows.push(u.sample(c, rng));
+            labels.push(c);
+        }
+    }
+    LabeledDataset::new(rows, labels, classes)
+}
+
+fn bind_server(rng: &mut StdRng) -> PipeStoreServer {
+    let train = dataset(rng, 4, 8);
+    PipeStoreServer::bind(
+        PipeStore::new(0, train),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .expect("bind event server")
+}
+
+/// Feature rows plus the labels the installed model must produce for
+/// them, computed by a local forward pass.
+fn rows_and_expected(model: &Mlp, rng: &mut StdRng, n: usize) -> (Vec<Vec<f32>>, Vec<u32>) {
+    let rows: Vec<Vec<f32>> = (0..n)
+        .map(|_| Tensor::randn(&[16], rng).data().to_vec())
+        .collect();
+    let expected: Vec<u32> = rows
+        .iter()
+        .map(|r| {
+            model
+                .forward(&Tensor::from_vec(r.clone(), &[1, 16]))
+                .argmax() as u32
+        })
+        .collect();
+    (rows, expected)
+}
+
+#[test]
+fn abort_reaps_every_session_and_gauge_returns_to_zero() {
+    let mut rng = StdRng::seed_from_u64(601);
+    let server = bind_server(&mut rng);
+    let addr = server.local_addr();
+
+    let mut clients: Vec<RemotePipeStore> = (0..4)
+        .map(|_| RemotePipeStore::connect(addr).expect("connect"))
+        .collect();
+    for c in &mut clients {
+        c.describe().expect("describe");
+    }
+    assert_eq!(server.active_sessions(), 4);
+
+    // Hard stop with all four sessions still open: every slot must be
+    // reaped, so the gauge lands back at zero — not at whatever the
+    // abort interleaving left behind.
+    let store = server.abort().expect("abort");
+    let snap = store.metrics().snapshot();
+    let gauge = snap
+        .find("ndpipe_rpc_sessions_active")
+        .expect("session gauge registered");
+    match gauge.value {
+        telemetry::SampleValue::Gauge(v) => {
+            assert_eq!(v, 0.0, "session gauge drifted after abort");
+        }
+        ref other => panic!("expected gauge, got {}", other.kind()),
+    }
+
+    // The peers were slammed shut; their next call errors, never hangs.
+    for mut c in clients {
+        assert!(c.describe().is_err(), "session survived a hard abort");
+    }
+}
+
+#[test]
+fn pipelined_inference_matches_direct_forward() {
+    let mut rng = StdRng::seed_from_u64(602);
+    let server = bind_server(&mut rng);
+    let model = Mlp::new(&[16, 24, 4], 1, &mut rng);
+
+    let mut client = RemotePipeStore::connect(server.local_addr()).expect("connect");
+    client.install_model(&model).expect("install");
+
+    // 25 rows through a window of 8: three full windows plus a remnant,
+    // all answered in request order.
+    let (rows, expected) = rows_and_expected(&model, &mut rng, 25);
+    let labels = client.infer_pipelined(&rows, 8).expect("pipelined infer");
+    assert_eq!(labels, expected, "replies out of order or mislabeled");
+
+    // The explicit window API composes with plain calls once drained.
+    client.start_infer(&rows[0]).expect("start");
+    client.start_infer(&rows[1]).expect("start");
+    assert_eq!(client.pending_infers(), 2);
+    assert_eq!(
+        client.finish_infer().expect("finish"),
+        vec![expected[0], expected[1]]
+    );
+    assert_eq!(client.infer(&rows[2]).expect("single infer"), expected[2]);
+
+    client.shutdown().expect("end session");
+    server.shutdown().expect("clean server stop");
+}
+
+#[test]
+fn malformed_request_body_gets_structured_error_and_session_survives() {
+    let mut rng = StdRng::seed_from_u64(603);
+    let server = bind_server(&mut rng);
+
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    write_handshake(
+        &mut stream,
+        &Handshake::Hello {
+            version: PROTOCOL_VERSION,
+            features: 0,
+        },
+    )
+    .expect("hello");
+    match read_handshake(&mut stream).expect("greeting") {
+        Handshake::Accept { .. } => {}
+        other => panic!("expected accept, got {other:?}"),
+    }
+
+    // A well-formed frame (honest length prefix) around a body the
+    // request decoder must reject: unknown tag, three junk bytes.
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&3u32.to_le_bytes());
+    frame.push(0xEE);
+    frame.extend_from_slice(&[1, 2, 3]);
+    stream.write_all(&frame).expect("send malformed frame");
+
+    match read_reply(&mut stream).expect("error reply").0 {
+        Reply::Error(msg) => assert!(
+            msg.contains("bad request frame"),
+            "unexpected error text: {msg}"
+        ),
+        other => panic!("expected structured error, got {other:?}"),
+    }
+
+    // The session survived the bad body: a valid request still works.
+    write_request(&mut stream, &Request::Describe).expect("describe");
+    match read_reply(&mut stream).expect("describe reply").0 {
+        Reply::ShardInfo { .. } => {}
+        other => panic!("expected shard info, got {other:?}"),
+    }
+    drop(stream);
+
+    // And the malformed body was the peer's fault, not a server-side
+    // session failure: shutdown reports no first error.
+    server
+        .shutdown()
+        .expect("malformed body must not poison shutdown");
+}
+
+/// The ISSUE's soak gate: ≥1000 concurrent sessions on the DEFAULT
+/// config, every reply accounted for, p99 asserted from the telemetry
+/// histogram. Ignored by default (it's a load test); `scripts/check.sh`
+/// runs it with `--ignored`.
+#[test]
+#[ignore = "1k-session soak; run explicitly or via scripts/check.sh"]
+fn soak_holds_a_thousand_concurrent_sessions() {
+    const THREADS: usize = 16;
+    const CONNS: usize = 64; // 16 × 64 = 1024 concurrent sessions
+    const INFERS: usize = 16; // per session
+    const WINDOW: usize = 8;
+
+    let mut rng = StdRng::seed_from_u64(604);
+    let server = bind_server(&mut rng);
+    let addr = server.local_addr();
+    let model = Arc::new(Mlp::new(&[16, 24, 4], 1, &mut rng));
+    {
+        let mut c = RemotePipeStore::connect(addr).expect("installer connect");
+        c.install_model(&model).expect("install");
+        c.shutdown().expect("installer end");
+    }
+
+    let connected = Arc::new(Barrier::new(THREADS + 1));
+    let proceed = Arc::new(Barrier::new(THREADS + 1));
+    let mut handles = Vec::with_capacity(THREADS);
+    for t in 0..THREADS {
+        let connected = Arc::clone(&connected);
+        let proceed = Arc::clone(&proceed);
+        let model = Arc::clone(&model);
+        handles.push(std::thread::spawn(move || -> usize {
+            let mut rng = StdRng::seed_from_u64(700 + t as u64);
+            // The connect storm can outrun the accept loop; generous
+            // retries keep the ramp-up honest instead of flaky.
+            let opts = ConnectOptions::new()
+                .retries(10)
+                .backoff(Duration::from_millis(5), Duration::from_millis(200));
+            let mut clients: Vec<RemotePipeStore> = (0..CONNS)
+                .map(|_| RemotePipeStore::connect_with(addr, opts).expect("connect"))
+                .collect();
+            connected.wait();
+            // Hold every session open until the main thread has observed
+            // the concurrent population.
+            proceed.wait();
+            let mut replies = 0usize;
+            for c in clients.iter_mut() {
+                let (rows, expected) = rows_and_expected(&model, &mut rng, INFERS);
+                let got = c.infer_pipelined(&rows, WINDOW).expect("pipelined infer");
+                assert_eq!(got, expected, "reply demultiplexed to the wrong request");
+                replies += got.len();
+            }
+            for c in clients {
+                c.shutdown().expect("end session");
+            }
+            replies
+        }));
+    }
+
+    connected.wait();
+    let peak = server.active_sessions();
+    assert!(
+        peak >= THREADS * CONNS,
+        "soak never reached 1000 concurrent sessions: {peak}"
+    );
+    proceed.wait();
+    let total: usize = handles
+        .into_iter()
+        .map(|h| h.join().expect("soak thread"))
+        .sum();
+    assert_eq!(total, THREADS * CONNS * INFERS, "lost replies");
+
+    let store = server.shutdown().expect("clean shutdown after soak");
+    let snap = store.metrics().snapshot();
+    let lat = snap
+        .find_with("ndpipe_rpc_server_op_seconds", &[("op", "infer")])
+        .expect("infer latency histogram");
+    match lat.value {
+        telemetry::SampleValue::Histogram(ref h) => {
+            assert_eq!(
+                h.count,
+                (THREADS * CONNS * INFERS) as u64,
+                "latency histogram lost observations"
+            );
+            let p99 = h.quantile(0.99);
+            assert!(
+                p99.is_finite() && p99 >= 0.0,
+                "p99 must be recorded, got {p99}"
+            );
+            println!(
+                "soak: {} sessions, {} infers, p99 infer latency {:.6}s",
+                peak, total, p99
+            );
+        }
+        ref other => panic!("expected histogram, got {}", other.kind()),
+    }
+}

@@ -129,9 +129,7 @@ fn cluster_scrape_merges_metrics_from_two_live_servers() {
         assert!(
             labelled.samples.iter().any(|s| {
                 s.name == "ndpipe_rpc_server_requests_total"
-                    && s.labels
-                        .iter()
-                        .any(|(k, v)| k == "peer" && v == addr)
+                    && s.labels.iter().any(|(k, v)| k == "peer" && v == addr)
             }),
             "peer {addr} missing from labelled merge"
         );
@@ -140,7 +138,9 @@ fn cluster_scrape_merges_metrics_from_two_live_servers() {
     // And the merged view survives both exporters.
     let json = labelled.to_json();
     telemetry::export::validate_json(&json).expect("merged snapshot JSON");
-    assert!(labelled.to_prometheus().contains("ndpipe_rpc_server_requests_total"));
+    assert!(labelled
+        .to_prometheus()
+        .contains("ndpipe_rpc_server_requests_total"));
 
     for c in clients {
         c.shutdown().expect("shutdown");

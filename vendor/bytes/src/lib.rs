@@ -75,7 +75,11 @@ impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
         let data: Arc<[u8]> = v.into();
         let end = data.len();
-        Bytes { data, start: 0, end }
+        Bytes {
+            data,
+            start: 0,
+            end,
+        }
     }
 }
 
@@ -157,7 +161,9 @@ impl BytesMut {
 
     /// Creates an empty buffer with `cap` bytes of capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        BytesMut { buf: Vec::with_capacity(cap) }
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+        }
     }
 
     /// Length in bytes.

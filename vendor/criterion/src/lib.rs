@@ -60,12 +60,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// `name/parameter` form.
     pub fn new(name: &str, parameter: impl Display) -> Self {
-        BenchmarkId { id: format!("{name}/{parameter}") }
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
     }
 
     /// Parameter-only form.
     pub fn from_parameter(parameter: impl Display) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -160,8 +164,13 @@ impl Bencher {
     }
 }
 
-fn run_one<F>(name: &str, throughput: Option<Throughput>, warmup: Duration, measure: Duration, mut f: F)
-where
+fn run_one<F>(
+    name: &str,
+    throughput: Option<Throughput>,
+    warmup: Duration,
+    measure: Duration,
+    mut f: F,
+) where
     F: FnMut(&mut Bencher),
 {
     let mut b = Bencher {

@@ -52,6 +52,26 @@ pub enum TryRecvError {
     Disconnected,
 }
 
+/// Error for [`Sender::try_send`]: the message comes back to the caller.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The bounded channel is at capacity right now.
+    Full(T),
+    /// All receivers are gone.
+    Disconnected(T),
+}
+
+impl<T> std::fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrySendError::Full(_) => write!(f, "sending on a full channel"),
+            TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::error::Error for TrySendError<T> {}
+
 /// The sending half; cloneable for fan-in.
 pub struct Sender<T> {
     shared: Arc<Shared<T>>,
@@ -86,7 +106,9 @@ fn make<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
         not_full: Condvar::new(),
     });
     (
-        Sender { shared: Arc::clone(&shared) },
+        Sender {
+            shared: Arc::clone(&shared),
+        },
         Receiver { shared },
     )
 }
@@ -122,12 +144,33 @@ impl<T> Sender<T> {
         self.shared.not_empty.notify_one();
         Ok(())
     }
+
+    /// Delivers `msg` only if it can be done without blocking; a full or
+    /// disconnected channel hands the message back so the caller can
+    /// apply its own backpressure policy.
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        let mut inner = self.shared.inner.lock().expect("channel lock");
+        if inner.receivers == 0 {
+            return Err(TrySendError::Disconnected(msg));
+        }
+        if let Some(cap) = inner.cap {
+            if inner.queue.len() >= cap {
+                return Err(TrySendError::Full(msg));
+            }
+        }
+        inner.queue.push_back(msg);
+        drop(inner);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
 }
 
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
         self.shared.inner.lock().expect("channel lock").senders += 1;
-        Sender { shared: Arc::clone(&self.shared) }
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
     }
 }
 
@@ -197,7 +240,9 @@ impl<T> Receiver<T> {
 impl<T> Clone for Receiver<T> {
     fn clone(&self) -> Self {
         self.shared.inner.lock().expect("channel lock").receivers += 1;
-        Receiver { shared: Arc::clone(&self.shared) }
+        Receiver {
+            shared: Arc::clone(&self.shared),
+        }
     }
 }
 
@@ -300,7 +345,10 @@ mod tests {
         for p in producers {
             p.join().expect("producer");
         }
-        let total: usize = consumers.into_iter().map(|c| c.join().expect("consumer")).sum();
+        let total: usize = consumers
+            .into_iter()
+            .map(|c| c.join().expect("consumer"))
+            .sum();
         assert_eq!(total, 200);
     }
 }

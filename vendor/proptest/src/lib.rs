@@ -21,7 +21,9 @@ pub mod prelude {
     pub use crate::prop;
     pub use crate::strategy::{any, Any, BoxedStrategy, Just, Map, Strategy, Union};
     pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Declares property tests: each `fn name(arg in strategy, ...) { body }`

@@ -178,10 +178,7 @@ mod tests {
 
     #[test]
     fn union_respects_weights_roughly() {
-        let u = Union::new(vec![
-            (9, Just(true).boxed()),
-            (1, Just(false).boxed()),
-        ]);
+        let u = Union::new(vec![(9, Just(true).boxed()), (1, Just(false).boxed())]);
         let mut rng = rng_for("union_weights");
         let trues = (0..10_000).filter(|_| u.new_value(&mut rng)).count();
         assert!((8_000..9_900).contains(&trues), "trues = {trues}");

@@ -130,7 +130,12 @@ impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
 /// Types with uniform sampling over a half-open or closed range.
 pub trait SampleUniform: Sized {
     /// Uniform sample in `lo..hi` (or `lo..=hi` when `inclusive`).
-    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self;
+    fn sample_uniform<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+    ) -> Self;
 }
 
 macro_rules! int_sample_uniform {
