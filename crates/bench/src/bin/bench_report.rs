@@ -1,13 +1,15 @@
 //! Measured benchmarks: prints the human-readable reports and writes the
 //! machine-readable JSON artifacts (`results/BENCH_npe_pipeline.json`,
 //! `results/BENCH_gemm_kernel.json`,
-//! `results/BENCH_telemetry_overhead.json`, and
-//! `results/BENCH_cluster_fanout.json`, and
-//! `results/BENCH_rpc_concurrency.json`). Pass `--fast` for smaller
-//! (noisier) configurations.
+//! `results/BENCH_telemetry_overhead.json`,
+//! `results/BENCH_cluster_fanout.json`,
+//! `results/BENCH_rpc_concurrency.json`, and
+//! `results/BENCH_placement.json`). Pass `--fast` for smaller (noisier)
+//! configurations.
 
 use bench::reports::{
-    cluster_fanout, gemm_kernel, npe_pipeline, rpc_concurrency, telemetry_overhead,
+    cluster_fanout, gemm_kernel, npe_pipeline, placement_rebalance, rpc_concurrency,
+    telemetry_overhead,
 };
 use std::fs;
 
@@ -75,5 +77,18 @@ fn main() {
     telemetry::export::validate_json(&json).expect("rpc concurrency json well-formed");
     let path = out_dir.join("BENCH_rpc_concurrency.json");
     fs::write(&path, json).expect("write rpc concurrency json");
+    println!("\n# wrote {}", path.display());
+
+    let params = if fast {
+        placement_rebalance::PlacementParams::fast()
+    } else {
+        placement_rebalance::PlacementParams::full()
+    };
+    let m = placement_rebalance::measure_with(&params);
+    println!("\n{}", placement_rebalance::render(&m));
+    let json = placement_rebalance::to_json(&m);
+    telemetry::export::validate_json(&json).expect("placement json well-formed");
+    let path = out_dir.join("BENCH_placement.json");
+    fs::write(&path, json).expect("write placement json");
     println!("\n# wrote {}", path.display());
 }

@@ -21,6 +21,7 @@ pub mod fig20_inferentia;
 pub mod fig21_cost;
 pub mod gemm_kernel;
 pub mod npe_pipeline;
+pub mod placement_rebalance;
 pub mod rpc_concurrency;
 pub mod table1_labels;
 pub mod table2_accuracy;
@@ -51,6 +52,7 @@ pub fn run_all(fast: bool) -> Vec<(&'static str, String)> {
         ("telemetry_overhead", telemetry_overhead::run(fast)),
         ("cluster_fanout", cluster_fanout::run(fast)),
         ("rpc_concurrency", rpc_concurrency::run(fast)),
+        ("placement_rebalance", placement_rebalance::run(fast)),
         ("check_n_run", check_n_run::run(fast)),
         ("ablations", ablations::run(fast)),
         ("artifact", artifact::run(fast)),

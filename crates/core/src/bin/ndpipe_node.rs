@@ -7,18 +7,24 @@
 //! started on different machines fit together.
 //!
 //! ```bash
-//! # terminal 1..3: storage nodes
-//! ndpipe_node pipestore --listen 127.0.0.1:7401 --shard 0/3 --seed 42
-//! ndpipe_node pipestore --listen 127.0.0.1:7402 --shard 1/3 --seed 42
-//! ndpipe_node pipestore --listen 127.0.0.1:7403 --shard 2/3 --seed 42
-//! # terminal 4: the Tuner
-//! ndpipe_node tuner --connect 127.0.0.1:7401,127.0.0.1:7402,127.0.0.1:7403 --seed 42
+//! # terminal 1..3: storage nodes, each also replicating one peer's shard
+//! ndpipe_node pipestore --listen 127.0.0.1:7401 --shard 0/3 --seed 42 --replicas 2
+//! ndpipe_node pipestore --listen 127.0.0.1:7402 --shard 1/3 --seed 42 --replicas 2
+//! ndpipe_node pipestore --listen 127.0.0.1:7403 --shard 2/3 --seed 42 --replicas 2
+//! # terminal 4: the Tuner (placement-aware — a dead store's shard is
+//! # extracted from a surviving replica instead of being dropped)
+//! ndpipe_node tuner --connect 127.0.0.1:7401,127.0.0.1:7402,127.0.0.1:7403 \
+//!     --seed 42 --replicas 2 --quorum 2
 //! ```
+//!
+//! With `--replicas R` every node derives the same rendezvous-hash
+//! [`PlacementMap`] from the shard count, so the fleet agrees on which
+//! stores replicate which shards without any coordination service.
 
 use dnn::{Mlp, TrainConfig, Trainer};
 use ndpipe::ftdmp::FtdmpConfig;
 use ndpipe::rpc::{Cluster, FailurePolicy, PipeStoreServer, ServerConfig};
-use ndpipe::{PipeStore, Tuner};
+use ndpipe::{PipeStore, PlacementMap, Tuner};
 use ndpipe_data::{ClassUniverse, LabeledDataset};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -30,8 +36,9 @@ const PER_CLASS: usize = 60;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  ndpipe_node pipestore --listen ADDR --shard I/N [--seed S]\n  \
-         ndpipe_node tuner --connect ADDR[,ADDR...] [--seed S] [--runs N] [--epochs E] [--quorum K]"
+        "usage:\n  ndpipe_node pipestore --listen ADDR --shard I/N [--seed S] [--replicas R]\n  \
+         ndpipe_node tuner --connect ADDR[,ADDR...] [--seed S] [--runs N] [--epochs E] \
+         [--quorum K] [--replicas R]"
     );
     ExitCode::FAILURE
 }
@@ -79,20 +86,49 @@ fn run_pipestore(args: &[String]) -> ExitCode {
         eprintln!("bad shard spec {shard_spec}");
         return ExitCode::FAILURE;
     }
+    let replicas: usize = arg_value(args, "--replicas")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
     let (_, data) = corpus(seed);
-    let shard = data.shards(n).swap_remove(i);
+    let mut shards = data.shards(n);
+    let shard = shards[i].clone();
     eprintln!(
         "pipestore {i}/{n}: {} local examples, serving on {listen}",
         shard.len()
     );
-    let server =
-        match PipeStoreServer::bind(PipeStore::new(i, shard), &listen, ServerConfig::default()) {
-            Ok(s) => s,
+    let mut store = PipeStore::new(i, shard);
+    if replicas > 1 {
+        // Same seed + same shard count on every node → identical map, so
+        // the fleet agrees on replica placement with no coordination.
+        let ids: Vec<u64> = (0..n as u64).collect();
+        let map = match PlacementMap::new(&ids, replicas) {
+            Ok(m) => m,
             Err(e) => {
-                eprintln!("pipestore {i}/{n}: {e}");
+                eprintln!("pipestore {i}/{n}: bad --replicas {replicas}: {e}");
                 return ExitCode::FAILURE;
             }
         };
+        for (a, peer_shard) in shards.drain(..).enumerate() {
+            if a != i && map.shard_holders(a as u64).contains(&(i as u64)) {
+                eprintln!("pipestore {i}/{n}: replicating shard {a}/{n}");
+                store.add_replica_shard(a as u64, peer_shard);
+            }
+        }
+        match store.install_placement(map) {
+            Ok(epoch) => eprintln!("pipestore {i}/{n}: placement epoch {epoch}"),
+            Err(held) => {
+                eprintln!("pipestore {i}/{n}: placement rejected (held epoch {held})");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let server = match PipeStoreServer::bind(store, &listen, ServerConfig::default()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("pipestore {i}/{n}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     eprintln!("pipestore {i}/{n}: listening on {}", server.local_addr());
     // Serve until the first Tuner session finishes, then drain & exit —
     // the artifact workflow runs one fine-tuning round per invocation.
@@ -132,6 +168,9 @@ fn run_tuner(args: &[String]) -> ExitCode {
         Some(Err(_)) => return usage(),
         None => FailurePolicy::Strict,
     };
+    let replicas: usize = arg_value(args, "--replicas")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
 
     let (universe, _) = corpus(seed);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x7A_BE);
@@ -169,7 +208,27 @@ fn run_tuner(args: &[String]) -> ExitCode {
         cluster.policy()
     );
 
-    let outcome = match cluster.ftdmp_fine_tune(
+    // With `--replicas R` the Tuner publishes the same map the stores
+    // derived locally and drives a placement-aware sweep: a dead store's
+    // shard is extracted from a surviving replica instead of dropped.
+    let placement = if replicas > 1 {
+        let ids: Vec<u64> = (0..addrs.len() as u64).collect();
+        let map = match PlacementMap::new(&ids, replicas) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("tuner: bad --replicas {replicas}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for f in cluster.publish_placement(&map).failures {
+            eprintln!("tuner: placement publish warning: {f}");
+        }
+        Some(map)
+    } else {
+        None
+    };
+
+    let outcome = match cluster.ftdmp_fine_tune_with(
         &mut tuner,
         &FtdmpConfig {
             n_run,
@@ -177,6 +236,7 @@ fn run_tuner(args: &[String]) -> ExitCode {
             train: cfg,
         },
         &mut rng,
+        placement.as_ref(),
     ) {
         Ok(r) => r,
         Err(e) => {
@@ -193,6 +253,9 @@ fn run_tuner(args: &[String]) -> ExitCode {
         eprintln!("tuner: peer excluded mid-round: {f}");
     }
     println!("peers completed       {}", outcome.peers_used.len());
+    if placement.is_some() {
+        println!("shard reroutes        {}", outcome.reroutes);
+    }
     println!("examples trained      {}", report.examples);
     println!("feature bytes moved   {}", report.feature_bytes);
     println!(

@@ -64,6 +64,7 @@ pub mod ftdmp;
 pub mod labeldb;
 pub mod npe;
 pub mod online;
+pub mod placement;
 pub mod pipestore;
 pub mod rpc;
 pub mod system;
@@ -73,5 +74,6 @@ pub use apo::{ApoInput, ApoResult};
 pub use checknrun::ModelDelta;
 pub use ftdmp::{ftdmp_fine_tune, FtdmpConfig, FtdmpReport};
 pub use labeldb::LabelDb;
+pub use placement::{PlacementError, PlacementMap};
 pub use pipestore::PipeStore;
 pub use tuner::Tuner;

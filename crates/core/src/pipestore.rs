@@ -7,10 +7,13 @@
 //! offline inference.
 
 use crate::npe::engine::{self, EngineConfig, PipelineStats};
+use crate::placement::PlacementMap;
+use crate::rpc::wire::PhotoRecord;
 use dnn::Mlp;
 use ndpipe_data::deflate;
 use ndpipe_data::{LabeledDataset, Photo, PhotoId};
 use parking_lot::RwLock;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use tensor::Tensor;
@@ -136,6 +139,12 @@ pub struct PipeStore {
     /// whenever the version diverges, so Check-N-Run delta application
     /// invalidates it automatically.
     published: RwLock<Option<(u64, Arc<Mlp>)>>,
+    /// The placement map this store last accepted (epoch-monotone).
+    placement: RwLock<Option<PlacementMap>>,
+    /// Replica copies of *other* nodes' training shards, keyed by the
+    /// owning placement node id. FT-DMP reroutes a dead peer's
+    /// extraction assignment here ([`PipeStore::shard_for`]).
+    replica_shards: BTreeMap<u64, LabeledDataset>,
     metrics: Arc<telemetry::Registry>,
     npe: Mutex<NpeActivity>,
 }
@@ -149,6 +158,8 @@ impl PipeStore {
             photos: PhotoShards::new(),
             model: None,
             published: RwLock::new(None),
+            placement: RwLock::new(None),
+            replica_shards: BTreeMap::new(),
             metrics: Arc::new(telemetry::Registry::new()),
             npe: Mutex::new(NpeActivity::default()),
         }
@@ -268,6 +279,61 @@ impl PipeStore {
         self.shard = shard;
     }
 
+    /// The placement map this store currently holds (a clone).
+    pub fn placement(&self) -> Option<PlacementMap> {
+        self.placement.read().clone()
+    }
+
+    /// Accepts an epoch-numbered placement map. Epochs are monotone: a
+    /// map older than the one held is refused, so a delayed publish can
+    /// never roll placement backwards. Re-installing the held epoch is
+    /// an idempotent success.
+    ///
+    /// # Errors
+    ///
+    /// Returns the held (newer) epoch when `map` is stale.
+    pub fn install_placement(&self, map: PlacementMap) -> Result<u64, u64> {
+        let mut guard = self.placement.write();
+        if let Some(held) = guard.as_ref() {
+            if map.epoch() < held.epoch() {
+                return Err(held.epoch());
+            }
+        }
+        let epoch = map.epoch();
+        *guard = Some(map);
+        drop(guard);
+        if telemetry::enabled() {
+            self.metrics
+                .gauge(
+                    "ndpipe_placement_epoch",
+                    "epoch of the placement map this store holds",
+                )
+                .set(epoch as f64);
+        }
+        Ok(epoch)
+    }
+
+    /// Attaches a replica copy of another node's training shard, so
+    /// this store can stand in for `node` during FT-DMP extraction.
+    pub fn add_replica_shard(&mut self, node: u64, shard: LabeledDataset) {
+        self.replica_shards.insert(node, shard);
+    }
+
+    /// Placement node ids whose shards this store replicates.
+    pub fn replica_nodes(&self) -> Vec<u64> {
+        self.replica_shards.keys().copied().collect()
+    }
+
+    /// The training shard for placement node `node`: the store's own
+    /// shard when `node` is its id, otherwise an attached replica.
+    pub fn shard_for(&self, node: u64) -> Option<&LabeledDataset> {
+        if node == self.id as u64 {
+            Some(&self.shard)
+        } else {
+            self.replica_shards.get(&node)
+        }
+    }
+
     /// Number of stored photos.
     pub fn photo_count(&self) -> usize {
         self.photos.len()
@@ -307,6 +373,72 @@ impl PipeStore {
     /// behind a shard lock that must not be held across caller code).
     pub fn photo(&self, id: PhotoId) -> Option<StoredPhoto> {
         self.photos.get(id)
+    }
+
+    /// Adopts one replicated photo record off the wire: the sidecar
+    /// arrives already chunked-DEFLATE compressed, so no re-preprocess
+    /// or re-compress happens here. Idempotent — a record whose id is
+    /// already stored is skipped (rebalance may legitimately retry),
+    /// returning `false`.
+    pub fn store_photo_record(&self, rec: PhotoRecord) -> bool {
+        let id = PhotoId(rec.id);
+        if self.photos.get(id).is_some() {
+            return false;
+        }
+        if telemetry::enabled() {
+            self.metrics
+                .counter("ndpipe_store_photos_total", "photos ingested by this store")
+                .inc();
+            self.metrics
+                .counter(
+                    "ndpipe_store_sidecar_bytes_total",
+                    "compressed preprocessed-binary sidecar bytes written",
+                )
+                .add(rec.sidecar.len() as u64);
+            self.metrics
+                .counter(
+                    "ndpipe_store_preproc_bytes_total",
+                    "uncompressed preprocessed-binary bytes ingested",
+                )
+                .add(rec.preproc_bytes as u64);
+        }
+        self.photos.insert(StoredPhoto {
+            photo: Photo {
+                id,
+                class: rec.class as usize,
+                day: rec.day as usize,
+                blob: bytes::Bytes::from(rec.blob),
+            },
+            compressed_binary: rec.sidecar,
+            preproc_bytes: rec.preproc_bytes as usize,
+        });
+        true
+    }
+
+    /// The wire-shaped record for one stored photo, for replication and
+    /// rebalance reads.
+    pub fn photo_record(&self, id: PhotoId) -> Option<PhotoRecord> {
+        let stored = self.photos.get(id)?;
+        Some(PhotoRecord {
+            id: stored.photo.id.0,
+            class: stored.photo.class as u32,
+            day: stored.photo.day as u32,
+            preproc_bytes: stored.preproc_bytes as u32,
+            blob: stored.photo.blob.to_vec(),
+            sidecar: stored.compressed_binary,
+        })
+    }
+
+    /// Ids of every stored photo, ascending.
+    pub fn photo_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self
+            .photos
+            .snapshot()
+            .into_iter()
+            .map(|p| p.photo.id.0)
+            .collect();
+        ids.sort_unstable();
+        ids
     }
 
     /// Mutates one stored photo in place under its shard lock, returning
@@ -445,8 +577,36 @@ impl PipeStore {
         range: std::ops::Range<usize>,
         cfg: &EngineConfig,
     ) -> ((Tensor, Vec<usize>), PipelineStats) {
+        self.extract_on(&self.shard, range, cfg)
+    }
+
+    /// [`PipeStore::extract_features_batched`] over the *replica shard*
+    /// of placement node `node` — the mid-sweep reroute path: a
+    /// surviving replica extracts a dead peer's assignment with its own
+    /// installed model, bit-identical to what the dead peer would have
+    /// produced. `None` when this store holds no shard for `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no model is installed or the range is out of bounds.
+    pub fn extract_features_batched_for(
+        &self,
+        node: u64,
+        range: std::ops::Range<usize>,
+        cfg: &EngineConfig,
+    ) -> Option<((Tensor, Vec<usize>), PipelineStats)> {
+        let shard = self.shard_for(node)?;
+        Some(self.extract_on(shard, range, cfg))
+    }
+
+    fn extract_on(
+        &self,
+        shard: &LabeledDataset,
+        range: std::ops::Range<usize>,
+        cfg: &EngineConfig,
+    ) -> ((Tensor, Vec<usize>), PipelineStats) {
         let model = self.model.as_ref().expect("no model installed");
-        assert!(range.end <= self.shard.len(), "range out of bounds");
+        assert!(range.end <= shard.len(), "range out of bounds");
         let feature_dim = model.feature_dim();
         let (pairs, stats) = engine::run_pipeline(
             cfg,
@@ -454,7 +614,7 @@ impl PipeStore {
             // Decode stage: fetch the (already preprocessed) row — the
             // FT-DMP path has no decompression work by design (§5.4's
             // fine-tune task reads preprocessed binaries).
-            |_, i| (self.shard.features().row(i), self.shard.labels()[i]),
+            |_, i| (shard.features().row(i), shard.labels()[i]),
             |batch: Vec<(Tensor, usize)>| {
                 let (rows, labels): (Vec<Tensor>, Vec<usize>) = batch.into_iter().unzip();
                 let x = Tensor::stack_rows(&rows);
@@ -477,32 +637,39 @@ impl PipeStore {
     }
 
     /// Persists every stored photo (raw blob + compressed sidecar) into a
-    /// Haystack-style [`objstore::ObjectStore`]. Blobs go under key
-    /// `2·id`, sidecars under `2·id + 1` with the uncompressed length
-    /// prepended; [`PipeStore::restore_photos`] inverts this.
+    /// Haystack-style [`objstore::ObjectStore`]. Keys are shard-aware
+    /// ([`objstore::keys`]): blobs under `keys::blob(store_id, photo)`,
+    /// sidecars under `keys::sidecar(store_id, photo)` with the
+    /// uncompressed length prepended; [`PipeStore::restore_photos`]
+    /// inverts this. With replication the same `ObjectStore` can hold
+    /// several stores' archives without key collisions.
     ///
     /// # Errors
     ///
-    /// Propagates object-store I/O errors.
+    /// Propagates object-store I/O errors; a photo id outside the
+    /// packed-key budget is [`objstore::StoreError::KeyOutOfRange`].
     pub fn persist_photos(
         &self,
         store: &mut objstore::ObjectStore,
     ) -> Result<usize, objstore::StoreError> {
+        let shard_id = self.id as u64;
         let photos = self.photos.snapshot();
         for p in &photos {
-            store.put(p.photo.id.0 * 2, &p.photo.blob)?;
+            store.put(objstore::keys::blob(shard_id, p.photo.id.0)?, &p.photo.blob)?;
             let mut sidecar = Vec::with_capacity(4 + p.compressed_binary.len());
             sidecar.extend_from_slice(&(p.preproc_bytes as u32).to_le_bytes());
             sidecar.extend_from_slice(&p.compressed_binary);
-            store.put(p.photo.id.0 * 2 + 1, &sidecar)?;
+            store.put(objstore::keys::sidecar(shard_id, p.photo.id.0)?, &sidecar)?;
         }
         store.sync()?;
         Ok(photos.len())
     }
 
     /// Reloads photos previously written by [`PipeStore::persist_photos`],
-    /// replacing the in-memory photo list. Photo class/day metadata is
-    /// recovered from the synthetic blob header.
+    /// replacing the in-memory photo list. Only keys in this store's
+    /// shard keyspace are considered, so co-located archives of other
+    /// stores are left alone. Photo class/day metadata is recovered from
+    /// the synthetic blob header.
     ///
     /// # Errors
     ///
@@ -511,7 +678,11 @@ impl PipeStore {
         &mut self,
         store: &mut objstore::ObjectStore,
     ) -> Result<usize, objstore::StoreError> {
-        let mut blob_keys: Vec<u64> = store.keys().filter(|k| k % 2 == 0).collect();
+        let shard_id = self.id as u64;
+        let mut blob_keys: Vec<u64> = store
+            .keys()
+            .filter(|&k| objstore::keys::is_blob(k) && objstore::keys::shard_of(k) == shard_id)
+            .collect();
         blob_keys.sort_unstable();
         let mut restored = Vec::with_capacity(blob_keys.len());
         for key in blob_keys {
@@ -533,7 +704,7 @@ impl PipeStore {
                 u32::from_le_bytes(sidecar[..4].try_into().expect("fixed")) as usize;
             restored.push(StoredPhoto {
                 photo: Photo {
-                    id: PhotoId(key / 2),
+                    id: PhotoId(objstore::keys::photo_of(key)),
                     class,
                     day,
                     blob: bytes::Bytes::from(blob),
@@ -677,7 +848,7 @@ mod tests {
     #[test]
     fn stores_photos_with_compressed_sidecars() {
         let mut rng = StdRng::seed_from_u64(41);
-        let mut ps = PipeStore::new(0, shard(&mut rng));
+        let ps = PipeStore::new(0, shard(&mut rng));
         let mut factory = PhotoFactory::new(4096);
         for i in 0..3 {
             let p = factory.make(i, 0, &mut rng);
@@ -858,6 +1029,84 @@ mod tests {
             "items counted once per stage"
         );
         assert!(snap.find("ndpipe_npe_run_wall_seconds").is_some());
+    }
+
+    #[test]
+    fn photo_records_roundtrip_and_dedupe() {
+        let mut rng = StdRng::seed_from_u64(53);
+        let ps = PipeStore::new(12, shard(&mut rng));
+        let mut factory = PhotoFactory::new(512);
+        let p = factory.make(1, 2, &mut rng);
+        let id = p.id;
+        ps.store_photo(p, preprocessed_binary(256, &mut rng));
+
+        let rec = ps.photo_record(id).expect("record");
+        assert_eq!(rec.id, id.0);
+        assert_eq!(rec.class, 1);
+        assert_eq!(rec.day, 2);
+        assert_eq!(rec.preproc_bytes, 256);
+
+        // A replica adopting the record stores identical bytes without
+        // recompressing, and a duplicate put is a no-op.
+        let replica = PipeStore::new(13, shard(&mut rng));
+        assert!(replica.store_photo_record(rec.clone()));
+        assert!(!replica.store_photo_record(rec.clone()), "dedupe on id");
+        assert_eq!(replica.photo_count(), 1);
+        let back = replica.photo_record(id).expect("replicated record");
+        assert_eq!(back, rec);
+        let stored = replica.photo(id).expect("stored");
+        assert_eq!(
+            deflate::decompress_framed(&stored.compressed_binary)
+                .expect("sidecar decompresses")
+                .len(),
+            256
+        );
+        assert_eq!(replica.photo_ids(), vec![id.0]);
+    }
+
+    #[test]
+    fn placement_installs_are_epoch_monotone() {
+        let mut rng = StdRng::seed_from_u64(54);
+        let ps = PipeStore::new(0, shard(&mut rng));
+        assert!(ps.placement().is_none());
+        let mut map = PlacementMap::new(&[0, 1, 2], 2).expect("map");
+        assert_eq!(ps.install_placement(map.clone()), Ok(1));
+        map.mark_down(1).expect("known");
+        assert_eq!(ps.install_placement(map.clone()), Ok(2));
+        // Re-installing the held epoch is idempotent; an older one is
+        // refused with the held epoch.
+        assert_eq!(ps.install_placement(map), Ok(2));
+        let stale = PlacementMap::new(&[0, 1, 2], 2).expect("map");
+        assert_eq!(ps.install_placement(stale), Err(2));
+        assert_eq!(ps.placement().expect("held").epoch(), 2);
+    }
+
+    #[test]
+    fn replica_shard_extraction_matches_the_owner() {
+        let mut rng = StdRng::seed_from_u64(55);
+        let owner_shard = shard(&mut rng);
+        let m = model(&mut rng);
+        let mut owner = PipeStore::new(1, owner_shard.clone());
+        owner.install_model(m.clone());
+        let cfg = EngineConfig::default();
+        let ((want_f, want_l), _) = owner.extract_features_batched(0..owner_shard.len(), &cfg);
+
+        let mut replica = PipeStore::new(2, shard(&mut rng));
+        replica.install_model(m);
+        assert!(
+            replica
+                .extract_features_batched_for(1, 0..1, &cfg)
+                .is_none(),
+            "no replica shard attached yet"
+        );
+        replica.add_replica_shard(1, owner_shard.clone());
+        assert_eq!(replica.replica_nodes(), vec![1]);
+        assert_eq!(replica.shard_for(2).expect("own shard").len(), 9);
+        let ((f, l), _) = replica
+            .extract_features_batched_for(1, 0..owner_shard.len(), &cfg)
+            .expect("replica shard attached");
+        assert_eq!(f.data(), want_f.data(), "reroute is bit-identical");
+        assert_eq!(l, want_l);
     }
 
     #[test]

@@ -19,13 +19,10 @@
 //! - [`cluster`] — [`cluster::Cluster`]: the Tuner's control plane over a
 //!   fleet: one worker thread per peer, parallel fan-out, per-peer retry
 //!   and a [`cluster::FailurePolicy`] so a flaky peer doesn't abort the
-//!   round,
-//! - [`distributed`] — deprecated free-function shims kept for one
-//!   release; they delegate to [`cluster::Cluster`].
+//!   round.
 
 pub mod client;
 pub mod cluster;
-pub mod distributed;
 pub mod server;
 pub mod sys;
 pub mod wire;
@@ -33,10 +30,8 @@ pub mod wire;
 pub use client::{ConnectOptions, RemotePipeStore};
 pub use cluster::{
     Cluster, ClusterBuilder, ClusterError, ClusterFtdmpReport, ClusterMetrics, FailurePolicy,
-    Fanout, PeerFailure, PeerResult,
+    Fanout, PeerFailure, PeerResult, RebalanceConfig, RebalanceReport,
 };
-#[allow(deprecated)]
-pub use distributed::{ftdmp_fine_tune_remote, scrape_cluster};
 pub use server::{PipeStoreServer, ServerConfig};
 
 /// Errors on the RPC path, structured so failover logic can `match`

@@ -4,9 +4,11 @@
 //! the wire at once against the event-driven server.
 
 use crate::checknrun::ModelDelta;
+use crate::placement::PlacementMap;
 use crate::rpc::wire::{
     read_handshake, read_reply, write_handshake, write_request, write_request_noflush, Handshake,
-    Reply, Request, FEATURE_DELTAS, FEATURE_METRICS, FEATURE_MULTI_SESSION, PROTOCOL_VERSION,
+    PhotoRecord, Reply, Request, FEATURE_DELTAS, FEATURE_METRICS, FEATURE_MULTI_SESSION,
+    PROTOCOL_VERSION,
 };
 use crate::rpc::RpcError;
 use dnn::Mlp;
@@ -277,28 +279,6 @@ impl RemotePipeStore {
         }
     }
 
-    /// Moves the live session (and counters) out of `self`, leaving a
-    /// detached shell behind; [`RemotePipeStore::restore`] undoes it.
-    pub(crate) fn take(&mut self) -> RemotePipeStore {
-        RemotePipeStore {
-            io: self.io.take(),
-            peer: self.peer,
-            opts: self.opts,
-            store_id: self.store_id,
-            features: self.features,
-            sent_bytes: self.sent_bytes,
-            recv_bytes: self.recv_bytes,
-            // The in-flight window travels with the transport.
-            pending: std::mem::replace(&mut self.pending, 0),
-        }
-    }
-
-    /// Reinstalls a session previously moved out with
-    /// [`RemotePipeStore::take`] (possibly reconnected in the interim).
-    pub(crate) fn restore(&mut self, other: RemotePipeStore) {
-        *self = other;
-    }
-
     /// Whether a live session is attached.
     pub fn is_connected(&self) -> bool {
         self.io.is_some()
@@ -506,6 +486,84 @@ impl RemotePipeStore {
         match self.call(&Request::Metrics)? {
             Reply::Metrics(snapshot) => Ok(snapshot),
             _ => Err(RpcError::Protocol("expected metrics")),
+        }
+    }
+
+    /// Fetches the placement map the store holds (an error reply when
+    /// none was ever published to it).
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol/remote errors.
+    pub fn placement(&mut self) -> Result<PlacementMap, RpcError> {
+        match self.call(&Request::Placement)? {
+            Reply::Placement(map) => Ok(map),
+            _ => Err(RpcError::Protocol("expected placement map")),
+        }
+    }
+
+    /// Publishes an epoch-numbered placement map to the store. Stale
+    /// epochs come back as a remote error.
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol/remote errors.
+    pub fn install_placement(&mut self, map: &PlacementMap) -> Result<(), RpcError> {
+        self.expect_ack(&Request::InstallPlacement(map.clone()))
+    }
+
+    /// Stores one replicated photo record on the remote store.
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol/remote errors.
+    pub fn put_photo(&mut self, rec: &PhotoRecord) -> Result<(), RpcError> {
+        self.expect_ack(&Request::PutPhoto(rec.clone()))
+    }
+
+    /// Reads one photo record by id.
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol/remote errors (a missing photo is a remote
+    /// error).
+    pub fn get_photo(&mut self, id: u64) -> Result<PhotoRecord, RpcError> {
+        match self.call(&Request::GetPhoto(id))? {
+            Reply::Photo(rec) => Ok(rec),
+            _ => Err(RpcError::Protocol("expected photo record")),
+        }
+    }
+
+    /// Lists the photo ids the store holds, ascending.
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol/remote errors.
+    pub fn list_photos(&mut self) -> Result<Vec<u64>, RpcError> {
+        match self.call(&Request::ListPhotos)? {
+            Reply::PhotoIds(ids) => Ok(ids),
+            _ => Err(RpcError::Protocol("expected photo ids")),
+        }
+    }
+
+    /// Extracts features for run `run` of `n_run` over the replica
+    /// shard of placement node `node` — the mid-sweep reroute call.
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol/remote errors (no replica shard for `node` is a
+    /// remote error).
+    pub fn extract_features_for(
+        &mut self,
+        node: u64,
+        run: u32,
+        n_run: u32,
+    ) -> Result<(Tensor, Vec<usize>), RpcError> {
+        match self.call(&Request::ExtractFeaturesFor { node, run, n_run })? {
+            Reply::Features { features, labels } => {
+                Ok((features, labels.into_iter().map(|l| l as usize).collect()))
+            }
+            _ => Err(RpcError::Protocol("expected features")),
         }
     }
 

@@ -2,9 +2,7 @@
 //! PipeStore, parallel fan-out of control operations, per-peer retry,
 //! and a [`FailurePolicy`] so an FT-DMP round survives flaky peers.
 //!
-//! This replaces the free-function API (`scrape_cluster`,
-//! `ftdmp_fine_tune_remote` over `&mut [RemotePipeStore]`): a
-//! [`Cluster`] owns its peers, fans every operation out concurrently —
+//! A [`Cluster`] owns its peers, fans every operation out concurrently —
 //! the paper's near-linear-scaling claim (§6) assumes the Store stage of
 //! every peer runs at once — and gathers *typed* per-peer results
 //! ([`Fanout`]) instead of dying on the first [`RpcError`].
@@ -14,11 +12,14 @@
 
 use crate::checknrun::ModelDelta;
 use crate::ftdmp::{FtdmpConfig, FtdmpReport};
+use crate::placement::PlacementMap;
 use crate::rpc::client::{ConnectOptions, RemotePipeStore};
+use crate::rpc::wire::PhotoRecord;
 use crate::rpc::RpcError;
 use crate::tuner::Tuner;
 use dnn::Mlp;
 use rand::Rng;
+use std::collections::BTreeMap;
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -219,6 +220,45 @@ pub struct ClusterFtdmpReport {
     pub failures: Vec<PeerFailure>,
     /// Indices of the peers that completed every phase.
     pub peers_used: Vec<usize>,
+    /// Shard extractions that a dead owner's surviving replica served
+    /// mid-sweep (always 0 without a placement map).
+    pub reroutes: u64,
+}
+
+/// How fast [`Cluster::rebalance`] may move data: photos are copied in
+/// waves of at most `max_bytes_per_wave`, pausing `wave_pause` between
+/// waves so a healing fleet does not starve production reads.
+#[derive(Debug, Clone, Copy)]
+pub struct RebalanceConfig {
+    /// Upper bound on payload bytes copied per wave.
+    pub max_bytes_per_wave: u64,
+    /// Pause between waves (zero disables pacing entirely).
+    pub wave_pause: Duration,
+}
+
+impl Default for RebalanceConfig {
+    fn default() -> Self {
+        RebalanceConfig {
+            max_bytes_per_wave: 8 << 20,
+            wave_pause: Duration::from_millis(2),
+        }
+    }
+}
+
+/// What one [`Cluster::rebalance`] sweep did.
+#[derive(Debug, Default)]
+pub struct RebalanceReport {
+    /// Photos that gained at least one new replica.
+    pub photos_copied: u64,
+    /// Payload bytes shipped to backfilling replicas (counted once per
+    /// new copy).
+    pub bytes_copied: u64,
+    /// Pacing waves the sweep was split into.
+    pub waves: u64,
+    /// Wall-clock time of the whole sweep.
+    pub elapsed: Duration,
+    /// Per-photo copy failures (the sweep continues past them).
+    pub failures: Vec<PeerFailure>,
 }
 
 /// A control operation fanned out to peers. Blobs are `Arc`-shared so a
@@ -227,10 +267,16 @@ pub struct ClusterFtdmpReport {
 enum PeerOp {
     InstallModel(Arc<[u8]>),
     ExtractFeatures { run: u32, n_run: u32 },
+    ExtractFeaturesFor { node: u64, run: u32, n_run: u32 },
     OfflineInfer,
     ApplyDelta(Arc<[u8]>),
     Describe,
     Scrape,
+    Placement,
+    InstallPlacement(Arc<PlacementMap>),
+    PutPhoto(Arc<PhotoRecord>),
+    GetPhoto(u64),
+    ListPhotos,
     EndSession,
 }
 
@@ -240,10 +286,16 @@ impl PeerOp {
         match self {
             PeerOp::InstallModel(_) => "install_model",
             PeerOp::ExtractFeatures { .. } => "extract_features",
+            PeerOp::ExtractFeaturesFor { .. } => "extract_features_for",
             PeerOp::OfflineInfer => "offline_infer",
             PeerOp::ApplyDelta(_) => "apply_delta",
             PeerOp::Describe => "describe",
             PeerOp::Scrape => "metrics",
+            PeerOp::Placement => "placement",
+            PeerOp::InstallPlacement(_) => "install_placement",
+            PeerOp::PutPhoto(_) => "put_photo",
+            PeerOp::GetPhoto(_) => "get_photo",
+            PeerOp::ListPhotos => "list_photos",
             PeerOp::EndSession => "shutdown",
         }
     }
@@ -262,6 +314,9 @@ enum PeerOk {
         classes: u32,
     },
     Metrics(telemetry::Snapshot),
+    Placement(PlacementMap),
+    Photo(PhotoRecord),
+    PhotoIds(Vec<u64>),
 }
 
 struct WorkerReply {
@@ -352,7 +407,29 @@ fn apply(remote: &mut RemotePipeStore, op: &PeerOp) -> Result<PeerOk, RpcError> 
             .describe()
             .map(|(examples, classes)| PeerOk::Shard { examples, classes }),
         PeerOp::Scrape => remote.scrape().map(PeerOk::Metrics),
+        PeerOp::Placement => remote.placement().map(PeerOk::Placement),
+        PeerOp::InstallPlacement(map) => remote.install_placement(map).map(|()| PeerOk::Ack),
+        PeerOp::PutPhoto(rec) => remote.put_photo(rec).map(|()| PeerOk::Ack),
+        PeerOp::GetPhoto(id) => remote.get_photo(*id).map(PeerOk::Photo),
+        PeerOp::ListPhotos => remote.list_photos().map(PeerOk::PhotoIds),
+        PeerOp::ExtractFeaturesFor { node, run, n_run } => remote
+            .extract_features_for(*node, *run, *n_run)
+            .map(|(features, labels)| PeerOk::Features { features, labels }),
         PeerOp::EndSession => remote.end_session().map(|()| PeerOk::Ack),
+    }
+}
+
+/// Bumps the shard-reroute counter: a read or feature extraction that
+/// could not be served by its primary replica and fell through to a
+/// surviving one.
+fn count_reroutes(n: u64) {
+    if n > 0 && telemetry::enabled() {
+        telemetry::global()
+            .counter(
+                "ndpipe_shard_reroutes_total",
+                "reads and extractions rerouted from a dead replica to a survivor",
+            )
+            .add(n);
     }
 }
 
@@ -451,6 +528,11 @@ impl ClusterBuilder {
         if addrs.is_empty() {
             return Err(ClusterError::NoPeers);
         }
+        if let FailurePolicy::Quorum(k) = self.policy {
+            if k > addrs.len() {
+                return Err(ClusterError::Config("quorum exceeds peer count"));
+            }
+        }
         let mut resolved = Vec::with_capacity(addrs.len());
         for a in addrs {
             match a.as_ref().to_socket_addrs().ok().and_then(|mut i| i.next()) {
@@ -500,9 +582,8 @@ impl ClusterBuilder {
         self.adopt_with_failures(remotes, failures)
     }
 
-    /// Builds a cluster around already-connected handles (e.g. taken
-    /// over from the deprecated free-function API). Order is preserved:
-    /// peer `i` of the cluster is `remotes[i]`.
+    /// Builds a cluster around already-connected handles. Order is
+    /// preserved: peer `i` of the cluster is `remotes[i]`.
     ///
     /// # Errors
     ///
@@ -519,6 +600,11 @@ impl ClusterBuilder {
     ) -> Result<Cluster, ClusterError> {
         if remotes.is_empty() {
             return Err(ClusterError::NoPeers);
+        }
+        if let FailurePolicy::Quorum(k) = self.policy {
+            if k > remotes.len() {
+                return Err(ClusterError::Config("quorum exceeds peer count"));
+            }
         }
         let mut peers = Vec::with_capacity(remotes.len());
         for (index, remote) in remotes.into_iter().enumerate() {
@@ -811,6 +897,205 @@ impl Cluster {
         Ok(ClusterMetrics { per_peer, merged })
     }
 
+    /// Fetches the placement map every peer currently holds (peers with
+    /// no map installed report a failure).
+    pub fn placement(&self) -> Fanout<PlacementMap> {
+        Self::typed(
+            self.fanout_all(PeerOp::Placement),
+            "placement",
+            |ok| match ok {
+                PeerOk::Placement(map) => Some(map),
+                _ => None,
+            },
+        )
+    }
+
+    /// Publishes `map` cluster-wide. Peers holding a newer epoch reject
+    /// the install (reported as per-peer failures); equal epochs are
+    /// idempotent acks. The map is serialized once and shared.
+    pub fn publish_placement(&self, map: &PlacementMap) -> Fanout<()> {
+        let shared = Arc::new(map.clone());
+        Self::typed(
+            self.fanout_all(PeerOp::InstallPlacement(shared)),
+            "install_placement",
+            |ok| matches!(ok, PeerOk::Ack).then_some(()),
+        )
+    }
+
+    /// Replicated write: stores `rec` on every live replica `map`
+    /// assigns its photo id. Peer index `i` is placement node `i`.
+    pub fn put_photo(&self, map: &PlacementMap, rec: &PhotoRecord) -> Fanout<()> {
+        let indices: Vec<usize> = map
+            .replicas_for(rec.id)
+            .into_iter()
+            .map(|n| n as usize)
+            .collect();
+        let shared = Arc::new(rec.clone());
+        Self::typed(
+            self.fanout_on(&indices, PeerOp::PutPhoto(shared)),
+            "put_photo",
+            |ok| matches!(ok, PeerOk::Ack).then_some(()),
+        )
+    }
+
+    /// Read with failover: tries the replicas `map` ranks for `id` in
+    /// order and returns the first copy that answers. Every replica
+    /// skipped on the way counts into `ndpipe_shard_reroutes_total`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Config`] when the map ranks no live replica,
+    /// [`ClusterError::Rejected`] when every ranked replica failed.
+    pub fn get_photo(&self, map: &PlacementMap, id: u64) -> Result<PhotoRecord, ClusterError> {
+        let replicas = map.replicas_for(id);
+        if replicas.is_empty() {
+            return Err(ClusterError::Config("placement map ranks no live replica"));
+        }
+        let mut failures = Vec::new();
+        for (rank, &node) in replicas.iter().enumerate() {
+            let fan = self.fanout_on(&[node as usize], PeerOp::GetPhoto(id));
+            failures.extend(fan.failures);
+            for r in fan.ok {
+                match r.value {
+                    PeerOk::Photo(rec) => {
+                        count_reroutes(rank as u64);
+                        return Ok(rec);
+                    }
+                    _ => failures.push(PeerFailure {
+                        index: r.index,
+                        peer: r.peer.to_string(),
+                        op: "get_photo",
+                        attempts: r.attempts,
+                        error: RpcError::Protocol("unexpected reply shape"),
+                    }),
+                }
+            }
+        }
+        Err(self.reject(0, failures))
+    }
+
+    /// Lists the photo ids each peer holds (its own shard plus any
+    /// replicas parked on it).
+    pub fn list_photos(&self) -> Fanout<Vec<u64>> {
+        Self::typed(
+            self.fanout_all(PeerOp::ListPhotos),
+            "list_photos",
+            |ok| match ok {
+                PeerOk::PhotoIds(ids) => Some(ids),
+                _ => None,
+            },
+        )
+    }
+
+    /// Self-healing sweep after a membership change: publishes `new`
+    /// cluster-wide, then copies exactly the photos whose replica set
+    /// differs between `old` and `new` onto the replicas that lack
+    /// them, in bounded-rate waves. Payload bytes land in
+    /// `ndpipe_rebalance_bytes_total`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Rejected`] when publishing the map or listing
+    /// current holders falls below the failure policy; per-photo copy
+    /// failures are reported in the returned report instead.
+    pub fn rebalance(
+        &self,
+        old: &PlacementMap,
+        new: &PlacementMap,
+        config: &RebalanceConfig,
+    ) -> Result<RebalanceReport, ClusterError> {
+        let t0 = Instant::now();
+        let mut report = RebalanceReport::default();
+
+        // Publish first: reads and writes flip to the new epoch
+        // immediately, and the copy loop below backfills under it.
+        let fan = self.publish_placement(new);
+        let published = fan.ok.len();
+        report.failures.extend(fan.failures);
+        if !self.policy.admits(published, report.failures.len()) {
+            return Err(self.reject(published, report.failures));
+        }
+
+        // Who holds what right now (ground truth beats the old map:
+        // a crashed-and-wiped peer shows up empty here).
+        let fan = self.list_photos();
+        let listed = fan.ok.len();
+        let mut holders: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        for r in fan.ok {
+            for id in r.value {
+                holders.entry(id).or_default().push(r.index);
+            }
+        }
+        report.failures.extend(fan.failures);
+        if !self.policy.admits(listed, report.failures.len()) {
+            return Err(self.reject(listed, report.failures));
+        }
+
+        let mut wave_bytes = 0u64;
+        for (&id, holding) in &holders {
+            if !PlacementMap::replica_set_changed(old, new, id) {
+                continue;
+            }
+            let missing: Vec<usize> = new
+                .replicas_for(id)
+                .into_iter()
+                .map(|n| n as usize)
+                .filter(|i| !holding.contains(i))
+                .collect();
+            if missing.is_empty() {
+                continue;
+            }
+            // Fetch one copy from any current holder.
+            let mut rec = None;
+            for &h in holding {
+                let fan = self.fanout_on(&[h], PeerOp::GetPhoto(id));
+                report.failures.extend(fan.failures);
+                if let Some(r) = fan.ok.into_iter().next() {
+                    if let PeerOk::Photo(p) = r.value {
+                        rec = Some(p);
+                        break;
+                    }
+                }
+            }
+            let Some(rec) = rec else {
+                // Every holder refused; the photo keeps its old copies.
+                continue;
+            };
+            let copy_bytes = rec.transfer_bytes() as u64;
+            let shared = Arc::new(rec);
+            let fan = self.fanout_on(&missing, PeerOp::PutPhoto(shared));
+            let stored = fan.ok.len() as u64;
+            report.failures.extend(fan.failures);
+            if stored == 0 {
+                continue;
+            }
+            report.photos_copied += 1;
+            let shipped = copy_bytes * stored;
+            report.bytes_copied += shipped;
+            wave_bytes += shipped;
+            if wave_bytes >= config.max_bytes_per_wave {
+                report.waves += 1;
+                wave_bytes = 0;
+                if !config.wave_pause.is_zero() {
+                    std::thread::sleep(config.wave_pause);
+                }
+            }
+        }
+        if wave_bytes > 0 || report.photos_copied == 0 {
+            report.waves += 1;
+        }
+        if telemetry::enabled() && report.bytes_copied > 0 {
+            telemetry::global()
+                .counter(
+                    "ndpipe_rebalance_bytes_total",
+                    "payload bytes copied to backfilling replicas by rebalance sweeps",
+                )
+                .add(report.bytes_copied);
+        }
+        report.elapsed = t0.elapsed();
+        Ok(report)
+    }
+
     /// Runs one FT-DMP fine-tuning round across the cluster: describe &
     /// validate, distribute the master model, extract features per
     /// pipeline run **in parallel across peers**, train the classifier
@@ -831,6 +1116,26 @@ impl Cluster {
         config: &FtdmpConfig,
         rng: &mut R,
     ) -> Result<ClusterFtdmpReport, ClusterError> {
+        self.ftdmp_fine_tune_with(tuner, config, rng, None)
+    }
+
+    /// Like [`Cluster::ftdmp_fine_tune`], but placement-aware: when a
+    /// peer dies mid-sweep, its shard assignment is rerouted to a
+    /// surviving replica (per [`PlacementMap::shard_holders`]) for the
+    /// remaining runs, so the sweep still trains on every shard a dead
+    /// peer was supposed to serve. Reroutes are counted in the report
+    /// and in `ndpipe_shard_reroutes_total`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Cluster::ftdmp_fine_tune`].
+    pub fn ftdmp_fine_tune_with<R: Rng + ?Sized>(
+        &self,
+        tuner: &mut Tuner,
+        config: &FtdmpConfig,
+        rng: &mut R,
+        placement: Option<&PlacementMap>,
+    ) -> Result<ClusterFtdmpReport, ClusterError> {
         if self.peers.is_empty() {
             return Err(ClusterError::NoPeers);
         }
@@ -849,7 +1154,10 @@ impl Cluster {
         let mut live: Vec<usize> = (0..self.peers.len()).collect();
 
         // 0. Sanity-check label spaces before shipping anything; an
-        // incompatible shard is a peer failure, not a panic.
+        // incompatible shard is a peer failure, not a panic. Shards
+        // that fail *validation* (as opposed to transport) are recorded
+        // so the reroute path below never trains on them either.
+        let mut unfit: Vec<usize> = Vec::new();
         let fan = self.fanout_on(&live, PeerOp::Describe);
         failures.extend(fan.failures);
         live.clear();
@@ -859,6 +1167,7 @@ impl Cluster {
                 _ => (0, u32::MAX),
             };
             if examples < config.n_run as u64 {
+                unfit.push(r.index);
                 failures.push(PeerFailure {
                     index: r.index,
                     peer: r.peer.to_string(),
@@ -871,6 +1180,7 @@ impl Cluster {
                     },
                 });
             } else if classes as usize > tuner.model().num_classes() {
+                unfit.push(r.index);
                 failures.push(PeerFailure {
                     index: r.index,
                     peer: r.peer.to_string(),
@@ -903,6 +1213,21 @@ impl Cluster {
             .map_err(|()| self.reject(live.len(), std::mem::take(&mut failures)))?;
 
         // 2. Pipeline runs: gather features in parallel, tune locally.
+        // Shard assignments are fixed at sweep start and, when a
+        // placement map is supplied, come from the *map*, not from the
+        // live set: a peer that is dead (at start or mid-sweep) stops
+        // being a transport, but its shard still has to be trained on —
+        // a surviving replica serves it instead.
+        let assignments: Vec<usize> = match placement {
+            Some(map) => map
+                .nodes()
+                .iter()
+                .map(|n| n.id as usize)
+                .filter(|i| !unfit.contains(i))
+                .collect(),
+            None => live.clone(),
+        };
+        let mut reroutes = 0u64;
         let mut run_losses = Vec::with_capacity(config.n_run);
         let mut feature_bytes = 0usize;
         let mut examples = 0usize;
@@ -920,10 +1245,9 @@ impl Cluster {
             }
             failures.extend(fan.failures);
             live.clear();
-            let mut rows = Vec::new();
-            let mut labels = Vec::new();
-            // fan.ok is sorted by peer index, so row order matches the
-            // sequential reference exactly.
+            // Rows are keyed by *assignment* node, so the splice below
+            // is deterministic regardless of who actually served them.
+            let mut per_node: BTreeMap<usize, (Tensor, Vec<usize>)> = BTreeMap::new();
             for r in fan.ok {
                 if let PeerOk::Features {
                     features,
@@ -931,15 +1255,72 @@ impl Cluster {
                 } = r.value
                 {
                     feature_bytes += r.recv_bytes as usize;
-                    for i in 0..l.len() {
-                        rows.push(features.row(i));
-                    }
-                    labels.extend(l);
+                    per_node.insert(r.index, (features, l));
                     live.push(r.index);
+                }
+            }
+            if let Some(map) = placement {
+                for &a in &assignments {
+                    if per_node.contains_key(&a) {
+                        continue;
+                    }
+                    let mut served = false;
+                    for holder in map.shard_holders(a as u64) {
+                        let h = holder as usize;
+                        if h == a || !live.contains(&h) {
+                            continue;
+                        }
+                        let fan = self.fanout_on(
+                            &[h],
+                            PeerOp::ExtractFeaturesFor {
+                                node: a as u64,
+                                run: run as u32,
+                                n_run: config.n_run as u32,
+                            },
+                        );
+                        failures.extend(fan.failures);
+                        for r in fan.ok {
+                            if let PeerOk::Features {
+                                features,
+                                labels: l,
+                            } = r.value
+                            {
+                                feature_bytes += r.recv_bytes as usize;
+                                per_node.insert(a, (features, l));
+                                served = true;
+                            }
+                        }
+                        if served {
+                            reroutes += 1;
+                            count_reroutes(1);
+                            break;
+                        }
+                    }
+                    if !served {
+                        let peer = match self.peers.get(a) {
+                            Some(slot) => slot.addr.to_string(),
+                            None => "<out of range>".to_string(),
+                        };
+                        failures.push(PeerFailure {
+                            index: a,
+                            peer,
+                            op: "extract_features_for",
+                            attempts: 0,
+                            error: RpcError::Protocol("no surviving replica for shard"),
+                        });
+                    }
                 }
             }
             self.admit(&live, failures.len())
                 .map_err(|()| self.reject(live.len(), std::mem::take(&mut failures)))?;
+            let mut rows = Vec::new();
+            let mut labels = Vec::new();
+            for (features, l) in per_node.into_values() {
+                for i in 0..l.len() {
+                    rows.push(features.row(i));
+                }
+                labels.extend(l);
+            }
             examples += labels.len();
             let features = Tensor::stack_rows(&rows);
             let timer = record.then(|| phase_hist("train").start_timer());
@@ -982,6 +1363,7 @@ impl Cluster {
             },
             failures,
             peers_used: live,
+            reroutes,
         })
     }
 
@@ -1015,8 +1397,8 @@ impl Cluster {
     }
 
     /// Stops the workers and returns the underlying per-peer handles in
-    /// index order (sessions intact), e.g. to hand back to the deprecated
-    /// free-function API.
+    /// index order (sessions intact), e.g. for direct per-peer calls
+    /// after the fan-out phase of a round is done.
     pub fn into_remotes(mut self) -> Vec<RemotePipeStore> {
         self.stop_and_join()
     }

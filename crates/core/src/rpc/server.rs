@@ -29,6 +29,7 @@ use crate::rpc::wire::{
 use crate::rpc::RpcError;
 use crossbeam::channel::{Receiver, Sender, TrySendError};
 use dnn::Mlp;
+use ndpipe_data::PhotoId;
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::io::{BufReader, BufWriter, Read, Write};
@@ -301,6 +302,50 @@ fn handle(store: &RwLock<PipeStore>, request: Request) -> Option<Reply> {
         }
         Request::Infer { features } => infer_one(&store.read(), &features),
         Request::Metrics => Reply::Metrics(store.read().metrics().snapshot()),
+        Request::Placement => match store.read().placement() {
+            Some(map) => Reply::Placement(map),
+            None => Reply::Error("no placement map installed".to_string()),
+        },
+        Request::InstallPlacement(map) => match store.read().install_placement(map) {
+            Ok(_) => Reply::Ack,
+            Err(held) => Reply::Error(format!("stale placement epoch (holding {held})")),
+        },
+        Request::PutPhoto(rec) => {
+            // Duplicate ids are an idempotent success: rebalance and a
+            // retried replicated write may both land the same record.
+            store.read().store_photo_record(rec);
+            Reply::Ack
+        }
+        Request::GetPhoto(id) => match store.read().photo_record(PhotoId(id)) {
+            Some(rec) => Reply::Photo(rec),
+            None => Reply::Error(format!("photo {id} not stored here")),
+        },
+        Request::ListPhotos => Reply::PhotoIds(store.read().photo_ids()),
+        Request::ExtractFeaturesFor { node, run, n_run } => {
+            if n_run == 0 || run >= n_run {
+                return Some(Reply::Error("bad run index".to_string()));
+            }
+            let store = store.read();
+            if store.model().is_none() {
+                return Some(Reply::Error("no model installed".to_string()));
+            }
+            let Some(shard) = store.shard_for(node) else {
+                return Some(Reply::Error(format!("no replica shard for node {node}")));
+            };
+            let n = shard.len();
+            let lo = run as usize * n / n_run as usize;
+            let hi = (run as usize + 1) * n / n_run as usize;
+            if lo >= hi {
+                return Some(Reply::Error("empty run slice".to_string()));
+            }
+            match store.extract_features_batched_for(node, lo..hi, &EngineConfig::default()) {
+                Some(((features, labels), _stats)) => Reply::Features {
+                    features,
+                    labels: labels.into_iter().map(|l| l as u32).collect(),
+                },
+                None => Reply::Error(format!("no replica shard for node {node}")),
+            }
+        }
         Request::Shutdown => return None,
     })
 }

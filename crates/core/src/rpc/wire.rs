@@ -6,6 +6,7 @@
 //! a different protocol revision fail fast with a structured
 //! [`RpcError::ProtocolMismatch`] instead of a mid-stream decode error.
 
+use crate::placement::PlacementMap;
 use crate::rpc::RpcError;
 use std::io::{Read, Write};
 use tensor::Tensor;
@@ -23,6 +24,64 @@ pub const FEATURE_METRICS: u64 = 1 << 0;
 pub const FEATURE_DELTAS: u64 = 1 << 1;
 /// Feature bit: the peer serves concurrent sessions (PipeStoreServer).
 pub const FEATURE_MULTI_SESSION: u64 = 1 << 2;
+
+/// One replicated photo as it moves between PipeStores: the original
+/// blob plus the *already-compressed* chunked-DEFLATE preprocessed
+/// sidecar, so replication and rebalance ride the existing codec
+/// instead of re-preprocessing at the destination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhotoRecord {
+    /// Stable photo id (the placement key).
+    pub id: u64,
+    /// Ground-truth class at upload time.
+    pub class: u32,
+    /// Upload day (drives the labeldb outdated-label bookkeeping).
+    pub day: u32,
+    /// Uncompressed length of the preprocessed binary inside `sidecar`.
+    pub preproc_bytes: u32,
+    /// The original photo blob.
+    pub blob: Vec<u8>,
+    /// Chunked-DEFLATE compressed preprocessed binary.
+    pub sidecar: Vec<u8>,
+}
+
+impl PhotoRecord {
+    /// Bytes this record puts on the wire (blob + sidecar payloads),
+    /// the quantity the rebalance rate limiter budgets.
+    pub fn transfer_bytes(&self) -> u64 {
+        self.blob.len() as u64 + self.sidecar.len() as u64
+    }
+
+    fn encode_into(&self, p: &mut Vec<u8>) {
+        put_u64(p, self.id);
+        put_u32(p, self.class);
+        put_u32(p, self.day);
+        put_u32(p, self.preproc_bytes);
+        put_u32(p, self.blob.len() as u32);
+        p.extend_from_slice(&self.blob);
+        put_u32(p, self.sidecar.len() as u32);
+        p.extend_from_slice(&self.sidecar);
+    }
+
+    fn decode_from(c: &mut Cursor<'_>) -> Result<Self, RpcError> {
+        let id = c.u64()?;
+        let class = c.u32()?;
+        let day = c.u32()?;
+        let preproc_bytes = c.u32()?;
+        let blob_len = c.u32()? as usize;
+        let blob = c.take(blob_len)?.to_vec();
+        let sidecar_len = c.u32()? as usize;
+        let sidecar = c.take(sidecar_len)?.to_vec();
+        Ok(PhotoRecord {
+            id,
+            class,
+            day,
+            preproc_bytes,
+            blob,
+            sidecar,
+        })
+    }
+}
 
 /// Requests the Tuner sends to a PipeStore.
 #[derive(Debug, Clone, PartialEq)]
@@ -52,6 +111,31 @@ pub enum Request {
         /// One feature row, model-input-width floats.
         features: Vec<f32>,
     },
+    /// Fetch the placement map the store currently holds.
+    Placement,
+    /// Publish an epoch-numbered placement map. Stores accept only
+    /// epochs at or above the one they hold (monotone), so a delayed
+    /// publish cannot roll placement backwards.
+    InstallPlacement(PlacementMap),
+    /// Store one replicated photo record (write-path replication and
+    /// rebalance copies both land here).
+    PutPhoto(PhotoRecord),
+    /// Read one photo record by id (read-failover walks the replica
+    /// set with this).
+    GetPhoto(u64),
+    /// List the photo ids this store holds (rebalance planning).
+    ListPhotos,
+    /// Extract features for run `run` of `n_run` over the *replica
+    /// shard* of node `node` instead of the store's own shard — the
+    /// mid-sweep reroute path when `node` died.
+    ExtractFeaturesFor {
+        /// Whose shard to extract (a placement node id).
+        node: u64,
+        /// Zero-based run index.
+        run: u32,
+        /// Total pipeline runs.
+        n_run: u32,
+    },
     /// Close the session.
     Shutdown,
 }
@@ -68,6 +152,12 @@ impl Request {
             Request::Describe => "describe",
             Request::Metrics => "metrics",
             Request::Infer { .. } => "infer",
+            Request::Placement => "placement",
+            Request::InstallPlacement(_) => "install_placement",
+            Request::PutPhoto(_) => "put_photo",
+            Request::GetPhoto(_) => "get_photo",
+            Request::ListPhotos => "list_photos",
+            Request::ExtractFeaturesFor { .. } => "extract_features_for",
             Request::Shutdown => "shutdown",
         }
     }
@@ -98,6 +188,13 @@ pub enum Reply {
     Metrics(telemetry::Snapshot),
     /// The predicted class for one [`Request::Infer`] row.
     Label(u32),
+    /// The placement map a store holds ([`Request::Placement`]).
+    Placement(PlacementMap),
+    /// One photo record ([`Request::GetPhoto`]).
+    Photo(PhotoRecord),
+    /// The photo ids a store holds ([`Request::ListPhotos`]),
+    /// ascending.
+    PhotoIds(Vec<u64>),
     /// The store failed to handle the request.
     Error(String),
 }
@@ -141,6 +238,12 @@ const TAG_DESCRIBE: u8 = 5;
 const TAG_SHUTDOWN: u8 = 6;
 const TAG_METRICS_REQ: u8 = 7;
 const TAG_INFER_ROW: u8 = 8;
+const TAG_PLACEMENT_REQ: u8 = 9;
+const TAG_INSTALL_PLACEMENT: u8 = 10;
+const TAG_PUT_PHOTO: u8 = 11;
+const TAG_GET_PHOTO: u8 = 12;
+const TAG_LIST_PHOTOS: u8 = 13;
+const TAG_EXTRACT_FOR: u8 = 14;
 const TAG_HELLO: u8 = 32;
 const TAG_ACCEPT: u8 = 33;
 const TAG_REJECT: u8 = 34;
@@ -150,6 +253,9 @@ const TAG_LABELS: u8 = 66;
 const TAG_SHARD_INFO: u8 = 67;
 const TAG_METRICS: u8 = 68;
 const TAG_LABEL: u8 = 69;
+const TAG_PLACEMENT: u8 = 70;
+const TAG_PHOTO: u8 = 71;
+const TAG_PHOTO_IDS: u8 = 72;
 const TAG_ERROR: u8 = 127;
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
@@ -223,6 +329,26 @@ impl Request {
                 }
                 (TAG_INFER_ROW, p)
             }
+            Request::Placement => (TAG_PLACEMENT_REQ, Vec::new()),
+            Request::InstallPlacement(map) => (TAG_INSTALL_PLACEMENT, map.to_bytes()),
+            Request::PutPhoto(rec) => {
+                let mut p = Vec::new();
+                rec.encode_into(&mut p);
+                (TAG_PUT_PHOTO, p)
+            }
+            Request::GetPhoto(id) => {
+                let mut p = Vec::with_capacity(8);
+                put_u64(&mut p, *id);
+                (TAG_GET_PHOTO, p)
+            }
+            Request::ListPhotos => (TAG_LIST_PHOTOS, Vec::new()),
+            Request::ExtractFeaturesFor { node, run, n_run } => {
+                let mut p = Vec::with_capacity(16);
+                put_u64(&mut p, *node);
+                put_u32(&mut p, *run);
+                put_u32(&mut p, *n_run);
+                (TAG_EXTRACT_FOR, p)
+            }
             Request::Shutdown => (TAG_SHUTDOWN, Vec::new()),
         }
     }
@@ -263,6 +389,40 @@ impl Request {
                 }
                 c.finish()?;
                 Ok(Request::Infer { features })
+            }
+            TAG_PLACEMENT_REQ => Ok(Request::Placement),
+            TAG_INSTALL_PLACEMENT => PlacementMap::from_bytes(payload)
+                .map(Request::InstallPlacement)
+                .map_err(|_| RpcError::Protocol("corrupt placement map")),
+            TAG_PUT_PHOTO => {
+                let mut c = Cursor {
+                    buf: payload,
+                    pos: 0,
+                };
+                let rec = PhotoRecord::decode_from(&mut c)?;
+                c.finish()?;
+                Ok(Request::PutPhoto(rec))
+            }
+            TAG_GET_PHOTO => {
+                let mut c = Cursor {
+                    buf: payload,
+                    pos: 0,
+                };
+                let id = c.u64()?;
+                c.finish()?;
+                Ok(Request::GetPhoto(id))
+            }
+            TAG_LIST_PHOTOS => Ok(Request::ListPhotos),
+            TAG_EXTRACT_FOR => {
+                let mut c = Cursor {
+                    buf: payload,
+                    pos: 0,
+                };
+                let node = c.u64()?;
+                let run = c.u32()?;
+                let n_run = c.u32()?;
+                c.finish()?;
+                Ok(Request::ExtractFeaturesFor { node, run, n_run })
             }
             TAG_SHUTDOWN => Ok(Request::Shutdown),
             _ => Err(RpcError::Protocol("unknown request tag")),
@@ -313,6 +473,20 @@ impl Reply {
                 let mut p = Vec::with_capacity(4);
                 put_u32(&mut p, *label);
                 (TAG_LABEL, p)
+            }
+            Reply::Placement(map) => (TAG_PLACEMENT, map.to_bytes()),
+            Reply::Photo(rec) => {
+                let mut p = Vec::new();
+                rec.encode_into(&mut p);
+                (TAG_PHOTO, p)
+            }
+            Reply::PhotoIds(ids) => {
+                let mut p = Vec::with_capacity(4 + ids.len() * 8);
+                put_u32(&mut p, ids.len() as u32);
+                for &id in ids {
+                    put_u64(&mut p, id);
+                }
+                (TAG_PHOTO_IDS, p)
             }
             Reply::Error(msg) => (TAG_ERROR, msg.as_bytes().to_vec()),
         }
@@ -395,6 +569,32 @@ impl Reply {
                 let label = c.u32()?;
                 c.finish()?;
                 Ok(Reply::Label(label))
+            }
+            TAG_PLACEMENT => PlacementMap::from_bytes(payload)
+                .map(Reply::Placement)
+                .map_err(|_| RpcError::Protocol("corrupt placement map")),
+            TAG_PHOTO => {
+                let mut c = Cursor {
+                    buf: payload,
+                    pos: 0,
+                };
+                let rec = PhotoRecord::decode_from(&mut c)?;
+                c.finish()?;
+                Ok(Reply::Photo(rec))
+            }
+            TAG_PHOTO_IDS => {
+                let mut c = Cursor {
+                    buf: payload,
+                    pos: 0,
+                };
+                let n = c.u32()? as usize;
+                // 8 bytes per id must still be present in the payload.
+                let mut ids = Vec::with_capacity(n.min(payload.len() / 8 + 1));
+                for _ in 0..n {
+                    ids.push(c.u64()?);
+                }
+                c.finish()?;
+                Ok(Reply::PhotoIds(ids))
             }
             TAG_ERROR => Ok(Reply::Error(String::from_utf8_lossy(payload).into_owned())),
             _ => Err(RpcError::Protocol("unknown reply tag")),
@@ -702,6 +902,73 @@ mod tests {
         roundtrip_req(Request::Shutdown);
     }
 
+    fn sample_record() -> PhotoRecord {
+        PhotoRecord {
+            id: 42,
+            class: 3,
+            day: 7,
+            preproc_bytes: 1024,
+            blob: vec![5; 96],
+            sidecar: vec![9; 33],
+        }
+    }
+
+    #[test]
+    fn placement_ops_roundtrip() {
+        let mut map = crate::placement::PlacementMap::new(&[0, 1, 2, 3], 2).expect("map");
+        map.mark_down(1).expect("known node");
+        roundtrip_req(Request::Placement);
+        roundtrip_req(Request::InstallPlacement(map.clone()));
+        roundtrip_req(Request::PutPhoto(sample_record()));
+        roundtrip_req(Request::GetPhoto(u64::MAX));
+        roundtrip_req(Request::ListPhotos);
+        roundtrip_req(Request::ExtractFeaturesFor {
+            node: 9,
+            run: 1,
+            n_run: 4,
+        });
+        roundtrip_reply(Reply::Placement(map));
+        roundtrip_reply(Reply::Photo(sample_record()));
+        roundtrip_reply(Reply::PhotoIds(vec![1, 2, 3, u64::MAX]));
+        roundtrip_reply(Reply::PhotoIds(Vec::new()));
+    }
+
+    #[test]
+    fn truncated_photo_record_rejected() {
+        let (tag, full) = Request::PutPhoto(sample_record()).encode_body();
+        for cut in 0..full.len() {
+            assert!(
+                Request::decode_body(tag, &full[..cut]).is_err(),
+                "truncation at {cut} accepted"
+            );
+        }
+        // Trailing garbage is a protocol error too.
+        let mut padded = full;
+        padded.push(0);
+        assert!(Request::decode_body(tag, &padded).is_err());
+    }
+
+    #[test]
+    fn corrupt_placement_payload_is_a_protocol_error() {
+        assert!(matches!(
+            Request::decode_body(TAG_INSTALL_PLACEMENT, &[1, 2, 3]),
+            Err(RpcError::Protocol("corrupt placement map"))
+        ));
+        assert!(matches!(
+            Reply::decode_body(TAG_PLACEMENT, &[0; 7]),
+            Err(RpcError::Protocol("corrupt placement map"))
+        ));
+    }
+
+    #[test]
+    fn overclaimed_photo_id_count_rejected() {
+        // Claims u32::MAX ids, carries one: must error, not allocate.
+        let mut p = Vec::new();
+        put_u32(&mut p, u32::MAX);
+        put_u64(&mut p, 1);
+        assert!(Reply::decode_body(TAG_PHOTO_IDS, &p).is_err());
+    }
+
     #[test]
     fn label_reply_roundtrips() {
         roundtrip_reply(Reply::Label(0));
@@ -941,6 +1208,33 @@ mod tests {
                 proptest::collection::vec(any::<u8>(), 0..256).prop_map(Request::ApplyDelta),
                 proptest::collection::vec(-1e6f32..1e6, 0..64)
                     .prop_map(|features| Request::Infer { features }),
+                Just(Request::Placement),
+                Just(Request::ListPhotos),
+                any::<u64>().prop_map(Request::GetPhoto),
+                (any::<u64>(), 0u32..8, 1u32..8)
+                    .prop_map(|(node, run, n_run)| Request::ExtractFeaturesFor {
+                        node,
+                        run,
+                        n_run
+                    }),
+                (
+                    any::<u64>(),
+                    0u32..1000,
+                    0u32..4000,
+                    proptest::collection::vec(any::<u8>(), 0..128),
+                    proptest::collection::vec(any::<u8>(), 0..128),
+                )
+                    .prop_map(|(id, class, day, blob, sidecar)| {
+                        let preproc_bytes = sidecar.len() as u32 * 3;
+                        Request::PutPhoto(PhotoRecord {
+                            id,
+                            class,
+                            day,
+                            preproc_bytes,
+                            blob,
+                            sidecar,
+                        })
+                    }),
             ]
         }
 

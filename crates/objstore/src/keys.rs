@@ -1,0 +1,108 @@
+//! Shard-aware object keys.
+//!
+//! With R-way replication a PipeStore no longer persists only its own
+//! shard: rebalance copies park other nodes' photos in the same
+//! [`crate::ObjectStore`]. The flat `2·photo` / `2·photo + 1` layout
+//! cannot tell those apart, so keys now carry the owning placement
+//! shard: `[shard:16][photo:47][kind:1]`, little-endian-packed into the
+//! u64 key space. Shard 0 produces exactly the legacy keys (`shard`
+//! bits zero), so single-shard stores written before this layout stay
+//! readable.
+
+use crate::StoreError;
+
+/// Bits reserved for the photo id.
+const PHOTO_BITS: u32 = 47;
+/// Largest photo id the key layout can carry.
+pub const MAX_PHOTO: u64 = (1 << PHOTO_BITS) - 1;
+/// Largest shard id the key layout can carry.
+pub const MAX_SHARD: u64 = (1 << 16) - 1;
+
+fn pack(shard: u64, photo: u64, kind: u64) -> Result<u64, StoreError> {
+    if shard > MAX_SHARD || photo > MAX_PHOTO {
+        return Err(StoreError::KeyOutOfRange { shard, photo });
+    }
+    Ok((shard << (PHOTO_BITS + 1)) | (photo << 1) | kind)
+}
+
+/// Key of a photo's raw blob in `shard`'s keyspace.
+///
+/// # Errors
+///
+/// [`StoreError::KeyOutOfRange`] when `shard` or `photo` exceed their
+/// bit budget.
+pub fn blob(shard: u64, photo: u64) -> Result<u64, StoreError> {
+    pack(shard, photo, 0)
+}
+
+/// Key of a photo's compressed preprocessed sidecar in `shard`'s
+/// keyspace.
+///
+/// # Errors
+///
+/// [`StoreError::KeyOutOfRange`] when `shard` or `photo` exceed their
+/// bit budget.
+pub fn sidecar(shard: u64, photo: u64) -> Result<u64, StoreError> {
+    pack(shard, photo, 1)
+}
+
+/// The placement shard a key belongs to.
+pub fn shard_of(key: u64) -> u64 {
+    key >> (PHOTO_BITS + 1)
+}
+
+/// The photo id inside a key.
+pub fn photo_of(key: u64) -> u64 {
+    (key >> 1) & MAX_PHOTO
+}
+
+/// Whether the key names a raw blob (as opposed to a sidecar).
+pub fn is_blob(key: u64) -> bool {
+    key & 1 == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        for (shard, photo) in [(0u64, 0u64), (1, 1), (17, 93_241), (MAX_SHARD, MAX_PHOTO)] {
+            let b = blob(shard, photo).expect("in range");
+            let s = sidecar(shard, photo).expect("in range");
+            assert_ne!(b, s);
+            for key in [b, s] {
+                assert_eq!(shard_of(key), shard);
+                assert_eq!(photo_of(key), photo);
+            }
+            assert!(is_blob(b));
+            assert!(!is_blob(s));
+        }
+    }
+
+    #[test]
+    fn shard_zero_matches_the_legacy_layout() {
+        // Pre-placement stores used 2·photo / 2·photo + 1.
+        assert_eq!(blob(0, 21).expect("in range"), 42);
+        assert_eq!(sidecar(0, 21).expect("in range"), 43);
+    }
+
+    #[test]
+    fn out_of_range_is_a_typed_error() {
+        assert!(matches!(
+            blob(MAX_SHARD + 1, 0),
+            Err(StoreError::KeyOutOfRange { .. })
+        ));
+        assert!(matches!(
+            sidecar(0, MAX_PHOTO + 1),
+            Err(StoreError::KeyOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn distinct_shards_never_collide() {
+        let a = blob(1, 5).expect("in range");
+        let b = blob(2, 5).expect("in range");
+        assert_ne!(a, b);
+    }
+}

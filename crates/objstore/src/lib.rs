@@ -30,6 +30,7 @@
 //! # }
 //! ```
 
+pub mod keys;
 pub mod needle;
 pub mod store;
 pub mod volume;
@@ -50,6 +51,14 @@ pub enum StoreError {
         /// What was wrong.
         reason: &'static str,
     },
+    /// A shard or photo id does not fit the packed key layout
+    /// ([`keys`]).
+    KeyOutOfRange {
+        /// Requested shard id.
+        shard: u64,
+        /// Requested photo id.
+        photo: u64,
+    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -59,6 +68,9 @@ impl std::fmt::Display for StoreError {
             StoreError::Corrupt { offset, reason } => {
                 write!(f, "corrupt needle at offset {offset}: {reason}")
             }
+            StoreError::KeyOutOfRange { shard, photo } => {
+                write!(f, "key out of range: shard {shard}, photo {photo}")
+            }
         }
     }
 }
@@ -67,7 +79,7 @@ impl std::error::Error for StoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             StoreError::Io(e) => Some(e),
-            StoreError::Corrupt { .. } => None,
+            StoreError::Corrupt { .. } | StoreError::KeyOutOfRange { .. } => None,
         }
     }
 }

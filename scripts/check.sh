@@ -15,7 +15,9 @@ test -s results/BENCH_gemm_kernel.json
 test -s results/BENCH_telemetry_overhead.json
 test -s results/BENCH_cluster_fanout.json
 test -s results/BENCH_rpc_concurrency.json
-# RPC server stress smoke: 8 concurrent sessions against one PipeStore.
+test -s results/BENCH_placement.json
+# RPC server stress smoke (8 concurrent sessions against one PipeStore)
+# and the placement rejoin soak (kill/restart/rejoin every node).
 cargo test -q --release --test cluster_failover -- --ignored
 # Event-loop soak: ≥1000 concurrent sessions, zero lost replies, p99
 # asserted from the server's telemetry histograms.

@@ -1,15 +1,17 @@
 //! Cluster failover semantics against real localhost sockets: killed
 //! peers under `Quorum` vs `Strict`, structured handshake refusals, the
-//! session cap, and (ignored by default) a concurrent-session stress run.
+//! session cap, mid-sweep shard reroutes over a placement map, the
+//! kill → restart → rejoin loop, and (ignored by default) concurrent
+//! stress / rejoin soak runs.
 
 use dnn::{Mlp, TrainConfig};
 use ndpipe::ftdmp::FtdmpConfig;
-use ndpipe::rpc::wire::{read_handshake, write_handshake, Handshake, PROTOCOL_VERSION};
+use ndpipe::rpc::wire::{read_handshake, write_handshake, Handshake, PhotoRecord, PROTOCOL_VERSION};
 use ndpipe::rpc::{
-    Cluster, ClusterError, ConnectOptions, FailurePolicy, PipeStoreServer, RemotePipeStore,
-    RpcError, ServerConfig,
+    Cluster, ClusterError, ConnectOptions, FailurePolicy, PipeStoreServer, RebalanceConfig,
+    RemotePipeStore, RpcError, ServerConfig,
 };
-use ndpipe::{PipeStore, Tuner};
+use ndpipe::{PipeStore, PlacementMap, Tuner};
 use ndpipe_data::{ClassUniverse, LabeledDataset};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -263,6 +265,288 @@ fn session_cap_refusal_is_a_remote_error() {
 
     first.shutdown().expect("first session shutdown");
     server.shutdown().expect("server drain");
+}
+
+#[test]
+fn quorum_wider_than_fleet_is_a_config_error() {
+    let err = Cluster::builder()
+        .policy(FailurePolicy::Quorum(3))
+        .connect_options(fast_opts())
+        .connect(&["127.0.0.1:1", "127.0.0.1:1"])
+        .expect_err("quorum(3) over 2 peers must be rejected before connecting");
+    assert!(
+        matches!(err, ClusterError::Config(_)),
+        "expected Config, got {err:?}"
+    );
+}
+
+#[test]
+fn placement_reroutes_dead_peers_shard_mid_sweep() {
+    let mut rng = StdRng::seed_from_u64(206);
+    let train = dataset(&mut rng, 5, 24);
+    let model = Mlp::new(&[16, 24, 16, 5], 2, &mut rng);
+    let cfg = TrainConfig {
+        batch: 16,
+        ..TrainConfig::default()
+    };
+    let mut tuner = Tuner::new(model, cfg);
+    let ft = FtdmpConfig {
+        n_run: 2,
+        epochs_per_run: 3,
+        train: cfg,
+    };
+
+    // Three stores, R = 2: each node's shard also lives on the replica
+    // `shard_holders` ranks for it.
+    let map = PlacementMap::new(&[0, 1, 2], 2).expect("placement map");
+    let shards = train.shards(3);
+    let mut servers = Vec::with_capacity(3);
+    let mut addrs = Vec::with_capacity(3);
+    for (i, shard) in shards.iter().enumerate() {
+        let mut store = PipeStore::new(i, shard.clone());
+        for node in 0..3u64 {
+            if node != i as u64 && map.shard_holders(node).contains(&(i as u64)) {
+                store.add_replica_shard(node, shards[node as usize].clone());
+            }
+        }
+        let server = PipeStoreServer::bind(store, "127.0.0.1:0", ServerConfig::default())
+            .expect("bind server");
+        addrs.push(server.local_addr().to_string());
+        servers.push(server);
+    }
+    let cluster = Cluster::builder()
+        .policy(FailurePolicy::Quorum(2))
+        .connect_options(fast_opts())
+        .op_attempts(2)
+        .connect(&addrs)
+        .expect("connect cluster");
+    let fan = cluster.publish_placement(&map);
+    assert!(fan.failures.is_empty());
+
+    // Healthy sweep: every shard served by its owner, no reroutes.
+    let r1 = cluster
+        .ftdmp_fine_tune_with(&mut tuner, &ft, &mut rng, Some(&map))
+        .expect("healthy sweep");
+    assert_eq!(r1.report.examples, train.len());
+    assert_eq!(r1.reroutes, 0);
+
+    // Kill one of the two replicas and sweep again: the victim's shard
+    // is extracted from its surviving replica every run, so not a
+    // single shard assignment is dropped.
+    let victim = 1usize;
+    servers.remove(victim).abort().expect("abort victim");
+    let r2 = cluster
+        .ftdmp_fine_tune_with(&mut tuner, &ft, &mut rng, Some(&map))
+        .expect("sweep with a dead replica");
+    assert_eq!(
+        r2.report.examples,
+        train.len(),
+        "dead peer's shard assignments were dropped"
+    );
+    assert_eq!(r2.reroutes, ft.n_run as u64, "one reroute per run");
+    assert!(r2.failures.iter().any(|f| f.index == victim));
+
+    cluster.shutdown();
+    for s in servers {
+        s.shutdown().expect("server drain");
+    }
+}
+
+/// A deterministic synthetic photo; regenerating it is the ground truth
+/// for zero-loss checks.
+fn photo(id: u64) -> PhotoRecord {
+    let len = 96 + (id as usize % 32);
+    PhotoRecord {
+        id,
+        class: (id % 4) as u32,
+        day: (id % 7) as u32,
+        preproc_bytes: 64,
+        blob: vec![(id as u8).wrapping_mul(31).wrapping_add(7); len],
+        sidecar: vec![(id as u8) ^ 0xa5; 24],
+    }
+}
+
+fn assert_all_photos_readable(cluster: &Cluster, map: &PlacementMap, n_photos: u64) {
+    for id in 0..n_photos {
+        let rec = cluster
+            .get_photo(map, id)
+            .unwrap_or_else(|e| panic!("photo {id} lost: {e}"));
+        assert_eq!(rec, photo(id), "photo {id} corrupted");
+    }
+}
+
+/// Every live peer must hold exactly `expected` as its placement epoch;
+/// the sequence of expectations is collected for a monotonicity check.
+fn record_epochs(cluster: &Cluster, expected: u64, seen: &mut Vec<u64>) {
+    let fan = cluster.placement();
+    assert!(!fan.ok.is_empty(), "no peer answered the placement probe");
+    for r in &fan.ok {
+        assert_eq!(r.value.epoch(), expected, "peer {} lags", r.index);
+    }
+    seen.push(expected);
+}
+
+/// Boots an `n`-store fleet, publishes an R-way placement map and
+/// replicates `n_photos` synthetic photos across it.
+fn photo_fleet(
+    n: usize,
+    replicas: usize,
+    n_photos: u64,
+) -> (Vec<PipeStoreServer>, Vec<String>, PlacementMap, Vec<u64>) {
+    let mut rng = StdRng::seed_from_u64(300);
+    let train = dataset(&mut rng, 3, 4);
+    let mut servers = Vec::with_capacity(n);
+    let mut addrs = Vec::with_capacity(n);
+    for (i, shard) in train.shards(n).into_iter().enumerate() {
+        let server = PipeStoreServer::bind(
+            PipeStore::new(i, shard),
+            "127.0.0.1:0",
+            ServerConfig::default(),
+        )
+        .expect("bind server");
+        addrs.push(server.local_addr().to_string());
+        servers.push(server);
+    }
+    let ids: Vec<u64> = (0..n as u64).collect();
+    let map = PlacementMap::new(&ids, replicas).expect("placement map");
+    let cluster = Cluster::builder()
+        .policy(FailurePolicy::Quorum(2))
+        .connect_options(fast_opts())
+        .connect(&addrs)
+        .expect("connect cluster");
+    let fan = cluster.publish_placement(&map);
+    assert!(fan.failures.is_empty());
+    for id in 0..n_photos {
+        let fan = cluster.put_photo(&map, &photo(id));
+        assert!(
+            fan.failures.is_empty(),
+            "replicated write failed: {:?}",
+            fan.failures
+        );
+        assert_eq!(fan.ok.len(), replicas, "photo {id} under-replicated");
+    }
+    assert_all_photos_readable(&cluster, &map, n_photos);
+    let epochs = vec![map.epoch()];
+    cluster.shutdown();
+    (servers, addrs, map, epochs)
+}
+
+/// One kill → rebalance → restart → rejoin → rebalance cycle, asserting
+/// zero photo loss at every step and that the rejoined peer serves
+/// reads afterwards.
+fn kill_restart_rejoin_cycle(
+    servers: &mut Vec<PipeStoreServer>,
+    addrs: &mut [String],
+    map: &mut PlacementMap,
+    victim: usize,
+    n_photos: u64,
+    epochs: &mut Vec<u64>,
+) {
+    let pace = RebalanceConfig {
+        max_bytes_per_wave: 4096,
+        wave_pause: Duration::ZERO,
+    };
+
+    // Kill the victim hard; its address now refuses connections.
+    servers.remove(victim).abort().expect("abort victim");
+    let cluster = Cluster::builder()
+        .policy(FailurePolicy::Quorum(2))
+        .connect_options(fast_opts())
+        .op_attempts(2)
+        .connect(&*addrs)
+        .expect("connect with a dead peer");
+    let old = map.clone();
+    map.mark_down(victim as u64).expect("mark down");
+    let report = cluster
+        .rebalance(&old, map, &pace)
+        .expect("rebalance after kill");
+    assert!(report.photos_copied > 0, "kill must trigger backfill");
+    assert!(report.bytes_copied > 0);
+    assert_all_photos_readable(&cluster, map, n_photos);
+    record_epochs(&cluster, map.epoch(), epochs);
+    cluster.shutdown();
+
+    // Restart the victim on a fresh port with an empty store (the
+    // crash wiped it), then rejoin and heal.
+    let mut rng = StdRng::seed_from_u64(victim as u64 + 77);
+    let train = dataset(&mut rng, 3, 4);
+    let server = PipeStoreServer::bind(
+        PipeStore::new(victim, train),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .expect("rebind victim");
+    addrs[victim] = server.local_addr().to_string();
+    servers.insert(victim, server);
+    let cluster = Cluster::builder()
+        .policy(FailurePolicy::Quorum(2))
+        .connect_options(fast_opts())
+        .op_attempts(2)
+        .connect(&*addrs)
+        .expect("reconnect full fleet");
+    assert!(cluster.initial_failures().is_empty());
+    let old = map.clone();
+    map.mark_up(victim as u64).expect("mark up");
+    let report = cluster
+        .rebalance(&old, map, &pace)
+        .expect("rebalance after rejoin");
+    assert!(
+        report.photos_copied > 0,
+        "rejoin must backfill the wiped store"
+    );
+    assert_all_photos_readable(&cluster, map, n_photos);
+    record_epochs(&cluster, map.epoch(), epochs);
+    cluster.shutdown();
+
+    // The rejoined peer serves reads for its shard directly.
+    let rejoined = servers
+        .get(victim)
+        .map(|s| s.local_addr())
+        .expect("rejoined server present");
+    let mut direct = RemotePipeStore::connect_with(rejoined, fast_opts()).expect("connect rejoined");
+    let held = direct.list_photos().expect("list photos");
+    assert!(
+        !held.is_empty(),
+        "rejoined peer holds no photos after rebalance"
+    );
+    for id in held.iter().take(3) {
+        let rec = direct.get_photo(*id).expect("read from rejoined peer");
+        assert_eq!(rec, photo(*id), "rejoined peer serves a corrupt photo");
+    }
+    direct.shutdown().expect("direct session shutdown");
+}
+
+#[test]
+fn kill_restart_rejoin_loses_no_photos() {
+    const N_PHOTOS: u64 = 30;
+    let (mut servers, mut addrs, mut map, mut epochs) = photo_fleet(3, 2, N_PHOTOS);
+    kill_restart_rejoin_cycle(&mut servers, &mut addrs, &mut map, 1, N_PHOTOS, &mut epochs);
+    assert!(
+        epochs.windows(2).all(|w| w[0] < w[1]),
+        "placement epochs not monotone: {epochs:?}"
+    );
+    for s in servers {
+        s.shutdown().expect("server drain");
+    }
+}
+
+/// Rejoin soak: cycle the kill → restart → rejoin loop over every node;
+/// run via `scripts/check.sh` (`cargo test ... -- --ignored`).
+#[test]
+#[ignore = "rejoin soak, run explicitly"]
+fn soak_kill_restart_rejoin_every_node() {
+    const N_PHOTOS: u64 = 30;
+    let (mut servers, mut addrs, mut map, mut epochs) = photo_fleet(3, 2, N_PHOTOS);
+    for cycle in 0..3 {
+        kill_restart_rejoin_cycle(&mut servers, &mut addrs, &mut map, cycle, N_PHOTOS, &mut epochs);
+    }
+    assert!(
+        epochs.windows(2).all(|w| w[0] < w[1]),
+        "placement epochs not monotone: {epochs:?}"
+    );
+    for s in servers {
+        s.shutdown().expect("server drain");
+    }
 }
 
 /// Stress smoke for the multi-session server; run via `scripts/check.sh`

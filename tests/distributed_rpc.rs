@@ -4,7 +4,7 @@
 use dnn::{Mlp, TrainConfig, Trainer};
 use ndpipe::ftdmp::FtdmpConfig;
 use ndpipe::rpc::server::serve_pipestore_once;
-use ndpipe::rpc::{ftdmp_fine_tune_remote, RemotePipeStore};
+use ndpipe::rpc::{Cluster, RemotePipeStore};
 use ndpipe::{PipeStore, Tuner};
 use ndpipe_data::{ClassUniverse, LabeledDataset};
 use rand::rngs::StdRng;
@@ -67,20 +67,26 @@ fn distributed_fine_tune_over_sockets_learns() {
     let mut tuner = Tuner::new(model, cfg);
     let before = Trainer::evaluate(tuner.model(), &test).top1;
 
-    let (mut clients, handles) = spawn_fleet(&train, 3);
-    let report = ftdmp_fine_tune_remote(
-        &mut tuner,
-        &mut clients,
-        &FtdmpConfig {
-            n_run: 2,
-            epochs_per_run: 12,
-            train: cfg,
-        },
-        &mut rng,
-    )
-    .expect("distributed fine-tune");
+    let (clients, handles) = spawn_fleet(&train, 3);
+    let cluster = Cluster::builder().adopt(clients).expect("adopt fleet");
+    let outcome = cluster
+        .ftdmp_fine_tune(
+            &mut tuner,
+            &FtdmpConfig {
+                n_run: 2,
+                epochs_per_run: 12,
+                train: cfg,
+            },
+            &mut rng,
+        )
+        .expect("distributed fine-tune");
+    assert!(outcome.failures.is_empty());
+    assert_eq!(outcome.peers_used, vec![0, 1, 2]);
+    let report = outcome.report;
 
-    // Offline inference over the wire: labels only.
+    // Offline inference over the wire: labels only. Recover the
+    // per-peer handles for the direct calls.
+    let mut clients = cluster.into_remotes();
     let mut total_labels = 0;
     for c in &mut clients {
         // No photos stored, so zero labels — but the call round-trips.
@@ -147,12 +153,13 @@ fn distributed_matches_local_ftdmp() {
 
     // Sockets.
     let mut remote_tuner = Tuner::new(model, cfg);
-    let (mut clients, handles) = spawn_fleet(&train, 2);
-    ftdmp_fine_tune_remote(&mut remote_tuner, &mut clients, &ft, &mut rng)
+    let (clients, handles) = spawn_fleet(&train, 2);
+    let cluster = Cluster::builder().adopt(clients).expect("adopt fleet");
+    cluster
+        .ftdmp_fine_tune(&mut remote_tuner, &ft, &mut rng)
         .expect("remote fine-tune");
-    for c in clients {
-        c.shutdown().expect("shutdown");
-    }
+    let fan = cluster.shutdown();
+    assert!(fan.failures.is_empty());
     for h in handles {
         h.join().expect("server thread");
     }
@@ -173,10 +180,10 @@ fn remote_errors_surface_cleanly() {
     let model = Mlp::new(&[16, 12, 3], 1, &mut rng);
     let cfg = TrainConfig::default();
     let mut tuner = Tuner::new(model, cfg);
-    let (mut clients, handles) = spawn_fleet(&train, 1);
-    let result = ftdmp_fine_tune_remote(
+    let (clients, handles) = spawn_fleet(&train, 1);
+    let cluster = Cluster::builder().adopt(clients).expect("adopt fleet");
+    let result = cluster.ftdmp_fine_tune(
         &mut tuner,
-        &mut clients,
         &FtdmpConfig {
             n_run: 1,
             epochs_per_run: 1,
@@ -185,9 +192,7 @@ fn remote_errors_surface_cleanly() {
         &mut rng,
     );
     assert!(result.is_err(), "should refuse wider label space");
-    for c in clients {
-        c.shutdown().expect("shutdown");
-    }
+    cluster.shutdown();
     for h in handles {
         h.join().expect("server thread");
     }

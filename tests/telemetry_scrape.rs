@@ -4,7 +4,7 @@
 
 use dnn::Mlp;
 use ndpipe::rpc::server::serve_pipestore_once;
-use ndpipe::rpc::{scrape_cluster, RemotePipeStore};
+use ndpipe::rpc::{Cluster, RemotePipeStore};
 use ndpipe::PipeStore;
 use ndpipe_data::{ClassUniverse, LabeledDataset};
 use rand::rngs::StdRng;
@@ -102,7 +102,8 @@ fn cluster_scrape_merges_metrics_from_two_live_servers() {
         assert_eq!(features.dims()[0], labels.len());
     }
 
-    let cluster = scrape_cluster(&mut clients).expect("cluster scrape");
+    let fleet = Cluster::builder().adopt(clients).expect("adopt fleet");
+    let cluster = fleet.scrape_metrics().expect("cluster scrape");
     assert_eq!(cluster.per_peer.len(), 2, "expected two scraped peers");
     let addrs: Vec<String> = cluster
         .per_peer
@@ -142,9 +143,8 @@ fn cluster_scrape_merges_metrics_from_two_live_servers() {
         .to_prometheus()
         .contains("ndpipe_rpc_server_requests_total"));
 
-    for c in clients {
-        c.shutdown().expect("shutdown");
-    }
+    let fan = fleet.shutdown();
+    assert!(fan.failures.is_empty());
     for h in handles {
         h.join().expect("server thread");
     }
