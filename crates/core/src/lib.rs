@@ -67,6 +67,7 @@ pub mod online;
 pub mod placement;
 pub mod pipestore;
 pub mod rpc;
+pub mod sanitize;
 pub mod system;
 pub mod tuner;
 

@@ -220,7 +220,9 @@ where
     let workers = cfg.decomp_workers.max(1);
     let depth = cfg.queue_depth.max(1);
 
+    // ndlint: policy(block, reason = "inter-stage backpressure is the design: a slow decode pool stalls the loader at queue_depth instead of buffering the shard")
     let (tx_in, rx_in) = crossbeam::channel::bounded::<(usize, I)>(depth);
+    // ndlint: policy(block, reason = "same backpressure contract for decode -> FE; the FE stage drains in submission order via the reorder window")
     let (tx_mid, rx_mid) = crossbeam::channel::bounded::<(usize, Result<M, String>)>(depth);
 
     let load_busy_ns = AtomicU64::new(0);
@@ -258,6 +260,7 @@ where
                     if tx_in.send((idx, item)).is_err() {
                         break; // all consumers gone (a stage panicked)
                     }
+                    crate::sanitize::channel_depth("npe.load", tx_in.len(), depth);
                     if sample_queues {
                         queue.record(tx_in.len());
                     }
@@ -297,6 +300,7 @@ where
                     if tx_mid.send((idx, m)).is_err() {
                         break;
                     }
+                    crate::sanitize::channel_depth("npe.mid", tx_mid.len(), depth);
                 }
             });
         }

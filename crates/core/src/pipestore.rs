@@ -281,6 +281,7 @@ impl PipeStore {
 
     /// The placement map this store currently holds (a clone).
     pub fn placement(&self) -> Option<PlacementMap> {
+        let _w = crate::sanitize::order(crate::sanitize::RANK_PLACEMENT, "placement");
         self.placement.read().clone()
     }
 
@@ -293,6 +294,7 @@ impl PipeStore {
     ///
     /// Returns the held (newer) epoch when `map` is stale.
     pub fn install_placement(&self, map: PlacementMap) -> Result<u64, u64> {
+        let w = crate::sanitize::order(crate::sanitize::RANK_PLACEMENT, "placement");
         let mut guard = self.placement.write();
         if let Some(held) = guard.as_ref() {
             if map.epoch() < held.epoch() {
@@ -302,6 +304,7 @@ impl PipeStore {
         let epoch = map.epoch();
         *guard = Some(map);
         drop(guard);
+        drop(w);
         if telemetry::enabled() {
             self.metrics
                 .gauge(
@@ -450,6 +453,7 @@ impl PipeStore {
         id: PhotoId,
         f: impl FnOnce(&mut StoredPhoto) -> R,
     ) -> Option<R> {
+        let _w = crate::sanitize::order(crate::sanitize::RANK_PHOTOS, "photos");
         let mut bucket = self.photos.bucket(id).write();
         bucket
             .iter_mut()
@@ -525,6 +529,7 @@ impl PipeStore {
     pub fn model_snapshot(&self) -> Option<Arc<Mlp>> {
         let model = self.model.as_ref()?;
         let v = model.weights_version();
+        let _w = crate::sanitize::order(crate::sanitize::RANK_PUBLISHED, "published");
         if let Some((pv, arc)) = &*self.published.read() {
             if *pv == v {
                 return Some(Arc::clone(arc));
@@ -540,6 +545,7 @@ impl PipeStore {
     /// server calls this right after applying a delta so concurrent
     /// `Infer` traffic flips to the new weights at a frame boundary.
     pub fn republish_model(&self) {
+        let _w = crate::sanitize::order(crate::sanitize::RANK_PUBLISHED, "published");
         *self.published.write() = self
             .model
             .as_ref()

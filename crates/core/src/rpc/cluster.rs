@@ -608,6 +608,7 @@ impl ClusterBuilder {
         }
         let mut peers = Vec::with_capacity(remotes.len());
         for (index, remote) in remotes.into_iter().enumerate() {
+            // ndlint: policy(block, reason = "a lagging peer stalls the Tuner's fan-out wave instead of queueing unbounded jobs; failover marks it dead after op_attempts")
             let (tx, rx) = mpsc::sync_channel(PEER_JOB_QUEUE_CAP);
             let addr = remote.peer();
             let thread = std::thread::Builder::new()
@@ -690,6 +691,7 @@ impl Cluster {
         let t0 = Instant::now();
         // Each targeted peer sends exactly one reply per fan-out, so a
         // bound of `indices.len()` means workers never block on `done`.
+        // ndlint: policy(block, reason = "capacity equals the reply count, so the blocking case is unreachable by construction")
         let (tx, rx) = mpsc::sync_channel(indices.len().max(1));
         let mut failures = Vec::new();
         for &index in indices {

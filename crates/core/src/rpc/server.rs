@@ -231,9 +231,14 @@ pub fn serve_session(store: &RwLock<PipeStore>, stream: TcpStream) -> Result<(),
 /// parallel workers can overlap; `InstallModel` and `ApplyDelta` take
 /// the write lock for exclusivity.
 fn handle(store: &RwLock<PipeStore>, request: Request) -> Option<Reply> {
+    // Sanitizer witness for the store lock each arm acquires; held for
+    // the whole dispatch, which over-approximates the guard's extent in
+    // exactly the direction the ordering check needs.
+    let _w = crate::sanitize::order(crate::sanitize::RANK_STORE, "store");
     Some(match request {
         Request::InstallModel(bytes) => match Mlp::from_bytes(&bytes) {
             Ok(model) => {
+                // ndlint: allow(blocking, reason = "this resolves to PipeStore::install_model (in-memory swap + republish); the widened chain through the Tuner-side Client::install_model is a different receiver type")
                 store.write().install_model(model);
                 Reply::Ack
             }
@@ -302,10 +307,12 @@ fn handle(store: &RwLock<PipeStore>, request: Request) -> Option<Reply> {
         }
         Request::Infer { features } => infer_one(&store.read(), &features),
         Request::Metrics => Reply::Metrics(store.read().metrics().snapshot()),
+        // ndlint: allow(blocking, reason = "this resolves to PipeStore::placement (clones the cached map); the widened chain through Client::placement is a different receiver type")
         Request::Placement => match store.read().placement() {
             Some(map) => Reply::Placement(map),
             None => Reply::Error("no placement map installed".to_string()),
         },
+        // ndlint: allow(blocking, reason = "this resolves to PipeStore::install_placement (epoch-checked map swap); the widened chain through Client::install_placement is a different receiver type")
         Request::InstallPlacement(map) => match store.read().install_placement(map) {
             Ok(_) => Reply::Ack,
             Err(held) => Reply::Error(format!("stale placement epoch (holding {held})")),
@@ -523,6 +530,7 @@ fn record_first_error(shared: &Shared, e: RpcError) {
     if matches!(e, RpcError::ProtocolMismatch { .. }) {
         return;
     }
+    let _w = crate::sanitize::order(crate::sanitize::RANK_FIRST_ERROR, "first_error");
     let mut slot = shared.first_error.lock();
     if slot.is_none() {
         *slot = Some(e);
@@ -577,7 +585,9 @@ impl PipeStoreServer {
         let wake = Arc::new(WakePipe::new()?);
         // Both queues are bounded: a flooded server applies backpressure
         // instead of growing queues without limit.
+        // ndlint: policy(block, reason = "the only producer is the event thread, which spins on try_send while draining `done` (send_work), so a full queue throttles intake without deadlocking the pipeline")
         let (work_tx, work_rx) = crossbeam::channel::bounded::<Work>(WORK_QUEUE_CAP);
+        // ndlint: policy(block, reason = "workers stall when the event thread falls behind on replies; the wake pipe guarantees the event thread drains `done` on its next tick")
         let (done_tx, done_rx) = crossbeam::channel::bounded::<Done>(DONE_QUEUE_CAP);
         let mut workers = Vec::with_capacity(cfg.workers.max(1));
         for i in 0..cfg.workers.max(1) {
@@ -818,6 +828,7 @@ impl EventLoop {
                 IDLE_TICK
             };
             if poll_fds(&mut fds, timeout.as_millis() as i32).is_err() {
+                // ndlint: allow(event_zone, reason = "1ms backoff on a failed poll(2) is the bounded retry path, not request-path blocking")
                 std::thread::sleep(Duration::from_millis(1));
                 continue;
             }
@@ -935,6 +946,7 @@ impl EventLoop {
         self.detached = Some((slot, s.gen));
         let mut fate = Fate::Alive;
         loop {
+            // ndlint: allow(event_zone, reason = "the session socket is set nonblocking at accept; read returns WouldBlock instead of stalling")
             match s.stream.read(self.scratch.as_mut_slice()) {
                 Ok(0) => {
                     s.read_closed = true;
@@ -1169,7 +1181,10 @@ impl EventLoop {
         let mut w = w;
         loop {
             match self.work.try_send(w) {
-                Ok(()) => return,
+                Ok(()) => {
+                    crate::sanitize::channel_depth("rpc.work", self.work.len(), WORK_QUEUE_CAP);
+                    return;
+                }
                 Err(TrySendError::Full(back)) => {
                     w = back;
                     self.drain_done();
@@ -1360,6 +1375,7 @@ fn try_write(s: &mut Session) -> Fate {
             }
             return Fate::Alive;
         }
+        // ndlint: allow(event_zone, reason = "the session socket is set nonblocking at accept; write returns WouldBlock and the remainder stays in wbuf")
         match s.stream.write(pending) {
             Ok(0) => {
                 return Fate::Closed(Some(RpcError::Io(std::io::Error::new(
@@ -1432,6 +1448,7 @@ fn worker_main(shared: &Arc<Shared>, work: &Receiver<Work>, done: &Sender<Done>,
                 {
                     return; // event loop is gone
                 }
+                crate::sanitize::channel_depth("rpc.done", done.len(), DONE_QUEUE_CAP);
                 wake.wake();
             }
             Work::Batch(items) => {
@@ -1440,6 +1457,7 @@ fn worker_main(shared: &Arc<Shared>, work: &Receiver<Work>, done: &Sender<Done>,
                         return;
                     }
                 }
+                crate::sanitize::channel_depth("rpc.done", done.len(), DONE_QUEUE_CAP);
                 wake.wake();
             }
         }
@@ -1451,7 +1469,10 @@ fn worker_main(shared: &Arc<Shared>, work: &Receiver<Work>, done: &Sender<Done>,
 /// reply per originating session. Rows with the wrong width get a
 /// structured per-row error without poisoning the rest of the batch.
 fn exec_batch(shared: &Arc<Shared>, items: Vec<BatchItem>) -> Vec<Done> {
-    let snapshot = shared.store.read().model_snapshot();
+    let snapshot = {
+        let _w = crate::sanitize::order(crate::sanitize::RANK_STORE, "store");
+        shared.store.read().model_snapshot()
+    };
     let Some(model) = snapshot else {
         return items
             .into_iter()

@@ -1,0 +1,21 @@
+//! Fixture: blocking while a lock guard is held — both the direct
+//! primitive and the transitive call shape must fire.
+
+use std::io::Write;
+use std::sync::Mutex;
+use std::time::Duration;
+
+pub struct Store {
+    inner: Mutex<Vec<u8>>,
+}
+
+/// Helper that blocks on socket I/O; callers holding a guard inherit it.
+pub fn flush_to_peer(stream: &mut std::net::TcpStream, bytes: &[u8]) {
+    let _ = stream.write_all(bytes);
+}
+
+pub fn publish(store: &Store, stream: &mut std::net::TcpStream) {
+    let guard = store.inner.lock();
+    std::thread::sleep(Duration::from_millis(1)); // MARK: blocking-direct
+    flush_to_peer(stream, &guard); // MARK: blocking-transitive
+}

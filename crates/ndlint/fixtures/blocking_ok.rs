@@ -1,0 +1,29 @@
+//! Fixture twin: the snapshot-then-drop shape — copy what the guard
+//! protects, release it, then block. Must stay clean.
+
+use std::io::Write;
+use std::sync::Mutex;
+use std::time::Duration;
+
+pub struct Store {
+    inner: Mutex<Vec<u8>>,
+}
+
+pub fn flush_to_peer(stream: &mut std::net::TcpStream, bytes: &[u8]) {
+    let _ = stream.write_all(bytes);
+}
+
+pub fn publish(store: &Store, stream: &mut std::net::TcpStream) {
+    // Temporary guard: dropped at the end of this statement.
+    let snapshot = store.inner.lock().clone();
+    std::thread::sleep(Duration::from_millis(1));
+    flush_to_peer(stream, &snapshot);
+}
+
+pub fn publish_scoped(store: &Store, stream: &mut std::net::TcpStream) {
+    let snapshot = {
+        let guard = store.inner.lock();
+        guard.clone()
+    };
+    flush_to_peer(stream, &snapshot);
+}

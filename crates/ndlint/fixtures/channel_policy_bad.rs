@@ -1,0 +1,24 @@
+//! Fixture: channel-discipline violations — an undeclared bounded
+//! channel, a blocking send on a `drop`-policy channel, and a stale
+//! policy note vouching for nothing.
+
+use std::sync::mpsc;
+
+pub fn undeclared() {
+    let (tx, rx) = mpsc::sync_channel::<u32>(8); // MARK: policy-missing
+    drop(rx);
+    drop(tx);
+}
+
+pub fn drop_policy_blocking_send() {
+    // ndlint: policy(drop, reason = "late samples are disposable")
+    let (evt_tx, rx) = mpsc::sync_channel::<u32>(8);
+    let _ = evt_tx.send(1); // MARK: policy-send-mismatch
+    drop(rx);
+}
+
+pub fn stale_note() {
+    // ndlint: policy(block, reason = "the channel this governed moved away; MARK: policy-stale")
+    let x = 1u32;
+    let _ = x;
+}

@@ -1,0 +1,18 @@
+//! Fixture twin: every bounded channel declares its overload policy and
+//! every send site honours it. Must stay clean.
+
+use std::sync::mpsc;
+
+pub fn block_policy_blocking_send() {
+    // ndlint: policy(block, reason = "producer backpressure is the design; the consumer drains promptly")
+    let (job_tx, rx) = mpsc::sync_channel::<u32>(8);
+    let _ = job_tx.send(1);
+    drop(rx);
+}
+
+pub fn drop_policy_try_send() {
+    // ndlint: policy(drop, reason = "overload sheds the newest sample; the consumer only needs a recent one")
+    let (evt_tx, rx) = mpsc::sync_channel::<u32>(8);
+    let _ = evt_tx.try_send(2);
+    drop(rx);
+}

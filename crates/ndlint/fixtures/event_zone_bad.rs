@@ -1,0 +1,27 @@
+//! Fixture: the event-thread hard zone — ANY transitive blocking call
+//! reachable from the configured entry (`Loop::run`) is a finding,
+//! whether or not a lock is held.
+
+use std::io::Read;
+use std::time::Duration;
+
+pub struct Loop;
+
+impl Loop {
+    pub fn run(&self) {
+        loop {
+            self.tick();
+            drain_stdin();
+        }
+    }
+
+    fn tick(&self) {
+        std::thread::sleep(Duration::from_millis(1)); // MARK: event-zone-sleep
+    }
+}
+
+/// Free helper reached from the entry: its blocking read fires too.
+pub fn drain_stdin() {
+    let mut buf = [0u8; 16];
+    let _ = std::io::stdin().read(&mut buf); // MARK: event-zone-read
+}

@@ -1,0 +1,26 @@
+//! Fixture twin: the same entry shape, with the one intentional blocking
+//! primitive carrying a reasoned suppression and the rest non-blocking.
+
+use std::time::Duration;
+
+pub struct Loop;
+
+impl Loop {
+    pub fn run(&self) {
+        loop {
+            self.tick();
+            budget_check();
+        }
+    }
+
+    fn tick(&self) {
+        // ndlint: allow(event_zone, reason = "bounded 1ms backoff after a poll error; no peer is waiting on this thread")
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// Non-blocking helper: arithmetic only, nothing to flag.
+pub fn budget_check() -> u64 {
+    let spent = 3u64;
+    spent.saturating_mul(2)
+}

@@ -1,0 +1,28 @@
+//! Fixture: the interprocedural AB/BA deadlock — one path acquires the
+//! second lock through a callee, the other path inverts the order
+//! directly. Neither function alone touches both locks in one body.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    left: Mutex<u32>,
+    right: Mutex<u32>,
+}
+
+pub fn bump_right(p: &Pair) {
+    let mut g = p.right.lock();
+    *g += 1;
+}
+
+pub fn left_then_right(p: &Pair) {
+    let g = p.left.lock();
+    bump_right(p); // MARK: lock-order-transitive-ab
+    drop(g);
+}
+
+pub fn right_then_left(p: &Pair) {
+    let g = p.right.lock();
+    let h = p.left.lock(); // MARK: lock-order-transitive-ba
+    drop(h);
+    drop(g);
+}

@@ -1,0 +1,27 @@
+//! Fixture twin: both paths acquire through the callee in the same
+//! declared order (left before right), so the acquisition graph is
+//! acyclic. Must stay clean.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    left: Mutex<u32>,
+    right: Mutex<u32>,
+}
+
+pub fn bump_right(p: &Pair) {
+    let mut g = p.right.lock();
+    *g += 1;
+}
+
+pub fn left_then_right(p: &Pair) {
+    let g = p.left.lock();
+    bump_right(p);
+    drop(g);
+}
+
+pub fn also_left_then_right(p: &Pair) {
+    let g = p.left.lock();
+    bump_right(p);
+    drop(g);
+}

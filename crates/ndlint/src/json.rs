@@ -1,0 +1,248 @@
+//! Machine-readable output: the JSON report, and the checked-in finding
+//! baseline that lets CI fail on *new* findings while keeping
+//! grandfathered ones explicit and visible.
+//!
+//! Everything here is hand-rolled — ndlint stays zero-dependency so it
+//! can never be broken by the code it audits. The report is rendered
+//! from already-sorted data and contains no timestamps or absolute
+//! paths, so two runs over the same tree are byte-identical (pinned by
+//! `tests/ndlint_workspace.rs`).
+//!
+//! Baseline format: a JSON array with one object per line, each keyed by
+//! `(rule, file, message)` — line numbers are deliberately excluded so
+//! unrelated edits above a grandfathered finding do not churn the file.
+
+use crate::{rule_id, Finding, Report};
+use std::collections::BTreeSet;
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn finding_json(f: &Finding) -> String {
+    format!(
+        "{{\"id\":\"{}\",\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\"}}",
+        rule_id(f.rule),
+        f.rule,
+        escape(&f.file),
+        f.line,
+        f.col,
+        escape(&f.message),
+    )
+}
+
+/// Renders the full report as deterministic, pretty-enough JSON.
+pub fn render_report(r: &Report) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"tool\": \"ndlint\",\n");
+    out.push_str("  \"schema_version\": 2,\n");
+    out.push_str(&format!("  \"files_scanned\": {},\n", r.files_scanned));
+    out.push_str(&format!(
+        "  \"call_graph\": {{\"functions\": {}, \"edges\": {}}},\n",
+        r.graph_stats.0, r.graph_stats.1
+    ));
+    out.push_str("  \"findings\": [");
+    for (i, f) in r.findings.iter().enumerate() {
+        out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+        out.push_str(&finding_json(f));
+    }
+    out.push_str(if r.findings.is_empty() { "],\n" } else { "\n  ],\n" });
+    out.push_str("  \"suppressions\": [");
+    for (i, s) in r.suppressions.iter().enumerate() {
+        out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+        out.push_str(&format!(
+            "{{\"form\":\"{}\",\"target\":\"{}\",\"file\":\"{}\",\"line\":{},\"reason\":\"{}\"}}",
+            s.form,
+            escape(&s.target),
+            escape(&s.file),
+            s.line,
+            escape(&s.reason),
+        ));
+    }
+    out.push_str(if r.suppressions.is_empty() { "]\n" } else { "\n  ]\n" });
+    out.push_str("}\n");
+    out
+}
+
+/// Baseline entry key: `(rule, file, message)`.
+pub type BaselineKey = (String, String, String);
+
+/// Renders the baseline for the current findings.
+pub fn render_baseline(findings: &[Finding]) -> String {
+    let mut keys: Vec<&Finding> = findings.iter().collect();
+    keys.sort_by(|a, b| (a.rule, &a.file, &a.message).cmp(&(b.rule, &b.file, &b.message)));
+    keys.dedup_by(|a, b| (a.rule, &a.file, &a.message) == (b.rule, &b.file, &b.message));
+    let mut out = String::from("[");
+    for (i, f) in keys.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "{{\"id\":\"{}\",\"rule\":\"{}\",\"file\":\"{}\",\"message\":\"{}\"}}",
+            rule_id(f.rule),
+            f.rule,
+            escape(&f.file),
+            escape(&f.message),
+        ));
+    }
+    out.push_str(if keys.is_empty() { "]\n" } else { "\n]\n" });
+    out
+}
+
+/// Parses a baseline file back into its key set. The parser accepts
+/// exactly what [`render_baseline`] emits (one object per line); a
+/// malformed line is skipped rather than a panic — a corrupt baseline
+/// then surfaces as "new" findings, which is the safe direction.
+pub fn parse_baseline(text: &str) -> BTreeSet<BaselineKey> {
+    let mut out = BTreeSet::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if !line.starts_with('{') {
+            continue;
+        }
+        let (Some(rule), Some(file), Some(message)) = (
+            str_field(line, "rule"),
+            str_field(line, "file"),
+            str_field(line, "message"),
+        ) else {
+            continue;
+        };
+        out.insert((rule, file, message));
+    }
+    out
+}
+
+/// Findings not covered by the baseline — the ones that fail CI.
+pub fn new_findings<'a>(r: &'a Report, baseline: &BTreeSet<BaselineKey>) -> Vec<&'a Finding> {
+    r.findings
+        .iter()
+        .filter(|f| {
+            !baseline.contains(&(f.rule.to_string(), f.file.clone(), f.message.clone()))
+        })
+        .collect()
+}
+
+/// Baseline entries that no longer fire — candidates for removal, so the
+/// grandfathered set only ever shrinks.
+pub fn stale_baseline(r: &Report, baseline: &BTreeSet<BaselineKey>) -> Vec<BaselineKey> {
+    let live: BTreeSet<BaselineKey> = r
+        .findings
+        .iter()
+        .map(|f| (f.rule.to_string(), f.file.clone(), f.message.clone()))
+        .collect();
+    baseline.iter().filter(|k| !live.contains(*k)).cloned().collect()
+}
+
+/// Extracts the string value of `"name":"..."` from a one-line JSON
+/// object, undoing the escapes [`escape`] produces.
+fn str_field(line: &str, name: &str) -> Option<String> {
+    let needle = format!("\"{name}\":\"");
+    let start = line.find(&needle)? + needle.len();
+    let bytes = line.as_bytes();
+    let mut out = String::new();
+    let mut i = start;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => return Some(out),
+            b'\\' => {
+                let esc = *bytes.get(i + 1)?;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = line.get(i + 2..i + 6)?;
+                        let v = u32::from_str_radix(hex, 16).ok()?;
+                        out.push(char::from_u32(v)?);
+                        i += 4;
+                    }
+                    _ => return None,
+                }
+                i += 2;
+                continue;
+            }
+            _ => {
+                // Advance by one UTF-8 scalar.
+                let s = &line[i..];
+                let c = s.chars().next()?;
+                out.push(c);
+                i += c.len_utf8();
+                continue;
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, file: &str, msg: &str) -> Finding {
+        Finding {
+            rule,
+            file: file.into(),
+            line: 7,
+            col: 3,
+            message: msg.into(),
+        }
+    }
+
+    #[test]
+    fn baseline_round_trips_with_escapes() {
+        let fs = vec![
+            finding("blocking", "a/b.rs", "uses `tx` \"quoted\"\npath\\x"),
+            finding("bounded", "c.rs", "plain"),
+        ];
+        let text = render_baseline(&fs);
+        let keys = parse_baseline(&text);
+        assert_eq!(keys.len(), 2);
+        assert!(keys.contains(&(
+            "blocking".into(),
+            "a/b.rs".into(),
+            "uses `tx` \"quoted\"\npath\\x".into()
+        )));
+    }
+
+    #[test]
+    fn diff_splits_new_and_stale() {
+        let old = vec![finding("bounded", "c.rs", "plain")];
+        let baseline = parse_baseline(&render_baseline(&old));
+        let r = Report {
+            findings: vec![finding("blocking", "a.rs", "fresh")],
+            ..Report::default()
+        };
+        let new = new_findings(&r, &baseline);
+        assert_eq!(new.len(), 1);
+        assert_eq!(new[0].message, "fresh");
+        let stale = stale_baseline(&r, &baseline);
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].2, "plain");
+    }
+
+    #[test]
+    fn report_json_contains_stable_ids() {
+        let r = Report {
+            findings: vec![finding("event_zone", "a.rs", "m")],
+            files_scanned: 1,
+            ..Report::default()
+        };
+        let j = render_report(&r);
+        assert!(j.contains("\"id\":\"NDL008\""), "{j}");
+        assert!(j.contains("\"schema_version\": 2"));
+    }
+}

@@ -78,6 +78,24 @@ pub struct Annotation {
     pub rule: String,
     /// Whether a non-empty `reason = "..."` was given.
     pub has_reason: bool,
+    /// The reason text between the quotes (empty when absent).
+    pub reason: String,
+}
+
+/// Overload policies a bounded queue may declare.
+pub const POLICY_KINDS: &[&str] = &["drop", "block", "reject"];
+
+/// A parsed `// ndlint: policy(drop|block|reject, reason = "...")`
+/// directive: the declared overload behaviour of a bounded queue
+/// constructed on (or directly below) the directive's line.
+#[derive(Debug, Clone)]
+pub struct PolicyNote {
+    /// Line the directive comment sits on.
+    pub line: u32,
+    /// One of [`POLICY_KINDS`].
+    pub kind: String,
+    /// The reason text between the quotes.
+    pub reason: String,
 }
 
 /// Lexer output: tokens, ndlint directives, and malformed directives.
@@ -85,8 +103,10 @@ pub struct Annotation {
 pub struct Lexed {
     /// All tokens, in source order.
     pub tokens: Vec<Token>,
-    /// Well-formed `ndlint:` directives found in line comments.
+    /// Well-formed `ndlint: allow(...)` directives found in line comments.
     pub annotations: Vec<Annotation>,
+    /// Well-formed `ndlint: policy(...)` directives found in line comments.
+    pub policies: Vec<PolicyNote>,
     /// `(line, problem)` for comments that mention `ndlint:` but do not
     /// parse as a directive.
     pub malformed: Vec<(u32, String)>,
@@ -184,53 +204,83 @@ impl Lexer {
     }
 
     /// Parses the tail of an `ndlint:` comment. Grammar:
-    /// `allow(<rule>, reason = "<non-empty>")`.
+    /// `allow(<rule>, reason = "<non-empty>")` or
+    /// `policy(drop|block|reject, reason = "<non-empty>")`.
     fn directive(&mut self, line: u32, tail: &str) {
         let tail = tail.trim();
-        let Some(args) = tail
-            .strip_prefix("allow")
-            .map(str::trim_start)
-            .and_then(|t| t.strip_prefix('('))
-        else {
+        let (verb, rest) = if let Some(r) = tail.strip_prefix("allow") {
+            ("allow", r)
+        } else if let Some(r) = tail.strip_prefix("policy") {
+            ("policy", r)
+        } else {
+            self.out.malformed.push((
+                line,
+                format!("expected `allow(...)` or `policy(...)`, got `{tail}`"),
+            ));
+            return;
+        };
+        let Some(args) = rest.trim_start().strip_prefix('(') else {
             self.out
                 .malformed
-                .push((line, format!("expected `allow(...)`, got `{tail}`")));
+                .push((line, format!("expected `{verb}(...)`, got `{tail}`")));
             return;
         };
         let Some(close) = args.rfind(')') else {
             self.out
                 .malformed
-                .push((line, "unclosed `allow(` directive".to_string()));
+                .push((line, format!("unclosed `{verb}(` directive")));
             return;
         };
         let args = &args[..close];
-        let rule = args.split(',').next().unwrap_or("").trim().to_string();
-        if rule.is_empty() || !rule.chars().all(|c| c.is_ascii_lowercase() || c == '_') {
+        let head = args.split(',').next().unwrap_or("").trim().to_string();
+        if head.is_empty() || !head.chars().all(|c| c.is_ascii_lowercase() || c == '_') {
             self.out
                 .malformed
-                .push((line, format!("bad rule name `{rule}` in allow(...)")));
+                .push((line, format!("bad name `{head}` in {verb}(...)")));
             return;
         }
         // reason = "..." with at least one char between the quotes.
-        let has_reason = args
+        let reason = args
             .split_once("reason")
             .map(|(_, r)| r.trim_start())
             .and_then(|r| r.strip_prefix('='))
             .map(str::trim_start)
             .and_then(|r| r.strip_prefix('"'))
-            .is_some_and(|r| r.find('"').is_some_and(|end| end > 0));
-        if !has_reason {
+            .and_then(|r| r.find('"').filter(|&end| end > 0).map(|end| &r[..end]))
+            .unwrap_or("")
+            .to_string();
+        if reason.is_empty() {
             self.out.malformed.push((
                 line,
-                format!("allow({rule}) needs a non-empty reason = \"...\""),
+                format!("{verb}({head}) needs a non-empty reason = \"...\""),
             ));
             return;
         }
-        self.out.annotations.push(Annotation {
-            line,
-            rule,
-            has_reason,
-        });
+        match verb {
+            "allow" => self.out.annotations.push(Annotation {
+                line,
+                rule: head,
+                has_reason: true,
+                reason,
+            }),
+            _ => {
+                if !POLICY_KINDS.contains(&head.as_str()) {
+                    self.out.malformed.push((
+                        line,
+                        format!(
+                            "unknown overload policy `{head}` (one of: {})",
+                            POLICY_KINDS.join(", ")
+                        ),
+                    ));
+                    return;
+                }
+                self.out.policies.push(PolicyNote {
+                    line,
+                    kind: head,
+                    reason,
+                });
+            }
+        }
     }
 
     fn block_comment(&mut self) {
@@ -515,6 +565,27 @@ mod tests {
         assert_eq!(l.annotations[0].line, 1);
         assert_eq!(l.malformed.len(), 1);
         assert_eq!(l.malformed[0].0, 3);
+    }
+
+    #[test]
+    fn policy_directives_parse() {
+        let l = lex(concat!(
+            "// ndlint: policy(block, reason = \"cap is backpressure\")\n",
+            "let (tx, rx) = mpsc::sync_channel(8);\n",
+            "// ndlint: policy(spill, reason = \"nope\")\n", // unknown kind
+            "// ndlint: policy(drop)\n",                    // missing reason
+        ));
+        assert_eq!(l.policies.len(), 1);
+        assert_eq!(l.policies[0].kind, "block");
+        assert_eq!(l.policies[0].reason, "cap is backpressure");
+        assert_eq!(l.policies[0].line, 1);
+        assert_eq!(l.malformed.len(), 2);
+    }
+
+    #[test]
+    fn allow_reason_text_is_captured() {
+        let l = lex("// ndlint: allow(relaxed, reason = \"pure counter\")\n");
+        assert_eq!(l.annotations[0].reason, "pure counter");
     }
 
     #[test]

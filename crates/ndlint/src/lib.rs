@@ -15,13 +15,28 @@
 //! 6. `bounded`      — channel construction inside the RPC and NPE trees
 //!                     must name a capacity (backpressure, not growth).
 //!
+//! v2 adds an interprocedural layer — a workspace-wide call graph
+//! ([`callgraph`]) with per-function blocking/lock summaries
+//! ([`summary`]) — and three rule families on top of it:
+//!
+//! 7. `blocking`       — no (transitive) blocking op while a `Mutex`/
+//!                       `RwLock` guard is held.
+//! 8. `event_zone`     — hard zones (the RPC event thread) from which any
+//!                       transitively reachable blocking op is a finding.
+//! 9. `channel_policy` — every bounded queue declares its overload policy
+//!                       (`// ndlint: policy(drop|block|reject, ...)`)
+//!                       and send sites match it.
+//!
 //! Plus directive hygiene: malformed or unknown `// ndlint:` comments are
 //! themselves findings, so a typo'd suppression can't silently disable a
 //! rule.
 
+pub mod callgraph;
+pub mod json;
 pub mod lexer;
 pub mod rules;
 pub mod scan;
+pub mod summary;
 
 use scan::SourceFile;
 use std::fmt;
@@ -35,7 +50,29 @@ pub const KNOWN_RULES: &[&str] = &[
     "metric",
     "wire",
     "bounded",
+    "blocking",
+    "event_zone",
+    "channel_policy",
 ];
+
+/// Stable machine-readable id for a rule family. Ids are append-only:
+/// once published in a baseline they never change meaning.
+pub fn rule_id(rule: &str) -> &'static str {
+    match rule {
+        "directive" => "NDL000",
+        "lock_order" => "NDL001",
+        "relaxed" => "NDL002",
+        "panic" => "NDL003",
+        "wire" => "NDL004",
+        "metric" => "NDL005",
+        "bounded" => "NDL006",
+        "blocking" => "NDL007",
+        "event_zone" => "NDL008",
+        "channel_policy" => "NDL009",
+        "io" => "NDL098",
+        _ => "NDL099",
+    }
+}
 
 /// One diagnostic.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -103,6 +140,18 @@ pub struct WireCheck {
 /// `counter` | `gauge` | `histogram`.
 pub type MetricTable = Vec<(String, String)>;
 
+/// A hard no-blocking zone: the named entry fn and everything reachable
+/// from it must be free of blocking primitives (the `event_zone` rule).
+#[derive(Debug, Clone)]
+pub struct EventZone {
+    pub file_suffix: String,
+    /// Required `impl` target of the entry fn (`None` = free fn).
+    pub impl_target: Option<String>,
+    pub fn_name: String,
+    /// Diagnostic label ("RPC event thread").
+    pub label: String,
+}
+
 /// Full analyzer configuration.
 #[derive(Debug, Clone, Default)]
 pub struct Config {
@@ -114,6 +163,11 @@ pub struct Config {
     /// Path substrings whose files must construct only bounded channels
     /// (the `bounded` rule); empty disables the rule.
     pub bounded_paths: Vec<String>,
+    /// No-blocking hard zones (the `event_zone` rule).
+    pub event_zones: Vec<EventZone>,
+    /// Path substrings whose bounded channels must declare an overload
+    /// policy (the `channel_policy` rule); empty disables the rule.
+    pub policy_paths: Vec<String>,
 }
 
 impl Config {
@@ -276,8 +330,32 @@ impl Config {
             // NPE pipeline move unbounded request volume through fixed
             // worker pools, so every inter-stage queue must be bounded.
             bounded_paths: vec!["core/src/rpc/".into(), "core/src/npe/".into()],
+            // The poll(2) event thread is the only thread driving every
+            // connection; anything it transitively calls must not block.
+            event_zones: vec![EventZone {
+                file_suffix: "core/src/rpc/server.rs".into(),
+                impl_target: Some("EventLoop".into()),
+                fn_name: "run".into(),
+                label: "RPC event thread".into(),
+            }],
+            // Every bounded queue in the backpressure zones must state
+            // its overload policy.
+            policy_paths: vec!["core/src/rpc/".into(), "core/src/npe/".into()],
         }
     }
+}
+
+/// One suppression directive in force — recorded for provenance so the
+/// JSON report shows *what* was waived, *where*, and *why*.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// `allow` or `policy`.
+    pub form: &'static str,
+    /// Rule name (`allow`) or policy kind (`policy`).
+    pub target: String,
+    pub file: String,
+    pub line: u32,
+    pub reason: String,
 }
 
 /// Result of a full pass.
@@ -285,6 +363,10 @@ impl Config {
 pub struct Report {
     pub findings: Vec<Finding>,
     pub files_scanned: usize,
+    /// Every well-formed directive in the scanned files (provenance).
+    pub suppressions: Vec<Suppression>,
+    /// Call-graph size: `(nodes, edges)`.
+    pub graph_stats: (usize, usize),
 }
 
 impl Report {
@@ -295,9 +377,13 @@ impl Report {
     /// One-line summary suitable for CI logs.
     pub fn summary(&self) -> String {
         format!(
-            "ndlint: {} finding(s) across {} file(s) scanned",
+            "ndlint: {} finding(s) across {} file(s) scanned \
+             ({} fns / {} call edges, {} suppression(s))",
             self.findings.len(),
-            self.files_scanned
+            self.files_scanned,
+            self.graph_stats.0,
+            self.graph_stats.1,
+            self.suppressions.len(),
         )
     }
 }
@@ -312,15 +398,45 @@ pub fn run(files: &[SourceFile], cfg: &Config) -> Report {
         rules::panic_surface::check(sf, cfg, &mut findings);
         rules::metric_names::collect(sf, &mut findings);
     }
-    rules::lock_order::check(files, &mut findings);
+    let graph = callgraph::build(files);
+    let sums = summary::summarize(files, &graph);
+    rules::lock_order::check(files, &graph, &sums, &mut findings);
+    rules::blocking_lock::check(files, &graph, &sums, cfg, &mut findings);
+    rules::channel_policy::check(files, cfg, &mut findings);
     rules::wire_dispatch::check(files, cfg, &mut findings);
     rules::metric_names::check(files, cfg, &mut findings);
     findings
         .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
     findings.dedup();
+    let mut suppressions = Vec::new();
+    for sf in files {
+        for a in &sf.lexed.annotations {
+            if a.has_reason {
+                suppressions.push(Suppression {
+                    form: "allow",
+                    target: a.rule.clone(),
+                    file: sf.rel.clone(),
+                    line: a.line,
+                    reason: a.reason.clone(),
+                });
+            }
+        }
+        for p in &sf.lexed.policies {
+            suppressions.push(Suppression {
+                form: "policy",
+                target: p.kind.clone(),
+                file: sf.rel.clone(),
+                line: p.line,
+                reason: p.reason.clone(),
+            });
+        }
+    }
+    suppressions.sort_by(|a, b| (&a.file, a.line, a.form).cmp(&(&b.file, b.line, b.form)));
     Report {
         findings,
         files_scanned: files.len(),
+        suppressions,
+        graph_stats: (graph.nodes.len(), graph.edge_count()),
     }
 }
 

@@ -54,7 +54,7 @@ pub fn check(sf: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
 
 /// Whether the tokens at `j` begin a call: `(` directly, or a turbofish
 /// `::<...>` followed by `(`.
-fn is_call(toks: &[Token], mut j: usize) -> bool {
+pub(crate) fn is_call(toks: &[Token], mut j: usize) -> bool {
     if toks.get(j).is_some_and(|t| t.is_punct('(')) {
         return true;
     }

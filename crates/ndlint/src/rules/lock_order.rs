@@ -1,7 +1,17 @@
-//! Lock-order rule: extract the sequence of `.lock()` / `.read()` /
-//! `.write()` acquisitions in each function, build the inter-class
-//! acquisition graph (class = receiver field/binding name), and fail on
-//! cycles — the classic two-function AB/BA deadlock shape.
+//! Lock-order rule: build the inter-class lock acquisition graph
+//! (class = receiver field/binding name) and fail on cycles — the
+//! classic two-function AB/BA deadlock shape.
+//!
+//! Two edge sources:
+//!
+//! - **Intra-fn** (the PR 3 pass): the ordered sequence of `.lock()` /
+//!   `.read()` / `.write()` acquisitions inside one body contributes an
+//!   edge for every earlier→later pair of distinct classes.
+//! - **Interprocedural** (v2): a call made while a guard of class `A` is
+//!   held contributes edges `A -> B` for every class `B` the callee
+//!   *transitively* acquires (per the call-graph summaries) — so the
+//!   AB/BA shape is caught even when the two acquisitions sit three
+//!   frames apart.
 //!
 //! Heuristics, chosen to stay sound-ish without type information:
 //! - only zero-argument calls count (`io::Read::read(&mut buf)` has an
@@ -10,30 +20,36 @@
 //!   calls on temporaries (`foo().lock()`) are skipped;
 //! - same-class pairs are ignored (re-acquiring the same lock is a
 //!   different bug class, and guards are usually dropped in between);
-//! - an edge can be suppressed at its later acquisition site with
+//! - an edge can be suppressed at its anchor site (the later acquisition,
+//!   or the call that imports the callee's acquisitions) with
 //!   `// ndlint: allow(lock_order, reason = ...)`.
 
-use crate::scan::{SourceFile, KEYWORDS};
+use crate::callgraph::CallGraph;
+use crate::scan::SourceFile;
+use crate::summary::{lock_sites, FnSummary};
 use crate::Finding;
 use std::collections::{BTreeMap, BTreeSet};
 
-const LOCK_METHODS: &[&str] = &["lock", "read", "write"];
-
-/// One acquisition site.
+/// One acquisition-order edge, with its diagnostic anchor.
 #[derive(Debug, Clone)]
-struct Acq {
-    class: String,
+struct Edge {
+    from: String,
+    to: String,
     file: String,
     line: u32,
     col: u32,
-    fn_name: String,
-    method: String,
+    message: String,
 }
 
-pub fn check(files: &[SourceFile], out: &mut Vec<Finding>) {
-    // Collect ordered edges: (earlier class -> later class) with the later
-    // acquisition site as the anchor.
-    let mut edges: Vec<(String, String, Acq, Acq)> = Vec::new();
+pub fn check(
+    files: &[SourceFile],
+    graph: &CallGraph,
+    sums: &[FnSummary],
+    out: &mut Vec<Finding>,
+) {
+    let mut edges: Vec<Edge> = Vec::new();
+
+    // Intra-fn ordered pairs.
     for sf in files {
         for f in &sf.fns {
             if f.is_test {
@@ -42,7 +58,7 @@ pub fn check(files: &[SourceFile], out: &mut Vec<Finding>) {
             let Some((open, close)) = f.body else {
                 continue;
             };
-            let acqs = acquisitions(sf, &f.name, open, close);
+            let acqs = lock_sites(sf, open, close);
             for a in 0..acqs.len() {
                 for b in (a + 1)..acqs.len() {
                     if acqs[a].class == acqs[b].class {
@@ -51,49 +67,94 @@ pub fn check(files: &[SourceFile], out: &mut Vec<Finding>) {
                     if sf.allowed("lock_order", acqs[b].line) {
                         continue;
                     }
-                    edges.push((
-                        acqs[a].class.clone(),
-                        acqs[b].class.clone(),
-                        acqs[a].clone(),
-                        acqs[b].clone(),
-                    ));
+                    edges.push(Edge {
+                        from: acqs[a].class.clone(),
+                        to: acqs[b].class.clone(),
+                        file: sf.rel.clone(),
+                        line: acqs[b].line,
+                        col: acqs[b].col,
+                        message: format!(
+                            "fn `{}` acquires `{}`.{}() at {}:{} while `{}`.{}() \
+                             from {}:{} may be held",
+                            f.name,
+                            acqs[b].class,
+                            acqs[b].method,
+                            sf.rel,
+                            acqs[b].line,
+                            acqs[a].class,
+                            acqs[a].method,
+                            sf.rel,
+                            acqs[a].line,
+                        ),
+                    });
                 }
             }
         }
     }
 
-    // Adjacency over classes.
-    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
-    for (from, to, _, _) in &edges {
-        adj.entry(from).or_default().insert(to);
+    // Interprocedural: calls under a held guard import the callee's
+    // transitive acquisition classes.
+    for (id, node) in graph.nodes.iter().enumerate() {
+        let sf = &files[node.file];
+        for region in &sums[id].held {
+            for site in &graph.calls[id] {
+                if site.tok < region.start || site.tok > region.end {
+                    continue;
+                }
+                if sf.allowed("lock_order", site.line) {
+                    continue;
+                }
+                for class in sums[site.callee].lock_classes.keys() {
+                    if *class == region.class {
+                        continue;
+                    }
+                    edges.push(Edge {
+                        from: region.class.clone(),
+                        to: class.clone(),
+                        file: sf.rel.clone(),
+                        line: site.line,
+                        col: site.col,
+                        message: format!(
+                            "fn `{}` calls `{}` at {}:{}, which transitively \
+                             acquires `{}`, while the `{}` guard from line {} \
+                             is held",
+                            node.name,
+                            graph.nodes[site.callee].name,
+                            sf.rel,
+                            site.line,
+                            class,
+                            region.class,
+                            region.acq_line,
+                        ),
+                    });
+                }
+            }
+        }
     }
 
-    // An edge (u, v) participates in a cycle iff v reaches u.
+    // Adjacency over classes; an edge (u, v) is a finding iff v reaches u.
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for e in &edges {
+        adj.entry(&e.from).or_default().insert(&e.to);
+    }
     let mut seen_msgs: BTreeSet<String> = BTreeSet::new();
-    for (from, to, first, second) in &edges {
-        if !reaches(&adj, to, from) {
+    for e in &edges {
+        if !reaches(&adj, &e.to, &e.from) {
             continue;
         }
         let msg = format!(
-            "lock-order cycle: `{from}` -> `{to}` (fn `{}` acquires `{to}`.{}() at \
-             {}:{} while `{from}`.{}() from {}:{} may be held); another path acquires \
-             them in the opposite order",
-            second.fn_name,
-            second.method,
-            first.file,
-            second.line,
-            first.method,
-            first.file,
-            first.line,
+            "lock-order cycle: `{}` -> `{}` ({}); another path acquires them \
+             in the opposite order",
+            e.from, e.to, e.message
         );
         if !seen_msgs.insert(msg.clone()) {
             continue;
         }
         out.push(Finding {
             rule: "lock_order",
-            file: second.file.clone(),
-            line: second.line,
-            col: second.col,
+            file: e.file.clone(),
+            line: e.line,
+            col: e.col,
             message: msg,
         });
     }
@@ -116,45 +177,73 @@ fn reaches(adj: &BTreeMap<&str, BTreeSet<&str>>, from: &str, target: &str) -> bo
     false
 }
 
-/// Ordered `.lock()`/`.read()`/`.write()` acquisitions inside a fn body.
-fn acquisitions(sf: &SourceFile, fn_name: &str, open: usize, close: usize) -> Vec<Acq> {
-    let toks = sf.tokens();
-    let mut out = Vec::new();
-    let hi = close.min(toks.len().saturating_sub(1));
-    for i in open..=hi {
-        if !toks[i].is_punct('.') || i == open {
-            continue;
-        }
-        let Some(method) = toks.get(i + 1).and_then(|t| t.ident()) else {
-            continue;
-        };
-        if !LOCK_METHODS.contains(&method) {
-            continue;
-        }
-        // Zero-arg call: `( )` directly after the method name.
-        if !(toks.get(i + 2).is_some_and(|t| t.is_punct('('))
-            && toks.get(i + 3).is_some_and(|t| t.is_punct(')')))
-        {
-            continue;
-        }
-        // Receiver class: identifier directly before the `.`.
-        let Some(class) = toks[i - 1].ident() else {
-            continue;
-        };
-        if KEYWORDS.contains(&class) {
-            continue;
-        }
-        if sf.in_test(i) {
-            continue;
-        }
-        out.push(Acq {
-            class: class.to_string(),
-            file: sf.rel.clone(),
-            line: toks[i + 1].line,
-            col: toks[i + 1].col,
-            fn_name: fn_name.to_string(),
-            method: method.to_string(),
-        });
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph;
+    use crate::summary;
+    use std::path::Path;
+
+    fn lint(src: &str) -> Vec<Finding> {
+        let files = vec![SourceFile::parse(Path::new("/x/lo.rs"), "lo.rs", src)];
+        let g = callgraph::build(&files);
+        let sums = summary::summarize(&files, &g);
+        let mut out = Vec::new();
+        check(&files, &g, &sums, &mut out);
+        out
     }
-    out
+
+    #[test]
+    fn intra_fn_ab_ba_cycle_still_fires() {
+        let out = lint(
+            "fn f(a: &L, b: &L) { let x = a.lock(); let y = b.lock(); }\n\
+             fn g(a: &L, b: &L) { let y = b.lock(); let x = a.lock(); }",
+        );
+        assert!(!out.is_empty());
+        assert!(out.iter().all(|f| f.rule == "lock_order"));
+    }
+
+    #[test]
+    fn transitive_ab_ba_cycle_fires_across_fns() {
+        let out = lint(
+            "fn takes_b() { let g = b_lock.lock(); }\n\
+             fn takes_a() { let g = a_lock.lock(); }\n\
+             fn f() { let g = a_lock.lock(); takes_b(); }\n\
+             fn h() { let g = b_lock.lock(); takes_a(); }",
+        );
+        assert!(!out.is_empty(), "interprocedural cycle must be seen");
+        assert!(
+            out.iter().any(|f| f.message.contains("transitively acquires")),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn consistent_transitive_order_is_clean() {
+        let out = lint(
+            "fn takes_b() { let g = b_lock.lock(); }\n\
+             fn f() { let g = a_lock.lock(); takes_b(); }\n\
+             fn h() { let g = a_lock.lock(); takes_b(); }",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn call_site_suppression_silences_imported_edge() {
+        let out = lint(
+            "fn takes_b() { let g = b_lock.lock(); }\n\
+             fn takes_a() { let g = a_lock.lock(); }\n\
+             fn f() {\n\
+               let g = a_lock.lock();\n\
+               // ndlint: allow(lock_order, reason = \"tested hand-off\")\n\
+               takes_b();\n\
+             }\n\
+             fn h() {\n\
+               let g = b_lock.lock();\n\
+               // ndlint: allow(lock_order, reason = \"tested hand-off\")\n\
+               takes_a();\n\
+             }",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
 }

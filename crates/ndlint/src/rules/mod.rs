@@ -1,6 +1,8 @@
-//! The six rule families plus directive hygiene.
+//! The nine rule families plus directive hygiene.
 
+pub mod blocking_lock;
 pub mod bounded;
+pub mod channel_policy;
 pub mod directives;
 pub mod lock_order;
 pub mod metric_names;

@@ -2,7 +2,7 @@
 //! `#[cfg(test)]` region discovery, `impl` targets, function extents,
 //! and annotation (suppression) resolution.
 
-use crate::lexer::{lex, Lexed, Token};
+use crate::lexer::{lex, Lexed, PolicyNote, Token};
 use std::path::{Path, PathBuf};
 
 /// Rust keywords that can directly precede `[` without it being an
@@ -46,6 +46,8 @@ pub struct SourceFile {
     pub fns: Vec<FnDecl>,
     /// Token-index ranges (inclusive) covered by `#[cfg(test)]`.
     pub test_ranges: Vec<(usize, usize)>,
+    /// For each `{` token index, the index of its matching `}`.
+    pub braces: Vec<Option<usize>>,
 }
 
 impl SourceFile {
@@ -62,6 +64,7 @@ impl SourceFile {
             lexed,
             fns,
             test_ranges,
+            braces: matches,
         }
     }
 
@@ -89,6 +92,39 @@ impl SourceFile {
                         && self.next_code_line(a.line) == Some(line))
             }
         })
+    }
+
+    /// The `ndlint: policy(...)` directive governing `line`, if any: a
+    /// policy on the same line, or on a standalone comment line directly
+    /// above it (the same placement rule as [`SourceFile::allowed`]).
+    pub fn policy_at(&self, line: u32) -> Option<&PolicyNote> {
+        self.lexed.policies.iter().find(|p| {
+            p.line == line
+                || (p.line < line
+                    && !self.has_code(p.line)
+                    && self.next_code_line(p.line) == Some(line))
+        })
+    }
+
+    /// The innermost `{` block strictly containing token `i`, as
+    /// `(open, close)` token indices — `None` at item level.
+    pub fn enclosing_block(&self, i: usize) -> Option<(usize, usize)> {
+        self.braces
+            .iter()
+            .enumerate()
+            .filter_map(|(open, close)| close.map(|c| (open, c)))
+            .filter(|&(open, close)| open < i && i < close)
+            .max_by_key(|&(open, _)| open)
+    }
+
+    /// The code line a directive on `line` governs: the line itself when
+    /// it holds code (trailing comment), else the next line with code.
+    pub fn directive_target_line(&self, line: u32) -> Option<u32> {
+        if self.has_code(line) {
+            Some(line)
+        } else {
+            self.next_code_line(line)
+        }
     }
 
     /// Whether any token sits on `line` (i.e. the line holds code, not

@@ -305,3 +305,149 @@ fn metric_table_entry_with_no_registration_fires() {
         report.findings
     );
 }
+
+// ---- v2 interprocedural families ------------------------------------
+
+fn event_config(file: &str) -> Config {
+    Config {
+        event_zones: vec![ndlint::EventZone {
+            file_suffix: file.to_string(),
+            impl_target: Some("Loop".to_string()),
+            fn_name: "run".to_string(),
+            label: "test event loop".to_string(),
+        }],
+        ..Config::default()
+    }
+}
+
+fn policy_config(file: &str) -> Config {
+    Config {
+        policy_paths: vec![file.to_string()],
+        ..Config::default()
+    }
+}
+
+#[test]
+fn blocking_bad_fires_on_direct_and_transitive_sites() {
+    let (sf, src) = fixture("blocking_bad.rs");
+    let report = run(&[sf], &Config::default());
+    let mut lines = lines_of(&report.findings, "blocking");
+    lines.sort_unstable();
+    assert_eq!(
+        lines,
+        vec![
+            marker_line(&src, "MARK: blocking-direct"),
+            marker_line(&src, "MARK: blocking-transitive"),
+        ],
+        "findings: {:?}",
+        report.findings
+    );
+    // The transitive finding must carry the call-chain witness.
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.message.contains("flush_to_peer")),
+        "findings: {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn blocking_ok_snapshot_then_drop_is_clean() {
+    let (sf, _) = fixture("blocking_ok.rs");
+    let report = run(&[sf], &Config::default());
+    assert!(report.is_clean(), "findings: {:?}", report.findings);
+}
+
+#[test]
+fn event_zone_bad_fires_on_every_reachable_primitive() {
+    let (sf, src) = fixture("event_zone_bad.rs");
+    let report = run(&[sf], &event_config("event_zone_bad.rs"));
+    let mut lines = lines_of(&report.findings, "event_zone");
+    lines.sort_unstable();
+    assert_eq!(
+        lines,
+        vec![
+            marker_line(&src, "MARK: event-zone-sleep"),
+            marker_line(&src, "MARK: event-zone-read"),
+        ],
+        "findings: {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn event_zone_bad_is_clean_without_a_configured_entry() {
+    let (sf, _) = fixture("event_zone_bad.rs");
+    let report = run(&[sf], &Config::default());
+    assert!(report.is_clean(), "findings: {:?}", report.findings);
+}
+
+#[test]
+fn event_zone_ok_reasoned_suppression_is_clean() {
+    let (sf, _) = fixture("event_zone_ok.rs");
+    let report = run(&[sf], &event_config("event_zone_ok.rs"));
+    assert!(report.is_clean(), "findings: {:?}", report.findings);
+}
+
+#[test]
+fn channel_policy_bad_fires_on_all_three_shapes() {
+    let (sf, src) = fixture("channel_policy_bad.rs");
+    let report = run(&[sf], &policy_config("channel_policy_bad.rs"));
+    let mut lines = lines_of(&report.findings, "channel_policy");
+    lines.sort_unstable();
+    let mut expected = vec![
+        marker_line(&src, "MARK: policy-missing"),
+        marker_line(&src, "MARK: policy-send-mismatch"),
+        marker_line(&src, "MARK: policy-stale"),
+    ];
+    expected.sort_unstable();
+    assert_eq!(lines, expected, "findings: {:?}", report.findings);
+}
+
+#[test]
+fn channel_policy_bad_is_clean_outside_policy_paths() {
+    let (sf, _) = fixture("channel_policy_bad.rs");
+    let report = run(&[sf], &Config::default());
+    assert!(report.is_clean(), "findings: {:?}", report.findings);
+}
+
+#[test]
+fn channel_policy_ok_is_clean() {
+    let (sf, _) = fixture("channel_policy_ok.rs");
+    let report = run(&[sf], &policy_config("channel_policy_ok.rs"));
+    assert!(report.is_clean(), "findings: {:?}", report.findings);
+}
+
+#[test]
+fn lock_order_transitive_bad_reports_the_cross_fn_cycle() {
+    let (sf, src) = fixture("lock_order_transitive_bad.rs");
+    let report = run(&[sf], &Config::default());
+    let mut lines = lines_of(&report.findings, "lock_order");
+    lines.sort_unstable();
+    assert_eq!(
+        lines,
+        vec![
+            marker_line(&src, "MARK: lock-order-transitive-ab"),
+            marker_line(&src, "MARK: lock-order-transitive-ba"),
+        ],
+        "findings: {:?}",
+        report.findings
+    );
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.message.contains("transitively acquires")),
+        "findings: {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn lock_order_transitive_ok_is_clean() {
+    let (sf, _) = fixture("lock_order_transitive_ok.rs");
+    let report = run(&[sf], &Config::default());
+    assert!(report.is_clean(), "findings: {:?}", report.findings);
+}

@@ -6,7 +6,16 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
-cargo run -q -p ndlint --release
+# Static pass: machine-readable report diffed against the checked-in
+# baseline (fails on new findings), archived next to the bench JSON,
+# plus the wall-clock budget artifact (< 5 s for the whole workspace).
+mkdir -p results
+cargo run -q -p ndlint --release -- . \
+    --json results/ndlint.json \
+    --baseline ndlint.baseline.json \
+    --bench-out results/BENCH_ndlint.json
+test -s results/ndlint.json
+test -s results/BENCH_ndlint.json
 # Bench smoke: the measured benches must run end-to-end and write their
 # JSON artifacts (fast configs; numbers are noisy, existence is the gate).
 cargo run -q -p bench --release --bin bench_report -- --fast >/dev/null
@@ -22,3 +31,11 @@ cargo test -q --release --test cluster_failover -- --ignored
 # Event-loop soak: ≥1000 concurrent sessions, zero lost replies, p99
 # asserted from the server's telemetry histograms.
 cargo test -q --release --test rpc_event_server -- --ignored
+# Runtime invariant sanitizer: re-run the failover + event-server suites
+# (soaks included) with the lock-order witness and channel-depth
+# watchdog armed. A separate target dir keeps the cfg'd artifacts from
+# thrashing the main cache.
+RUSTFLAGS='--cfg ndpipe_sanitize' CARGO_TARGET_DIR=target/sanitize \
+    cargo test -q --release --test cluster_failover --test rpc_event_server
+RUSTFLAGS='--cfg ndpipe_sanitize' CARGO_TARGET_DIR=target/sanitize \
+    cargo test -q --release --test cluster_failover --test rpc_event_server -- --ignored

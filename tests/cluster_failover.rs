@@ -528,6 +528,14 @@ fn kill_restart_rejoin_loses_no_photos() {
     for s in servers {
         s.shutdown().expect("server drain");
     }
+    // Under `--cfg ndpipe_sanitize` the lock-order witness panics on any
+    // inversion, so reaching this point means zero violations — but only
+    // if the witnesses actually ran.
+    #[cfg(ndpipe_sanitize)]
+    assert!(
+        ndpipe::sanitize::checks_performed() > 0,
+        "sanitizer build ran the failover cycle without a single witness check"
+    );
 }
 
 /// Rejoin soak: cycle the kill → restart → rejoin loop over every node;
@@ -547,6 +555,11 @@ fn soak_kill_restart_rejoin_every_node() {
     for s in servers {
         s.shutdown().expect("server drain");
     }
+    #[cfg(ndpipe_sanitize)]
+    assert!(
+        ndpipe::sanitize::checks_performed() > 0,
+        "sanitizer build ran the rejoin soak without a single witness check"
+    );
 }
 
 /// Stress smoke for the multi-session server; run via `scripts/check.sh`

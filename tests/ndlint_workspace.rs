@@ -65,3 +65,153 @@ fn workspace_config_zones_and_sites_resolve() {
         }
     }
 }
+
+// ---- v2: baseline, determinism, config resolution, mutations --------
+
+/// Re-runs the full analysis with one workspace file's source patched —
+/// the mutation-test harness proving each rule family actually guards
+/// the gate.
+fn mutated_report(target_suffix: &str, patch: impl Fn(&str) -> String) -> ndlint::Report {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let paths = ndlint::workspace_sources(root);
+    let (mut files, errs) = ndlint::parse_files(root, &paths);
+    assert!(errs.is_empty(), "unreadable sources: {errs:?}");
+    let i = files
+        .iter()
+        .position(|f| f.rel.ends_with(target_suffix))
+        .unwrap_or_else(|| panic!("{target_suffix} not in the scan set"));
+    let src = std::fs::read_to_string(&paths[i]).expect("re-read target");
+    let patched = patch(&src);
+    assert_ne!(src, patched, "mutation must actually change {target_suffix}");
+    let rel = files[i].rel.clone();
+    files[i] = ndlint::scan::SourceFile::parse(&paths[i], &rel, &patched);
+    ndlint::run(&files, &ndlint::Config::workspace())
+}
+
+fn rules_fired<'a>(r: &'a ndlint::Report, file_suffix: &str) -> Vec<&'a str> {
+    r.findings
+        .iter()
+        .filter(|f| f.file.ends_with(file_suffix))
+        .map(|f| f.rule)
+        .collect()
+}
+
+#[test]
+fn seeded_blocking_under_lock_fails_the_gate() {
+    let r = mutated_report("core/src/rpc/server.rs", |src| {
+        src.replacen(
+            "let mut slot = shared.first_error.lock();",
+            "let mut slot = shared.first_error.lock();\n    \
+             std::thread::sleep(std::time::Duration::from_millis(250));",
+            1,
+        )
+    });
+    assert!(
+        rules_fired(&r, "rpc/server.rs").contains(&"blocking"),
+        "seeded sleep under the first_error guard must fire `blocking`: {:?}",
+        r.findings
+    );
+}
+
+#[test]
+fn seeded_event_thread_blocking_fails_the_gate() {
+    let r = mutated_report("core/src/rpc/server.rs", |src| {
+        src.replacen(
+            "let stopping = self.shared.stop.load(Ordering::Acquire);",
+            "std::thread::sleep(std::time::Duration::from_millis(5));\n            \
+             let stopping = self.shared.stop.load(Ordering::Acquire);",
+            1,
+        )
+    });
+    assert!(
+        rules_fired(&r, "rpc/server.rs").contains(&"event_zone"),
+        "a sleep seeded into EventLoop::run must fire `event_zone`: {:?}",
+        r.findings
+    );
+}
+
+#[test]
+fn deleted_policy_directive_fails_the_gate() {
+    let r = mutated_report("core/src/rpc/server.rs", |src| {
+        src.lines()
+            .filter(|l| !l.contains("ndlint: policy("))
+            .collect::<Vec<_>>()
+            .join("\n")
+    });
+    assert!(
+        rules_fired(&r, "rpc/server.rs").contains(&"channel_policy"),
+        "stripping the policy directives must fire `channel_policy`: {:?}",
+        r.findings
+    );
+}
+
+#[test]
+fn seeded_transitive_lock_inversion_fails_the_gate() {
+    let r = mutated_report("core/src/rpc/server.rs", |src| {
+        format!(
+            "{src}\n\
+             fn ndlint_mut_takes_b() {{ let g = ndlint_mut_b.lock(); drop(g); }}\n\
+             fn ndlint_mut_ab() {{ let g = ndlint_mut_a.lock(); ndlint_mut_takes_b(); drop(g); }}\n\
+             fn ndlint_mut_ba() {{ let g = ndlint_mut_b.lock(); let h = ndlint_mut_a.lock(); drop(h); drop(g); }}\n"
+        )
+    });
+    let fired = rules_fired(&r, "rpc/server.rs");
+    assert!(
+        fired.contains(&"lock_order"),
+        "the appended cross-fn AB/BA inversion must fire `lock_order`: {:?}",
+        r.findings
+    );
+}
+
+#[test]
+fn json_report_is_byte_identical_across_runs() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let a = ndlint::json::render_report(&ndlint::run_workspace(root));
+    let b = ndlint::json::render_report(&ndlint::run_workspace(root));
+    assert_eq!(a, b, "two runs over the same tree must render identically");
+    assert!(a.contains("\"schema_version\": 2"));
+}
+
+#[test]
+fn checked_in_baseline_matches_the_tree_exactly() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = ndlint::run_workspace(root);
+    let text = std::fs::read_to_string(root.join("ndlint.baseline.json"))
+        .expect("ndlint.baseline.json must be checked in");
+    let baseline = ndlint::json::parse_baseline(&text);
+    let new: Vec<String> = ndlint::json::new_findings(&report, &baseline)
+        .iter()
+        .map(|f| f.to_string())
+        .collect();
+    assert!(new.is_empty(), "findings not in the baseline:\n{}", new.join("\n"));
+    let stale = ndlint::json::stale_baseline(&report, &baseline);
+    assert!(
+        stale.is_empty(),
+        "baseline entries that no longer fire (remove them): {stale:?}"
+    );
+}
+
+#[test]
+fn event_zones_and_policy_paths_resolve() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let rels: Vec<String> = ndlint::workspace_sources(root)
+        .iter()
+        .map(|p| p.to_string_lossy().replace('\\', "/"))
+        .collect();
+    let cfg = ndlint::Config::workspace();
+    assert!(!cfg.event_zones.is_empty(), "workspace must declare an event zone");
+    for z in &cfg.event_zones {
+        assert!(
+            rels.iter().any(|r| r.ends_with(&z.file_suffix)),
+            "event zone file {} missing from scan set",
+            z.file_suffix
+        );
+    }
+    assert!(!cfg.policy_paths.is_empty(), "workspace must declare policy paths");
+    for p in &cfg.policy_paths {
+        assert!(
+            rels.iter().any(|r| r.contains(p.as_str())),
+            "policy path {p} matches no scanned file"
+        );
+    }
+}

@@ -271,4 +271,21 @@ fn soak_holds_a_thousand_concurrent_sessions() {
         }
         ref other => panic!("expected histogram, got {}", other.kind()),
     }
+    // Under `--cfg ndpipe_sanitize` every send samples queue depth and
+    // every instrumented acquisition checks lock order; the soak passing
+    // means zero violations. Confirm the witnesses ran and that the
+    // bounded queues stayed within their declared capacities.
+    #[cfg(ndpipe_sanitize)]
+    {
+        assert!(
+            ndpipe::sanitize::checks_performed() > 0,
+            "sanitizer build ran the soak without a single witness check"
+        );
+        // Caps mirror WORK_QUEUE_CAP / DONE_QUEUE_CAP in rpc/server.rs.
+        let work_hw = ndpipe::sanitize::high_water("rpc.work");
+        let done_hw = ndpipe::sanitize::high_water("rpc.done");
+        assert!(work_hw <= 1024, "work queue overflowed its bound: {work_hw}");
+        assert!(done_hw <= 4096, "done queue overflowed its bound: {done_hw}");
+        println!("soak sanitizer: work hw {work_hw}, done hw {done_hw}");
+    }
 }
