@@ -3,13 +3,14 @@
 //! `results/BENCH_gemm_kernel.json`,
 //! `results/BENCH_telemetry_overhead.json`,
 //! `results/BENCH_cluster_fanout.json`,
-//! `results/BENCH_rpc_concurrency.json`, and
-//! `results/BENCH_placement.json`). Pass `--fast` for smaller (noisier)
-//! configurations.
+//! `results/BENCH_rpc_concurrency.json`,
+//! `results/BENCH_placement.json`, and
+//! `results/BENCH_ftdmp_pipeline.json`). Pass `--fast` for smaller
+//! (noisier) configurations.
 
 use bench::reports::{
-    cluster_fanout, gemm_kernel, npe_pipeline, placement_rebalance, rpc_concurrency,
-    telemetry_overhead,
+    cluster_fanout, ftdmp_pipeline, gemm_kernel, npe_pipeline, placement_rebalance,
+    rpc_concurrency, telemetry_overhead,
 };
 use std::fs;
 
@@ -90,5 +91,18 @@ fn main() {
     telemetry::export::validate_json(&json).expect("placement json well-formed");
     let path = out_dir.join("BENCH_placement.json");
     fs::write(&path, json).expect("write placement json");
+    println!("\n# wrote {}", path.display());
+
+    let params = if fast {
+        ftdmp_pipeline::PipelineParams::fast()
+    } else {
+        ftdmp_pipeline::PipelineParams::full()
+    };
+    let m = ftdmp_pipeline::measure_with(&params);
+    println!("\n{}", ftdmp_pipeline::render(&m));
+    let json = ftdmp_pipeline::to_json(&m);
+    telemetry::export::validate_json(&json).expect("ftdmp pipeline json well-formed");
+    let path = out_dir.join("BENCH_ftdmp_pipeline.json");
+    fs::write(&path, json).expect("write ftdmp pipeline json");
     println!("\n# wrote {}", path.display());
 }

@@ -19,6 +19,7 @@ pub mod fig18_bandwidth;
 pub mod fig19_batch;
 pub mod fig20_inferentia;
 pub mod fig21_cost;
+pub mod ftdmp_pipeline;
 pub mod gemm_kernel;
 pub mod npe_pipeline;
 pub mod placement_rebalance;
@@ -51,6 +52,7 @@ pub fn run_all(fast: bool) -> Vec<(&'static str, String)> {
         ("gemm_kernel", gemm_kernel::run(fast)),
         ("telemetry_overhead", telemetry_overhead::run(fast)),
         ("cluster_fanout", cluster_fanout::run(fast)),
+        ("ftdmp_pipeline", ftdmp_pipeline::run(fast)),
         ("rpc_concurrency", rpc_concurrency::run(fast)),
         ("placement_rebalance", placement_rebalance::run(fast)),
         ("check_n_run", check_n_run::run(fast)),

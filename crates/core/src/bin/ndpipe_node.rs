@@ -37,8 +37,8 @@ const PER_CLASS: usize = 60;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  ndpipe_node pipestore --listen ADDR --shard I/N [--seed S] [--replicas R]\n  \
-         ndpipe_node tuner --connect ADDR[,ADDR...] [--seed S] [--runs N] [--epochs E] \
-         [--quorum K] [--replicas R]"
+         ndpipe_node tuner --connect ADDR[,ADDR...] [--seed S] [--runs ROUNDS] [--n-run N] \
+         [--micro-batch M] [--staleness S] [--epochs E] [--quorum K] [--replicas R]"
     );
     ExitCode::FAILURE
 }
@@ -155,9 +155,23 @@ fn run_tuner(args: &[String]) -> ExitCode {
     let seed: u64 = arg_value(args, "--seed")
         .and_then(|s| s.parse().ok())
         .unwrap_or(42);
-    let n_run: usize = arg_value(args, "--runs")
+    // `--runs`: pipelined fine-tuning rounds driven back to back; each
+    // round is `--n-run` FT-DMP runs. `--micro-batch 0` sizes
+    // micro-batches automatically; `--staleness 0` reproduces the
+    // run-at-a-time barrier schedule exactly.
+    let rounds: usize = arg_value(args, "--runs")
         .and_then(|s| s.parse().ok())
         .unwrap_or(2);
+    let defaults = FtdmpConfig::default();
+    let n_run: usize = arg_value(args, "--n-run")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(defaults.n_run);
+    let micro_batch: usize = arg_value(args, "--micro-batch")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(defaults.micro_batch);
+    let staleness: usize = arg_value(args, "--staleness")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(defaults.staleness);
     let epochs: usize = arg_value(args, "--epochs")
         .and_then(|s| s.parse().ok())
         .unwrap_or(12);
@@ -228,13 +242,16 @@ fn run_tuner(args: &[String]) -> ExitCode {
         None
     };
 
-    let outcome = match cluster.ftdmp_fine_tune_with(
+    let outcome = match cluster.ftdmp_fine_tune_pipelined(
         &mut tuner,
         &FtdmpConfig {
             n_run,
             epochs_per_run: epochs,
+            micro_batch,
+            staleness,
             train: cfg,
         },
+        rounds,
         &mut rng,
         placement.as_ref(),
     ) {
@@ -258,6 +275,13 @@ fn run_tuner(args: &[String]) -> ExitCode {
     }
     println!("examples trained      {}", report.examples);
     println!("feature bytes moved   {}", report.feature_bytes);
+    println!(
+        "pipeline schedule     {} micro-batches, {} steals, {} stale steps, {:.3}s bubble",
+        report.schedule.micro_batches,
+        report.schedule.steals,
+        report.schedule.stale_steps,
+        report.schedule.bubble_secs
+    );
     println!(
         "model delta vs full   {} B ({:.1}x smaller)",
         report.distribution_bytes, report.distribution_reduction

@@ -54,6 +54,10 @@ pub struct ModelDelta {
     payload: Bytes,
     /// Bytes a full-model distribution would have moved.
     full_model_bytes: usize,
+    /// Tuner model version this delta upgrades *from* (0 = unstamped).
+    base_version: u64,
+    /// Tuner model version this delta upgrades *to* (0 = unstamped).
+    target_version: u64,
 }
 
 /// Quantization: i8 with symmetric per-tensor scale.
@@ -139,7 +143,25 @@ impl ModelDelta {
         ModelDelta {
             payload,
             full_model_bytes: new.param_count() * 4,
+            base_version: 0,
+            target_version: 0,
         }
+    }
+
+    /// Stamps the Tuner model-version span this delta covers
+    /// (`w_version` before → after the fine-tuning round), so replicas
+    /// and schedulers can audit how stale an in-flight distribution is.
+    #[must_use]
+    pub fn with_versions(mut self, base: u64, target: u64) -> Self {
+        self.base_version = base;
+        self.target_version = target;
+        self
+    }
+
+    /// The stamped `(base, target)` Tuner version span; `(0, 0)` when
+    /// the delta was never stamped.
+    pub fn versions(&self) -> (u64, u64) {
+        (self.base_version, self.target_version)
     }
 
     /// Bytes this delta puts on the wire.
@@ -147,10 +169,14 @@ impl ModelDelta {
         self.payload.len()
     }
 
-    /// Serializes the delta for network transport.
+    /// Serializes the delta for network transport:
+    /// `[full_model_bytes u64][base_version u64][target_version u64]`
+    /// then the compressed payload, all little-endian.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(8 + self.payload.len());
+        let mut out = Vec::with_capacity(24 + self.payload.len());
         out.extend_from_slice(&(self.full_model_bytes as u64).to_le_bytes());
+        out.extend_from_slice(&self.base_version.to_le_bytes());
+        out.extend_from_slice(&self.target_version.to_le_bytes());
         out.extend_from_slice(&self.payload);
         out
     }
@@ -161,13 +187,21 @@ impl ModelDelta {
     ///
     /// [`DeltaError::Corrupt`] if the framing is too short.
     pub fn from_bytes(bytes: &[u8]) -> Result<ModelDelta, DeltaError> {
-        if bytes.len() < 8 {
+        if bytes.len() < 24 {
             return Err(DeltaError::Corrupt);
         }
-        let full = u64::from_le_bytes(bytes[..8].try_into().expect("fixed slice")) as usize;
+        let u64_at = |i: usize| {
+            bytes
+                .get(i..i + 8)
+                .and_then(|s| <[u8; 8]>::try_from(s).ok())
+                .map(u64::from_le_bytes)
+                .ok_or(DeltaError::Corrupt)
+        };
         Ok(ModelDelta {
-            payload: Bytes::copy_from_slice(&bytes[8..]),
-            full_model_bytes: full,
+            payload: Bytes::copy_from_slice(&bytes[24..]),
+            full_model_bytes: u64_at(0)? as usize,
+            base_version: u64_at(8)?,
+            target_version: u64_at(16)?,
         })
     }
 
@@ -303,5 +337,24 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(DeltaError::ShapeMismatch.to_string().contains("shape"));
+    }
+
+    #[test]
+    fn version_stamp_survives_the_wire() {
+        let mut rng = StdRng::seed_from_u64(66);
+        let (old, new) = fine_tuned_pair(&mut rng);
+        let delta = ModelDelta::between(&old, &new).with_versions(4, 7);
+        assert_eq!(delta.versions(), (4, 7));
+        let back = ModelDelta::from_bytes(&delta.to_bytes()).unwrap();
+        assert_eq!(back.versions(), (4, 7));
+        assert_eq!(back.wire_bytes(), delta.wire_bytes());
+        assert_eq!(back.traffic_reduction(), delta.traffic_reduction());
+        let mut replica = old.clone();
+        back.apply(&mut replica).unwrap();
+        // Truncated headers are corrupt, not misparsed.
+        assert_eq!(
+            ModelDelta::from_bytes(&delta.to_bytes()[..23]).unwrap_err(),
+            DeltaError::Corrupt
+        );
     }
 }

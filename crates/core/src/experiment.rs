@@ -346,9 +346,11 @@ pub fn table2_row<R: Rng + ?Sized>(
             // (§6.3 stops on convergence, not on an epoch quota).
             epochs_per_run: cfg.update_epochs,
             train: cfg.train,
+            ..FtdmpConfig::default()
         },
         rng,
-    );
+    )
+    .expect("experiment shards are always valid FT-DMP jobs");
     let ndpipe = Trainer::evaluate(tuner.model(), &test);
 
     let full_epochs = cfg.train.max_epochs.max(cfg.update_epochs * 2);
@@ -406,9 +408,11 @@ pub fn pipelined_accuracy<R: Rng + ?Sized>(
                     n_run,
                     epochs_per_run: epochs_per_run.max(1),
                     train: cfg.train,
+                    ..FtdmpConfig::default()
                 },
                 rng,
-            );
+            )
+            .expect("experiment shards are always valid FT-DMP jobs");
             (n_run, Trainer::evaluate(tuner.model(), &test).top1)
         })
         .collect()

@@ -8,18 +8,92 @@
 //! run *r*, PipeStores already extract features for run *r + 1*
 //! (Fig 10b).
 //!
+//! [`ftdmp_fine_tune`] implements that overlap as a 1F1B-style
+//! micro-batch schedule: each run's per-store slice is further split
+//! into micro-batches that worker threads claim dynamically (with work
+//! stealing across stores), while the Tuner trains runs in order on the
+//! caller thread as soon as their features are complete. A staleness
+//! bound `S` ([`FtdmpConfig::staleness`]) caps how many runs extraction
+//! may lead training; `S = 0` degenerates to the historical
+//! run-at-a-time barrier schedule, preserved verbatim as
+//! [`ftdmp_fine_tune_reference`] — the oracle the equivalence tests pin
+//! the pipeline against. Because features depend only on the *frozen*
+//! prefix, any `S` produces bit-identical features; the schedule only
+//! changes wall-clock overlap, never results.
+//!
 //! This module is the *functional* implementation: real forward passes,
-//! real feature tensors, real SGD on the Tuner, PipeStores running in
-//! parallel OS threads via crossbeam. The wall-clock/energy behaviour of
-//! the same orchestration at data-center scale is modeled by
-//! `cluster::training` and driven from [`crate::apo`].
+//! real feature tensors, real SGD on the Tuner. The wall-clock/energy
+//! behaviour of the same orchestration at data-center scale is modeled
+//! by `cluster::training` and driven from [`crate::apo`].
 
 use crate::npe::engine::EngineConfig;
 use crate::pipestore::PipeStore;
 use crate::tuner::Tuner;
 use dnn::TrainConfig;
 use rand::Rng;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
 use tensor::Tensor;
+
+/// Why an FT-DMP job was refused before any work started. The historic
+/// `assert!` entry checks of [`ftdmp_fine_tune`] surface here instead,
+/// so RPC servers and the CLI propagate a diagnosis rather than
+/// unwinding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FtdmpError {
+    /// No PipeStores to extract from.
+    NoStores,
+    /// `n_run` was zero.
+    ZeroRuns,
+    /// A store's shard has fewer examples than `N_run` sub-datasets.
+    ShardTooSmall {
+        /// Offending store id.
+        store: usize,
+        /// Its shard size.
+        shard_len: usize,
+        /// The requested pipeline depth.
+        n_run: usize,
+    },
+    /// A shard's label space exceeds the Tuner model's class count;
+    /// widen the Tuner model before fine-tuning on new classes.
+    ClassOverflow {
+        /// Offending store id.
+        store: usize,
+        /// Classes present in its shard.
+        shard_classes: usize,
+        /// Classes the model can emit.
+        model_classes: usize,
+    },
+}
+
+impl std::fmt::Display for FtdmpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FtdmpError::NoStores => write!(f, "need at least one PipeStore"),
+            FtdmpError::ZeroRuns => write!(f, "need at least one run"),
+            FtdmpError::ShardTooSmall {
+                store,
+                shard_len,
+                n_run,
+            } => write!(
+                f,
+                "store {store} shard smaller than N_run ({shard_len} < {n_run})"
+            ),
+            FtdmpError::ClassOverflow {
+                store,
+                shard_classes,
+                model_classes,
+            } => write!(
+                f,
+                "store {store} shard has {shard_classes} classes but the model has \
+                 {model_classes}: widen the Tuner model before fine-tuning on new classes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FtdmpError {}
 
 /// Configuration of one distributed fine-tuning job.
 #[derive(Debug, Clone, Copy)]
@@ -28,18 +102,61 @@ pub struct FtdmpConfig {
     pub n_run: usize,
     /// Tuner epochs over each run's features.
     pub epochs_per_run: usize,
+    /// Rows per extraction micro-batch; `0` = auto (each run slice
+    /// splits into up to [`AUTO_MICRO_BATCHES`] micro-batches).
+    pub micro_batch: usize,
+    /// Staleness bound `S`: extraction may lead training by at most `S`
+    /// runs. `S = 0` reproduces the run-at-a-time schedule bit-for-bit.
+    pub staleness: usize,
     /// Tuner-side SGD hyper-parameters.
     pub train: TrainConfig,
 }
+
+/// Micro-batches each run slice splits into when
+/// [`FtdmpConfig::micro_batch`] is `0` (auto).
+pub const AUTO_MICRO_BATCHES: usize = 4;
 
 impl Default for FtdmpConfig {
     fn default() -> Self {
         FtdmpConfig {
             n_run: 3,
             epochs_per_run: 10,
+            micro_batch: 0,
+            staleness: 1,
             train: TrainConfig::default(),
         }
     }
+}
+
+impl FtdmpConfig {
+    /// Number of micro-batches a slice of `slice_len` rows splits into
+    /// under this config (≥ 1; auto mode caps at
+    /// [`AUTO_MICRO_BATCHES`]).
+    pub fn micro_batches_for(&self, slice_len: usize) -> usize {
+        if slice_len == 0 {
+            return 1;
+        }
+        if self.micro_batch == 0 {
+            slice_len.min(AUTO_MICRO_BATCHES)
+        } else {
+            slice_len.div_ceil(self.micro_batch)
+        }
+    }
+}
+
+/// Pipeline-schedule observability for one FT-DMP job.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ScheduleStats {
+    /// Micro-batch extraction tasks executed.
+    pub micro_batches: usize,
+    /// Tasks claimed away from their home store by an idle worker.
+    pub steals: usize,
+    /// Micro-batches extracted while training still lagged behind their
+    /// run (only possible with `S ≥ 1`).
+    pub stale_steps: usize,
+    /// Seconds the Tuner spent waiting for a run's features to complete
+    /// — the pipeline bubble the schedule exists to shrink.
+    pub bubble_secs: f64,
 }
 
 /// Outcome of a distributed fine-tuning job.
@@ -55,48 +172,192 @@ pub struct FtdmpReport {
     pub distribution_reduction: f64,
     /// Number of training examples consumed.
     pub examples: usize,
+    /// Micro-batch pipeline counters (all zero on the reference
+    /// schedule).
+    pub schedule: ScheduleStats,
 }
 
-/// Runs FT-DMP fine-tuning across `stores`, updating the Tuner's master
-/// model and redistributing it to every PipeStore as a compressed delta.
+fn validate(
+    tuner: &Tuner,
+    stores: &[PipeStore],
+    config: &FtdmpConfig,
+) -> Result<(), FtdmpError> {
+    if stores.is_empty() {
+        return Err(FtdmpError::NoStores);
+    }
+    if config.n_run == 0 {
+        return Err(FtdmpError::ZeroRuns);
+    }
+    for s in stores {
+        if s.shard_len() < config.n_run {
+            return Err(FtdmpError::ShardTooSmall {
+                store: s.id(),
+                shard_len: s.shard_len(),
+                n_run: config.n_run,
+            });
+        }
+        if s.shard().num_classes() > tuner.model().num_classes() {
+            return Err(FtdmpError::ClassOverflow {
+                store: s.id(),
+                shard_classes: s.shard().num_classes(),
+                model_classes: tuner.model().num_classes(),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn phase_hist(phase: &str) -> telemetry::Histogram {
+    telemetry::global().histogram_with(
+        "ndpipe_ftdmp_phase_seconds",
+        &[("phase", phase)],
+        "wall time of one in-process FT-DMP phase",
+    )
+}
+
+fn record_job_counters(feature_bytes: usize, schedule: &ScheduleStats) {
+    if !telemetry::enabled() {
+        return;
+    }
+    let g = telemetry::global();
+    g.counter(
+        "ndpipe_ftdmp_rounds_total",
+        "completed in-process FT-DMP fine-tuning rounds",
+    )
+    .inc();
+    g.counter(
+        "ndpipe_ftdmp_feature_bytes_total",
+        "feature bytes shipped from PipeStores to the Tuner",
+    )
+    .add(feature_bytes as u64);
+    g.counter(
+        "ndpipe_ftdmp_steals_total",
+        "FT-DMP micro-batches re-extracted away from their home store",
+    )
+    .add(schedule.steals as u64);
+    g.counter(
+        "ndpipe_ftdmp_stale_steps_total",
+        "FT-DMP micro-batches extracted ahead of the Tuner's training run",
+    )
+    .add(schedule.stale_steps as u64);
+    g.histogram(
+        "ndpipe_ftdmp_bubble_seconds",
+        "seconds the Tuner idled waiting for a run's features",
+    )
+    .observe(schedule.bubble_secs);
+}
+
+/// One pending micro-batch extraction: rows `lo..hi` of `store`'s shard
+/// for pipeline run `run`, micro-batch index `mb` within that run.
+#[derive(Debug, Clone, Copy)]
+struct MicroBatch {
+    store: usize,
+    run: usize,
+    mb: usize,
+    lo: usize,
+    hi: usize,
+}
+
+/// Shared scheduler state behind one mutex; a single condvar covers both
+/// wake directions (worker→tuner "run complete", tuner→worker "staleness
+/// window advanced").
+struct SchedState {
+    /// Per-store FIFO of pending micro-batches, front = lowest run.
+    pending: Vec<VecDeque<MicroBatch>>,
+    /// Gathered features, indexed `[run][store][mb]`.
+    slots: Vec<Vec<Vec<Option<(Tensor, Vec<usize>)>>>>,
+    /// Outstanding (pending or in-flight) tasks per run.
+    remaining: Vec<usize>,
+    /// Runs the Tuner has finished training.
+    trained: usize,
+    steals: usize,
+    stale_steps: usize,
+}
+
+impl SchedState {
+    /// Picks the next eligible micro-batch for a worker homed on
+    /// `home` stores (`store % n_workers == worker`): home queues
+    /// first, otherwise steal from the most-backlogged store. `None`
+    /// while nothing is eligible under the staleness bound (the worker
+    /// waits) — or forever once every queue drained (the worker exits).
+    fn claim(&mut self, worker: usize, n_workers: usize, staleness: usize) -> Claim {
+        let eligible = |q: &VecDeque<MicroBatch>| {
+            q.front()
+                .is_some_and(|t| t.run <= self.trained + staleness)
+        };
+        let mut any_pending = false;
+        // Home pass: stores this worker is responsible for.
+        let mut pick: Option<(usize, bool)> = None;
+        for (s, q) in self.pending.iter().enumerate() {
+            if q.is_empty() {
+                continue;
+            }
+            any_pending = true;
+            if s % n_workers == worker && eligible(q) {
+                pick = Some((s, false));
+                break;
+            }
+        }
+        if pick.is_none() {
+            // Steal pass: deepest eligible backlog anywhere.
+            let mut best_len = 0;
+            for (s, q) in self.pending.iter().enumerate() {
+                if q.len() > best_len && eligible(q) {
+                    best_len = q.len();
+                    pick = Some((s, true));
+                }
+            }
+        }
+        match pick {
+            Some((s, stolen)) => {
+                let task = match self.pending[s].pop_front() {
+                    Some(t) => t,
+                    None => return Claim::Wait, // unreachable: guarded above
+                };
+                if stolen {
+                    self.steals += 1;
+                }
+                if task.run > self.trained {
+                    self.stale_steps += 1;
+                }
+                Claim::Task(task)
+            }
+            None if any_pending => Claim::Wait,
+            None => Claim::Done,
+        }
+    }
+}
+
+enum Claim {
+    Task(MicroBatch),
+    Wait,
+    Done,
+}
+
+/// Runs FT-DMP fine-tuning across `stores` with the 1F1B micro-batch
+/// pipeline, updating the Tuner's master model and redistributing it to
+/// every PipeStore as a compressed delta.
 ///
-/// Every PipeStore extracts features for its slice of each run in its own
-/// thread (crossbeam scope); the Tuner then trains its trainable tail on
-/// the gathered features. Weight-freeze layers are never updated
-/// anywhere, so no inter-store synchronization exists — the property that
-/// makes NDPipe scale linearly in PipeStores.
+/// Worker threads claim `(store, run, micro-batch)` extraction tasks
+/// from per-store queues — stealing from a backlogged store when their
+/// own queues drain — while the caller thread trains runs in order as
+/// their features complete, at most [`FtdmpConfig::staleness`] runs
+/// behind extraction. Results are bit-identical to
+/// [`ftdmp_fine_tune_reference`] at every staleness bound and worker
+/// count: features depend only on the frozen prefix and are gathered in
+/// deterministic `(store, micro-batch)` order.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `stores` is empty, a shard is smaller than `n_run`, or the
-/// stores' label spaces exceed the Tuner model's class count.
+/// [`FtdmpError`] when `stores` is empty, `n_run` is zero, a shard is
+/// smaller than `n_run`, or a shard's label space exceeds the model's.
 pub fn ftdmp_fine_tune<R: Rng + ?Sized>(
     tuner: &mut Tuner,
     stores: &mut [PipeStore],
     config: &FtdmpConfig,
     rng: &mut R,
-) -> FtdmpReport {
-    assert!(!stores.is_empty(), "need at least one PipeStore");
-    assert!(config.n_run > 0, "need at least one run");
-    for s in stores.iter() {
-        assert!(
-            s.shard_len() >= config.n_run,
-            "store {} shard smaller than N_run",
-            s.id()
-        );
-        assert!(
-            s.shard().num_classes() <= tuner.model().num_classes(),
-            "widen the Tuner model before fine-tuning on new classes"
-        );
-    }
-
-    let phase_hist = |phase: &str| {
-        telemetry::global().histogram_with(
-            "ndpipe_ftdmp_phase_seconds",
-            &[("phase", phase)],
-            "wall time of one in-process FT-DMP phase",
-        )
-    };
+) -> Result<FtdmpReport, FtdmpError> {
+    validate(tuner, stores, config)?;
     let record = telemetry::enabled();
 
     // 1. Distribute the current master to every store.
@@ -105,6 +366,200 @@ pub fn ftdmp_fine_tune<R: Rng + ?Sized>(
         s.install_model(tuner.model().clone());
     }
     let model_before = tuner.model().clone();
+    let version_before = tuner.version();
+    timer.map(|t| t.observe_and_disarm());
+
+    // 2. Build the task table: every run slice of every store, split
+    // into contiguous micro-batches. Concatenating completed slots in
+    // (store, mb) order reproduces the reference row order exactly.
+    let n_run = config.n_run;
+    let mut pending: Vec<VecDeque<MicroBatch>> = Vec::with_capacity(stores.len());
+    let mut slots: Vec<Vec<Vec<Option<(Tensor, Vec<usize>)>>>> =
+        vec![Vec::with_capacity(stores.len()); n_run];
+    let mut remaining = vec![0usize; n_run];
+    let mut micro_batches = 0usize;
+    for (si, s) in stores.iter().enumerate() {
+        let n = s.shard_len();
+        let mut q = VecDeque::new();
+        for (run, rem) in remaining.iter_mut().enumerate() {
+            let lo = run * n / n_run;
+            let hi = (run + 1) * n / n_run;
+            let n_mb = config.micro_batches_for(hi - lo);
+            for mb in 0..n_mb {
+                let mlo = lo + mb * (hi - lo) / n_mb;
+                let mhi = lo + (mb + 1) * (hi - lo) / n_mb;
+                q.push_back(MicroBatch {
+                    store: si,
+                    run,
+                    mb,
+                    lo: mlo,
+                    hi: mhi,
+                });
+            }
+            slots[run].push(vec![None; n_mb]);
+            *rem += n_mb;
+            micro_batches += n_mb;
+        }
+        pending.push(q);
+    }
+
+    let n_workers = ndpipe_data::deflate::configured_threads()
+        .max(1)
+        .min(stores.len());
+    let state = Mutex::new(SchedState {
+        pending,
+        slots,
+        remaining,
+        trained: 0,
+        steals: 0,
+        stale_steps: 0,
+    });
+    let wake = Condvar::new();
+    let engine_cfg = EngineConfig::default();
+    let staleness = config.staleness;
+    let stores_shared: &[PipeStore] = stores;
+
+    let mut run_losses = Vec::with_capacity(n_run);
+    let mut feature_bytes = 0usize;
+    let mut examples = 0usize;
+    let mut bubble_secs = 0.0f64;
+
+    std::thread::scope(|scope| {
+        for w in 0..n_workers {
+            let state = &state;
+            let wake = &wake;
+            let engine_cfg = &engine_cfg;
+            scope.spawn(move || loop {
+                let task = {
+                    let mut st = state.lock().unwrap_or_else(|e| e.into_inner());
+                    loop {
+                        match st.claim(w, n_workers, staleness) {
+                            Claim::Task(t) => break t,
+                            Claim::Done => return,
+                            Claim::Wait => {
+                                st = wake
+                                    .wait(st)
+                                    .unwrap_or_else(|e| e.into_inner());
+                            }
+                        }
+                    }
+                };
+                let out = stores_shared[task.store]
+                    .extract_features_batched(task.lo..task.hi, engine_cfg)
+                    .0;
+                let mut st = state.lock().unwrap_or_else(|e| e.into_inner());
+                st.slots[task.run][task.store][task.mb] = Some(out);
+                st.remaining[task.run] -= 1;
+                drop(st);
+                wake.notify_all();
+            });
+        }
+
+        // Tuner side: train runs in order as their features land.
+        for run in 0..n_run {
+            let t0 = Instant::now();
+            let run_slots = {
+                let mut st = state.lock().unwrap_or_else(|e| e.into_inner());
+                while st.remaining[run] > 0 {
+                    st = wake.wait(st).unwrap_or_else(|e| e.into_inner());
+                }
+                std::mem::take(&mut st.slots[run])
+            };
+            bubble_secs += t0.elapsed().as_secs_f64();
+
+            let mut rows = Vec::new();
+            let mut labels = Vec::new();
+            for per_store in &run_slots {
+                for slot in per_store {
+                    if let Some((f, l)) = slot {
+                        feature_bytes += f.len() * 4;
+                        for i in 0..l.len() {
+                            rows.push(f.row(i));
+                        }
+                        labels.extend_from_slice(l);
+                    }
+                }
+            }
+            examples += labels.len();
+            let features = Tensor::stack_rows(&rows);
+            let timer = record.then(|| phase_hist("train").start_timer());
+            let loss = tuner.train_on_features(&features, &labels, config.epochs_per_run, rng);
+            timer.map(|t| t.observe_and_disarm());
+            run_losses.push(loss);
+
+            let mut st = state.lock().unwrap_or_else(|e| e.into_inner());
+            st.trained = run + 1;
+            drop(st);
+            wake.notify_all();
+        }
+    });
+
+    let (steals, stale_steps) = {
+        let st = state.lock().unwrap_or_else(|e| e.into_inner());
+        (st.steals, st.stale_steps)
+    };
+
+    // 3. Redistribute the fine-tuned model as Check-N-Run deltas,
+    // stamped with the Tuner's version span so replicas can audit
+    // staleness.
+    let timer = record.then(|| phase_hist("redistribute").start_timer());
+    let delta = tuner
+        .delta_from(&model_before)
+        .with_versions(version_before, tuner.version());
+    let mut distribution_bytes = 0usize;
+    for s in stores.iter_mut() {
+        if let Some(replica) = s.model_mut() {
+            if delta.apply(replica).is_ok() {
+                distribution_bytes += delta.wire_bytes();
+            }
+        }
+    }
+    timer.map(|t| t.observe_and_disarm());
+
+    let schedule = ScheduleStats {
+        micro_batches,
+        steals,
+        stale_steps,
+        bubble_secs,
+    };
+    record_job_counters(feature_bytes, &schedule);
+
+    Ok(FtdmpReport {
+        run_losses,
+        feature_bytes,
+        distribution_bytes,
+        distribution_reduction: delta.traffic_reduction(),
+        examples,
+        schedule,
+    })
+}
+
+/// The historical run-at-a-time FT-DMP schedule, kept verbatim as the
+/// oracle: every run's extraction fully completes (one barrier per run)
+/// before the Tuner trains, and no work ever crosses run boundaries.
+/// [`ftdmp_fine_tune`] must match this bit-for-bit at any staleness
+/// bound; the equivalence tests below and the `ftdmp_pipeline` bench
+/// both pin that.
+///
+/// # Errors
+///
+/// Same [`FtdmpError`] conditions as [`ftdmp_fine_tune`].
+pub fn ftdmp_fine_tune_reference<R: Rng + ?Sized>(
+    tuner: &mut Tuner,
+    stores: &mut [PipeStore],
+    config: &FtdmpConfig,
+    rng: &mut R,
+) -> Result<FtdmpReport, FtdmpError> {
+    validate(tuner, stores, config)?;
+    let record = telemetry::enabled();
+
+    // 1. Distribute the current master to every store.
+    let timer = record.then(|| phase_hist("distribute").start_timer());
+    for s in stores.iter_mut() {
+        s.install_model(tuner.model().clone());
+    }
+    let model_before = tuner.model().clone();
+    let version_before = tuner.version();
     timer.map(|t| t.observe_and_disarm());
 
     // 2. Pipeline runs: extract (parallel) then tune.
@@ -113,16 +568,13 @@ pub fn ftdmp_fine_tune<R: Rng + ?Sized>(
     let mut examples = 0usize;
     let engine_cfg = EngineConfig::default();
     // Concurrent store extractions are capped by NDPIPE_THREADS. Stores
-    // are claimed dynamically from the shared worker pool (no wave
-    // barrier — a slow store no longer stalls the rest of its wave), and
-    // each store's features land in its own index slot, so the gathered
+    // are claimed dynamically from the shared worker pool, and each
+    // store's features land in its own index slot, so the gathered
     // order is deterministic at any cap.
     let max_concurrent = ndpipe_data::deflate::configured_threads().max(1);
     for run in 0..config.n_run {
-        // Parallel Store-stage across PipeStores, each running its slice
-        // through the threaded NPE engine.
         let timer = record.then(|| phase_hist("extract").start_timer());
-        let stores_shared: &[crate::PipeStore] = stores;
+        let stores_shared: &[PipeStore] = stores;
         let extracted: Vec<(Tensor, Vec<usize>)> =
             tensor::pool::map_indexed(max_concurrent, stores_shared.len(), |i| {
                 let s = &stores_shared[i];
@@ -147,7 +599,6 @@ pub fn ftdmp_fine_tune<R: Rng + ?Sized>(
         examples += labels.len();
         let features = Tensor::stack_rows(&rows);
 
-        // Tuner-stage.
         let timer = record.then(|| phase_hist("train").start_timer());
         let loss = tuner.train_on_features(&features, &labels, config.epochs_per_run, rng);
         timer.map(|t| t.observe_and_disarm());
@@ -156,35 +607,28 @@ pub fn ftdmp_fine_tune<R: Rng + ?Sized>(
 
     // 3. Redistribute the fine-tuned model as Check-N-Run deltas.
     let timer = record.then(|| phase_hist("redistribute").start_timer());
-    let delta = tuner.delta_from(&model_before);
+    let delta = tuner
+        .delta_from(&model_before)
+        .with_versions(version_before, tuner.version());
     let mut distribution_bytes = 0usize;
     for s in stores.iter_mut() {
-        let replica = s.model_mut().expect("model installed above");
-        delta.apply(replica).expect("same architecture");
-        distribution_bytes += delta.wire_bytes();
+        if let Some(replica) = s.model_mut() {
+            if delta.apply(replica).is_ok() {
+                distribution_bytes += delta.wire_bytes();
+            }
+        }
     }
     timer.map(|t| t.observe_and_disarm());
-    if record {
-        let g = telemetry::global();
-        g.counter(
-            "ndpipe_ftdmp_rounds_total",
-            "completed in-process FT-DMP fine-tuning rounds",
-        )
-        .inc();
-        g.counter(
-            "ndpipe_ftdmp_feature_bytes_total",
-            "feature bytes shipped from PipeStores to the Tuner",
-        )
-        .add(feature_bytes as u64);
-    }
+    record_job_counters(feature_bytes, &ScheduleStats::default());
 
-    FtdmpReport {
+    Ok(FtdmpReport {
         run_losses,
         feature_bytes,
         distribution_bytes,
         distribution_reduction: delta.traffic_reduction(),
         examples,
-    }
+        schedule: ScheduleStats::default(),
+    })
 }
 
 #[cfg(test)]
@@ -231,6 +675,13 @@ mod tests {
         (tuner, stores, test)
     }
 
+    fn clone_stores(stores: &[PipeStore]) -> Vec<PipeStore> {
+        stores
+            .iter()
+            .map(|s| PipeStore::new(s.id(), s.shard().clone()))
+            .collect()
+    }
+
     #[test]
     fn distributed_fine_tuning_learns() {
         let mut rng = StdRng::seed_from_u64(71);
@@ -240,8 +691,9 @@ mod tests {
             n_run: 1,
             epochs_per_run: 20,
             train: *tuner.config(),
+            ..FtdmpConfig::default()
         };
-        let report = ftdmp_fine_tune(&mut tuner, &mut stores, &cfg, &mut rng);
+        let report = ftdmp_fine_tune(&mut tuner, &mut stores, &cfg, &mut rng).expect("valid job");
         let after = Trainer::evaluate(tuner.model(), &test);
         assert!(
             after.top1 > before.top1 + 0.2,
@@ -251,6 +703,7 @@ mod tests {
         );
         assert_eq!(report.examples, 200);
         assert!(report.feature_bytes > 0);
+        assert!(report.schedule.micro_batches >= 4);
     }
 
     #[test]
@@ -261,8 +714,9 @@ mod tests {
             n_run: 2,
             epochs_per_run: 5,
             train: *tuner.config(),
+            ..FtdmpConfig::default()
         };
-        ftdmp_fine_tune(&mut tuner, &mut stores, &cfg, &mut rng);
+        ftdmp_fine_tune(&mut tuner, &mut stores, &cfg, &mut rng).expect("valid job");
         let x = Tensor::randn(&[4, 16], &mut rng);
         let master = tuner.model().forward(&x);
         for s in &stores {
@@ -278,7 +732,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(73);
         let (mut tuner, mut stores, _) = world(&mut rng, 2, 20);
         let cfg = FtdmpConfig::default();
-        let report = ftdmp_fine_tune(&mut tuner, &mut stores, &cfg, &mut rng);
+        let report = ftdmp_fine_tune(&mut tuner, &mut stores, &cfg, &mut rng).expect("valid job");
         assert!(
             report.distribution_reduction > 3.0,
             "reduction {}",
@@ -293,17 +747,14 @@ mod tests {
 
         let accuracy = |n_run: usize, rng: &mut StdRng| {
             let mut tuner = tuner0.clone();
-            // Rebuild stores with the same shards.
-            let mut stores: Vec<PipeStore> = stores0
-                .iter()
-                .map(|s| PipeStore::new(s.id(), s.shard().clone()))
-                .collect();
+            let mut stores = clone_stores(&stores0);
             let cfg = FtdmpConfig {
                 n_run,
                 epochs_per_run: 30 / n_run,
                 train: *tuner0.config(),
+                ..FtdmpConfig::default()
             };
-            ftdmp_fine_tune(&mut tuner, &mut stores, &cfg, rng);
+            ftdmp_fine_tune(&mut tuner, &mut stores, &cfg, rng).expect("valid job");
             Trainer::evaluate(tuner.model(), &test).top1
         };
         let a1 = accuracy(1, &mut rng);
@@ -312,13 +763,151 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "widen the Tuner model")]
     fn new_classes_require_widening_first() {
         let mut rng = StdRng::seed_from_u64(75);
         let (mut tuner, mut stores, _) = world(&mut rng, 2, 10);
         // Pretend a shard saw classes beyond the model's space.
         let wide = stores[0].shard().widened(9);
         stores[0].set_shard(wide);
-        ftdmp_fine_tune(&mut tuner, &mut stores, &FtdmpConfig::default(), &mut rng);
+        let err = ftdmp_fine_tune(&mut tuner, &mut stores, &FtdmpConfig::default(), &mut rng)
+            .expect_err("label space exceeds the model");
+        assert!(
+            matches!(
+                err,
+                FtdmpError::ClassOverflow {
+                    shard_classes: 9,
+                    model_classes: 5,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("widen the Tuner model"));
+    }
+
+    #[test]
+    fn entry_checks_are_typed_errors() {
+        let mut rng = StdRng::seed_from_u64(76);
+        let (mut tuner, mut stores, _) = world(&mut rng, 2, 10);
+        assert_eq!(
+            ftdmp_fine_tune(&mut tuner, &mut [], &FtdmpConfig::default(), &mut rng).unwrap_err(),
+            FtdmpError::NoStores
+        );
+        let zero = FtdmpConfig {
+            n_run: 0,
+            ..FtdmpConfig::default()
+        };
+        assert_eq!(
+            ftdmp_fine_tune(&mut tuner, &mut stores, &zero, &mut rng).unwrap_err(),
+            FtdmpError::ZeroRuns
+        );
+        let deep = FtdmpConfig {
+            n_run: 10_000,
+            ..FtdmpConfig::default()
+        };
+        assert!(matches!(
+            ftdmp_fine_tune(&mut tuner, &mut stores, &deep, &mut rng).unwrap_err(),
+            FtdmpError::ShardTooSmall { n_run: 10_000, .. }
+        ));
+    }
+
+    /// The pipeline at any staleness bound and micro-batch size must be
+    /// bit-identical to the run-at-a-time oracle: identical losses,
+    /// identical master model, identical replicas, identical byte
+    /// accounting. Features depend only on the frozen prefix and are
+    /// gathered in deterministic order, so the schedule cannot leak
+    /// into results.
+    #[test]
+    fn pipelined_schedule_is_bit_identical_to_reference() {
+        let mut seed_rng = StdRng::seed_from_u64(77);
+        let (tuner0, stores0, _) = world(&mut seed_rng, 4, 30);
+        let base = FtdmpConfig {
+            n_run: 3,
+            epochs_per_run: 4,
+            train: *tuner0.config(),
+            ..FtdmpConfig::default()
+        };
+
+        let mut rng = StdRng::seed_from_u64(7_777);
+        let mut ref_tuner = tuner0.clone();
+        let mut ref_stores = clone_stores(&stores0);
+        let reference =
+            ftdmp_fine_tune_reference(&mut ref_tuner, &mut ref_stores, &base, &mut rng)
+                .expect("reference job");
+
+        for (staleness, micro_batch) in [(0, 0), (0, 7), (1, 0), (2, 3)] {
+            let cfg = FtdmpConfig {
+                staleness,
+                micro_batch,
+                ..base
+            };
+            let mut rng = StdRng::seed_from_u64(7_777);
+            let mut tuner = tuner0.clone();
+            let mut stores = clone_stores(&stores0);
+            let report =
+                ftdmp_fine_tune(&mut tuner, &mut stores, &cfg, &mut rng).expect("pipelined job");
+            assert_eq!(
+                report.run_losses, reference.run_losses,
+                "losses diverged at S={staleness} mb={micro_batch}"
+            );
+            assert_eq!(report.examples, reference.examples);
+            assert_eq!(report.feature_bytes, reference.feature_bytes);
+            assert_eq!(
+                tuner.model().to_bytes(),
+                ref_tuner.model().to_bytes(),
+                "master model diverged at S={staleness} mb={micro_batch}"
+            );
+            for (a, b) in stores.iter().zip(&ref_stores) {
+                assert_eq!(
+                    a.model().unwrap().to_bytes(),
+                    b.model().unwrap().to_bytes(),
+                    "replica diverged at S={staleness} mb={micro_batch}"
+                );
+            }
+            if staleness == 0 {
+                assert_eq!(report.schedule.stale_steps, 0, "S=0 must never run ahead");
+            }
+        }
+    }
+
+    #[test]
+    fn slow_store_converges_and_gets_robbed() {
+        let mut rng = StdRng::seed_from_u64(78);
+        let (mut tuner, mut stores, _) = world(&mut rng, 4, 20);
+        stores[0].set_extract_delay(Some(std::time::Duration::from_micros(200)));
+        let cfg = FtdmpConfig {
+            n_run: 2,
+            epochs_per_run: 3,
+            micro_batch: 5,
+            staleness: 1,
+            train: *tuner.config(),
+        };
+        let report = ftdmp_fine_tune(&mut tuner, &mut stores, &cfg, &mut rng).expect("valid job");
+        assert_eq!(report.run_losses.len(), 2);
+        // Steal count depends on available parallelism; with a single
+        // worker thread every store is "home", so only assert it when
+        // more than one worker could have run.
+        if ndpipe_data::deflate::configured_threads() > 1 {
+            assert!(
+                report.schedule.steals > 0,
+                "no steals despite a slow store: {:?}",
+                report.schedule
+            );
+        }
+    }
+
+    #[test]
+    fn micro_batch_sizing() {
+        let auto = FtdmpConfig::default();
+        assert_eq!(auto.micro_batches_for(0), 1);
+        assert_eq!(auto.micro_batches_for(3), 3);
+        assert_eq!(auto.micro_batches_for(100), AUTO_MICRO_BATCHES);
+        let fixed = FtdmpConfig {
+            micro_batch: 8,
+            ..FtdmpConfig::default()
+        };
+        assert_eq!(fixed.micro_batches_for(7), 1);
+        assert_eq!(fixed.micro_batches_for(8), 1);
+        assert_eq!(fixed.micro_batches_for(17), 3);
     }
 }

@@ -71,9 +71,12 @@ pub mod sanitize;
 pub mod system;
 pub mod tuner;
 
-pub use apo::{ApoInput, ApoResult};
+pub use apo::{pareto_front, ApoInput, ApoResult, ParetoFront, ParetoInput, ParetoPoint};
 pub use checknrun::ModelDelta;
-pub use ftdmp::{ftdmp_fine_tune, FtdmpConfig, FtdmpReport};
+pub use ftdmp::{
+    ftdmp_fine_tune, ftdmp_fine_tune_reference, FtdmpConfig, FtdmpError, FtdmpReport,
+    ScheduleStats,
+};
 pub use labeldb::LabelDb;
 pub use placement::{PlacementError, PlacementMap};
 pub use pipestore::PipeStore;

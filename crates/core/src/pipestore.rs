@@ -147,6 +147,9 @@ pub struct PipeStore {
     replica_shards: BTreeMap<u64, LabeledDataset>,
     metrics: Arc<telemetry::Registry>,
     npe: Mutex<NpeActivity>,
+    /// Artificial per-extraction sleep, for straggler simulation in
+    /// benches and soaks ([`PipeStore::set_extract_delay`]).
+    extract_delay: Option<std::time::Duration>,
 }
 
 impl PipeStore {
@@ -162,12 +165,23 @@ impl PipeStore {
             replica_shards: BTreeMap::new(),
             metrics: Arc::new(telemetry::Registry::new()),
             npe: Mutex::new(NpeActivity::default()),
+            extract_delay: None,
         }
     }
 
     /// The store's identifier.
     pub fn id(&self) -> usize {
         self.id
+    }
+
+    /// Makes every feature-extraction call sleep for `delay` *per
+    /// extracted row* first — a deliberate straggler for pipeline benches
+    /// and the slow-peer soak (`None` restores full speed). The penalty
+    /// scales with rows, not calls, so micro-batching a run does not
+    /// change the total sleep but stolen rows escape it entirely.
+    /// Results are unaffected; only wall-clock changes.
+    pub fn set_extract_delay(&mut self, delay: Option<std::time::Duration>) {
+        self.extract_delay = delay;
     }
 
     /// This store's own metric registry. Each PipeStore keeps local
@@ -611,6 +625,13 @@ impl PipeStore {
         range: std::ops::Range<usize>,
         cfg: &EngineConfig,
     ) -> ((Tensor, Vec<usize>), PipelineStats) {
+        if let Some(delay) = self.extract_delay {
+            // Straggler simulation only; never set on production paths.
+            // Per *row*, so the penalty models a slow device: splitting a
+            // run into micro-batches does not change the total sleep, but
+            // every row stolen away by a healthy replica escapes it.
+            std::thread::sleep(delay * range.len() as u32);
+        }
         let model = self.model.as_ref().expect("no model installed");
         assert!(range.end <= shard.len(), "range out of bounds");
         let feature_dim = model.feature_dim();

@@ -567,6 +567,51 @@ impl RemotePipeStore {
         }
     }
 
+    /// Extracts micro-batch `mb` of `n_mb` within run `run` of `n_run`
+    /// over node `node`'s shard (the store's own or a held replica) —
+    /// the streaming extract of the pipelined FT-DMP schedule, doubling
+    /// as the straggler-steal call when `node` is not the store's id.
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol/remote errors (no shard for `node` or an empty
+    /// slice is a remote error).
+    pub fn extract_slice(
+        &mut self,
+        node: u64,
+        run: u32,
+        n_run: u32,
+        mb: u32,
+        n_mb: u32,
+    ) -> Result<(Tensor, Vec<usize>), RpcError> {
+        match self.call(&Request::ExtractSlice {
+            node,
+            run,
+            n_run,
+            mb,
+            n_mb,
+        })? {
+            Reply::Features { features, labels } => {
+                Ok((features, labels.into_iter().map(|l| l as usize).collect()))
+            }
+            _ => Err(RpcError::Protocol("expected features")),
+        }
+    }
+
+    /// Fetches `(examples, classes)` metadata for node `node`'s shard on
+    /// this store (own shard or a held replica).
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol/remote errors (no shard for `node` is a remote
+    /// error).
+    pub fn describe_node(&mut self, node: u64) -> Result<(u64, u32), RpcError> {
+        match self.call(&Request::DescribeNode(node))? {
+            Reply::ShardInfo { examples, classes } => Ok((examples, classes)),
+            _ => Err(RpcError::Protocol("expected shard info")),
+        }
+    }
+
     /// Classifies one feature row on the remote store (one blocking
     /// round-trip). See [`RemotePipeStore::start_infer`] for the
     /// pipelined variant.

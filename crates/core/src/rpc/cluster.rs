@@ -11,7 +11,7 @@
 //! [`PeerFailure`], never as a Tuner-side panic.
 
 use crate::checknrun::ModelDelta;
-use crate::ftdmp::{FtdmpConfig, FtdmpReport};
+use crate::ftdmp::{FtdmpConfig, FtdmpError, FtdmpReport, ScheduleStats};
 use crate::placement::PlacementMap;
 use crate::rpc::client::{ConnectOptions, RemotePipeStore};
 use crate::rpc::wire::PhotoRecord;
@@ -19,7 +19,7 @@ use crate::rpc::RpcError;
 use crate::tuner::Tuner;
 use dnn::Mlp;
 use rand::Rng;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -133,6 +133,8 @@ pub enum ClusterError {
     NoPeers,
     /// A configuration problem independent of any peer.
     Config(&'static str),
+    /// The FT-DMP job itself was invalid before any peer was touched.
+    Ftdmp(crate::ftdmp::FtdmpError),
     /// The [`FailurePolicy`] rejected the round.
     Rejected {
         /// The policy that rejected.
@@ -151,6 +153,7 @@ impl ClusterError {
         match self {
             ClusterError::NoPeers => RpcError::Protocol("cluster has no peers"),
             ClusterError::Config(msg) => RpcError::Protocol(msg),
+            ClusterError::Ftdmp(_) => RpcError::Protocol("invalid FT-DMP job"),
             ClusterError::Rejected { failures, .. } => match failures.into_iter().next() {
                 Some(f) => f.error,
                 None => RpcError::Protocol("failure policy rejected the round"),
@@ -164,6 +167,7 @@ impl std::fmt::Display for ClusterError {
         match self {
             ClusterError::NoPeers => write!(f, "cluster has no peers"),
             ClusterError::Config(msg) => write!(f, "cluster misconfigured: {msg}"),
+            ClusterError::Ftdmp(e) => write!(f, "invalid FT-DMP job: {e}"),
             ClusterError::Rejected {
                 policy,
                 ok,
@@ -268,6 +272,8 @@ enum PeerOp {
     InstallModel(Arc<[u8]>),
     ExtractFeatures { run: u32, n_run: u32 },
     ExtractFeaturesFor { node: u64, run: u32, n_run: u32 },
+    ExtractSlice { node: u64, run: u32, n_run: u32, mb: u32, n_mb: u32 },
+    DescribeNode(u64),
     OfflineInfer,
     ApplyDelta(Arc<[u8]>),
     Describe,
@@ -287,6 +293,8 @@ impl PeerOp {
             PeerOp::InstallModel(_) => "install_model",
             PeerOp::ExtractFeatures { .. } => "extract_features",
             PeerOp::ExtractFeaturesFor { .. } => "extract_features_for",
+            PeerOp::ExtractSlice { .. } => "extract_slice",
+            PeerOp::DescribeNode(_) => "describe_node",
             PeerOp::OfflineInfer => "offline_infer",
             PeerOp::ApplyDelta(_) => "apply_delta",
             PeerOp::Describe => "describe",
@@ -415,6 +423,18 @@ fn apply(remote: &mut RemotePipeStore, op: &PeerOp) -> Result<PeerOk, RpcError> 
         PeerOp::ExtractFeaturesFor { node, run, n_run } => remote
             .extract_features_for(*node, *run, *n_run)
             .map(|(features, labels)| PeerOk::Features { features, labels }),
+        PeerOp::ExtractSlice {
+            node,
+            run,
+            n_run,
+            mb,
+            n_mb,
+        } => remote
+            .extract_slice(*node, *run, *n_run, *mb, *n_mb)
+            .map(|(features, labels)| PeerOk::Features { features, labels }),
+        PeerOp::DescribeNode(node) => remote
+            .describe_node(*node)
+            .map(|(examples, classes)| PeerOk::Shard { examples, classes }),
         PeerOp::EndSession => remote.end_session().map(|()| PeerOk::Ack),
     }
 }
@@ -431,6 +451,28 @@ fn count_reroutes(n: u64) {
             )
             .add(n);
     }
+}
+
+/// Puts a failed micro-batch back on its node's queue, keeping the
+/// queue sorted by (run, micro-batch) so the front stays the most
+/// urgent work.
+fn requeue<T>(queues: &mut BTreeMap<usize, VecDeque<T>>, task: T)
+where
+    T: Copy,
+    T: SliceKey,
+{
+    let q = queues.entry(task.node()).or_default();
+    let pos = q
+        .iter()
+        .position(|t| t.key() > task.key())
+        .unwrap_or(q.len());
+    q.insert(pos, task);
+}
+
+/// Ordering key for requeued micro-batch tasks.
+trait SliceKey {
+    fn node(&self) -> usize;
+    fn key(&self) -> (usize, usize);
 }
 
 fn worker_main(
@@ -1362,12 +1404,567 @@ impl Cluster {
                 distribution_bytes,
                 distribution_reduction: delta.traffic_reduction(),
                 examples,
+                schedule: ScheduleStats::default(),
             },
             failures,
             peers_used: live,
             reroutes,
         })
     }
+
+
+    /// The pipelined FT-DMP schedule: `rounds` back-to-back fine-tuning
+    /// rounds where extraction streams Store→Tuner as micro-batches
+    /// ([`PeerOp::ExtractSlice`]) under a bounded-staleness window,
+    /// idle peers steal a straggler's remaining micro-batches through
+    /// the placement map, and each round's Check-N-Run delta
+    /// distribution overlaps the next round's extraction (safe because
+    /// features depend only on the *frozen* prefix, which deltas never
+    /// touch).
+    ///
+    /// Scheduling rules:
+    ///
+    /// - Global run `g` (`round * n_run + r`) may be *extracted* only
+    ///   while `g ≤ trained + S` where `S` is
+    ///   [`FtdmpConfig::staleness`]. `S = 0` reproduces the
+    ///   run-at-a-time schedule of [`Cluster::ftdmp_fine_tune_with`]
+    ///   bit-for-bit (and waits for delta acks at round boundaries);
+    ///   `S ≥ 1` lets extraction and delta distribution run ahead.
+    /// - Every peer serves its own shard first; once its queue drains
+    ///   it steals the deepest backlog among nodes whose shard it holds
+    ///   (its own id, or a replica per
+    ///   [`PlacementMap::shard_holders`]). A steal from a *live* owner
+    ///   counts in `schedule.steals`; standing in for a dead owner
+    ///   counts in `reroutes`.
+    /// - Features gather per run keyed by `(node, micro-batch)`, so
+    ///   training order is deterministic no matter who served what.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Ftdmp`] for an invalid job,
+    /// [`ClusterError::Rejected`] when the [`FailurePolicy`] gives up.
+    pub fn ftdmp_fine_tune_pipelined<R: Rng + ?Sized>(
+        &self,
+        tuner: &mut Tuner,
+        config: &FtdmpConfig,
+        rounds: usize,
+        rng: &mut R,
+        placement: Option<&PlacementMap>,
+    ) -> Result<ClusterFtdmpReport, ClusterError> {
+        /// Extraction ops each peer keeps in flight: enough to hide the
+        /// round-trip, small enough that a steal can rebalance the tail.
+        const MAX_INFLIGHT: usize = 2;
+
+        if self.peers.is_empty() {
+            return Err(ClusterError::NoPeers);
+        }
+        if config.n_run == 0 {
+            return Err(ClusterError::Ftdmp(FtdmpError::ZeroRuns));
+        }
+        if rounds == 0 {
+            return Err(ClusterError::Config("need at least one round"));
+        }
+        let record = telemetry::enabled();
+        let mut failures: Vec<PeerFailure> = Vec::new();
+        let mut live: Vec<usize> = (0..self.peers.len()).collect();
+
+        // 0. Describe every reachable peer; validate label spaces and
+        // shard depths up front (an incompatible shard is a recorded
+        // failure, not a panic).
+        let mut shard_len: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut unfit: Vec<usize> = Vec::new();
+        let fan = self.fanout_on(&live, PeerOp::Describe);
+        failures.extend(fan.failures);
+        live.clear();
+        for r in fan.ok {
+            let (examples, classes) = match r.value {
+                PeerOk::Shard { examples, classes } => (examples, classes),
+                _ => (0, u32::MAX),
+            };
+            let verdict = if examples < config.n_run as u64 {
+                Err(FtdmpError::ShardTooSmall {
+                    store: r.index,
+                    shard_len: examples as usize,
+                    n_run: config.n_run,
+                })
+            } else if classes as usize > tuner.model().num_classes() {
+                Err(FtdmpError::ClassOverflow {
+                    store: r.index,
+                    shard_classes: classes as usize,
+                    model_classes: tuner.model().num_classes(),
+                })
+            } else {
+                Ok(())
+            };
+            match verdict {
+                Ok(()) => {
+                    shard_len.insert(r.index, examples as usize);
+                    live.push(r.index);
+                }
+                Err(e) => {
+                    unfit.push(r.index);
+                    failures.push(PeerFailure {
+                        index: r.index,
+                        peer: r.peer.to_string(),
+                        op: "describe",
+                        attempts: r.attempts,
+                        error: RpcError::Remote {
+                            peer: r.peer.to_string(),
+                            op: "describe",
+                            msg: e.to_string(),
+                        },
+                    });
+                }
+            }
+        }
+        self.admit(&live, failures.len())
+            .map_err(|()| self.reject(live.len(), std::mem::take(&mut failures)))?;
+
+        // 1. Distribute the current master model (serialized once).
+        let model_before = tuner.model().clone();
+        let blob: Arc<[u8]> = model_before.to_bytes().into();
+        let fan = self.fanout_on(&live, PeerOp::InstallModel(blob));
+        live = fan.ok.iter().map(|r| r.index).collect();
+        failures.extend(fan.failures);
+        self.admit(&live, failures.len())
+            .map_err(|()| self.reject(live.len(), std::mem::take(&mut failures)))?;
+
+        // Shard assignments come from the placement map when supplied
+        // (a dead node's shard is still trained on, via a replica);
+        // otherwise every live peer serves exactly its own shard.
+        let assignments: Vec<usize> = match placement {
+            Some(map) => map
+                .nodes()
+                .iter()
+                .map(|n| n.id as usize)
+                .filter(|i| !unfit.contains(i))
+                .collect(),
+            None => live.clone(),
+        };
+        // Size shards the Describe fan-out could not reach (nodes dead
+        // at connect) through a surviving holder's replica.
+        for &a in &assignments {
+            if shard_len.contains_key(&a) {
+                continue;
+            }
+            let Some(map) = placement else { continue };
+            for holder in map.shard_holders(a as u64) {
+                let h = holder as usize;
+                if h == a || !live.contains(&h) {
+                    continue;
+                }
+                let fan = self.fanout_on(&[h], PeerOp::DescribeNode(a as u64));
+                let mut found = false;
+                for r in fan.ok {
+                    if let PeerOk::Shard { examples, .. } = r.value {
+                        if examples as usize >= config.n_run {
+                            shard_len.insert(a, examples as usize);
+                            found = true;
+                        }
+                    }
+                }
+                if found {
+                    break;
+                }
+            }
+        }
+        let assignments: Vec<usize> = assignments
+            .into_iter()
+            .filter(|a| shard_len.contains_key(a))
+            .collect();
+        if assignments.is_empty() {
+            return Err(ClusterError::Ftdmp(FtdmpError::NoStores));
+        }
+
+        // 2. Build the global task table: `rounds * n_run` runs, every
+        // run slice of every assigned node split into contiguous
+        // micro-batches.
+        #[derive(Clone, Copy)]
+        struct SliceTask {
+            node: usize,
+            g: usize,
+            mb: usize,
+            n_mb: usize,
+        }
+        impl SliceKey for SliceTask {
+            fn node(&self) -> usize {
+                self.node
+            }
+            fn key(&self) -> (usize, usize) {
+                (self.g, self.mb)
+            }
+        }
+        let n_run = config.n_run;
+        let total_runs = rounds * n_run;
+        let mut queues: BTreeMap<usize, VecDeque<SliceTask>> = BTreeMap::new();
+        let mut remaining = vec![0usize; total_runs];
+        let mut micro_batches = 0usize;
+        for &a in &assignments {
+            let Some(&n) = shard_len.get(&a) else { continue };
+            let mut q = VecDeque::new();
+            for (g, rem) in remaining.iter_mut().enumerate() {
+                let r = g % n_run;
+                let lo = r * n / n_run;
+                let hi = (r + 1) * n / n_run;
+                let n_mb = config.micro_batches_for(hi - lo);
+                for mb in 0..n_mb {
+                    q.push_back(SliceTask { node: a, g, mb, n_mb });
+                }
+                *rem += n_mb;
+                micro_batches += n_mb;
+            }
+            queues.insert(a, q);
+        }
+
+        // One shared reply lane for every streaming extract; capacity
+        // covers the dispatch window, so workers never block on it.
+        let lane_cap = self.peers.len().max(1) * MAX_INFLIGHT;
+        // ndlint: policy(block, reason = "capacity equals peers times the per-peer in-flight cap, the most extract jobs the dispatch window allows, so the blocking case is unreachable by construction")
+        let (ext_tx, ext_rx) = mpsc::sync_channel::<WorkerReply>(lane_cap);
+        // Per-peer FIFO of dispatched tasks: each peer worker answers
+        // its job queue in order, so the front entry always matches the
+        // next reply from that peer.
+        let mut in_flight: Vec<VecDeque<SliceTask>> =
+            (0..self.peers.len()).map(|_| VecDeque::new()).collect();
+        let mut pending_acks: Vec<(mpsc::Receiver<WorkerReply>, f64)> = Vec::new();
+
+        let can_serve = |peer: usize, node: usize| -> bool {
+            peer == node
+                || placement
+                    .map(|m| m.shard_holders(node as u64).iter().any(|&h| h as usize == peer))
+                    .unwrap_or(false)
+        };
+
+        let mut run_losses = Vec::with_capacity(total_runs);
+        let mut feature_bytes = 0usize;
+        let mut distribution_bytes = 0usize;
+        let mut examples = 0usize;
+        let mut steals = 0usize;
+        let mut stale_steps = 0usize;
+        let mut bubble_secs = 0.0f64;
+        let mut reroutes = 0u64;
+        let mut trained = 0usize;
+        let mut slots: Vec<BTreeMap<(usize, usize), (Tensor, Vec<usize>)>> =
+            vec![BTreeMap::new(); total_runs];
+        let mut round_base = model_before;
+        let mut round_base_version = tuner.version();
+        let mut last_reduction = 1.0f64;
+        let staleness = config.staleness;
+
+        // Collects every outstanding delta ack, folding failures in.
+        let collect_acks = |pending: &mut Vec<(mpsc::Receiver<WorkerReply>, f64)>,
+                            live: &mut Vec<usize>,
+                            failures: &mut Vec<PeerFailure>,
+                            distribution_bytes: &mut usize| {
+            for (rx, _) in pending.drain(..) {
+                for reply in rx {
+                    match reply.result {
+                        Ok(_) => *distribution_bytes += reply.sent_bytes as usize,
+                        Err(error) => {
+                            live.retain(|&p| p != reply.index);
+                            failures.push(PeerFailure {
+                                index: reply.index,
+                                peer: reply.peer.to_string(),
+                                op: reply.op,
+                                attempts: reply.attempts,
+                                error,
+                            });
+                        }
+                    }
+                }
+            }
+        };
+
+        for g in 0..total_runs {
+            let t0 = Instant::now();
+            while remaining.get(g).is_some_and(|&r| r > 0) {
+                // Dispatch phase: fill every live peer's window with
+                // eligible work — own queue first, then steal the
+                // deepest backlog it holds a replica of.
+                let mut progressed = true;
+                while progressed {
+                    progressed = false;
+                    for p in live.clone() {
+                        let Some(window) = in_flight.get(p) else { continue };
+                        if window.len() >= MAX_INFLIGHT {
+                            continue;
+                        }
+                        let eligible = |q: &VecDeque<SliceTask>| {
+                            q.front().is_some_and(|t| t.g <= trained + staleness)
+                        };
+                        // Own shard first; otherwise steal.
+                        let mut source = match queues.get(&p) {
+                            Some(q) if eligible(q) => Some((p, false)),
+                            _ => None,
+                        };
+                        if source.is_none() {
+                            let mut best_len = 0;
+                            for (&node, q) in &queues {
+                                if node != p
+                                    && q.len() > best_len
+                                    && eligible(q)
+                                    && can_serve(p, node)
+                                {
+                                    best_len = q.len();
+                                    source = Some((node, true));
+                                }
+                            }
+                        }
+                        let Some((node, stolen)) = source else { continue };
+                        let Some(task) = queues.get_mut(&node).and_then(VecDeque::pop_front)
+                        else {
+                            continue;
+                        };
+                        if stolen {
+                            if live.contains(&node) {
+                                steals += 1;
+                            } else {
+                                reroutes += 1;
+                                count_reroutes(1);
+                            }
+                        }
+                        if task.g > trained {
+                            stale_steps += 1;
+                        }
+                        let job = Job::Op {
+                            op: PeerOp::ExtractSlice {
+                                node: task.node as u64,
+                                run: (task.g % n_run) as u32,
+                                n_run: n_run as u32,
+                                mb: task.mb as u32,
+                                n_mb: task.n_mb as u32,
+                            },
+                            attempts: self.op_attempts,
+                            done: ext_tx.clone(),
+                        };
+                        let sent = self
+                            .peers
+                            .get(p)
+                            .is_some_and(|slot| slot.tx.send(job).is_ok());
+                        if sent {
+                            if let Some(w) = in_flight.get_mut(p) {
+                                w.push_back(task);
+                            }
+                            progressed = true;
+                        } else {
+                            // Worker gone: treat like a transport death.
+                            live.retain(|&q| q != p);
+                            failures.push(PeerFailure {
+                                index: p,
+                                peer: self
+                                    .peers
+                                    .get(p)
+                                    .map(|s| s.addr.to_string())
+                                    .unwrap_or_else(|| "<out of range>".to_string()),
+                                op: "extract_slice",
+                                attempts: 0,
+                                error: RpcError::Protocol("peer worker is gone"),
+                            });
+                            if let Some(q) = queues.get_mut(&node) {
+                                q.push_front(task);
+                            }
+                        }
+                    }
+                }
+
+                // Nodes no live peer can serve: drop their queued work
+                // (completed and in-flight micro-batches still train).
+                let orphaned: Vec<usize> = queues
+                    .iter()
+                    .filter(|(_, q)| !q.is_empty())
+                    .map(|(&node, _)| node)
+                    .filter(|&node| !live.iter().any(|&p| can_serve(p, node)))
+                    .collect();
+                for node in orphaned {
+                    if let Some(q) = queues.remove(&node) {
+                        for t in &q {
+                            if let Some(r) = remaining.get_mut(t.g) {
+                                *r = r.saturating_sub(1);
+                            }
+                        }
+                        failures.push(PeerFailure {
+                            index: node,
+                            peer: self
+                                .peers
+                                .get(node)
+                                .map(|s| s.addr.to_string())
+                                .unwrap_or_else(|| "<out of range>".to_string()),
+                            op: "extract_slice",
+                            attempts: 0,
+                            error: RpcError::Protocol("no surviving replica for shard"),
+                        });
+                    }
+                }
+                self.admit(&live, failures.len())
+                    .map_err(|()| self.reject(live.len(), std::mem::take(&mut failures)))?;
+                if remaining.get(g).copied().unwrap_or(0) == 0 {
+                    break;
+                }
+
+                // Gather phase: block on one extract reply.
+                let Ok(reply) = ext_rx.recv() else {
+                    return Err(ClusterError::Config("extract reply lane closed"));
+                };
+                let Some(task) = in_flight
+                    .get_mut(reply.index)
+                    .and_then(VecDeque::pop_front)
+                else {
+                    return Err(ClusterError::Config("unmatched extract reply"));
+                };
+                match reply.result {
+                    Ok(PeerOk::Features { features, labels }) => {
+                        feature_bytes += reply.recv_bytes as usize;
+                        if let Some(slot) = slots.get_mut(task.g) {
+                            slot.insert((task.node, task.mb), (features, labels));
+                        }
+                        if let Some(r) = remaining.get_mut(task.g) {
+                            *r = r.saturating_sub(1);
+                        }
+                    }
+                    Ok(_) => {
+                        // Shape violation: count the peer out.
+                        live.retain(|&p| p != reply.index);
+                        failures.push(PeerFailure {
+                            index: reply.index,
+                            peer: reply.peer.to_string(),
+                            op: reply.op,
+                            attempts: reply.attempts,
+                            error: RpcError::Protocol("unexpected reply shape"),
+                        });
+                        requeue(&mut queues, task);
+                    }
+                    Err(error) => {
+                        live.retain(|&p| p != reply.index);
+                        failures.push(PeerFailure {
+                            index: reply.index,
+                            peer: reply.peer.to_string(),
+                            op: reply.op,
+                            attempts: reply.attempts,
+                            error,
+                        });
+                        requeue(&mut queues, task);
+                    }
+                }
+                self.admit(&live, failures.len())
+                    .map_err(|()| self.reject(live.len(), std::mem::take(&mut failures)))?;
+            }
+            bubble_secs += t0.elapsed().as_secs_f64();
+
+            // Train run g: splice features in (node, micro-batch) order.
+            let mut rows = Vec::new();
+            let mut labels = Vec::new();
+            let gathered = slots.get_mut(g).map(std::mem::take).unwrap_or_default();
+            for (features, l) in gathered.into_values() {
+                for i in 0..l.len() {
+                    rows.push(features.row(i));
+                }
+                labels.extend(l);
+            }
+            if rows.is_empty() {
+                return Err(ClusterError::Config("no features survived for a run"));
+            }
+            examples += labels.len();
+            let features = Tensor::stack_rows(&rows);
+            let loss = tuner.train_on_features(&features, &labels, config.epochs_per_run, rng);
+            run_losses.push(loss);
+            trained = g + 1;
+
+            // Round boundary: distribute the delta. With S = 0 the
+            // schedule waits for every ack (the oracle's barrier);
+            // otherwise acks gather lazily while the next round's
+            // extraction is already in flight.
+            if trained % n_run == 0 {
+                let delta = tuner
+                    .delta_from(&round_base)
+                    .with_versions(round_base_version, tuner.version());
+                last_reduction = delta.traffic_reduction();
+                round_base = tuner.model().clone();
+                round_base_version = tuner.version();
+                let blob: Arc<[u8]> = delta.to_bytes().into();
+                // Each targeted peer sends exactly one ack per round, so
+                // a bound of `live.len()` means workers never block.
+                // ndlint: policy(block, reason = "capacity equals the reply count, so the blocking case is unreachable by construction")
+                let (dtx, drx) = mpsc::sync_channel::<WorkerReply>(live.len().max(1));
+                for &p in &live {
+                    let job = Job::Op {
+                        op: PeerOp::ApplyDelta(blob.clone()),
+                        attempts: self.op_attempts,
+                        done: dtx.clone(),
+                    };
+                    if let Some(slot) = self.peers.get(p) {
+                        let _ = slot.tx.send(job);
+                    }
+                }
+                drop(dtx);
+                pending_acks.push((drx, last_reduction));
+                if staleness == 0 {
+                    collect_acks(
+                        &mut pending_acks,
+                        &mut live,
+                        &mut failures,
+                        &mut distribution_bytes,
+                    );
+                    self.admit(&live, failures.len())
+                        .map_err(|()| self.reject(live.len(), std::mem::take(&mut failures)))?;
+                }
+            }
+        }
+
+        // Settle the overlapped delta acks from the tail rounds.
+        collect_acks(
+            &mut pending_acks,
+            &mut live,
+            &mut failures,
+            &mut distribution_bytes,
+        );
+        self.admit(&live, failures.len())
+            .map_err(|()| self.reject(live.len(), std::mem::take(&mut failures)))?;
+
+        let schedule = ScheduleStats {
+            micro_batches,
+            steals,
+            stale_steps,
+            bubble_secs,
+        };
+        if record {
+            let m = telemetry::global();
+            m.counter(
+                "ndpipe_ftdmp_remote_rounds_total",
+                "completed remote FT-DMP fine-tuning rounds",
+            )
+            .add(rounds as u64);
+            m.counter(
+                "ndpipe_ftdmp_steals_total",
+                "FT-DMP micro-batches re-extracted away from their home store",
+            )
+            .add(steals as u64);
+            m.counter(
+                "ndpipe_ftdmp_stale_steps_total",
+                "FT-DMP micro-batches extracted ahead of the Tuner's training run",
+            )
+            .add(stale_steps as u64);
+            m.histogram(
+                "ndpipe_ftdmp_bubble_seconds",
+                "seconds the Tuner idled waiting for a run's features",
+            )
+            .observe(bubble_secs);
+        }
+
+        Ok(ClusterFtdmpReport {
+            report: FtdmpReport {
+                run_losses,
+                feature_bytes,
+                distribution_bytes,
+                distribution_reduction: last_reduction,
+                examples,
+                schedule,
+            },
+            failures,
+            peers_used: live,
+            reroutes,
+        })
+    }
+
 
     fn admit(&self, live: &[usize], failed: usize) -> Result<(), ()> {
         if self.policy.admits(live.len(), failed) {

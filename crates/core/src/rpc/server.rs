@@ -260,8 +260,9 @@ fn handle(store: &RwLock<PipeStore>, request: Request) -> Option<Reply> {
             }
             // The batched NPE path: bit-identical to the serial
             // reference, and it feeds the store's pipeline stats.
-            let ((features, labels), _stats) =
-                store.extract_features_batched(lo..hi, &EngineConfig::default());
+            let cfg = EngineConfig::default();
+            // ndlint: allow(blocking, reason = "the only sleep on this path is the opt-in straggler simulation delay (PipeStore::set_extract_delay), never set on production paths; extraction itself must hold the store guard")
+            let ((features, labels), _stats) = store.extract_features_batched(lo..hi, &cfg);
             Reply::Features {
                 features,
                 labels: labels.into_iter().map(|l| l as u32).collect(),
@@ -345,10 +346,61 @@ fn handle(store: &RwLock<PipeStore>, request: Request) -> Option<Reply> {
             if lo >= hi {
                 return Some(Reply::Error("empty run slice".to_string()));
             }
+            // ndlint: allow(blocking, reason = "the only sleep on this path is the opt-in straggler simulation delay (PipeStore::set_extract_delay), never set on production paths; extraction itself must hold the store guard")
             match store.extract_features_batched_for(node, lo..hi, &EngineConfig::default()) {
                 Some(((features, labels), _stats)) => Reply::Features {
                     features,
                     labels: labels.into_iter().map(|l| l as u32).collect(),
+                },
+                None => Reply::Error(format!("no replica shard for node {node}")),
+            }
+        }
+        Request::ExtractSlice {
+            node,
+            run,
+            n_run,
+            mb,
+            n_mb,
+        } => {
+            if n_run == 0 || run >= n_run {
+                return Some(Reply::Error("bad run index".to_string()));
+            }
+            if n_mb == 0 || mb >= n_mb {
+                return Some(Reply::Error("bad micro-batch index".to_string()));
+            }
+            let store = store.read();
+            if store.model().is_none() {
+                return Some(Reply::Error("no model installed".to_string()));
+            }
+            let Some(shard) = store.shard_for(node) else {
+                return Some(Reply::Error(format!("no replica shard for node {node}")));
+            };
+            let n = shard.len();
+            let lo = run as usize * n / n_run as usize;
+            let hi = (run as usize + 1) * n / n_run as usize;
+            // Micro-batch sub-slices partition [lo, hi) contiguously, so
+            // concatenating replies in mb order is bit-identical to one
+            // whole-run extraction.
+            let mlo = lo + mb as usize * (hi - lo) / n_mb as usize;
+            let mhi = lo + (mb as usize + 1) * (hi - lo) / n_mb as usize;
+            if mlo >= mhi {
+                return Some(Reply::Error("empty micro-batch slice".to_string()));
+            }
+            // ndlint: allow(blocking, reason = "the only sleep on this path is the opt-in straggler simulation delay (PipeStore::set_extract_delay), never set on production paths; extraction itself must hold the store guard")
+            match store.extract_features_batched_for(node, mlo..mhi, &EngineConfig::default()) {
+                Some(((features, labels), _stats)) => Reply::Features {
+                    features,
+                    labels: labels.into_iter().map(|l| l as u32).collect(),
+                },
+                None => Reply::Error(format!("no replica shard for node {node}")),
+            }
+        }
+        Request::DescribeNode(node) => {
+            let store = store.read();
+            match store.shard_for(node) {
+                Some(shard) => Reply::ShardInfo {
+                    examples: shard.len() as u64,
+                    classes: shard.num_classes() as u32,
                 },
                 None => Reply::Error(format!("no replica shard for node {node}")),
             }

@@ -136,6 +136,27 @@ pub enum Request {
         /// Total pipeline runs.
         n_run: u32,
     },
+    /// Streaming micro-batch extraction: micro-batch `mb` of `n_mb`
+    /// within run `run` of `n_run`, over node `node`'s shard (the
+    /// store's own when `node` is its id, otherwise a replica — which
+    /// makes this single op both the pipelined extract *and* the
+    /// straggler-steal path).
+    ExtractSlice {
+        /// Whose shard to extract (a placement node id).
+        node: u64,
+        /// Zero-based run index.
+        run: u32,
+        /// Total pipeline runs.
+        n_run: u32,
+        /// Zero-based micro-batch index within the run slice.
+        mb: u32,
+        /// Total micro-batches the run slice splits into.
+        n_mb: u32,
+    },
+    /// Report shard metadata for node `node` (own shard or a held
+    /// replica) — how the pipelined scheduler sizes micro-batch counts
+    /// for shards it must steal.
+    DescribeNode(u64),
     /// Close the session.
     Shutdown,
 }
@@ -158,6 +179,8 @@ impl Request {
             Request::GetPhoto(_) => "get_photo",
             Request::ListPhotos => "list_photos",
             Request::ExtractFeaturesFor { .. } => "extract_features_for",
+            Request::ExtractSlice { .. } => "extract_slice",
+            Request::DescribeNode(_) => "describe_node",
             Request::Shutdown => "shutdown",
         }
     }
@@ -244,6 +267,8 @@ const TAG_PUT_PHOTO: u8 = 11;
 const TAG_GET_PHOTO: u8 = 12;
 const TAG_LIST_PHOTOS: u8 = 13;
 const TAG_EXTRACT_FOR: u8 = 14;
+const TAG_EXTRACT_SLICE: u8 = 15;
+const TAG_DESCRIBE_NODE: u8 = 16;
 const TAG_HELLO: u8 = 32;
 const TAG_ACCEPT: u8 = 33;
 const TAG_REJECT: u8 = 34;
@@ -349,6 +374,26 @@ impl Request {
                 put_u32(&mut p, *n_run);
                 (TAG_EXTRACT_FOR, p)
             }
+            Request::ExtractSlice {
+                node,
+                run,
+                n_run,
+                mb,
+                n_mb,
+            } => {
+                let mut p = Vec::with_capacity(24);
+                put_u64(&mut p, *node);
+                put_u32(&mut p, *run);
+                put_u32(&mut p, *n_run);
+                put_u32(&mut p, *mb);
+                put_u32(&mut p, *n_mb);
+                (TAG_EXTRACT_SLICE, p)
+            }
+            Request::DescribeNode(node) => {
+                let mut p = Vec::with_capacity(8);
+                put_u64(&mut p, *node);
+                (TAG_DESCRIBE_NODE, p)
+            }
             Request::Shutdown => (TAG_SHUTDOWN, Vec::new()),
         }
     }
@@ -423,6 +468,34 @@ impl Request {
                 let n_run = c.u32()?;
                 c.finish()?;
                 Ok(Request::ExtractFeaturesFor { node, run, n_run })
+            }
+            TAG_EXTRACT_SLICE => {
+                let mut c = Cursor {
+                    buf: payload,
+                    pos: 0,
+                };
+                let node = c.u64()?;
+                let run = c.u32()?;
+                let n_run = c.u32()?;
+                let mb = c.u32()?;
+                let n_mb = c.u32()?;
+                c.finish()?;
+                Ok(Request::ExtractSlice {
+                    node,
+                    run,
+                    n_run,
+                    mb,
+                    n_mb,
+                })
+            }
+            TAG_DESCRIBE_NODE => {
+                let mut c = Cursor {
+                    buf: payload,
+                    pos: 0,
+                };
+                let node = c.u64()?;
+                c.finish()?;
+                Ok(Request::DescribeNode(node))
             }
             TAG_SHUTDOWN => Ok(Request::Shutdown),
             _ => Err(RpcError::Protocol("unknown request tag")),
@@ -927,6 +1000,14 @@ mod tests {
             run: 1,
             n_run: 4,
         });
+        roundtrip_req(Request::ExtractSlice {
+            node: 3,
+            run: 1,
+            n_run: 4,
+            mb: 2,
+            n_mb: 8,
+        });
+        roundtrip_req(Request::DescribeNode(u64::MAX));
         roundtrip_reply(Reply::Placement(map));
         roundtrip_reply(Reply::Photo(sample_record()));
         roundtrip_reply(Reply::PhotoIds(vec![1, 2, 3, u64::MAX]));
@@ -1217,6 +1298,16 @@ mod tests {
                         run,
                         n_run
                     }),
+                (any::<u64>(), 0u32..8, 1u32..8, 0u32..8, 1u32..8).prop_map(
+                    |(node, run, n_run, mb, n_mb)| Request::ExtractSlice {
+                        node,
+                        run,
+                        n_run,
+                        mb,
+                        n_mb
+                    }
+                ),
+                any::<u64>().prop_map(Request::DescribeNode),
                 (
                     any::<u64>(),
                     0u32..1000,

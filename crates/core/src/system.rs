@@ -311,8 +311,10 @@ impl NdPipeSystem {
             n_run: self.config.n_run,
             epochs_per_run: self.config.epochs_per_run,
             train: self.config.train,
+            ..FtdmpConfig::default()
         };
-        let report = ftdmp_fine_tune(&mut self.tuner, &mut self.stores, &cfg, rng);
+        let report = ftdmp_fine_tune(&mut self.tuner, &mut self.stores, &cfg, rng)
+            .expect("system resharding keeps every FT-DMP job valid");
         // The inference server serves uploads with the fresh model.
         self.online.update_model(self.tuner.model().clone());
         let test = self.scenario.test_set(rng);

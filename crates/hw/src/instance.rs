@@ -47,6 +47,30 @@ impl InstanceSpec {
         }
     }
 
+    /// A derated PipeStore: the [`InstanceSpec::pipestore`] preset with
+    /// every data-path rate (GPU throughput, disk reads, CPU
+    /// decompression) scaled by `factor` in `(0, 1]`. Models a straggler
+    /// or thermally-throttled storage server for heterogeneous-fleet
+    /// planning (APO's Pareto search) and slow-peer experiments.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < factor <= 1`.
+    pub fn pipestore_derated(factor: f64) -> Self {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "derating factor must be in (0, 1], got {factor}"
+        );
+        let mut spec = InstanceSpec::pipestore();
+        spec.name = format!("PipeStore (derated {factor:.2}x)");
+        for gpu in &mut spec.gpus {
+            gpu.dnn_factor *= factor;
+        }
+        spec.disk.read_bps *= factor;
+        spec.cpu.decompress_bps_per_core *= factor;
+        spec
+    }
+
     /// An Inferentia PipeStore: `inf1.2xlarge` with one NeuronCoreV1.
     pub fn pipestore_inf1() -> Self {
         InstanceSpec {

@@ -25,9 +25,13 @@ test -s results/BENCH_telemetry_overhead.json
 test -s results/BENCH_cluster_fanout.json
 test -s results/BENCH_rpc_concurrency.json
 test -s results/BENCH_placement.json
+test -s results/BENCH_ftdmp_pipeline.json
 # RPC server stress smoke (8 concurrent sessions against one PipeStore)
 # and the placement rejoin soak (kill/restart/rejoin every node).
 cargo test -q --release --test cluster_failover -- --ignored
+# Pipelined FT-DMP slow-peer soak: one store sleeping per extracted row,
+# the schedule must steal its micro-batches and still converge.
+cargo test -q --release --test ftdmp_pipeline -- --ignored
 # Event-loop soak: ≥1000 concurrent sessions, zero lost replies, p99
 # asserted from the server's telemetry histograms.
 cargo test -q --release --test rpc_event_server -- --ignored

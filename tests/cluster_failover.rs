@@ -69,6 +69,7 @@ fn quorum_survives_killed_peer() {
         n_run: 1,
         epochs_per_run: 4,
         train: cfg,
+        ..FtdmpConfig::default()
     };
 
     let (mut servers, addrs) = spawn_servers(&train, 3);
@@ -128,6 +129,7 @@ fn strict_surfaces_peer_unavailable() {
         n_run: 1,
         epochs_per_run: 2,
         train: cfg,
+        ..FtdmpConfig::default()
     };
 
     let (mut servers, addrs) = spawn_servers(&train, 2);
@@ -294,6 +296,7 @@ fn placement_reroutes_dead_peers_shard_mid_sweep() {
         n_run: 2,
         epochs_per_run: 3,
         train: cfg,
+        ..FtdmpConfig::default()
     };
 
     // Three stores, R = 2: each node's shard also lives on the replica

@@ -76,6 +76,7 @@ fn distributed_fine_tune_over_sockets_learns() {
                 n_run: 2,
                 epochs_per_run: 12,
                 train: cfg,
+                ..FtdmpConfig::default()
             },
             &mut rng,
         )
@@ -138,6 +139,7 @@ fn distributed_matches_local_ftdmp() {
         n_run: 1,
         epochs_per_run: 10,
         train: cfg,
+        ..FtdmpConfig::default()
     };
 
     // Local threads.
@@ -148,7 +150,8 @@ fn distributed_matches_local_ftdmp() {
         .enumerate()
         .map(|(i, s)| PipeStore::new(i, s))
         .collect();
-    ndpipe::ftdmp_fine_tune(&mut local_tuner, &mut local_stores, &ft, &mut rng);
+    ndpipe::ftdmp_fine_tune(&mut local_tuner, &mut local_stores, &ft, &mut rng)
+        .expect("valid FT-DMP job");
     let local_acc = Trainer::evaluate(local_tuner.model(), &test).top1;
 
     // Sockets.
@@ -188,6 +191,7 @@ fn remote_errors_surface_cleanly() {
             n_run: 1,
             epochs_per_run: 1,
             train: cfg,
+            ..FtdmpConfig::default()
         },
         &mut rng,
     );

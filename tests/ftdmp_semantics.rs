@@ -95,9 +95,11 @@ fn distributed_accuracy_matches_centralized() {
             n_run: 1,
             epochs_per_run: 20,
             train: cfg,
+            ..FtdmpConfig::default()
         },
         &mut rng,
-    );
+    )
+    .expect("valid FT-DMP job");
     let acc_dist = Trainer::evaluate(tuner.model(), &test).top1;
 
     assert!(
@@ -132,9 +134,11 @@ fn fleet_size_does_not_change_learning() {
                 n_run: 1,
                 epochs_per_run: 15,
                 train: cfg,
+                ..FtdmpConfig::default()
             },
             &mut rng,
-        );
+        )
+        .expect("valid FT-DMP job");
         accs.push(Trainer::evaluate(tuner.model(), &test).top1);
     }
     let spread =
@@ -165,9 +169,11 @@ fn frozen_layers_never_diverge() {
             n_run: 2,
             epochs_per_run: 5,
             train: cfg,
+            ..FtdmpConfig::default()
         },
         &mut rng,
-    );
+    )
+    .expect("valid FT-DMP job");
     let probe = Tensor::randn(&[6, 16], &mut rng);
     let master_feats = tuner.model().features(&probe);
     for s in &stores {
