@@ -4,7 +4,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tensor::conv::{conv2d, max_pool2d, Conv2dSpec};
-use tensor::{activation, linalg, Tensor};
+use tensor::linalg::Gemm;
+use tensor::{activation, Tensor};
 
 fn bench_matmul(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
@@ -13,7 +14,7 @@ fn bench_matmul(c: &mut Criterion) {
         let a = Tensor::randn(&[n, n], &mut rng);
         let b = Tensor::randn(&[n, n], &mut rng);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
-            bench.iter(|| linalg::matmul(std::hint::black_box(&a), std::hint::black_box(&b)))
+            bench.iter(|| Gemm::new(std::hint::black_box(&a), std::hint::black_box(&b)).run())
         });
     }
     group.finish();
@@ -24,10 +25,18 @@ fn bench_matmul_variants(c: &mut Criterion) {
     let a = Tensor::randn(&[128, 128], &mut rng);
     let b = Tensor::randn(&[128, 128], &mut rng);
     c.bench_function("matmul_tn_128", |bench| {
-        bench.iter(|| linalg::matmul_tn(std::hint::black_box(&a), std::hint::black_box(&b)))
+        bench.iter(|| {
+            Gemm::new(std::hint::black_box(&a), std::hint::black_box(&b))
+                .transpose_a()
+                .run()
+        })
     });
     c.bench_function("matmul_nt_128", |bench| {
-        bench.iter(|| linalg::matmul_nt(std::hint::black_box(&a), std::hint::black_box(&b)))
+        bench.iter(|| {
+            Gemm::new(std::hint::black_box(&a), std::hint::black_box(&b))
+                .transpose_b()
+                .run()
+        })
     });
 }
 

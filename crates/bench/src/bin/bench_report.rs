@@ -1,6 +1,7 @@
 //! Measured benchmarks: prints the human-readable reports and writes the
 //! machine-readable JSON artifacts (`results/BENCH_npe_pipeline.json`,
 //! `results/BENCH_gemm_kernel.json`,
+//! `results/BENCH_gemm_fast.json`,
 //! `results/BENCH_telemetry_overhead.json`,
 //! `results/BENCH_cluster_fanout.json`,
 //! `results/BENCH_rpc_concurrency.json`,
@@ -9,7 +10,7 @@
 //! (noisier) configurations.
 
 use bench::reports::{
-    cluster_fanout, ftdmp_pipeline, gemm_kernel, npe_pipeline, placement_rebalance,
+    cluster_fanout, ftdmp_pipeline, gemm_fast, gemm_kernel, npe_pipeline, placement_rebalance,
     rpc_concurrency, telemetry_overhead,
 };
 use std::fs;
@@ -39,6 +40,19 @@ fn main() {
     println!("\n{}", gemm_kernel::render(&m));
     let path = out_dir.join("BENCH_gemm_kernel.json");
     fs::write(&path, gemm_kernel::to_json(&m)).expect("write gemm json");
+    println!("\n# wrote {}", path.display());
+
+    let params = if fast {
+        gemm_fast::BenchParams::fast()
+    } else {
+        gemm_fast::BenchParams::full()
+    };
+    let m = gemm_fast::measure_with(&params);
+    println!("\n{}", gemm_fast::render(&m));
+    let json = gemm_fast::to_json(&m);
+    telemetry::export::validate_json(&json).expect("gemm fast json well-formed");
+    let path = out_dir.join("BENCH_gemm_fast.json");
+    fs::write(&path, json).expect("write gemm fast json");
     println!("\n# wrote {}", path.display());
 
     let params = if fast {

@@ -20,6 +20,7 @@ pub mod fig19_batch;
 pub mod fig20_inferentia;
 pub mod fig21_cost;
 pub mod ftdmp_pipeline;
+pub mod gemm_fast;
 pub mod gemm_kernel;
 pub mod npe_pipeline;
 pub mod placement_rebalance;
@@ -50,6 +51,7 @@ pub fn run_all(fast: bool) -> Vec<(&'static str, String)> {
         ("fig21_cost", fig21_cost::run(fast)),
         ("npe_pipeline", npe_pipeline::run(fast)),
         ("gemm_kernel", gemm_kernel::run(fast)),
+        ("gemm_fast", gemm_fast::run(fast)),
         ("telemetry_overhead", telemetry_overhead::run(fast)),
         ("cluster_fanout", cluster_fanout::run(fast)),
         ("ftdmp_pipeline", ftdmp_pipeline::run(fast)),

@@ -13,7 +13,7 @@ use crate::util::{fmt, Report};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
-use tensor::linalg;
+use tensor::linalg::{self, Gemm};
 use tensor::pack::{MR, NR};
 use tensor::Tensor;
 
@@ -134,7 +134,7 @@ pub fn measure_with(p: &BenchParams) -> GemmMeasurements {
         secs,
     });
     for threads in [1usize, 2, 4] {
-        let (secs, gflops) = time_best(p, &oracle, || linalg::matmul_with_threads(&a, &b, threads));
+        let (secs, gflops) = time_best(p, &oracle, || Gemm::new(&a, &b).threads(threads).run());
         points.push(GemmPoint {
             kernel: "packed",
             threads,

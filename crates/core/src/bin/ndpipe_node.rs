@@ -21,14 +21,15 @@
 //! [`PlacementMap`] from the shard count, so the fleet agrees on which
 //! stores replicate which shards without any coordination service.
 
-use dnn::{Mlp, TrainConfig, Trainer};
+use dnn::{Mlp, ModelProfile, TrainConfig, Trainer};
 use ndpipe::ftdmp::FtdmpConfig;
 use ndpipe::rpc::{Cluster, FailurePolicy, PipeStoreServer, ServerConfig};
-use ndpipe::{PipeStore, PlacementMap, Tuner};
+use ndpipe::{pareto_front, ParetoInput, PipeStore, PlacementMap, Tuner};
 use ndpipe_data::{ClassUniverse, LabeledDataset};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::process::ExitCode;
+use tensor::{set_default_math_policy, MathPolicy};
 
 const CLASSES: usize = 8;
 const INPUT_DIM: usize = 16;
@@ -36,9 +37,11 @@ const PER_CLASS: usize = 60;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  ndpipe_node pipestore --listen ADDR --shard I/N [--seed S] [--replicas R]\n  \
+        "usage:\n  ndpipe_node pipestore --listen ADDR --shard I/N [--seed S] [--replicas R] \
+         [--math deterministic|fast|int8]\n  \
          ndpipe_node tuner --connect ADDR[,ADDR...] [--seed S] [--runs ROUNDS] [--n-run N] \
-         [--micro-batch M] [--staleness S] [--epochs E] [--quorum K] [--replicas R]"
+         [--micro-batch M] [--staleness S] [--epochs E] [--quorum K] [--replicas R] \
+         [--math deterministic|fast|int8] [--auto] [--partition K] [--peers N]"
     );
     ExitCode::FAILURE
 }
@@ -48,6 +51,24 @@ fn arg_value(args: &[String], flag: &str) -> Option<String> {
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .cloned()
+}
+
+/// Applies `--math POLICY` (if present) as the process-wide default
+/// before any store or kernel consults it. `Ok(None)` when the flag is
+/// absent (the `NDPIPE_MATH` env default stays in force).
+fn apply_math_flag(args: &[String]) -> Result<Option<MathPolicy>, ExitCode> {
+    let Some(raw) = arg_value(args, "--math") else {
+        return Ok(None);
+    };
+    let Some(policy) = MathPolicy::parse(&raw) else {
+        eprintln!("bad --math {raw}: expected deterministic|fast|int8");
+        return Err(usage());
+    };
+    if !set_default_math_policy(policy) {
+        eprintln!("--math {policy} lost to an earlier default; startup ordering bug");
+        return Err(ExitCode::FAILURE);
+    }
+    Ok(Some(policy))
 }
 
 /// The full training corpus every node can rebuild from the seed.
@@ -67,6 +88,10 @@ fn corpus(seed: u64) -> (ClassUniverse, LabeledDataset) {
 }
 
 fn run_pipestore(args: &[String]) -> ExitCode {
+    let math = match apply_math_flag(args) {
+        Ok(m) => m,
+        Err(code) => return code,
+    };
     let Some(listen) = arg_value(args, "--listen") else {
         return usage();
     };
@@ -97,6 +122,12 @@ fn run_pipestore(args: &[String]) -> ExitCode {
         shard.len()
     );
     let mut store = PipeStore::new(i, shard);
+    if let Some(policy) = math {
+        // `new` already picked up the pinned default; restate it so the
+        // log line records what `Describe` will report over RPC.
+        store.set_math_policy(policy);
+        eprintln!("pipestore {i}/{n}: math policy {policy}");
+    }
     if replicas > 1 {
         // Same seed + same shard count on every node → identical map, so
         // the fleet agrees on replica placement with no coordination.
@@ -149,6 +180,9 @@ fn run_pipestore(args: &[String]) -> ExitCode {
 }
 
 fn run_tuner(args: &[String]) -> ExitCode {
+    if let Err(code) = apply_math_flag(args) {
+        return code;
+    }
     let Some(connect) = arg_value(args, "--connect") else {
         return usage();
     };
@@ -166,8 +200,21 @@ fn run_tuner(args: &[String]) -> ExitCode {
     let n_run: usize = arg_value(args, "--n-run")
         .and_then(|s| s.parse().ok())
         .unwrap_or(defaults.n_run);
+    // `--auto`: seed partition point, fleet width, and micro-batch count
+    // from the APO Pareto knee (paper-default deployment profile).
+    // Explicit `--partition` / `--peers` / `--micro-batch` flags override
+    // the knee value individually.
+    let knee = args.iter().any(|a| a == "--auto").then(|| {
+        let front = pareto_front(&ParetoInput::paper_default(ModelProfile::resnet50()));
+        eprintln!(
+            "tuner: APO knee partition={} pipestores={} micro-batch={} ({} candidates)",
+            front.knee.partition, front.knee.n_pipestores, front.knee.micro_batch, front.candidates
+        );
+        front.knee
+    });
     let micro_batch: usize = arg_value(args, "--micro-batch")
         .and_then(|s| s.parse().ok())
+        .or(knee.as_ref().map(|k| k.micro_batch))
         .unwrap_or(defaults.micro_batch);
     let staleness: usize = arg_value(args, "--staleness")
         .and_then(|s| s.parse().ok())
@@ -188,7 +235,14 @@ fn run_tuner(args: &[String]) -> ExitCode {
 
     let (universe, _) = corpus(seed);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x7A_BE);
-    let model = Mlp::new(&[INPUT_DIM, 24, 16, CLASSES], 2, &mut rng);
+    // `--partition K` (or the knee) picks how many of the 3 MLP layers
+    // freeze on the PipeStores, clamped so at least one layer trains.
+    let partition: usize = arg_value(args, "--partition")
+        .and_then(|s| s.parse().ok())
+        .or(knee.as_ref().map(|k| k.partition))
+        .unwrap_or(2)
+        .min(2);
+    let model = Mlp::new(&[INPUT_DIM, 24, 16, CLASSES], partition, &mut rng);
     let test_rows: Vec<tensor::Tensor> = (0..400)
         .map(|k| universe.sample(k % CLASSES, &mut rng))
         .collect();
@@ -205,7 +259,18 @@ fn run_tuner(args: &[String]) -> ExitCode {
         Trainer::evaluate(tuner.model(), &test)
     );
 
-    let addrs: Vec<&str> = connect.split(',').map(str::trim).collect();
+    // `--peers N` (or the knee) drives only the first N connected
+    // stores — the APO-chosen fleet width, never more than were given.
+    let mut addrs: Vec<&str> = connect.split(',').map(str::trim).collect();
+    let peers: usize = arg_value(args, "--peers")
+        .and_then(|s| s.parse().ok())
+        .or(knee.as_ref().map(|k| k.n_pipestores))
+        .unwrap_or(addrs.len())
+        .clamp(1, addrs.len());
+    if peers < addrs.len() {
+        eprintln!("tuner: driving first {peers} of {} given peers", addrs.len());
+        addrs.truncate(peers);
+    }
     let cluster = match Cluster::builder().policy(policy).connect(&addrs) {
         Ok(c) => c,
         Err(e) => {

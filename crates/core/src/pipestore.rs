@@ -16,7 +16,7 @@ use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use tensor::Tensor;
+use tensor::{default_math_policy, MathPolicy, Tensor};
 
 /// Shard count of the photo map. Sixteen is plenty to decorrelate the
 /// event-driven server's worker pool (a handful of threads) while
@@ -150,6 +150,12 @@ pub struct PipeStore {
     /// Artificial per-extraction sleep, for straggler simulation in
     /// benches and soaks ([`PipeStore::set_extract_delay`]).
     extract_delay: Option<std::time::Duration>,
+    /// The [`MathPolicy`] every FE forward on this store runs under.
+    /// Defaults to the process default (`NDPIPE_MATH` / `--math`);
+    /// [`PipeStore::set_math_policy`] overrides per store so mixed
+    /// fleets can be simulated in one process. Reported over RPC in
+    /// `ShardInfo` so the Tuner can audit fleet uniformity.
+    math: MathPolicy,
 }
 
 impl PipeStore {
@@ -166,12 +172,26 @@ impl PipeStore {
             metrics: Arc::new(telemetry::Registry::new()),
             npe: Mutex::new(NpeActivity::default()),
             extract_delay: None,
+            math: default_math_policy(),
         }
     }
 
     /// The store's identifier.
     pub fn id(&self) -> usize {
         self.id
+    }
+
+    /// The [`MathPolicy`] this store's feature-extraction paths use.
+    pub fn math_policy(&self) -> MathPolicy {
+        self.math
+    }
+
+    /// Overrides the FE [`MathPolicy`] for this store only (the
+    /// constructor picks up the process default). Takes effect on the
+    /// next extraction; results under a different policy than before
+    /// are not comparable bit-for-bit.
+    pub fn set_math_policy(&mut self, policy: MathPolicy) {
+        self.math = policy;
     }
 
     /// Makes every feature-extraction call sleep for `delay` *per
@@ -580,7 +600,7 @@ impl PipeStore {
         assert!(range.end <= self.shard.len(), "range out of bounds");
         let idx: Vec<usize> = range.collect();
         let slice = self.shard.select(&idx);
-        let features = model.features(slice.features());
+        let features = model.features_with(slice.features(), self.math);
         (features, slice.labels().to_vec())
     }
 
@@ -645,7 +665,7 @@ impl PipeStore {
             |batch: Vec<(Tensor, usize)>| {
                 let (rows, labels): (Vec<Tensor>, Vec<usize>) = batch.into_iter().unzip();
                 let x = Tensor::stack_rows(&rows);
-                let f = model.features(&x);
+                let f = model.features_with(&x, self.math);
                 labels
                     .into_iter()
                     .enumerate()

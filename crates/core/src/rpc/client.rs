@@ -7,8 +7,8 @@ use crate::checknrun::ModelDelta;
 use crate::placement::PlacementMap;
 use crate::rpc::wire::{
     read_handshake, read_reply, write_handshake, write_request, write_request_noflush, Handshake,
-    PhotoRecord, Reply, Request, FEATURE_DELTAS, FEATURE_METRICS, FEATURE_MULTI_SESSION,
-    PROTOCOL_VERSION,
+    PhotoRecord, Reply, Request, ShardDesc, FEATURE_DELTAS, FEATURE_METRICS,
+    FEATURE_MULTI_SESSION, PROTOCOL_VERSION,
 };
 use crate::rpc::RpcError;
 use dnn::Mlp;
@@ -95,22 +95,6 @@ impl ConnectOptions {
     pub fn no_timeout(mut self) -> Self {
         self.io_timeout = None;
         self
-    }
-
-    /// The pre-builder field-by-field constructor.
-    #[deprecated(note = "use the ConnectOptions::new() builder")]
-    pub fn legacy(
-        max_attempts: u32,
-        initial_backoff: Duration,
-        max_backoff: Duration,
-        io_timeout: Option<Duration>,
-    ) -> Self {
-        ConnectOptions {
-            max_attempts,
-            initial_backoff,
-            max_backoff,
-            io_timeout,
-        }
     }
 }
 
@@ -464,14 +448,15 @@ impl RemotePipeStore {
         self.expect_ack(&Request::ApplyDelta(delta.to_vec()))
     }
 
-    /// Fetches `(examples, classes)` shard metadata.
+    /// Fetches the store's shard metadata: example/class counts plus the
+    /// math policy and kernel family its FE paths run under.
     ///
     /// # Errors
     ///
     /// Socket/protocol/remote errors.
-    pub fn describe(&mut self) -> Result<(u64, u32), RpcError> {
+    pub fn describe(&mut self) -> Result<ShardDesc, RpcError> {
         match self.call(&Request::Describe)? {
-            Reply::ShardInfo { examples, classes } => Ok((examples, classes)),
+            Reply::ShardInfo(desc) => Ok(desc),
             _ => Err(RpcError::Protocol("expected shard info")),
         }
     }
@@ -598,16 +583,16 @@ impl RemotePipeStore {
         }
     }
 
-    /// Fetches `(examples, classes)` metadata for node `node`'s shard on
-    /// this store (own shard or a held replica).
+    /// Fetches shard metadata for node `node`'s shard on this store
+    /// (own shard or a held replica).
     ///
     /// # Errors
     ///
     /// Socket/protocol/remote errors (no shard for `node` is a remote
     /// error).
-    pub fn describe_node(&mut self, node: u64) -> Result<(u64, u32), RpcError> {
+    pub fn describe_node(&mut self, node: u64) -> Result<ShardDesc, RpcError> {
         match self.call(&Request::DescribeNode(node))? {
-            Reply::ShardInfo { examples, classes } => Ok((examples, classes)),
+            Reply::ShardInfo(desc) => Ok(desc),
             _ => Err(RpcError::Protocol("expected shard info")),
         }
     }
@@ -838,9 +823,11 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn legacy_constructor_still_builds() {
-        let o = ConnectOptions::legacy(2, Duration::from_millis(1), Duration::from_millis(2), None);
+    fn builder_options_compose() {
+        let o = ConnectOptions::new()
+            .retries(2)
+            .backoff(Duration::from_millis(1), Duration::from_millis(2))
+            .no_timeout();
         assert_eq!(o.max_attempts, 2);
         assert!(o.io_timeout.is_none());
     }

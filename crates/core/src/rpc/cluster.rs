@@ -14,7 +14,7 @@ use crate::checknrun::ModelDelta;
 use crate::ftdmp::{FtdmpConfig, FtdmpError, FtdmpReport, ScheduleStats};
 use crate::placement::PlacementMap;
 use crate::rpc::client::{ConnectOptions, RemotePipeStore};
-use crate::rpc::wire::PhotoRecord;
+use crate::rpc::wire::{PhotoRecord, ShardDesc};
 use crate::rpc::RpcError;
 use crate::tuner::Tuner;
 use dnn::Mlp;
@@ -317,10 +317,7 @@ enum PeerOk {
         labels: Vec<usize>,
     },
     Labels(Vec<(u64, u32)>),
-    Shard {
-        examples: u64,
-        classes: u32,
-    },
+    Shard(ShardDesc),
     Metrics(telemetry::Snapshot),
     Placement(PlacementMap),
     Photo(PhotoRecord),
@@ -411,9 +408,7 @@ fn apply(remote: &mut RemotePipeStore, op: &PeerOp) -> Result<PeerOk, RpcError> 
             .map(|(features, labels)| PeerOk::Features { features, labels }),
         PeerOp::OfflineInfer => remote.offline_infer().map(PeerOk::Labels),
         PeerOp::ApplyDelta(blob) => remote.apply_delta_bytes(blob).map(|()| PeerOk::Ack),
-        PeerOp::Describe => remote
-            .describe()
-            .map(|(examples, classes)| PeerOk::Shard { examples, classes }),
+        PeerOp::Describe => remote.describe().map(PeerOk::Shard),
         PeerOp::Scrape => remote.scrape().map(PeerOk::Metrics),
         PeerOp::Placement => remote.placement().map(PeerOk::Placement),
         PeerOp::InstallPlacement(map) => remote.install_placement(map).map(|()| PeerOk::Ack),
@@ -432,9 +427,7 @@ fn apply(remote: &mut RemotePipeStore, op: &PeerOp) -> Result<PeerOk, RpcError> 
         } => remote
             .extract_slice(*node, *run, *n_run, *mb, *n_mb)
             .map(|(features, labels)| PeerOk::Features { features, labels }),
-        PeerOp::DescribeNode(node) => remote
-            .describe_node(*node)
-            .map(|(examples, classes)| PeerOk::Shard { examples, classes }),
+        PeerOp::DescribeNode(node) => remote.describe_node(*node).map(PeerOk::Shard),
         PeerOp::EndSession => remote.end_session().map(|()| PeerOk::Ack),
     }
 }
@@ -900,13 +893,16 @@ impl Cluster {
         )
     }
 
-    /// Fetches `(examples, classes)` shard metadata from every peer.
-    pub fn describe(&self) -> Fanout<(u64, u32)> {
+    /// Fetches every peer's [`ShardDesc`]: example/class counts plus the
+    /// math policy and kernel family its FE paths run under — the
+    /// fleet-uniformity audit input (mixing features extracted under
+    /// different policies silently degrades fine-tuning).
+    pub fn describe(&self) -> Fanout<ShardDesc> {
         Self::typed(
             self.fanout_all(PeerOp::Describe),
             "describe",
             |ok| match ok {
-                PeerOk::Shard { examples, classes } => Some((examples, classes)),
+                PeerOk::Shard(desc) => Some(desc),
                 _ => None,
             },
         )
@@ -1207,7 +1203,7 @@ impl Cluster {
         live.clear();
         for r in fan.ok {
             let (examples, classes) = match r.value {
-                PeerOk::Shard { examples, classes } => (examples, classes),
+                PeerOk::Shard(desc) => (desc.examples, desc.classes),
                 _ => (0, u32::MAX),
             };
             if examples < config.n_run as u64 {
@@ -1478,7 +1474,7 @@ impl Cluster {
         live.clear();
         for r in fan.ok {
             let (examples, classes) = match r.value {
-                PeerOk::Shard { examples, classes } => (examples, classes),
+                PeerOk::Shard(desc) => (desc.examples, desc.classes),
                 _ => (0, u32::MAX),
             };
             let verdict = if examples < config.n_run as u64 {
@@ -1556,9 +1552,9 @@ impl Cluster {
                 let fan = self.fanout_on(&[h], PeerOp::DescribeNode(a as u64));
                 let mut found = false;
                 for r in fan.ok {
-                    if let PeerOk::Shard { examples, .. } = r.value {
-                        if examples as usize >= config.n_run {
-                            shard_len.insert(a, examples as usize);
+                    if let PeerOk::Shard(desc) = r.value {
+                        if desc.examples as usize >= config.n_run {
+                            shard_len.insert(a, desc.examples as usize);
                             found = true;
                         }
                     }

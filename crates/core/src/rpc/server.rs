@@ -23,7 +23,7 @@ use crate::online::BatchPolicy;
 use crate::pipestore::PipeStore;
 use crate::rpc::sys::{poll_fds, PollFd, WakePipe, POLLIN, POLLOUT};
 use crate::rpc::wire::{
-    frame_bytes, read_request, write_reply, FrameDecoder, Handshake, Reply, Request,
+    frame_bytes, read_request, write_reply, FrameDecoder, Handshake, Reply, Request, ShardDesc,
     FEATURE_DELTAS, FEATURE_METRICS, FEATURE_MULTI_SESSION, PROTOCOL_VERSION,
 };
 use crate::rpc::RpcError;
@@ -301,10 +301,12 @@ fn handle(store: &RwLock<PipeStore>, request: Request) -> Option<Reply> {
         },
         Request::Describe => {
             let store = store.read();
-            Reply::ShardInfo {
+            Reply::ShardInfo(ShardDesc {
                 examples: store.shard_len() as u64,
                 classes: store.shard().num_classes() as u32,
-            }
+                math: store.math_policy(),
+                kernel: tensor::linalg::selected_kernel(store.math_policy()),
+            })
         }
         Request::Infer { features } => infer_one(&store.read(), &features),
         Request::Metrics => Reply::Metrics(store.read().metrics().snapshot()),
@@ -398,10 +400,12 @@ fn handle(store: &RwLock<PipeStore>, request: Request) -> Option<Reply> {
         Request::DescribeNode(node) => {
             let store = store.read();
             match store.shard_for(node) {
-                Some(shard) => Reply::ShardInfo {
+                Some(shard) => Reply::ShardInfo(ShardDesc {
                     examples: shard.len() as u64,
                     classes: shard.num_classes() as u32,
-                },
+                    math: store.math_policy(),
+                    kernel: tensor::linalg::selected_kernel(store.math_policy()),
+                }),
                 None => Reply::Error(format!("no replica shard for node {node}")),
             }
         }
@@ -672,7 +676,7 @@ impl PipeStoreServer {
         };
         let event = std::thread::Builder::new()
             .name(format!("ndpipe-rpc-event-{store_id}"))
-            .spawn(move || ev.run())?;
+            .spawn(move || ev.event_loop())?;
         Ok(PipeStoreServer {
             shared,
             event: Some(event),
@@ -811,7 +815,7 @@ struct EventLoop {
 }
 
 impl EventLoop {
-    fn run(mut self) {
+    fn event_loop(mut self) {
         loop {
             // Acquire pairs with teardown's Release stores: observing
             // the flag implies the handle's prior writes are visible.
@@ -1608,25 +1612,6 @@ fn exec_batch(shared: &Arc<Shared>, items: Vec<BatchItem>) -> Vec<Done> {
         .collect()
 }
 
-/// Binds `addr`, serves Tuner sessions until the first one completes,
-/// then shuts down and returns the store. Reports the bound address via
-/// `on_ready` before serving (useful with ephemeral ports).
-///
-/// # Errors
-///
-/// Bind/accept/socket errors.
-#[deprecated(note = "use PipeStoreServer::bind for concurrent, session-capped serving")]
-pub fn serve_pipestore_once(
-    store: PipeStore,
-    addr: &str,
-    on_ready: impl FnOnce(std::net::SocketAddr),
-) -> Result<PipeStore, RpcError> {
-    let server = PipeStoreServer::bind(store, addr, ServerConfig::default())?;
-    on_ready(server.local_addr());
-    server.wait_idle(1);
-    server.shutdown()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1695,9 +1680,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let s = RwLock::new(store(&mut rng));
         match handle(&s, Request::Describe) {
-            Some(Reply::ShardInfo { examples, classes }) => {
-                assert_eq!(examples, 9);
-                assert_eq!(classes, 3);
+            Some(Reply::ShardInfo(desc)) => {
+                assert_eq!(desc.examples, 9);
+                assert_eq!(desc.classes, 3);
+                // The reply reports the store's policy and the kernel it
+                // dispatches to on this host.
+                assert_eq!(desc.math, s.read().math_policy());
+                assert_eq!(desc.kernel, tensor::linalg::selected_kernel(desc.math));
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -9,14 +9,16 @@
 use crate::placement::PlacementMap;
 use crate::rpc::RpcError;
 use std::io::{Read, Write};
-use tensor::Tensor;
+use tensor::linalg::KernelFamily;
+use tensor::{MathPolicy, Tensor};
 
 /// Hard cap on a single frame (guards against garbage length prefixes).
 pub const MAX_FRAME: usize = 256 * 1024 * 1024;
 
 /// Wire protocol revision. Bump on any frame-layout change; the
 /// handshake refuses mismatched peers before any payload moves.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// v2: `ShardInfo` carries the store's math policy and kernel family.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Feature bit: the peer serves telemetry scrapes (`Metrics`).
 pub const FEATURE_METRICS: u64 = 1 << 0;
@@ -186,6 +188,23 @@ impl Request {
     }
 }
 
+/// Shard metadata reported by `Describe`/`DescribeNode`: how much data
+/// the store holds for that node plus the numerical contract it is
+/// extracting features under. The Tuner uses `examples`/`classes` to
+/// size micro-batches and `math`/`kernel` to verify a fleet runs a
+/// uniform policy before mixing features from different stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardDesc {
+    /// Local examples for the described node.
+    pub examples: u64,
+    /// Label-space size.
+    pub classes: u32,
+    /// The [`MathPolicy`] the store's FE paths run under.
+    pub math: MathPolicy,
+    /// The kernel family that policy dispatches to on the store's host.
+    pub kernel: KernelFamily,
+}
+
 /// Replies a PipeStore sends back.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Reply {
@@ -200,13 +219,8 @@ pub enum Reply {
     },
     /// Offline-inference output: `(photo index, label)` pairs.
     Labels(Vec<(u64, u32)>),
-    /// Shard metadata: `(examples, classes)`.
-    ShardInfo {
-        /// Local examples.
-        examples: u64,
-        /// Label-space size.
-        classes: u32,
-    },
+    /// Shard metadata ([`ShardDesc`]).
+    ShardInfo(ShardDesc),
     /// A telemetry snapshot of the store's registry.
     Metrics(telemetry::Snapshot),
     /// The predicted class for one [`Request::Infer`] row.
@@ -308,6 +322,9 @@ impl<'a> Cursor<'a> {
             .ok_or(RpcError::Protocol("payload truncated"))?;
         self.pos = end;
         Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, RpcError> {
+        Ok(self.take(1)?[0])
     }
     fn u32(&mut self) -> Result<u32, RpcError> {
         let b: [u8; 4] = self
@@ -535,10 +552,12 @@ impl Reply {
                 }
                 (TAG_LABELS, p)
             }
-            Reply::ShardInfo { examples, classes } => {
-                let mut p = Vec::with_capacity(12);
-                put_u64(&mut p, *examples);
-                put_u32(&mut p, *classes);
+            Reply::ShardInfo(desc) => {
+                let mut p = Vec::with_capacity(14);
+                put_u64(&mut p, desc.examples);
+                put_u32(&mut p, desc.classes);
+                p.push(desc.math.to_u8());
+                p.push(desc.kernel.to_u8());
                 (TAG_SHARD_INFO, p)
             }
             Reply::Metrics(snapshot) => (TAG_METRICS, snapshot.to_bytes()),
@@ -628,8 +647,17 @@ impl Reply {
                 };
                 let examples = c.u64()?;
                 let classes = c.u32()?;
+                let math = MathPolicy::from_u8(c.u8()?)
+                    .ok_or(RpcError::Protocol("unknown math policy"))?;
+                let kernel = KernelFamily::from_u8(c.u8()?)
+                    .ok_or(RpcError::Protocol("unknown kernel family"))?;
                 c.finish()?;
-                Ok(Reply::ShardInfo { examples, classes })
+                Ok(Reply::ShardInfo(ShardDesc {
+                    examples,
+                    classes,
+                    math,
+                    kernel,
+                }))
             }
             TAG_METRICS => telemetry::Snapshot::from_bytes(payload)
                 .map(Reply::Metrics)
@@ -1108,10 +1136,34 @@ mod tests {
             labels: vec![0, 1],
         });
         roundtrip_reply(Reply::Labels(vec![(7, 3), (9, 0)]));
-        roundtrip_reply(Reply::ShardInfo {
+        roundtrip_reply(Reply::ShardInfo(ShardDesc {
             examples: 123,
             classes: 10,
-        });
+            math: MathPolicy::Fast,
+            kernel: KernelFamily::Avx512,
+        }));
+    }
+
+    #[test]
+    fn shard_info_rejects_unknown_policy_bytes() {
+        let mut p = Vec::new();
+        put_u64(&mut p, 1);
+        put_u32(&mut p, 2);
+        p.push(99); // no such MathPolicy
+        p.push(0);
+        assert!(matches!(
+            Reply::decode_body(TAG_SHARD_INFO, &p),
+            Err(RpcError::Protocol("unknown math policy"))
+        ));
+        let mut p = Vec::new();
+        put_u64(&mut p, 1);
+        put_u32(&mut p, 2);
+        p.push(0);
+        p.push(99); // no such KernelFamily
+        assert!(matches!(
+            Reply::decode_body(TAG_SHARD_INFO, &p),
+            Err(RpcError::Protocol("unknown kernel family"))
+        ));
     }
 
     #[test]

@@ -112,7 +112,8 @@ impl ClassUniverse {
         let zm = z
             .reshape(&[self.latent_dim, 1])
             .expect("latent is a vector");
-        let x = tensor::linalg::matmul(&self.render, &zm)
+        let x = tensor::linalg::Gemm::new(&self.render, &zm)
+            .run()
             .reshape(&[self.input_dim])
             .expect("render output is a vector");
         x.add(&self.render_bias).map(f32::tanh)

@@ -8,8 +8,10 @@
 
 use rand::Rng;
 use std::sync::OnceLock;
-use tensor::conv::{conv2d_prepacked, global_avg_pool, max_pool2d, Conv2dSpec, PackedConvWeight};
-use tensor::{activation, init, Tensor};
+use tensor::conv::{
+    conv2d_prepacked_opts, global_avg_pool, max_pool2d, Conv2dSpec, ConvOpts, PackedConvWeight,
+};
+use tensor::{default_math_policy, init, MathPolicy, Tensor};
 
 /// A fixed (weight-freeze) convolutional feature extractor:
 /// `[conv3x3 → ReLU → maxpool2] × stages → global average pool`.
@@ -80,21 +82,40 @@ impl CnnFeatureExtractor {
         self.in_channels
     }
 
-    /// Extracts `[n, feature_dim]` features from `[n, c, h, w]` images.
+    /// Extracts `[n, feature_dim]` features from `[n, c, h, w]` images
+    /// under the session's default [`MathPolicy`].
     ///
     /// # Panics
     ///
     /// Panics if the channel count mismatches or the spatial size
     /// collapses below the kernel before the last stage.
     pub fn features(&self, images: &Tensor) -> Tensor {
+        self.features_with(images, default_math_policy())
+    }
+
+    /// [`CnnFeatureExtractor::features`] under an explicit
+    /// [`MathPolicy`]. Each stage runs conv + bias + ReLU as one fused
+    /// GEMM epilogue (bit-identical to the unfused sequence), so no
+    /// intermediate pre-activation tensor is materialized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel count mismatches or the spatial size
+    /// collapses below the kernel before the last stage.
+    pub fn features_with(&self, images: &Tensor, policy: MathPolicy) -> Tensor {
         assert_eq!(images.shape().rank(), 4, "input must be NCHW");
         assert_eq!(images.dims()[1], self.in_channels, "channel count mismatch");
         let conv_spec = Conv2dSpec::new(3, 1, 1);
         let pool_spec = Conv2dSpec::new(2, 2, 0);
+        let opts = ConvOpts {
+            policy,
+            fuse_relu: true,
+            ..ConvOpts::default()
+        };
         let mut h = images.clone();
         for (i, (w, b)) in self.stages.iter().enumerate() {
             let pw = self.packed[i].get_or_init(|| PackedConvWeight::pack(w));
-            h = activation_relu4(&conv2d_prepacked(&h, pw, Some(b), conv_spec));
+            h = conv2d_prepacked_opts(&h, pw, Some(b), conv_spec, opts);
             // Pool between stages while the plane is big enough.
             if i + 1 < self.stages.len() && h.dims()[2] >= 2 && h.dims()[3] >= 2 {
                 h = max_pool2d(&h, pool_spec);
@@ -107,10 +128,6 @@ impl CnnFeatureExtractor {
     pub fn param_count(&self) -> usize {
         self.stages.iter().map(|(w, b)| w.len() + b.len()).sum()
     }
-}
-
-fn activation_relu4(t: &Tensor) -> Tensor {
-    activation::relu(t)
 }
 
 #[cfg(test)]

@@ -18,7 +18,7 @@
 //! preconditions on the live model (Fig 17's empirical counterpart).
 
 use crate::linear::Linear;
-use tensor::linalg;
+use tensor::linalg::Gemm;
 
 /// Lemma 5.2's inter-run loss bound `Δ = sqrt(log(2P/θ) / (2m))`.
 ///
@@ -91,8 +91,8 @@ pub fn delta_balance(layers: &[Linear]) -> f64 {
         let wi = pair[0].weights();
         let wj = pair[1].weights();
         // W_{i+1}: [d2, d1], W_i: [d1, d0]; both Grams are [d1, d1].
-        let gram_next = linalg::matmul_tn(wj, wj);
-        let gram_this = linalg::matmul_nt(wi, wi);
+        let gram_next = Gemm::new(wj, wj).transpose_a().run();
+        let gram_this = Gemm::new(wi, wi).transpose_b().run();
         let diff = gram_next.sub(&gram_this).frobenius_norm() as f64;
         worst = worst.max(diff);
     }

@@ -2,8 +2,10 @@
 
 use rand::Rng;
 use std::sync::{Arc, Mutex, PoisonError};
+use tensor::linalg::Gemm;
 use tensor::pack::PackedB;
-use tensor::{init, linalg, Tensor};
+use tensor::quant::{self, QuantizedMatrix};
+use tensor::{default_math_policy, init, MathPolicy, Tensor};
 
 /// A dense layer `y = x Wᵀ + b` with SGD-with-momentum state.
 ///
@@ -35,9 +37,19 @@ pub struct Linear {
     /// packed-forward-weight cache: frozen layers (never mutated) pack
     /// once and reuse the panels every batch.
     w_version: u64,
-    /// Lazily packed `wᵀ` panels for [`Linear::forward`], tagged with the
-    /// `w_version` they were packed at.
-    packed: Mutex<Option<(u64, Arc<PackedB>)>>,
+    /// Lazily prepared forward weights for [`Linear::forward_with`],
+    /// keyed by the `(w_version, policy)` they were built for: f32
+    /// panels for `Deterministic`/`Fast`, a quantized matrix for `Int8`.
+    packed: Mutex<Option<(u64, MathPolicy, CachedW)>>,
+}
+
+/// Policy-specific prepared forward weights.
+#[derive(Debug, Clone)]
+enum CachedW {
+    /// Packed `wᵀ` panels for the f32 kernel families.
+    F32(Arc<PackedB>),
+    /// Symmetrically quantized `w` for the int8 path.
+    Int8(Arc<QuantizedMatrix>),
 }
 
 impl Clone for Linear {
@@ -103,18 +115,26 @@ impl Linear {
         self.w_version = self.w_version.wrapping_add(1);
     }
 
-    /// The packed `wᵀ` panels for the forward GEMM, re-packed only when
-    /// the weights have changed since the last pack.
-    fn packed_forward_weights(&self) -> Arc<PackedB> {
+    /// The prepared forward weights for `policy`, rebuilt only when the
+    /// weights changed since the last build or the cached representation
+    /// does not fit the policy (the two f32 policies share one pack; the
+    /// int8 path quantizes instead).
+    fn packed_forward_weights(&self, policy: MathPolicy) -> CachedW {
+        let want_int8 = policy == MathPolicy::Int8;
         let mut guard = self.packed.lock().unwrap_or_else(PoisonError::into_inner);
-        if let Some((v, pb)) = guard.as_ref() {
-            if *v == self.w_version {
-                return Arc::clone(pb);
+        if let Some((v, p, cached)) = guard.as_ref() {
+            let compatible = (*p == MathPolicy::Int8) == want_int8;
+            if *v == self.w_version && compatible {
+                return cached.clone();
             }
         }
-        let pb = Arc::new(PackedB::pack_nt(&self.w));
-        *guard = Some((self.w_version, Arc::clone(&pb)));
-        pb
+        let cached = if want_int8 {
+            CachedW::Int8(Arc::new(quant::QuantizedMatrix::quantize(&self.w)))
+        } else {
+            CachedW::F32(Arc::new(PackedB::pack_nt(&self.w)))
+        };
+        *guard = Some((self.w_version, policy, cached.clone()));
+        cached
     }
 
     /// Input dimensionality.
@@ -162,17 +182,32 @@ impl Linear {
         self.w.len() + self.b.len()
     }
 
-    /// Forward pass over a batch `[n, in]` → `[n, out]`.
+    /// Forward pass over a batch `[n, in]` → `[n, out]` under the
+    /// session's default [`MathPolicy`].
     ///
     /// # Panics
     ///
     /// Panics if the input width differs from `d_in`.
     pub fn forward(&self, x: &Tensor) -> Tensor {
+        self.forward_with(x, default_math_policy())
+    }
+
+    /// Forward pass under an explicit [`MathPolicy`]. `Deterministic`
+    /// and `Fast` run `x·wᵀ` over cached prepacked panels; `Int8`
+    /// dynamically quantizes `x` against cached quantized weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input width differs from `d_in`.
+    pub fn forward_with(&self, x: &Tensor, policy: MathPolicy) -> Tensor {
         assert_eq!(x.dims()[1], self.d_in(), "input width mismatch");
-        // Prepacked wᵀ panels — bit-identical to matmul_nt(x, w), minus
-        // the per-call pack pass (frozen layers pack exactly once).
-        let pb = self.packed_forward_weights();
-        linalg::matmul_packed_b(x, &pb).add_row_bias(&self.b)
+        match self.packed_forward_weights(policy) {
+            CachedW::F32(pb) => Gemm::prepacked_b(x, &pb)
+                .policy(policy)
+                .run()
+                .add_row_bias(&self.b),
+            CachedW::Int8(wq) => quant::matmul_nt_quant(x, &wq).add_row_bias(&self.b),
+        }
     }
 
     /// Backward pass: given the upstream gradient `dy` `[n, out]` and the
@@ -185,9 +220,9 @@ impl Linear {
         assert_eq!(x.dims()[0], dy.dims()[0], "batch size mismatch");
         assert_eq!(dy.dims()[1], self.d_out(), "grad width mismatch");
         LinearGrads {
-            dw: linalg::matmul_tn(dy, x),
+            dw: Gemm::new(dy, x).transpose_a().run(),
             db: dy.sum_rows(),
-            dx: linalg::matmul(dy, &self.w),
+            dx: Gemm::new(dy, &self.w).run(),
         }
     }
 
@@ -387,8 +422,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let mut l = Linear::new(6, 4, &mut rng);
         let x = Tensor::randn(&[3, 6], &mut rng);
-        let fresh =
-            |l: &Linear, x: &Tensor| linalg::matmul_nt(x, l.weights()).add_row_bias(l.bias());
+        // Pack per call (same operand form as the cache) so the check is
+        // bit-exact under every math policy.
+        let fresh = |l: &Linear, x: &Tensor| {
+            Gemm::prepacked_b(x, &PackedB::pack_nt(l.weights()))
+                .run()
+                .add_row_bias(l.bias())
+        };
         // Populate the cache, then mutate through each path and check the
         // cached forward tracks the live weights bit-for-bit.
         assert_eq!(l.forward(&x), fresh(&l, &x));
@@ -409,6 +449,32 @@ mod tests {
         l.set_weights(l.weights().scale(0.5), l.bias().clone());
         assert_eq!(c.forward(&x), fresh(&c, &x), "clone after parent mutation");
         assert_eq!(l.forward(&x), fresh(&l, &x), "parent after mutation");
+    }
+
+    #[test]
+    fn forward_with_switches_policies_on_one_cache() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut l = Linear::new(8, 5, &mut rng);
+        let x = Tensor::randn(&[4, 8], &mut rng);
+        let det = l.forward_with(&x, MathPolicy::Deterministic);
+        // Int8 replaces the cached f32 pack; the result tracks the f32
+        // product within the quantization error bound.
+        let q = l.forward_with(&x, MathPolicy::Int8);
+        assert_eq!(q.dims(), det.dims());
+        let amax = x.data().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        let wmax = l.weights().data().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        let (sa, sw) = (amax / 127.0, wmax / 127.0);
+        let bound = 8.0 * (amax * sw / 2.0 + wmax * sa / 2.0 + sa * sw / 4.0) * 1.05 + 1e-6;
+        for (a, b) in q.data().iter().zip(det.data()) {
+            assert!((a - b).abs() <= bound, "{a} vs {b} (bound {bound})");
+        }
+        // Switching back re-packs f32 and is bit-identical to the first
+        // deterministic run; mutation still invalidates the int8 cache.
+        assert_eq!(l.forward_with(&x, MathPolicy::Deterministic), det);
+        let before = l.forward_with(&x, MathPolicy::Int8);
+        l.set_weights(l.weights().scale(2.0), l.bias().clone());
+        let after = l.forward_with(&x, MathPolicy::Int8);
+        assert_ne!(before.data(), after.data(), "int8 cache went stale");
     }
 
     #[test]

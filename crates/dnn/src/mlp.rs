@@ -8,7 +8,7 @@
 
 use crate::linear::Linear;
 use rand::Rng;
-use tensor::{activation, Tensor};
+use tensor::{activation, default_math_policy, MathPolicy, Tensor};
 
 /// An MLP with ReLU between layers and a feature/classifier boundary.
 ///
@@ -138,11 +138,19 @@ impl Mlp {
 
     /// Feature extraction: the weight-freeze prefix only (what a PipeStore
     /// computes and ships to the Tuner). For `split == 0` this is the
-    /// identity.
+    /// identity. Runs under the session's default [`MathPolicy`].
     pub fn features(&self, x: &Tensor) -> Tensor {
+        self.features_with(x, default_math_policy())
+    }
+
+    /// [`Mlp::features`] under an explicit [`MathPolicy`]. The frozen
+    /// prefix is exactly where the opt-in fast and int8 kernel families
+    /// pay off: it never trains, so its packed (or quantized) weights are
+    /// built once and reused every batch.
+    pub fn features_with(&self, x: &Tensor, policy: MathPolicy) -> Tensor {
         let mut h = x.clone();
         for layer in &self.layers[..self.split] {
-            h = activation::relu(&layer.forward(&h));
+            h = activation::relu(&layer.forward_with(&h, policy));
         }
         h
     }

@@ -335,7 +335,7 @@ impl Config {
             event_zones: vec![EventZone {
                 file_suffix: "core/src/rpc/server.rs".into(),
                 impl_target: Some("EventLoop".into()),
-                fn_name: "run".into(),
+                fn_name: "event_loop".into(),
                 label: "RPC event thread".into(),
             }],
             // Every bounded queue in the backpressure zones must state

@@ -8,7 +8,7 @@
 //!   (where the fix or the `// ndlint: allow(blocking, reason = ...)`
 //!   suppression belongs), and carry the transitive witness chain.
 //! - `event_zone` — hard zones: functions (e.g. the RPC event thread's
-//!   `EventLoop::run`) from which *any* transitively reachable blocking
+//!   `EventLoop::event_loop`) from which *any* transitively reachable blocking
 //!   primitive is a finding, held lock or not. The event thread is the
 //!   only thread driving every connection; one blocking call stalls the
 //!   whole fleet's I/O. Findings anchor at the primitive itself so the

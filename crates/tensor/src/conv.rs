@@ -9,9 +9,18 @@
 //! [`crate::pool`]. Every image is computed by the same serial kernel
 //! whichever thread claims it, so results are bit-identical at any
 //! worker count.
+//!
+//! [`conv2d_prepacked_opts`] additionally takes [`ConvOpts`]: a
+//! [`MathPolicy`] selecting the GEMM kernel family and an optional fused
+//! bias+ReLU epilogue applied inside the GEMM write-back (the
+//! conv+ReLU fusion the frozen CNN feature extractor uses). Fusion
+//! performs the same IEEE ops in the same order as the unfused
+//! bias-then-ReLU sequence, so it never changes bits — only memory
+//! traffic. `Int8` has no im2col integer path and runs as `Fast`.
 
+use crate::linalg::Epilogue;
 use crate::pack::{self, PackedA};
-use crate::{linalg, Tensor};
+use crate::{linalg, MathPolicy, Tensor};
 
 /// Work threshold (in multiply-adds) above which [`conv2d`] fans batch
 /// images across the worker pool — the same band pattern as
@@ -183,6 +192,28 @@ pub fn conv2d_prepacked(
     conv2d_prepacked_with_threads(input, pw, bias, spec, crate::configured_threads())
 }
 
+/// Execution options for [`conv2d_prepacked_opts`].
+#[derive(Debug, Clone, Copy)]
+pub struct ConvOpts {
+    /// GEMM kernel family; defaults to [`crate::default_math_policy`].
+    pub policy: MathPolicy,
+    /// Fuse a ReLU (and the bias, when present) into the GEMM
+    /// write-back instead of running separate passes.
+    pub fuse_relu: bool,
+    /// Thread budget; defaults to [`crate::configured_threads`].
+    pub threads: usize,
+}
+
+impl Default for ConvOpts {
+    fn default() -> Self {
+        ConvOpts {
+            policy: crate::default_math_policy(),
+            fuse_relu: false,
+            threads: crate::configured_threads(),
+        }
+    }
+}
+
 /// [`conv2d_prepacked`] with an explicit thread budget.
 ///
 /// # Panics
@@ -194,6 +225,31 @@ pub fn conv2d_prepacked_with_threads(
     bias: Option<&Tensor>,
     spec: Conv2dSpec,
     threads: usize,
+) -> Tensor {
+    conv2d_prepacked_opts(
+        input,
+        pw,
+        bias,
+        spec,
+        ConvOpts {
+            threads,
+            ..ConvOpts::default()
+        },
+    )
+}
+
+/// The full-control conv entry point: [`conv2d_prepacked`] plus
+/// [`ConvOpts`] (kernel policy, fused bias+ReLU epilogue, threads).
+///
+/// # Panics
+///
+/// Same contract as [`conv2d`].
+pub fn conv2d_prepacked_opts(
+    input: &Tensor,
+    pw: &PackedConvWeight,
+    bias: Option<&Tensor>,
+    spec: Conv2dSpec,
+    opts: ConvOpts,
 ) -> Tensor {
     assert_eq!(input.shape().rank(), 4, "conv2d input must be NCHW");
     let (n, c_in, h, w) = (
@@ -220,37 +276,39 @@ pub fn conv2d_prepacked_with_threads(
     // claims it, and the result is bit-identical to the single-threaded
     // path.
     let flops = n * c_out * c_in * k * k * oh * ow;
-    if flops >= PAR_THRESHOLD && threads > 1 && n >= 2 {
+    if flops >= PAR_THRESHOLD && opts.threads > 1 && n >= 2 {
         let images: Vec<std::sync::Mutex<(usize, &mut [f32])>> = out
             .chunks_mut(img_out_len)
             .enumerate()
             .map(std::sync::Mutex::new)
             .collect();
-        crate::pool::run(threads.min(n), images.len(), &|t| {
+        crate::pool::run(opts.threads.min(n), images.len(), &|t| {
             if let Some(slot) = images.get(t) {
                 let mut guard = slot
                     .lock()
                     .unwrap_or_else(std::sync::PoisonError::into_inner);
                 let (b_idx, dst) = &mut *guard;
-                conv2d_image(input, pw, bias, spec, *b_idx, dst);
+                conv2d_image(input, pw, bias, spec, opts, *b_idx, dst);
             }
         })
         .unwrap_or_else(|e| panic!("conv2d: {e}"));
     } else {
         for (b_idx, dst) in out.chunks_mut(img_out_len).enumerate() {
-            conv2d_image(input, pw, bias, spec, b_idx, dst);
+            conv2d_image(input, pw, bias, spec, opts, b_idx, dst);
         }
     }
     Tensor::from_vec(out, &[n, c_out, oh, ow])
 }
 
 /// Serial kernel for one batch image: thread-local im2col, then the
-/// prepacked-A GEMM into the image's output plane.
+/// prepacked-A GEMM (with the fused epilogue when requested) into the
+/// image's output plane.
 fn conv2d_image(
     input: &Tensor,
     pw: &PackedConvWeight,
     bias: Option<&Tensor>,
     spec: Conv2dSpec,
+    opts: ConvOpts,
     b_idx: usize,
     dst: &mut [f32],
 ) {
@@ -260,15 +318,24 @@ fn conv2d_image(
     let ow = spec.out_size(w);
     let img_len = c_in * h * w;
     let img = &input.data()[b_idx * img_len..(b_idx + 1) * img_len];
+    // The GEMM's output rows are the c_out channels, so a fused per-row
+    // bias is exactly the conv bias.
+    let epi = match (opts.fuse_relu, bias) {
+        (true, Some(bvec)) => Epilogue::BiasRelu(bvec.data()),
+        (true, None) => Epilogue::Relu,
+        (false, _) => Epilogue::None,
+    };
     pack::with_im2col(|cols| {
         im2col_into(img, c_in, h, w, spec, cols);
-        linalg::matmul_packed_a_into(&pw.pa, cols, oh * ow, dst);
+        linalg::matmul_packed_a_into(&pw.pa, cols, oh * ow, dst, opts.policy, &epi);
     });
-    if let Some(bvec) = bias {
-        for co in 0..c_out {
-            let add = bvec.data()[co];
-            for v in &mut dst[co * oh * ow..(co + 1) * oh * ow] {
-                *v += add;
+    if !opts.fuse_relu {
+        if let Some(bvec) = bias {
+            for co in 0..c_out {
+                let add = bvec.data()[co];
+                for v in &mut dst[co * oh * ow..(co + 1) * oh * ow] {
+                    *v += add;
+                }
             }
         }
     }
@@ -469,6 +536,39 @@ mod tests {
         let pw = PackedConvWeight::pack(&weight);
         let pre = conv2d_prepacked(&input, &pw, Some(&bias), spec);
         assert_eq!(pre.data(), serial.data());
+    }
+
+    #[test]
+    fn fused_relu_matches_unfused_bit_for_bit() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(89);
+        let spec = Conv2dSpec::new(3, 1, 1);
+        let input = Tensor::randn(&[3, 4, 8, 8], &mut rng);
+        let weight = Tensor::randn(&[6, 4, 3, 3], &mut rng);
+        let bias = Tensor::randn(&[6], &mut rng);
+        let pw = PackedConvWeight::pack(&weight);
+        for policy in [MathPolicy::Deterministic, MathPolicy::Fast] {
+            let opts = ConvOpts {
+                policy,
+                fuse_relu: false,
+                threads: 1,
+            };
+            let unfused = conv2d_prepacked_opts(&input, &pw, Some(&bias), spec, opts);
+            let fused = conv2d_prepacked_opts(
+                &input,
+                &pw,
+                Some(&bias),
+                spec,
+                ConvOpts {
+                    fuse_relu: true,
+                    ..opts
+                },
+            );
+            for (&f, &u) in fused.data().iter().zip(unfused.data()) {
+                assert_eq!(f, u.max(0.0), "policy={policy}");
+            }
+        }
     }
 
     #[test]

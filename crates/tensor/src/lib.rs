@@ -7,8 +7,12 @@
 //! - [`Shape`] — dimension/stride bookkeeping with checked index math,
 //! - [`Tensor`] — a dense, row-major `f32` tensor with elementwise and
 //!   broadcasting operations,
-//! - [`linalg`] — packed-panel (BLIS-style) matrix multiplication and
-//!   transposes,
+//! - [`linalg`] — packed-panel (BLIS-style) matrix multiplication behind
+//!   the [`linalg::Gemm`] descriptor, plus transposes,
+//! - [`policy`] — the [`MathPolicy`] kernel-family selector
+//!   (deterministic oracle / opt-in FMA+AVX-512 / int8),
+//! - [`quant`] — symmetric int8 quantization and the `i8×i8→i32`
+//!   inference kernel behind [`MathPolicy::Int8`],
 //! - [`pack`] — panel packing + thread-local scratch feeding the GEMM
 //!   microkernel, and the prepacked-operand types the frozen-layer
 //!   weight cache stores,
@@ -26,11 +30,11 @@
 //! # Example
 //!
 //! ```
-//! use tensor::{Tensor, linalg};
+//! use tensor::{Tensor, linalg::Gemm};
 //!
 //! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
 //! let b = Tensor::eye(2);
-//! let c = linalg::matmul(&a, &b);
+//! let c = Gemm::new(&a, &b).run();
 //! assert_eq!(c.data(), a.data());
 //! ```
 
@@ -39,10 +43,13 @@ pub mod conv;
 pub mod init;
 pub mod linalg;
 pub mod pack;
+pub mod policy;
 pub mod pool;
+pub mod quant;
 pub mod shape;
 pub mod tensor;
 
+pub use policy::{default_math_policy, set_default_math_policy, MathPolicy};
 pub use shape::Shape;
 pub use tensor::Tensor;
 

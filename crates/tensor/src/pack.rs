@@ -37,6 +37,11 @@ pub const MR: usize = 4;
 /// register file with room for the A broadcast and B row.
 pub const NR: usize = 8;
 
+/// Wide micro-tile columns for the fast kernel family: one AVX-512 zmm
+/// (or two ymm) per accumulator row. B packed at this width feeds the
+/// fast microkernels with a single contiguous load per k step.
+pub const WR: usize = 2 * NR;
+
 /// Borrowed strided matrix view: element `(r, c)` is
 /// `data[r * rs + c * cs]`. Lets the packers read natural and transposed
 /// operands with the same code.
@@ -136,6 +141,35 @@ pub(crate) fn pack_b_panels(b: &MatRef<'_>, buf: &mut Vec<f32>) {
                 let col = &b.data[(pc0 + c) * b.cs..(pc0 + c) * b.cs + k];
                 for (kk, &v) in col.iter().enumerate() {
                     buf[base + kk * NR + c] = v;
+                }
+            }
+        }
+    }
+}
+
+/// Packs all columns of `b` into [`WR`]-column micro-panels, k-major,
+/// zero-padding the final panel — the fast kernel family's B layout
+/// (`buf` sized `ceil(b.cols/WR) * WR * b.rows`).
+pub(crate) fn pack_b_panels_wide(b: &MatRef<'_>, buf: &mut Vec<f32>) {
+    let k = b.rows;
+    let n = b.cols;
+    let panels = n.div_ceil(WR);
+    buf.clear();
+    buf.resize(panels * WR * k, 0.0);
+    for p in 0..panels {
+        let base = p * WR * k;
+        let pc0 = p * WR;
+        let pc_n = WR.min(n - pc0);
+        if b.cs == 1 {
+            for kk in 0..k {
+                let src = &b.data[kk * b.rs + pc0..kk * b.rs + pc0 + pc_n];
+                buf[base + kk * WR..base + kk * WR + pc_n].copy_from_slice(src);
+            }
+        } else {
+            for c in 0..pc_n {
+                let col = &b.data[(pc0 + c) * b.cs..(pc0 + c) * b.cs + k];
+                for (kk, &v) in col.iter().enumerate() {
+                    buf[base + kk * WR + c] = v;
                 }
             }
         }

@@ -1,0 +1,173 @@
+//! Gates for the opt-in kernel families: tolerance-based `Fast`-vs-oracle
+//! equivalence across adversarial shapes, int8 quantize/dequantize
+//! round-trip error bounds, and the dispatch invariant that
+//! `Deterministic` never selects an FMA-contracting kernel.
+//!
+//! The tolerance model: the oracle and the fast kernels compute the same
+//! `k`-term inner products with different association/contraction, so the
+//! difference per output is bounded by a small multiple of
+//! `eps * sqrt(k) * |a_row| * |b_col|` for random data. We use the
+//! conservative per-element bound `eps * k * max|a| * max|b|` with a
+//! safety factor instead of estimating norms.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tensor::linalg::{selected_kernel, transpose, Gemm};
+use tensor::quant::QuantizedMatrix;
+use tensor::{MathPolicy, Tensor};
+
+/// Edge shapes the ISSUE calls out: m=1, n=1, primes, tall-skinny —
+/// these exercise the ragged panel tails of the paired fast kernels.
+const EDGE_SHAPES: &[(usize, usize, usize)] = &[
+    (1, 1, 1),
+    (1, 13, 1),
+    (1, 7, 31),   // m = 1
+    (31, 7, 1),   // n = 1
+    (13, 31, 7),  // primes
+    (17, 3, 19),  // odd B-panel count (exercises the 1x FMA tail)
+    (5, 9, 24),   // even B-panel count (pure paired kernels)
+    (257, 11, 3), // tall-skinny
+    (3, 11, 257), // short-wide
+];
+
+fn max_abs(t: &Tensor) -> f32 {
+    t.data().iter().fold(0.0f32, |m, v| m.max(v.abs()))
+}
+
+/// Conservative |fast - oracle| bound for one output element.
+fn fast_tol(a: &Tensor, b: &Tensor, k: usize) -> f32 {
+    let scale = max_abs(a) * max_abs(b) * k as f32;
+    (8.0 * f32::EPSILON * scale).max(1e-7)
+}
+
+#[test]
+fn fast_matches_oracle_on_edge_shapes_all_layouts() {
+    let mut rng = StdRng::seed_from_u64(5001);
+    for &(m, k, n) in EDGE_SHAPES {
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let b = Tensor::randn(&[k, n], &mut rng);
+        let tol = fast_tol(&a, &b, k);
+        let oracle = Gemm::new(&a, &b).policy(MathPolicy::Deterministic).run();
+        let fast = Gemm::new(&a, &b).policy(MathPolicy::Fast).run();
+        for (i, (x, y)) in fast.data().iter().zip(oracle.data()).enumerate() {
+            assert!(
+                (x - y).abs() <= tol,
+                "nn {m}x{k}x{n} elem {i}: {x} vs {y} (tol {tol})"
+            );
+        }
+        // Transposed layouts pack to the same panels, so the same bound
+        // holds for tn/nt.
+        let at = transpose(&a);
+        let tn = Gemm::new(&at, &b)
+            .transpose_a()
+            .policy(MathPolicy::Fast)
+            .run();
+        let bt = transpose(&b);
+        let nt = Gemm::new(&a, &bt)
+            .transpose_b()
+            .policy(MathPolicy::Fast)
+            .run();
+        for ((x, y), z) in tn.data().iter().zip(nt.data()).zip(oracle.data()) {
+            assert!((x - z).abs() <= tol, "tn {m}x{k}x{n}: {x} vs {z}");
+            assert!((y - z).abs() <= tol, "nt {m}x{k}x{n}: {x} vs {z}");
+        }
+    }
+}
+
+#[test]
+fn deterministic_never_selects_an_fma_kernel() {
+    let det = selected_kernel(MathPolicy::Deterministic);
+    assert!(
+        !det.uses_fma(),
+        "Deterministic resolved to FMA kernel {det}"
+    );
+    // And the policy is not influenced by the fast probe having run.
+    let _ = selected_kernel(MathPolicy::Fast);
+    assert!(!selected_kernel(MathPolicy::Deterministic).uses_fma());
+}
+
+#[test]
+fn int8_dispatch_reports_int8dot() {
+    assert_eq!(
+        selected_kernel(MathPolicy::Int8).as_str(),
+        "int8dot",
+        "Int8 must report the quantized kernel family"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Fast-family products stay within the rounding-noise tolerance of
+    /// the oracle on arbitrary shapes (including ones large enough to
+    /// cross the parallel threshold via the default thread budget).
+    #[test]
+    fn fast_tracks_oracle(
+        seed in 0u64..1000,
+        m in 1usize..48,
+        k in 1usize..48,
+        n in 1usize..48,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let b = Tensor::randn(&[k, n], &mut rng);
+        let tol = fast_tol(&a, &b, k);
+        let oracle = Gemm::new(&a, &b).policy(MathPolicy::Deterministic).run();
+        let fast = Gemm::new(&a, &b).policy(MathPolicy::Fast).run();
+        for (x, y) in fast.data().iter().zip(oracle.data()) {
+            prop_assert!((x - y).abs() <= tol, "{} vs {} (tol {})", x, y, tol);
+        }
+    }
+
+    /// Quantize → dequantize reconstructs every element to within half a
+    /// quantization step (`scale / 2`), and exactly recovers the extremes.
+    #[test]
+    fn int8_round_trip_error_is_bounded(
+        seed in 0u64..1000,
+        rows in 1usize..20,
+        cols in 1usize..20,
+        spread in 0.01f32..100.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = Tensor::randn(&[rows, cols], &mut rng).scale(spread);
+        let q = QuantizedMatrix::quantize(&t);
+        let back = q.dequantize();
+        prop_assert_eq!(back.dims(), t.dims());
+        // Half a step, with headroom for the scale division itself.
+        let bound = q.scale() * 0.5 * (1.0 + 1e-5);
+        for (x, y) in t.data().iter().zip(back.data()) {
+            prop_assert!((x - y).abs() <= bound, "{} vs {} (bound {})", x, y, bound);
+        }
+        // The max-magnitude element sits exactly on the ±127 grid point.
+        let mx = max_abs(&t);
+        if mx > 0.0 {
+            let idx = t.data().iter().position(|v| v.abs() == mx).unwrap();
+            let rel = (back.data()[idx] - t.data()[idx]).abs() / mx;
+            prop_assert!(rel <= 1e-6, "extreme not on grid: rel err {}", rel);
+        }
+    }
+
+    /// End-to-end int8 product error obeys the analytic bound from the
+    /// quant module docs.
+    #[test]
+    fn int8_product_error_is_bounded(
+        seed in 0u64..1000,
+        m in 1usize..12,
+        k in 1usize..32,
+        n in 1usize..12,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let b = Tensor::randn(&[k, n], &mut rng);
+        let oracle = Gemm::new(&a, &b).policy(MathPolicy::Deterministic).run();
+        let q = Gemm::new(&a, &b).policy(MathPolicy::Int8).run();
+        let (amax, bmax) = (max_abs(&a), max_abs(&b));
+        let (sa, sb) = (amax / 127.0, bmax / 127.0);
+        let bound =
+            (k as f32) * (amax * sb / 2.0 + bmax * sa / 2.0 + sa * sb / 4.0) * 1.05 + 1e-6;
+        for (x, y) in q.data().iter().zip(oracle.data()) {
+            prop_assert!((x - y).abs() <= bound, "{} vs {} (bound {})", x, y, bound);
+        }
+    }
+}

@@ -5,7 +5,8 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tensor::conv::{avg_pool2d, conv2d, global_avg_pool, max_pool2d, Conv2dSpec};
-use tensor::{activation, linalg, Tensor};
+use tensor::linalg::Gemm;
+use tensor::{activation, Tensor};
 
 fn naive_conv(input: &Tensor, weight: &Tensor, spec: Conv2dSpec) -> Tensor {
     let (n, c_in, h, w) = (
@@ -134,12 +135,12 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
         let a = Tensor::randn(&[2, k], &mut rng);
         let b = Tensor::randn(&[k, 3], &mut rng);
-        let base = linalg::matmul(&a, &b);
+        let base = Gemm::new(&a, &b).run();
         let mut scaled = a.clone();
         for x in &mut scaled.data_mut()[..k] {
             *x *= scale;
         }
-        let out = linalg::matmul(&scaled, &b);
+        let out = Gemm::new(&scaled, &b).run();
         for j in 0..3 {
             prop_assert!((out.at(&[0, j]) - scale * base.at(&[0, j])).abs() < 1e-3);
             prop_assert!((out.at(&[1, j]) - base.at(&[1, j])).abs() < 1e-5);

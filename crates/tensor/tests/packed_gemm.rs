@@ -2,17 +2,20 @@
 //! triple-loop oracle, over adversarial shapes, plus determinism checks
 //! across worker counts.
 //!
-//! Bit-equality (not tolerance) is the contract: every kernel path —
-//! portable, AVX-dispatched, serial, pooled — accumulates each output
-//! element over k in ascending order with separate multiply and add, so
-//! all paths execute the identical IEEE operation sequence per element.
+//! Bit-equality (not tolerance) is the contract, so every product here
+//! pins [`MathPolicy::Deterministic`]: under that policy every kernel
+//! path — portable, AVX-dispatched, serial, pooled — accumulates each
+//! output element over k in ascending order with separate multiply and
+//! add, so all paths execute the identical IEEE operation sequence per
+//! element. The opt-in fast families are tolerance-gated separately in
+//! `tests/fast_math.rs`.
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use tensor::linalg;
+use tensor::linalg::{transpose, Gemm};
 use tensor::pack::{PackedA, PackedB};
-use tensor::Tensor;
+use tensor::{MathPolicy, Tensor};
 
 /// Naive j-inner triple loop, accumulating over k ascending — the same
 /// per-element operation order the microkernel guarantees.
@@ -30,6 +33,10 @@ fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
         }
     }
     out
+}
+
+fn det<'a>(a: &'a Tensor, b: &'a Tensor) -> Gemm<'a> {
+    Gemm::new(a, b).policy(MathPolicy::Deterministic)
 }
 
 /// Shapes the blocking logic finds adversarial: unit dims, dims straddling
@@ -56,31 +63,37 @@ fn edge_shapes_match_naive_for_all_layouts() {
         let b = Tensor::randn(&[k, n], &mut rng);
         let want = naive_matmul(&a, &b);
         assert_eq!(
-            linalg::matmul(&a, &b).data(),
+            det(&a, &b).run().data(),
             want.data(),
-            "matmul diverged at {m}x{k}x{n}"
+            "nn layout diverged at {m}x{k}x{n}"
         );
-        let at = linalg::transpose(&a);
+        let at = transpose(&a);
         assert_eq!(
-            linalg::matmul_tn(&at, &b).data(),
+            det(&at, &b).transpose_a().run().data(),
             want.data(),
-            "matmul_tn diverged at {m}x{k}x{n}"
+            "tn layout diverged at {m}x{k}x{n}"
         );
-        let bt = linalg::transpose(&b);
+        let bt = transpose(&b);
         assert_eq!(
-            linalg::matmul_nt(&a, &bt).data(),
+            det(&a, &bt).transpose_b().run().data(),
             want.data(),
-            "matmul_nt diverged at {m}x{k}x{n}"
-        );
-        assert_eq!(
-            linalg::matmul_packed_a(&PackedA::pack(&a), &b).data(),
-            want.data(),
-            "matmul_packed_a diverged at {m}x{k}x{n}"
+            "nt layout diverged at {m}x{k}x{n}"
         );
         assert_eq!(
-            linalg::matmul_packed_b(&a, &PackedB::pack(&b)).data(),
+            Gemm::prepacked_a(&PackedA::pack(&a), &b)
+                .policy(MathPolicy::Deterministic)
+                .run()
+                .data(),
             want.data(),
-            "matmul_packed_b diverged at {m}x{k}x{n}"
+            "prepacked A diverged at {m}x{k}x{n}"
+        );
+        assert_eq!(
+            Gemm::prepacked_b(&a, &PackedB::pack(&b))
+                .policy(MathPolicy::Deterministic)
+                .run()
+                .data(),
+            want.data(),
+            "prepacked B diverged at {m}x{k}x{n}"
         );
     }
 }
@@ -95,30 +108,30 @@ fn parallel_products_are_bit_identical_across_worker_counts() {
     for &(m, k, n) in &[(128, 96, 96), (517, 600, 9)] {
         let a = Tensor::randn(&[m, k], &mut rng);
         let b = Tensor::randn(&[k, n], &mut rng);
-        let serial = linalg::matmul_with_threads(&a, &b, 1);
+        let serial = det(&a, &b).threads(1).run();
         for threads in [2usize, 8] {
             assert_eq!(
-                linalg::matmul_with_threads(&a, &b, threads).data(),
+                det(&a, &b).threads(threads).run().data(),
                 serial.data(),
                 "matmul not deterministic at {m}x{k}x{n}, {threads} threads"
             );
         }
-        let at = linalg::transpose(&a);
-        let tn_serial = linalg::matmul_tn_with_threads(&at, &b, 1);
+        let at = transpose(&a);
+        let tn_serial = det(&at, &b).transpose_a().threads(1).run();
         assert_eq!(tn_serial.data(), serial.data());
-        let bt = linalg::transpose(&b);
-        let nt_serial = linalg::matmul_nt_with_threads(&a, &bt, 1);
+        let bt = transpose(&b);
+        let nt_serial = det(&a, &bt).transpose_b().threads(1).run();
         assert_eq!(nt_serial.data(), serial.data());
         for threads in [2usize, 8] {
             assert_eq!(
-                linalg::matmul_tn_with_threads(&at, &b, threads).data(),
+                det(&at, &b).transpose_a().threads(threads).run().data(),
                 serial.data(),
-                "matmul_tn not deterministic at {m}x{k}x{n}, {threads} threads"
+                "tn not deterministic at {m}x{k}x{n}, {threads} threads"
             );
             assert_eq!(
-                linalg::matmul_nt_with_threads(&a, &bt, threads).data(),
+                det(&a, &bt).transpose_b().threads(threads).run().data(),
                 serial.data(),
-                "matmul_nt not deterministic at {m}x{k}x{n}, {threads} threads"
+                "nt not deterministic at {m}x{k}x{n}, {threads} threads"
             );
         }
     }
@@ -139,12 +152,12 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
         let a = Tensor::randn(&[m, k], &mut rng);
         let b = Tensor::randn(&[k, n], &mut rng);
-        let got = linalg::matmul(&a, &b);
+        let got = det(&a, &b).run();
         let want = naive_matmul(&a, &b);
         prop_assert_eq!(got.data(), want.data());
     }
 
-    /// The transposed-operand drivers agree with multiplying explicit
+    /// The transposed-operand layouts agree with multiplying explicit
     /// transposes, so all three layouts share one kernel's semantics.
     #[test]
     fn tn_and_nt_match_explicit_transposes(
@@ -156,12 +169,12 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
         let at = Tensor::randn(&[k, m], &mut rng); // aᵀ stored [k, m]
         let bt = Tensor::randn(&[n, k], &mut rng); // bᵀ stored [n, k]
-        let a = linalg::transpose(&at);
-        let b = linalg::transpose(&bt);
+        let a = transpose(&at);
+        let b = transpose(&bt);
         let want = naive_matmul(&a, &b);
-        let tn = linalg::matmul_tn(&at, &b);
+        let tn = det(&at, &b).transpose_a().run();
         prop_assert_eq!(tn.data(), want.data());
-        let nt = linalg::matmul_nt(&a, &bt);
+        let nt = det(&a, &bt).transpose_b().run();
         prop_assert_eq!(nt.data(), want.data());
     }
 
@@ -176,16 +189,22 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
         let a = Tensor::randn(&[m, k], &mut rng);
         let b = Tensor::randn(&[k, n], &mut rng);
-        let want = linalg::matmul(&a, &b);
+        let want = det(&a, &b).run();
         let pa = PackedA::pack(&a);
-        let via_pa = linalg::matmul_packed_a(&pa, &b);
+        let via_pa = Gemm::prepacked_a(&pa, &b)
+            .policy(MathPolicy::Deterministic)
+            .run();
         prop_assert_eq!(via_pa.data(), want.data());
         let pb = PackedB::pack(&b);
-        let via_pb = linalg::matmul_packed_b(&a, &pb);
+        let via_pb = Gemm::prepacked_b(&a, &pb)
+            .policy(MathPolicy::Deterministic)
+            .run();
         prop_assert_eq!(via_pb.data(), want.data());
-        let bt = linalg::transpose(&b);
+        let bt = transpose(&b);
         let pbt = PackedB::pack_nt(&bt);
-        let via_pbt = linalg::matmul_packed_b(&a, &pbt);
+        let via_pbt = Gemm::prepacked_b(&a, &pbt)
+            .policy(MathPolicy::Deterministic)
+            .run();
         prop_assert_eq!(via_pbt.data(), want.data());
     }
 
@@ -198,14 +217,14 @@ proptest! {
     ) {
         let mut rng = StdRng::seed_from_u64(seed);
         let a = Tensor::randn(&[m, n], &mut rng);
-        let t = linalg::transpose(&a);
+        let t = transpose(&a);
         prop_assert_eq!(t.dims(), &[n, m]);
         for i in 0..m {
             for j in 0..n {
                 prop_assert_eq!(a.at(&[i, j]), t.at(&[j, i]));
             }
         }
-        let back = linalg::transpose(&t);
+        let back = transpose(&t);
         prop_assert_eq!(back.data(), a.data());
     }
 
@@ -221,9 +240,9 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
         let a = Tensor::randn(&[m, k], &mut rng);
         let b = Tensor::randn(&[k, n], &mut rng);
-        let serial = linalg::matmul_with_threads(&a, &b, 1);
+        let serial = det(&a, &b).threads(1).run();
         for threads in [2usize, 8] {
-            let pooled = linalg::matmul_with_threads(&a, &b, threads);
+            let pooled = det(&a, &b).threads(threads).run();
             prop_assert_eq!(pooled.data(), serial.data());
         }
     }

@@ -6,6 +6,10 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
+# The opt-in fast-math families must pass the same suite: NDPIPE_MATH=fast
+# flips the process-default MathPolicy, so every non-pinned GEMM in the
+# tests runs through the FMA/AVX-512 kernels.
+NDPIPE_MATH=fast cargo test -q
 # Static pass: machine-readable report diffed against the checked-in
 # baseline (fails on new findings), archived next to the bench JSON,
 # plus the wall-clock budget artifact (< 5 s for the whole workspace).
@@ -21,6 +25,7 @@ test -s results/BENCH_ndlint.json
 cargo run -q -p bench --release --bin bench_report -- --fast >/dev/null
 test -s results/BENCH_npe_pipeline.json
 test -s results/BENCH_gemm_kernel.json
+test -s results/BENCH_gemm_fast.json
 test -s results/BENCH_telemetry_overhead.json
 test -s results/BENCH_cluster_fanout.json
 test -s results/BENCH_rpc_concurrency.json

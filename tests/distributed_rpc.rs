@@ -3,13 +3,11 @@
 
 use dnn::{Mlp, TrainConfig, Trainer};
 use ndpipe::ftdmp::FtdmpConfig;
-use ndpipe::rpc::server::serve_pipestore_once;
-use ndpipe::rpc::{Cluster, RemotePipeStore};
+use ndpipe::rpc::{Cluster, PipeStoreServer, RemotePipeStore, ServerConfig};
 use ndpipe::{PipeStore, Tuner};
 use ndpipe_data::{ClassUniverse, LabeledDataset};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::mpsc;
 use tensor::Tensor;
 
 fn dataset(rng: &mut StdRng, classes: usize, per_class: usize) -> (LabeledDataset, LabeledDataset) {
@@ -29,30 +27,21 @@ fn dataset(rng: &mut StdRng, classes: usize, per_class: usize) -> (LabeledDatase
 }
 
 /// Spawns `n` PipeStore servers on ephemeral localhost ports and returns
-/// connected clients plus the server join handles.
-fn spawn_fleet(
-    train: &LabeledDataset,
-    n: usize,
-) -> (
-    Vec<RemotePipeStore>,
-    Vec<std::thread::JoinHandle<PipeStore>>,
-) {
+/// connected clients plus the server handles.
+fn spawn_fleet(train: &LabeledDataset, n: usize) -> (Vec<RemotePipeStore>, Vec<PipeStoreServer>) {
     let mut clients = Vec::with_capacity(n);
-    let mut handles = Vec::with_capacity(n);
+    let mut servers = Vec::with_capacity(n);
     for (i, shard) in train.shards(n).into_iter().enumerate() {
-        let store = PipeStore::new(i, shard);
-        let (tx, rx) = mpsc::channel();
-        let handle = std::thread::spawn(move || {
-            serve_pipestore_once(store, "127.0.0.1:0", move |addr| {
-                tx.send(addr).expect("report addr");
-            })
-            .expect("server session")
-        });
-        let addr = rx.recv().expect("server came up");
-        clients.push(RemotePipeStore::connect(addr).expect("connect"));
-        handles.push(handle);
+        let server = PipeStoreServer::bind(
+            PipeStore::new(i, shard),
+            "127.0.0.1:0",
+            ServerConfig::default(),
+        )
+        .expect("bind server");
+        clients.push(RemotePipeStore::connect(server.local_addr().to_string()).expect("connect"));
+        servers.push(server);
     }
-    (clients, handles)
+    (clients, servers)
 }
 
 #[test]
@@ -67,7 +56,7 @@ fn distributed_fine_tune_over_sockets_learns() {
     let mut tuner = Tuner::new(model, cfg);
     let before = Trainer::evaluate(tuner.model(), &test).top1;
 
-    let (clients, handles) = spawn_fleet(&train, 3);
+    let (clients, servers) = spawn_fleet(&train, 3);
     let cluster = Cluster::builder().adopt(clients).expect("adopt fleet");
     let outcome = cluster
         .ftdmp_fine_tune(
@@ -98,9 +87,9 @@ fn distributed_fine_tune_over_sockets_learns() {
     for c in clients {
         c.shutdown().expect("shutdown");
     }
-    let stores: Vec<PipeStore> = handles
+    let stores: Vec<PipeStore> = servers
         .into_iter()
-        .map(|h| h.join().expect("server thread"))
+        .map(|s| s.shutdown().expect("server drain"))
         .collect();
 
     let after = Trainer::evaluate(tuner.model(), &test).top1;
@@ -156,15 +145,15 @@ fn distributed_matches_local_ftdmp() {
 
     // Sockets.
     let mut remote_tuner = Tuner::new(model, cfg);
-    let (clients, handles) = spawn_fleet(&train, 2);
+    let (clients, servers) = spawn_fleet(&train, 2);
     let cluster = Cluster::builder().adopt(clients).expect("adopt fleet");
     cluster
         .ftdmp_fine_tune(&mut remote_tuner, &ft, &mut rng)
         .expect("remote fine-tune");
     let fan = cluster.shutdown();
     assert!(fan.failures.is_empty());
-    for h in handles {
-        h.join().expect("server thread");
+    for s in servers {
+        s.shutdown().expect("server drain");
     }
     let remote_acc = Trainer::evaluate(remote_tuner.model(), &test).top1;
 
@@ -183,7 +172,7 @@ fn remote_errors_surface_cleanly() {
     let model = Mlp::new(&[16, 12, 3], 1, &mut rng);
     let cfg = TrainConfig::default();
     let mut tuner = Tuner::new(model, cfg);
-    let (clients, handles) = spawn_fleet(&train, 1);
+    let (clients, servers) = spawn_fleet(&train, 1);
     let cluster = Cluster::builder().adopt(clients).expect("adopt fleet");
     let result = cluster.ftdmp_fine_tune(
         &mut tuner,
@@ -197,7 +186,7 @@ fn remote_errors_surface_cleanly() {
     );
     assert!(result.is_err(), "should refuse wider label space");
     cluster.shutdown();
-    for h in handles {
-        h.join().expect("server thread");
+    for s in servers {
+        s.shutdown().expect("server drain");
     }
 }

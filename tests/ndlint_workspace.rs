@@ -125,7 +125,7 @@ fn seeded_event_thread_blocking_fails_the_gate() {
     });
     assert!(
         rules_fired(&r, "rpc/server.rs").contains(&"event_zone"),
-        "a sleep seeded into EventLoop::run must fire `event_zone`: {:?}",
+        "a sleep seeded into EventLoop::event_loop must fire `event_zone`: {:?}",
         r.findings
     );
 }

@@ -3,13 +3,11 @@
 //! one cluster-wide view.
 
 use dnn::Mlp;
-use ndpipe::rpc::server::serve_pipestore_once;
-use ndpipe::rpc::{Cluster, RemotePipeStore};
+use ndpipe::rpc::{Cluster, PipeStoreServer, RemotePipeStore, ServerConfig};
 use ndpipe::PipeStore;
 use ndpipe_data::{ClassUniverse, LabeledDataset};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::mpsc;
 
 fn dataset(rng: &mut StdRng, classes: usize, per_class: usize) -> LabeledDataset {
     let u = ClassUniverse::new(16, 8, classes, 0.3, rng);
@@ -25,37 +23,28 @@ fn dataset(rng: &mut StdRng, classes: usize, per_class: usize) -> LabeledDataset
 }
 
 /// Spawns `n` PipeStore servers on ephemeral localhost ports and returns
-/// connected clients plus the server join handles.
-fn spawn_fleet(
-    train: &LabeledDataset,
-    n: usize,
-) -> (
-    Vec<RemotePipeStore>,
-    Vec<std::thread::JoinHandle<PipeStore>>,
-) {
+/// connected clients plus the server handles.
+fn spawn_fleet(train: &LabeledDataset, n: usize) -> (Vec<RemotePipeStore>, Vec<PipeStoreServer>) {
     let mut clients = Vec::with_capacity(n);
-    let mut handles = Vec::with_capacity(n);
+    let mut servers = Vec::with_capacity(n);
     for (i, shard) in train.shards(n).into_iter().enumerate() {
-        let store = PipeStore::new(i, shard);
-        let (tx, rx) = mpsc::channel();
-        let handle = std::thread::spawn(move || {
-            serve_pipestore_once(store, "127.0.0.1:0", move |addr| {
-                tx.send(addr).expect("report addr");
-            })
-            .expect("server session")
-        });
-        let addr = rx.recv().expect("server came up");
-        clients.push(RemotePipeStore::connect(addr).expect("connect"));
-        handles.push(handle);
+        let server = PipeStoreServer::bind(
+            PipeStore::new(i, shard),
+            "127.0.0.1:0",
+            ServerConfig::default(),
+        )
+        .expect("bind server");
+        clients.push(RemotePipeStore::connect(server.local_addr().to_string()).expect("connect"));
+        servers.push(server);
     }
-    (clients, handles)
+    (clients, servers)
 }
 
 #[test]
 fn single_store_scrape_round_trips_server_side_metrics() {
     let mut rng = StdRng::seed_from_u64(301);
     let train = dataset(&mut rng, 4, 8);
-    let (mut clients, handles) = spawn_fleet(&train, 1);
+    let (mut clients, servers) = spawn_fleet(&train, 1);
 
     // Generate some server-side activity, then scrape it back.
     clients[0].describe().expect("describe");
@@ -82,8 +71,8 @@ fn single_store_scrape_round_trips_server_side_metrics() {
     for c in clients {
         c.shutdown().expect("shutdown");
     }
-    for h in handles {
-        h.join().expect("server thread");
+    for s in servers {
+        s.shutdown().expect("server drain");
     }
 }
 
@@ -92,7 +81,7 @@ fn cluster_scrape_merges_metrics_from_two_live_servers() {
     let mut rng = StdRng::seed_from_u64(302);
     let train = dataset(&mut rng, 4, 16);
     let model = Mlp::new(&[16, 24, 4], 1, &mut rng);
-    let (mut clients, handles) = spawn_fleet(&train, 2);
+    let (mut clients, servers) = spawn_fleet(&train, 2);
 
     // Drive real work on both stores so their registries diverge from
     // empty: a model install plus one feature-extraction round each.
@@ -145,7 +134,7 @@ fn cluster_scrape_merges_metrics_from_two_live_servers() {
 
     let fan = fleet.shutdown();
     assert!(fan.failures.is_empty());
-    for h in handles {
-        h.join().expect("server thread");
+    for s in servers {
+        s.shutdown().expect("server drain");
     }
 }
